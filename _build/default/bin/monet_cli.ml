@@ -1,0 +1,228 @@
+(* monet-cli: drive a simulated MoNet from the command line.
+
+   Subcommands build a deterministic in-memory network (seeded), so
+   runs are reproducible:
+
+     monet-cli demo                     quickstart channel lifecycle
+     monet-cli pay  --nodes 5 --hops 3 --amount 7
+     monet-cli dispute [--responsive]
+     monet-cli topology --nodes 6 --channels 8
+     monet-cli vcof --steps 4 [--reps 16]
+*)
+
+module Ch = Monet_channel.Channel
+module Graph = Monet_net.Graph
+module Router = Monet_net.Router
+module Payment = Monet_net.Payment
+module Tp = Monet_sig.Two_party
+open Cmdliner
+
+let verbose_arg =
+  let doc = "Enable protocol-event logging." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let seed_arg =
+  let doc = "Deterministic RNG seed." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc)
+
+let reps_arg =
+  let doc = "VCOF consecutiveness-proof repetitions (soundness 2^-reps)." in
+  Arg.(value & opt int 16 & info [ "reps" ] ~doc)
+
+let cfg_of ~reps = { Ch.default_config with Ch.vcof_reps = Some reps }
+
+(* --- demo --- *)
+
+let demo verbose seed reps =
+  setup_logs verbose;
+  let g = Monet_hash.Drbg.of_int seed in
+  let env = Ch.make_env g in
+  let mk_wallet label amount =
+    let w = Monet_xmr.Wallet.create g ~label in
+    let kp = Monet_sig.Sig_core.gen g in
+    Monet_xmr.Ledger.ensure_decoys g env.Ch.ledger ~amount ~n:30;
+    let idx =
+      Monet_xmr.Ledger.genesis_output env.Ch.ledger
+        { Monet_xmr.Tx.otk = kp.Monet_sig.Sig_core.vk; amount }
+    in
+    Monet_xmr.Wallet.adopt w ~global_index:idx ~keypair:kp ~amount;
+    w
+  in
+  let wa = mk_wallet "alice" 60 and wb = mk_wallet "bob" 40 in
+  match Ch.establish ~cfg:(cfg_of ~reps) env ~id:1 ~wallet_a:wa ~wallet_b:wb ~bal_a:60 ~bal_b:40 with
+  | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      1
+  | Ok (c, rep) ->
+      Printf.printf "channel open: capacity=%d, %d msgs, %d gas on script chain\n"
+        c.Ch.a.Ch.capacity rep.Ch.messages rep.Ch.script_gas;
+      List.iter
+        (fun amt ->
+          match Ch.update c ~amount_from_a:amt with
+          | Ok _ ->
+              Printf.printf "update %+d -> alice=%d bob=%d\n" (-amt)
+                c.Ch.a.Ch.my_balance c.Ch.b.Ch.my_balance
+          | Error e -> Printf.eprintf "update failed: %s\n" e)
+        [ 10; -5; 20 ];
+      (match Ch.cooperative_close c with
+      | Ok (p, _) -> Printf.printf "closed: alice=%d bob=%d\n" p.Ch.pay_a p.Ch.pay_b
+      | Error e -> Printf.eprintf "close failed: %s\n" e);
+      0
+
+(* --- pay --- *)
+
+let pay verbose seed reps nodes hops amount =
+  setup_logs verbose;
+  if hops >= nodes then begin
+    Printf.eprintf "error: need hops < nodes\n";
+    2
+  end
+  else begin
+    let t = Graph.create ~cfg:(cfg_of ~reps) (Monet_hash.Drbg.of_int seed) in
+    let ids = Array.init nodes (fun i -> Graph.add_node t ~name:(Printf.sprintf "n%d" i)) in
+    Array.iter (fun id -> Graph.fund_node t id ~amount:1000) ids;
+    for i = 0 to nodes - 2 do
+      match Graph.open_channel t ~left:ids.(i) ~right:ids.(i + 1) ~bal_left:500 ~bal_right:500 with
+      | Ok _ -> ()
+      | Error e -> failwith e
+    done;
+    Printf.printf "network: %d nodes in a line, %d channels\n" nodes (nodes - 1);
+    match Payment.pay t ~src:ids.(0) ~dst:ids.(hops) ~amount () with
+    | Ok o ->
+        let s = o.Payment.stats in
+        Printf.printf "paid %d over %d hops: setup %.2fms lock %.2fms unlock %.2fms\n"
+          amount s.Payment.n_hops s.Payment.setup_ms s.Payment.lock_ms s.Payment.unlock_ms;
+        Printf.printf "latency @60ms WAN: %.2f ms\n"
+          (Payment.latency_ms o ~network_ms:60.0);
+        0
+    | Error e ->
+        Printf.eprintf "payment failed: %s\n" e;
+        1
+  end
+
+(* --- dispute --- *)
+
+let dispute verbose seed reps responsive =
+  setup_logs verbose;
+  let g = Monet_hash.Drbg.of_int seed in
+  let env = Ch.make_env g in
+  let mk label amount =
+    let w = Monet_xmr.Wallet.create g ~label in
+    let kp = Monet_sig.Sig_core.gen g in
+    Monet_xmr.Ledger.ensure_decoys g env.Ch.ledger ~amount ~n:30;
+    let idx =
+      Monet_xmr.Ledger.genesis_output env.Ch.ledger
+        { Monet_xmr.Tx.otk = kp.Monet_sig.Sig_core.vk; amount }
+    in
+    Monet_xmr.Wallet.adopt w ~global_index:idx ~keypair:kp ~amount;
+    w
+  in
+  let wa = mk "alice" 50 and wb = mk "bob" 50 in
+  match Ch.establish ~cfg:(cfg_of ~reps) env ~id:1 ~wallet_a:wa ~wallet_b:wb ~bal_a:50 ~bal_b:50 with
+  | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      1
+  | Ok (c, _) -> (
+      (match Ch.update c ~amount_from_a:(-20) with Ok _ -> () | Error e -> failwith e);
+      Printf.printf "latest state: alice=%d bob=%d; alice opens a dispute (%s counterparty)\n"
+        c.Ch.a.Ch.my_balance c.Ch.b.Ch.my_balance
+        (if responsive then "responsive" else "silent");
+      match Ch.dispute_close c ~proposer:Tp.Alice ~responsive with
+      | Ok (p, rep) ->
+          Printf.printf "settled: alice=%d bob=%d (%d script txs, %d gas)\n" p.Ch.pay_a
+            p.Ch.pay_b rep.Ch.script_txs rep.Ch.script_gas;
+          0
+      | Error e ->
+          Printf.eprintf "dispute failed: %s\n" e;
+          1)
+
+(* --- topology --- *)
+
+let topology verbose seed reps nodes channels =
+  setup_logs verbose;
+  let t = Graph.create ~cfg:(cfg_of ~reps) (Monet_hash.Drbg.of_int seed) in
+  let g = Monet_hash.Drbg.of_int (seed + 1) in
+  let ids = Array.init nodes (fun i -> Graph.add_node t ~name:(Printf.sprintf "n%d" i)) in
+  Array.iter (fun id -> Graph.fund_node t id ~amount:10_000) ids;
+  let opened = ref 0 and attempts = ref 0 in
+  while !opened < channels && !attempts < 10 * channels do
+    incr attempts;
+    let a = Monet_hash.Drbg.int g nodes and b = Monet_hash.Drbg.int g nodes in
+    if a <> b then
+      match Graph.open_channel t ~left:ids.(a) ~right:ids.(b) ~bal_left:100 ~bal_right:100 with
+      | Ok _ -> incr opened
+      | Error _ -> ()
+  done;
+  Printf.printf "graph: %d nodes, %d channels\n" nodes !opened;
+  List.iter
+    (fun (e : Graph.edge) ->
+      Printf.printf "  channel %d: %s(%d) <-> %s(%d)\n" e.Graph.e_id
+        (Graph.node t e.Graph.e_left).Graph.n_name
+        (Graph.balance_of e ~node_id:e.Graph.e_left)
+        (Graph.node t e.Graph.e_right).Graph.n_name
+        (Graph.balance_of e ~node_id:e.Graph.e_right))
+    (List.rev t.Graph.edges);
+  0
+
+(* --- vcof --- *)
+
+let vcof verbose seed reps steps =
+  setup_logs verbose;
+  let g = Monet_hash.Drbg.of_int seed in
+  let pp = Monet_vcof.Vcof.default_pp in
+  let pair = ref (Monet_vcof.Vcof.sw_gen g) in
+  Printf.printf "state 0: Y = %s\n"
+    (Monet_util.Hex.encode (Monet_ec.Point.encode (!pair).Monet_vcof.Vcof.stmt));
+  for i = 1 to steps do
+    let prev = !pair in
+    let next, proof = Monet_vcof.Vcof.new_sw ~reps g prev ~pp in
+    pair := next;
+    let ok =
+      Monet_vcof.Vcof.c_vrfy ~pp ~prev:prev.Monet_vcof.Vcof.stmt
+        ~next:next.Monet_vcof.Vcof.stmt proof
+    in
+    Printf.printf "state %d: Y = %s  (consecutiveness proof: %s, %d bytes)\n" i
+      (Monet_util.Hex.encode (Monet_ec.Point.encode next.Monet_vcof.Vcof.stmt))
+      (if ok then "ok" else "FAILED")
+      (Monet_vcof.Vcof.proof_size proof)
+  done;
+  0
+
+(* --- cmdliner plumbing --- *)
+
+let demo_cmd =
+  Cmd.v (Cmd.info "demo" ~doc:"Open, use and close one MoChannel")
+    Term.(const demo $ verbose_arg $ seed_arg $ reps_arg)
+
+let pay_cmd =
+  let nodes = Arg.(value & opt int 4 & info [ "nodes" ] ~doc:"Line-network size.") in
+  let hops = Arg.(value & opt int 3 & info [ "hops" ] ~doc:"Payment path length.") in
+  let amount = Arg.(value & opt int 7 & info [ "amount" ] ~doc:"Payment amount.") in
+  Cmd.v (Cmd.info "pay" ~doc:"Run a multi-hop payment")
+    Term.(const pay $ verbose_arg $ seed_arg $ reps_arg $ nodes $ hops $ amount)
+
+let dispute_cmd =
+  let responsive =
+    Arg.(value & flag & info [ "responsive" ] ~doc:"Counterparty answers the dispute.")
+  in
+  Cmd.v (Cmd.info "dispute" ~doc:"Unilateral close through the KES")
+    Term.(const dispute $ verbose_arg $ seed_arg $ reps_arg $ responsive)
+
+let topology_cmd =
+  let nodes = Arg.(value & opt int 6 & info [ "nodes" ] ~doc:"Node count.") in
+  let channels = Arg.(value & opt int 8 & info [ "channels" ] ~doc:"Channel count.") in
+  Cmd.v (Cmd.info "topology" ~doc:"Build and print a random channel graph")
+    Term.(const topology $ verbose_arg $ seed_arg $ reps_arg $ nodes $ channels)
+
+let vcof_cmd =
+  let steps = Arg.(value & opt int 4 & info [ "steps" ] ~doc:"Chain steps.") in
+  Cmd.v (Cmd.info "vcof" ~doc:"Walk a VCOF chain and verify each step")
+    Term.(const vcof $ verbose_arg $ seed_arg $ reps_arg $ steps)
+
+let () =
+  let info = Cmd.info "monet-cli" ~doc:"MoNet payment channel network playground" in
+  exit (Cmd.eval' (Cmd.group info [ demo_cmd; pay_cmd; dispute_cmd; topology_cmd; vcof_cmd ]))

@@ -1,0 +1,1 @@
+examples/dispute.mli:

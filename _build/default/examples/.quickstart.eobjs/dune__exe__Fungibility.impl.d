@@ -1,0 +1,1 @@
+examples/fungibility.ml: Array List Monet_channel Monet_hash Monet_lightning Monet_sig Monet_xmr Printf String

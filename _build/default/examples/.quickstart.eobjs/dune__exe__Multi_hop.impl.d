@@ -1,0 +1,1 @@
+examples/multi_hop.ml: List Monet_channel Monet_hash Monet_net Printf String

@@ -1,0 +1,1 @@
+examples/network_sim.ml: Array List Monet_channel Monet_dsim Monet_hash Monet_net Monet_sig Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Monet_channel Monet_hash Monet_sig Monet_xmr Printf

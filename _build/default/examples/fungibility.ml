@@ -1,0 +1,99 @@
+(* Fungibility / on-chain unidentifiability: channel transactions are
+   structurally indistinguishable from ordinary wallet payments on the
+   Monero ledger, while the Lightning baseline's channel transactions
+   are trivially identifiable by their scripts.
+
+     dune exec examples/fungibility.exe
+*)
+
+module Ch = Monet_channel.Channel
+
+let shape_of (tx : Monet_xmr.Tx.t) =
+  let n_in, rings, n_out = Monet_xmr.Tx.shape tx in
+  Printf.sprintf "inputs=%d rings=[%s] outputs=%d extra=%db" n_in
+    (String.concat ";" (List.map string_of_int rings))
+    n_out
+    (String.length tx.Monet_xmr.Tx.extra)
+
+let () =
+  let g = Monet_hash.Drbg.of_int 77 in
+  let env = Ch.make_env g in
+  let wallet_a = Monet_xmr.Wallet.create g ~label:"alice" in
+  let wallet_b = Monet_xmr.Wallet.create g ~label:"bob" in
+  let fund w amount =
+    let kp = Monet_sig.Sig_core.gen g in
+    Monet_xmr.Ledger.ensure_decoys g env.Ch.ledger ~amount ~n:30;
+    let idx =
+      Monet_xmr.Ledger.genesis_output env.Ch.ledger
+        { Monet_xmr.Tx.otk = kp.Monet_sig.Sig_core.vk; amount }
+    in
+    Monet_xmr.Wallet.adopt w ~global_index:idx ~keypair:kp ~amount
+  in
+  fund wallet_a 100;
+  fund wallet_b 100;
+
+  (* An ordinary wallet-to-wallet payment... *)
+  Monet_xmr.Ledger.ensure_decoys g env.Ch.ledger ~amount:100 ~n:30;
+  let carol = Monet_xmr.Wallet.create g ~label:"carol" in
+  let dest = Monet_xmr.Wallet.fresh_address carol in
+  let plain_tx =
+    match Monet_xmr.Wallet.pay wallet_a env.Ch.ledger ~dest ~amount:100 with
+    | Ok tx -> tx
+    | Error e -> failwith e
+  in
+  (match Monet_xmr.Ledger.submit env.Ch.ledger plain_tx with
+  | Ok () -> ignore (Monet_xmr.Ledger.mine env.Ch.ledger)
+  | Error e -> failwith e);
+  Monet_xmr.Wallet.scan carol env.Ch.ledger;
+
+  (* ...and a channel lifecycle. *)
+  fund wallet_a 60;
+  fund wallet_b 40;
+  let cfg = { Ch.default_config with Ch.vcof_reps = Some 16 } in
+  let c, _ =
+    match Ch.establish ~cfg env ~id:1 ~wallet_a ~wallet_b ~bal_a:60 ~bal_b:40 with
+    | Ok r -> r
+    | Error e -> failwith e
+  in
+  (match Ch.update c ~amount_from_a:10 with Ok _ -> () | Error e -> failwith e);
+  let payout, _ =
+    match Ch.cooperative_close c with Ok r -> r | Error e -> failwith e
+  in
+
+  Printf.printf "Monero side (MoNet):\n";
+  Printf.printf "  wallet payment : %s\n" (shape_of plain_tx);
+  Printf.printf "  channel close  : %s\n" (shape_of payout.Ch.close_tx);
+  Printf.printf
+    "  -> same structure: rings of one-time keys + key image. No script, no\n";
+  Printf.printf
+    "     multisig marker, no timelock field. A chain observer cannot tell\n";
+  Printf.printf "     which of the two settles a payment channel.\n\n";
+
+  (* The Lightning baseline's on-chain footprint, for contrast. *)
+  let btc = Monet_lightning.Btc_sim.create () in
+  let ln =
+    Monet_lightning.Ln_channel.open_channel (Monet_hash.Drbg.of_int 78) btc ~bal_a:60
+      ~bal_b:40 ~csv_delay:6
+  in
+  (match Monet_lightning.Ln_channel.update ln ~amount_from_a:10 with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  (match Monet_lightning.Ln_channel.force_close ln with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  Printf.printf "Bitcoin side (Lightning baseline):\n";
+  for i = 0 to btc.Monet_lightning.Btc_sim.n - 1 do
+    let e = btc.Monet_lightning.Btc_sim.entries.(i) in
+    let kind =
+      match e.Monet_lightning.Btc_sim.out.Monet_lightning.Btc_sim.script with
+      | Monet_lightning.Btc_sim.P2pk _ -> "p2pk"
+      | Monet_lightning.Btc_sim.Multisig2 _ -> "MULTISIG-2of2   <- visibly a channel"
+      | Monet_lightning.Btc_sim.Htlc _ -> "HTLC            <- visibly a channel"
+      | Monet_lightning.Btc_sim.ToSelfDelayed _ -> "CSV-DELAYED     <- visibly a channel"
+    in
+    Printf.printf "  output %d (%d sat): %s\n" i
+      e.Monet_lightning.Btc_sim.out.Monet_lightning.Btc_sim.amount kind
+  done;
+  Printf.printf
+    "  -> funding and commitment outputs carry identifying scripts; the paper's\n";
+  Printf.printf "     bribery-attack surface MoNet avoids.\n%!"

@@ -1,0 +1,1 @@
+lib/amhl/amhl.ml: Array Monet_ec Monet_hash Monet_sig Point Sc

@@ -1,0 +1,1 @@
+lib/amhl/onion.ml: Buffer List Monet_ec Monet_hash Monet_util Point Printf Sc String

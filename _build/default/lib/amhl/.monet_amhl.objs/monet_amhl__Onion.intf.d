@@ -1,0 +1,1 @@
+lib/amhl/onion.mli: Monet_ec Monet_hash

@@ -1,0 +1,85 @@
+(** Anonymous Multi-Hop Locks (paper §II-A, Malavolta et al. NDSS'19),
+    in the LRS-compatible formulation MoNet uses.
+
+    For a path of n channels the sender samples fresh witnesses
+    y_1..y_n and sets the lock of channel i to the *suffix sum*
+
+      L_i = (y_i + y_{i+1} + ... + y_n)·G
+
+    so L_i = y_i·G + L_{i+1}. Channel i can only be unlocked with the
+    combined witness w_i = Σ_{j≥i} y_j; once hop i+1 is unlocked, the
+    payer of hop i+1 extracts w_{i+1} and — knowing its own y_i from
+    the sender — computes w_i = y_i + w_{i+1}. Unlocking therefore
+    cascades from the receiver back to the sender and is atomic: no
+    prefix of the path can settle without its suffix.
+
+    Each hop also receives both statement legs (G and the channel's
+    key-image base Hp) with a DLEQ proof, because MoNet's locks live
+    inside linkable-ring pre-signatures (see {!Monet_sig.Stmt}). *)
+
+open Monet_ec
+
+(** What the sender hands to the party who must *verify and relay* at
+    hop i (the payer of channel i+1 / payee of channel i).
+
+    Deliberately position-free: apart from the receiver (who knows it
+    is the receiver because there is no next lock), packets are
+    structurally identical at every hop, so an intermediary cannot
+    infer its distance from the sender or receiver — part of the
+    sender/receiver- and path-privacy properties. *)
+type hop_packet = {
+  hp_lock : Monet_sig.Stmt.proved; (* this channel's lock statement L_i *)
+  hp_next_lock : Point.t option; (* L_{i+1}'s G-leg (None for the receiver) *)
+  hp_y : Sc.t; (* this hop's witness share y_i (receiver gets w_n itself) *)
+}
+
+type setup = {
+  locks : Monet_sig.Stmt.proved array; (* L_1..L_n as two-leg statements *)
+  packets : hop_packet array; (* packets.(i) goes to the party after channel i+1 *)
+  wits : Sc.t array; (* y_1..y_n — sender-private *)
+  combined : Sc.t array; (* w_i = Σ_{j>=i} y_j — sender-private *)
+}
+
+(** Sender-side setup for a path of [hps] channels (each channel's
+    key-image base, left-to-right). *)
+let setup (g : Monet_hash.Drbg.t) ~(hps : Point.t array) : setup =
+  let n = Array.length hps in
+  if n = 0 then invalid_arg "Amhl.setup: empty path";
+  let wits = Array.init n (fun _ -> Sc.random_nonzero g) in
+  let combined = Array.make n Sc.zero in
+  combined.(n - 1) <- wits.(n - 1);
+  for i = n - 2 downto 0 do
+    combined.(i) <- Sc.add wits.(i) combined.(i + 1)
+  done;
+  let locks =
+    Array.init n (fun i -> Monet_sig.Stmt.make_proved g ~y:combined.(i) ~hp:hps.(i))
+  in
+  let packets =
+    Array.init n (fun i ->
+        {
+          hp_lock = locks.(i);
+          hp_next_lock =
+            (if i + 1 < n then Some locks.(i + 1).Monet_sig.Stmt.stmt.Monet_sig.Stmt.yg
+             else None);
+          hp_y = (if i + 1 < n then wits.(i) else combined.(i));
+        })
+  in
+  { locks; packets; wits; combined }
+
+(** Hop-side verification: the lock chain must telescope —
+    L_i = y_i·G + L_{i+1} — and the two legs must be consistent. *)
+let verify_hop ~(hp : Point.t) (pkt : hop_packet) : bool =
+  Monet_sig.Stmt.verify ~hp pkt.hp_lock
+  &&
+  match pkt.hp_next_lock with
+  | None ->
+      (* Receiver: its packet carries the full witness of the last lock. *)
+      Point.equal pkt.hp_lock.Monet_sig.Stmt.stmt.Monet_sig.Stmt.yg
+        (Point.mul_base pkt.hp_y)
+  | Some next ->
+      Point.equal pkt.hp_lock.Monet_sig.Stmt.stmt.Monet_sig.Stmt.yg
+        (Point.add (Point.mul_base pkt.hp_y) next)
+
+(** After hop i+1 released with combined witness [w_next], hop i's
+    combined witness. *)
+let cascade ~(y : Sc.t) ~(w_next : Sc.t) : Sc.t = Sc.add y w_next

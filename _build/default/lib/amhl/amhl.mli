@@ -1,0 +1,33 @@
+(** Anonymous Multi-Hop Locks (paper §II-A): suffix-sum lock chains
+    L_i = (Σ_{j≥i} y_j)·G that unlock atomically from the receiver
+    back to the sender. Statements carry both ring-adaptor legs
+    (see {!Monet_sig.Stmt}). *)
+
+open Monet_ec
+
+(** Position-free by design: intermediaries cannot infer their
+    distance along the path from their packet. *)
+type hop_packet = {
+  hp_lock : Monet_sig.Stmt.proved; (** this channel's lock L_i *)
+  hp_next_lock : Point.t option; (** L_{i+1}'s G-leg; [None] at the receiver *)
+  hp_y : Sc.t; (** this hop's share y_i (the receiver gets w_n itself) *)
+}
+
+type setup = {
+  locks : Monet_sig.Stmt.proved array;
+  packets : hop_packet array;
+  wits : Sc.t array; (** y_1..y_n — sender-private *)
+  combined : Sc.t array; (** w_i = Σ_{j≥i} y_j — sender-private *)
+}
+
+val setup : Monet_hash.Drbg.t -> hps:Point.t array -> setup
+(** Sender-side lock generation for a path of channels given their
+    key-image bases, left to right. *)
+
+val verify_hop : hp:Point.t -> hop_packet -> bool
+(** Hop-side check: legs consistent and the chain telescopes
+    (L_i = y_i·G + L_{i+1}). *)
+
+val cascade : y:Sc.t -> w_next:Sc.t -> Sc.t
+(** w_i = y_i + w_{i+1}: how an intermediary derives its own unlock
+    witness after the next hop released. *)

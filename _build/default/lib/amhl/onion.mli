@@ -1,0 +1,20 @@
+(** Layered (onion) encryption for AMHL setup delivery: each relay
+    learns its own payload and the next ciphertext, nothing else. *)
+
+val wrap :
+  ?pad_to:int -> Monet_hash.Drbg.t -> (Monet_ec.Point.t * string) list -> string
+(** [wrap g route] onion-encrypts per-relay payloads (ordered
+    sender → receiver) for the first relay. [pad_to] pads the
+    delivered onion to a fixed size; combined with relay re-padding
+    ({!peel}), no onion size on the wire reveals path position.
+    Raises [Invalid_argument] if the onion exceeds [pad_to]. *)
+
+val peel :
+  ?repad:Monet_hash.Drbg.t * int ->
+  sk:Monet_ec.Sc.t ->
+  string ->
+  (string * string, string) result
+(** One relay's processing: [Ok (payload, next_onion)]; [next_onion]
+    is [""] at the exit. [repad (g, pad_to)] restores the forwarded
+    onion to the fixed wire size. MAC failures and malformed layers
+    error. *)

@@ -1,0 +1,1 @@
+lib/cas/cas.mli: Adaptor Monet_ec Monet_hash Monet_sig Monet_vcof Point Sc Sig_core

@@ -1,0 +1,1 @@
+lib/cas/clras.ml: Lsag Monet_ec Monet_hash Monet_sig Monet_sigma Monet_util Monet_vcof Point Printf Sc Stmt Two_party

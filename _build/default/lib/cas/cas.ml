@@ -1,0 +1,61 @@
+(** Generic Consecutive Adaptor Signature (paper Algorithm 1).
+
+    CAS composes any adaptor-signature scheme with a VCOF: the signer
+    pre-signs message mⁱ under the chain's i-th statement Yⁱ; revealing
+    any intermediate witness yⁱ makes σⁱ — and, via forward derivation,
+    every later signature — adaptable. This module is the single-signer
+    instantiation over the Schnorr adaptor scheme ({!Monet_sig.Adaptor});
+    the two-party ring version lives in {!Clras}.
+
+    The procedures mirror Algorithm 1: Gen, PSign, PVrfy, Vrfy, Adapt,
+    Ext, SWGen, NewSW, CVrfy. *)
+
+open Monet_ec
+open Monet_sig
+
+type signer = {
+  keypair : Sig_core.keypair;
+  pp : Sc.t;
+  mutable index : int;
+  mutable current : Monet_vcof.Vcof.pair;
+}
+
+let gen (g : Monet_hash.Drbg.t) ?(pp = Monet_vcof.Vcof.default_pp) () : signer =
+  { keypair = Sig_core.gen g; pp; index = 0; current = Monet_vcof.Vcof.sw_gen g }
+
+let statement (s : signer) : Point.t = s.current.Monet_vcof.Vcof.stmt
+let witness (s : signer) : Sc.t = s.current.Monet_vcof.Vcof.wit
+
+(** NewSW: advance the chain and return (new statement, step proof) —
+    the public part a verifier needs for CVrfy. *)
+let new_sw ?reps (g : Monet_hash.Drbg.t) (s : signer) : Point.t * Monet_vcof.Vcof.proof
+    =
+  let next, proof = Monet_vcof.Vcof.new_sw ?reps g s.current ~pp:s.pp in
+  s.current <- next;
+  s.index <- s.index + 1;
+  (next.Monet_vcof.Vcof.stmt, proof)
+
+let c_vrfy (s : signer) ~(prev : Point.t) ~(next : Point.t)
+    (proof : Monet_vcof.Vcof.proof) : bool =
+  Monet_vcof.Vcof.c_vrfy ~pp:s.pp ~prev ~next proof
+
+(** PSign under the signer's current chain statement. *)
+let p_sign (g : Monet_hash.Drbg.t) (s : signer) (msg : string) : Adaptor.pre_signature
+    =
+  Adaptor.pre_sign g s.keypair msg ~stmt:(statement s)
+
+let p_vrfy ~(vk : Point.t) ~(stmt : Point.t) (msg : string)
+    (pre : Adaptor.pre_signature) : bool =
+  Adaptor.pre_verify vk msg ~stmt pre
+
+let vrfy ~(vk : Point.t) (msg : string) (sg : Sig_core.signature) : bool =
+  Sig_core.verify vk msg sg
+
+let adapt = Adaptor.adapt
+let ext = Adaptor.ext
+
+(** Forward-derive the witness for state [target] from a revealed
+    witness at state [from]: the consecutiveness that makes revealing
+    one witness expose all subsequent signatures. *)
+let derive_forward (s : signer) ~(from_wit : Sc.t) ~(steps : int) : Sc.t =
+  Monet_vcof.Vcof.derive_n ~pp:s.pp from_wit steps

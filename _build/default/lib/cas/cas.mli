@@ -1,0 +1,39 @@
+(** Generic Consecutive Adaptor Signature (paper Algorithm 1):
+    adaptor signatures whose statements walk a VCOF chain, so
+    revealing any intermediate witness exposes that signature and —
+    via forward derivation — every later one. Single-signer Schnorr
+    instantiation; the two-party ring version is {!Clras}. *)
+
+open Monet_ec
+open Monet_sig
+
+type signer = {
+  keypair : Sig_core.keypair;
+  pp : Sc.t;
+  mutable index : int;
+  mutable current : Monet_vcof.Vcof.pair;
+}
+
+val gen : Monet_hash.Drbg.t -> ?pp:Sc.t -> unit -> signer
+val statement : signer -> Point.t
+val witness : signer -> Sc.t
+
+val new_sw :
+  ?reps:int -> Monet_hash.Drbg.t -> signer -> Point.t * Monet_vcof.Vcof.proof
+(** Advance the chain; returns the new statement and step proof. *)
+
+val c_vrfy :
+  signer -> prev:Point.t -> next:Point.t -> Monet_vcof.Vcof.proof -> bool
+
+val p_sign : Monet_hash.Drbg.t -> signer -> string -> Adaptor.pre_signature
+(** Pre-sign under the signer's current chain statement. *)
+
+val p_vrfy :
+  vk:Point.t -> stmt:Point.t -> string -> Adaptor.pre_signature -> bool
+
+val vrfy : vk:Point.t -> string -> Sig_core.signature -> bool
+val adapt : Adaptor.pre_signature -> y:Sc.t -> Sig_core.signature
+val ext : Sig_core.signature -> Adaptor.pre_signature -> Sc.t
+
+val derive_forward : signer -> from_wit:Sc.t -> steps:int -> Sc.t
+(** Roll a revealed witness forward [steps] chain steps. *)

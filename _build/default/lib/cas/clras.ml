@@ -1,0 +1,139 @@
+(** 2P-CLRAS: two-party consecutive linkable ring adaptor signatures
+    (paper Algorithm 2) — the key building block of MoChannel.
+
+    Each channel party maintains its own VCOF chain. At state i the
+    parties exchange partial statements S_Pⁱ (with a DLEQ proof tying
+    the two legs and, for i > 0, a consecutiveness proof against
+    S_Pⁱ⁻¹) and jointly pre-sign the state-i commitment transaction
+    under the combined statement Sⁱ = S_Aⁱ ⊕ S_Bⁱ using the ring
+    protocol of {!Monet_sig.Two_party}.
+
+    Revealing both state-i witnesses adapts σ̂ⁱ into a standard LSAG
+    signature; revealing an *old* witness lets the counterparty derive
+    every later witness forward (one-way in the other direction), which
+    is the channel's revocation mechanism. *)
+
+open Monet_ec
+open Monet_sig
+
+type state = {
+  joint : Two_party.joint;
+  pp : Sc.t;
+  reps : int option; (* consecutiveness proof repetitions *)
+  mutable index : int;
+  mutable mine : Monet_vcof.Vcof.pair;
+  mutable my_stmt : Stmt.t;
+  mutable their_index : int; (* -1 until their first statement arrives *)
+  mutable their_stmt : Stmt.t; (* counterparty's current statement legs *)
+}
+
+(** A statement-share message: what a party sends when (re)announcing
+    its chain statement for state [sm_index]. *)
+type stmt_msg = {
+  sm_index : int;
+  sm_stmt : Stmt.t;
+  sm_leg_proof : Monet_sigma.Dleq.proof; (* same witness behind both legs *)
+  sm_step_proof : Monet_vcof.Vcof.proof option; (* None only for index 0 *)
+}
+
+let encode_stmt_msg (w : Monet_util.Wire.writer) (m : stmt_msg) =
+  Monet_util.Wire.write_u32 w m.sm_index;
+  Stmt.encode w m.sm_stmt;
+  Monet_sigma.Dleq.encode_proof w m.sm_leg_proof;
+  match m.sm_step_proof with
+  | None -> Monet_util.Wire.write_u8 w 0
+  | Some p ->
+      Monet_util.Wire.write_u8 w 1;
+      Monet_sigma.Stadler.encode w p
+
+let my_stmt_of_pair (j : Two_party.joint) (p : Monet_vcof.Vcof.pair) : Stmt.t =
+  { Stmt.yg = p.Monet_vcof.Vcof.stmt;
+    yhp = Point.mul p.Monet_vcof.Vcof.wit j.Two_party.hp }
+
+(** SWGen + the initial statement announcement (state 0). [root]
+    injects a caller-chosen initial pair (the channel layer uses this
+    to escrow the pre-randomization root and chain from the
+    re-randomized one). *)
+let init ?reps ?root ?(pp = Monet_vcof.Vcof.default_pp) (g : Monet_hash.Drbg.t)
+    (joint : Two_party.joint) : state * stmt_msg =
+  let mine = match root with Some p -> p | None -> Monet_vcof.Vcof.sw_gen g in
+  let my_stmt = my_stmt_of_pair joint mine in
+  let leg_proof =
+    Monet_sigma.Dleq.prove ~context:"clras-legs" g ~x:mine.Monet_vcof.Vcof.wit
+      ~g1:Point.base ~g2:joint.Two_party.hp
+  in
+  ( { joint; pp; reps; index = 0; mine; my_stmt; their_index = -1; their_stmt = Stmt.zero },
+    { sm_index = 0; sm_stmt = my_stmt; sm_leg_proof = leg_proof; sm_step_proof = None }
+  )
+
+(** NewSW: advance my chain to the next state and build the message. *)
+let advance (g : Monet_hash.Drbg.t) (st : state) : stmt_msg =
+  let next, step_proof = Monet_vcof.Vcof.new_sw ?reps:st.reps g st.mine ~pp:st.pp in
+  st.mine <- next;
+  st.index <- st.index + 1;
+  st.my_stmt <- my_stmt_of_pair st.joint next;
+  let leg_proof =
+    Monet_sigma.Dleq.prove ~context:"clras-legs" g ~x:next.Monet_vcof.Vcof.wit
+      ~g1:Point.base ~g2:st.joint.Two_party.hp
+  in
+  {
+    sm_index = st.index;
+    sm_stmt = st.my_stmt;
+    sm_leg_proof = leg_proof;
+    sm_step_proof = Some step_proof;
+  }
+
+(** Verify and accept the counterparty's statement message.
+    [skip_step_proof] models the optimized (batch-precomputed) mode in
+    which consecutiveness was verified for the whole batch up front. *)
+let receive ?(skip_step_proof = false) (st : state) (m : stmt_msg) :
+    (unit, string) result =
+  let expected = st.their_index + 1 in
+  if m.sm_index <> expected then
+    Error (Printf.sprintf "statement index %d, expected %d" m.sm_index expected)
+  else if
+    not
+      (Monet_sigma.Dleq.verify ~context:"clras-legs" ~g1:Point.base
+         ~h1:m.sm_stmt.Stmt.yg ~g2:st.joint.Two_party.hp ~h2:m.sm_stmt.Stmt.yhp
+         m.sm_leg_proof)
+  then Error "statement legs inconsistent (DLEQ failed)"
+  else begin
+    let step_ok =
+      skip_step_proof
+      ||
+      match (m.sm_step_proof, m.sm_index) with
+      | None, 0 -> true
+      | None, _ -> false
+      | Some proof, _ ->
+          Monet_vcof.Vcof.c_vrfy ~pp:st.pp ~prev:st.their_stmt.Stmt.yg
+            ~next:m.sm_stmt.Stmt.yg proof
+    in
+    if not step_ok then Error "consecutiveness proof failed"
+    else begin
+      st.their_index <- m.sm_index;
+      st.their_stmt <- m.sm_stmt;
+      Ok ()
+    end
+  end
+
+(** The combined statement Sⁱ = S_Aⁱ ⊕ S_Bⁱ under which commitment
+    transactions are pre-signed. *)
+let joint_stmt (st : state) : Stmt.t = Stmt.combine st.my_stmt st.their_stmt
+
+let my_witness (st : state) : Sc.t = st.mine.Monet_vcof.Vcof.wit
+
+(** Check a revealed counterparty witness against their statement. *)
+let witness_opens (st : state) (w : Sc.t) : bool =
+  Point.equal st.their_stmt.Stmt.yg (Point.mul_base w)
+
+(** Adapt a joint pre-signature with both state witnesses. *)
+let adapt (pre : Lsag.pre_signature) ~(wa : Sc.t) ~(wb : Sc.t) : Lsag.signature =
+  Lsag.adapt pre ~y:(Sc.add wa wb)
+
+(** Extract the combined witness from an on-chain signature. *)
+let ext (sg : Lsag.signature) (pre : Lsag.pre_signature) : Sc.t = Lsag.ext sg pre
+
+(** Revocation: derive the counterparty's state-(i+steps) witness from
+    their revealed state-i witness. *)
+let derive_forward (st : state) ~(their_wit : Sc.t) ~(steps : int) : Sc.t =
+  Monet_vcof.Vcof.derive_n ~pp:st.pp their_wit steps

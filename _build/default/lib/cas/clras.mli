@@ -1,0 +1,63 @@
+(** 2P-CLRAS — two-party consecutive linkable ring adaptor signatures
+    (paper Algorithm 2), the key building block of MoChannel. Each
+    party runs a VCOF chain; states are pre-signed under the combined
+    statement Sⁱ = S_Aⁱ ⊕ S_Bⁱ with the ring protocol of
+    {!Monet_sig.Two_party}. *)
+
+open Monet_ec
+open Monet_sig
+
+type state = {
+  joint : Two_party.joint;
+  pp : Sc.t;
+  reps : int option;
+  mutable index : int;
+  mutable mine : Monet_vcof.Vcof.pair;
+  mutable my_stmt : Stmt.t;
+  mutable their_index : int;
+  mutable their_stmt : Stmt.t;
+}
+
+(** A statement-share announcement for one chain state. *)
+type stmt_msg = {
+  sm_index : int;
+  sm_stmt : Stmt.t;
+  sm_leg_proof : Monet_sigma.Dleq.proof;
+  sm_step_proof : Monet_vcof.Vcof.proof option; (** [None] only at state 0 *)
+}
+
+val encode_stmt_msg : Monet_util.Wire.writer -> stmt_msg -> unit
+
+val init :
+  ?reps:int ->
+  ?root:Monet_vcof.Vcof.pair ->
+  ?pp:Sc.t ->
+  Monet_hash.Drbg.t ->
+  Two_party.joint ->
+  state * stmt_msg
+(** SWGen plus the state-0 announcement. [root] injects a
+    caller-chosen root pair (used by the channel layer for escrow
+    binding and re-randomization). *)
+
+val advance : Monet_hash.Drbg.t -> state -> stmt_msg
+(** NewSW: step my chain, build the announcement. *)
+
+val receive : ?skip_step_proof:bool -> state -> stmt_msg -> (unit, string) result
+(** Verify and accept the counterparty's announcement.
+    [skip_step_proof] serves the batch-precomputed mode where
+    consecutiveness was already verified for the whole batch. *)
+
+val joint_stmt : state -> Stmt.t
+(** Sⁱ = S_Aⁱ ⊕ S_Bⁱ, the pre-signing statement. *)
+
+val my_witness : state -> Sc.t
+val witness_opens : state -> Sc.t -> bool
+
+val adapt : Lsag.pre_signature -> wa:Sc.t -> wb:Sc.t -> Lsag.signature
+(** Complete a joint pre-signature with both state witnesses. *)
+
+val ext : Lsag.signature -> Lsag.pre_signature -> Sc.t
+(** Extract the combined witness from an on-chain signature. *)
+
+val derive_forward : state -> their_wit:Sc.t -> steps:int -> Sc.t
+(** Revocation: counterparty's witness [steps] states later. *)

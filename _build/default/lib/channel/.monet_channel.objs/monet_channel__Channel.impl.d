@@ -1,0 +1,1 @@
+lib/channel/channel.ml: Array List Logs Monet_cas Monet_ec Monet_hash Monet_kes Monet_pvss Monet_script Monet_sig Monet_sigma Monet_util Monet_vcof Monet_xmr Point Printf Sc

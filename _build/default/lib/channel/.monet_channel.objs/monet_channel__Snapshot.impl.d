@@ -1,0 +1,1 @@
+lib/channel/snapshot.ml: Array Channel Monet_cas Monet_ec Monet_hash Monet_kes Monet_sig Monet_util Monet_vcof Monet_xmr Point Sc String

@@ -1,0 +1,1 @@
+lib/channel/watchtower.ml: Channel List Logs Monet_dsim Monet_sig

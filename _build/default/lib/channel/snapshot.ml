@@ -1,0 +1,192 @@
+(** Channel state persistence: serialize a party's complete channel
+    state to bytes and restore it after a restart.
+
+    Everything a party needs to keep transacting — and, critically, to
+    keep *punishing* (the pre-signature history and chain root) —
+    survives the roundtrip. Precomputed batches are deliberately not
+    persisted: they are an optimization the parties simply re-exchange
+    after a restart. The DRBG is reseeded on restore (nonce reuse
+    across a restore would be catastrophic, so fresh randomness is the
+    only safe choice). *)
+
+open Monet_ec
+module Tp = Monet_sig.Two_party
+module Wire = Monet_util.Wire
+
+let magic = "MONETSNAP1"
+
+let write_scalar w (s : Sc.t) = Wire.write_fixed w (Sc.to_bytes_le s)
+let read_scalar r = Sc.of_bytes_le (Wire.read_fixed r 32)
+let write_point w (p : Point.t) = Wire.write_fixed w (Point.encode p)
+let read_point r = Point.decode_exn (Wire.read_fixed r 32)
+
+let write_keypair w (kp : Monet_sig.Sig_core.keypair) =
+  write_scalar w kp.Monet_sig.Sig_core.sk;
+  write_point w kp.vk
+
+let read_keypair r : Monet_sig.Sig_core.keypair =
+  let sk = read_scalar r in
+  let vk = read_point r in
+  { sk; vk }
+
+let write_pair w (p : Monet_vcof.Vcof.pair) =
+  write_point w p.Monet_vcof.Vcof.stmt;
+  write_scalar w p.Monet_vcof.Vcof.wit
+
+let read_pair r : Monet_vcof.Vcof.pair =
+  let stmt = read_point r in
+  let wit = read_scalar r in
+  { stmt; wit }
+
+let write_role w = function Tp.Alice -> Wire.write_u8 w 0 | Tp.Bob -> Wire.write_u8 w 1
+let read_role r = if Wire.read_u8 r = 0 then Tp.Alice else Tp.Bob
+
+let write_joint w (j : Tp.joint) =
+  write_role w j.Tp.role;
+  write_scalar w j.Tp.my_sk;
+  write_point w j.Tp.my_vk;
+  write_point w j.Tp.their_vk;
+  write_point w j.Tp.vk;
+  write_point w j.Tp.hp;
+  write_point w j.Tp.my_ki;
+  write_point w j.Tp.their_ki;
+  write_point w j.Tp.key_image
+
+let read_joint r : Tp.joint =
+  let role = read_role r in
+  let my_sk = read_scalar r in
+  let my_vk = read_point r in
+  let their_vk = read_point r in
+  let vk = read_point r in
+  let hp = read_point r in
+  let my_ki = read_point r in
+  let their_ki = read_point r in
+  let key_image = read_point r in
+  { Tp.role; my_sk; my_vk; their_vk; vk; hp; my_ki; their_ki; key_image }
+
+let write_commit w (c : Monet_kes.Kes_contract.commit) =
+  Monet_kes.Kes_contract.encode_commit w c
+
+let write_ring w (ring : Point.t array) =
+  Wire.write_u32 w (Array.length ring);
+  Array.iter (write_point w) ring
+
+let read_ring r : Point.t array =
+  let n = Wire.read_u32 r in
+  if n > 4096 then invalid_arg "Snapshot: ring too large";
+  Array.init n (fun _ -> read_point r)
+
+(** Serialize one party's channel state. *)
+let save (p : Channel.party) : string =
+  let w = Wire.create_writer () in
+  Wire.write_fixed w magic;
+  write_role w p.Channel.role;
+  write_joint w p.Channel.joint;
+  (* CLRAS state *)
+  let cl = p.Channel.clras in
+  write_scalar w cl.Monet_cas.Clras.pp;
+  Wire.write_u32 w cl.Monet_cas.Clras.index;
+  write_pair w cl.Monet_cas.Clras.mine;
+  Monet_sig.Stmt.encode w cl.Monet_cas.Clras.my_stmt;
+  Wire.write_u32 w (cl.Monet_cas.Clras.their_index + 1) (* -1 offset *);
+  Monet_sig.Stmt.encode w cl.Monet_cas.Clras.their_stmt;
+  write_pair w p.Channel.my_root;
+  (* KES client *)
+  Wire.write_bytes w p.Channel.kes_party.Monet_kes.Kes_client.p_addr;
+  write_keypair w p.Channel.kes_party.Monet_kes.Kes_client.p_kp;
+  Wire.write_u32 w p.Channel.kes_instance;
+  (* channel numbers *)
+  Wire.write_u32 w p.Channel.state;
+  Wire.write_u64 w p.Channel.my_balance;
+  Wire.write_u64 w p.Channel.their_balance;
+  Wire.write_u64 w p.Channel.capacity;
+  Wire.write_u32 w p.Channel.funding_outpoint;
+  Wire.write_u8 w (if p.Channel.closed then 1 else 0);
+  (* current commitment *)
+  Monet_xmr.Tx.encode w p.Channel.commit_tx;
+  write_ring w p.Channel.commit_ring;
+  Monet_sig.Lsag.encode_pre w p.Channel.presig;
+  write_keypair w p.Channel.my_out_kp;
+  Wire.write_list w (fun w kp -> write_keypair w kp) p.Channel.out_keys;
+  write_commit w p.Channel.kes_commit;
+  (* history (state, prefix, presig, tx) *)
+  Wire.write_list w
+    (fun w (st, prefix, presig, tx) ->
+      Wire.write_u32 w st;
+      Wire.write_bytes w prefix;
+      Monet_sig.Lsag.encode_pre w presig;
+      Monet_xmr.Tx.encode w tx)
+    p.Channel.presig_history;
+  Wire.contents w
+
+(** Restore a party from a snapshot. [g] reseeds the party's
+    randomness; [cfg] and [env] come from the operator's configuration
+    (they are deployment facts, not channel state). Pending locks and
+    batches are not persisted: locks must be resolved before a planned
+    shutdown, and batches are re-exchanged. *)
+let restore ~(cfg : Channel.config) ~(g : Monet_hash.Drbg.t) (data : string) :
+    (Channel.party, string) result =
+  try
+    let r = Wire.reader_of_string data in
+    if Wire.read_fixed r (String.length magic) <> magic then Error "bad magic"
+    else begin
+      let role = read_role r in
+      let joint = read_joint r in
+      let pp = read_scalar r in
+      let index = Wire.read_u32 r in
+      let mine = read_pair r in
+      let my_stmt = Monet_sig.Stmt.decode r in
+      let their_index = Wire.read_u32 r - 1 in
+      let their_stmt = Monet_sig.Stmt.decode r in
+      let clras =
+        { Monet_cas.Clras.joint; pp; reps = cfg.Channel.vcof_reps; index; mine;
+          my_stmt; their_index; their_stmt }
+      in
+      let my_root = read_pair r in
+      let p_addr = Wire.read_bytes r in
+      let p_kp = read_keypair r in
+      let kes_instance = Wire.read_u32 r in
+      let state = Wire.read_u32 r in
+      let my_balance = Wire.read_u64 r in
+      let their_balance = Wire.read_u64 r in
+      let capacity = Wire.read_u64 r in
+      let funding_outpoint = Wire.read_u32 r in
+      let closed = Wire.read_u8 r = 1 in
+      let commit_tx = Monet_xmr.Tx.decode r in
+      let commit_ring = read_ring r in
+      let presig = Monet_sig.Lsag.decode_pre r in
+      let my_out_kp = read_keypair r in
+      let out_keys = Wire.read_list r read_keypair in
+      let kes_commit = Monet_kes.Kes_contract.decode_commit r in
+      let presig_history =
+        Wire.read_list r (fun r ->
+            let st = Wire.read_u32 r in
+            let prefix = Wire.read_bytes r in
+            let presig = Monet_sig.Lsag.decode_pre r in
+            let tx = Monet_xmr.Tx.decode r in
+            (st, prefix, presig, tx))
+      in
+      Ok
+        {
+          Channel.cfg; role; g; joint; clras;
+          kes_party = { Monet_kes.Kes_client.p_addr; p_kp };
+          kes_instance; batch = None; state; my_balance; their_balance; capacity;
+          funding_outpoint; commit_tx; commit_ring; presig; my_out_kp; out_keys;
+          kes_commit; presig_history; my_root; lock = None; closed;
+        }
+    end
+  with
+  | Wire.Truncated -> Error "snapshot truncated"
+  | Invalid_argument e -> Error ("snapshot malformed: " ^ e)
+
+(** Rebuild a driver-level channel handle from both parties' restored
+    snapshots and the shared environment. *)
+let restore_channel ~(cfg : Channel.config) (env : Channel.env) ~(id : int)
+    ~(snap_a : string) ~(snap_b : string) ~(g : Monet_hash.Drbg.t) :
+    (Channel.channel, string) result =
+  match
+    ( restore ~cfg ~g:(Monet_hash.Drbg.split g "a") snap_a,
+      restore ~cfg ~g:(Monet_hash.Drbg.split g "b") snap_b )
+  with
+  | Ok a, Ok b -> Ok { Channel.a; b; env; id }
+  | Error e, _ | _, Error e -> Error e

@@ -1,0 +1,56 @@
+(** Watchtower: automated mempool surveillance for channel parties.
+
+    MoNet's revocation works only if someone notices a stale commitment
+    before it is mined (Channel.watch_and_punish). A watchtower holds,
+    per watched channel, everything the punishment needs — the victim's
+    role and a handle to the channel — and sweeps the mempool on every
+    tick. A party can run its own tower or outsource to one; here the
+    tower is an in-process actor the simulation drives (e.g. once per
+    block interval). *)
+
+type entry = {
+  w_channel : Channel.channel;
+  w_victim : Monet_sig.Two_party.role;
+  mutable w_punished : bool;
+}
+
+type t = { mutable entries : entry list; mutable punishments : int }
+
+let create () : t = { entries = []; punishments = 0 }
+
+let watch (t : t) (channel : Channel.channel) ~(victim : Monet_sig.Two_party.role) :
+    unit =
+  t.entries <- { w_channel = channel; w_victim = victim; w_punished = false } :: t.entries
+
+type tick_result = {
+  punished : (Channel.channel * Channel.payout) list;
+  clean : int; (* watched channels with nothing suspicious *)
+}
+
+(** One surveillance pass over the shared mempool. *)
+let tick (t : t) : tick_result =
+  let punished = ref [] and clean = ref 0 in
+  List.iter
+    (fun e ->
+      if (not e.w_punished) && not e.w_channel.Channel.a.Channel.closed then begin
+        match Channel.watch_and_punish e.w_channel ~victim:e.w_victim with
+        | Ok payout ->
+            Logs.warn ~src:Channel.log_src (fun m ->
+                m "watchtower punished a stale close on channel %d"
+                  e.w_channel.Channel.id);
+            e.w_punished <- true;
+            t.punishments <- t.punishments + 1;
+            punished := (e.w_channel, payout) :: !punished
+        | Error _ -> incr clean
+      end)
+    t.entries;
+  { punished = !punished; clean = !clean }
+
+(** Drive the tower from the discrete-event clock: re-arms itself every
+    [interval_ms] until [until_ms]. *)
+let rec schedule (t : t) (clock : Monet_dsim.Clock.t) ~(interval_ms : float)
+    ~(until_ms : float) : unit =
+  if Monet_dsim.Clock.now clock < until_ms then
+    Monet_dsim.Clock.schedule clock ~delay:interval_ms (fun () ->
+        ignore (tick t);
+        schedule t clock ~interval_ms ~until_ms)

@@ -1,0 +1,1 @@
+lib/dsim/latency.ml: Float Monet_hash

@@ -1,0 +1,25 @@
+(** Network latency models. The paper's headline configuration is a 4G
+    WAN with 60 ms one-way latency; the sweep experiments vary this. *)
+
+type t =
+  | Fixed of float (* ms *)
+  | Uniform of float * float
+  | Normal of float * float (* mean, stddev; truncated at 0 *)
+
+let wan_4g = Fixed 60.0
+let lan = Fixed 0.5
+
+let sample (g : Monet_hash.Drbg.t) (t : t) : float =
+  match t with
+  | Fixed ms -> ms
+  | Uniform (lo, hi) -> lo +. ((hi -. lo) *. Monet_hash.Drbg.float g)
+  | Normal (mu, sigma) ->
+      (* Box-Muller *)
+      let u1 = max 1e-12 (Monet_hash.Drbg.float g) and u2 = Monet_hash.Drbg.float g in
+      let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+      Float.max 0.0 (mu +. (sigma *. z))
+
+let mean = function
+  | Fixed ms -> ms
+  | Uniform (lo, hi) -> (lo +. hi) /. 2.0
+  | Normal (mu, _) -> mu

@@ -1,0 +1,41 @@
+(** Protocol metrics: counters for off-chain messages, bytes,
+    signatures and on-chain transactions — what experiments E3 and E8
+    report. Layers record into a metrics sink as they run. *)
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  mutable trace : (string * int) list; (* reverse-chronological *)
+}
+
+let create () : t = { counters = Hashtbl.create 16; trace = [] }
+
+let bump ?(by = 1) (m : t) (name : string) : unit =
+  (match Hashtbl.find_opt m.counters name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.add m.counters name (ref by));
+  m.trace <- (name, by) :: m.trace
+
+let get (m : t) (name : string) : int =
+  match Hashtbl.find_opt m.counters name with Some r -> !r | None -> 0
+
+let reset (m : t) : unit =
+  Hashtbl.reset m.counters;
+  m.trace <- []
+
+(* Conventional counter names, so layers agree. *)
+let offchain_msg = "offchain_messages"
+let offchain_bytes = "offchain_bytes"
+let signatures = "signatures"
+let onchain_monero = "onchain_tx_monero"
+let onchain_script = "onchain_tx_script"
+
+let record_message (m : t) ~(bytes : int) : unit =
+  bump m offchain_msg;
+  bump m offchain_bytes ~by:bytes
+
+let snapshot (m : t) : (string * int) list =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) m.counters []
+  |> List.sort compare
+
+let pp ppf (m : t) =
+  List.iter (fun (k, v) -> Format.fprintf ppf "%s=%d@ " k v) (snapshot m)

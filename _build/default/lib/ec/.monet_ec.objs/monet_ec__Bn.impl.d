@@ -1,0 +1,1 @@
+lib/ec/bn.ml: Array Bytes Char Format Monet_util Stdlib String

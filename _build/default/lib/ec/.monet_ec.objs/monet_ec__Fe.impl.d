@@ -1,0 +1,1 @@
+lib/ec/fe.ml: Array Bn Fp

@@ -1,0 +1,1 @@
+lib/ec/fp.ml: Bn Format Monet_hash

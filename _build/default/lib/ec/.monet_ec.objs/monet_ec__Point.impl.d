@@ -1,0 +1,1 @@
+lib/ec/point.ml: Array Bn Bytes Char Fe Format Hashtbl Lazy Monet_hash Monet_util Sc String

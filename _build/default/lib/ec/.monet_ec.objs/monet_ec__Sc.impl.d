@@ -1,0 +1,1 @@
+lib/ec/sc.ml: Bn Fp Monet_hash String

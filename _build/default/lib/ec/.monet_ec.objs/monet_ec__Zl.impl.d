@@ -1,0 +1,1 @@
+lib/ec/zl.ml: Bn Fp Sc

@@ -1,0 +1,72 @@
+(** Prime-field arithmetic functor over [Bn], using a Barrett context.
+
+    Instantiated for the base field (2^255 - 19, see {!Fe}) and the
+    ed25519 group order ℓ (see {!Sc}), plus auxiliary rings used by the
+    VCOF proof system (see {!Zl}). *)
+
+module type PARAM = sig
+  val modulus_hex : string
+  val name : string
+end
+
+module type S = sig
+  type t = Bn.t
+
+  val modulus : Bn.t
+  val zero : t
+  val one : t
+  val of_int : int -> t
+  val of_bn : Bn.t -> t
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val neg : t -> t
+  val mul : t -> t -> t
+  val sq : t -> t
+  val pow : t -> Bn.t -> t
+  val inv : t -> t
+  val equal : t -> t -> bool
+  val is_zero : t -> bool
+  val bytes_len : int
+  val of_bytes_le : string -> t
+  val to_bytes_le : t -> string
+  val of_hex : string -> t
+  val to_hex : t -> string
+  val random : Monet_hash.Drbg.t -> t
+  val pp : Format.formatter -> t -> unit
+end
+
+module Make (P : PARAM) : S = struct
+  type t = Bn.t
+
+  let modulus = Bn.of_hex P.modulus_hex
+  let ctx = Bn.Barrett.create modulus
+  let reduce x = Bn.Barrett.reduce ctx x
+  let zero = Bn.zero
+  let one = Bn.one
+  let of_int n = reduce (Bn.of_int n)
+  let of_bn x = reduce x
+
+  let add a b =
+    let s = Bn.add a b in
+    if Bn.compare s modulus >= 0 then Bn.sub s modulus else s
+
+  let sub a b = if Bn.compare a b >= 0 then Bn.sub a b else Bn.sub (Bn.add a modulus) b
+  let neg a = if Bn.is_zero a then Bn.zero else Bn.sub modulus a
+  let mul a b = reduce (Bn.mul a b)
+  let sq a = mul a a
+  let pow b e = Bn.Barrett.pow_mod ctx b e
+  let inv a = pow a (Bn.sub modulus (Bn.of_int 2)) (* Fermat; modulus prime *)
+  let equal = Bn.equal
+  let is_zero = Bn.is_zero
+  let bytes_len = (Bn.num_bits modulus + 7) / 8
+  let of_bytes_le s = reduce (Bn.of_bytes_le s)
+  let to_bytes_le a = Bn.to_bytes_le a ~len:bytes_len
+  let of_hex s = reduce (Bn.of_hex s)
+  let to_hex = Bn.to_hex
+
+  let random (g : Monet_hash.Drbg.t) : t =
+    (* Uniform via wide reduction: 2x modulus width of entropy. *)
+    of_bytes_le (Monet_hash.Drbg.bytes g (2 * bytes_len))
+
+  let pp = Bn.pp
+end

@@ -1,0 +1,188 @@
+(** The ed25519 group: twisted Edwards curve -x² + y² = 1 + d·x²·y²
+    over GF(2^255-19), in extended homogeneous coordinates (X:Y:Z:T)
+    with x = X/Z, y = Y/Z, T = XY/Z.
+
+    Arithmetic is variable-time: this is a research reproduction, not a
+    hardened wallet. Encoding is the standard 32-byte little-endian y
+    with the sign of x in the top bit. *)
+
+type t = { x : Fe.t; y : Fe.t; z : Fe.t; t : Fe.t }
+
+let identity = { x = Fe.zero; y = Fe.one; z = Fe.one; t = Fe.zero }
+
+let of_affine (x : Fe.t) (y : Fe.t) : t = { x; y; z = Fe.one; t = Fe.mul x y }
+
+(* Base point B: y = 4/5, x recovered with even sign convention. *)
+let base =
+  of_affine
+    (Fe.of_hex "216936d3cd6e53fec0a4e231fdd6dc5c692cc7609525a7b2c9562d608f25d51a")
+    (Fe.of_hex "6666666666666666666666666666666666666666666666666666666666666658")
+
+let d2 = Fe.add Fe.d Fe.d
+
+(* add-2008-hwcd-3 for a = -1 (unified: works for doubling too). *)
+let add (p : t) (q : t) : t =
+  let a = Fe.mul (Fe.sub p.y p.x) (Fe.sub q.y q.x) in
+  let b = Fe.mul (Fe.add p.y p.x) (Fe.add q.y q.x) in
+  let c = Fe.mul (Fe.mul p.t d2) q.t in
+  let dd = Fe.mul (Fe.add p.z p.z) q.z in
+  let e = Fe.sub b a in
+  let f = Fe.sub dd c in
+  let g = Fe.add dd c in
+  let h = Fe.add b a in
+  { x = Fe.mul e f; y = Fe.mul g h; t = Fe.mul e h; z = Fe.mul f g }
+
+(* dbl-2008-hwcd with a = -1. *)
+let double (p : t) : t =
+  let a = Fe.sq p.x in
+  let b = Fe.sq p.y in
+  let z2 = Fe.sq p.z in
+  let c = Fe.add z2 z2 in
+  let dd = Fe.neg a in
+  let e = Fe.sub (Fe.sub (Fe.sq (Fe.add p.x p.y)) a) b in
+  let g = Fe.add dd b in
+  let f = Fe.sub g c in
+  let h = Fe.sub dd b in
+  { x = Fe.mul e f; y = Fe.mul g h; t = Fe.mul e h; z = Fe.mul f g }
+
+let neg (p : t) : t = { p with x = Fe.neg p.x; t = Fe.neg p.t }
+let sub_point (p : t) (q : t) : t = add p (neg q)
+
+let equal (p : t) (q : t) : bool =
+  (* (X1/Z1 = X2/Z2) and (Y1/Z1 = Y2/Z2), cross-multiplied. *)
+  Fe.equal (Fe.mul p.x q.z) (Fe.mul q.x p.z)
+  && Fe.equal (Fe.mul p.y q.z) (Fe.mul q.y p.z)
+
+let is_identity (p : t) : bool = equal p identity
+
+(** Variable-time 4-bit windowed scalar multiplication. *)
+let mul (k : Sc.t) (p : t) : t =
+  let n = Bn.num_bits k in
+  if n = 0 then identity
+  else begin
+    (* table.(j) = (j+1)·P *)
+    let table = Array.make 15 p in
+    for j = 1 to 14 do
+      table.(j) <- add table.(j - 1) p
+    done;
+    let windows = (n + 3) / 4 in
+    let acc = ref identity in
+    for w = windows - 1 downto 0 do
+      acc := double (double (double (double !acc)));
+      let digit =
+        (if Bn.testbit k ((4 * w) + 3) then 8 else 0)
+        lor (if Bn.testbit k ((4 * w) + 2) then 4 else 0)
+        lor (if Bn.testbit k ((4 * w) + 1) then 2 else 0)
+        lor if Bn.testbit k (4 * w) then 1 else 0
+      in
+      if digit <> 0 then acc := add !acc table.(digit - 1)
+    done;
+    !acc
+  end
+
+(* Fixed-base multiplication with a precomputed 4-bit window table of
+   the base point: table.(w).(j) = (j+1) * 16^w * B. *)
+let base_table : t array array lazy_t =
+  lazy
+    (Array.init 64 (fun w ->
+         let step = ref base in
+         for _ = 1 to 4 * w do
+           step := double !step
+         done;
+         let row = Array.make 15 identity in
+         row.(0) <- !step;
+         for j = 1 to 14 do
+           row.(j) <- add row.(j - 1) !step
+         done;
+         row))
+
+(** [mul_base k] = k·B, using the window table. *)
+let mul_base (k : Sc.t) : t =
+  let table = Lazy.force base_table in
+  let acc = ref identity in
+  let bytes = Sc.to_bytes_le k in
+  for i = 0 to 31 do
+    let byte = Char.code bytes.[i] in
+    let lo = byte land 0xf and hi = byte lsr 4 in
+    if lo <> 0 then acc := add !acc table.(2 * i).(lo - 1);
+    if hi <> 0 then acc := add !acc table.((2 * i) + 1).(hi - 1)
+  done;
+  !acc
+
+(** [mul2 a p b q] = a·P + b·Q (naive; used by verifiers). *)
+let mul2 (a : Sc.t) (p : t) (b : Sc.t) (q : t) : t = add (mul a p) (mul b q)
+
+let is_on_curve (p : t) : bool =
+  (* -x² + y² = z² + d t²  and  t·z = x·y (extended-coordinate invariants) *)
+  let x2 = Fe.sq p.x and y2 = Fe.sq p.y and z2 = Fe.sq p.z in
+  Fe.equal (Fe.sub y2 x2) (Fe.add z2 (Fe.mul Fe.d (Fe.sq p.t)))
+  && Fe.equal (Fe.mul p.t p.z) (Fe.mul p.x p.y)
+
+(** Multiply by the cofactor 8. *)
+let mul_cofactor (p : t) : t = double (double (double p))
+
+(** In the prime-order subgroup? (ℓ·P = O) *)
+let in_prime_subgroup (p : t) : bool = is_identity (mul Sc.l p)
+
+(* --- Encoding --- *)
+
+let encode (p : t) : string =
+  let zi = Fe.inv p.z in
+  let x = Fe.mul p.x zi and y = Fe.mul p.y zi in
+  let bytes = Bytes.of_string (Fe.to_bytes_le y) in
+  if Fe.is_odd x then
+    Bytes.set bytes 31 (Char.chr (Char.code (Bytes.get bytes 31) lor 0x80));
+  Bytes.unsafe_to_string bytes
+
+let decode (s : string) : t option =
+  if String.length s <> 32 then None
+  else begin
+    let sign = Char.code s.[31] lsr 7 = 1 in
+    let ybytes =
+      String.init 32 (fun i -> if i = 31 then Char.chr (Char.code s.[31] land 0x7f) else s.[i])
+    in
+    let y = Bn.of_bytes_le ybytes in
+    if Bn.compare y Fe.p >= 0 then None
+    else begin
+      let y2 = Fe.sq y in
+      let u = Fe.sub y2 Fe.one and v = Fe.add (Fe.mul Fe.d y2) Fe.one in
+      (* x² = u/v *)
+      match Fe.sqrt (Fe.mul u (Fe.inv v)) with
+      | None -> None
+      | Some x ->
+          if Fe.is_zero x && sign then None
+          else begin
+            let x = if Fe.is_odd x <> sign then Fe.neg x else x in
+            Some (of_affine x y)
+          end
+    end
+  end
+
+let decode_exn (s : string) : t =
+  match decode s with Some p -> p | None -> invalid_arg "Point.decode_exn"
+
+(** Hash arbitrary data to a point of the prime-order subgroup by
+    try-and-increment then cofactor clearing. This substitutes for
+    Monero's Elligator-style hash_to_ec; it has the same interface and
+    the same uniform-point-with-unknown-dlog property. *)
+let h2p_cache : (string, t) Hashtbl.t = Hashtbl.create 64
+
+let hash_to_point (tag : string) (data : string) : t =
+  let rec go ctr =
+    let h = Monet_hash.Hash.tagged ("h2p/" ^ tag) [ data; string_of_int ctr ] in
+    match decode (String.sub h 0 32) with
+    | Some p ->
+        let p8 = mul_cofactor p in
+        if is_identity p8 then go (ctr + 1) else p8
+    | None -> go (ctr + 1)
+  in
+  let key = tag ^ "\x00" ^ data in
+  match Hashtbl.find_opt h2p_cache key with
+  | Some p -> p
+  | None ->
+      let p = go 0 in
+      if Hashtbl.length h2p_cache > 65536 then Hashtbl.reset h2p_cache;
+      Hashtbl.add h2p_cache key p;
+      p
+
+let pp ppf p = Format.fprintf ppf "%s" (Monet_util.Hex.encode (encode p))

@@ -1,0 +1,27 @@
+(** Scalar arithmetic modulo the ed25519 group order
+    ℓ = 2^252 + 27742317777372353535851937790883648493. *)
+
+include Fp.Make (struct
+  let modulus_hex = "1000000000000000000000000000000014def9dea2f79cd65812631a5cf5d3ed"
+  let name = "sc25519"
+end)
+
+let l = modulus
+
+(** Reduce a 64-byte little-endian value (e.g. a SHA-512 digest) to a
+    scalar, as standard ed25519 does. *)
+let of_bytes_le_wide (s : string) : t =
+  if String.length s <> 64 then invalid_arg "Sc.of_bytes_le_wide: need 64 bytes";
+  of_bn (Bn.of_bytes_le s)
+
+(** Hash arbitrary data to a scalar with a domain tag. *)
+let of_hash (tag : string) (parts : string list) : t =
+  of_bytes_le_wide (Monet_hash.Hash.tagged ("sc/" ^ tag) parts)
+
+(** A non-zero random scalar. *)
+let random_nonzero (g : Monet_hash.Drbg.t) : t =
+  let rec go () =
+    let x = random g in
+    if is_zero x then go () else x
+  in
+  go ()

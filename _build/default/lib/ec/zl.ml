@@ -1,0 +1,30 @@
+(** The multiplicative group Z_ℓ* and its exponent ring Z_{ℓ-1}.
+
+    This is the algebraic home of the VCOF consecutive function
+    (DESIGN.md §3.2): witnesses are chained by y ↦ h^y mod ℓ, which is
+    one-way under the discrete logarithm assumption in Z_ℓ*, while
+    remaining a scalar usable on the ed25519 curve. Stadler-style
+    double-discrete-log proofs need arithmetic on exponents, which
+    lives modulo the group order ℓ-1. *)
+
+(** Exponent ring Z_{ℓ-1}. ℓ-1 is not prime; we only use its additive
+    structure (inverse-free), so [Fp.Make]'s add/sub/mul are sound and
+    [inv] must not be used. *)
+module Exp = Fp.Make (struct
+  let modulus_hex = "1000000000000000000000000000000014def9dea2f79cd65812631a5cf5d3ec"
+  let name = "zl-exponent"
+end)
+
+(* Barrett context for ℓ itself, reused for all chain exponentiations. *)
+let ctx = Bn.Barrett.create Sc.l
+
+(** The public chain base h (the VCOF public parameter pp). Any element
+    of large multiplicative order works; we fix a small generator
+    candidate and expose it as the default. *)
+let default_base : Sc.t = Bn.of_int 7
+
+(** [pow h x] = h^x mod ℓ — the VCOF consecutive one-way step. *)
+let pow (h : Sc.t) (x : Bn.t) : Sc.t = Bn.Barrett.pow_mod ctx h x
+
+(** Fold a scalar (mod ℓ) into the exponent ring (mod ℓ-1). *)
+let exp_of_scalar (x : Sc.t) : Exp.t = Exp.of_bn x

@@ -1,0 +1,1 @@
+lib/hash/drbg.ml: Buffer Monet_util Sha512 Stdlib String Sys

@@ -1,0 +1,1 @@
+lib/hash/hash.ml: Keccak Sha512 String

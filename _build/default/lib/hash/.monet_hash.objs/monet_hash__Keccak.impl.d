@@ -1,0 +1,1 @@
+lib/hash/keccak.ml: Array Bytes Char Int64 String

@@ -1,0 +1,14 @@
+(** Domain-separated hashing helpers.
+
+    Every hash use in the protocol carries a domain tag, so that e.g.
+    Fiat–Shamir challenges, VCOF chain steps and transaction ids can
+    never collide across contexts. *)
+
+let tagged (tag : string) (parts : string list) : string =
+  Sha512.digest_list (("monet/" ^ tag ^ "\x00") :: parts)
+
+(** 32-byte Keccak-256 hash, as Monero's cn_fast_hash. *)
+let fast (s : string) : string = Keccak.digest s
+
+let fast_tagged (tag : string) (parts : string list) : string =
+  Keccak.digest (String.concat "" (("monet/" ^ tag ^ "\x00") :: parts))

@@ -1,0 +1,100 @@
+(** Keccak-256 with the original Keccak padding (0x01), i.e. Monero's
+    [cn_fast_hash]. Implemented from scratch on Int64 lanes. *)
+
+let round_constants : int64 array =
+  [| 0x0000000000000001L; 0x0000000000008082L; 0x800000000000808aL;
+     0x8000000080008000L; 0x000000000000808bL; 0x0000000080000001L;
+     0x8000000080008081L; 0x8000000000008009L; 0x000000000000008aL;
+     0x0000000000000088L; 0x0000000080008009L; 0x000000008000000aL;
+     0x000000008000808bL; 0x800000000000008bL; 0x8000000000008089L;
+     0x8000000000008003L; 0x8000000000008002L; 0x8000000000000080L;
+     0x000000000000800aL; 0x800000008000000aL; 0x8000000080008081L;
+     0x8000000000008080L; 0x0000000080000001L; 0x8000000080008008L |]
+
+let rotation_offsets =
+  (* r[x][y] for the rho step, indexed as x + 5*y *)
+  [| 0; 1; 62; 28; 27; 36; 44; 6; 55; 20; 3; 10; 43; 25; 39; 41; 45; 15; 21;
+     8; 18; 2; 61; 56; 14 |]
+
+let rotl x n = if n = 0 then x else Int64.logor (Int64.shift_left x n) (Int64.shift_right_logical x (64 - n))
+
+let keccak_f (st : int64 array) =
+  let c = Array.make 5 0L and d = Array.make 5 0L in
+  let b = Array.make 25 0L in
+  for round = 0 to 23 do
+    (* theta *)
+    for x = 0 to 4 do
+      c.(x) <-
+        Int64.logxor st.(x)
+          (Int64.logxor st.(x + 5)
+             (Int64.logxor st.(x + 10) (Int64.logxor st.(x + 15) st.(x + 20))))
+    done;
+    for x = 0 to 4 do
+      d.(x) <- Int64.logxor c.((x + 4) mod 5) (rotl c.((x + 1) mod 5) 1)
+    done;
+    for x = 0 to 4 do
+      for y = 0 to 4 do
+        st.(x + (5 * y)) <- Int64.logxor st.(x + (5 * y)) d.(x)
+      done
+    done;
+    (* rho + pi *)
+    for x = 0 to 4 do
+      for y = 0 to 4 do
+        b.(y + (5 * (((2 * x) + (3 * y)) mod 5))) <-
+          rotl st.(x + (5 * y)) rotation_offsets.(x + (5 * y))
+      done
+    done;
+    (* chi *)
+    for x = 0 to 4 do
+      for y = 0 to 4 do
+        st.(x + (5 * y)) <-
+          Int64.logxor
+            b.(x + (5 * y))
+            (Int64.logand
+               (Int64.lognot b.(((x + 1) mod 5) + (5 * y)))
+               b.(((x + 2) mod 5) + (5 * y)))
+      done
+    done;
+    (* iota *)
+    st.(0) <- Int64.logxor st.(0) round_constants.(round)
+  done
+
+let rate = 136 (* bytes, for 256-bit output *)
+
+let get_le64 (s : string) (off : int) : int64 =
+  let v = ref 0L in
+  for i = 7 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code s.[off + i]))
+  done;
+  !v
+
+let digest ?(padding = 0x01) (msg : string) : string =
+  let st = Array.make 25 0L in
+  let len = String.length msg in
+  (* Pad: msg || padding-byte ... || 0x80 (last byte of block). *)
+  let padded_len = ((len / rate) + 1) * rate in
+  let padded = Bytes.make padded_len '\000' in
+  Bytes.blit_string msg 0 padded 0 len;
+  Bytes.set padded len (Char.chr padding);
+  Bytes.set padded (padded_len - 1)
+    (Char.chr (Char.code (Bytes.get padded (padded_len - 1)) lor 0x80));
+  let padded = Bytes.unsafe_to_string padded in
+  let nblocks = padded_len / rate in
+  for blk = 0 to nblocks - 1 do
+    for i = 0 to (rate / 8) - 1 do
+      st.(i) <- Int64.logxor st.(i) (get_le64 padded ((blk * rate) + (8 * i)))
+    done;
+    keccak_f st
+  done;
+  let out = Bytes.create 32 in
+  for i = 0 to 3 do
+    let v = st.(i) in
+    for j = 0 to 7 do
+      Bytes.set out ((8 * i) + j)
+        (Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * j)) land 0xff))
+    done
+  done;
+  Bytes.unsafe_to_string out
+
+(** SHA3-256 (FIPS 202 padding 0x06), for completeness. *)
+let sha3_256 (msg : string) : string = digest ~padding:0x06 msg

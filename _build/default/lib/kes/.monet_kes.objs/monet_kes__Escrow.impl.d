@@ -1,0 +1,1 @@
+lib/kes/escrow.ml: Array Hashtbl List Monet_ec Monet_hash Monet_pvss Monet_sig Point Printf Sc String

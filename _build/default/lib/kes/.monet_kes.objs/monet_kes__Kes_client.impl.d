@@ -1,0 +1,1 @@
+lib/kes/kes_client.ml: Kes_contract List Monet_ec Monet_hash Monet_script Monet_sig Monet_util Point Printf

@@ -1,0 +1,1 @@
+lib/kes/kes_contract.ml: Monet_ec Monet_hash Monet_script Monet_sig Monet_util Option Point

@@ -1,0 +1,94 @@
+(** The escrower side of the Key Escrow Service: n_e escrowers hold
+    PVSS shares of each channel party's initial witness and reveal
+    them only when the KES contract emits a KeyRelease for the
+    corresponding instance. *)
+
+open Monet_ec
+
+type holding = {
+  h_dealing : Monet_pvss.Pvss.dealing;
+  h_share : Sc.t;
+  h_index : int;
+}
+
+type escrower = {
+  e_id : int;
+  e_kp : Monet_sig.Sig_core.keypair;
+  e_holdings : (string, holding) Hashtbl.t; (* tag -> holding *)
+}
+
+let create_escrowers (g : Monet_hash.Drbg.t) ~(n : int) : escrower array =
+  Array.init n (fun i ->
+      { e_id = i; e_kp = Monet_sig.Sig_core.gen g; e_holdings = Hashtbl.create 8 })
+
+let public_keys (es : escrower array) : Point.t array =
+  Array.map (fun e -> e.e_kp.Monet_sig.Sig_core.vk) es
+
+(** Tag naming a specific escrowed witness: one per (KES instance,
+    channel party). *)
+let tag ~(instance : int) ~(party : string) : string =
+  Printf.sprintf "%d/%s" instance party
+
+(** Distribute a dealing: every escrower decrypts and verifies its own
+    share against the public commitments, refusing the whole escrow on
+    any complaint (the dealer retries with an honest dealing). *)
+let distribute (es : escrower array) ~(tag : string)
+    (d : Monet_pvss.Pvss.dealing) : (unit, string) result =
+  let n = min (Array.length es) (Array.length d.Monet_pvss.Pvss.shares) in
+  let rec go i =
+    if i >= n then Ok ()
+    else begin
+      let e = es.(i) in
+      let enc = d.Monet_pvss.Pvss.shares.(i) in
+      match Monet_pvss.Pvss.decrypt_share ~sk:e.e_kp.Monet_sig.Sig_core.sk d enc with
+      | Error msg -> Error (Printf.sprintf "escrower %d complains: %s" i msg)
+      | Ok share ->
+          Hashtbl.replace e.e_holdings tag
+            { h_dealing = d; h_share = share; h_index = enc.Monet_pvss.Pvss.es_index };
+          go (i + 1)
+    end
+  in
+  go 0
+
+(** The digest the KES instance stores on-chain, binding both escrows. *)
+let escrow_digest (deal_a : Monet_pvss.Pvss.dealing) (deal_b : Monet_pvss.Pvss.dealing)
+    : string =
+  let enc d =
+    String.concat ""
+      (Array.to_list (Array.map Point.encode d.Monet_pvss.Pvss.commitments))
+  in
+  Monet_hash.Hash.tagged "escrow-digest" [ enc deal_a; enc deal_b ]
+
+(** On KeyRelease: [available] escrowers reveal their shares; any
+    [t] publicly-verified shares reconstruct the witness. Byzantine
+    escrowers (wrong shares) are filtered by public verification. *)
+let release_and_reconstruct ?(corrupt = fun (_ : int) -> false) (es : escrower array)
+    ~(tag : string) : (Sc.t, string) result =
+  let revealed =
+    Array.to_list es
+    |> List.filter_map (fun e ->
+           match Hashtbl.find_opt e.e_holdings tag with
+           | None -> None
+           | Some h ->
+               let share =
+                 if corrupt e.e_id then Sc.add h.h_share Sc.one else h.h_share
+               in
+               Some (h.h_dealing, h.h_index, share))
+  in
+  match revealed with
+  | [] -> Error "no escrower holds this tag"
+  | (d0, _, _) :: _ ->
+      let commitments = d0.Monet_pvss.Pvss.commitments in
+      let t = Array.length commitments in
+      let valid =
+        List.filter
+          (fun (_, i, s) -> Monet_pvss.Pvss.verify_revealed commitments ~i ~share:s)
+          revealed
+      in
+      if List.length valid < t then
+        Error
+          (Printf.sprintf "only %d/%d valid shares revealed" (List.length valid) t)
+      else begin
+        let take = List.filteri (fun i _ -> i < t) valid in
+        Ok (Monet_pvss.Pvss.reconstruct (List.map (fun (_, i, s) -> (i, s)) take))
+      end

@@ -1,0 +1,83 @@
+(** Channel-party client for the Key Escrow Service: commit
+    construction (cross-signed channel states), contract calls and the
+    dispute workflow. *)
+
+module Wire = Monet_util.Wire
+open Monet_ec
+
+type party = {
+  p_addr : string; (* script-chain address *)
+  p_kp : Monet_sig.Sig_core.keypair; (* commit-signing key (registered in the instance) *)
+}
+
+let make_party (g : Monet_hash.Drbg.t) ~(addr : string) : party =
+  { p_addr = addr; p_kp = Monet_sig.Sig_core.gen g }
+
+(** Each channel update cross-signs (id, state, digest); the two halves
+    assemble into a commit accepted by φ_ke. *)
+let sign_commit_half (g : Monet_hash.Drbg.t) (p : party) ~(id : int) ~(state : int)
+    ~(digest : string) : Monet_sig.Sig_core.signature =
+  Monet_sig.Sig_core.sign g p.p_kp (Kes_contract.commit_message ~id ~state ~digest)
+
+let assemble_commit ~(state : int) ~(digest : string)
+    ~(sig_a : Monet_sig.Sig_core.signature) ~(sig_b : Monet_sig.Sig_core.signature) :
+    Kes_contract.commit =
+  { Kes_contract.cm_state = state; cm_digest = digest; cm_sig_a = sig_a; cm_sig_b = sig_b }
+
+(* --- contract call helpers --- *)
+
+let call_deploy_instance (chain : Monet_script.Chain.t) ~(contract : int) (p : party)
+    ~(id : int) ~(vk_a : Point.t) ~(vk_b : Point.t) ~(escrow_digest : string) :
+    Monet_script.Chain.receipt =
+  let w = Wire.create_writer () in
+  Wire.write_u32 w id;
+  Wire.write_fixed w (Point.encode vk_a);
+  Wire.write_fixed w (Point.encode vk_b);
+  Wire.write_bytes w escrow_digest;
+  Monet_script.Chain.call chain ~caller:p.p_addr ~contract ~meth:"deploy_instance"
+    ~args:(Wire.contents w)
+
+let call_add_ok chain ~contract (p : party) ~(id : int) : Monet_script.Chain.receipt =
+  let w = Wire.create_writer () in
+  Wire.write_u32 w id;
+  Monet_script.Chain.call chain ~caller:p.p_addr ~contract ~meth:"add_ok"
+    ~args:(Wire.contents w)
+
+let call_set_timer chain ~contract (p : party) ~(id : int) ~(tau : int)
+    (c : Kes_contract.commit) : Monet_script.Chain.receipt =
+  let w = Wire.create_writer () in
+  Wire.write_u32 w id;
+  Wire.write_u64 w tau;
+  Kes_contract.encode_commit w c;
+  Monet_script.Chain.call chain ~caller:p.p_addr ~contract ~meth:"set_timer"
+    ~args:(Wire.contents w)
+
+let call_resp chain ~contract (p : party) ~(id : int) (c : Kes_contract.commit) :
+    Monet_script.Chain.receipt =
+  let w = Wire.create_writer () in
+  Wire.write_u32 w id;
+  Kes_contract.encode_commit w c;
+  Monet_script.Chain.call chain ~caller:p.p_addr ~contract ~meth:"resp"
+    ~args:(Wire.contents w)
+
+let call_timeout chain ~contract (p : party) ~(id : int) : Monet_script.Chain.receipt =
+  let w = Wire.create_writer () in
+  Wire.write_u32 w id;
+  Monet_script.Chain.call chain ~caller:p.p_addr ~contract ~meth:"timeout"
+    ~args:(Wire.contents w)
+
+let call_close chain ~contract (p : party) ~(id : int) (c : Kes_contract.commit) :
+    Monet_script.Chain.receipt =
+  let w = Wire.create_writer () in
+  Wire.write_u32 w id;
+  Kes_contract.encode_commit w c;
+  Monet_script.Chain.call chain ~caller:p.p_addr ~contract ~meth:"close"
+    ~args:(Wire.contents w)
+
+(** Did the chain emit a KeyRelease for [id] to [addr]? *)
+let key_released (events : Monet_script.Chain.event list) ~(id : int) ~(addr : string)
+    : bool =
+  List.exists
+    (fun (e : Monet_script.Chain.event) ->
+      e.ev_name = "KeyRelease" && e.ev_data = Printf.sprintf "%d/%s" id addr)
+    events

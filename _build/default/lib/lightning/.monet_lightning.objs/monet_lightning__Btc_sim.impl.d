@@ -1,0 +1,1 @@
+lib/lightning/btc_sim.ml: Array List Monet_ec Monet_hash Monet_sig Monet_util Point

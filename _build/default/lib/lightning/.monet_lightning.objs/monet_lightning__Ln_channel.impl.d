@@ -1,0 +1,1 @@
+lib/lightning/ln_channel.ml: Array Btc_sim List Monet_ec Monet_hash Monet_sig Point Sc

@@ -1,0 +1,151 @@
+(** A Bitcoin-like scripted UTXO chain — the substrate for the
+    Lightning Network baseline the paper compares against.
+
+    Unlike the Monero simulator, outputs carry *scripts* (pay-to-pubkey,
+    2-of-2 multisig, HTLC) and inputs name the exact output they spend:
+    precisely the structure whose visibility MoNet exists to avoid. *)
+
+open Monet_ec
+
+type script =
+  | P2pk of Point.t
+  | Multisig2 of Point.t * Point.t
+  | Htlc of { hash : string; claimant : Point.t; refund : Point.t; timeout : int }
+  (* Lightning-penalty output: spendable by [owner] after [csv] blocks,
+     or immediately by whoever knows the revocation key. *)
+  | ToSelfDelayed of { owner : Point.t; revocation : Point.t; csv : int }
+
+type output = { script : script; amount : int }
+
+type witness =
+  | WSig of Monet_sig.Sig_core.signature
+  | WMulti of Monet_sig.Sig_core.signature * Monet_sig.Sig_core.signature
+  | WPreimage of string * Monet_sig.Sig_core.signature
+  | WTimeout of Monet_sig.Sig_core.signature
+  | WDelayed of Monet_sig.Sig_core.signature (* owner path after csv *)
+  | WRevocation of Monet_sig.Sig_core.signature (* penalty path *)
+
+type input = { prev : int (* global output index *); witness : witness }
+
+type tx = { inputs : input list; outputs : output list; locktime : int }
+
+type entry = { out : output; created_at : int; mutable spent : bool }
+
+type t = {
+  mutable entries : entry array;
+  mutable n : int;
+  mutable height : int;
+  mutable mempool : tx list;
+  mutable txs_confirmed : int;
+}
+
+let create () : t =
+  { entries = Array.make 256 { out = { script = P2pk Point.identity; amount = 0 };
+                               created_at = 0; spent = false };
+    n = 0; height = 0; mempool = []; txs_confirmed = 0 }
+
+let add_output (c : t) (out : output) : int =
+  if c.n = Array.length c.entries then begin
+    let bigger = Array.make (2 * c.n) c.entries.(0) in
+    Array.blit c.entries 0 bigger 0 c.n;
+    c.entries <- bigger
+  end;
+  c.entries.(c.n) <- { out; created_at = c.height; spent = false };
+  c.n <- c.n + 1;
+  c.n - 1
+
+let genesis_output = add_output
+
+(* Sighash: commits to spent outpoints, outputs and locktime. *)
+let sighash (tx : tx) : string =
+  let w = Monet_util.Wire.create_writer () in
+  List.iter (fun i -> Monet_util.Wire.write_u32 w i.prev) tx.inputs;
+  List.iter
+    (fun o ->
+      Monet_util.Wire.write_u64 w o.amount;
+      Monet_util.Wire.write_bytes w
+        (match o.script with
+        | P2pk p -> "p2pk" ^ Point.encode p
+        | Multisig2 (a, b) -> "ms" ^ Point.encode a ^ Point.encode b
+        | Htlc h -> "htlc" ^ h.hash ^ Point.encode h.claimant ^ Point.encode h.refund
+                    ^ string_of_int h.timeout
+        | ToSelfDelayed d ->
+            "tsd" ^ Point.encode d.owner ^ Point.encode d.revocation ^ string_of_int d.csv))
+    tx.outputs;
+  Monet_util.Wire.write_u64 w tx.locktime;
+  Monet_hash.Hash.tagged "btc-sighash" [ Monet_util.Wire.contents w ]
+
+let validate (c : t) (tx : tx) : (unit, string) result =
+  let msg = sighash tx in
+  let rec check_inputs total = function
+    | [] -> Ok total
+    | i :: rest ->
+        if i.prev < 0 || i.prev >= c.n then Error "missing outpoint"
+        else begin
+          let e = c.entries.(i.prev) in
+          if e.spent then Error "double spend"
+          else begin
+            let ok =
+              match (e.out.script, i.witness) with
+              | P2pk pk, WSig sg -> Monet_sig.Sig_core.verify pk msg sg
+              | Multisig2 (a, b), WMulti (sa, sb) ->
+                  Monet_sig.Sig_core.verify a msg sa && Monet_sig.Sig_core.verify b msg sb
+              | Htlc h, WPreimage (pre, sg) ->
+                  Monet_hash.Hash.fast pre = h.hash
+                  && Monet_sig.Sig_core.verify h.claimant msg sg
+              | Htlc h, WTimeout sg ->
+                  c.height >= h.timeout && Monet_sig.Sig_core.verify h.refund msg sg
+              | ToSelfDelayed d, WDelayed sg ->
+                  c.height >= e.created_at + d.csv
+                  && Monet_sig.Sig_core.verify d.owner msg sg
+              | ToSelfDelayed d, WRevocation sg ->
+                  Monet_sig.Sig_core.verify d.revocation msg sg
+              | _ -> false
+            in
+            if ok then check_inputs (total + e.out.amount) rest
+            else Error "witness does not satisfy script"
+          end
+        end
+  in
+  if tx.locktime > c.height then Error "locktime not reached"
+  else
+    match check_inputs 0 tx.inputs with
+    | Error e -> Error e
+    | Ok total_in ->
+        let total_out = List.fold_left (fun a o -> a + o.amount) 0 tx.outputs in
+        if tx.inputs = [] then Error "no inputs"
+        else if total_out > total_in then Error "outputs exceed inputs"
+        else Ok ()
+
+let submit (c : t) (tx : tx) : (unit, string) result =
+  match validate c tx with
+  | Error e -> Error e
+  | Ok () ->
+      let conflicts =
+        List.exists
+          (fun (m : tx) ->
+            List.exists (fun i -> List.exists (fun j -> i.prev = j.prev) m.inputs) tx.inputs)
+          c.mempool
+      in
+      if conflicts then Error "conflicts with mempool"
+      else begin
+        c.mempool <- tx :: c.mempool;
+        Ok ()
+      end
+
+let mine (c : t) : int =
+  c.height <- c.height + 1;
+  let included =
+    List.filter
+      (fun tx ->
+        match validate c tx with
+        | Ok () ->
+            List.iter (fun i -> c.entries.(i.prev).spent <- true) tx.inputs;
+            List.iter (fun o -> ignore (add_output c o)) tx.outputs;
+            c.txs_confirmed <- c.txs_confirmed + 1;
+            true
+        | Error _ -> false)
+      (List.rev c.mempool)
+  in
+  c.mempool <- [];
+  List.length included

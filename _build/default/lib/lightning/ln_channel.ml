@@ -1,0 +1,273 @@
+(** A Lightning-style bi-directional payment channel with the penalty
+    (revocation) mechanism — the baseline MoNet is evaluated against.
+
+    Funding goes to a 2-of-2 multisig. Each state i has a commitment
+    transaction whose to-self output is encumbered by a CSV delay and a
+    per-state revocation key: updating the channel exchanges fresh
+    commitment signatures and then reveals the *previous* state's
+    revocation secret, so publishing an old commitment forfeits the
+    cheater's balance to the watcher. HTLC outputs support multi-hop.
+
+    Note the structural contrast with MoChannel: every funding and
+    commitment here is identifiable on-chain (multisig and CSV scripts
+    are visible), which is exactly the fungibility gap MoNet closes. *)
+
+open Monet_ec
+
+type side = { kp : Monet_sig.Sig_core.keypair; g : Monet_hash.Drbg.t }
+
+type htlc = { hl_hash : string; hl_amount : int; hl_to_a : bool; hl_timeout : int }
+
+type state = {
+  st_num : int;
+  st_bal_a : int;
+  st_bal_b : int;
+  st_htlcs : htlc list;
+  (* Per-state revocation: secret held by its creator until revoked. *)
+  st_rev_secret_a : Sc.t;
+  st_rev_secret_b : Sc.t;
+  st_commit : Btc_sim.tx; (* symmetric simplified commitment *)
+  st_sig_a : Monet_sig.Sig_core.signature;
+  st_sig_b : Monet_sig.Sig_core.signature;
+}
+
+type t = {
+  chain : Btc_sim.t;
+  a : side;
+  b : side;
+  funding_outpoint : int;
+  capacity : int;
+  csv_delay : int;
+  mutable current : state;
+  mutable revoked : (int * Sc.t * Sc.t) list; (* state, secrets — both directions *)
+  mutable closed : bool;
+  mutable n_updates : int;
+}
+
+let build_commit (t_chain : Btc_sim.t) ~(funding : int) ~(kp_a : Point.t)
+    ~(kp_b : Point.t) ~(bal_a : int) ~(bal_b : int) ~(htlcs : htlc list)
+    ~(rev_a : Point.t) ~(rev_b : Point.t) ~(csv : int) : Btc_sim.tx =
+  ignore t_chain;
+  let outputs =
+    (if bal_a > 0 then
+       [ { Btc_sim.script = Btc_sim.ToSelfDelayed { owner = kp_a; revocation = rev_b; csv };
+           amount = bal_a } ]
+     else [])
+    @ (if bal_b > 0 then
+         [ { Btc_sim.script = Btc_sim.ToSelfDelayed { owner = kp_b; revocation = rev_a; csv };
+             amount = bal_b } ]
+       else [])
+    @ List.map
+        (fun h ->
+          { Btc_sim.script =
+              Btc_sim.Htlc
+                { hash = h.hl_hash;
+                  claimant = (if h.hl_to_a then kp_a else kp_b);
+                  refund = (if h.hl_to_a then kp_b else kp_a);
+                  timeout = h.hl_timeout };
+            amount = h.hl_amount })
+        htlcs
+  in
+  { Btc_sim.inputs = [ { Btc_sim.prev = funding; witness = Btc_sim.WSig { h = Sc.zero; s = Sc.zero } } ];
+    outputs; locktime = 0 }
+
+let rev_secret (side : side) (n : int) : Sc.t =
+  Sc.of_hash "ln-rev" [ Sc.to_bytes_le side.kp.Monet_sig.Sig_core.sk; string_of_int n ]
+
+let sign_commit (t : t) (tx : Btc_sim.tx) :
+    Monet_sig.Sig_core.signature * Monet_sig.Sig_core.signature =
+  let msg = Btc_sim.sighash tx in
+  ( Monet_sig.Sig_core.sign t.a.g t.a.kp msg,
+    Monet_sig.Sig_core.sign t.b.g t.b.kp msg )
+
+let make_state (t : t) ~(n : int) ~(bal_a : int) ~(bal_b : int) ~(htlcs : htlc list) :
+    state =
+  let ra = rev_secret t.a n and rb = rev_secret t.b n in
+  let commit =
+    build_commit t.chain ~funding:t.funding_outpoint ~kp_a:t.a.kp.vk ~kp_b:t.b.kp.vk
+      ~bal_a ~bal_b ~htlcs ~rev_a:(Point.mul_base ra) ~rev_b:(Point.mul_base rb)
+      ~csv:t.csv_delay
+  in
+  let sig_a, sig_b = sign_commit t commit in
+  (* Each side verifies the counterparty's signature before accepting
+     the state — two signature verifications per update, as on LN. *)
+  let msg = Btc_sim.sighash commit in
+  assert (Monet_sig.Sig_core.verify t.a.kp.vk msg sig_a);
+  assert (Monet_sig.Sig_core.verify t.b.kp.vk msg sig_b);
+  { st_num = n; st_bal_a = bal_a; st_bal_b = bal_b; st_htlcs = htlcs;
+    st_rev_secret_a = ra; st_rev_secret_b = rb; st_commit = commit;
+    st_sig_a = sig_a; st_sig_b = sig_b }
+
+(** Open a channel funded by two P2pk outputs (one per party). *)
+let open_channel (g : Monet_hash.Drbg.t) (chain : Btc_sim.t) ~(bal_a : int)
+    ~(bal_b : int) ~(csv_delay : int) : t =
+  let a = { kp = Monet_sig.Sig_core.gen g; g = Monet_hash.Drbg.split g "a" } in
+  let b = { kp = Monet_sig.Sig_core.gen g; g = Monet_hash.Drbg.split g "b" } in
+  let coin_a = Btc_sim.genesis_output chain { script = P2pk a.kp.vk; amount = bal_a } in
+  let coin_b = Btc_sim.genesis_output chain { script = P2pk b.kp.vk; amount = bal_b } in
+  let funding_tx =
+    { Btc_sim.inputs =
+        [ { prev = coin_a; witness = WSig { h = Sc.zero; s = Sc.zero } };
+          { prev = coin_b; witness = WSig { h = Sc.zero; s = Sc.zero } } ];
+      outputs = [ { script = Multisig2 (a.kp.vk, b.kp.vk); amount = bal_a + bal_b } ];
+      locktime = 0 }
+  in
+  let msg = Btc_sim.sighash funding_tx in
+  let funding_tx =
+    { funding_tx with
+      Btc_sim.inputs =
+        [ { prev = coin_a; witness = WSig (Monet_sig.Sig_core.sign a.g a.kp msg) };
+          { prev = coin_b; witness = WSig (Monet_sig.Sig_core.sign b.g b.kp msg) } ] }
+  in
+  (match Btc_sim.submit chain funding_tx with
+  | Ok () -> ignore (Btc_sim.mine chain)
+  | Error e -> failwith ("ln funding: " ^ e));
+  let funding_outpoint = chain.Btc_sim.n - 1 in
+  let t =
+    { chain; a; b; funding_outpoint; capacity = bal_a + bal_b; csv_delay;
+      current =
+        { st_num = 0; st_bal_a = 0; st_bal_b = 0; st_htlcs = []; st_rev_secret_a = Sc.zero;
+          st_rev_secret_b = Sc.zero;
+          st_commit = { inputs = []; outputs = []; locktime = 0 };
+          st_sig_a = { h = Sc.zero; s = Sc.zero }; st_sig_b = { h = Sc.zero; s = Sc.zero } };
+      revoked = []; closed = false; n_updates = 0 }
+  in
+  t.current <- make_state t ~n:0 ~bal_a ~bal_b ~htlcs:[];
+  t
+
+(** One channel update: new commitment signed by both, previous state
+    revoked by revealing its secrets. *)
+let update (t : t) ~(amount_from_a : int) : (unit, string) result =
+  if t.closed then Error "channel closed"
+  else begin
+    let bal_a = t.current.st_bal_a - amount_from_a in
+    let bal_b = t.current.st_bal_b + amount_from_a in
+    if bal_a < 0 || bal_b < 0 then Error "insufficient balance"
+    else begin
+      let prev = t.current in
+      t.current <-
+        make_state t ~n:(prev.st_num + 1) ~bal_a ~bal_b ~htlcs:prev.st_htlcs;
+      t.revoked <- (prev.st_num, prev.st_rev_secret_a, prev.st_rev_secret_b) :: t.revoked;
+      t.n_updates <- t.n_updates + 1;
+      Ok ()
+    end
+  end
+
+(** Add an HTLC (one hop of an LN multi-hop payment). *)
+let add_htlc (t : t) ~(from_a : bool) ~(amount : int) ~(hash : string)
+    ~(timeout : int) : (unit, string) result =
+  if t.closed then Error "channel closed"
+  else begin
+    let bal_a = t.current.st_bal_a - (if from_a then amount else 0) in
+    let bal_b = t.current.st_bal_b - (if from_a then 0 else amount) in
+    if bal_a < 0 || bal_b < 0 then Error "insufficient balance"
+    else begin
+      let htlc =
+        { hl_hash = hash; hl_amount = amount; hl_to_a = not from_a; hl_timeout = timeout }
+      in
+      let prev = t.current in
+      t.current <-
+        make_state t ~n:(prev.st_num + 1) ~bal_a ~bal_b ~htlcs:(htlc :: prev.st_htlcs);
+      t.revoked <- (prev.st_num, prev.st_rev_secret_a, prev.st_rev_secret_b) :: t.revoked;
+      Ok ()
+    end
+  end
+
+(** Settle an HTLC with its preimage (moves the amount to the
+    claimant) — the off-chain fulfilled path. *)
+let fulfill_htlc (t : t) ~(preimage : string) : (unit, string) result =
+  let hash = Monet_hash.Hash.fast preimage in
+  match List.partition (fun h -> h.hl_hash = hash) t.current.st_htlcs with
+  | [], _ -> Error "no such htlc"
+  | h :: _, rest ->
+      let prev = t.current in
+      let bal_a = prev.st_bal_a + (if h.hl_to_a then h.hl_amount else 0) in
+      let bal_b = prev.st_bal_b + (if h.hl_to_a then 0 else h.hl_amount) in
+      t.current <- make_state t ~n:(prev.st_num + 1) ~bal_a ~bal_b ~htlcs:rest;
+      t.revoked <- (prev.st_num, prev.st_rev_secret_a, prev.st_rev_secret_b) :: t.revoked;
+      Ok ()
+
+(** Unilateral close: publish the current commitment. *)
+let force_close (t : t) : (unit, string) result =
+  if t.closed then Error "channel closed"
+  else begin
+    let tx = t.current.st_commit in
+    let signed =
+      { tx with
+        Btc_sim.inputs =
+          [ { prev = t.funding_outpoint;
+              witness = WMulti (t.current.st_sig_a, t.current.st_sig_b) } ] }
+    in
+    match Btc_sim.submit t.chain signed with
+    | Error e -> Error e
+    | Ok () ->
+        ignore (Btc_sim.mine t.chain);
+        t.closed <- true;
+        Ok ()
+  end
+
+(** Publish an *old* (revoked) commitment — the cheat. *)
+let publish_revoked (t : t) ~(state_num : int)
+    ~(old_states : (int * state) list) : (unit, string) result =
+  match List.assoc_opt state_num old_states with
+  | None -> Error "no such old state"
+  | Some st -> (
+      let signed =
+        { st.st_commit with
+          Btc_sim.inputs =
+            [ { prev = t.funding_outpoint; witness = WMulti (st.st_sig_a, st.st_sig_b) } ] }
+      in
+      match Btc_sim.submit t.chain signed with
+      | Error e -> Error e
+      | Ok () ->
+          ignore (Btc_sim.mine t.chain);
+          t.closed <- true;
+          Ok ())
+
+(** Penalty: sweep a revoked commitment's delayed output with the
+    revocation key before the CSV delay elapses. *)
+let punish (t : t) ~(victim_is_a : bool) ~(state_num : int) : (int, string) result =
+  match List.find_opt (fun (n, _, _) -> n = state_num) t.revoked with
+  | None -> Error "state not revoked"
+  | Some (_, rev_a, rev_b) ->
+      (* The cheater's to-self output is revocable with the secret the
+         victim holds. Find it on-chain. *)
+      let rev_key = if victim_is_a then rev_secret t.a state_num else rev_secret t.b state_num in
+      ignore rev_a;
+      ignore rev_b;
+      let victim = if victim_is_a then t.a else t.b in
+      let found = ref None in
+      for i = 0 to t.chain.Btc_sim.n - 1 do
+        let e = t.chain.Btc_sim.entries.(i) in
+        match e.Btc_sim.out.Btc_sim.script with
+        | Btc_sim.ToSelfDelayed d
+          when (not e.Btc_sim.spent)
+               && Point.equal d.revocation (Point.mul_base rev_key) ->
+            found := Some (i, e.Btc_sim.out.Btc_sim.amount)
+        | _ -> ()
+      done;
+      (match !found with
+      | None -> Error "no revocable output on chain"
+      | Some (outpoint, amount) ->
+          let sweep =
+            { Btc_sim.inputs =
+                [ { prev = outpoint; witness = WRevocation { h = Sc.zero; s = Sc.zero } } ];
+              outputs = [ { script = P2pk victim.kp.vk; amount } ];
+              locktime = 0 }
+          in
+          let msg = Btc_sim.sighash sweep in
+          let sweep =
+            { sweep with
+              Btc_sim.inputs =
+                [ { prev = outpoint;
+                    witness =
+                      WRevocation
+                        (Monet_sig.Sig_core.sign victim.g
+                           { sk = rev_key; vk = Point.mul_base rev_key }
+                           msg) } ] }
+          in
+          (match Btc_sim.submit t.chain sweep with
+          | Error e -> Error e
+          | Ok () ->
+              ignore (Btc_sim.mine t.chain);
+              Ok amount))

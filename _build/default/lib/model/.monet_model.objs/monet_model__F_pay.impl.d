@@ -1,0 +1,1 @@
+lib/model/f_pay.ml: List

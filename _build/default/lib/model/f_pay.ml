@@ -1,0 +1,191 @@
+(** The ideal functionality 𝓕_pay (paper Fig. 8), executable.
+
+    In the ideal world there is no cryptography: a trusted party
+    maintains the UTXO relation ℝ (the Monero model 𝓕_M, Fig. 7), the
+    KES space 𝕂 (𝓕_kes, Fig. 6) and the channel space ℂ, and mutates
+    them according to the interfaces Channel Establishment / Channel
+    Update / Payment Routing / Channel Closure.
+
+    Purpose in this repository: the UC claim (Theorem 1) says the real
+    protocol emulates this functionality. We make the claim *testable*
+    at the level the simulator argument speaks to — identical
+    observable outcomes: test/test_model.ml replays scenario scripts in
+    both worlds and compares the resulting balance distributions and
+    channel states. *)
+
+type party = string
+
+type channel = {
+  ch_id : int;
+  ch_alice : party;
+  ch_bob : party;
+  mutable bal_alice : int;
+  mutable bal_bob : int;
+  mutable state : int;
+  mutable lock : (party * int) option; (* payer, amount *)
+  ke_id : int;
+  mutable closed : bool;
+}
+
+type kes_instance = { ke_id' : int; mutable ke_terminated : bool }
+
+type t = {
+  mutable utxo : (party * int) list; (* ℝ: on-chain balance per party *)
+  mutable channels : channel list; (* ℂ *)
+  mutable kes : kes_instance list; (* 𝕂 *)
+  mutable next_id : int;
+}
+
+let create ~(initial : (party * int) list) : t =
+  { utxo = initial; channels = []; kes = []; next_id = 1 }
+
+let utxo_of (t : t) (p : party) : int =
+  List.fold_left (fun acc (q, a) -> if q = p then acc + a else acc) 0 t.utxo
+
+let spend (t : t) (p : party) (amount : int) : (unit, string) result =
+  if utxo_of t p < amount then Error "insufficient on-chain funds"
+  else begin
+    (* Remove and re-add the remainder: the model's ℝ mutation. *)
+    let remainder = utxo_of t p - amount in
+    t.utxo <- (p, remainder) :: List.filter (fun (q, _) -> q <> p) t.utxo;
+    Ok ()
+  end
+
+let credit (t : t) (p : party) (amount : int) : unit =
+  t.utxo <- (p, amount) :: t.utxo
+
+let find_channel (t : t) (id : int) : (channel, string) result =
+  match List.find_opt (fun c -> c.ch_id = id && not c.closed) t.channels with
+  | Some c -> Ok c
+  | None -> Error "no such channel"
+
+(** Channel Establishment: both parties fund; ℝ loses the deposits, ℂ
+    and 𝕂 gain an instance. *)
+let mc_open (t : t) ~(alice : party) ~(bob : party) ~(bal_a : int) ~(bal_b : int) :
+    (int, string) result =
+  match spend t alice bal_a with
+  | Error e -> Error e
+  | Ok () -> (
+      match spend t bob bal_b with
+      | Error e ->
+          credit t alice bal_a;
+          Error e
+      | Ok () ->
+          let id = t.next_id in
+          t.next_id <- id + 1;
+          t.channels <-
+            { ch_id = id; ch_alice = alice; ch_bob = bob; bal_alice = bal_a;
+              bal_bob = bal_b; state = 0; lock = None; ke_id = id; closed = false }
+            :: t.channels;
+          t.kes <- { ke_id' = id; ke_terminated = false } :: t.kes;
+          Ok id)
+
+(** Channel Update (one-round payment inside a channel). *)
+let mc_update (t : t) ~(id : int) ~(from : party) ~(amount : int) :
+    (unit, string) result =
+  match find_channel t id with
+  | Error e -> Error e
+  | Ok c ->
+      if c.lock <> None then Error "channel locked"
+      else begin
+        let a_pays = from = c.ch_alice in
+        let new_a = c.bal_alice - (if a_pays then amount else -amount) in
+        let new_b = c.bal_bob + (if a_pays then amount else -amount) in
+        if new_a < 0 || new_b < 0 then Error "insufficient channel balance"
+        else begin
+          c.bal_alice <- new_a;
+          c.bal_bob <- new_b;
+          c.state <- c.state + 1;
+          Ok ()
+        end
+      end
+
+(** Payment Routing: lock every on-path channel, then either all
+    unlock (success) or all cancel (Ch.State + 2 path). Timers must
+    cascade (τ_i decreasing toward the receiver). *)
+let mc_routepay (t : t) ~(path : (int * party) list) ~(amount : int)
+    ~(timers : int list) ~(success : bool) : (unit, string) result =
+  if List.length path <> List.length timers then Error "timer per channel required"
+  else if
+    (* cascade check: strictly decreasing toward the receiver *)
+    let rec decreasing = function
+      | a :: (b :: _ as rest) -> a > b && decreasing rest
+      | _ -> true
+    in
+    not (decreasing timers)
+  then Error "timers do not cascade"
+  else begin
+    let rec lock_all acc = function
+      | [] -> Ok (List.rev acc)
+      | (id, payer) :: rest -> (
+          match find_channel t id with
+          | Error e -> Error e
+          | Ok c ->
+              let payer_bal = if payer = c.ch_alice then c.bal_alice else c.bal_bob in
+              if c.lock <> None then Error "channel already locked"
+              else if payer_bal < amount then Error "insufficient channel balance"
+              else begin
+                c.lock <- Some (payer, amount);
+                lock_all (c :: acc) rest
+              end)
+    in
+    match lock_all [] path with
+    | Error e ->
+        (* atomicity: roll back the locks taken so far *)
+        List.iter (fun (id, _) ->
+            match find_channel t id with
+            | Ok c -> c.lock <- None
+            | Error _ -> ())
+          path;
+        Error e
+    | Ok chans ->
+        List.iter
+          (fun c ->
+            match c.lock with
+            | None -> ()
+            | Some (payer, amt) ->
+                if success then begin
+                  if payer = c.ch_alice then begin
+                    c.bal_alice <- c.bal_alice - amt;
+                    c.bal_bob <- c.bal_bob + amt
+                  end
+                  else begin
+                    c.bal_bob <- c.bal_bob - amt;
+                    c.bal_alice <- c.bal_alice + amt
+                  end;
+                  c.state <- c.state + 1
+                end
+                else c.state <- c.state + 2 (* cancel path *);
+                c.lock <- None)
+          chans;
+        Ok ()
+  end
+
+(** Channel Closure: cooperative or unilateral — either way the honest
+    party is paid its latest balance and ℝ regains the outputs. *)
+let mc_close (t : t) ~(id : int) : (int * int, string) result =
+  match find_channel t id with
+  | Error e -> Error e
+  | Ok c ->
+      if c.lock <> None then Error "resolve the lock first"
+      else begin
+        c.closed <- true;
+        credit t c.ch_alice c.bal_alice;
+        credit t c.ch_bob c.bal_bob;
+        (match List.find_opt (fun k -> k.ke_id' = c.ke_id) t.kes with
+        | Some k -> k.ke_terminated <- true
+        | None -> ());
+        Ok (c.bal_alice, c.bal_bob)
+      end
+
+(** Observable outcome: every party's total wealth (on-chain plus
+    open-channel balances) — what the environment 𝓔 can see. *)
+let wealth (t : t) (p : party) : int =
+  utxo_of t p
+  + List.fold_left
+      (fun acc c ->
+        if c.closed then acc
+        else if c.ch_alice = p then acc + c.bal_alice
+        else if c.ch_bob = p then acc + c.bal_bob
+        else acc)
+      0 t.channels

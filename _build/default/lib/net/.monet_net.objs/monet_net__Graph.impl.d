@@ -1,0 +1,1 @@
+lib/net/graph.ml: List Monet_channel Monet_hash Monet_sig Monet_xmr Printf

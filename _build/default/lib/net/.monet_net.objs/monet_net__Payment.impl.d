@@ -1,0 +1,1 @@
+lib/net/payment.ml: Array Graph List Monet_amhl Monet_channel Monet_ec Monet_sig Monet_util Monet_xmr Point Printf Result Router Sc String Sys

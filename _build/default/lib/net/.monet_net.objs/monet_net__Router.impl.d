@@ -1,0 +1,1 @@
+lib/net/router.ml: Graph Hashtbl List Queue

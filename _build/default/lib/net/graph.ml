@@ -1,0 +1,116 @@
+(** The MoNet channel graph: nodes (users) and the MoChannels between
+    them. Nodes own wallets on the simulated Monero ledger and an onion
+    key for AMHL setup delivery. *)
+
+module Ch = Monet_channel.Channel
+
+type node = {
+  n_id : int;
+  n_name : string;
+  n_onion : Monet_sig.Sig_core.keypair;
+  n_wallet : Monet_xmr.Wallet.t;
+  mutable n_fee_base : int; (* flat fee charged for forwarding a payment *)
+}
+
+type edge = {
+  e_id : int;
+  e_channel : Ch.channel;
+  e_left : int; (* node that plays channel-party A *)
+  e_right : int; (* node that plays channel-party B *)
+}
+
+type t = {
+  env : Ch.env;
+  g : Monet_hash.Drbg.t;
+  cfg : Ch.config;
+  mutable nodes : node list; (* reverse order of creation *)
+  mutable edges : edge list;
+  mutable next_node : int;
+  mutable next_edge : int;
+}
+
+let create ?(cfg = Ch.default_config) (g : Monet_hash.Drbg.t) : t =
+  {
+    env = Ch.make_env (Monet_hash.Drbg.split g "env");
+    g;
+    cfg;
+    nodes = [];
+    edges = [];
+    next_node = 0;
+    next_edge = 1;
+  }
+
+let add_node (t : t) ~(name : string) : int =
+  let gn = Monet_hash.Drbg.split t.g ("node/" ^ string_of_int t.next_node) in
+  let node =
+    {
+      n_id = t.next_node;
+      n_name = name;
+      n_onion = Monet_sig.Sig_core.gen gn;
+      n_wallet = Monet_xmr.Wallet.create ~ring_size:t.cfg.ring_size gn ~label:name;
+      n_fee_base = 0;
+    }
+  in
+  t.nodes <- node :: t.nodes;
+  t.next_node <- t.next_node + 1;
+  node.n_id
+
+let node (t : t) (id : int) : node =
+  match List.find_opt (fun n -> n.n_id = id) t.nodes with
+  | Some n -> n
+  | None -> invalid_arg (Printf.sprintf "Graph.node: no node %d" id)
+
+(** Mint on-ledger funds for a node's wallet (genesis allocation). *)
+let fund_node (t : t) (id : int) ~(amount : int) : unit =
+  let n = node t id in
+  let kp = Monet_sig.Sig_core.gen n.n_wallet.Monet_xmr.Wallet.g in
+  Monet_xmr.Ledger.ensure_decoys t.g t.env.Ch.ledger ~amount ~n:(3 * t.cfg.ring_size);
+  let idx =
+    Monet_xmr.Ledger.genesis_output t.env.Ch.ledger
+      { Monet_xmr.Tx.otk = kp.Monet_sig.Sig_core.vk; amount }
+  in
+  Monet_xmr.Wallet.adopt n.n_wallet ~global_index:idx ~keypair:kp ~amount
+
+(** Open a MoChannel between two funded nodes. *)
+let open_channel (t : t) ~(left : int) ~(right : int) ~(bal_left : int)
+    ~(bal_right : int) : (int * Ch.report, string) result =
+  let nl = node t left and nr = node t right in
+  match
+    Ch.establish ~cfg:t.cfg t.env ~id:t.next_edge ~wallet_a:nl.n_wallet
+      ~wallet_b:nr.n_wallet ~bal_a:bal_left ~bal_b:bal_right
+  with
+  | Error e -> Error e
+  | Ok (channel, rep) ->
+      (* Reclaim funding change outputs mined during establishment. *)
+      Monet_xmr.Wallet.scan nl.n_wallet t.env.Ch.ledger;
+      Monet_xmr.Wallet.scan nr.n_wallet t.env.Ch.ledger;
+      let e =
+        { e_id = t.next_edge; e_channel = channel; e_left = left; e_right = right }
+      in
+      t.edges <- e :: t.edges;
+      t.next_edge <- t.next_edge + 1;
+      Ok (e.e_id, rep)
+
+let edge (t : t) (id : int) : edge =
+  match List.find_opt (fun e -> e.e_id = id) t.edges with
+  | Some e -> e
+  | None -> invalid_arg (Printf.sprintf "Graph.edge: no edge %d" id)
+
+(** The balance [node_id] holds in [e]. *)
+let balance_of (e : edge) ~(node_id : int) : int =
+  if e.e_left = node_id then e.e_channel.Ch.a.Ch.my_balance
+  else if e.e_right = node_id then e.e_channel.Ch.b.Ch.my_balance
+  else invalid_arg "Graph.balance_of: node not on edge"
+
+let peer_of (e : edge) ~(node_id : int) : int =
+  if e.e_left = node_id then e.e_right
+  else if e.e_right = node_id then e.e_left
+  else invalid_arg "Graph.peer_of: node not on edge"
+
+let is_open (e : edge) : bool = not e.e_channel.Ch.a.Ch.closed
+
+let edges_of (t : t) (node_id : int) : edge list =
+  List.filter (fun e -> (e.e_left = node_id || e.e_right = node_id) && is_open e) t.edges
+
+(** Set a node's forwarding fee (flat, per payment). *)
+let set_fee (t : t) (id : int) ~(fee : int) : unit = (node t id).n_fee_base <- fee

@@ -1,0 +1,379 @@
+(** Multi-hop payments over MoNet (paper Fig. 5): Setup → Lock →
+    Unlock, with AMHL suffix-sum locks, onion-delivered hop packets,
+    cascade timers (τ decreasing toward the receiver) and cancellation
+    / dispute escalation on failure.
+
+    Each phase's computation is measured (CPU time) and its message
+    legs counted, so the latency experiments can combine measured
+    compute with modelled network latency exactly as the paper does. *)
+
+module Ch = Monet_channel.Channel
+open Monet_ec
+
+type phase_stats = {
+  mutable setup_ms : float;
+  mutable lock_ms : float; (* total across hops *)
+  mutable unlock_ms : float; (* total across hops *)
+  mutable n_hops : int;
+  mutable messages : int;
+  mutable bytes : int;
+  mutable onion_bytes : int;
+}
+
+let fresh_stats () =
+  { setup_ms = 0.; lock_ms = 0.; unlock_ms = 0.; n_hops = 0; messages = 0; bytes = 0;
+    onion_bytes = 0 }
+
+let timed (f : unit -> 'a) : 'a * float =
+  let t0 = Sys.time () in
+  let r = f () in
+  (r, (Sys.time () -. t0) *. 1000.0)
+
+let role_of_payer (hop : Router.hop) : Monet_sig.Two_party.role =
+  if hop.Router.h_edge.Graph.e_left = hop.Router.h_payer then
+    Monet_sig.Two_party.Alice
+  else Monet_sig.Two_party.Bob
+
+(* Network-wide fixed onion layer size: every relay sees the same
+   number of bytes regardless of its position (path privacy). Sized
+   for paths of up to ~12 hops. *)
+let onion_layer_bytes = 4096
+
+let hp_of_edge (e : Graph.edge) : Point.t =
+  e.Graph.e_channel.Ch.a.Ch.joint.Monet_sig.Two_party.hp
+
+type outcome = {
+  stats : phase_stats;
+  path : Router.hop list;
+  succeeded : bool;
+}
+
+(** Execute a payment along [path]. [receiver_cooperates] = false
+    models a receiver that never reveals the final witness: all locks
+    are then cancelled (unlockability). [base_timer] seeds the cascade:
+    hop i gets base + (n - i)·delta so earlier hops outlive later
+    ones. *)
+let execute (t : Graph.t) ~(path : Router.hop list) ~(amount : int)
+    ?(receiver_cooperates = true) ?(base_timer = 60_000) ?(timer_delta = 10_000) () :
+    (outcome, string) result =
+  let stats = fresh_stats () in
+  let hops = Array.of_list path in
+  let n = Array.length hops in
+  if n = 0 then Error "empty path"
+  else begin
+    stats.n_hops <- n;
+    (* --- Setup (sender) --- *)
+    let (amhl, onion), setup_ms =
+      timed (fun () ->
+          let hps = Array.map (fun h -> hp_of_edge h.Router.h_edge) hops in
+          let amhl = Monet_amhl.Amhl.setup t.Graph.g ~hps in
+          (* Onion route: the payee of each hop gets its packet. *)
+          let route =
+            Array.to_list
+              (Array.mapi
+                 (fun i (h : Router.hop) ->
+                   let payee = Graph.peer_of h.Router.h_edge ~node_id:h.Router.h_payer in
+                   let pk = (Graph.node t payee).Graph.n_onion.Monet_sig.Sig_core.vk in
+                   let w = Monet_util.Wire.create_writer () in
+                   Monet_sig.Stmt.encode_proved w
+                     amhl.Monet_amhl.Amhl.packets.(i).Monet_amhl.Amhl.hp_lock;
+                   Monet_util.Wire.write_fixed w
+                     (Sc.to_bytes_le amhl.Monet_amhl.Amhl.packets.(i).Monet_amhl.Amhl.hp_y);
+                   (pk, Monet_util.Wire.contents w))
+                 hops)
+          in
+          let onion = Monet_amhl.Onion.wrap ~pad_to:onion_layer_bytes t.Graph.g route in
+          (amhl, onion))
+    in
+    stats.setup_ms <- setup_ms;
+    stats.onion_bytes <- String.length onion;
+    stats.messages <- stats.messages + n (* onion forwarded hop by hop *);
+    stats.bytes <- stats.bytes + (n * String.length onion);
+    (* Relays peel and verify their packets. *)
+    let verify_packets () =
+      let rec go i onion =
+        if i >= n then Ok ()
+        else begin
+          let h = hops.(i) in
+          let payee = Graph.peer_of h.Router.h_edge ~node_id:h.Router.h_payer in
+          let node = Graph.node t payee in
+          let sk = node.Graph.n_onion.Monet_sig.Sig_core.sk in
+          match
+            Monet_amhl.Onion.peel
+              ~repad:(node.Graph.n_wallet.Monet_xmr.Wallet.g, onion_layer_bytes)
+              ~sk onion
+          with
+          | Error e -> Error e
+          | Ok (_payload, next) ->
+              if Monet_amhl.Amhl.verify_hop ~hp:(hp_of_edge h.Router.h_edge)
+                   amhl.Monet_amhl.Amhl.packets.(i)
+              then go (i + 1) next
+              else Error (Printf.sprintf "hop %d rejected its AMHL packet" (i + 1))
+        end
+      in
+      go 0 onion
+    in
+    match verify_packets () with
+    | Error e -> Error e
+    | Ok () -> (
+        (* --- Lock, sender → receiver --- *)
+        let rec lock_all i =
+          if i >= n then Ok ()
+          else begin
+            let h = hops.(i) in
+            let timer = base_timer + ((n - i) * timer_delta) in
+            let lock_stmt =
+              amhl.Monet_amhl.Amhl.locks.(i).Monet_sig.Stmt.stmt
+            in
+            let r, ms =
+              timed (fun () ->
+                  Ch.lock h.Router.h_edge.Graph.e_channel ~payer:(role_of_payer h)
+                    ~amount ~lock_stmt ~timer)
+            in
+            stats.lock_ms <- stats.lock_ms +. ms;
+            match r with
+            | Error e -> Error (Printf.sprintf "lock hop %d: %s" (i + 1) e)
+            | Ok rep ->
+                stats.messages <- stats.messages + rep.Ch.messages;
+                stats.bytes <- stats.bytes + rep.Ch.bytes;
+                lock_all (i + 1)
+          end
+        in
+        match lock_all 0 with
+        | Error e -> Error e
+        | Ok () ->
+            if not receiver_cooperates then begin
+              (* Receiver never reveals: every hop cancels after its
+                 timer — unlockability without any on-chain action in
+                 the cooperative-cancel case. *)
+              let rec cancel_all i =
+                if i < 0 then Ok ()
+                else
+                  match Ch.cancel_lock hops.(i).Router.h_edge.Graph.e_channel with
+                  | Error e -> Error (Printf.sprintf "cancel hop %d: %s" (i + 1) e)
+                  | Ok rep ->
+                      stats.messages <- stats.messages + rep.Ch.messages;
+                      stats.bytes <- stats.bytes + rep.Ch.bytes;
+                      cancel_all (i - 1)
+              in
+              match cancel_all (n - 1) with
+              | Error e -> Error e
+              | Ok () -> Ok { stats; path; succeeded = false }
+            end
+            else begin
+              (* --- Unlock, receiver → sender --- *)
+              let rec unlock_all i (w : Sc.t) =
+                if i < 0 then Ok ()
+                else begin
+                  let r, ms =
+                    timed (fun () ->
+                        Ch.unlock hops.(i).Router.h_edge.Graph.e_channel ~y:w)
+                  in
+                  stats.unlock_ms <- stats.unlock_ms +. ms;
+                  match r with
+                  | Error e -> Error (Printf.sprintf "unlock hop %d: %s" (i + 1) e)
+                  | Ok (rep, extracted) ->
+                      stats.messages <- stats.messages + rep.Ch.messages;
+                      stats.bytes <- stats.bytes + rep.Ch.bytes;
+                      if i = 0 then Ok ()
+                      else begin
+                        (* The payer of hop i cascades: w_{i-1} = y_{i-1} + w_i *)
+                        let w' =
+                          Monet_amhl.Amhl.cascade
+                            ~y:amhl.Monet_amhl.Amhl.wits.(i - 1) ~w_next:extracted
+                        in
+                        unlock_all (i - 1) w'
+                      end
+                end
+              in
+              match unlock_all (n - 1) amhl.Monet_amhl.Amhl.combined.(n - 1) with
+              | Error e -> Error e
+              | Ok () -> Ok { stats; path; succeeded = true }
+            end)
+  end
+
+(** Worst-case failure (the paper's 1-Monero-tx + 2-script-tx bound):
+    the receiver neither unlocks nor cooperates to cancel the last
+    hop, so its channel is force-closed through the KES at the
+    pre-lock state; all earlier hops cancel cooperatively and stay
+    open. Call after an [execute] that locked the path — here we run
+    the lock phase ourselves for convenience. *)
+let fail_with_last_hop_dispute (t : Graph.t) ~(path : Router.hop list)
+    ~(amount : int) () : (Ch.payout * phase_stats, string) result =
+  let stats = fresh_stats () in
+  let hops = Array.of_list path in
+  let n = Array.length hops in
+  if n = 0 then Error "empty path"
+  else begin
+    stats.n_hops <- n;
+    let hps = Array.map (fun h -> hp_of_edge h.Router.h_edge) hops in
+    let amhl = Monet_amhl.Amhl.setup t.Graph.g ~hps in
+    let rec lock_all i =
+      if i >= n then Ok ()
+      else
+        match
+          Ch.lock hops.(i).Router.h_edge.Graph.e_channel
+            ~payer:(role_of_payer hops.(i)) ~amount
+            ~lock_stmt:amhl.Monet_amhl.Amhl.locks.(i).Monet_sig.Stmt.stmt
+            ~timer:(60_000 + ((n - i) * 10_000))
+        with
+        | Error e -> Error e
+        | Ok rep ->
+            stats.messages <- stats.messages + rep.Ch.messages;
+            lock_all (i + 1)
+    in
+    match lock_all 0 with
+    | Error e -> Error e
+    | Ok () ->
+        (* Hops 1..n-1 cancel cooperatively (their peers are rational
+           and want to keep transacting)... *)
+        let rec cancel_upto i =
+          if i < 0 then Ok ()
+          else
+            match Ch.cancel_lock hops.(i).Router.h_edge.Graph.e_channel with
+            | Error e -> Error e
+            | Ok _ -> cancel_upto (i - 1)
+        in
+        (match cancel_upto (n - 2) with
+        | Error e -> Error e
+        | Ok () ->
+            (* ...but the receiver stonewalls the last hop, whose payer
+               escalates to the KES. *)
+            let last = hops.(n - 1) in
+            let proposer = role_of_payer last in
+            Ch.dispute_close last.Router.h_edge.Graph.e_channel ~proposer
+              ~responsive:false
+            |> Result.map (fun (payout, _rep) -> (payout, stats)))
+  end
+
+(** Route and pay in one step. *)
+let pay (t : Graph.t) ~(src : int) ~(dst : int) ~(amount : int)
+    ?(receiver_cooperates = true) () : (outcome, string) result =
+  match Router.find_path t ~src ~dst ~amount with
+  | Error e -> Error e
+  | Ok path -> execute t ~path ~amount ~receiver_cooperates ()
+
+(** End-to-end latency under the paper's accounting: per hop, one
+    network latency plus the measured per-hop computation. *)
+let latency_ms (o : outcome) ~(network_ms : float) : float =
+  let n = float_of_int o.stats.n_hops in
+  let compute = o.stats.setup_ms +. o.stats.lock_ms +. o.stats.unlock_ms in
+  (n *. network_ms) +. compute
+
+(** Pessimistic accounting: every sequential message leg pays
+    latency. *)
+let latency_full_rounds_ms (o : outcome) ~(network_ms : float) : float =
+  let compute = o.stats.setup_ms +. o.stats.lock_ms +. o.stats.unlock_ms in
+  (float_of_int o.stats.messages *. network_ms) +. compute
+
+(* --- fees and multi-path ------------------------------------------------ *)
+
+(** Per-hop amounts when intermediaries charge forwarding fees: the
+    receiver nets [amount]; hop i additionally carries the fees of
+    every intermediary downstream of it, each of whom keeps its fee as
+    the difference between what it receives and what it forwards. *)
+let amounts_with_fees (t : Graph.t) ~(path : Router.hop list) ~(amount : int) :
+    int list =
+  let hops = Array.of_list path in
+  let n = Array.length hops in
+  let amounts = Array.make n amount in
+  (* walk right to left; the intermediary between hop i and i+1 is the
+     payer of hop i+1 *)
+  for i = n - 2 downto 0 do
+    let intermediary = hops.(i + 1).Router.h_payer in
+    amounts.(i) <- amounts.(i + 1) + (Graph.node t intermediary).Graph.n_fee_base
+  done;
+  Array.to_list amounts
+
+(** Like {!execute} but with per-hop fee-adjusted amounts. Each hop
+    locks its own amount, so intermediaries earn their fee when the
+    cascade settles. *)
+let execute_with_fees (t : Graph.t) ~(path : Router.hop list) ~(amount : int) () :
+    (outcome * int, string) result =
+  let amounts = amounts_with_fees t ~path ~amount in
+  let total_sent = List.hd amounts in
+  let stats = fresh_stats () in
+  let hops = Array.of_list path and amts = Array.of_list amounts in
+  let n = Array.length hops in
+  stats.n_hops <- n;
+  let hps = Array.map (fun h -> hp_of_edge h.Router.h_edge) hops in
+  let amhl = Monet_amhl.Amhl.setup t.Graph.g ~hps in
+  let rec lock_all i =
+    if i >= n then Ok ()
+    else
+      match
+        Ch.lock hops.(i).Router.h_edge.Graph.e_channel ~payer:(role_of_payer hops.(i))
+          ~amount:amts.(i)
+          ~lock_stmt:amhl.Monet_amhl.Amhl.locks.(i).Monet_sig.Stmt.stmt
+          ~timer:(60_000 + ((n - i) * 10_000))
+      with
+      | Error e -> Error (Printf.sprintf "lock hop %d: %s" (i + 1) e)
+      | Ok rep ->
+          stats.messages <- stats.messages + rep.Ch.messages;
+          lock_all (i + 1)
+  in
+  match lock_all 0 with
+  | Error e -> Error e
+  | Ok () ->
+      let rec unlock_all i w =
+        if i < 0 then Ok ()
+        else
+          match Ch.unlock hops.(i).Router.h_edge.Graph.e_channel ~y:w with
+          | Error e -> Error (Printf.sprintf "unlock hop %d: %s" (i + 1) e)
+          | Ok (rep, extracted) ->
+              stats.messages <- stats.messages + rep.Ch.messages;
+              if i = 0 then Ok ()
+              else
+                unlock_all (i - 1)
+                  (Monet_amhl.Amhl.cascade ~y:amhl.Monet_amhl.Amhl.wits.(i - 1)
+                     ~w_next:extracted)
+      in
+      (match unlock_all (n - 1) amhl.Monet_amhl.Amhl.combined.(n - 1) with
+      | Error e -> Error e
+      | Ok () -> Ok ({ stats; path; succeeded = true }, total_sent))
+
+(** Multi-path payment: split [amount] greedily over capacity-disjoint
+    routes (each part bounded by its bottleneck). Parts are individual
+    AMHL payments; the split is all-or-nothing per part but not across
+    parts (full AMP atomicity would share the receiver's witness
+    across parts — noted as future work). Returns the per-part
+    (path, amount) breakdown. *)
+let pay_multipath (t : Graph.t) ~(src : int) ~(dst : int) ~(amount : int)
+    ?(max_parts = 4) () : ((Router.hop list * int) list, string) result =
+  let rec plan remaining used_edges parts_left acc =
+    if remaining = 0 then Ok (List.rev acc)
+    else if parts_left = 0 then Error "amount does not fit in max_parts routes"
+    else begin
+      (* Find a path avoiding edges already used by earlier parts. *)
+      match Router.find_path_avoiding t ~src ~dst ~amount:1 ~avoid:used_edges with
+      | Error _ -> Error "insufficient disjoint capacity"
+      | Ok path ->
+          let bottleneck =
+            List.fold_left
+              (fun acc (h : Router.hop) ->
+                min acc (Graph.balance_of h.Router.h_edge ~node_id:h.Router.h_payer))
+              max_int path
+          in
+          let part = min remaining bottleneck in
+          if part <= 0 then Error "no capacity"
+          else begin
+            let used' =
+              List.fold_left (fun acc (h : Router.hop) -> h.Router.h_edge.Graph.e_id :: acc)
+                used_edges path
+            in
+            plan (remaining - part) used' (parts_left - 1) ((path, part) :: acc)
+          end
+    end
+  in
+  match plan amount [] max_parts [] with
+  | Error e -> Error e
+  | Ok parts ->
+      let rec run = function
+        | [] -> Ok parts
+        | (path, part) :: rest -> (
+            match execute t ~path ~amount:part () with
+            | Ok o when o.succeeded -> run rest
+            | Ok _ -> Error "part cancelled"
+            | Error e -> Error e)
+      in
+      run parts

@@ -1,0 +1,78 @@
+(** Pathfinding over the channel graph: shortest path (fewest hops)
+    with per-hop spendable-capacity constraints, BFS with lexicographic
+    tie-breaking so routing is deterministic. *)
+
+type hop = { h_edge : Graph.edge; h_payer : int (* node paying on this edge *) }
+
+(** A path src→dst where every hop can forward [amount]. *)
+let find_path (t : Graph.t) ~(src : int) ~(dst : int) ~(amount : int) :
+    (hop list, string) result =
+  if src = dst then Error "source equals destination"
+  else begin
+    let visited = Hashtbl.create 16 in
+    Hashtbl.add visited src ();
+    let q = Queue.create () in
+    Queue.add (src, []) q;
+    let result = ref None in
+    while !result = None && not (Queue.is_empty q) do
+      let u, path_rev = Queue.pop q in
+      let candidates =
+        Graph.edges_of t u
+        |> List.filter (fun e -> Graph.balance_of e ~node_id:u >= amount)
+        |> List.sort (fun a b -> compare a.Graph.e_id b.Graph.e_id)
+      in
+      List.iter
+        (fun e ->
+          let v = Graph.peer_of e ~node_id:u in
+          if not (Hashtbl.mem visited v) then begin
+            Hashtbl.add visited v ();
+            let path_rev' = { h_edge = e; h_payer = u } :: path_rev in
+            if v = dst then begin
+              if !result = None then result := Some (List.rev path_rev')
+            end
+            else Queue.add (v, path_rev') q
+          end)
+        candidates
+    done;
+    match !result with
+    | Some p -> Ok p
+    | None -> Error "no route with sufficient capacity"
+  end
+
+(** Like {!find_path} but never using the edges in [avoid] — used by
+    multi-path payments to find capacity-disjoint routes. *)
+let find_path_avoiding (t : Graph.t) ~(src : int) ~(dst : int) ~(amount : int)
+    ~(avoid : int list) : (hop list, string) result =
+  if src = dst then Error "source equals destination"
+  else begin
+    let visited = Hashtbl.create 16 in
+    Hashtbl.add visited src ();
+    let q = Queue.create () in
+    Queue.add (src, []) q;
+    let result = ref None in
+    while !result = None && not (Queue.is_empty q) do
+      let u, path_rev = Queue.pop q in
+      let candidates =
+        Graph.edges_of t u
+        |> List.filter (fun e ->
+               (not (List.mem e.Graph.e_id avoid))
+               && Graph.balance_of e ~node_id:u >= amount)
+        |> List.sort (fun a b -> compare a.Graph.e_id b.Graph.e_id)
+      in
+      List.iter
+        (fun e ->
+          let v = Graph.peer_of e ~node_id:u in
+          if not (Hashtbl.mem visited v) then begin
+            Hashtbl.add visited v ();
+            let path_rev' = { h_edge = e; h_payer = u } :: path_rev in
+            if v = dst then begin
+              if !result = None then result := Some (List.rev path_rev')
+            end
+            else Queue.add (v, path_rev') q
+          end)
+        candidates
+    done;
+    match !result with
+    | Some p -> Ok p
+    | None -> Error "no route with sufficient capacity"
+  end

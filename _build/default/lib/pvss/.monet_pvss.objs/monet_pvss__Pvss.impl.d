@@ -1,0 +1,1 @@
+lib/pvss/pvss.ml: Array List Monet_ec Monet_hash Point Sc

@@ -1,0 +1,1 @@
+lib/pvss/pvss.mli: Monet_ec Monet_hash Point Sc

@@ -1,0 +1,101 @@
+(** Verifiable secret sharing of channel witnesses among the Key
+    Escrow Service's n_e escrowers (paper §IV-C, citing Stadler /
+    Schoenmakers-style PVSS).
+
+    The dealer Shamir-shares a witness w with threshold t, publishes
+    Feldman commitments to the polynomial (so C_0 = w·G equals the
+    channel's escrowed statement, binding the sharing to the channel),
+    and delivers each share encrypted to the escrower's public key via
+    hashed ElGamal. Every escrower publicly verifies its decrypted
+    share against the commitments and complains otherwise; at
+    reconstruction time revealed shares are publicly verifiable by
+    anyone against the same commitments, and any t of them recover the
+    *scalar* witness by Lagrange interpolation (the scalar — not just
+    w·G — is needed to adapt the channel's pre-signature). *)
+
+open Monet_ec
+
+type encrypted_share = {
+  es_index : int; (* evaluation point i >= 1 *)
+  es_ephemeral : Point.t; (* r·G *)
+  es_cipher : Sc.t; (* p(i) + H(r·pk_i) *)
+}
+
+type dealing = {
+  commitments : Point.t array; (* C_j = a_j·G, C_0 = w·G *)
+  shares : encrypted_share array;
+}
+
+let threshold (d : dealing) = Array.length d.commitments
+let secret_commitment (d : dealing) : Point.t = d.commitments.(0)
+
+(* X_i = p(i)·G = sum_j i^j · C_j *)
+let share_point (commitments : Point.t array) (i : int) : Point.t =
+  let xi = Sc.of_int i in
+  let acc = ref Point.identity and pow = ref Sc.one in
+  Array.iter
+    (fun c ->
+      acc := Point.add !acc (Point.mul !pow c);
+      pow := Sc.mul !pow xi)
+    commitments;
+  !acc
+
+let kdf (shared : Point.t) (i : int) : Sc.t =
+  Sc.of_hash "pvss-kdf" [ Point.encode shared; string_of_int i ]
+
+(** Deal [secret] to the escrower public keys with threshold [t]
+    (any [t] shares reconstruct; fewer reveal nothing). *)
+let deal (g : Monet_hash.Drbg.t) ~(secret : Sc.t) ~(t : int)
+    ~(escrower_pks : Point.t array) : dealing =
+  let n = Array.length escrower_pks in
+  if t < 1 || t > n then invalid_arg "Pvss.deal: bad threshold";
+  let coeffs = Array.init t (fun j -> if j = 0 then secret else Sc.random_nonzero g) in
+  let eval i =
+    let xi = Sc.of_int i in
+    let acc = ref Sc.zero and pow = ref Sc.one in
+    Array.iter
+      (fun a ->
+        acc := Sc.add !acc (Sc.mul a !pow);
+        pow := Sc.mul !pow xi)
+      coeffs;
+    !acc
+  in
+  let commitments = Array.map Point.mul_base coeffs in
+  let shares =
+    Array.init n (fun idx ->
+        let i = idx + 1 in
+        let r = Sc.random_nonzero g in
+        let ephemeral = Point.mul_base r in
+        let pad = kdf (Point.mul r escrower_pks.(idx)) i in
+        { es_index = i; es_ephemeral = ephemeral; es_cipher = Sc.add (eval i) pad })
+  in
+  { commitments; shares }
+
+(** Escrower-side decryption; checks the share against the public
+    commitments and returns [Error] (a public complaint) otherwise. *)
+let decrypt_share ~(sk : Sc.t) (d : dealing) (es : encrypted_share) :
+    (Sc.t, string) result =
+  let pad = kdf (Point.mul sk es.es_ephemeral) es.es_index in
+  let share = Sc.sub es.es_cipher pad in
+  if Point.equal (Point.mul_base share) (share_point d.commitments es.es_index) then
+    Ok share
+  else Error "share does not match dealer commitments"
+
+(** Public verification of a revealed share. *)
+let verify_revealed (commitments : Point.t array) ~(i : int) ~(share : Sc.t) : bool =
+  Point.equal (Point.mul_base share) (share_point commitments i)
+
+(** Lagrange reconstruction at x = 0 from [(i, p(i))] pairs. *)
+let reconstruct (shares : (int * Sc.t) list) : Sc.t =
+  let points = List.map (fun (i, s) -> (Sc.of_int i, s)) shares in
+  List.fold_left
+    (fun acc (xi, yi) ->
+      let num, den =
+        List.fold_left
+          (fun (n, d) (xj, _) ->
+            if Sc.equal xj xi then (n, d)
+            else (Sc.mul n xj, Sc.mul d (Sc.sub xj xi)))
+          (Sc.one, Sc.one) points
+      in
+      Sc.add acc (Sc.mul yi (Sc.mul num (Sc.inv den))))
+    Sc.zero points

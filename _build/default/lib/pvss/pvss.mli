@@ -1,0 +1,39 @@
+(** Verifiable secret sharing of channel witnesses for the Key Escrow
+    Service (paper §IV-C): Shamir shares with Feldman commitments,
+    hashed-ElGamal share delivery, publicly verifiable share
+    revelation, scalar reconstruction. *)
+
+open Monet_ec
+
+type encrypted_share = {
+  es_index : int; (** evaluation point i ≥ 1 *)
+  es_ephemeral : Point.t;
+  es_cipher : Sc.t;
+}
+
+type dealing = { commitments : Point.t array; shares : encrypted_share array }
+
+val threshold : dealing -> int
+
+val secret_commitment : dealing -> Point.t
+(** C₀ = secret·G — what binds an escrow to the channel's statement. *)
+
+val share_point : Point.t array -> int -> Point.t
+(** [share_point commitments i] = p(i)·G, computable by anyone. *)
+
+val deal :
+  Monet_hash.Drbg.t -> secret:Sc.t -> t:int -> escrower_pks:Point.t array -> dealing
+(** Share [secret] with threshold [t] among the escrowers: any [t]
+    shares reconstruct, fewer reveal nothing. *)
+
+val decrypt_share :
+  sk:Sc.t -> dealing -> encrypted_share -> (Sc.t, string) result
+(** Escrower-side: decrypt and verify own share; [Error] is a public
+    complaint against the dealer. *)
+
+val verify_revealed : Point.t array -> i:int -> share:Sc.t -> bool
+(** Public verification of a revealed share against the commitments. *)
+
+val reconstruct : (int * Sc.t) list -> Sc.t
+(** Lagrange interpolation at 0. Callers must supply ≥ t verified
+    shares with distinct indices. *)

@@ -1,0 +1,1 @@
+lib/script/chain.ml: Array Gas Hashtbl List Monet_util String

@@ -1,0 +1,110 @@
+(** A minimal account-model, contract-capable chain — the substrate the
+    Key Escrow Service is deployed on (the paper uses Ethereum; see
+    DESIGN.md §2 for the substitution).
+
+    Contracts are OCaml message handlers behind a byte-level ABI; they
+    read and write a key-value store whose accesses are gas-metered
+    like EVM storage, so call costs are deterministic and comparable
+    across code paths. Time advances explicitly (the discrete-event
+    simulator drives it), which is what the KES timers run on. *)
+
+type address = string
+
+type event = { ev_contract : int; ev_name : string; ev_data : string }
+
+(** Gas-metered contract storage. *)
+type storage = {
+  kv : (string, string) Hashtbl.t;
+  mutable meter : Gas.meter; (* swapped in per call *)
+}
+
+let sget (s : storage) (k : string) : string option =
+  Gas.charge s.meter Gas.sload;
+  Hashtbl.find_opt s.kv k
+
+(* Storage writes are charged per 32-byte word, as the EVM does. *)
+let sset (s : storage) (k : string) (v : string) : unit =
+  let words = max 1 ((String.length v + 31) / 32) in
+  let per_word = if Hashtbl.mem s.kv k then Gas.sstore_update else Gas.sstore_new in
+  Gas.charge s.meter (words * per_word);
+  Hashtbl.replace s.kv k v
+
+let sdel (s : storage) (k : string) : unit =
+  Gas.charge s.meter Gas.sstore_update;
+  Hashtbl.remove s.kv k
+
+type ctx = {
+  caller : address;
+  now : int; (* chain time, milliseconds of simulated clock *)
+  meter : Gas.meter;
+  emit : string -> string -> unit; (* name, data *)
+}
+
+type handler = ctx -> string (* method *) -> string (* args *) -> (string, string) result
+
+type contract = { c_storage : storage; c_handler : handler; c_code_size : int }
+
+type receipt = { r_ok : (string, string) result; r_gas : int; r_events : event list }
+
+type t = {
+  mutable time : int;
+  mutable height : int;
+  mutable contracts : contract array;
+  mutable n_contracts : int;
+  mutable log : event list; (* newest first *)
+}
+
+let create () : t =
+  { time = 0; height = 0; contracts = [||]; n_contracts = 0; log = [] }
+
+let now (c : t) = c.time
+let advance_time (c : t) (ms : int) = c.time <- c.time + ms
+
+(** Deploy a contract; returns (contract id, deploy gas). *)
+let deploy (c : t) ~(code_size : int) ~(make : storage -> handler) : int * int =
+  let meter = Gas.create () in
+  Gas.charge meter (Gas.deploy_base + (code_size * Gas.per_code_byte));
+  let storage = { kv = Hashtbl.create 16; meter } in
+  let contract = { c_storage = storage; c_handler = make storage; c_code_size = code_size } in
+  if c.n_contracts = Array.length c.contracts then begin
+    let bigger = Array.make (max 4 (2 * Array.length c.contracts)) contract in
+    Array.blit c.contracts 0 bigger 0 c.n_contracts;
+    c.contracts <- bigger
+  end;
+  c.contracts.(c.n_contracts) <- contract;
+  c.n_contracts <- c.n_contracts + 1;
+  (c.n_contracts - 1, meter.Gas.used)
+
+(** Call a contract method as an on-chain transaction. *)
+let call (c : t) ~(caller : address) ~(contract : int) ~(meth : string)
+    ~(args : string) : receipt =
+  if contract < 0 || contract >= c.n_contracts then
+    { r_ok = Error "no such contract"; r_gas = 0; r_events = [] }
+  else begin
+    let k = c.contracts.(contract) in
+    let meter = Gas.create () in
+    Gas.charge meter Gas.tx_base;
+    k.c_storage.meter <- meter;
+    let events = ref [] in
+    let emit name data =
+      Gas.charge meter (Gas.event_base + (String.length data * Gas.per_event_byte));
+      events := { ev_contract = contract; ev_name = name; ev_data = data } :: !events
+    in
+    let ctx = { caller; now = c.time; meter; emit } in
+    let r_ok =
+      try k.c_handler ctx meth args with
+      | Gas.Out_of_gas -> Error "out of gas"
+      | Monet_util.Wire.Truncated -> Error "malformed call data"
+    in
+    c.height <- c.height + 1;
+    c.log <- !events @ c.log;
+    { r_ok; r_gas = meter.Gas.used; r_events = List.rev !events }
+  end
+
+(** Events emitted since a given log position (for off-chain watchers:
+    escrowers, channel parties). *)
+let events_since (c : t) (n : int) : event list * int =
+  let all = List.rev c.log in
+  let total = List.length all in
+  let fresh = List.filteri (fun i _ -> i >= n) all in
+  (fresh, total)

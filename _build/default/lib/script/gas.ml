@@ -1,0 +1,28 @@
+(** EVM-style gas schedule for the script-enabled chain simulator.
+
+    The constants follow the Ethereum yellow-paper magnitudes so the
+    KES contract's measured costs land in the same ballpark as the
+    paper's Truffle measurements (E9): what matters for the
+    reproduction is the *relative* cost of deploy vs. cooperative
+    close vs. dispute, which these constants preserve. *)
+
+let tx_base = 21000
+let deploy_base = 32000
+let per_code_byte = 200
+let sstore_new = 20000
+let sstore_update = 5000
+let sload = 800
+let event_base = 1750
+let per_event_byte = 8
+let sig_verify = 5000 (* precompile-style signature check incl. calldata *)
+let computation = 10 (* generic per-step cost *)
+
+type meter = { mutable used : int; mutable limit : int }
+
+exception Out_of_gas
+
+let create ?(limit = 10_000_000) () = { used = 0; limit }
+
+let charge (m : meter) (n : int) =
+  m.used <- m.used + n;
+  if m.used > m.limit then raise Out_of_gas

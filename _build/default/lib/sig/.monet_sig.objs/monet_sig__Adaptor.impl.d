@@ -1,0 +1,1 @@
+lib/sig/adaptor.ml: Monet_ec Monet_hash Monet_util Point Sc Sig_core

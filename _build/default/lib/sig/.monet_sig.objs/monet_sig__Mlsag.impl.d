@@ -1,0 +1,1 @@
+lib/sig/mlsag.ml: Array Monet_ec Monet_hash Monet_util Point Sc

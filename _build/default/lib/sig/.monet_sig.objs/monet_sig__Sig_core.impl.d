@@ -1,0 +1,1 @@
+lib/sig/sig_core.ml: Monet_ec Monet_hash Monet_util Point Sc

@@ -1,0 +1,1 @@
+lib/sig/stmt.ml: Monet_ec Monet_hash Monet_sigma Monet_util Point Sc

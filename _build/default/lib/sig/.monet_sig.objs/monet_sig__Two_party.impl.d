@@ -1,0 +1,1 @@
+lib/sig/two_party.ml: Array Lsag Monet_ec Monet_hash Monet_sigma Monet_util Point Sc Stmt

@@ -1,0 +1,1 @@
+lib/sig/two_party_ct.ml: Array Mlsag Monet_ec Monet_hash Point Sc Stmt Two_party

@@ -1,0 +1,42 @@
+(** Generic adaptor-signature transform (paper Fig. 2), instantiated
+    for the Schnorr scheme of {!Sig_core}:
+
+    - f_shift(R, Y) = R + Y (randomness shift)
+    - f_adapt(ŝ, y) = ŝ + y (adapt operation)
+    - f_ext(s, ŝ)  = s - ŝ (witness extraction)
+
+    A pre-signature σ̂ on message m under statement Y = y·G becomes a
+    valid signature once adapted with the witness y, and the witness
+    can be extracted from any (σ, σ̂) pair. *)
+
+open Monet_ec
+
+type pre_signature = { h : Sc.t; s_pre : Sc.t }
+
+let encode (w : Monet_util.Wire.writer) (p : pre_signature) =
+  Monet_util.Wire.write_fixed w (Sc.to_bytes_le p.h);
+  Monet_util.Wire.write_fixed w (Sc.to_bytes_le p.s_pre)
+
+let decode (r : Monet_util.Wire.reader) : pre_signature =
+  let h = Sc.of_bytes_le (Monet_util.Wire.read_fixed r 32) in
+  let s_pre = Sc.of_bytes_le (Monet_util.Wire.read_fixed r 32) in
+  { h; s_pre }
+
+let pre_sign (g : Monet_hash.Drbg.t) (kp : Sig_core.keypair) (msg : string)
+    ~(stmt : Point.t) : pre_signature =
+  let r = Sc.random_nonzero g in
+  let r_pre = Point.mul_base r in
+  let r_sign = Point.add r_pre stmt in
+  let h = Sig_core.challenge r_sign kp.vk msg in
+  { h; s_pre = Sc.add r (Sc.mul h kp.sk) }
+
+let pre_verify (vk : Point.t) (msg : string) ~(stmt : Point.t) (p : pre_signature) :
+    bool =
+  let r_pre = Point.sub_point (Point.mul_base p.s_pre) (Point.mul p.h vk) in
+  let r_sign = Point.add r_pre stmt in
+  Sc.equal p.h (Sig_core.challenge r_sign vk msg)
+
+let adapt (p : pre_signature) ~(y : Sc.t) : Sig_core.signature =
+  { Sig_core.h = p.h; s = Sc.add p.s_pre y }
+
+let ext (sg : Sig_core.signature) (p : pre_signature) : Sc.t = Sc.sub sg.s p.s_pre

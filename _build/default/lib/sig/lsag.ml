@@ -1,0 +1,178 @@
+(** LSAG linkable ring signatures (Liu–Wei–Wong '04, in the Monero
+    style), with adaptor ("pre-signature") support.
+
+    A signature over a ring P_0..P_{n-1} with real index π and secret
+    key k (P_π = k·G) is (c_0, s_0..s_{n-1}, I) where I = k·Hp(P_π) is
+    the key image. Verification walks the ring:
+
+      L_i = s_i·G + c_i·P_i        R_i = s_i·Hp(P_i) + c_i·I
+      c_{i+1 mod n} = H(m, L_i, R_i)
+
+    and accepts iff the walk closes (reproduces c_0). Two signatures
+    with the same key image are linked — the ledger uses this for
+    double-spend detection.
+
+    The adaptor variant offsets the commitment at the real index by a
+    two-leg statement (see {!Stmt}); adapting adds the witness to s_π,
+    after which the signature verifies under the standard equations
+    and is indistinguishable from a non-adaptor LSAG. *)
+
+open Monet_ec
+
+type signature = { c0 : Sc.t; ss : Sc.t array; key_image : Point.t }
+
+type pre_signature = {
+  p_c0 : Sc.t;
+  p_ss : Sc.t array;
+  p_key_image : Point.t;
+  p_pi : int; (* real index: secret, shared only between channel parties *)
+}
+
+let hp_of_ring (ring : Point.t array) : Point.t array =
+  Array.map (fun p -> Point.hash_to_point "lsag-hp" (Point.encode p)) ring
+
+let challenge (msg : string) (l : Point.t) (r : Point.t) : Sc.t =
+  Sc.of_hash "lsag" [ msg; Point.encode l; Point.encode r ]
+
+let key_image ~(sk : Sc.t) ~(vk : Point.t) : Point.t =
+  Point.mul sk (Point.hash_to_point "lsag-hp" (Point.encode vk))
+
+(* Walk one step: from (c_i, s_i) at slot i to c_{i+1}. *)
+let step ~msg ~ring ~hps ~ki c i s =
+  let l = Point.add (Point.mul_base s) (Point.mul c ring.(i)) in
+  let r = Point.add (Point.mul s hps.(i)) (Point.mul c ki) in
+  challenge msg l r
+
+(* Core signing: with [stmt] the commitment at the real index is offset
+   by the statement legs, producing a pre-signature response. *)
+let sign_core (g : Monet_hash.Drbg.t) ~(ring : Point.t array) ~(pi : int)
+    ~(sk : Sc.t) ~(msg : string) ~(stmt : Stmt.t) : Sc.t * Sc.t array * Point.t =
+  let n = Array.length ring in
+  if n = 0 then invalid_arg "Lsag.sign: empty ring";
+  if pi < 0 || pi >= n then invalid_arg "Lsag.sign: bad index";
+  if not (Point.equal ring.(pi) (Point.mul_base sk)) then
+    invalid_arg "Lsag.sign: secret key does not match ring slot";
+  let hps = hp_of_ring ring in
+  let ki = Point.mul sk hps.(pi) in
+  let alpha = Sc.random_nonzero g in
+  let l_pi = Point.add (Point.mul_base alpha) stmt.Stmt.yg in
+  let r_pi = Point.add (Point.mul alpha hps.(pi)) stmt.Stmt.yhp in
+  let cs = Array.make n Sc.zero in
+  let ss = Array.make n Sc.zero in
+  cs.((pi + 1) mod n) <- challenge msg l_pi r_pi;
+  (* Fill decoys cycling from pi+1 around to pi. *)
+  for off = 1 to n - 1 do
+    let i = (pi + off) mod n in
+    ss.(i) <- Sc.random_nonzero g;
+    cs.((i + 1) mod n) <- step ~msg ~ring ~hps ~ki cs.(i) i ss.(i)
+  done;
+  ss.(pi) <- Sc.sub alpha (Sc.mul cs.(pi) sk);
+  (cs.(0), ss, ki)
+
+let sign (g : Monet_hash.Drbg.t) ~(ring : Point.t array) ~(pi : int) ~(sk : Sc.t)
+    ~(msg : string) : signature =
+  let c0, ss, key_image = sign_core g ~ring ~pi ~sk ~msg ~stmt:Stmt.zero in
+  { c0; ss; key_image }
+
+let pre_sign (g : Monet_hash.Drbg.t) ~(ring : Point.t array) ~(pi : int)
+    ~(sk : Sc.t) ~(msg : string) ~(stmt : Stmt.t) : pre_signature =
+  let p_c0, p_ss, p_key_image = sign_core g ~ring ~pi ~sk ~msg ~stmt in
+  { p_c0; p_ss; p_key_image; p_pi = pi }
+
+let verify ~(ring : Point.t array) ~(msg : string) (sg : signature) : bool =
+  let n = Array.length ring in
+  n > 0
+  && Array.length sg.ss = n
+  &&
+  let hps = hp_of_ring ring in
+  let c = ref sg.c0 in
+  for i = 0 to n - 1 do
+    c := step ~msg ~ring ~hps ~ki:sg.key_image !c i sg.ss.(i)
+  done;
+  Sc.equal !c sg.c0
+
+(** Verify a pre-signature: the ring walk must close when the real
+    index's commitments are offset by the statement. *)
+let pre_verify ~(ring : Point.t array) ~(msg : string) ~(stmt : Stmt.t)
+    (p : pre_signature) : bool =
+  let n = Array.length ring in
+  n > 0
+  && Array.length p.p_ss = n
+  && p.p_pi >= 0
+  && p.p_pi < n
+  &&
+  let hps = hp_of_ring ring in
+  let c = ref p.p_c0 in
+  for i = 0 to n - 1 do
+    if i = p.p_pi then begin
+      let l =
+        Point.add
+          (Point.add (Point.mul_base p.p_ss.(i)) (Point.mul !c ring.(i)))
+          stmt.Stmt.yg
+      in
+      let r =
+        Point.add
+          (Point.add (Point.mul p.p_ss.(i) hps.(i)) (Point.mul !c p.p_key_image))
+          stmt.Stmt.yhp
+      in
+      c := challenge msg l r
+    end
+    else c := step ~msg ~ring ~hps ~ki:p.p_key_image !c i p.p_ss.(i)
+  done;
+  Sc.equal !c p.p_c0
+
+let adapt (p : pre_signature) ~(y : Sc.t) : signature =
+  let ss = Array.copy p.p_ss in
+  ss.(p.p_pi) <- Sc.add ss.(p.p_pi) y;
+  { c0 = p.p_c0; ss; key_image = p.p_key_image }
+
+let ext (sg : signature) (p : pre_signature) : Sc.t =
+  Sc.sub sg.ss.(p.p_pi) p.p_ss.(p.p_pi)
+
+(** Partially adapt: absorb one witness, leaving a pre-signature that
+    still awaits the remaining statement's witness. Used for AMHL
+    locks, where the locked pre-signature is concealed both by the
+    channel-state statement and by the payment lock. *)
+let partial_adapt (p : pre_signature) ~(y : Sc.t) : pre_signature =
+  let ss = Array.copy p.p_ss in
+  ss.(p.p_pi) <- Sc.add ss.(p.p_pi) y;
+  { p with p_ss = ss }
+
+(** Witness difference between two pre-signatures over the same
+    session (extraction from a partial adaptation). *)
+let ext_partial (after : pre_signature) (before : pre_signature) : Sc.t =
+  Sc.sub after.p_ss.(after.p_pi) before.p_ss.(before.p_pi)
+
+(** Linkability: same key image ⇔ same signing key. *)
+let linked (a : signature) (b : signature) : bool =
+  Point.equal a.key_image b.key_image
+
+let encode (w : Monet_util.Wire.writer) (sg : signature) =
+  Monet_util.Wire.write_fixed w (Sc.to_bytes_le sg.c0);
+  Monet_util.Wire.write_u32 w (Array.length sg.ss);
+  Array.iter (fun s -> Monet_util.Wire.write_fixed w (Sc.to_bytes_le s)) sg.ss;
+  Monet_util.Wire.write_fixed w (Point.encode sg.key_image)
+
+let decode (r : Monet_util.Wire.reader) : signature =
+  let c0 = Sc.of_bytes_le (Monet_util.Wire.read_fixed r 32) in
+  let n = Monet_util.Wire.read_u32 r in
+  if n > 4096 then invalid_arg "Lsag.decode: ring too large";
+  let ss = Array.init n (fun _ -> Sc.of_bytes_le (Monet_util.Wire.read_fixed r 32)) in
+  let key_image = Point.decode_exn (Monet_util.Wire.read_fixed r 32) in
+  { c0; ss; key_image }
+
+let encode_pre (w : Monet_util.Wire.writer) (p : pre_signature) =
+  Monet_util.Wire.write_fixed w (Sc.to_bytes_le p.p_c0);
+  Monet_util.Wire.write_u32 w (Array.length p.p_ss);
+  Array.iter (fun s -> Monet_util.Wire.write_fixed w (Sc.to_bytes_le s)) p.p_ss;
+  Monet_util.Wire.write_fixed w (Point.encode p.p_key_image);
+  Monet_util.Wire.write_u32 w p.p_pi
+
+let decode_pre (r : Monet_util.Wire.reader) : pre_signature =
+  let p_c0 = Sc.of_bytes_le (Monet_util.Wire.read_fixed r 32) in
+  let n = Monet_util.Wire.read_u32 r in
+  if n > 4096 then invalid_arg "Lsag.decode_pre: ring too large";
+  let p_ss = Array.init n (fun _ -> Sc.of_bytes_le (Monet_util.Wire.read_fixed r 32)) in
+  let p_key_image = Point.decode_exn (Monet_util.Wire.read_fixed r 32) in
+  let p_pi = Monet_util.Wire.read_u32 r in
+  { p_c0; p_ss; p_key_image; p_pi }

@@ -1,0 +1,98 @@
+(** MLSAG: multilayer linkable spontaneous anonymous group signatures
+    (Noether, "Ring Confidential Transactions"), restricted to the
+    two-row shape Monero's RingCT inputs use.
+
+    Ring member i is a column (P_i, D_i) of two public keys; the signer
+    knows both discrete logs at its index π: sk (the one-time output
+    key, which gets a key image) and z (the commitment-difference key
+    C_π − pseudo-out, which does not). The walk is LSAG's with two
+    L-legs and one R-leg:
+
+      L1_i = s1_i·G + c_i·P_i     R_i = s1_i·Hp(P_i) + c_i·I
+      L2_i = s2_i·G + c_i·D_i
+      c_{i+1} = H(m, L1_i, R_i, L2_i)
+
+    This is what lets a confidential transaction prove "one of these
+    outputs is mine AND its commitment equals my pseudo-output's"
+    without revealing which — the piece plain LSAG cannot express. *)
+
+open Monet_ec
+
+type column = { p : Point.t; d : Point.t }
+
+type signature = {
+  c0 : Sc.t;
+  s1 : Sc.t array;
+  s2 : Sc.t array;
+  key_image : Point.t;
+}
+
+let challenge msg l1 r l2 =
+  Sc.of_hash "mlsag"
+    [ msg; Point.encode l1; Point.encode r; Point.encode l2 ]
+
+let step ~msg ~(ring : column array) ~hps ~ki c i s1 s2 =
+  let l1 = Point.add (Point.mul_base s1) (Point.mul c ring.(i).p) in
+  let r = Point.add (Point.mul s1 hps.(i)) (Point.mul c ki) in
+  let l2 = Point.add (Point.mul_base s2) (Point.mul c ring.(i).d) in
+  challenge msg l1 r l2
+
+let hp_of_ring (ring : column array) : Point.t array =
+  Array.map (fun col -> Point.hash_to_point "lsag-hp" (Point.encode col.p)) ring
+
+let sign (g : Monet_hash.Drbg.t) ~(ring : column array) ~(pi : int) ~(sk : Sc.t)
+    ~(z : Sc.t) ~(msg : string) : signature =
+  let n = Array.length ring in
+  if n = 0 || pi < 0 || pi >= n then invalid_arg "Mlsag.sign: bad ring";
+  if not (Point.equal ring.(pi).p (Point.mul_base sk)) then
+    invalid_arg "Mlsag.sign: sk does not match ring slot";
+  if not (Point.equal ring.(pi).d (Point.mul_base z)) then
+    invalid_arg "Mlsag.sign: z does not match commitment slot";
+  let hps = hp_of_ring ring in
+  let ki = Point.mul sk hps.(pi) in
+  let a1 = Sc.random_nonzero g and a2 = Sc.random_nonzero g in
+  let cs = Array.make n Sc.zero in
+  let s1 = Array.make n Sc.zero and s2 = Array.make n Sc.zero in
+  cs.((pi + 1) mod n) <-
+    challenge msg (Point.mul_base a1) (Point.mul a1 hps.(pi)) (Point.mul_base a2);
+  for off = 1 to n - 1 do
+    let i = (pi + off) mod n in
+    s1.(i) <- Sc.random_nonzero g;
+    s2.(i) <- Sc.random_nonzero g;
+    cs.((i + 1) mod n) <- step ~msg ~ring ~hps ~ki cs.(i) i s1.(i) s2.(i)
+  done;
+  s1.(pi) <- Sc.sub a1 (Sc.mul cs.(pi) sk);
+  s2.(pi) <- Sc.sub a2 (Sc.mul cs.(pi) z);
+  { c0 = cs.(0); s1; s2; key_image = ki }
+
+let verify ~(ring : column array) ~(msg : string) (sg : signature) : bool =
+  let n = Array.length ring in
+  n > 0
+  && Array.length sg.s1 = n
+  && Array.length sg.s2 = n
+  &&
+  let hps = hp_of_ring ring in
+  let c = ref sg.c0 in
+  for i = 0 to n - 1 do
+    c := step ~msg ~ring ~hps ~ki:sg.key_image !c i sg.s1.(i) sg.s2.(i)
+  done;
+  Sc.equal !c sg.c0
+
+let linked (a : signature) (b : signature) : bool =
+  Point.equal a.key_image b.key_image
+
+let encode (w : Monet_util.Wire.writer) (sg : signature) =
+  Monet_util.Wire.write_fixed w (Sc.to_bytes_le sg.c0);
+  Monet_util.Wire.write_u32 w (Array.length sg.s1);
+  Array.iter (fun s -> Monet_util.Wire.write_fixed w (Sc.to_bytes_le s)) sg.s1;
+  Array.iter (fun s -> Monet_util.Wire.write_fixed w (Sc.to_bytes_le s)) sg.s2;
+  Monet_util.Wire.write_fixed w (Point.encode sg.key_image)
+
+let decode (r : Monet_util.Wire.reader) : signature =
+  let c0 = Sc.of_bytes_le (Monet_util.Wire.read_fixed r 32) in
+  let n = Monet_util.Wire.read_u32 r in
+  if n > 4096 then invalid_arg "Mlsag.decode: ring too large";
+  let s1 = Array.init n (fun _ -> Sc.of_bytes_le (Monet_util.Wire.read_fixed r 32)) in
+  let s2 = Array.init n (fun _ -> Sc.of_bytes_le (Monet_util.Wire.read_fixed r 32)) in
+  let key_image = Point.decode_exn (Monet_util.Wire.read_fixed r 32) in
+  { c0; s1; s2; key_image }

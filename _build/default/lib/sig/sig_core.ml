@@ -1,0 +1,41 @@
+(** Plain Schnorr signatures over ed25519 — the paper's generic
+    signature construction (Fig. 1) with P1 = (r, r·G), challenge
+    h = H(R, m), P2 = r + h·sk and V0(pk, h, s) = s·G - h·pk.
+
+    Used for the funding-transaction signatures, for every
+    authenticated off-chain protocol message, and by the script-chain
+    accounts (the KES host). *)
+
+open Monet_ec
+
+type keypair = { sk : Sc.t; vk : Point.t }
+
+let gen (g : Monet_hash.Drbg.t) : keypair =
+  let sk = Sc.random_nonzero g in
+  { sk; vk = Point.mul_base sk }
+
+type signature = { h : Sc.t; s : Sc.t }
+
+let signature_bytes = 64
+
+let encode (w : Monet_util.Wire.writer) (sg : signature) =
+  Monet_util.Wire.write_fixed w (Sc.to_bytes_le sg.h);
+  Monet_util.Wire.write_fixed w (Sc.to_bytes_le sg.s)
+
+let decode (r : Monet_util.Wire.reader) : signature =
+  let h = Sc.of_bytes_le (Monet_util.Wire.read_fixed r 32) in
+  let s = Sc.of_bytes_le (Monet_util.Wire.read_fixed r 32) in
+  { h; s }
+
+let challenge (r : Point.t) (vk : Point.t) (msg : string) : Sc.t =
+  Sc.of_hash "schnorr-sig" [ Point.encode r; Point.encode vk; msg ]
+
+let sign (g : Monet_hash.Drbg.t) (kp : keypair) (msg : string) : signature =
+  let r = Sc.random_nonzero g in
+  let rg = Point.mul_base r in
+  let h = challenge rg kp.vk msg in
+  { h; s = Sc.add r (Sc.mul h kp.sk) }
+
+let verify (vk : Point.t) (msg : string) (sg : signature) : bool =
+  let rg = Point.sub_point (Point.mul_base sg.s) (Point.mul sg.h vk) in
+  Sc.equal sg.h (challenge rg vk msg)

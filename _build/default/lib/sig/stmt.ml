@@ -1,0 +1,56 @@
+(** Adaptor statements for ring signatures.
+
+    Adapting a linkable ring signature shifts the response at the real
+    index, which affects both verification legs (the G-leg and the
+    key-image leg). A usable statement therefore carries the witness
+    against both bases:
+
+      yg  = y·G       yhp = y·Hp
+
+    where Hp = hash-to-point of the ring slot's public key. A DLEQ
+    proof ties the two legs together, so whoever receives a statement
+    can check it embeds a single witness. *)
+
+open Monet_ec
+
+type t = { yg : Point.t; yhp : Point.t }
+
+type proved = { stmt : t; proof : Monet_sigma.Dleq.proof }
+
+let zero : t = { yg = Point.identity; yhp = Point.identity }
+
+(** Combine two statements (for joint statements S = S_A ⊕ S_B and for
+    AMHL lock accumulation Y_B + Y_C). *)
+let combine (a : t) (b : t) : t =
+  { yg = Point.add a.yg b.yg; yhp = Point.add a.yhp b.yhp }
+
+let equal (a : t) (b : t) : bool = Point.equal a.yg b.yg && Point.equal a.yhp b.yhp
+
+let make ~(y : Sc.t) ~(hp : Point.t) : t =
+  { yg = Point.mul_base y; yhp = Point.mul y hp }
+
+let make_proved (g : Monet_hash.Drbg.t) ~(y : Sc.t) ~(hp : Point.t) : proved =
+  let stmt = make ~y ~hp in
+  let proof = Monet_sigma.Dleq.prove g ~x:y ~g1:Point.base ~g2:hp in
+  { stmt; proof }
+
+let verify ~(hp : Point.t) (p : proved) : bool =
+  Monet_sigma.Dleq.verify ~g1:Point.base ~h1:p.stmt.yg ~g2:hp ~h2:p.stmt.yhp p.proof
+
+let encode (w : Monet_util.Wire.writer) (s : t) =
+  Monet_util.Wire.write_fixed w (Point.encode s.yg);
+  Monet_util.Wire.write_fixed w (Point.encode s.yhp)
+
+let decode (r : Monet_util.Wire.reader) : t =
+  let yg = Point.decode_exn (Monet_util.Wire.read_fixed r 32) in
+  let yhp = Point.decode_exn (Monet_util.Wire.read_fixed r 32) in
+  { yg; yhp }
+
+let encode_proved (w : Monet_util.Wire.writer) (p : proved) =
+  encode w p.stmt;
+  Monet_sigma.Dleq.encode_proof w p.proof
+
+let decode_proved (r : Monet_util.Wire.reader) : proved =
+  let stmt = decode r in
+  let proof = Monet_sigma.Dleq.decode_proof r in
+  { stmt; proof }

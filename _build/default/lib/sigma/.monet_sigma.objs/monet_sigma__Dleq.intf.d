@@ -1,0 +1,1 @@
+lib/sigma/dleq.mli: Monet_ec Monet_hash Monet_util Point Sc

@@ -1,0 +1,1 @@
+lib/sigma/pedersen.ml: Monet_ec Point Sc

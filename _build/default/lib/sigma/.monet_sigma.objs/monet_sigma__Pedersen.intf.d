@@ -1,0 +1,1 @@
+lib/sigma/pedersen.mli: Monet_ec Point Sc

@@ -1,0 +1,1 @@
+lib/sigma/schnorr.ml: Monet_ec Monet_hash Monet_util Point Sc Transcript

@@ -1,0 +1,1 @@
+lib/sigma/stadler.ml: Array Bn Monet_ec Monet_hash Monet_util Point Sc Transcript Zl

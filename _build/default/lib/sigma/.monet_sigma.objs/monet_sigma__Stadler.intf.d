@@ -1,0 +1,1 @@
+lib/sigma/stadler.mli: Bn Monet_ec Monet_hash Monet_util Point Sc

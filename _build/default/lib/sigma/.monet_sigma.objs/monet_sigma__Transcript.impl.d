@@ -1,0 +1,1 @@
+lib/sigma/transcript.ml: Array Buffer Char Monet_ec Monet_hash Monet_util String

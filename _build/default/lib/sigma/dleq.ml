@@ -1,0 +1,48 @@
+(** Chaum–Pedersen proof of discrete-log equality:
+    given (G1, H1, G2, H2), prove knowledge of x with H1 = x·G1 and
+    H2 = x·G2. Used by PVSS share-correctness proofs and by the
+    2-party key setup. *)
+
+open Monet_ec
+
+type proof = { c : Sc.t; s : Sc.t }
+
+let encode_proof (w : Monet_util.Wire.writer) (p : proof) =
+  Monet_util.Wire.write_fixed w (Sc.to_bytes_le p.c);
+  Monet_util.Wire.write_fixed w (Sc.to_bytes_le p.s)
+
+let decode_proof (r : Monet_util.Wire.reader) : proof =
+  let c = Sc.of_bytes_le (Monet_util.Wire.read_fixed r 32) in
+  let s = Sc.of_bytes_le (Monet_util.Wire.read_fixed r 32) in
+  { c; s }
+
+let absorb_statement t ~g1 ~h1 ~g2 ~h2 =
+  Transcript.absorb_point t ~label:"G1" g1;
+  Transcript.absorb_point t ~label:"H1" h1;
+  Transcript.absorb_point t ~label:"G2" g2;
+  Transcript.absorb_point t ~label:"H2" h2
+
+let prove ?(context = "") (g : Monet_hash.Drbg.t) ~(x : Sc.t) ~(g1 : Point.t)
+    ~(g2 : Point.t) : proof =
+  let h1 = Point.mul x g1 and h2 = Point.mul x g2 in
+  let r = Sc.random_nonzero g in
+  let a1 = Point.mul r g1 and a2 = Point.mul r g2 in
+  let t = Transcript.create "dleq" in
+  Transcript.absorb t ~label:"ctx" context;
+  absorb_statement t ~g1 ~h1 ~g2 ~h2;
+  Transcript.absorb_point t ~label:"A1" a1;
+  Transcript.absorb_point t ~label:"A2" a2;
+  let c = Transcript.challenge_scalar t ~label:"c" in
+  { c; s = Sc.add r (Sc.mul c x) }
+
+let verify ?(context = "") ~(g1 : Point.t) ~(h1 : Point.t) ~(g2 : Point.t)
+    ~(h2 : Point.t) (p : proof) : bool =
+  let a1 = Point.sub_point (Point.mul p.s g1) (Point.mul p.c h1) in
+  let a2 = Point.sub_point (Point.mul p.s g2) (Point.mul p.c h2) in
+  let t = Transcript.create "dleq" in
+  Transcript.absorb t ~label:"ctx" context;
+  absorb_statement t ~g1 ~h1 ~g2 ~h2;
+  Transcript.absorb_point t ~label:"A1" a1;
+  Transcript.absorb_point t ~label:"A2" a2;
+  let c = Transcript.challenge_scalar t ~label:"c" in
+  Sc.equal c p.c

@@ -1,0 +1,30 @@
+(** Chaum–Pedersen discrete-log-equality proofs: given (G1, H1, G2, H2),
+    prove knowledge of x with H1 = x·G1 and H2 = x·G2. Used to tie the
+    two legs of ring-adaptor statements, key-image shares, and PVSS
+    machinery together. *)
+
+open Monet_ec
+
+type proof = { c : Sc.t; s : Sc.t }
+
+val encode_proof : Monet_util.Wire.writer -> proof -> unit
+val decode_proof : Monet_util.Wire.reader -> proof
+
+val prove :
+  ?context:string ->
+  Monet_hash.Drbg.t ->
+  x:Sc.t ->
+  g1:Point.t ->
+  g2:Point.t ->
+  proof
+(** Proves log_{g1}(x·g1) = log_{g2}(x·g2); the caller publishes the
+    derived points. *)
+
+val verify :
+  ?context:string ->
+  g1:Point.t ->
+  h1:Point.t ->
+  g2:Point.t ->
+  h2:Point.t ->
+  proof ->
+  bool

@@ -1,0 +1,18 @@
+(** Pedersen commitments C = v·G + r·H, with H a nothing-up-my-sleeve
+    second generator (hashed to the curve, so its dlog w.r.t. G is
+    unknown). Used for channel-state commitments sent to the KES. *)
+
+open Monet_ec
+
+let h : Point.t = Point.hash_to_point "pedersen-h" "monet generator H"
+
+type commitment = Point.t
+
+let commit ~(value : Sc.t) ~(blind : Sc.t) : commitment =
+  Point.add (Point.mul_base value) (Point.mul blind h)
+
+let verify ~(value : Sc.t) ~(blind : Sc.t) (c : commitment) : bool =
+  Point.equal c (commit ~value ~blind)
+
+(** Commitments are additively homomorphic. *)
+let add = Point.add

@@ -1,0 +1,16 @@
+(** Pedersen commitments C = v·G + r·H over ed25519, with H a
+    nothing-up-my-sleeve second generator. *)
+
+open Monet_ec
+
+val h : Point.t
+(** The second generator (hashed to the curve; dlog unknown). *)
+
+type commitment = Point.t
+
+val commit : value:Sc.t -> blind:Sc.t -> commitment
+val verify : value:Sc.t -> blind:Sc.t -> commitment -> bool
+
+val add : commitment -> commitment -> commitment
+(** Additive homomorphism: [add (commit v1 r1) (commit v2 r2)] opens
+    as (v1+v2, r1+r2). *)

@@ -1,0 +1,37 @@
+(** Non-interactive Schnorr proof of knowledge of a discrete logarithm:
+    given X, prove knowledge of x with X = x·G. *)
+
+open Monet_ec
+
+type proof = { c : Sc.t; s : Sc.t }
+
+let proof_size = 64
+
+let encode_proof (w : Monet_util.Wire.writer) (p : proof) =
+  Monet_util.Wire.write_fixed w (Sc.to_bytes_le p.c);
+  Monet_util.Wire.write_fixed w (Sc.to_bytes_le p.s)
+
+let decode_proof (r : Monet_util.Wire.reader) : proof =
+  let c = Sc.of_bytes_le (Monet_util.Wire.read_fixed r 32) in
+  let s = Sc.of_bytes_le (Monet_util.Wire.read_fixed r 32) in
+  { c; s }
+
+let prove ?(context = "") (g : Monet_hash.Drbg.t) ~(x : Sc.t) ~(xg : Point.t) : proof =
+  let r = Sc.random_nonzero g in
+  let rg = Point.mul_base r in
+  let t = Transcript.create "schnorr" in
+  Transcript.absorb t ~label:"ctx" context;
+  Transcript.absorb_point t ~label:"X" xg;
+  Transcript.absorb_point t ~label:"R" rg;
+  let c = Transcript.challenge_scalar t ~label:"c" in
+  { c; s = Sc.add r (Sc.mul c x) }
+
+let verify ?(context = "") ~(xg : Point.t) (p : proof) : bool =
+  (* R = sG - cX; recompute challenge. *)
+  let rg = Point.sub_point (Point.mul_base p.s) (Point.mul p.c xg) in
+  let t = Transcript.create "schnorr" in
+  Transcript.absorb t ~label:"ctx" context;
+  Transcript.absorb_point t ~label:"X" xg;
+  Transcript.absorb_point t ~label:"R" rg;
+  let c = Transcript.challenge_scalar t ~label:"c" in
+  Sc.equal c p.c

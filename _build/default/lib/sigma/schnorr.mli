@@ -1,0 +1,15 @@
+(** Non-interactive Schnorr proof of knowledge of a discrete
+    logarithm: given X = x·G, prove knowledge of x. *)
+
+open Monet_ec
+
+type proof = { c : Sc.t; s : Sc.t }
+
+val proof_size : int
+val encode_proof : Monet_util.Wire.writer -> proof -> unit
+val decode_proof : Monet_util.Wire.reader -> proof
+
+val prove :
+  ?context:string -> Monet_hash.Drbg.t -> x:Sc.t -> xg:Point.t -> proof
+
+val verify : ?context:string -> xg:Point.t -> proof -> bool

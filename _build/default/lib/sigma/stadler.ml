@@ -1,0 +1,131 @@
+(** Stadler-style double-discrete-log proof (cut-and-choose).
+
+    Statement: points (Y, Y') on ed25519 and a public base h ∈ Z_ℓ*.
+    The prover knows an integer witness x (0 ≤ x < ℓ) such that
+
+      Y  = x·G            (discrete log on the curve)
+      Y' = (h^x mod ℓ)·G  (double discrete log)
+
+    This is exactly the consecutiveness relation of the VCOF chain
+    (DESIGN.md §3.2). The protocol runs [reps] independent repetitions
+    with binary challenges (soundness error 2^-reps), made
+    non-interactive with Fiat–Shamir.
+
+    Per repetition j the prover samples a 384-bit integer r_j (its
+    extra 128+ bits statistically mask x over the integers) and
+    commits
+
+      t_j = (h^{r_j} mod ℓ)·G      u_j = (r_j mod ℓ)·G
+
+    On challenge bit 0 it reveals r_j (the verifier recomputes both
+    commitments); on bit 1 it reveals z_j = r_j - x over the integers,
+    and the verifier checks
+
+      t_j = (h^{z_j} mod ℓ)·Y'     u_j = (z_j mod ℓ)·G + Y
+
+    A repetition answerable both ways yields the integer w = r_j - z_j
+    with Y = w·G and Y' = (h^w)·G — the same w in both equations — so
+    the relation is sound. *)
+
+open Monet_ec
+
+let default_reps = 80
+let response_bytes = 48 (* 384-bit masking integers *)
+
+type rep = { t : Point.t; u : Point.t; resp : Bn.t (* r_j or z_j per the bit *) }
+type proof = { reps : rep array }
+
+let size (p : proof) : int = 4 + (Array.length p.reps * (32 + 32 + response_bytes))
+
+let encode (w : Monet_util.Wire.writer) (p : proof) =
+  Monet_util.Wire.write_u32 w (Array.length p.reps);
+  Array.iter
+    (fun r ->
+      Monet_util.Wire.write_fixed w (Point.encode r.t);
+      Monet_util.Wire.write_fixed w (Point.encode r.u);
+      Monet_util.Wire.write_fixed w (Bn.to_bytes_le r.resp ~len:response_bytes))
+    p.reps
+
+let decode (r : Monet_util.Wire.reader) : proof option =
+  try
+    let n = Monet_util.Wire.read_u32 r in
+    if n > 4096 then None
+    else
+      let reps =
+        Array.init n (fun _ ->
+            let t = Point.decode_exn (Monet_util.Wire.read_fixed r 32) in
+            let u = Point.decode_exn (Monet_util.Wire.read_fixed r 32) in
+            let resp = Bn.of_bytes_le (Monet_util.Wire.read_fixed r response_bytes) in
+            { t; u; resp })
+      in
+      Some { reps }
+  with _ -> None
+
+let absorb_statement tr ~h ~y ~y' =
+  Transcript.absorb tr ~label:"h" (Sc.to_bytes_le h);
+  Transcript.absorb_point tr ~label:"Y" y;
+  Transcript.absorb_point tr ~label:"Y'" y'
+
+let challenge_bits ~context ~h ~y ~y' (commitments : (Point.t * Point.t) array) :
+    bool array =
+  let tr = Transcript.create "stadler" in
+  Transcript.absorb tr ~label:"ctx" context;
+  absorb_statement tr ~h ~y ~y';
+  Array.iter
+    (fun (t, u) ->
+      Transcript.absorb_point tr ~label:"t" t;
+      Transcript.absorb_point tr ~label:"u" u)
+    commitments;
+  Transcript.challenge_bits tr ~label:"bits" (Array.length commitments)
+
+(** [prove g ~x ~h] proves consecutiveness of Y = x·G and
+    Y' = (h^x)·G. The caller supplies the witness [x] only; statements
+    are recomputed (and also returned for convenience). *)
+let prove ?(context = "") ?(reps = default_reps) (g : Monet_hash.Drbg.t) ~(x : Sc.t)
+    ~(h : Sc.t) : proof * Point.t * Point.t =
+  let y = Point.mul_base x in
+  let x' = Zl.pow h x in
+  let y' = Point.mul_base x' in
+  (* Sample masking integers, all >= x so responses never go negative. *)
+  let rec sample () =
+    let r = Bn.of_bytes_le (Monet_hash.Drbg.bytes g response_bytes) in
+    if Bn.compare r x < 0 then sample () else r
+  in
+  let rs = Array.init reps (fun _ -> sample ()) in
+  let commitments =
+    Array.map
+      (fun r ->
+        let t = Point.mul_base (Zl.pow h r) in
+        let u = Point.mul_base (Sc.of_bn r) in
+        (t, u))
+      rs
+  in
+  let bits = challenge_bits ~context ~h ~y ~y' commitments in
+  let reps_out =
+    Array.init reps (fun j ->
+        let t, u = commitments.(j) in
+        let resp = if bits.(j) then Bn.sub rs.(j) x else rs.(j) in
+        { t; u; resp })
+  in
+  ({ reps = reps_out }, y, y')
+
+let verify ?(context = "") ~(h : Sc.t) ~(y : Point.t) ~(y' : Point.t) (p : proof) :
+    bool =
+  let n = Array.length p.reps in
+  n > 0
+  &&
+  let commitments = Array.map (fun r -> (r.t, r.u)) p.reps in
+  let bits = challenge_bits ~context ~h ~y ~y' commitments in
+  let check j =
+    let { t; u; resp } = p.reps.(j) in
+    if bits.(j) then
+      (* resp = z_j: t = (h^z)·Y',  u = (z mod l)·G + Y *)
+      Point.equal t (Point.mul (Zl.pow h resp) y')
+      && Point.equal u (Point.add (Point.mul_base (Sc.of_bn resp)) y)
+    else
+      (* resp = r_j: recompute both commitments *)
+      Point.equal t (Point.mul_base (Zl.pow h resp))
+      && Point.equal u (Point.mul_base (Sc.of_bn resp))
+  in
+  let rec go j = j >= n || (check j && go (j + 1)) in
+  go 0

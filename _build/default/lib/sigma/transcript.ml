@@ -1,0 +1,45 @@
+(** Fiat–Shamir transcripts.
+
+    A transcript absorbs labeled protocol messages and squeezes
+    challenges. Labels make the encoding injective, so two different
+    message sequences can never produce the same challenge stream. *)
+
+type t = { buf : Buffer.t }
+
+let create (protocol : string) : t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("monet/transcript/" ^ protocol ^ "\x00");
+  { buf }
+
+let absorb (t : t) ~(label : string) (data : string) : unit =
+  Buffer.add_string t.buf label;
+  Buffer.add_string t.buf (Monet_util.Bytes_ext.le32_of_int (String.length data));
+  Buffer.add_string t.buf data
+
+let absorb_point (t : t) ~label (p : Monet_ec.Point.t) =
+  absorb t ~label (Monet_ec.Point.encode p)
+
+let absorb_scalar (t : t) ~label (s : Monet_ec.Sc.t) =
+  absorb t ~label (Monet_ec.Sc.to_bytes_le s)
+
+(** Squeeze a challenge scalar; also re-absorbs it so subsequent
+    challenges depend on earlier ones. *)
+let challenge_scalar (t : t) ~(label : string) : Monet_ec.Sc.t =
+  let h = Monet_hash.Hash.tagged "fs-challenge" [ label; Buffer.contents t.buf ] in
+  absorb t ~label:("chal/" ^ label) h;
+  Monet_ec.Sc.of_bytes_le_wide h
+
+(** Squeeze [n] challenge bits (for cut-and-choose protocols). *)
+let challenge_bits (t : t) ~(label : string) (n : int) : bool array =
+  let nbytes = (n + 7) / 8 in
+  let buf = Buffer.create nbytes in
+  let ctr = ref 0 in
+  while Buffer.length buf < nbytes do
+    Buffer.add_string buf
+      (Monet_hash.Hash.tagged "fs-bits"
+         [ label; string_of_int !ctr; Buffer.contents t.buf ]);
+    incr ctr
+  done;
+  let bytes = Buffer.contents buf in
+  absorb t ~label:("chal/" ^ label) (String.sub bytes 0 nbytes);
+  Array.init n (fun i -> (Char.code bytes.[i / 8] lsr (i mod 8)) land 1 = 1)

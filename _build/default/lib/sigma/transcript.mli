@@ -1,0 +1,18 @@
+(** Fiat–Shamir transcripts: absorb labeled protocol messages, squeeze
+    challenges. Labels and length prefixes make the encoding injective. *)
+
+type t
+
+val create : string -> t
+(** [create protocol] starts a domain-separated transcript. *)
+
+val absorb : t -> label:string -> string -> unit
+val absorb_point : t -> label:string -> Monet_ec.Point.t -> unit
+val absorb_scalar : t -> label:string -> Monet_ec.Sc.t -> unit
+
+val challenge_scalar : t -> label:string -> Monet_ec.Sc.t
+(** Squeeze a scalar challenge; the challenge itself is re-absorbed so
+    later challenges depend on it. *)
+
+val challenge_bits : t -> label:string -> int -> bool array
+(** Squeeze [n] challenge bits (cut-and-choose protocols). *)

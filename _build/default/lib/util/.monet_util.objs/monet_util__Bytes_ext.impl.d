@@ -1,0 +1,1 @@
+lib/util/bytes_ext.ml: Char String

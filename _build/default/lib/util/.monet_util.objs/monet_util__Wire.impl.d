@@ -1,0 +1,1 @@
+lib/util/wire.ml: Buffer Bytes_ext Char List String

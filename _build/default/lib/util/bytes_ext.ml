@@ -1,0 +1,38 @@
+(** Small helpers over byte strings used throughout the code base. *)
+
+let xor (a : string) (b : string) : string =
+  if String.length a <> String.length b then
+    invalid_arg "Bytes_ext.xor: length mismatch";
+  String.init (String.length a) (fun i ->
+      Char.chr (Char.code a.[i] lxor Char.code b.[i]))
+
+(* Constant-time-style equality: always scans the full string. *)
+let equal_ct (a : string) (b : string) : bool =
+  String.length a = String.length b
+  &&
+  let acc = ref 0 in
+  for i = 0 to String.length a - 1 do
+    acc := !acc lor (Char.code a.[i] lxor Char.code b.[i])
+  done;
+  !acc = 0
+
+let le32_of_int (n : int) : string =
+  String.init 4 (fun i -> Char.chr ((n lsr (8 * i)) land 0xff))
+
+let int_of_le32 (s : string) (off : int) : int =
+  Char.code s.[off]
+  lor (Char.code s.[off + 1] lsl 8)
+  lor (Char.code s.[off + 2] lsl 16)
+  lor (Char.code s.[off + 3] lsl 24)
+
+let le64_of_int (n : int) : string =
+  String.init 8 (fun i -> Char.chr ((n lsr (8 * i)) land 0xff))
+
+let int_of_le64 (s : string) (off : int) : int =
+  let v = ref 0 in
+  for i = 7 downto 0 do
+    v := (!v lsl 8) lor Char.code s.[off + i]
+  done;
+  !v
+
+let concat = String.concat ""

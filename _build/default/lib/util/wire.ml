@@ -1,0 +1,72 @@
+(** Length-prefixed binary serialization.
+
+    All protocol messages are serialized with this module so that the
+    communication-overhead experiments (DESIGN.md, E3/E4) measure real
+    wire bytes rather than in-memory sizes. The format is a simple
+    self-delimiting TLV-free encoding: fixed-size integers are
+    little-endian, variable fields carry a 4-byte length prefix. *)
+
+type writer = Buffer.t
+
+let create_writer () : writer = Buffer.create 256
+let contents (w : writer) = Buffer.contents w
+let write_u8 w n = Buffer.add_char w (Char.chr (n land 0xff))
+let write_u32 w n = Buffer.add_string w (Bytes_ext.le32_of_int n)
+let write_u64 w n = Buffer.add_string w (Bytes_ext.le64_of_int n)
+
+let write_bytes w (s : string) =
+  write_u32 w (String.length s);
+  Buffer.add_string w s
+
+(* Fixed-width field: no length prefix, reader must know the width. *)
+let write_fixed w (s : string) = Buffer.add_string w s
+
+let write_list w f xs =
+  write_u32 w (List.length xs);
+  List.iter (f w) xs
+
+type reader = { buf : string; mutable pos : int }
+
+exception Truncated
+
+let reader_of_string buf = { buf; pos = 0 }
+
+let read_u8 r =
+  if r.pos >= String.length r.buf then raise Truncated;
+  let v = Char.code r.buf.[r.pos] in
+  r.pos <- r.pos + 1;
+  v
+
+let read_u32 r =
+  if r.pos + 4 > String.length r.buf then raise Truncated;
+  let v = Bytes_ext.int_of_le32 r.buf r.pos in
+  r.pos <- r.pos + 4;
+  v
+
+let read_u64 r =
+  if r.pos + 8 > String.length r.buf then raise Truncated;
+  let v = Bytes_ext.int_of_le64 r.buf r.pos in
+  r.pos <- r.pos + 8;
+  v
+
+let read_fixed r n =
+  if r.pos + n > String.length r.buf then raise Truncated;
+  let s = String.sub r.buf r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let read_bytes r =
+  let n = read_u32 r in
+  read_fixed r n
+
+let read_list r f =
+  let n = read_u32 r in
+  List.init n (fun _ -> f r)
+
+let at_end r = r.pos = String.length r.buf
+
+(** [size encode x] is the number of wire bytes [x] occupies. *)
+let size encode x =
+  let w = create_writer () in
+  encode w x;
+  String.length (contents w)

@@ -1,0 +1,1 @@
+lib/vcof/chain.ml: Array Monet_ec Monet_hash Point Sc Vcof

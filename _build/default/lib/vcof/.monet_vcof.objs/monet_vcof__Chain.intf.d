@@ -1,0 +1,1 @@
+lib/vcof/chain.mli: Monet_ec Monet_hash Point Sc Vcof

@@ -1,0 +1,1 @@
+lib/vcof/vcof.ml: Monet_ec Monet_hash Monet_sigma Point Sc Zl

@@ -1,0 +1,1 @@
+lib/vcof/vcof.mli: Monet_ec Monet_hash Monet_sigma Point Sc

@@ -1,0 +1,75 @@
+(** Statement-witness chains with batch precomputation.
+
+    The paper's optimization (§VI, Table I) precomputes a batch of
+    statement-witness pairs and their consecutiveness proofs off the
+    critical path, so a channel update only costs one adaptor
+    (pre-)signature. This module materializes chains, produces the
+    batched proofs and verifies a counterparty's batch. *)
+
+open Monet_ec
+
+type t = {
+  pp : Sc.t;
+  pairs : Vcof.pair array; (* pairs.(i) is state i *)
+  proofs : Vcof.proof array; (* proofs.(i) proves step i -> i+1 *)
+}
+
+let length (c : t) = Array.length c.pairs
+let pair (c : t) (i : int) : Vcof.pair = c.pairs.(i)
+let statement (c : t) (i : int) : Point.t = c.pairs.(i).Vcof.stmt
+let witness (c : t) (i : int) : Sc.t = c.pairs.(i).Vcof.wit
+
+(** Precompute [n] chain steps from a fresh root. Returns the chain;
+    statements and proofs are what gets shared with the counterparty,
+    witnesses stay local. *)
+let precompute ?reps ?(pp = Vcof.default_pp) (g : Monet_hash.Drbg.t) ~(n : int) : t =
+  let root = Vcof.sw_gen g in
+  let pairs = Array.make (n + 1) root in
+  let proofs =
+    Array.init n (fun i ->
+        let next, proof = Vcof.new_sw ?reps g pairs.(i) ~pp in
+        pairs.(i + 1) <- next;
+        proof)
+  in
+  { pp; pairs; proofs }
+
+(** Witness-only fast precomputation (no proofs): what the paper
+    reports as ~0.08 ms per 100 sessions. *)
+let precompute_witnesses ?(pp = Vcof.default_pp) (g : Monet_hash.Drbg.t) ~(n : int) :
+    Vcof.pair array =
+  let root = Vcof.sw_gen g in
+  let pairs = Array.make (n + 1) root in
+  for i = 1 to n do
+    pairs.(i) <-
+      { Vcof.wit = Vcof.derive ~pp pairs.(i - 1).Vcof.wit;
+        stmt = Point.mul_base (Vcof.derive ~pp pairs.(i - 1).Vcof.wit) }
+  done;
+  pairs
+
+(** The public view of a chain: statements plus step proofs. *)
+type public = { pub_pp : Sc.t; statements : Point.t array; step_proofs : Vcof.proof array }
+
+let publish (c : t) : public =
+  {
+    pub_pp = c.pp;
+    statements = Array.map (fun p -> p.Vcof.stmt) c.pairs;
+    step_proofs = c.proofs;
+  }
+
+(** Verify every step of a published chain (the counterparty's batch
+    verification from the paper's 100-session experiment). *)
+let verify_public (p : public) : bool =
+  Array.length p.statements = Array.length p.step_proofs + 1
+  &&
+  let ok = ref true in
+  Array.iteri
+    (fun i proof ->
+      if !ok then
+        ok :=
+          Vcof.c_vrfy ~pp:p.pub_pp ~prev:p.statements.(i) ~next:p.statements.(i + 1)
+            proof)
+    p.step_proofs;
+  !ok
+
+let total_proof_bytes (p : public) : int =
+  Array.fold_left (fun acc pr -> acc + Vcof.proof_size pr) 0 p.step_proofs

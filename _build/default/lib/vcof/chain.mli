@@ -1,0 +1,39 @@
+(** Batched VCOF chains — the paper's precomputation optimization
+    (§VI, Table I): materialize many future statement–witness pairs
+    and their step proofs off the payment critical path. *)
+
+open Monet_ec
+
+type t = {
+  pp : Sc.t;
+  pairs : Vcof.pair array; (** pairs.(i) is state i *)
+  proofs : Vcof.proof array; (** proofs.(i) proves step i → i+1 *)
+}
+
+val length : t -> int
+val pair : t -> int -> Vcof.pair
+val statement : t -> int -> Point.t
+val witness : t -> int -> Sc.t
+
+val precompute : ?reps:int -> ?pp:Sc.t -> Monet_hash.Drbg.t -> n:int -> t
+(** [n] chain steps from a fresh root, proofs included. *)
+
+val precompute_witnesses :
+  ?pp:Sc.t -> Monet_hash.Drbg.t -> n:int -> Vcof.pair array
+(** Witness-only fast path (no proofs) — the paper's 0.08 ms-per-100
+    figure measures this. *)
+
+(** The shareable view: statements plus step proofs (witnesses stay
+    with the owner). *)
+type public = {
+  pub_pp : Sc.t;
+  statements : Point.t array;
+  step_proofs : Vcof.proof array;
+}
+
+val publish : t -> public
+
+val verify_public : public -> bool
+(** Batch-verify every step of a counterparty's published chain. *)
+
+val total_proof_bytes : public -> int

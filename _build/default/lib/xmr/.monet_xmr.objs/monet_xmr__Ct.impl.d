@@ -1,0 +1,1 @@
+lib/xmr/ct.ml: List Monet_ec Monet_hash Point Sc

@@ -1,0 +1,1 @@
+lib/xmr/ct_ledger.ml: Array Ct Hashtbl List Monet_ec Monet_hash Monet_sig Monet_util Point Range_proof Sc

@@ -1,0 +1,1 @@
+lib/xmr/ledger.ml: Array Hashtbl List Monet_ec Monet_hash Monet_sig Option Point Sc Tx

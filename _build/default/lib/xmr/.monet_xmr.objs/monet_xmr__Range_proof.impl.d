@@ -1,0 +1,1 @@
+lib/xmr/range_proof.ml: Array Ct Monet_ec Monet_hash Point Sc

@@ -1,0 +1,1 @@
+lib/xmr/tx.ml: Array List Monet_ec Monet_hash Monet_sig Monet_util Point

@@ -1,0 +1,1 @@
+lib/xmr/wallet.ml: Ledger List Monet_ec Monet_hash Monet_sig Point Sc Tx

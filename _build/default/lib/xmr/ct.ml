@@ -1,0 +1,51 @@
+(** Confidential amounts (RingCT-style), the Monero feature the paper
+    treats as orthogonal to MoNet (DESIGN.md §7) — implemented here as
+    an extension so the fungibility story holds under hidden amounts
+    too.
+
+    An amount a with blinding b commits as C = a·H + b·G (Monero's
+    convention). A transaction proves, without revealing any amount:
+
+    - every output amount is in range (see {!Range_proof});
+    - per input, a *pseudo-output* commitment carrying the same amount
+      as the spent output with a fresh blinding — the MLSAG ring's
+      second row proves C_spent − C_pseudo is a commitment to zero
+      without identifying which ring member is spent;
+    - balance: Σ pseudo-outs = Σ outs + fee·H, checked exactly because
+      the pseudo-out blindings are chosen to telescope. *)
+
+open Monet_ec
+
+(* Monero's H: a second generator with unknown discrete log w.r.t. G. *)
+let h : Point.t = Point.hash_to_point "ringct-h" "amount generator"
+
+type commitment = Point.t
+
+let commit ~(amount : int) ~(blind : Sc.t) : commitment =
+  Point.add (Point.mul (Sc.of_int amount) h) (Point.mul_base blind)
+
+let commit_zero ~(blind : Sc.t) : commitment = Point.mul_base blind
+
+(** C1 - C2 as a point (commitment to the amount difference). *)
+let diff (c1 : commitment) (c2 : commitment) : Point.t = Point.sub_point c1 c2
+
+let sum (cs : commitment list) : Point.t =
+  List.fold_left Point.add Point.identity cs
+
+(** Balance check: Σ pseudo-ins = Σ outs + fee·H. *)
+let balances ~(pseudo_ins : commitment list) ~(outs : commitment list) ~(fee : int) :
+    bool =
+  Point.equal (sum pseudo_ins)
+    (Point.add (sum outs) (Point.mul (Sc.of_int fee) h))
+
+(** Pseudo-output blindings: all fresh except the last, which is chosen
+    so the blindings telescope and the balance equation holds exactly
+    over the group. Returns blinds such that
+    Σ pseudo-blinds = Σ out-blinds. *)
+let pseudo_blinds (g : Monet_hash.Drbg.t) ~(n_inputs : int) ~(out_blinds : Sc.t list)
+    : Sc.t list =
+  if n_inputs = 0 then invalid_arg "Ct.pseudo_blinds: no inputs";
+  let out_total = List.fold_left Sc.add Sc.zero out_blinds in
+  let fresh = List.init (n_inputs - 1) (fun _ -> Sc.random_nonzero g) in
+  let fresh_total = List.fold_left Sc.add Sc.zero fresh in
+  fresh @ [ Sc.sub out_total fresh_total ]

@@ -1,0 +1,205 @@
+(** The simulated Monero ledger: global output list, key-image set,
+    mempool and block production.
+
+    Validation implements φ_M: every ring member must exist and carry
+    the input's denomination, the LSAG must verify over the ring's
+    one-time keys, the key image must be fresh, and amounts must
+    balance. Maintaining the ledger is maintaining the UTXO relation ℝ
+    of the paper's functionality 𝓕_M — spent outputs stay visible (ring
+    decoys need them) and double-spending is excluded by key images,
+    exactly as on Monero. *)
+
+open Monet_ec
+
+type entry = { out : Tx.output; height : int }
+
+type block = { b_height : int; b_txs : Tx.t list }
+
+type t = {
+  mutable outputs : entry array;
+  mutable n_outputs : int;
+  key_images : (string, unit) Hashtbl.t;
+  mutable height : int;
+  mutable mempool : (int * Tx.t) list; (* (relay priority, tx) *)
+  mutable blocks : block list; (* newest first *)
+  by_amount : (int, int list ref) Hashtbl.t; (* denomination -> global indices *)
+  mutable txs_confirmed : int;
+}
+
+let create () : t =
+  {
+    outputs = Array.make 1024 { out = { Tx.otk = Point.identity; amount = 0 }; height = 0 };
+    n_outputs = 0;
+    key_images = Hashtbl.create 256;
+    height = 0;
+    mempool = [];
+    blocks = [];
+    by_amount = Hashtbl.create 64;
+    txs_confirmed = 0;
+  }
+
+let output_count (l : t) = l.n_outputs
+
+let get_output (l : t) (i : int) : entry option =
+  if i < 0 || i >= l.n_outputs then None else Some l.outputs.(i)
+
+let add_output (l : t) (out : Tx.output) : int =
+  if l.n_outputs = Array.length l.outputs then begin
+    let bigger = Array.make (2 * Array.length l.outputs) l.outputs.(0) in
+    Array.blit l.outputs 0 bigger 0 l.n_outputs;
+    l.outputs <- bigger
+  end;
+  let idx = l.n_outputs in
+  l.outputs.(idx) <- { out; height = l.height };
+  l.n_outputs <- idx + 1;
+  let bucket =
+    match Hashtbl.find_opt l.by_amount out.Tx.amount with
+    | Some b -> b
+    | None ->
+        let b = ref [] in
+        Hashtbl.add l.by_amount out.Tx.amount b;
+        b
+  in
+  bucket := idx :: !bucket;
+  idx
+
+(** Mint an output outside any transaction (genesis / test setup). *)
+let genesis_output (l : t) (out : Tx.output) : int = add_output l out
+
+type verdict = Valid | Invalid of string
+
+let validate (l : t) (tx : Tx.t) : verdict =
+  let prefix = Tx.prefix_bytes tx in
+  let rec check_inputs seen_kis = function
+    | [] -> None
+    | (i : Tx.input) :: rest ->
+        let ki = Point.encode i.key_image in
+        if Array.length i.ring_refs = 0 then Some "empty ring"
+        else if Hashtbl.mem l.key_images ki then Some "key image already spent"
+        else if List.mem ki seen_kis then Some "duplicate key image within tx"
+        else begin
+          let ring_ok =
+            Array.for_all
+              (fun r ->
+                match get_output l r with
+                | Some e -> e.out.Tx.amount = i.amount
+                | None -> false)
+              i.ring_refs
+          in
+          if not ring_ok then Some "ring member missing or wrong denomination"
+          else begin
+            let ring =
+              Array.map (fun r -> (Option.get (get_output l r)).out.Tx.otk) i.ring_refs
+            in
+            if not (Monet_sig.Lsag.verify ~ring ~msg:prefix i.signature) then
+              Some "ring signature invalid"
+            else if not (Point.equal i.key_image i.signature.Monet_sig.Lsag.key_image)
+            then Some "key image mismatch"
+            else check_inputs (ki :: seen_kis) rest
+          end
+        end
+  in
+  match check_inputs [] tx.Tx.inputs with
+  | Some e -> Invalid e
+  | None ->
+      if tx.Tx.inputs = [] then Invalid "no inputs"
+      else if List.exists (fun (o : Tx.output) -> o.amount <= 0) tx.Tx.outputs then
+        Invalid "non-positive output"
+      else if Tx.total_in tx <> Tx.total_out tx + tx.Tx.fee then
+        Invalid "amounts do not balance"
+      else Valid
+
+(** Submit to the mempool. Key-image conflicts with pending
+    transactions are rejected unless the newcomer carries a strictly
+    higher relay [priority] (modelling the fee-bump race a watching
+    channel party wins against a cheating old-state close that is
+    still unmined; priority is relay metadata, since the pre-signed
+    transaction bytes cannot change). *)
+let submit ?(priority = 0) (l : t) (tx : Tx.t) : (unit, string) result =
+  match validate l tx with
+  | Invalid e -> Error e
+  | Valid ->
+      let conflicts_with ((_, m) : int * Tx.t) =
+        List.exists
+          (fun (i : Tx.input) ->
+            List.exists
+              (fun (j : Tx.input) -> Point.equal i.key_image j.key_image)
+              m.Tx.inputs)
+          tx.Tx.inputs
+      in
+      let conflicting, rest = List.partition conflicts_with l.mempool in
+      (match conflicting with
+      | [] ->
+          l.mempool <- (priority, tx) :: l.mempool;
+          Ok ()
+      | existing ->
+          if List.for_all (fun (p, _) -> priority > p) existing then begin
+            l.mempool <- (priority, tx) :: rest;
+            Ok ()
+          end
+          else Error "key image conflicts with mempool")
+
+(** Mine a block: include every (still-valid) mempool transaction. *)
+let mine (l : t) : block =
+  l.height <- l.height + 1;
+  let included =
+    List.filter_map
+      (fun (_, tx) ->
+        match validate l tx with
+        | Valid ->
+            List.iter
+              (fun (i : Tx.input) ->
+                Hashtbl.replace l.key_images (Point.encode i.key_image) ())
+              tx.Tx.inputs;
+            List.iter (fun o -> ignore (add_output l o)) tx.Tx.outputs;
+            l.txs_confirmed <- l.txs_confirmed + 1;
+            Some tx
+        | Invalid _ -> None)
+      (List.rev l.mempool)
+  in
+  l.mempool <- [];
+  let b = { b_height = l.height; b_txs = included } in
+  l.blocks <- b :: l.blocks;
+  b
+
+(** Sample a ring for an input that really spends [real] (a global
+    index): decoys share the denomination; the real index is inserted
+    at a random position and the ring is sorted as Monero does. Returns
+    (ring_refs, position of the real member). *)
+let sample_ring (g : Monet_hash.Drbg.t) (l : t) ~(real : int) ~(ring_size : int) :
+    int array * int =
+  let amount = (Option.get (get_output l real)).out.Tx.amount in
+  let candidates =
+    match Hashtbl.find_opt l.by_amount amount with
+    | Some b -> List.filter (fun i -> i <> real) !b
+    | None -> []
+  in
+  let pool = Array.of_list candidates in
+  let n_decoys = min (ring_size - 1) (Array.length pool) in
+  (* Fisher-Yates partial shuffle for distinct decoys. *)
+  for i = 0 to n_decoys - 1 do
+    let j = i + Monet_hash.Drbg.int g (Array.length pool - i) in
+    let t = pool.(i) in
+    pool.(i) <- pool.(j);
+    pool.(j) <- t
+  done;
+  let refs = Array.append [| real |] (Array.sub pool 0 n_decoys) in
+  Array.sort compare refs;
+  let pi = ref 0 in
+  Array.iteri (fun i r -> if r = real then pi := i) refs;
+  (refs, !pi)
+
+let ring_of_refs (l : t) (refs : int array) : Point.t array =
+  Array.map (fun r -> (Option.get (get_output l r)).out.Tx.otk) refs
+
+(** Mint [n] extra outputs of [amount] to throwaway keys so rings of
+    that denomination always have decoys (simulation convenience; on
+    the real chain the decoy pool is organic). *)
+let ensure_decoys (g : Monet_hash.Drbg.t) (l : t) ~(amount : int) ~(n : int) : unit =
+  let existing =
+    match Hashtbl.find_opt l.by_amount amount with Some b -> List.length !b | None -> 0
+  in
+  for _ = existing + 1 to n do
+    ignore
+      (genesis_output l { Tx.otk = Point.mul_base (Sc.random_nonzero g); amount })
+  done

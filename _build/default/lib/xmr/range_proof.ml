@@ -1,0 +1,94 @@
+(** Bit-decomposition range proofs for Pedersen amount commitments
+    (Borromean-style, as pre-Bulletproof Monero).
+
+    For C = a·H + b·G with a ∈ [0, 2^n), the prover publishes per-bit
+    commitments C_i = a_i·2^i·H + b_i·G with a_i ∈ {0,1} and
+    Σ C_i = C, plus for each bit a Chaum–Pedersen OR-proof that
+
+      C_i = b_i·G   ∨   C_i − 2^i·H = b_i·G
+
+    i.e. each C_i hides either 0 or 2^i. The OR composition is the
+    standard CDS trick: simulate the false branch, split the Fiat–
+    Shamir challenge. *)
+
+open Monet_ec
+
+type or_proof = { e0 : Sc.t; s0 : Sc.t; e1 : Sc.t; s1 : Sc.t }
+
+type t = { bit_commitments : Point.t array; proofs : or_proof array }
+
+let nbits_default = 16
+
+let challenge ~(stmt0 : Point.t) ~(stmt1 : Point.t) ~(a0 : Point.t) ~(a1 : Point.t)
+    ~(context : string) : Sc.t =
+  Sc.of_hash "rangeproof-or"
+    [ context; Point.encode stmt0; Point.encode stmt1; Point.encode a0; Point.encode a1 ]
+
+(* Prove stmt_real = blind·G where stmt_real is branch [real] of
+   (stmt0, stmt1); the other branch is simulated. *)
+let prove_or (g : Monet_hash.Drbg.t) ~(context : string) ~(stmt0 : Point.t)
+    ~(stmt1 : Point.t) ~(real : int) ~(blind : Sc.t) : or_proof =
+  let k = Sc.random_nonzero g in
+  (* Simulated branch: pick its challenge and response first. *)
+  let e_sim = Sc.random_nonzero g and s_sim = Sc.random_nonzero g in
+  let stmt_sim = if real = 0 then stmt1 else stmt0 in
+  let a_sim = Point.sub_point (Point.mul_base s_sim) (Point.mul e_sim stmt_sim) in
+  let a_real = Point.mul_base k in
+  let a0, a1 = if real = 0 then (a_real, a_sim) else (a_sim, a_real) in
+  let e = challenge ~stmt0 ~stmt1 ~a0 ~a1 ~context in
+  let e_real = Sc.sub e e_sim in
+  let s_real = Sc.add k (Sc.mul e_real blind) in
+  if real = 0 then { e0 = e_real; s0 = s_real; e1 = e_sim; s1 = s_sim }
+  else { e0 = e_sim; s0 = s_sim; e1 = e_real; s1 = s_real }
+
+let verify_or ~(context : string) ~(stmt0 : Point.t) ~(stmt1 : Point.t) (p : or_proof)
+    : bool =
+  let a0 = Point.sub_point (Point.mul_base p.s0) (Point.mul p.e0 stmt0) in
+  let a1 = Point.sub_point (Point.mul_base p.s1) (Point.mul p.e1 stmt1) in
+  Sc.equal (Sc.add p.e0 p.e1) (challenge ~stmt0 ~stmt1 ~a0 ~a1 ~context)
+
+(** Prove C = amount·H + blind·G has amount in [0, 2^nbits). Returns
+    the proof; the verifier recomputes C as the sum of the bit
+    commitments. *)
+let prove ?(nbits = nbits_default) (g : Monet_hash.Drbg.t) ~(amount : int)
+    ~(blind : Sc.t) : t =
+  if amount < 0 || (nbits < 63 && amount >= 1 lsl nbits) then
+    invalid_arg "Range_proof.prove: amount out of range";
+  (* Split the blinding over the bits so Σ C_i = C exactly. *)
+  let blinds = Array.init nbits (fun _ -> Sc.random_nonzero g) in
+  let partial = Array.sub blinds 0 (nbits - 1) in
+  let partial_sum = Array.fold_left Sc.add Sc.zero partial in
+  blinds.(nbits - 1) <- Sc.sub blind partial_sum;
+  let bit_commitments =
+    Array.init nbits (fun i ->
+        let bit = (amount lsr i) land 1 in
+        Ct.commit ~amount:(bit lsl i) ~blind:blinds.(i))
+  in
+  let proofs =
+    Array.init nbits (fun i ->
+        let bit = (amount lsr i) land 1 in
+        let c_i = bit_commitments.(i) in
+        let stmt0 = c_i in
+        let stmt1 = Point.sub_point c_i (Point.mul (Sc.of_int (1 lsl i)) Ct.h) in
+        prove_or g ~context:(string_of_int i) ~stmt0 ~stmt1 ~real:bit ~blind:blinds.(i))
+  in
+  { bit_commitments; proofs }
+
+let verify ?(nbits = nbits_default) (commitment : Point.t) (p : t) : bool =
+  Array.length p.bit_commitments = nbits
+  && Array.length p.proofs = nbits
+  && Point.equal commitment (Array.fold_left Point.add Point.identity p.bit_commitments)
+  &&
+  let ok = ref true in
+  Array.iteri
+    (fun i proof ->
+      if !ok then begin
+        let c_i = p.bit_commitments.(i) in
+        let stmt0 = c_i in
+        let stmt1 = Point.sub_point c_i (Point.mul (Sc.of_int (1 lsl i)) Ct.h) in
+        ok := verify_or ~context:(string_of_int i) ~stmt0 ~stmt1 proof
+      end)
+    p.proofs;
+  !ok
+
+let size_bytes ?(nbits = nbits_default) () : int = nbits * (32 + (4 * 32))

@@ -1,0 +1,99 @@
+(** Monero-style transactions for the simulated ledger.
+
+    The model follows the paper's 𝓕_M (Fig. 7): a UTXO set of
+    (address, amount) pairs with a validity predicate. On top of the
+    bare model we implement the parts of real Monero that MoNet's
+    security properties depend on:
+
+    - outputs are one-time keys (fresh-key policy);
+    - inputs are rings of existing outputs, signed with an LSAG whose
+      key image prevents double spends;
+    - ring members must share the input's denomination (the
+      pre-RingCT decoy rule), so amounts stay publicly checkable as in
+      𝓕_M while the true spend remains ambiguous.
+
+    Nothing distinguishes a channel's funding/commitment transaction
+    from a wallet-to-wallet payment — the fungibility requirement —
+    because channels use exactly this type. *)
+
+open Monet_ec
+
+type output = { otk : Point.t (* one-time output key *); amount : int }
+
+type input = {
+  ring_refs : int array; (* global output indices, sorted *)
+  amount : int; (* denomination; every ring member must match *)
+  key_image : Point.t;
+  signature : Monet_sig.Lsag.signature;
+}
+
+type t = { inputs : input list; outputs : output list; fee : int; extra : string }
+
+let encode_output w (o : output) =
+  Monet_util.Wire.write_fixed w (Point.encode o.otk);
+  Monet_util.Wire.write_u64 w o.amount
+
+let decode_output r : output =
+  let otk = Point.decode_exn (Monet_util.Wire.read_fixed r 32) in
+  let amount = Monet_util.Wire.read_u64 r in
+  { otk; amount }
+
+(* The signing prefix covers everything except the ring signatures. *)
+let prefix_bytes (tx : t) : string =
+  let w = Monet_util.Wire.create_writer () in
+  Monet_util.Wire.write_list w
+    (fun w (i : input) ->
+      Monet_util.Wire.write_list w Monet_util.Wire.write_u32 (Array.to_list i.ring_refs);
+      Monet_util.Wire.write_u64 w i.amount;
+      Monet_util.Wire.write_fixed w (Point.encode i.key_image))
+    tx.inputs;
+  Monet_util.Wire.write_list w encode_output tx.outputs;
+  Monet_util.Wire.write_u64 w tx.fee;
+  Monet_util.Wire.write_bytes w tx.extra;
+  Monet_util.Wire.contents w
+
+let encode w (tx : t) =
+  Monet_util.Wire.write_list w
+    (fun w (i : input) ->
+      Monet_util.Wire.write_list w Monet_util.Wire.write_u32 (Array.to_list i.ring_refs);
+      Monet_util.Wire.write_u64 w i.amount;
+      Monet_util.Wire.write_fixed w (Point.encode i.key_image);
+      Monet_sig.Lsag.encode w i.signature)
+    tx.inputs;
+  Monet_util.Wire.write_list w encode_output tx.outputs;
+  Monet_util.Wire.write_u64 w tx.fee;
+  Monet_util.Wire.write_bytes w tx.extra
+
+let size_bytes (tx : t) : int = Monet_util.Wire.size encode tx
+
+(** Transaction id: Keccak-256 of the full serialization, as Monero. *)
+let txid (tx : t) : string =
+  let w = Monet_util.Wire.create_writer () in
+  encode w tx;
+  Monet_hash.Keccak.digest (Monet_util.Wire.contents w)
+
+let total_in (tx : t) = List.fold_left (fun a (i : input) -> a + i.amount) 0 tx.inputs
+let total_out (tx : t) = List.fold_left (fun a (o : output) -> a + o.amount) 0 tx.outputs
+
+(** Structural shape of a transaction — used by the fungibility
+    experiment: (inputs, ring size per input, outputs, has_extra). *)
+let shape (tx : t) : int * int list * int =
+  ( List.length tx.inputs,
+    List.map (fun (i : input) -> Array.length i.ring_refs) tx.inputs,
+    List.length tx.outputs )
+
+let decode_input (r : Monet_util.Wire.reader) : input =
+  let ring_refs =
+    Array.of_list (Monet_util.Wire.read_list r Monet_util.Wire.read_u32)
+  in
+  let amount = Monet_util.Wire.read_u64 r in
+  let key_image = Point.decode_exn (Monet_util.Wire.read_fixed r 32) in
+  let signature = Monet_sig.Lsag.decode r in
+  { ring_refs; amount; key_image; signature }
+
+let decode (r : Monet_util.Wire.reader) : t =
+  let inputs = Monet_util.Wire.read_list r decode_input in
+  let outputs = Monet_util.Wire.read_list r decode_output in
+  let fee = Monet_util.Wire.read_u64 r in
+  let extra = Monet_util.Wire.read_bytes r in
+  { inputs; outputs; fee; extra }

@@ -1,0 +1,124 @@
+(** Wallets over the simulated ledger.
+
+    Monero's fresh-key policy is modelled directly: every payment goes
+    to a freshly generated one-time key whose secret the recipient
+    creates (a stand-in for stealth-address derivation with the same
+    unlinkability consequence: no two outputs share a key). Wallets
+    scan mined blocks for outputs whose one-time keys they own. *)
+
+open Monet_ec
+
+type owned = { global_index : int; keypair : Monet_sig.Sig_core.keypair; amount : int }
+
+type t = {
+  g : Monet_hash.Drbg.t;
+  label : string;
+  mutable pending_keys : Monet_sig.Sig_core.keypair list; (* addresses given out *)
+  mutable owned : owned list;
+  mutable scanned_upto : int; (* global output index *)
+  ring_size : int;
+}
+
+let create ?(ring_size = 11) (g : Monet_hash.Drbg.t) ~(label : string) : t =
+  { g; label; pending_keys = []; owned = []; scanned_upto = 0; ring_size }
+
+(** A fresh one-time address to receive exactly one payment. *)
+let fresh_address (w : t) : Point.t =
+  let kp = Monet_sig.Sig_core.gen w.g in
+  w.pending_keys <- kp :: w.pending_keys;
+  kp.vk
+
+(** Claim ownership of outputs paying to our one-time keys. *)
+let scan (w : t) (l : Ledger.t) : unit =
+  let n = Ledger.output_count l in
+  for i = w.scanned_upto to n - 1 do
+    match Ledger.get_output l i with
+    | None -> ()
+    | Some e ->
+        List.iter
+          (fun (kp : Monet_sig.Sig_core.keypair) ->
+            if Point.equal kp.vk e.Ledger.out.Tx.otk then
+              w.owned <-
+                { global_index = i; keypair = kp; amount = e.Ledger.out.Tx.amount }
+                :: w.owned)
+          w.pending_keys
+  done;
+  w.scanned_upto <- n
+
+(** Register a directly minted output (genesis allocation). *)
+let adopt (w : t) ~(global_index : int) ~(keypair : Monet_sig.Sig_core.keypair)
+    ~(amount : int) : unit =
+  w.owned <- { global_index; keypair; amount } :: w.owned
+
+let balance (w : t) : int = List.fold_left (fun a o -> a + o.amount) 0 w.owned
+
+(** Pay [amount] to [dest] (a one-time key supplied by the recipient),
+    spending exact-denomination outputs. Returns the transaction; the
+    caller submits it. For simplicity coin selection requires exact
+    cover without change when [no_change] and otherwise mints a change
+    output to a fresh own key. *)
+let pay (w : t) (l : Ledger.t) ~(dest : Point.t) ~(amount : int) :
+    (Tx.t, string) result =
+  let rec select acc total = function
+    | _ when total >= amount -> Some (acc, total)
+    | [] -> None
+    | o :: rest -> select (o :: acc) (total + o.amount) rest
+  in
+  match select [] 0 w.owned with
+  | None -> Error "insufficient balance"
+  | Some (coins, total) ->
+      let change = total - amount in
+      let change_key = Monet_sig.Sig_core.gen w.g in
+      if change > 0 then w.pending_keys <- change_key :: w.pending_keys;
+      let outputs =
+        { Tx.otk = dest; amount }
+        :: (if change > 0 then [ { Tx.otk = change_key.vk; amount = change } ] else [])
+      in
+      (* Two-pass signing: the prefix covers all inputs' rings and key
+         images, so build unsigned inputs first, then sign each. *)
+      let unsigned_inputs =
+        List.map
+          (fun o ->
+            let refs, pi =
+              Ledger.sample_ring w.g l ~real:o.global_index ~ring_size:w.ring_size
+            in
+            let key_image =
+              Monet_sig.Lsag.key_image ~sk:o.keypair.Monet_sig.Sig_core.sk
+                ~vk:o.keypair.vk
+            in
+            (o, refs, pi, key_image))
+          coins
+      in
+      let tx_skeleton =
+        {
+          Tx.inputs =
+            List.map
+              (fun (o, refs, _, ki) ->
+                {
+                  Tx.ring_refs = refs;
+                  amount = o.amount;
+                  key_image = ki;
+                  signature = { Monet_sig.Lsag.c0 = Sc.zero; ss = [||]; key_image = ki };
+                })
+              unsigned_inputs;
+          outputs;
+          fee = 0;
+          extra = "";
+        }
+      in
+      let prefix = Tx.prefix_bytes tx_skeleton in
+      let inputs =
+        List.map
+          (fun (o, refs, pi, ki) ->
+            let ring = Ledger.ring_of_refs l refs in
+            let signature =
+              Monet_sig.Lsag.sign w.g ~ring ~pi ~sk:o.keypair.Monet_sig.Sig_core.sk
+                ~msg:prefix
+            in
+            { Tx.ring_refs = refs; amount = o.amount; key_image = ki; signature })
+          unsigned_inputs
+      in
+      (* Spent coins leave the wallet optimistically; a failed submit
+         would re-add them (we keep it simple: callers mine promptly). *)
+      w.owned <- List.filter (fun o -> not (List.memq o coins)) w.owned;
+      Ok { tx_skeleton with Tx.inputs }

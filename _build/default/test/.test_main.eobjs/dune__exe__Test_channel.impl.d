@@ -1,0 +1,1 @@
+test/test_channel.ml: Alcotest Array Hashtbl List Monet_channel Monet_ec Monet_hash Monet_sig Monet_xmr Point Sc String

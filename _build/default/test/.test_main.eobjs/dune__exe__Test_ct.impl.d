@@ -1,0 +1,1 @@
+test/test_ct.ml: Alcotest Array Ct Ct_ledger List Monet_ec Monet_hash Monet_sig Monet_util Monet_xmr Point Printf Range_proof Sc

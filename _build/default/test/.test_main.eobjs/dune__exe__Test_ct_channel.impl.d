@@ -1,0 +1,1 @@
+test/test_ct_channel.ml: Alcotest Array List Monet_ec Monet_hash Monet_sig Monet_xmr Point Sc

@@ -1,0 +1,1 @@
+test/test_dsim.ml: Alcotest Clock Latency List Metrics Monet_dsim Monet_hash

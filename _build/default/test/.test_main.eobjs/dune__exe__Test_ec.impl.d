@@ -1,0 +1,1 @@
+test/test_ec.ml: Alcotest Bn Fe Monet_ec Monet_hash Monet_util Point Printf QCheck QCheck_alcotest Sc String Zl

@@ -1,0 +1,1 @@
+test/test_edge.ml: Alcotest Array Bn List Monet_channel Monet_ec Monet_hash Monet_kes Monet_script Monet_sig Monet_xmr Point Sc String

@@ -1,0 +1,1 @@
+test/test_hash.ml: Alcotest Char Drbg Hash Keccak Monet_hash Monet_util Sha512 String

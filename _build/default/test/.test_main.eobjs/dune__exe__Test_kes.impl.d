@@ -1,0 +1,1 @@
+test/test_kes.ml: Alcotest List Monet_ec Monet_hash Monet_kes Monet_pvss Monet_script Sc

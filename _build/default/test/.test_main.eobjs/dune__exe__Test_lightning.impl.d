@@ -1,0 +1,1 @@
+test/test_lightning.ml: Alcotest Array Btc_sim Ln_channel Monet_ec Monet_hash Monet_lightning Monet_sig Sc

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest F_pay List Monet_channel Monet_hash Monet_model Monet_net Monet_sig Result

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array Hashtbl List Monet_amhl Monet_channel Monet_dsim Monet_ec Monet_hash Monet_net Monet_sig Monet_util Monet_xmr Option Point Printf Sc String

@@ -1,0 +1,1 @@
+test/test_props.ml: Array Fe Gen List Monet_amhl Monet_ec Monet_hash Monet_pvss Monet_sig Monet_util Monet_vcof Point Printf QCheck QCheck_alcotest Sc String

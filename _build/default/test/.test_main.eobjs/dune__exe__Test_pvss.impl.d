@@ -1,0 +1,1 @@
+test/test_pvss.ml: Alcotest Array List Monet_ec Monet_hash Monet_pvss Point Pvss Sc

@@ -1,0 +1,1 @@
+test/test_sig.ml: Adaptor Alcotest Array List Lsag Monet_ec Monet_hash Monet_sig Monet_util Point Printf Sc Sig_core Stmt Two_party

@@ -1,0 +1,1 @@
+test/test_sigma.ml: Alcotest Array Bn Dleq Monet_ec Monet_hash Monet_sigma Monet_util Pedersen Point Sc Schnorr Stadler String Transcript Zl

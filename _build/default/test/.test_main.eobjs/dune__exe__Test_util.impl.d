@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest List Monet_ec Monet_hash Monet_sig Monet_util Monet_xmr

@@ -1,0 +1,1 @@
+test/test_vcof.ml: Alcotest Array Chain Monet_cas Monet_ec Monet_hash Monet_sig Monet_vcof Point Sc Vcof Zl

@@ -1,0 +1,1 @@
+test/test_xmr.ml: Alcotest Array Ledger List Monet_ec Monet_hash Monet_sig Monet_xmr Point Sc Tx Wallet

@@ -1,0 +1,203 @@
+(* A MoChannel over RingCT: joint confidential funding output,
+   commitment transaction pre-signed with the 2-party two-row MLSAG,
+   adaptor completion, settlement on the CT ledger. Shows the paper's
+   construction carries over to confidential amounts (DESIGN.md,
+   extension). *)
+open Monet_ec
+module Tp = Monet_sig.Two_party
+module TpCt = Monet_sig.Two_party_ct
+
+let drbg = Monet_hash.Drbg.of_int 909090
+
+let fund g (l : Monet_xmr.Ct_ledger.t) amount : Monet_xmr.Ct_ledger.coin =
+  let kp = Monet_sig.Sig_core.gen g in
+  let blind = Sc.random_nonzero g in
+  let idx = Monet_xmr.Ct_ledger.genesis l ~otk:kp.vk ~amount ~blind in
+  { Monet_xmr.Ct_ledger.global_index = idx; kp; amount; blind }
+
+(* Build the CT funding transaction: A and B each spend one coin into a
+   single joint output (vk_AB, capacity) plus change. Each signs their
+   own input over the shared prefix. *)
+let ct_funding g (l : Monet_xmr.Ct_ledger.t) ~(coin_a : Monet_xmr.Ct_ledger.coin)
+    ~(coin_b : Monet_xmr.Ct_ledger.coin) ~(joint_otk : Point.t) ~(capacity : int)
+    ~(joint_blind : Sc.t) : (Monet_xmr.Ct_ledger.ct_tx, string) result =
+  let module CL = Monet_xmr.Ct_ledger in
+  let change_a = coin_a.CL.amount + coin_b.CL.amount - capacity in
+  assert (change_a >= 0);
+  let change_kp = Monet_sig.Sig_core.gen g in
+  let change_blind = Sc.random_nonzero g in
+  let out_blinds = joint_blind :: (if change_a > 0 then [ change_blind ] else []) in
+  let pseudo_blinds = Monet_xmr.Ct.pseudo_blinds g ~n_inputs:2 ~out_blinds in
+  let outputs =
+    { CL.cto_otk = joint_otk;
+      cto_commitment = Monet_xmr.Ct.commit ~amount:capacity ~blind:joint_blind;
+      cto_range = Monet_xmr.Range_proof.prove g ~amount:capacity ~blind:joint_blind }
+    :: (if change_a > 0 then
+          [ { CL.cto_otk = change_kp.vk;
+              cto_commitment = Monet_xmr.Ct.commit ~amount:change_a ~blind:change_blind;
+              cto_range = Monet_xmr.Range_proof.prove g ~amount:change_a ~blind:change_blind } ]
+        else [])
+  in
+  let mk_skel (coin : CL.coin) pseudo_blind =
+    let refs =
+      (* a small ring around the real member *)
+      let pool = List.init l.CL.n (fun i -> i) in
+      let decoys =
+        List.filter (fun i -> i <> coin.CL.global_index) pool |> fun xs ->
+        List.filteri (fun i _ -> i < 4) xs
+      in
+      Array.of_list (List.sort compare (coin.CL.global_index :: decoys))
+    in
+    let pi = ref 0 in
+    Array.iteri (fun i r -> if r = coin.CL.global_index then pi := i) refs;
+    let pseudo = Monet_xmr.Ct.commit ~amount:coin.CL.amount ~blind:pseudo_blind in
+    let ki = Monet_sig.Lsag.key_image ~sk:coin.CL.kp.Monet_sig.Sig_core.sk ~vk:coin.CL.kp.vk in
+    ( { CL.cti_ring_refs = refs; cti_pseudo = pseudo; cti_key_image = ki;
+        cti_sig = { Monet_sig.Mlsag.c0 = Sc.zero; s1 = [||]; s2 = [||]; key_image = ki } },
+      !pi )
+  in
+  match pseudo_blinds with
+  | [ pb_a; pb_b ] ->
+      let skel_a, pi_a = mk_skel coin_a pb_a and skel_b, pi_b = mk_skel coin_b pb_b in
+      let tx0 = { CL.ct_inputs = [ skel_a; skel_b ]; ct_outputs = outputs; ct_fee = 0 } in
+      let msg = CL.prefix tx0 in
+      let sign (coin : CL.coin) (skel : CL.ct_input) pi pb =
+        let ring =
+          Array.map
+            (fun r ->
+              { Monet_sig.Mlsag.p = l.CL.outputs.(r).CL.e_otk;
+                d = Monet_xmr.Ct.diff l.CL.outputs.(r).CL.e_commitment skel.CL.cti_pseudo })
+            skel.CL.cti_ring_refs
+        in
+        let z = Sc.sub coin.CL.blind pb in
+        { skel with
+          CL.cti_sig =
+            Monet_sig.Mlsag.sign g ~ring ~pi ~sk:coin.CL.kp.Monet_sig.Sig_core.sk ~z ~msg }
+      in
+      Ok { tx0 with CL.ct_inputs = [ sign coin_a skel_a pi_a pb_a; sign coin_b skel_b pi_b pb_b ] }
+  | _ -> Error "pseudo blind count"
+
+let test_ct_channel_lifecycle () =
+  let module CL = Monet_xmr.Ct_ledger in
+  let g = Monet_hash.Drbg.split drbg "ctc" in
+  let l = CL.create () in
+  for i = 1 to 15 do
+    ignore (fund g l (30 + i))
+  done;
+  let coin_a = fund g l 60 and coin_b = fund g l 50 in
+  (* Joint key. *)
+  let ja, jb =
+    match Tp.run_jgen (Monet_hash.Drbg.split g "a") (Monet_hash.Drbg.split g "b") with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  let capacity = 100 in
+  (* Both parties contribute blind shares; both learn the total. *)
+  let blind_a = Sc.random_nonzero g and blind_b = Sc.random_nonzero g in
+  let joint_blind = Sc.add blind_a blind_b in
+  let ftx =
+    match ct_funding g l ~coin_a ~coin_b ~joint_otk:ja.Tp.vk ~capacity ~joint_blind with
+    | Ok tx -> tx
+    | Error e -> Alcotest.fail e
+  in
+  (match CL.apply l ftx with Ok () -> () | Error e -> Alcotest.failf "funding: %s" e);
+  let funding_idx =
+    let found = ref (-1) in
+    for i = 0 to l.CL.n - 1 do
+      if Point.equal l.CL.outputs.(i).CL.e_otk ja.Tp.vk then found := i
+    done;
+    !found
+  in
+  Alcotest.(check bool) "joint CT output on chain" true (funding_idx >= 0);
+  (* Commitment transaction: capacity redistributed 70/30 to fresh
+     keys, spent from the joint output via a decoy ring. *)
+  let out_a = Monet_sig.Sig_core.gen g and out_b = Monet_sig.Sig_core.gen g in
+  let ba = Sc.random_nonzero g and bb = Sc.random_nonzero g in
+  (* Pseudo-out blind chosen so the balance telescopes. *)
+  let pseudo_blind = Sc.add ba bb in
+  let pseudo = Monet_xmr.Ct.commit ~amount:capacity ~blind:pseudo_blind in
+  let refs =
+    let decoys = List.init 6 (fun i -> i) |> List.filter (fun i -> i <> funding_idx) in
+    Array.of_list (List.sort compare (funding_idx :: decoys))
+  in
+  let pi = ref 0 in
+  Array.iteri (fun i r -> if r = funding_idx then pi := i) refs;
+  let ki = ja.Tp.key_image in
+  let outputs =
+    [ { CL.cto_otk = out_a.vk; cto_commitment = Monet_xmr.Ct.commit ~amount:70 ~blind:ba;
+        cto_range = Monet_xmr.Range_proof.prove g ~amount:70 ~blind:ba };
+      { CL.cto_otk = out_b.vk; cto_commitment = Monet_xmr.Ct.commit ~amount:30 ~blind:bb;
+        cto_range = Monet_xmr.Range_proof.prove g ~amount:30 ~blind:bb } ]
+  in
+  let skel =
+    { CL.cti_ring_refs = refs; cti_pseudo = pseudo; cti_key_image = ki;
+      cti_sig = { Monet_sig.Mlsag.c0 = Sc.zero; s1 = [||]; s2 = [||]; key_image = ki } }
+  in
+  let ctx = { CL.ct_inputs = [ skel ]; ct_outputs = outputs; ct_fee = 0 } in
+  let msg = CL.prefix ctx in
+  let ring =
+    Array.map
+      (fun r ->
+        { Monet_sig.Mlsag.p = l.CL.outputs.(r).CL.e_otk;
+          d = Monet_xmr.Ct.diff l.CL.outputs.(r).CL.e_commitment pseudo })
+      refs
+  in
+  (* z is common knowledge between the partners. *)
+  let z = Sc.sub joint_blind pseudo_blind in
+  (* Adaptor lock on the commitment, as in the plain channel. *)
+  let y = Sc.random_nonzero g in
+  let stmt = Monet_sig.Stmt.make ~y ~hp:ja.Tp.hp in
+  let pre =
+    match
+      TpCt.run_psign (Monet_hash.Drbg.split g "n1") (Monet_hash.Drbg.split g "n2")
+        ~alice:ja ~bob:jb ~ring ~pi:!pi ~msg ~stmt ~z
+    with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "2p-ct psign: %s" e
+  in
+  Alcotest.(check bool) "pre-verifies" true (TpCt.pre_verify ~ring ~msg ~stmt pre);
+  (* Not yet spendable... *)
+  let premature =
+    { ctx with
+      CL.ct_inputs =
+        [ { skel with CL.cti_sig = TpCt.adapt pre ~y:Sc.zero } ] }
+  in
+  (match CL.validate l premature with
+  | Ok () -> Alcotest.fail "incomplete presig accepted"
+  | Error _ -> ());
+  (* ...until adapted with the witness. *)
+  let final = { ctx with CL.ct_inputs = [ { skel with CL.cti_sig = TpCt.adapt pre ~y } ] } in
+  (match CL.apply l final with Ok () -> () | Error e -> Alcotest.failf "close: %s" e);
+  (* Witness extraction (the channel's revocation input). *)
+  Alcotest.(check bool) "witness extracts" true
+    (Sc.equal y (TpCt.ext (TpCt.adapt pre ~y) pre));
+  (* Double spend of the joint output is blocked by the key image. *)
+  match CL.apply l final with
+  | Ok () -> Alcotest.fail "double close"
+  | Error e -> Alcotest.(check string) "ki spent" "key image spent" e
+
+let test_ct_channel_wrong_z_rejected () =
+  let g = Monet_hash.Drbg.split drbg "wz" in
+  let ja, jb =
+    match Tp.run_jgen (Monet_hash.Drbg.split g "a") (Monet_hash.Drbg.split g "b") with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  ignore jb;
+  let z = Sc.random_nonzero g in
+  let ring =
+    [| { Monet_sig.Mlsag.p = ja.Tp.vk; d = Point.mul_base (Sc.add z Sc.one) } |]
+  in
+  let nonce = Tp.nonce g ja in
+  match
+    TpCt.session ja ~ring ~pi:0 ~msg:"m" ~stmt:Monet_sig.Stmt.zero ~z ~mine:nonce
+      ~theirs:nonce.Tp.ns_msg
+  with
+  | Ok _ -> Alcotest.fail "wrong z accepted"
+  | Error e -> Alcotest.(check string) "z check" "z does not open the commitment slot" e
+
+let tests =
+  [
+    Alcotest.test_case "ct channel lifecycle" `Quick test_ct_channel_lifecycle;
+    Alcotest.test_case "ct channel wrong z" `Quick test_ct_channel_wrong_z_rejected;
+  ]

@@ -1,0 +1,236 @@
+(* Bignum, field and curve tests: known-answer vectors plus qcheck
+   property tests against OCaml int semantics on small values. *)
+open Monet_ec
+
+let drbg = Monet_hash.Drbg.of_int 1234
+
+let small_nat = QCheck.map abs QCheck.int
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- Bn properties --- *)
+
+let bn_roundtrip =
+  QCheck.Test.make ~name:"bn of_int/to_int roundtrip" ~count:500 small_nat (fun n ->
+      Bn.to_int_opt (Bn.of_int n) = Some n)
+
+let bn_add =
+  QCheck.Test.make ~name:"bn add matches int" ~count:500
+    QCheck.(pair small_nat small_nat)
+    (fun (a, b) ->
+      let a = a / 2 and b = b / 2 in
+      Bn.to_int_opt (Bn.add (Bn.of_int a) (Bn.of_int b)) = Some (a + b))
+
+let bn_sub =
+  QCheck.Test.make ~name:"bn sub matches int" ~count:500
+    QCheck.(pair small_nat small_nat)
+    (fun (a, b) ->
+      let hi = max a b and lo = min a b in
+      Bn.to_int_opt (Bn.sub (Bn.of_int hi) (Bn.of_int lo)) = Some (hi - lo))
+
+let bn_mul =
+  QCheck.Test.make ~name:"bn mul matches int" ~count:500
+    QCheck.(pair (int_bound 0x3fffffff) (int_bound 0x3fffffff))
+    (fun (a, b) -> Bn.to_int_opt (Bn.mul (Bn.of_int a) (Bn.of_int b)) = Some (a * b))
+
+let bn_divmod =
+  QCheck.Test.make ~name:"bn divmod matches int" ~count:500
+    QCheck.(pair small_nat (int_range 1 1000000))
+    (fun (a, b) ->
+      let q, r = Bn.divmod (Bn.of_int a) (Bn.of_int b) in
+      Bn.to_int_opt q = Some (a / b) && Bn.to_int_opt r = Some (a mod b))
+
+let bn_hex_roundtrip =
+  QCheck.Test.make ~name:"bn hex roundtrip" ~count:200 small_nat (fun n ->
+      Bn.to_int_opt (Bn.of_hex (Bn.to_hex (Bn.of_int n))) = Some n)
+
+let bn_shifts =
+  QCheck.Test.make ~name:"bn shifts match int" ~count:500
+    QCheck.(pair (int_bound 0xffffff) (int_bound 30))
+    (fun (a, s) ->
+      Bn.to_int_opt (Bn.shift_left_bits (Bn.of_int a) s) = Some (a lsl s)
+      && Bn.to_int_opt (Bn.shift_right_bits (Bn.of_int a) s) = Some (a lsr s))
+
+let test_bn_big_divmod () =
+  (* (l * 12345 + 678) divmod l *)
+  let l = Sc.l in
+  let a = Bn.add (Bn.mul l (Bn.of_int 12345)) (Bn.of_int 678) in
+  let q, r = Bn.divmod a l in
+  Alcotest.(check bool) "quotient" true (Bn.equal q (Bn.of_int 12345));
+  Alcotest.(check bool) "remainder" true (Bn.equal r (Bn.of_int 678))
+
+let test_barrett_matches_divmod () =
+  let ctx = Bn.Barrett.create Sc.l in
+  let g = Monet_hash.Drbg.of_int 99 in
+  for _ = 1 to 50 do
+    let x = Bn.of_bytes_le (Monet_hash.Drbg.bytes g 63) in
+    let expect = Bn.rem x Sc.l in
+    Alcotest.(check bool) "barrett = divmod" true
+      (Bn.equal (Bn.Barrett.reduce ctx x) expect)
+  done
+
+(* --- Field --- *)
+
+let test_fe_inv () =
+  for _ = 1 to 20 do
+    let x = Fe.random drbg in
+    if not (Fe.is_zero x) then
+      Alcotest.(check bool) "x * x^-1 = 1" true (Fe.equal (Fe.mul x (Fe.inv x)) Fe.one)
+  done
+
+let test_fe_sqrt () =
+  for _ = 1 to 20 do
+    let x = Fe.random drbg in
+    let x2 = Fe.sq x in
+    match Fe.sqrt x2 with
+    | None -> Alcotest.fail "square must have a root"
+    | Some r -> Alcotest.(check bool) "root squares back" true (Fe.equal (Fe.sq r) x2)
+  done
+
+let test_fe_sqrt_m1 () =
+  Alcotest.(check bool) "sqrt(-1)^2 = -1" true
+    (Fe.equal (Fe.sq Fe.sqrt_m1) (Fe.neg Fe.one))
+
+let test_sc_field_axioms () =
+  for _ = 1 to 20 do
+    let a = Sc.random drbg and b = Sc.random drbg and c = Sc.random drbg in
+    Alcotest.(check bool) "distributivity" true
+      (Sc.equal (Sc.mul a (Sc.add b c)) (Sc.add (Sc.mul a b) (Sc.mul a c)));
+    Alcotest.(check bool) "add comm" true (Sc.equal (Sc.add a b) (Sc.add b a));
+    Alcotest.(check bool) "sub inverse" true (Sc.equal (Sc.sub (Sc.add a b) b) a)
+  done
+
+let test_sc_wide_reduction () =
+  (* of_bytes_le_wide of l (padded to 64 bytes) is 0 *)
+  let lbytes = Bn.to_bytes_le Sc.l ~len:64 in
+  Alcotest.(check bool) "l reduces to 0" true (Sc.is_zero (Sc.of_bytes_le_wide lbytes))
+
+(* --- Curve known answers --- *)
+
+let test_base_encoding () =
+  Alcotest.(check string) "B encodes canonically"
+    "5866666666666666666666666666666666666666666666666666666666666666"
+    (Monet_util.Hex.encode (Point.encode Point.base))
+
+let test_double_base () =
+  Alcotest.(check string) "2B known vector"
+    "c9a3f86aae465f0e56513864510f3997561fa2c9e85ea21dc2292309f3cd6022"
+    (Monet_util.Hex.encode (Point.encode (Point.double Point.base)))
+
+let test_order () =
+  Alcotest.(check bool) "l*B = O" true (Point.is_identity (Point.mul Sc.l Point.base))
+
+let test_base_on_curve () =
+  Alcotest.(check bool) "B on curve" true (Point.is_on_curve Point.base);
+  Alcotest.(check bool) "2B on curve" true (Point.is_on_curve (Point.double Point.base))
+
+let test_add_vs_double () =
+  Alcotest.(check bool) "B+B = 2B" true
+    (Point.equal (Point.add Point.base Point.base) (Point.double Point.base))
+
+let test_mul_small () =
+  (* k*B via repeated addition = mul = mul_base, k in 0..20 *)
+  let acc = ref Point.identity in
+  for k = 0 to 20 do
+    let kb = Point.mul (Sc.of_int k) Point.base in
+    Alcotest.(check bool) (Printf.sprintf "mul %d" k) true (Point.equal kb !acc);
+    Alcotest.(check bool) (Printf.sprintf "mul_base %d" k) true
+      (Point.equal (Point.mul_base (Sc.of_int k)) !acc);
+    acc := Point.add !acc Point.base
+  done
+
+let test_mul_base_matches_mul () =
+  for _ = 1 to 10 do
+    let k = Sc.random drbg in
+    Alcotest.(check bool) "mul_base = mul _ base" true
+      (Point.equal (Point.mul_base k) (Point.mul k Point.base))
+  done
+
+let test_scalarmult_homomorphic () =
+  for _ = 1 to 5 do
+    let a = Sc.random drbg and b = Sc.random drbg in
+    let lhs = Point.mul_base (Sc.add a b) in
+    let rhs = Point.add (Point.mul_base a) (Point.mul_base b) in
+    Alcotest.(check bool) "(a+b)B = aB + bB" true (Point.equal lhs rhs)
+  done
+
+let test_encode_decode_roundtrip () =
+  for _ = 1 to 20 do
+    let p = Point.mul_base (Sc.random drbg) in
+    let enc = Point.encode p in
+    match Point.decode enc with
+    | None -> Alcotest.fail "decode failed"
+    | Some q ->
+        Alcotest.(check bool) "roundtrip" true (Point.equal p q);
+        Alcotest.(check string) "re-encode" (Monet_util.Hex.encode enc)
+          (Monet_util.Hex.encode (Point.encode q))
+  done
+
+let test_decode_rejects_garbage () =
+  (* A y-coordinate >= p must be rejected; so must non-residues. *)
+  let all_ff = String.make 32 '\xff' in
+  Alcotest.(check bool) "all-0xff rejected" true (Point.decode all_ff = None);
+  Alcotest.(check bool) "wrong length rejected" true (Point.decode "short" = None)
+
+let test_neg () =
+  let p = Point.mul_base (Sc.of_int 5) in
+  Alcotest.(check bool) "P + (-P) = O" true
+    (Point.is_identity (Point.add p (Point.neg p)));
+  Alcotest.(check bool) "-P on curve" true (Point.is_on_curve (Point.neg p))
+
+let test_hash_to_point () =
+  let p = Point.hash_to_point "test" "hello" in
+  Alcotest.(check bool) "on curve" true (Point.is_on_curve p);
+  Alcotest.(check bool) "prime subgroup" true (Point.in_prime_subgroup p);
+  let q = Point.hash_to_point "test" "world" in
+  Alcotest.(check bool) "distinct inputs, distinct points" true (not (Point.equal p q));
+  let p' = Point.hash_to_point "test" "hello" in
+  Alcotest.(check bool) "deterministic" true (Point.equal p p')
+
+(* --- Z_l* chain arithmetic --- *)
+
+let test_zl_pow_homomorphic () =
+  let h = Zl.default_base in
+  for _ = 1 to 5 do
+    let a = Zl.Exp.random drbg and b = Zl.Exp.random drbg in
+    let lhs = Zl.pow h (Zl.Exp.add a b) in
+    let rhs = Sc.mul (Zl.pow h a) (Zl.pow h b) in
+    Alcotest.(check bool) "h^(a+b) = h^a * h^b" true (Sc.equal lhs rhs)
+  done
+
+let test_zl_pow_small () =
+  Alcotest.(check bool) "h^3 = h*h*h" true
+    (Sc.equal
+       (Zl.pow Zl.default_base (Bn.of_int 3))
+       (Sc.mul Zl.default_base (Sc.mul Zl.default_base Zl.default_base)))
+
+let tests =
+  [
+    qtest bn_roundtrip;
+    qtest bn_add;
+    qtest bn_sub;
+    qtest bn_mul;
+    qtest bn_divmod;
+    qtest bn_hex_roundtrip;
+    qtest bn_shifts;
+    Alcotest.test_case "bn big divmod" `Quick test_bn_big_divmod;
+    Alcotest.test_case "barrett reduction" `Quick test_barrett_matches_divmod;
+    Alcotest.test_case "fe inverse" `Quick test_fe_inv;
+    Alcotest.test_case "fe sqrt" `Quick test_fe_sqrt;
+    Alcotest.test_case "fe sqrt(-1)" `Quick test_fe_sqrt_m1;
+    Alcotest.test_case "sc field axioms" `Quick test_sc_field_axioms;
+    Alcotest.test_case "sc wide reduction" `Quick test_sc_wide_reduction;
+    Alcotest.test_case "base encoding" `Quick test_base_encoding;
+    Alcotest.test_case "2B vector" `Quick test_double_base;
+    Alcotest.test_case "group order" `Quick test_order;
+    Alcotest.test_case "on-curve checks" `Quick test_base_on_curve;
+    Alcotest.test_case "add vs double" `Quick test_add_vs_double;
+    Alcotest.test_case "small multiples" `Quick test_mul_small;
+    Alcotest.test_case "mul_base consistency" `Quick test_mul_base_matches_mul;
+    Alcotest.test_case "scalar mult homomorphic" `Quick test_scalarmult_homomorphic;
+    Alcotest.test_case "encode/decode roundtrip" `Quick test_encode_decode_roundtrip;
+    Alcotest.test_case "decode rejects garbage" `Quick test_decode_rejects_garbage;
+    Alcotest.test_case "negation" `Quick test_neg;
+    Alcotest.test_case "hash to point" `Quick test_hash_to_point;
+    Alcotest.test_case "zl pow homomorphic" `Quick test_zl_pow_homomorphic;
+    Alcotest.test_case "zl pow small" `Quick test_zl_pow_small;
+  ]

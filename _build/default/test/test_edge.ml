@@ -1,0 +1,251 @@
+(* Edge cases and adversarial paths across layers. *)
+open Monet_ec
+
+let drbg = Monet_hash.Drbg.of_int 808
+
+(* --- Bn --- *)
+
+let test_bn_division_by_zero () =
+  Alcotest.check_raises "divmod by zero" Division_by_zero (fun () ->
+      ignore (Bn.divmod (Bn.of_int 5) Bn.zero))
+
+let test_bn_sub_underflow () =
+  Alcotest.check_raises "sub underflow" (Invalid_argument "Bn.sub: underflow")
+    (fun () -> ignore (Bn.sub (Bn.of_int 3) (Bn.of_int 5)))
+
+let test_bn_zero_properties () =
+  Alcotest.(check bool) "0 is zero" true (Bn.is_zero Bn.zero);
+  Alcotest.(check int) "num_bits 0" 0 (Bn.num_bits Bn.zero);
+  Alcotest.(check bool) "0 * x = 0" true (Bn.is_zero (Bn.mul Bn.zero (Bn.of_int 7)));
+  Alcotest.(check bool) "x - x = 0" true
+    (Bn.is_zero (Bn.sub (Bn.of_int 42) (Bn.of_int 42)));
+  Alcotest.(check bool) "0 <= bytes roundtrip" true
+    (Bn.is_zero (Bn.of_bytes_le (Bn.to_bytes_le Bn.zero ~len:32)))
+
+let test_bn_to_bytes_overflow () =
+  Alcotest.check_raises "doesn't fit" (Invalid_argument "Bn.to_bytes_le: does not fit")
+    (fun () -> ignore (Bn.to_bytes_le (Bn.of_int 256) ~len:1))
+
+let test_sc_to_int_boundaries () =
+  (* ℓ-1 and ℓ+1 behave correctly under reduction. *)
+  let lm1 = Bn.sub Sc.l Bn.one in
+  Alcotest.(check bool) "ℓ-1 is canonical" true (Sc.equal (Sc.of_bn lm1) lm1);
+  Alcotest.(check bool) "ℓ reduces to 0" true (Sc.is_zero (Sc.of_bn Sc.l));
+  Alcotest.(check bool) "ℓ+1 reduces to 1" true
+    (Sc.equal (Sc.of_bn (Bn.add Sc.l Bn.one)) Sc.one)
+
+(* --- two-party adversarial --- *)
+
+let test_jgen_bad_pok_rejected () =
+  let ga = Monet_hash.Drbg.split drbg "ga" and gb = Monet_hash.Drbg.split drbg "gb" in
+  let sk_a, km_a = Monet_sig.Two_party.key_msg ga in
+  let _, km_b = Monet_sig.Two_party.key_msg gb in
+  (* Bob substitutes a rogue key while replaying Alice's proof. *)
+  let rogue = { km_b with Monet_sig.Two_party.km_vk = Point.mul_base (Sc.random_nonzero gb) } in
+  match Monet_sig.Two_party.ki_msg ga ~sk:sk_a ~my:km_a ~theirs:rogue with
+  | Ok _ -> Alcotest.fail "rogue key accepted"
+  | Error _ -> ()
+
+let test_session_rejects_foreign_ring () =
+  (* The joint key must actually sit in the ring at the stated index. *)
+  match
+    Monet_sig.Two_party.run_jgen
+      (Monet_hash.Drbg.split drbg "j1") (Monet_hash.Drbg.split drbg "j2")
+  with
+  | Error e -> Alcotest.fail e
+  | Ok (ja, _) -> (
+      let ring = Array.init 3 (fun _ -> Point.mul_base (Sc.random_nonzero drbg)) in
+      let nonce = Monet_sig.Two_party.nonce drbg ja in
+      match
+        Monet_sig.Two_party.session ja ~ring ~pi:1 ~msg:"m" ~stmt:Monet_sig.Stmt.zero
+          ~mine:nonce ~theirs:nonce.Monet_sig.Two_party.ns_msg
+      with
+      | Ok _ -> Alcotest.fail "foreign ring accepted"
+      | Error e -> Alcotest.(check string) "slot check" "ring slot is not the joint key" e)
+
+(* --- KES contract misuse --- *)
+
+let kes_setup () =
+  let chain = Monet_script.Chain.create () in
+  let contract, _ = Monet_kes.Kes_contract.deploy chain in
+  let a = Monet_kes.Kes_client.make_party (Monet_hash.Drbg.split drbg "ka") ~addr:"0xA" in
+  let b = Monet_kes.Kes_client.make_party (Monet_hash.Drbg.split drbg "kb") ~addr:"0xB" in
+  (chain, contract, a, b)
+
+let test_kes_self_confirmation_rejected () =
+  let chain, contract, a, b = kes_setup () in
+  let r =
+    Monet_kes.Kes_client.call_deploy_instance chain ~contract a ~id:1
+      ~vk_a:a.Monet_kes.Kes_client.p_kp.vk ~vk_b:b.Monet_kes.Kes_client.p_kp.vk
+      ~escrow_digest:"d"
+  in
+  (match r.Monet_script.Chain.r_ok with Ok _ -> () | Error e -> Alcotest.fail e);
+  (* The proposer cannot add_ok its own instance. *)
+  match (Monet_kes.Kes_client.call_add_ok chain ~contract a ~id:1).r_ok with
+  | Ok _ -> Alcotest.fail "self-confirmation"
+  | Error _ -> ()
+
+let test_kes_duplicate_instance_rejected () =
+  let chain, contract, a, b = kes_setup () in
+  let deploy () =
+    Monet_kes.Kes_client.call_deploy_instance chain ~contract a ~id:9
+      ~vk_a:a.Monet_kes.Kes_client.p_kp.vk ~vk_b:b.Monet_kes.Kes_client.p_kp.vk
+      ~escrow_digest:"d"
+  in
+  (match (deploy ()).r_ok with Ok _ -> () | Error e -> Alcotest.fail e);
+  match (deploy ()).r_ok with
+  | Ok _ -> Alcotest.fail "duplicate id"
+  | Error e -> Alcotest.(check string) "dup" "instance id exists" e
+
+let test_kes_timer_before_activation () =
+  let chain, contract, a, b = kes_setup () in
+  let r =
+    Monet_kes.Kes_client.call_deploy_instance chain ~contract a ~id:2
+      ~vk_a:a.Monet_kes.Kes_client.p_kp.vk ~vk_b:b.Monet_kes.Kes_client.p_kp.vk
+      ~escrow_digest:"d"
+  in
+  (match r.Monet_script.Chain.r_ok with Ok _ -> () | Error e -> Alcotest.fail e);
+  (* Timer on a pending (un-add_ok'd) instance must fail. *)
+  let sig_a = Monet_kes.Kes_client.sign_commit_half drbg a ~id:2 ~state:0 ~digest:"x" in
+  let sig_b = Monet_kes.Kes_client.sign_commit_half drbg b ~id:2 ~state:0 ~digest:"x" in
+  let commit = Monet_kes.Kes_client.assemble_commit ~state:0 ~digest:"x" ~sig_a ~sig_b in
+  match (Monet_kes.Kes_client.call_set_timer chain ~contract a ~id:2 ~tau:100 commit).r_ok with
+  | Ok _ -> Alcotest.fail "timer on pending instance"
+  | Error _ -> ()
+
+let test_kes_double_timer_rejected () =
+  let chain, contract, a, b = kes_setup () in
+  let r =
+    Monet_kes.Kes_client.call_deploy_instance chain ~contract a ~id:3
+      ~vk_a:a.Monet_kes.Kes_client.p_kp.vk ~vk_b:b.Monet_kes.Kes_client.p_kp.vk
+      ~escrow_digest:"d"
+  in
+  (match r.Monet_script.Chain.r_ok with Ok _ -> () | Error e -> Alcotest.fail e);
+  (match (Monet_kes.Kes_client.call_add_ok chain ~contract b ~id:3).r_ok with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  let sig_a = Monet_kes.Kes_client.sign_commit_half drbg a ~id:3 ~state:1 ~digest:"x" in
+  let sig_b = Monet_kes.Kes_client.sign_commit_half drbg b ~id:3 ~state:1 ~digest:"x" in
+  let commit = Monet_kes.Kes_client.assemble_commit ~state:1 ~digest:"x" ~sig_a ~sig_b in
+  (match (Monet_kes.Kes_client.call_set_timer chain ~contract a ~id:3 ~tau:100 commit).r_ok with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  match (Monet_kes.Kes_client.call_set_timer chain ~contract b ~id:3 ~tau:100 commit).r_ok with
+  | Ok _ -> Alcotest.fail "second timer accepted"
+  | Error _ -> ()
+
+let test_kes_unknown_method () =
+  let chain, contract, a, _ = kes_setup () in
+  match
+    (Monet_script.Chain.call chain ~caller:a.Monet_kes.Kes_client.p_addr ~contract
+       ~meth:"selfdestruct" ~args:"").Monet_script.Chain.r_ok
+  with
+  | Ok _ -> Alcotest.fail "unknown method accepted"
+  | Error e -> Alcotest.(check bool) "reported" true (String.length e > 0)
+
+let test_script_out_of_gas () =
+  let chain = Monet_script.Chain.create () in
+  let _id, _gas =
+    Monet_script.Chain.deploy chain ~code_size:10 ~make:(fun st ->
+        fun ctx _ _ ->
+          (* burn storage until the meter trips *)
+          let i = ref 0 in
+          while true do
+            Monet_script.Chain.sset st (string_of_int !i) (String.make 64 'x');
+            incr i
+          done;
+          ignore ctx;
+          Ok "")
+  in
+  let r = Monet_script.Chain.call chain ~caller:"0x1" ~contract:0 ~meth:"burn" ~args:"" in
+  match r.Monet_script.Chain.r_ok with
+  | Error "out of gas" -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" e
+  | Ok _ -> Alcotest.fail "infinite loop terminated?"
+
+(* --- wallet --- *)
+
+let test_wallet_exact_spend_no_change () =
+  let g = Monet_hash.Drbg.split drbg "wx" in
+  let l = Monet_xmr.Ledger.create () in
+  Monet_xmr.Ledger.ensure_decoys g l ~amount:25 ~n:20;
+  let w = Monet_xmr.Wallet.create ~ring_size:5 g ~label:"w" in
+  let kp = Monet_sig.Sig_core.gen g in
+  let idx = Monet_xmr.Ledger.genesis_output l { Monet_xmr.Tx.otk = kp.vk; amount = 25 } in
+  Monet_xmr.Wallet.adopt w ~global_index:idx ~keypair:kp ~amount:25;
+  let dest = Point.mul_base (Sc.random_nonzero g) in
+  match Monet_xmr.Wallet.pay w l ~dest ~amount:25 with
+  | Error e -> Alcotest.fail e
+  | Ok tx ->
+      Alcotest.(check int) "exactly one output (no change)" 1
+        (List.length tx.Monet_xmr.Tx.outputs)
+
+let test_wallet_multi_coin_selection () =
+  let g = Monet_hash.Drbg.split drbg "wm" in
+  let l = Monet_xmr.Ledger.create () in
+  List.iter (fun a -> Monet_xmr.Ledger.ensure_decoys g l ~amount:a ~n:15) [ 10; 20 ];
+  let w = Monet_xmr.Wallet.create ~ring_size:5 g ~label:"w" in
+  List.iter
+    (fun amount ->
+      let kp = Monet_sig.Sig_core.gen g in
+      let idx = Monet_xmr.Ledger.genesis_output l { Monet_xmr.Tx.otk = kp.vk; amount } in
+      Monet_xmr.Wallet.adopt w ~global_index:idx ~keypair:kp ~amount)
+    [ 10; 20 ];
+  let dest = Point.mul_base (Sc.random_nonzero g) in
+  match Monet_xmr.Wallet.pay w l ~dest ~amount:25 with
+  | Error e -> Alcotest.fail e
+  | Ok tx -> (
+      Alcotest.(check int) "two inputs" 2 (List.length tx.Monet_xmr.Tx.inputs);
+      match Monet_xmr.Ledger.submit l tx with
+      | Ok () -> ignore (Monet_xmr.Ledger.mine l)
+      | Error e -> Alcotest.fail e)
+
+(* --- channel guards --- *)
+
+let test_channel_zero_update () =
+  let cfg = { Monet_channel.Channel.default_config with vcof_reps = Some 8; ring_size = 5;
+              n_escrowers = 4; escrow_threshold = 2 } in
+  let env = Monet_channel.Channel.make_env (Monet_hash.Drbg.split drbg "cz") in
+  let g = Monet_hash.Drbg.split drbg "czw" in
+  let fund w amount =
+    let kp = Monet_sig.Sig_core.gen g in
+    Monet_xmr.Ledger.ensure_decoys g env.Monet_channel.Channel.ledger ~amount ~n:15;
+    let idx = Monet_xmr.Ledger.genesis_output env.Monet_channel.Channel.ledger
+        { Monet_xmr.Tx.otk = kp.vk; amount } in
+    Monet_xmr.Wallet.adopt w ~global_index:idx ~keypair:kp ~amount
+  in
+  let wa = Monet_xmr.Wallet.create ~ring_size:5 g ~label:"a" in
+  let wb = Monet_xmr.Wallet.create ~ring_size:5 g ~label:"b" in
+  fund wa 50;
+  fund wb 50;
+  match Monet_channel.Channel.establish ~cfg env ~id:1 ~wallet_a:wa ~wallet_b:wb
+          ~bal_a:50 ~bal_b:50 with
+  | Error e -> Alcotest.fail e
+  | Ok (c, _) -> (
+      (* Zero-amount update is a (wasteful but valid) state bump. *)
+      match Monet_channel.Channel.update c ~amount_from_a:0 with
+      | Ok _ ->
+          Alcotest.(check int) "state advanced" 1 c.Monet_channel.Channel.a.state;
+          Alcotest.(check int) "balance unchanged" 50
+            c.Monet_channel.Channel.a.my_balance
+      | Error e -> Alcotest.fail e)
+
+let tests =
+  [
+    Alcotest.test_case "bn div by zero" `Quick test_bn_division_by_zero;
+    Alcotest.test_case "bn sub underflow" `Quick test_bn_sub_underflow;
+    Alcotest.test_case "bn zero properties" `Quick test_bn_zero_properties;
+    Alcotest.test_case "bn bytes overflow" `Quick test_bn_to_bytes_overflow;
+    Alcotest.test_case "sc boundary reduction" `Quick test_sc_to_int_boundaries;
+    Alcotest.test_case "jgen rogue key" `Quick test_jgen_bad_pok_rejected;
+    Alcotest.test_case "session foreign ring" `Quick test_session_rejects_foreign_ring;
+    Alcotest.test_case "kes self-confirm" `Quick test_kes_self_confirmation_rejected;
+    Alcotest.test_case "kes duplicate id" `Quick test_kes_duplicate_instance_rejected;
+    Alcotest.test_case "kes timer pending" `Quick test_kes_timer_before_activation;
+    Alcotest.test_case "kes double timer" `Quick test_kes_double_timer_rejected;
+    Alcotest.test_case "kes unknown method" `Quick test_kes_unknown_method;
+    Alcotest.test_case "script out of gas" `Quick test_script_out_of_gas;
+    Alcotest.test_case "wallet exact spend" `Quick test_wallet_exact_spend_no_change;
+    Alcotest.test_case "wallet multi-coin" `Quick test_wallet_multi_coin_selection;
+    Alcotest.test_case "channel zero update" `Quick test_channel_zero_update;
+  ]

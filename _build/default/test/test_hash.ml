@@ -1,0 +1,90 @@
+(* Known-answer tests for the hash substrate. *)
+open Monet_hash
+
+let check_hex msg expected actual =
+  Alcotest.(check string) msg expected (Monet_util.Hex.encode actual)
+
+let test_sha512_empty () =
+  check_hex "sha512(\"\")"
+    "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e"
+    (Sha512.digest "")
+
+let test_sha512_abc () =
+  check_hex "sha512(\"abc\")"
+    "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f"
+    (Sha512.digest "abc")
+
+let test_sha512_long () =
+  (* 896-bit NIST vector *)
+  check_hex "sha512(two-block message)"
+    "8e959b75dae313da8cf4f72814fc143f8f7779c6eb9f7fa17299aeadb6889018501d289e4900f7e4331b99dec4b5433ac7d329eeb6dd26545e96e55b874be909"
+    (Sha512.digest
+       "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu")
+
+let test_sha512_streaming () =
+  (* Feeding byte-by-byte must equal one-shot digest. *)
+  let msg = String.init 1000 (fun i -> Char.chr (i mod 251)) in
+  let ctx = Sha512.init () in
+  String.iter (fun c -> Sha512.feed ctx (String.make 1 c)) msg;
+  Alcotest.(check string) "streaming = one-shot" (Sha512.digest msg) (Sha512.finalize ctx)
+
+let test_keccak_empty () =
+  check_hex "keccak256(\"\")"
+    "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470"
+    (Keccak.digest "")
+
+let test_keccak_abc () =
+  check_hex "keccak256(\"abc\")"
+    "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45"
+    (Keccak.digest "abc")
+
+let test_sha3_empty () =
+  check_hex "sha3-256(\"\")"
+    "a7ffc6f8bf1ed76651c14756a061d662f580ff4de43b49fa82d80a4b80f8434a"
+    (Keccak.sha3_256 "")
+
+let test_keccak_rate_boundary () =
+  (* Messages of length rate-1, rate, rate+1 must all hash without error
+     and produce distinct digests. *)
+  let m n = String.make n 'x' in
+  let d135 = Keccak.digest (m 135)
+  and d136 = Keccak.digest (m 136)
+  and d137 = Keccak.digest (m 137) in
+  Alcotest.(check bool) "distinct digests" true
+    (d135 <> d136 && d136 <> d137 && d135 <> d137)
+
+let test_drbg_deterministic () =
+  let a = Drbg.of_int 42 and b = Drbg.of_int 42 in
+  Alcotest.(check string) "same seed, same stream" (Drbg.bytes a 100) (Drbg.bytes b 100)
+
+let test_drbg_int_range () =
+  let g = Drbg.of_int 7 in
+  for _ = 1 to 1000 do
+    let v = Drbg.int g 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_drbg_split_independent () =
+  let g = Drbg.of_int 1 in
+  let a = Drbg.split g "a" and b = Drbg.split g "b" in
+  Alcotest.(check bool) "independent streams" true (Drbg.bytes a 32 <> Drbg.bytes b 32)
+
+let test_hash_domain_separation () =
+  Alcotest.(check bool) "tags separate" true
+    (Hash.tagged "a" [ "m" ] <> Hash.tagged "b" [ "m" ])
+
+let tests =
+  [
+    Alcotest.test_case "sha512 empty" `Quick test_sha512_empty;
+    Alcotest.test_case "sha512 abc" `Quick test_sha512_abc;
+    Alcotest.test_case "sha512 two-block" `Quick test_sha512_long;
+    Alcotest.test_case "sha512 streaming" `Quick test_sha512_streaming;
+    Alcotest.test_case "keccak256 empty" `Quick test_keccak_empty;
+    Alcotest.test_case "keccak256 abc" `Quick test_keccak_abc;
+    Alcotest.test_case "sha3-256 empty" `Quick test_sha3_empty;
+    Alcotest.test_case "keccak rate boundary" `Quick test_keccak_rate_boundary;
+    Alcotest.test_case "drbg deterministic" `Quick test_drbg_deterministic;
+    Alcotest.test_case "drbg int range" `Quick test_drbg_int_range;
+    Alcotest.test_case "drbg split" `Quick test_drbg_split_independent;
+    Alcotest.test_case "hash domain separation" `Quick test_hash_domain_separation;
+  ]

@@ -1,0 +1,158 @@
+(* Script chain, gas metering, KES contract lifecycle, escrow. *)
+open Monet_ec
+
+let drbg = Monet_hash.Drbg.of_int 1717
+
+let deploy_all () =
+  let chain = Monet_script.Chain.create () in
+  let contract, deploy_gas = Monet_kes.Kes_contract.deploy chain in
+  let alice = Monet_kes.Kes_client.make_party (Monet_hash.Drbg.split drbg "a") ~addr:"0xA" in
+  let bob = Monet_kes.Kes_client.make_party (Monet_hash.Drbg.split drbg "b") ~addr:"0xB" in
+  (chain, contract, deploy_gas, alice, bob)
+
+let cross_signed (alice : Monet_kes.Kes_client.party) (bob : Monet_kes.Kes_client.party)
+    ~id ~state ~digest =
+  let sig_a = Monet_kes.Kes_client.sign_commit_half drbg alice ~id ~state ~digest in
+  let sig_b = Monet_kes.Kes_client.sign_commit_half drbg bob ~id ~state ~digest in
+  Monet_kes.Kes_client.assemble_commit ~state ~digest ~sig_a ~sig_b
+
+let make_instance chain contract alice bob ~id =
+  let r =
+    Monet_kes.Kes_client.call_deploy_instance chain ~contract alice ~id
+      ~vk_a:alice.Monet_kes.Kes_client.p_kp.vk ~vk_b:bob.Monet_kes.Kes_client.p_kp.vk
+      ~escrow_digest:"digest"
+  in
+  (match r.Monet_script.Chain.r_ok with Ok _ -> () | Error e -> Alcotest.fail e);
+  let r2 = Monet_kes.Kes_client.call_add_ok chain ~contract bob ~id in
+  match r2.Monet_script.Chain.r_ok with Ok _ -> () | Error e -> Alcotest.fail e
+
+let test_deploy_gas_positive () =
+  let _, _, deploy_gas, _, _ = deploy_all () in
+  Alcotest.(check bool) "deploy gas in EVM ballpark" true
+    (deploy_gas > 100_000 && deploy_gas < 200_000)
+
+let test_instance_lifecycle_cooperative () =
+  let chain, contract, _, alice, bob = deploy_all () in
+  make_instance chain contract alice bob ~id:7;
+  let commit = cross_signed alice bob ~id:7 ~state:5 ~digest:"final" in
+  let r = Monet_kes.Kes_client.call_close chain ~contract alice ~id:7 commit in
+  (match r.Monet_script.Chain.r_ok with Ok _ -> () | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "close gas plausible" true
+    (r.Monet_script.Chain.r_gas > 25_000 && r.Monet_script.Chain.r_gas < 80_000)
+
+let test_dispute_timeout_releases_key () =
+  let chain, contract, _, alice, bob = deploy_all () in
+  make_instance chain contract alice bob ~id:1;
+  let commit = cross_signed alice bob ~id:1 ~state:3 ~digest:"state3" in
+  let r = Monet_kes.Kes_client.call_set_timer chain ~contract alice ~id:1 ~tau:5000 commit in
+  (match r.Monet_script.Chain.r_ok with Ok _ -> () | Error e -> Alcotest.fail e);
+  (* Too early: timeout refused. *)
+  let early = Monet_kes.Kes_client.call_timeout chain ~contract alice ~id:1 in
+  (match early.Monet_script.Chain.r_ok with
+  | Ok _ -> Alcotest.fail "timeout before deadline"
+  | Error _ -> ());
+  Monet_script.Chain.advance_time chain 6000;
+  let late = Monet_kes.Kes_client.call_timeout chain ~contract alice ~id:1 in
+  (match late.Monet_script.Chain.r_ok with Ok _ -> () | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "KeyRelease to alice" true
+    (Monet_kes.Kes_client.key_released late.Monet_script.Chain.r_events ~id:1 ~addr:"0xA");
+  Alcotest.(check bool) "not to bob" false
+    (Monet_kes.Kes_client.key_released late.Monet_script.Chain.r_events ~id:1 ~addr:"0xB")
+
+let test_dispute_response_prevents_release () =
+  let chain, contract, _, alice, bob = deploy_all () in
+  make_instance chain contract alice bob ~id:2;
+  let c3 = cross_signed alice bob ~id:2 ~state:3 ~digest:"s3" in
+  let r = Monet_kes.Kes_client.call_set_timer chain ~contract alice ~id:2 ~tau:5000 c3 in
+  (match r.Monet_script.Chain.r_ok with Ok _ -> () | Error e -> Alcotest.fail e);
+  (* Bob responds with a fresher state in time: terminated, no release. *)
+  let c4 = cross_signed alice bob ~id:2 ~state:4 ~digest:"s4" in
+  let r2 = Monet_kes.Kes_client.call_resp chain ~contract bob ~id:2 c4 in
+  (match r2.Monet_script.Chain.r_ok with Ok _ -> () | Error e -> Alcotest.fail e);
+  Monet_script.Chain.advance_time chain 10000;
+  let r3 = Monet_kes.Kes_client.call_timeout chain ~contract alice ~id:2 in
+  match r3.Monet_script.Chain.r_ok with
+  | Ok _ -> Alcotest.fail "release after valid response"
+  | Error _ -> ()
+
+let test_stale_response_rejected () =
+  let chain, contract, _, alice, bob = deploy_all () in
+  make_instance chain contract alice bob ~id:3;
+  let c5 = cross_signed alice bob ~id:3 ~state:5 ~digest:"s5" in
+  (match (Monet_kes.Kes_client.call_set_timer chain ~contract alice ~id:3 ~tau:5000 c5).r_ok with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  let c2 = cross_signed alice bob ~id:3 ~state:2 ~digest:"s2" in
+  match (Monet_kes.Kes_client.call_resp chain ~contract bob ~id:3 c2).r_ok with
+  | Ok _ -> Alcotest.fail "stale state accepted"
+  | Error e -> Alcotest.(check string) "stale" "stale state" e
+
+let test_forged_commit_rejected () =
+  let chain, contract, _, alice, bob = deploy_all () in
+  make_instance chain contract alice bob ~id:4;
+  (* Commit signed by alice twice (bob's signature missing). *)
+  let sig_a = Monet_kes.Kes_client.sign_commit_half drbg alice ~id:4 ~state:1 ~digest:"d" in
+  let forged = Monet_kes.Kes_client.assemble_commit ~state:1 ~digest:"d" ~sig_a ~sig_b:sig_a in
+  match (Monet_kes.Kes_client.call_set_timer chain ~contract alice ~id:4 ~tau:100 forged).r_ok with
+  | Ok _ -> Alcotest.fail "forged commit accepted"
+  | Error _ -> ()
+
+let test_escrow_roundtrip () =
+  let g = Monet_hash.Drbg.split drbg "escrow" in
+  let escrowers = Monet_kes.Escrow.create_escrowers g ~n:5 in
+  let pks = Monet_kes.Escrow.public_keys escrowers in
+  let witness = Sc.random_nonzero g in
+  let d = Monet_pvss.Pvss.deal g ~secret:witness ~t:3 ~escrower_pks:pks in
+  let tag = Monet_kes.Escrow.tag ~instance:1 ~party:"0xB" in
+  (match Monet_kes.Escrow.distribute escrowers ~tag d with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  match Monet_kes.Escrow.release_and_reconstruct escrowers ~tag with
+  | Ok w -> Alcotest.(check bool) "witness reconstructed" true (Sc.equal w witness)
+  | Error e -> Alcotest.fail e
+
+let test_escrow_byzantine_minority () =
+  let g = Monet_hash.Drbg.split drbg "byz" in
+  let escrowers = Monet_kes.Escrow.create_escrowers g ~n:5 in
+  let pks = Monet_kes.Escrow.public_keys escrowers in
+  let witness = Sc.random_nonzero g in
+  let d = Monet_pvss.Pvss.deal g ~secret:witness ~t:3 ~escrower_pks:pks in
+  let tag = Monet_kes.Escrow.tag ~instance:2 ~party:"0xA" in
+  (match Monet_kes.Escrow.distribute escrowers ~tag d with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* Two escrowers lie; public verification filters them out. *)
+  match
+    Monet_kes.Escrow.release_and_reconstruct ~corrupt:(fun i -> i < 2) escrowers ~tag
+  with
+  | Ok w -> Alcotest.(check bool) "reconstruct despite liars" true (Sc.equal w witness)
+  | Error e -> Alcotest.fail e
+
+let test_escrow_unknown_tag () =
+  let g = Monet_hash.Drbg.split drbg "unk" in
+  let escrowers = Monet_kes.Escrow.create_escrowers g ~n:3 in
+  match Monet_kes.Escrow.release_and_reconstruct escrowers ~tag:"nope" with
+  | Ok _ -> Alcotest.fail "reconstructed from nothing"
+  | Error _ -> ()
+
+let test_chain_events_since () =
+  let chain, contract, _, alice, bob = deploy_all () in
+  make_instance chain contract alice bob ~id:9;
+  let evs, pos = Monet_script.Chain.events_since chain 0 in
+  Alcotest.(check bool) "events observed" true (List.length evs >= 2);
+  let evs2, _ = Monet_script.Chain.events_since chain pos in
+  Alcotest.(check int) "cursor advances" 0 (List.length evs2)
+
+let tests =
+  [
+    Alcotest.test_case "deploy gas" `Quick test_deploy_gas_positive;
+    Alcotest.test_case "cooperative close" `Quick test_instance_lifecycle_cooperative;
+    Alcotest.test_case "dispute timeout" `Quick test_dispute_timeout_releases_key;
+    Alcotest.test_case "dispute response" `Quick test_dispute_response_prevents_release;
+    Alcotest.test_case "stale response" `Quick test_stale_response_rejected;
+    Alcotest.test_case "forged commit" `Quick test_forged_commit_rejected;
+    Alcotest.test_case "escrow roundtrip" `Quick test_escrow_roundtrip;
+    Alcotest.test_case "escrow byzantine" `Quick test_escrow_byzantine_minority;
+    Alcotest.test_case "escrow unknown tag" `Quick test_escrow_unknown_tag;
+    Alcotest.test_case "event cursor" `Quick test_chain_events_since;
+  ]

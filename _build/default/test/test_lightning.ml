@@ -1,0 +1,138 @@
+(* Lightning baseline: scripted chain, HTLC channel, penalty path. *)
+open Monet_ec
+open Monet_lightning
+
+let drbg = Monet_hash.Drbg.of_int 2121
+
+let test_btc_p2pk () =
+  let c = Btc_sim.create () in
+  let kp = Monet_sig.Sig_core.gen drbg in
+  let o = Btc_sim.genesis_output c { script = P2pk kp.vk; amount = 10 } in
+  let kp2 = Monet_sig.Sig_core.gen drbg in
+  let tx =
+    { Btc_sim.inputs = [ { prev = o; witness = WSig { h = Sc.zero; s = Sc.zero } } ];
+      outputs = [ { script = P2pk kp2.vk; amount = 10 } ]; locktime = 0 }
+  in
+  let msg = Btc_sim.sighash tx in
+  let tx =
+    { tx with Btc_sim.inputs = [ { prev = o; witness = WSig (Monet_sig.Sig_core.sign drbg kp msg) } ] }
+  in
+  (match Btc_sim.submit c tx with Ok () -> () | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "mined" 1 (Btc_sim.mine c);
+  (* Double spend rejected. *)
+  match Btc_sim.submit c tx with
+  | Ok () -> Alcotest.fail "double spend"
+  | Error _ -> ()
+
+let test_btc_wrong_sig () =
+  let c = Btc_sim.create () in
+  let kp = Monet_sig.Sig_core.gen drbg and evil = Monet_sig.Sig_core.gen drbg in
+  let o = Btc_sim.genesis_output c { script = P2pk kp.vk; amount = 10 } in
+  let tx =
+    { Btc_sim.inputs = [ { prev = o; witness = WSig { h = Sc.zero; s = Sc.zero } } ];
+      outputs = [ { script = P2pk evil.vk; amount = 10 } ]; locktime = 0 }
+  in
+  let msg = Btc_sim.sighash tx in
+  let tx =
+    { tx with Btc_sim.inputs = [ { prev = o; witness = WSig (Monet_sig.Sig_core.sign drbg evil msg) } ] }
+  in
+  match Btc_sim.submit c tx with
+  | Ok () -> Alcotest.fail "stolen coin"
+  | Error e -> Alcotest.(check string) "err" "witness does not satisfy script" e
+
+let test_htlc_paths () =
+  let c = Btc_sim.create () in
+  let alice = Monet_sig.Sig_core.gen drbg and bob = Monet_sig.Sig_core.gen drbg in
+  let preimage = "secret-preimage" in
+  let hash = Monet_hash.Hash.fast preimage in
+  let o =
+    Btc_sim.genesis_output c
+      { script = Htlc { hash; claimant = bob.vk; refund = alice.vk; timeout = 10 };
+        amount = 5 }
+  in
+  (* Claim path with preimage. *)
+  let claim =
+    { Btc_sim.inputs = [ { prev = o; witness = WPreimage (preimage, { h = Sc.zero; s = Sc.zero }) } ];
+      outputs = [ { script = P2pk bob.vk; amount = 5 } ]; locktime = 0 }
+  in
+  let msg = Btc_sim.sighash claim in
+  let claim =
+    { claim with
+      Btc_sim.inputs =
+        [ { prev = o; witness = WPreimage (preimage, Monet_sig.Sig_core.sign drbg bob msg) } ] }
+  in
+  (match Btc_sim.submit c claim with Ok () -> () | Error e -> Alcotest.fail e);
+  ignore (Btc_sim.mine c);
+  (* Refund path must respect the timeout. *)
+  let o2 =
+    Btc_sim.genesis_output c
+      { script = Htlc { hash; claimant = bob.vk; refund = alice.vk; timeout = 10 };
+        amount = 5 }
+  in
+  let refund =
+    { Btc_sim.inputs = [ { prev = o2; witness = WTimeout { h = Sc.zero; s = Sc.zero } } ];
+      outputs = [ { script = P2pk alice.vk; amount = 5 } ]; locktime = 0 }
+  in
+  let msg2 = Btc_sim.sighash refund in
+  let refund =
+    { refund with
+      Btc_sim.inputs =
+        [ { prev = o2; witness = WTimeout (Monet_sig.Sig_core.sign drbg alice msg2) } ] }
+  in
+  (match Btc_sim.submit c refund with
+  | Ok () -> Alcotest.fail "refund before timeout"
+  | Error _ -> ());
+  while c.Btc_sim.height < 10 do
+    ignore (Btc_sim.mine c)
+  done;
+  match Btc_sim.submit c refund with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "refund after timeout: %s" e
+
+let test_ln_channel_updates_and_close () =
+  let c = Btc_sim.create () in
+  let ch = Ln_channel.open_channel (Monet_hash.Drbg.split drbg "ln1") c ~bal_a:60 ~bal_b:40 ~csv_delay:6 in
+  (match Ln_channel.update ch ~amount_from_a:15 with Ok () -> () | Error e -> Alcotest.fail e);
+  (match Ln_channel.update ch ~amount_from_a:(-5) with Ok () -> () | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "bal a" 50 ch.Ln_channel.current.Ln_channel.st_bal_a;
+  (match Ln_channel.force_close ch with Ok () -> () | Error e -> Alcotest.fail e);
+  (* Funding output spent, commitment outputs materialized. *)
+  Alcotest.(check bool) "funding spent" true
+    ch.Ln_channel.chain.Btc_sim.entries.(ch.Ln_channel.funding_outpoint).Btc_sim.spent
+
+let test_ln_htlc_flow () =
+  let c = Btc_sim.create () in
+  let ch = Ln_channel.open_channel (Monet_hash.Drbg.split drbg "ln2") c ~bal_a:50 ~bal_b:50 ~csv_delay:6 in
+  let preimage = "multi-hop-secret" in
+  let hash = Monet_hash.Hash.fast preimage in
+  (match Ln_channel.add_htlc ch ~from_a:true ~amount:10 ~hash ~timeout:20 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "a debited" 40 ch.Ln_channel.current.Ln_channel.st_bal_a;
+  (match Ln_channel.fulfill_htlc ch ~preimage with Ok () -> () | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "b credited" 60 ch.Ln_channel.current.Ln_channel.st_bal_b
+
+let test_ln_penalty () =
+  let c = Btc_sim.create () in
+  let ch = Ln_channel.open_channel (Monet_hash.Drbg.split drbg "ln3") c ~bal_a:60 ~bal_b:40 ~csv_delay:6 in
+  (* Save state 0 (bob-favourable: 60/40 → after update 20/80). *)
+  let old0 = (0, ch.Ln_channel.current) in
+  (match Ln_channel.update ch ~amount_from_a:40 with Ok () -> () | Error e -> Alcotest.fail e);
+  (* Alice cheats: publishes state 0 where she had 60. *)
+  (match Ln_channel.publish_revoked ch ~state_num:0 ~old_states:[ old0 ] with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "publish revoked: %s" e);
+  (* Bob sweeps Alice's delayed output with the revocation key. *)
+  match Ln_channel.punish ch ~victim_is_a:false ~state_num:0 with
+  | Ok amount -> Alcotest.(check int) "penalty sweeps alice's 60" 60 amount
+  | Error e -> Alcotest.failf "punish: %s" e
+
+let tests =
+  [
+    Alcotest.test_case "btc p2pk" `Quick test_btc_p2pk;
+    Alcotest.test_case "btc wrong sig" `Quick test_btc_wrong_sig;
+    Alcotest.test_case "htlc claim/refund" `Quick test_htlc_paths;
+    Alcotest.test_case "ln updates+close" `Quick test_ln_channel_updates_and_close;
+    Alcotest.test_case "ln htlc" `Quick test_ln_htlc_flow;
+    Alcotest.test_case "ln penalty" `Quick test_ln_penalty;
+  ]

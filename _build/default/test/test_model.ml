@@ -1,0 +1,153 @@
+(* The ideal functionality F_pay (paper Fig. 8), and emulation checks:
+   the same scenario replayed in the ideal world and in the real
+   protocol must produce identical observable outcomes (the testable
+   core of the paper's Theorem 1). *)
+open Monet_model
+module Ch = Monet_channel.Channel
+module Graph = Monet_net.Graph
+module Payment = Monet_net.Payment
+
+let drbg = Monet_hash.Drbg.of_int 515151
+
+(* --- pure ideal-world behaviour --- *)
+
+let test_fpay_open_update_close () =
+  let t = F_pay.create ~initial:[ ("alice", 100); ("bob", 100) ] in
+  let id =
+    match F_pay.mc_open t ~alice:"alice" ~bob:"bob" ~bal_a:60 ~bal_b:40 with
+    | Ok id -> id
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check int) "alice on-chain after funding" 40 (F_pay.utxo_of t "alice");
+  (match F_pay.mc_update t ~id ~from:"alice" ~amount:15 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match F_pay.mc_close t ~id with
+  | Ok (a, b) ->
+      Alcotest.(check int) "alice payout" 45 a;
+      Alcotest.(check int) "bob payout" 55 b
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "alice wealth conserved" 85 (F_pay.wealth t "alice");
+  Alcotest.(check int) "bob wealth conserved" 115 (F_pay.wealth t "bob")
+
+let test_fpay_guards () =
+  let t = F_pay.create ~initial:[ ("a", 10); ("b", 10) ] in
+  (match F_pay.mc_open t ~alice:"a" ~bob:"b" ~bal_a:50 ~bal_b:5 with
+  | Ok _ -> Alcotest.fail "overfunded channel"
+  | Error _ -> ());
+  (* Failed open must not burn b's coins either. *)
+  Alcotest.(check int) "a intact" 10 (F_pay.utxo_of t "a");
+  Alcotest.(check int) "b intact" 10 (F_pay.utxo_of t "b");
+  let id =
+    match F_pay.mc_open t ~alice:"a" ~bob:"b" ~bal_a:5 ~bal_b:5 with
+    | Ok id -> id
+    | Error e -> Alcotest.fail e
+  in
+  match F_pay.mc_update t ~id ~from:"a" ~amount:100 with
+  | Ok () -> Alcotest.fail "channel overdraft"
+  | Error _ -> ()
+
+let test_fpay_routing_atomicity () =
+  let t = F_pay.create ~initial:[ ("a", 100); ("b", 100); ("c", 100) ] in
+  let ab = match F_pay.mc_open t ~alice:"a" ~bob:"b" ~bal_a:50 ~bal_b:50 with
+    | Ok id -> id | Error e -> Alcotest.fail e in
+  let bc = match F_pay.mc_open t ~alice:"b" ~bob:"c" ~bal_a:50 ~bal_b:50 with
+    | Ok id -> id | Error e -> Alcotest.fail e in
+  (* Cascading timers required. *)
+  (match F_pay.mc_routepay t ~path:[ (ab, "a"); (bc, "b") ] ~amount:10
+           ~timers:[ 10; 20 ] ~success:true with
+  | Ok () -> Alcotest.fail "non-cascading timers accepted"
+  | Error _ -> ());
+  (* Successful routing shifts every hop. *)
+  (match F_pay.mc_routepay t ~path:[ (ab, "a"); (bc, "b") ] ~amount:10
+           ~timers:[ 20; 10 ] ~success:true with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "a wealth" 90 (F_pay.wealth t "a");
+  Alcotest.(check int) "b wealth (intermediary neutral)" 100 (F_pay.wealth t "b");
+  Alcotest.(check int) "c wealth" 110 (F_pay.wealth t "c");
+  (* Cancelled routing changes nothing. *)
+  (match F_pay.mc_routepay t ~path:[ (ab, "a"); (bc, "b") ] ~amount:10
+           ~timers:[ 20; 10 ] ~success:false with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "a unchanged after cancel" 90 (F_pay.wealth t "a")
+
+(* --- emulation: same scenario, both worlds, same outcome --- *)
+
+let test_cfg =
+  { Ch.default_config with Ch.vcof_reps = Some 8; ring_size = 5; n_escrowers = 4;
+    escrow_threshold = 2 }
+
+let test_emulation_three_party () =
+  (* Scenario: A-B and B-C channels; A pays C 10 via B; A pays B 5
+     directly; everyone closes. Run in the ideal world... *)
+  let ideal = F_pay.create ~initial:[ ("a", 200); ("b", 200); ("c", 200) ] in
+  let ab = Result.get_ok (F_pay.mc_open ideal ~alice:"a" ~bob:"b" ~bal_a:50 ~bal_b:50) in
+  let bc = Result.get_ok (F_pay.mc_open ideal ~alice:"b" ~bob:"c" ~bal_a:50 ~bal_b:50) in
+  Result.get_ok (F_pay.mc_routepay ideal ~path:[ (ab, "a"); (bc, "b") ] ~amount:10
+                   ~timers:[ 20; 10 ] ~success:true);
+  Result.get_ok (F_pay.mc_update ideal ~id:ab ~from:"a" ~amount:5);
+  let ideal_ab = Result.get_ok (F_pay.mc_close ideal ~id:ab) in
+  let ideal_bc = Result.get_ok (F_pay.mc_close ideal ~id:bc) in
+  (* ...and in the real protocol. *)
+  let net = Graph.create ~cfg:test_cfg (Monet_hash.Drbg.split drbg "emul") in
+  let a = Graph.add_node net ~name:"a" in
+  let b = Graph.add_node net ~name:"b" in
+  let c = Graph.add_node net ~name:"c" in
+  List.iter (fun n -> Graph.fund_node net n ~amount:200) [ a; b; c ];
+  let ab' = match Graph.open_channel net ~left:a ~right:b ~bal_left:50 ~bal_right:50 with
+    | Ok (id, _) -> id | Error e -> Alcotest.fail e in
+  let bc' = match Graph.open_channel net ~left:b ~right:c ~bal_left:50 ~bal_right:50 with
+    | Ok (id, _) -> id | Error e -> Alcotest.fail e in
+  (match Payment.pay net ~src:a ~dst:c ~amount:10 () with
+  | Ok o -> Alcotest.(check bool) "real payment ok" true o.Payment.succeeded
+  | Error e -> Alcotest.fail e);
+  (match Ch.update (Graph.edge net ab').Graph.e_channel ~amount_from_a:5 with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  let real_ab =
+    match Ch.cooperative_close (Graph.edge net ab').Graph.e_channel with
+    | Ok (p, _) -> (p.Ch.pay_a, p.Ch.pay_b)
+    | Error e -> Alcotest.fail e
+  in
+  let real_bc =
+    match Ch.cooperative_close (Graph.edge net bc').Graph.e_channel with
+    | Ok (p, _) -> (p.Ch.pay_a, p.Ch.pay_b)
+    | Error e -> Alcotest.fail e
+  in
+  (* The environment cannot distinguish the two worlds: identical
+     payout distributions. *)
+  Alcotest.(check (pair int int)) "AB channel payouts match ideal" ideal_ab real_ab;
+  Alcotest.(check (pair int int)) "BC channel payouts match ideal" ideal_bc real_bc
+
+let test_emulation_dispute_equals_ideal_close () =
+  (* The ideal world has a single close interface; the real world's
+     unilateral (dispute) close must land on the same outcome as the
+     ideal close — guaranteed payout. *)
+  let ideal = F_pay.create ~initial:[ ("a", 100); ("b", 100) ] in
+  let id = Result.get_ok (F_pay.mc_open ideal ~alice:"a" ~bob:"b" ~bal_a:60 ~bal_b:40) in
+  Result.get_ok (F_pay.mc_update ideal ~id ~from:"b" ~amount:25);
+  let ideal_payout = Result.get_ok (F_pay.mc_close ideal ~id) in
+  let net = Graph.create ~cfg:test_cfg (Monet_hash.Drbg.split drbg "emul2") in
+  let a = Graph.add_node net ~name:"a" and b = Graph.add_node net ~name:"b" in
+  Graph.fund_node net a ~amount:100;
+  Graph.fund_node net b ~amount:100;
+  let eid = match Graph.open_channel net ~left:a ~right:b ~bal_left:60 ~bal_right:40 with
+    | Ok (id, _) -> id | Error e -> Alcotest.fail e in
+  let ch = (Graph.edge net eid).Graph.e_channel in
+  (match Ch.update ch ~amount_from_a:(-25) with Ok _ -> () | Error e -> Alcotest.fail e);
+  match Ch.dispute_close ch ~proposer:Monet_sig.Two_party.Alice ~responsive:false with
+  | Error e -> Alcotest.fail e
+  | Ok (p, _) ->
+      Alcotest.(check (pair int int)) "unilateral close = ideal close" ideal_payout
+        (p.Ch.pay_a, p.Ch.pay_b)
+
+let tests =
+  [
+    Alcotest.test_case "f_pay lifecycle" `Quick test_fpay_open_update_close;
+    Alcotest.test_case "f_pay guards" `Quick test_fpay_guards;
+    Alcotest.test_case "f_pay routing atomicity" `Quick test_fpay_routing_atomicity;
+    Alcotest.test_case "emulation: 3-party scenario" `Quick test_emulation_three_party;
+    Alcotest.test_case "emulation: dispute close" `Quick test_emulation_dispute_equals_ideal_close;
+  ]

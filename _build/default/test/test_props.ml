@@ -1,0 +1,257 @@
+(* Property-based tests (qcheck) over core data structures and
+   protocol invariants. *)
+open Monet_ec
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* Deterministic per-test-case DRBG derived from qcheck's input. *)
+let drbg_of (n : int) = Monet_hash.Drbg.of_int (abs n)
+
+let bytes_gen = QCheck.string_of_size (QCheck.Gen.int_bound 200)
+
+(* --- encoding layers --- *)
+
+let hex_roundtrip =
+  QCheck.Test.make ~name:"hex roundtrip" ~count:200 bytes_gen (fun s ->
+      Monet_util.Hex.decode (Monet_util.Hex.encode s) = s)
+
+let xor_involution =
+  QCheck.Test.make ~name:"xor involution" ~count:200
+    QCheck.(pair bytes_gen bytes_gen)
+    (fun (a, b) ->
+      let n = min (String.length a) (String.length b) in
+      let a = String.sub a 0 n and b = String.sub b 0 n in
+      Monet_util.Bytes_ext.xor (Monet_util.Bytes_ext.xor a b) b = a)
+
+let wire_roundtrip =
+  QCheck.Test.make ~name:"wire roundtrip" ~count:200
+    QCheck.(triple small_nat bytes_gen (list_of_size (Gen.int_bound 10) small_nat))
+    (fun (n, s, xs) ->
+      let w = Monet_util.Wire.create_writer () in
+      Monet_util.Wire.write_u32 w n;
+      Monet_util.Wire.write_bytes w s;
+      Monet_util.Wire.write_u64 w n;
+      Monet_util.Wire.write_list w Monet_util.Wire.write_u32 xs;
+      let r = Monet_util.Wire.reader_of_string (Monet_util.Wire.contents w) in
+      let n' = Monet_util.Wire.read_u32 r in
+      let s' = Monet_util.Wire.read_bytes r in
+      let n'' = Monet_util.Wire.read_u64 r in
+      let xs' = Monet_util.Wire.read_list r Monet_util.Wire.read_u32 in
+      n' = n && s' = s && n'' = n && xs' = xs && Monet_util.Wire.at_end r)
+
+let wire_truncation_detected =
+  QCheck.Test.make ~name:"wire truncation raises" ~count:100 bytes_gen (fun s ->
+      let w = Monet_util.Wire.create_writer () in
+      Monet_util.Wire.write_bytes w s;
+      let full = Monet_util.Wire.contents w in
+      let cut = String.sub full 0 (String.length full - 1) in
+      match Monet_util.Wire.read_bytes (Monet_util.Wire.reader_of_string cut) with
+      | exception Monet_util.Wire.Truncated -> true
+      | _ -> false)
+
+let sha512_streaming_split =
+  QCheck.Test.make ~name:"sha512 split-feeding invariant" ~count:100
+    QCheck.(pair bytes_gen (int_bound 200))
+    (fun (s, k) ->
+      let k = min k (String.length s) in
+      let ctx = Monet_hash.Sha512.init () in
+      Monet_hash.Sha512.feed ctx (String.sub s 0 k);
+      Monet_hash.Sha512.feed ctx (String.sub s k (String.length s - k));
+      Monet_hash.Sha512.finalize ctx = Monet_hash.Sha512.digest s)
+
+(* --- field / group algebra --- *)
+
+let sc_mul_assoc =
+  QCheck.Test.make ~name:"scalar mul associative" ~count:50 QCheck.int (fun n ->
+      let g = drbg_of n in
+      let a = Sc.random g and b = Sc.random g and c = Sc.random g in
+      Sc.equal (Sc.mul (Sc.mul a b) c) (Sc.mul a (Sc.mul b c)))
+
+let sc_inverse =
+  QCheck.Test.make ~name:"scalar inverse" ~count:50 QCheck.int (fun n ->
+      let g = drbg_of n in
+      let a = Sc.random_nonzero g in
+      Sc.equal (Sc.mul a (Sc.inv a)) Sc.one)
+
+let fe_frobenius_free =
+  QCheck.Test.make ~name:"field (a+b)^2 = a^2+2ab+b^2" ~count:50 QCheck.int (fun n ->
+      let g = drbg_of n in
+      let a = Fe.random g and b = Fe.random g in
+      let lhs = Fe.sq (Fe.add a b) in
+      let ab = Fe.mul a b in
+      let rhs = Fe.add (Fe.add (Fe.sq a) (Fe.add ab ab)) (Fe.sq b) in
+      Fe.equal lhs rhs)
+
+let point_scalar_mul_compat =
+  QCheck.Test.make ~name:"(ab)G = a(bG)" ~count:20 QCheck.int (fun n ->
+      let g = drbg_of n in
+      let a = Sc.random_nonzero g and b = Sc.random_nonzero g in
+      Point.equal (Point.mul_base (Sc.mul a b)) (Point.mul a (Point.mul_base b)))
+
+let point_encode_roundtrip =
+  QCheck.Test.make ~name:"point encode/decode" ~count:20 QCheck.int (fun n ->
+      let g = drbg_of n in
+      let p = Point.mul_base (Sc.random_nonzero g) in
+      match Point.decode (Point.encode p) with
+      | Some q -> Point.equal p q
+      | None -> false)
+
+(* --- signature invariants --- *)
+
+let schnorr_always_verifies =
+  QCheck.Test.make ~name:"schnorr sign/verify" ~count:25
+    QCheck.(pair QCheck.int bytes_gen)
+    (fun (n, msg) ->
+      let g = drbg_of n in
+      let kp = Monet_sig.Sig_core.gen g in
+      Monet_sig.Sig_core.verify kp.vk msg (Monet_sig.Sig_core.sign g kp msg))
+
+let adaptor_lifecycle =
+  QCheck.Test.make ~name:"adaptor presign/adapt/ext" ~count:20
+    QCheck.(pair QCheck.int bytes_gen)
+    (fun (n, msg) ->
+      let g = drbg_of n in
+      let kp = Monet_sig.Sig_core.gen g in
+      let y = Sc.random_nonzero g in
+      let pre = Monet_sig.Adaptor.pre_sign g kp msg ~stmt:(Point.mul_base y) in
+      let sg = Monet_sig.Adaptor.adapt pre ~y in
+      Monet_sig.Sig_core.verify kp.vk msg sg
+      && Sc.equal y (Monet_sig.Adaptor.ext sg pre))
+
+let lsag_random_ring =
+  QCheck.Test.make ~name:"lsag over random ring size/slot" ~count:10
+    QCheck.(pair QCheck.int (int_range 1 8))
+    (fun (n, size) ->
+      let g = drbg_of n in
+      let pi = Monet_hash.Drbg.int g size in
+      let kp = Monet_sig.Sig_core.gen g in
+      let ring =
+        Array.init size (fun i ->
+            if i = pi then kp.vk else Point.mul_base (Sc.random_nonzero g))
+      in
+      let sg = Monet_sig.Lsag.sign g ~ring ~pi ~sk:kp.sk ~msg:"m" in
+      Monet_sig.Lsag.verify ~ring ~msg:"m" sg)
+
+(* --- VCOF invariants --- *)
+
+let vcof_derive_compose =
+  QCheck.Test.make ~name:"vcof derive_n composes" ~count:20
+    QCheck.(triple QCheck.int (int_bound 5) (int_bound 5))
+    (fun (n, i, j) ->
+      let g = drbg_of n in
+      let pp = Monet_vcof.Vcof.default_pp in
+      let w = Sc.random_nonzero g in
+      Sc.equal
+        (Monet_vcof.Vcof.derive_n ~pp (Monet_vcof.Vcof.derive_n ~pp w i) j)
+        (Monet_vcof.Vcof.derive_n ~pp w (i + j)))
+
+let vcof_proof_binds_statements =
+  QCheck.Test.make ~name:"vcof proof rejects shifted statements" ~count:5 QCheck.int
+    (fun n ->
+      let g = drbg_of n in
+      let pp = Monet_vcof.Vcof.default_pp in
+      let pair = Monet_vcof.Vcof.sw_gen g in
+      let next, proof = Monet_vcof.Vcof.new_sw ~reps:12 g pair ~pp in
+      let shift = Point.mul_base Sc.one in
+      Monet_vcof.Vcof.c_vrfy ~pp ~prev:pair.Monet_vcof.Vcof.stmt
+        ~next:next.Monet_vcof.Vcof.stmt proof
+      && not
+           (Monet_vcof.Vcof.c_vrfy ~pp
+              ~prev:(Point.add pair.Monet_vcof.Vcof.stmt shift)
+              ~next:next.Monet_vcof.Vcof.stmt proof)
+      && not
+           (Monet_vcof.Vcof.c_vrfy ~pp ~prev:pair.Monet_vcof.Vcof.stmt
+              ~next:(Point.add next.Monet_vcof.Vcof.stmt shift)
+              proof))
+
+(* --- PVSS --- *)
+
+let pvss_any_threshold =
+  QCheck.Test.make ~name:"pvss random (t, n) reconstructs" ~count:10
+    QCheck.(pair QCheck.int (int_range 1 6))
+    (fun (n, t) ->
+      let g = drbg_of n in
+      let n_escrow = t + Monet_hash.Drbg.int g 3 in
+      let sks = Array.init n_escrow (fun _ -> Sc.random_nonzero g) in
+      let pks = Array.map Point.mul_base sks in
+      let secret = Sc.random_nonzero g in
+      let d = Monet_pvss.Pvss.deal g ~secret ~t ~escrower_pks:pks in
+      let shares =
+        Array.to_list
+          (Array.mapi
+             (fun i es ->
+               match Monet_pvss.Pvss.decrypt_share ~sk:sks.(i) d es with
+               | Ok s -> (es.Monet_pvss.Pvss.es_index, s)
+               | Error e -> failwith e)
+             d.Monet_pvss.Pvss.shares)
+      in
+      let take = List.filteri (fun i _ -> i < t) shares in
+      Sc.equal secret (Monet_pvss.Pvss.reconstruct take))
+
+(* --- onion --- *)
+
+let onion_random_route =
+  QCheck.Test.make ~name:"onion peels along random route" ~count:10
+    QCheck.(pair QCheck.int (int_range 1 5))
+    (fun (n, len) ->
+      let g = drbg_of n in
+      let keys = Array.init len (fun _ -> Monet_sig.Sig_core.gen g) in
+      let payloads = Array.init len (fun i -> Printf.sprintf "payload-%d" i) in
+      let route = Array.to_list (Array.mapi (fun i k -> (k.Monet_sig.Sig_core.vk, payloads.(i))) keys) in
+      let onion = ref (Monet_amhl.Onion.wrap g route) in
+      let ok = ref true in
+      Array.iteri
+        (fun i k ->
+          match Monet_amhl.Onion.peel ~sk:k.Monet_sig.Sig_core.sk !onion with
+          | Ok (p, next) ->
+              if p <> payloads.(i) then ok := false;
+              onion := next
+          | Error _ -> ok := false)
+        keys;
+      !ok && !onion = "")
+
+(* --- AMHL --- *)
+
+let amhl_random_length =
+  QCheck.Test.make ~name:"amhl random path length" ~count:10
+    QCheck.(pair QCheck.int (int_range 1 6))
+    (fun (n, len) ->
+      let g = drbg_of n in
+      let hps = Array.init len (fun i -> Point.hash_to_point "qp" (string_of_int (i + n))) in
+      let s = Monet_amhl.Amhl.setup g ~hps in
+      let all_verify =
+        Array.for_all (fun i -> i)
+          (Array.mapi
+             (fun i pkt -> Monet_amhl.Amhl.verify_hop ~hp:hps.(i) pkt)
+             s.Monet_amhl.Amhl.packets)
+      in
+      (* Cascade recovers each combined witness. *)
+      let w = ref s.Monet_amhl.Amhl.combined.(len - 1) in
+      let cascade_ok = ref true in
+      for i = len - 2 downto 0 do
+        w := Monet_amhl.Amhl.cascade ~y:s.Monet_amhl.Amhl.wits.(i) ~w_next:!w;
+        if not (Sc.equal !w s.Monet_amhl.Amhl.combined.(i)) then cascade_ok := false
+      done;
+      all_verify && !cascade_ok)
+
+let tests =
+  [
+    qtest hex_roundtrip;
+    qtest xor_involution;
+    qtest wire_roundtrip;
+    qtest wire_truncation_detected;
+    qtest sha512_streaming_split;
+    qtest sc_mul_assoc;
+    qtest sc_inverse;
+    qtest fe_frobenius_free;
+    qtest point_scalar_mul_compat;
+    qtest point_encode_roundtrip;
+    qtest schnorr_always_verifies;
+    qtest adaptor_lifecycle;
+    qtest lsag_random_ring;
+    qtest vcof_derive_compose;
+    qtest vcof_proof_binds_statements;
+    qtest pvss_any_threshold;
+    qtest onion_random_route;
+    qtest amhl_random_length;
+  ]

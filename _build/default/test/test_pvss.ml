@@ -1,0 +1,96 @@
+(* PVSS: dealing, share verification, reconstruction, complaint paths. *)
+open Monet_ec
+open Monet_pvss
+
+let drbg = Monet_hash.Drbg.of_int 4242
+
+let setup ~n =
+  let sks = Array.init n (fun _ -> Sc.random_nonzero drbg) in
+  let pks = Array.map Point.mul_base sks in
+  (sks, pks)
+
+let test_deal_and_reconstruct () =
+  let sks, pks = setup ~n:5 in
+  let secret = Sc.random_nonzero drbg in
+  let d = Pvss.deal drbg ~secret ~t:3 ~escrower_pks:pks in
+  Alcotest.(check bool) "C0 = secret commitment" true
+    (Point.equal (Pvss.secret_commitment d) (Point.mul_base secret));
+  (* All escrowers decrypt and verify. *)
+  let shares =
+    Array.to_list
+      (Array.mapi
+         (fun i es ->
+           match Pvss.decrypt_share ~sk:sks.(i) d es with
+           | Ok s -> (es.Pvss.es_index, s)
+           | Error e -> Alcotest.failf "escrower %d: %s" i e)
+         d.Pvss.shares)
+  in
+  (* Any 3 shares reconstruct. *)
+  let pick idxs = List.filteri (fun i _ -> List.mem i idxs) shares in
+  List.iter
+    (fun combo ->
+      Alcotest.(check bool) "reconstructs" true
+        (Sc.equal secret (Pvss.reconstruct (pick combo))))
+    [ [ 0; 1; 2 ]; [ 2; 3; 4 ]; [ 0; 2; 4 ]; [ 1; 2; 3 ] ];
+  (* All 5 also reconstruct (over-complete). *)
+  Alcotest.(check bool) "all shares" true (Sc.equal secret (Pvss.reconstruct shares))
+
+let test_too_few_shares () =
+  let sks, pks = setup ~n:5 in
+  let secret = Sc.random_nonzero drbg in
+  let d = Pvss.deal drbg ~secret ~t:3 ~escrower_pks:pks in
+  let s0 =
+    match Pvss.decrypt_share ~sk:sks.(0) d d.Pvss.shares.(0) with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  let s1 =
+    match Pvss.decrypt_share ~sk:sks.(1) d d.Pvss.shares.(1) with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  (* 2 < t shares give the wrong value (no information, in fact). *)
+  Alcotest.(check bool) "2 shares insufficient" false
+    (Sc.equal secret (Pvss.reconstruct [ (1, s0); (2, s1) ]))
+
+let test_wrong_key_complains () =
+  let _, pks = setup ~n:3 in
+  let d = Pvss.deal drbg ~secret:(Sc.random_nonzero drbg) ~t:2 ~escrower_pks:pks in
+  let wrong_sk = Sc.random_nonzero drbg in
+  match Pvss.decrypt_share ~sk:wrong_sk d d.Pvss.shares.(0) with
+  | Ok _ -> Alcotest.fail "decryption with wrong key must fail verification"
+  | Error _ -> ()
+
+let test_revealed_share_verification () =
+  let sks, pks = setup ~n:4 in
+  let secret = Sc.random_nonzero drbg in
+  let d = Pvss.deal drbg ~secret ~t:2 ~escrower_pks:pks in
+  let s2 =
+    match Pvss.decrypt_share ~sk:sks.(2) d d.Pvss.shares.(2) with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check bool) "honest share verifies" true
+    (Pvss.verify_revealed d.Pvss.commitments ~i:3 ~share:s2);
+  Alcotest.(check bool) "forged share rejected" false
+    (Pvss.verify_revealed d.Pvss.commitments ~i:3 ~share:(Sc.add s2 Sc.one));
+  Alcotest.(check bool) "share at wrong index rejected" false
+    (Pvss.verify_revealed d.Pvss.commitments ~i:2 ~share:s2)
+
+let test_threshold_one () =
+  (* t = 1: the "escrow = plain copy" degenerate case still works. *)
+  let sks, pks = setup ~n:2 in
+  let secret = Sc.random_nonzero drbg in
+  let d = Pvss.deal drbg ~secret ~t:1 ~escrower_pks:pks in
+  match Pvss.decrypt_share ~sk:sks.(1) d d.Pvss.shares.(1) with
+  | Ok s -> Alcotest.(check bool) "share = secret" true (Sc.equal (Pvss.reconstruct [ (2, s) ]) secret)
+  | Error e -> Alcotest.fail e
+
+let tests =
+  [
+    Alcotest.test_case "deal/reconstruct" `Quick test_deal_and_reconstruct;
+    Alcotest.test_case "below threshold" `Quick test_too_few_shares;
+    Alcotest.test_case "wrong key complaint" `Quick test_wrong_key_complains;
+    Alcotest.test_case "revealed verification" `Quick test_revealed_share_verification;
+    Alcotest.test_case "threshold one" `Quick test_threshold_one;
+  ]

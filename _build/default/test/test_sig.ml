@@ -1,0 +1,192 @@
+(* Signature layer: Schnorr, adaptor transform, LSAG, 2-party signing. *)
+open Monet_ec
+open Monet_sig
+
+let drbg = Monet_hash.Drbg.of_int 777
+
+let test_schnorr_sign () =
+  let kp = Sig_core.gen drbg in
+  let sg = Sig_core.sign drbg kp "hello" in
+  Alcotest.(check bool) "verifies" true (Sig_core.verify kp.vk "hello" sg);
+  Alcotest.(check bool) "wrong msg" false (Sig_core.verify kp.vk "evil" sg);
+  let other = Sig_core.gen drbg in
+  Alcotest.(check bool) "wrong key" false (Sig_core.verify other.vk "hello" sg)
+
+let test_adaptor_lifecycle () =
+  let kp = Sig_core.gen drbg in
+  let y = Sc.random_nonzero drbg in
+  let stmt = Point.mul_base y in
+  let pre = Adaptor.pre_sign drbg kp "m" ~stmt in
+  Alcotest.(check bool) "pre-verifies" true (Adaptor.pre_verify kp.vk "m" ~stmt pre);
+  (* A pre-signature must not verify as a full signature. *)
+  Alcotest.(check bool) "presig is not a sig" false
+    (Sig_core.verify kp.vk "m" { Sig_core.h = pre.Adaptor.h; s = pre.Adaptor.s_pre });
+  let sg = Adaptor.adapt pre ~y in
+  Alcotest.(check bool) "adapted verifies" true (Sig_core.verify kp.vk "m" sg);
+  let y' = Adaptor.ext sg pre in
+  Alcotest.(check bool) "extracted witness" true (Sc.equal y y')
+
+let test_adaptor_wrong_witness () =
+  let kp = Sig_core.gen drbg in
+  let y = Sc.random_nonzero drbg in
+  let pre = Adaptor.pre_sign drbg kp "m" ~stmt:(Point.mul_base y) in
+  let bad = Adaptor.adapt pre ~y:(Sc.add y Sc.one) in
+  Alcotest.(check bool) "wrong witness fails" false (Sig_core.verify kp.vk "m" bad)
+
+let make_ring (g : Monet_hash.Drbg.t) ~n ~pi ~vk =
+  Array.init n (fun i -> if i = pi then vk else Point.mul_base (Sc.random_nonzero g))
+
+let test_lsag_sign_verify () =
+  let kp = Sig_core.gen drbg in
+  let ring = make_ring drbg ~n:11 ~pi:4 ~vk:kp.vk in
+  let sg = Lsag.sign drbg ~ring ~pi:4 ~sk:kp.sk ~msg:"tx" in
+  Alcotest.(check bool) "verifies" true (Lsag.verify ~ring ~msg:"tx" sg);
+  Alcotest.(check bool) "wrong msg" false (Lsag.verify ~ring ~msg:"tx2" sg)
+
+let test_lsag_anonymity_slot () =
+  (* The real index is not recoverable from signature structure: any
+     slot works for signing and signatures verify identically. *)
+  let kp = Sig_core.gen drbg in
+  List.iter
+    (fun pi ->
+      let ring = make_ring drbg ~n:5 ~pi ~vk:kp.vk in
+      let sg = Lsag.sign drbg ~ring ~pi ~sk:kp.sk ~msg:"m" in
+      Alcotest.(check bool) (Printf.sprintf "slot %d" pi) true
+        (Lsag.verify ~ring ~msg:"m" sg))
+    [ 0; 2; 4 ]
+
+let test_lsag_linkability () =
+  let kp = Sig_core.gen drbg in
+  let ring1 = make_ring drbg ~n:7 ~pi:1 ~vk:kp.vk in
+  let ring2 = make_ring drbg ~n:7 ~pi:5 ~vk:kp.vk in
+  let s1 = Lsag.sign drbg ~ring:ring1 ~pi:1 ~sk:kp.sk ~msg:"a" in
+  let s2 = Lsag.sign drbg ~ring:ring2 ~pi:5 ~sk:kp.sk ~msg:"b" in
+  Alcotest.(check bool) "same key links" true (Lsag.linked s1 s2);
+  let kp2 = Sig_core.gen drbg in
+  let ring3 = make_ring drbg ~n:7 ~pi:2 ~vk:kp2.vk in
+  let s3 = Lsag.sign drbg ~ring:ring3 ~pi:2 ~sk:kp2.sk ~msg:"c" in
+  Alcotest.(check bool) "different key unlinked" false (Lsag.linked s1 s3)
+
+let test_lsag_wrong_sk_rejected () =
+  let kp = Sig_core.gen drbg and kp2 = Sig_core.gen drbg in
+  let ring = make_ring drbg ~n:3 ~pi:0 ~vk:kp.vk in
+  Alcotest.check_raises "sk must match slot"
+    (Invalid_argument "Lsag.sign: secret key does not match ring slot") (fun () ->
+      ignore (Lsag.sign drbg ~ring ~pi:0 ~sk:kp2.sk ~msg:"m"))
+
+let test_lsag_adaptor () =
+  let kp = Sig_core.gen drbg in
+  let ring = make_ring drbg ~n:11 ~pi:7 ~vk:kp.vk in
+  let hp = Two_party.hp_of_vk kp.vk in
+  let y = Sc.random_nonzero drbg in
+  let stmt = Stmt.make ~y ~hp in
+  let pre = Lsag.pre_sign drbg ~ring ~pi:7 ~sk:kp.sk ~msg:"tx" ~stmt in
+  Alcotest.(check bool) "pre-verifies" true (Lsag.pre_verify ~ring ~msg:"tx" ~stmt pre);
+  (* Not yet a valid signature. *)
+  let not_yet =
+    { Lsag.c0 = pre.Lsag.p_c0; ss = pre.Lsag.p_ss; key_image = pre.Lsag.p_key_image }
+  in
+  Alcotest.(check bool) "presig not valid" false (Lsag.verify ~ring ~msg:"tx" not_yet);
+  let sg = Lsag.adapt pre ~y in
+  Alcotest.(check bool) "adapted verifies" true (Lsag.verify ~ring ~msg:"tx" sg);
+  Alcotest.(check bool) "witness extracts" true (Sc.equal y (Lsag.ext sg pre))
+
+let test_lsag_serialization () =
+  let kp = Sig_core.gen drbg in
+  let ring = make_ring drbg ~n:5 ~pi:2 ~vk:kp.vk in
+  let sg = Lsag.sign drbg ~ring ~pi:2 ~sk:kp.sk ~msg:"m" in
+  let w = Monet_util.Wire.create_writer () in
+  Lsag.encode w sg;
+  let sg' = Lsag.decode (Monet_util.Wire.reader_of_string (Monet_util.Wire.contents w)) in
+  Alcotest.(check bool) "roundtrip verifies" true (Lsag.verify ~ring ~msg:"m" sg')
+
+let test_stmt_proved () =
+  let hp = Point.hash_to_point "x" "hp" in
+  let y = Sc.random_nonzero drbg in
+  let p = Stmt.make_proved drbg ~y ~hp in
+  Alcotest.(check bool) "verifies" true (Stmt.verify ~hp p);
+  let bad = { p with Stmt.stmt = { p.Stmt.stmt with Stmt.yhp = Point.base } } in
+  Alcotest.(check bool) "tampered leg rejected" false (Stmt.verify ~hp bad)
+
+let run_jgen () =
+  match Two_party.run_jgen (Monet_hash.Drbg.split drbg "a") (Monet_hash.Drbg.split drbg "b") with
+  | Ok (ja, jb) -> (ja, jb)
+  | Error e -> Alcotest.failf "jgen: %s" e
+
+let test_two_party_jgen () =
+  let ja, jb = run_jgen () in
+  Alcotest.(check bool) "same joint vk" true (Point.equal ja.Two_party.vk jb.Two_party.vk);
+  Alcotest.(check bool) "same key image" true
+    (Point.equal ja.Two_party.key_image jb.Two_party.key_image);
+  (* Joint key image equals what the combined secret would produce. *)
+  let sk = Sc.add ja.Two_party.my_sk jb.Two_party.my_sk in
+  Alcotest.(check bool) "key image correct" true
+    (Point.equal ja.Two_party.key_image (Lsag.key_image ~sk ~vk:ja.Two_party.vk))
+
+let test_two_party_psign_plain () =
+  let ja, jb = run_jgen () in
+  let ring = make_ring drbg ~n:11 ~pi:3 ~vk:ja.Two_party.vk in
+  match
+    Two_party.run_psign (Monet_hash.Drbg.split drbg "na") (Monet_hash.Drbg.split drbg "nb")
+      ~alice:ja ~bob:jb ~ring ~pi:3 ~msg:"commit-tx" ~stmt:Stmt.zero
+  with
+  | Error e -> Alcotest.failf "psign: %s" e
+  | Ok pre ->
+      (* With a zero statement, the pre-signature is already a valid LSAG. *)
+      let sg =
+        { Lsag.c0 = pre.Lsag.p_c0; ss = pre.Lsag.p_ss; key_image = pre.Lsag.p_key_image }
+      in
+      Alcotest.(check bool) "jointly signed LSAG verifies" true
+        (Lsag.verify ~ring ~msg:"commit-tx" sg)
+
+let test_two_party_psign_adaptor () =
+  let ja, jb = run_jgen () in
+  let ring = make_ring drbg ~n:11 ~pi:6 ~vk:ja.Two_party.vk in
+  let y = Sc.random_nonzero drbg in
+  let stmt = Stmt.make ~y ~hp:ja.Two_party.hp in
+  match
+    Two_party.run_psign (Monet_hash.Drbg.split drbg "n1") (Monet_hash.Drbg.split drbg "n2")
+      ~alice:ja ~bob:jb ~ring ~pi:6 ~msg:"tx" ~stmt
+  with
+  | Error e -> Alcotest.failf "psign: %s" e
+  | Ok pre ->
+      Alcotest.(check bool) "pre-verifies" true (Lsag.pre_verify ~ring ~msg:"tx" ~stmt pre);
+      let sg = Lsag.adapt pre ~y in
+      Alcotest.(check bool) "adapted verifies (standard LSAG verify)" true
+        (Lsag.verify ~ring ~msg:"tx" sg);
+      Alcotest.(check bool) "witness extraction" true (Sc.equal y (Lsag.ext sg pre))
+
+let test_two_party_bad_z_caught () =
+  let ja, jb = run_jgen () in
+  let ring = make_ring drbg ~n:5 ~pi:0 ~vk:ja.Two_party.vk in
+  let na = Two_party.nonce drbg ja and nb = Two_party.nonce drbg jb in
+  match
+    Two_party.session ja ~ring ~pi:0 ~msg:"m" ~stmt:Stmt.zero ~mine:na
+      ~theirs:nb.Two_party.ns_msg
+  with
+  | Error e -> Alcotest.failf "session: %s" e
+  | Ok sa ->
+      let zb = Two_party.z_share jb sa nb in
+      Alcotest.(check bool) "honest share accepted" true
+        (Two_party.check_z_share ja sa ~their_nonce:nb.Two_party.ns_msg ~z:zb);
+      Alcotest.(check bool) "corrupted share rejected" false
+        (Two_party.check_z_share ja sa ~their_nonce:nb.Two_party.ns_msg
+           ~z:(Sc.add zb Sc.one))
+
+let tests =
+  [
+    Alcotest.test_case "schnorr sign" `Quick test_schnorr_sign;
+    Alcotest.test_case "adaptor lifecycle" `Quick test_adaptor_lifecycle;
+    Alcotest.test_case "adaptor wrong witness" `Quick test_adaptor_wrong_witness;
+    Alcotest.test_case "lsag sign/verify" `Quick test_lsag_sign_verify;
+    Alcotest.test_case "lsag slot anonymity" `Quick test_lsag_anonymity_slot;
+    Alcotest.test_case "lsag linkability" `Quick test_lsag_linkability;
+    Alcotest.test_case "lsag wrong sk" `Quick test_lsag_wrong_sk_rejected;
+    Alcotest.test_case "lsag adaptor" `Quick test_lsag_adaptor;
+    Alcotest.test_case "lsag wire" `Quick test_lsag_serialization;
+    Alcotest.test_case "stmt proofs" `Quick test_stmt_proved;
+    Alcotest.test_case "2p jgen" `Quick test_two_party_jgen;
+    Alcotest.test_case "2p psign plain" `Quick test_two_party_psign_plain;
+    Alcotest.test_case "2p psign adaptor" `Quick test_two_party_psign_adaptor;
+    Alcotest.test_case "2p bad z share" `Quick test_two_party_bad_z_caught;
+  ]

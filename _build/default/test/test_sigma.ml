@@ -1,0 +1,131 @@
+(* Sigma-protocol tests: completeness, soundness (tampered statements
+   rejected), serialization roundtrips. *)
+open Monet_ec
+open Monet_sigma
+
+let drbg = Monet_hash.Drbg.of_int 555
+
+let test_schnorr_roundtrip () =
+  let x = Sc.random_nonzero drbg in
+  let xg = Point.mul_base x in
+  let p = Schnorr.prove ~context:"t" drbg ~x ~xg in
+  Alcotest.(check bool) "verifies" true (Schnorr.verify ~context:"t" ~xg p);
+  Alcotest.(check bool) "wrong context rejected" false (Schnorr.verify ~context:"u" ~xg p);
+  let other = Point.mul_base (Sc.random_nonzero drbg) in
+  Alcotest.(check bool) "wrong statement rejected" false
+    (Schnorr.verify ~context:"t" ~xg:other p)
+
+let test_schnorr_serialization () =
+  let x = Sc.random_nonzero drbg in
+  let xg = Point.mul_base x in
+  let p = Schnorr.prove drbg ~x ~xg in
+  let w = Monet_util.Wire.create_writer () in
+  Schnorr.encode_proof w p;
+  let s = Monet_util.Wire.contents w in
+  Alcotest.(check int) "proof size" Schnorr.proof_size (String.length s);
+  let p' = Schnorr.decode_proof (Monet_util.Wire.reader_of_string s) in
+  Alcotest.(check bool) "decoded verifies" true (Schnorr.verify ~xg p')
+
+let test_dleq_roundtrip () =
+  let x = Sc.random_nonzero drbg in
+  let g1 = Point.base and g2 = Point.hash_to_point "test" "g2" in
+  let h1 = Point.mul x g1 and h2 = Point.mul x g2 in
+  let p = Dleq.prove drbg ~x ~g1 ~g2 in
+  Alcotest.(check bool) "verifies" true (Dleq.verify ~g1 ~h1 ~g2 ~h2 p);
+  (* Different exponents on the two bases must fail. *)
+  let h2_bad = Point.mul (Sc.add x Sc.one) g2 in
+  Alcotest.(check bool) "unequal dlogs rejected" false
+    (Dleq.verify ~g1 ~h1 ~g2 ~h2:h2_bad p)
+
+let test_pedersen () =
+  let v = Sc.of_int 41 and r = Sc.random_nonzero drbg in
+  let c = Pedersen.commit ~value:v ~blind:r in
+  Alcotest.(check bool) "opens" true (Pedersen.verify ~value:v ~blind:r c);
+  Alcotest.(check bool) "wrong value" false
+    (Pedersen.verify ~value:(Sc.of_int 42) ~blind:r c);
+  (* Homomorphism: C(a) + C(b) = C(a+b) with blinds added. *)
+  let v2 = Sc.of_int 1 and r2 = Sc.random_nonzero drbg in
+  let c2 = Pedersen.commit ~value:v2 ~blind:r2 in
+  Alcotest.(check bool) "homomorphic" true
+    (Pedersen.verify ~value:(Sc.add v v2) ~blind:(Sc.add r r2) (Pedersen.add c c2))
+
+let test_stadler_completeness () =
+  let x = Sc.random_nonzero drbg in
+  let h = Zl.default_base in
+  let proof, y, y' = Stadler.prove ~reps:16 drbg ~x ~h in
+  Alcotest.(check bool) "statement correct" true
+    (Point.equal y (Point.mul_base x) && Point.equal y' (Point.mul_base (Zl.pow h x)));
+  Alcotest.(check bool) "verifies" true (Stadler.verify ~h ~y ~y' proof)
+
+let test_stadler_soundness () =
+  let x = Sc.random_nonzero drbg in
+  let h = Zl.default_base in
+  let proof, y, _y' = Stadler.prove ~reps:16 drbg ~x ~h in
+  (* Claiming a different successor statement must fail. *)
+  let fake = Point.mul_base (Sc.random_nonzero drbg) in
+  Alcotest.(check bool) "wrong Y' rejected" false (Stadler.verify ~h ~y ~y':fake proof);
+  let fake_y = Point.mul_base (Sc.random_nonzero drbg) in
+  let _, _, y' = Stadler.prove ~reps:16 (Monet_hash.Drbg.of_int 556) ~x ~h in
+  Alcotest.(check bool) "wrong Y rejected" false (Stadler.verify ~h ~y:fake_y ~y' proof)
+
+let test_stadler_tamper_response () =
+  let x = Sc.random_nonzero drbg in
+  let h = Zl.default_base in
+  let proof, y, y' = Stadler.prove ~reps:16 drbg ~x ~h in
+  let tampered =
+    { Stadler.reps =
+        Array.mapi
+          (fun i (r : Stadler.rep) ->
+            if i = 3 then { r with resp = Bn.add r.resp Bn.one } else r)
+          proof.reps
+    }
+  in
+  Alcotest.(check bool) "tampered response rejected" false
+    (Stadler.verify ~h ~y ~y' tampered)
+
+let test_stadler_serialization () =
+  let x = Sc.random_nonzero drbg in
+  let h = Zl.default_base in
+  let proof, y, y' = Stadler.prove ~reps:16 drbg ~x ~h in
+  let w = Monet_util.Wire.create_writer () in
+  Stadler.encode w proof;
+  let s = Monet_util.Wire.contents w in
+  Alcotest.(check int) "size accounting" (Stadler.size proof) (String.length s);
+  match Stadler.decode (Monet_util.Wire.reader_of_string s) with
+  | None -> Alcotest.fail "decode failed"
+  | Some p' -> Alcotest.(check bool) "decoded verifies" true (Stadler.verify ~h ~y ~y' p')
+
+let test_stadler_default_reps () =
+  (* One run at production soundness (80 reps) to make sure the full
+     parameterization works end to end. *)
+  let x = Sc.random_nonzero drbg in
+  let h = Zl.default_base in
+  let proof, y, y' = Stadler.prove drbg ~x ~h in
+  Alcotest.(check int) "80 repetitions" 80 (Array.length proof.reps);
+  Alcotest.(check bool) "verifies" true (Stadler.verify ~h ~y ~y' proof)
+
+let test_transcript_order_sensitive () =
+  let t1 = Transcript.create "t" in
+  Transcript.absorb t1 ~label:"a" "x";
+  Transcript.absorb t1 ~label:"b" "y";
+  let t2 = Transcript.create "t" in
+  Transcript.absorb t2 ~label:"b" "y";
+  Transcript.absorb t2 ~label:"a" "x";
+  Alcotest.(check bool) "order matters" false
+    (Sc.equal
+       (Transcript.challenge_scalar t1 ~label:"c")
+       (Transcript.challenge_scalar t2 ~label:"c"))
+
+let tests =
+  [
+    Alcotest.test_case "schnorr" `Quick test_schnorr_roundtrip;
+    Alcotest.test_case "schnorr wire" `Quick test_schnorr_serialization;
+    Alcotest.test_case "dleq" `Quick test_dleq_roundtrip;
+    Alcotest.test_case "pedersen" `Quick test_pedersen;
+    Alcotest.test_case "stadler completeness" `Quick test_stadler_completeness;
+    Alcotest.test_case "stadler soundness" `Quick test_stadler_soundness;
+    Alcotest.test_case "stadler tamper" `Quick test_stadler_tamper_response;
+    Alcotest.test_case "stadler wire" `Quick test_stadler_serialization;
+    Alcotest.test_case "stadler 80 reps" `Slow test_stadler_default_reps;
+    Alcotest.test_case "transcript order" `Quick test_transcript_order_sensitive;
+  ]

@@ -1,0 +1,161 @@
+(* Monero ledger simulator: payments, validation, double spends,
+   decoys, fungibility shape. *)
+open Monet_ec
+open Monet_xmr
+
+let drbg = Monet_hash.Drbg.of_int 90210
+
+let fund_wallet g ledger wallet amount =
+  let kp = Monet_sig.Sig_core.gen g in
+  let idx = Ledger.genesis_output ledger { Tx.otk = kp.vk; amount } in
+  Wallet.adopt wallet ~global_index:idx ~keypair:kp ~amount
+
+let fresh_setup ?(decoys = 30) () =
+  let g = Monet_hash.Drbg.split drbg "setup" in
+  let ledger = Ledger.create () in
+  Ledger.ensure_decoys g ledger ~amount:100 ~n:decoys;
+  let alice = Wallet.create g ~label:"alice" in
+  let bob = Wallet.create g ~label:"bob" in
+  fund_wallet g ledger alice 100;
+  (g, ledger, alice, bob)
+
+let test_simple_payment () =
+  let _, ledger, alice, bob = fresh_setup () in
+  let dest = Wallet.fresh_address bob in
+  (match Wallet.pay alice ledger ~dest ~amount:40 with
+  | Error e -> Alcotest.fail e
+  | Ok tx -> (
+      Alcotest.(check bool) "balances" true (Tx.total_in tx = Tx.total_out tx);
+      match Ledger.submit ledger tx with
+      | Error e -> Alcotest.fail e
+      | Ok () -> ignore (Ledger.mine ledger)));
+  Wallet.scan bob ledger;
+  Wallet.scan alice ledger;
+  Alcotest.(check int) "bob received" 40 (Wallet.balance bob);
+  Alcotest.(check int) "alice change" 60 (Wallet.balance alice)
+
+let test_double_spend_rejected () =
+  let g, ledger, alice, bob = fresh_setup () in
+  let dest = Wallet.fresh_address bob in
+  let tx1 =
+    match Wallet.pay alice ledger ~dest ~amount:40 with Ok t -> t | Error e -> Alcotest.fail e
+  in
+  (match Ledger.submit ledger tx1 with Ok () -> () | Error e -> Alcotest.fail e);
+  ignore (Ledger.mine ledger);
+  (* Re-submitting the same tx (same key image) must be rejected. *)
+  (match Ledger.submit ledger tx1 with
+  | Ok () -> Alcotest.fail "double spend accepted"
+  | Error e -> Alcotest.(check bool) "key image error" true
+                 (e = "key image already spent"));
+  ignore g
+
+let test_mempool_conflict () =
+  let _, ledger, alice, bob = fresh_setup () in
+  let dest = Wallet.fresh_address bob in
+  let tx1 =
+    match Wallet.pay alice ledger ~dest ~amount:40 with Ok t -> t | Error e -> Alcotest.fail e
+  in
+  (match Ledger.submit ledger tx1 with Ok () -> () | Error e -> Alcotest.fail e);
+  (* A conflicting spend of the same output (same key image) in the
+     mempool must be refused even before mining. *)
+  match Ledger.submit ledger tx1 with
+  | Ok () -> Alcotest.fail "mempool conflict accepted"
+  | Error _ -> ()
+
+let test_tampered_tx_rejected () =
+  let _, ledger, alice, bob = fresh_setup () in
+  let dest = Wallet.fresh_address bob in
+  let tx =
+    match Wallet.pay alice ledger ~dest ~amount:40 with Ok t -> t | Error e -> Alcotest.fail e
+  in
+  (* Redirect the payment output: the ring signature covers the prefix,
+     so validation must fail. *)
+  let evil = Point.mul_base (Sc.random_nonzero drbg) in
+  let tampered =
+    { tx with
+      Tx.outputs =
+        List.map
+          (fun (o : Tx.output) -> if o.amount = 40 then { o with otk = evil } else o)
+          tx.Tx.outputs
+    }
+  in
+  match Ledger.validate ledger tampered with
+  | Ledger.Valid -> Alcotest.fail "tampered tx accepted"
+  | Ledger.Invalid e -> Alcotest.(check string) "sig failure" "ring signature invalid" e
+
+let test_unbalanced_rejected () =
+  let _, ledger, alice, bob = fresh_setup () in
+  let dest = Wallet.fresh_address bob in
+  let tx =
+    match Wallet.pay alice ledger ~dest ~amount:40 with Ok t -> t | Error e -> Alcotest.fail e
+  in
+  let inflated =
+    { tx with Tx.outputs = { Tx.otk = dest; amount = 1000 } :: tx.Tx.outputs }
+  in
+  match Ledger.validate ledger inflated with
+  | Ledger.Valid -> Alcotest.fail "inflation accepted"
+  | Ledger.Invalid _ -> ()
+
+let test_ring_has_decoys () =
+  let _, ledger, alice, bob = fresh_setup () in
+  let dest = Wallet.fresh_address bob in
+  match Wallet.pay alice ledger ~dest ~amount:40 with
+  | Error e -> Alcotest.fail e
+  | Ok tx ->
+      List.iter
+        (fun (i : Tx.input) ->
+          Alcotest.(check int) "full ring" 11 (Array.length i.ring_refs))
+        tx.Tx.inputs
+
+let test_fungibility_shape () =
+  (* A second wallet-to-wallet payment has the same structural shape as
+     the first: rings of 11, key image, balanced outputs. The channel
+     layer's txs reuse this exact constructor — asserted again in
+     test_channel.ml against real channel transactions. *)
+  let g, ledger, alice, bob = fresh_setup () in
+  (* Seed decoys for the denomination Bob will later spend. *)
+  Ledger.ensure_decoys g ledger ~amount:40 ~n:30;
+  let tx1 =
+    match Wallet.pay alice ledger ~dest:(Wallet.fresh_address bob) ~amount:40 with
+    | Ok t -> t
+    | Error e -> Alcotest.fail e
+  in
+  (match Ledger.submit ledger tx1 with Ok () -> () | Error e -> Alcotest.fail e);
+  ignore (Ledger.mine ledger);
+  Wallet.scan bob ledger;
+  let tx2 =
+    match Wallet.pay bob ledger ~dest:(Wallet.fresh_address alice) ~amount:40 with
+    | Ok t -> t
+    | Error e -> Alcotest.fail e
+  in
+  let _, rings1, _ = Tx.shape tx1 and _, rings2, _ = Tx.shape tx2 in
+  Alcotest.(check (list int)) "same ring shape" rings1 rings2
+
+let test_txid_changes_with_content () =
+  let _, ledger, alice, bob = fresh_setup () in
+  let tx =
+    match Wallet.pay alice ledger ~dest:(Wallet.fresh_address bob) ~amount:40 with
+    | Ok t -> t
+    | Error e -> Alcotest.fail e
+  in
+  let tx' = { tx with Tx.extra = "x" } in
+  Alcotest.(check bool) "txid binds content" false (Tx.txid tx = Tx.txid tx')
+
+let test_insufficient_balance () =
+  let _, ledger, alice, bob = fresh_setup () in
+  match Wallet.pay alice ledger ~dest:(Wallet.fresh_address bob) ~amount:1000 with
+  | Ok _ -> Alcotest.fail "overspend allowed"
+  | Error e -> Alcotest.(check string) "error" "insufficient balance" e
+
+let tests =
+  [
+    Alcotest.test_case "simple payment" `Quick test_simple_payment;
+    Alcotest.test_case "double spend" `Quick test_double_spend_rejected;
+    Alcotest.test_case "mempool conflict" `Quick test_mempool_conflict;
+    Alcotest.test_case "tampered tx" `Quick test_tampered_tx_rejected;
+    Alcotest.test_case "unbalanced tx" `Quick test_unbalanced_rejected;
+    Alcotest.test_case "decoy rings" `Quick test_ring_has_decoys;
+    Alcotest.test_case "fungibility shape" `Quick test_fungibility_shape;
+    Alcotest.test_case "txid binding" `Quick test_txid_changes_with_content;
+    Alcotest.test_case "insufficient balance" `Quick test_insufficient_balance;
+  ]

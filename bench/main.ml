@@ -28,6 +28,11 @@ open Monet_ec
 
 let drbg = Monet_hash.Drbg.of_int 20220704
 
+(* Typed channel/payment errors reach strings only here, at the
+   harness boundary. *)
+let ch_err e = failwith (Ch.error_to_string e)
+let pay_err e = failwith (Payment.error_to_string e)
+
 (* Median-of-N wall-time of [f], in milliseconds. *)
 let time_ms ?(runs = 5) (f : unit -> unit) : float =
   let samples =
@@ -75,7 +80,7 @@ let make_channel ?(cfg = bench_cfg ~precompute:0) (label : string) :
   fund wb 5000;
   match Ch.establish ~cfg env ~id:1 ~wallet_a:wa ~wallet_b:wb ~bal_a:5000 ~bal_b:5000 with
   | Ok r -> r
-  | Error e -> failwith ("establish: " ^ e)
+  | Error e -> failwith ("establish: " ^ Ch.error_to_string e)
 
 let jgen label =
   match
@@ -152,16 +157,16 @@ let e2 () : e2_result =
     time_ms ~runs:3 (fun () ->
         match Ch.update c_orig ~amount_from_a:1 with
         | Ok _ -> ()
-        | Error e -> failwith e)
+        | Error e -> ch_err e)
   in
   (* Optimized mode: statements precomputed in a batch. *)
   let c_opt, _ = make_channel "e2-opt" in
-  (match Ch.exchange_batches c_opt ~n:16 with Ok _ -> () | Error e -> failwith e);
+  (match Ch.exchange_batches c_opt ~n:16 with Ok _ -> () | Error e -> ch_err e);
   let opt_update_ms =
     time_ms ~runs:3 (fun () ->
         match Ch.update c_opt ~amount_from_a:1 with
         | Ok _ -> ()
-        | Error e -> failwith e)
+        | Error e -> ch_err e)
   in
   (* Decompose creation vs verification on fresh primitives, mirroring
      the paper's two rows. *)
@@ -218,14 +223,14 @@ let e3 () =
   header "E3  Communication overhead per off-chain payment";
   let c, est_rep = make_channel "e3" in
   let rep_orig =
-    match Ch.update c ~amount_from_a:1 with Ok r -> r | Error e -> failwith e
+    match Ch.update c ~amount_from_a:1 with Ok r -> r | Error e -> ch_err e
   in
   let c2, _ = make_channel "e3b" in
   let batch_rep =
-    match Ch.exchange_batches c2 ~n:8 with Ok r -> r | Error e -> failwith e
+    match Ch.exchange_batches c2 ~n:8 with Ok r -> r | Error e -> ch_err e
   in
   let rep_opt =
-    match Ch.update c2 ~amount_from_a:1 with Ok r -> r | Error e -> failwith e
+    match Ch.update c2 ~amount_from_a:1 with Ok r -> r | Error e -> ch_err e
   in
   Printf.printf "  %-34s %14s %14s\n" "" "paper" "this repo";
   row3 "per-update bytes, original" "18 KB" (kb rep_orig.Ch.bytes);
@@ -283,7 +288,7 @@ let line_network ?(precompute = 4) ~n label =
         if precompute > 0 then
           match Ch.exchange_batches (Graph.edge t eid).Graph.e_channel ~n:precompute with
           | Ok _ -> ()
-          | Error e -> failwith e)
+          | Error e -> ch_err e)
     | Error e -> failwith e
   done;
   (t, ids)
@@ -292,7 +297,7 @@ let e5 () =
   header "E5  Table II: multi-hop payment phases (with precomputation)";
   let t, ids = line_network ~n:3 "e5" in
   match Payment.pay t ~src:ids.(0) ~dst:ids.(2) ~amount:5 () with
-  | Error e -> failwith e
+  | Error e -> pay_err e
   | Ok o ->
       let s = o.Payment.stats in
       let per_hop v = v /. float_of_int s.Payment.n_hops in
@@ -311,7 +316,7 @@ let e6 () =
     (fun n_h ->
       let t, ids = line_network ~n:(n_h + 1) (Printf.sprintf "e6-%d" n_h) in
       match Payment.pay t ~src:ids.(0) ~dst:ids.(n_h) ~amount:3 () with
-      | Error e -> failwith e
+      | Error e -> pay_err e
       | Ok o ->
           let l = Payment.latency_ms o ~network_ms:60.0 in
           coeffs := (l /. float_of_int n_h) :: !coeffs;
@@ -361,18 +366,18 @@ let e7 (e2r : e2_result) =
 let e8 () =
   header "E8  Messages / signatures / on-chain transactions per phase";
   let c, est = make_channel "e8" in
-  let upd = match Ch.update c ~amount_from_a:1 with Ok r -> r | Error e -> failwith e in
+  let upd = match Ch.update c ~amount_from_a:1 with Ok r -> r | Error e -> ch_err e in
   (* Routing (lock + unlock) on a 1-hop payment within this channel. *)
   let y = Sc.random_nonzero drbg in
   let stmt = Monet_sig.Stmt.make ~y ~hp:c.Ch.a.Ch.joint.Tp.hp in
   let lk =
     match Ch.lock c ~payer:Tp.Alice ~amount:1 ~lock_stmt:stmt ~timer:5000 with
     | Ok r -> r
-    | Error e -> failwith e
+    | Error e -> ch_err e
   in
-  let ul, _ = match Ch.unlock c ~y with Ok r -> r | Error e -> failwith e in
+  let ul, _ = match Ch.unlock c ~y with Ok r -> r | Error e -> ch_err e in
   let close =
-    match Ch.cooperative_close c with Ok (_, r) -> r | Error e -> failwith e
+    match Ch.cooperative_close c with Ok (_, r) -> r | Error e -> ch_err e
   in
   Printf.printf "  %-16s %10s %10s %12s %12s %10s\n" "phase" "msgs" "(paper)" "signatures"
     "(paper)" "on-chain";
@@ -408,14 +413,14 @@ let e9 () =
   let deploy_gas = c.Ch.env.Ch.kes_deploy_gas in
   (* Cooperative close (no dispute). *)
   let coop =
-    match Ch.cooperative_close c with Ok (_, r) -> r | Error e -> failwith e
+    match Ch.cooperative_close c with Ok (_, r) -> r | Error e -> ch_err e
   in
   (* Dispute on a fresh channel. *)
   let c2, _ = make_channel ~cfg "e9b" in
   let disp =
     match Ch.dispute_close c2 ~proposer:Tp.Alice ~responsive:false with
     | Ok (_, r) -> r
-    | Error e -> failwith e
+    | Error e -> ch_err e
   in
   Printf.printf "  %-34s %14s %14s\n" "" "paper" "this repo";
   row3 "deploy KES contract" "127,869" (Printf.sprintf "%d" deploy_gas);

@@ -55,7 +55,7 @@ let demo verbose seed reps =
   let wa = mk_wallet "alice" 60 and wb = mk_wallet "bob" 40 in
   match Ch.establish ~cfg:(cfg_of ~reps) env ~id:1 ~wallet_a:wa ~wallet_b:wb ~bal_a:60 ~bal_b:40 with
   | Error e ->
-      Printf.eprintf "error: %s\n" e;
+      Printf.eprintf "error: %s\n" (Ch.error_to_string e);
       1
   | Ok (c, rep) ->
       Printf.printf "channel open: capacity=%d, %d msgs, %d gas on script chain\n"
@@ -66,11 +66,11 @@ let demo verbose seed reps =
           | Ok _ ->
               Printf.printf "update %+d -> alice=%d bob=%d\n" (-amt)
                 c.Ch.a.Ch.my_balance c.Ch.b.Ch.my_balance
-          | Error e -> Printf.eprintf "update failed: %s\n" e)
+          | Error e -> Printf.eprintf "update failed: %s\n" (Ch.error_to_string e))
         [ 10; -5; 20 ];
       (match Ch.cooperative_close c with
       | Ok (p, _) -> Printf.printf "closed: alice=%d bob=%d\n" p.Ch.pay_a p.Ch.pay_b
-      | Error e -> Printf.eprintf "close failed: %s\n" e);
+      | Error e -> Printf.eprintf "close failed: %s\n" (Ch.error_to_string e));
       0
 
 (* --- pay --- *)
@@ -100,7 +100,7 @@ let pay verbose seed reps nodes hops amount =
           (Payment.latency_ms o ~network_ms:60.0);
         0
     | Error e ->
-        Printf.eprintf "payment failed: %s\n" e;
+        Printf.eprintf "payment failed: %s\n" (Payment.error_to_string e);
         1
   end
 
@@ -124,10 +124,12 @@ let dispute verbose seed reps responsive =
   let wa = mk "alice" 50 and wb = mk "bob" 50 in
   match Ch.establish ~cfg:(cfg_of ~reps) env ~id:1 ~wallet_a:wa ~wallet_b:wb ~bal_a:50 ~bal_b:50 with
   | Error e ->
-      Printf.eprintf "error: %s\n" e;
+      Printf.eprintf "error: %s\n" (Ch.error_to_string e);
       1
   | Ok (c, _) -> (
-      (match Ch.update c ~amount_from_a:(-20) with Ok _ -> () | Error e -> failwith e);
+      (match Ch.update c ~amount_from_a:(-20) with
+      | Ok _ -> ()
+      | Error e -> failwith (Ch.error_to_string e));
       Printf.printf "latest state: alice=%d bob=%d; alice opens a dispute (%s counterparty)\n"
         c.Ch.a.Ch.my_balance c.Ch.b.Ch.my_balance
         (if responsive then "responsive" else "silent");
@@ -137,7 +139,7 @@ let dispute verbose seed reps responsive =
             p.Ch.pay_b rep.Ch.script_txs rep.Ch.script_gas;
           0
       | Error e ->
-          Printf.eprintf "dispute failed: %s\n" e;
+          Printf.eprintf "dispute failed: %s\n" (Ch.error_to_string e);
           1)
 
 (* --- topology --- *)

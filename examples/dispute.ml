@@ -32,13 +32,13 @@ let make_channel seed =
   let cfg = { Ch.default_config with Ch.vcof_reps = Some 16 } in
   match Ch.establish ~cfg env ~id:1 ~wallet_a ~wallet_b ~bal_a:50 ~bal_b:50 with
   | Ok (c, _) -> c
-  | Error e -> failwith e
+  | Error e -> failwith (Ch.error_to_string e)
 
 let () =
   (* --- Scenario 1: unresponsive counterparty --- *)
   Printf.printf "=== Scenario 1: Bob vanishes ===\n%!";
   let c = make_channel 11 in
-  (match Ch.update c ~amount_from_a:(-20) with Ok _ -> () | Error e -> failwith e);
+  (match Ch.update c ~amount_from_a:(-20) with Ok _ -> () | Error e -> failwith (Ch.error_to_string e));
   Printf.printf "Latest state: alice=%d bob=%d; Bob stops responding.\n%!"
     c.Ch.a.Ch.my_balance c.Ch.b.Ch.my_balance;
   (match Ch.dispute_close c ~proposer:Tp.Alice ~responsive:false with
@@ -50,15 +50,15 @@ let () =
         payout.Ch.pay_a payout.Ch.pay_b;
       Printf.printf "Script-chain cost: %d transactions, %d gas.\n%!" rep.Ch.script_txs
         rep.Ch.script_gas
-  | Error e -> failwith e);
+  | Error e -> failwith (Ch.error_to_string e));
 
   (* --- Scenario 2: old-state cheat --- *)
   Printf.printf "\n=== Scenario 2: Bob publishes an old state ===\n%!";
   let c = make_channel 12 in
-  (match Ch.update c ~amount_from_a:30 with Ok _ -> () | Error e -> failwith e);
+  (match Ch.update c ~amount_from_a:30 with Ok _ -> () | Error e -> failwith (Ch.error_to_string e));
   Printf.printf "State 1: alice=%d bob=%d (good for Bob)\n%!" c.Ch.a.Ch.my_balance
     c.Ch.b.Ch.my_balance;
-  (match Ch.update c ~amount_from_a:(-45) with Ok _ -> () | Error e -> failwith e);
+  (match Ch.update c ~amount_from_a:(-45) with Ok _ -> () | Error e -> failwith (Ch.error_to_string e));
   Printf.printf "State 2 (latest): alice=%d bob=%d\n%!" c.Ch.a.Ch.my_balance
     c.Ch.b.Ch.my_balance;
   (* Bob somehow obtained Alice's state-1 witness (leak model) and
@@ -66,7 +66,7 @@ let () =
   let alice_old = Ch.my_witness_at c.Ch.a ~state:1 in
   (match Ch.submit_old_state c ~cheater:Tp.Bob ~state:1 ~victim_old_wit:alice_old with
   | Ok _ -> Printf.printf "Bob submitted the stale state-1 commitment to the mempool.\n%!"
-  | Error e -> failwith e);
+  | Error e -> failwith (Ch.error_to_string e));
   match Ch.watch_and_punish c ~victim:Tp.Alice with
   | Ok payout ->
       Printf.printf
@@ -75,4 +75,4 @@ let () =
         "witness forward (VCOF one-wayness only blocks the reverse direction) and won\n";
       Printf.printf "the race: alice=%d bob=%d — the latest state settled.\n%!"
         payout.Ch.pay_a payout.Ch.pay_b
-  | Error e -> failwith e
+  | Error e -> failwith (Ch.error_to_string e)

@@ -53,11 +53,15 @@ let () =
   let c, _ =
     match Ch.establish ~cfg env ~id:1 ~wallet_a ~wallet_b ~bal_a:60 ~bal_b:40 with
     | Ok r -> r
-    | Error e -> failwith e
+    | Error e -> failwith (Ch.error_to_string e)
   in
-  (match Ch.update c ~amount_from_a:10 with Ok _ -> () | Error e -> failwith e);
+  (match Ch.update c ~amount_from_a:10 with
+  | Ok _ -> ()
+  | Error e -> failwith (Ch.error_to_string e));
   let payout, _ =
-    match Ch.cooperative_close c with Ok r -> r | Error e -> failwith e
+    match Ch.cooperative_close c with
+    | Ok r -> r
+    | Error e -> failwith (Ch.error_to_string e)
   in
 
   Printf.printf "Monero side (MoNet):\n";

@@ -45,7 +45,7 @@ let () =
         s.Payment.onion_bytes s.Payment.messages s.Payment.bytes;
       Printf.printf "  end-to-end latency @60ms WAN (paper model): %.2f ms\n%!"
         (Payment.latency_ms o ~network_ms:60.0)
-  | Error e -> failwith e);
+  | Error e -> failwith (Payment.error_to_string e));
 
   (* Balances after: intermediaries are neutral, value moved A->C. *)
   List.iter
@@ -63,4 +63,4 @@ let () =
   | Ok o ->
       Printf.printf "Uncooperative receiver: succeeded=%b (all locks cancelled)\n%!"
         o.Payment.succeeded
-  | Error e -> failwith e
+  | Error e -> failwith (Payment.error_to_string e)

@@ -73,7 +73,7 @@ let () =
         with
         | Ok _ -> Printf.printf "[%7.0fms] n1's peer published an OLD state!\n%!"
                     (Monet_dsim.Clock.now clock)
-        | Error e -> Printf.printf "[cheat failed: %s]\n%!" e
+        | Error e -> Printf.printf "[cheat failed: %s]\n%!" (Ch.error_to_string e)
       end);
 
   Monet_dsim.Clock.run clock ();

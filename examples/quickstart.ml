@@ -35,7 +35,7 @@ let () =
   let channel, rep =
     match Ch.establish ~cfg env ~id:1 ~wallet_a ~wallet_b ~bal_a:60 ~bal_b:40 with
     | Ok r -> r
-    | Error e -> failwith e
+    | Error e -> failwith (Ch.error_to_string e)
   in
   Printf.printf
     "Channel open: capacity=%d | %d off-chain messages (%d bytes), %d signatures, %d Monero tx, %d script txs (%d gas)\n%!"
@@ -50,7 +50,7 @@ let () =
           "Payment %d: alice %+d -> balances (alice=%d, bob=%d), %d msgs / %d bytes off-chain\n%!"
           n (-amount) channel.Ch.a.Ch.my_balance channel.Ch.b.Ch.my_balance
           rep.Ch.messages rep.Ch.bytes
-    | Error e -> failwith e
+    | Error e -> failwith (Ch.error_to_string e)
   in
   payment 1 15;
   payment 2 (-5);
@@ -61,6 +61,6 @@ let () =
   | Ok (payout, _) ->
       Printf.printf "Channel closed: alice receives %d, bob receives %d\n%!"
         payout.Ch.pay_a payout.Ch.pay_b
-  | Error e -> failwith e);
+  | Error e -> failwith (Ch.error_to_string e));
   Printf.printf "Monero ledger height: %d, confirmed txs: %d\n%!"
     env.Ch.ledger.Monet_xmr.Ledger.height env.Ch.ledger.Monet_xmr.Ledger.txs_confirmed

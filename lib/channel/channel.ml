@@ -13,9 +13,14 @@
     latest witnesses forward (VCOF consecutiveness) and settle at the
     latest state — the revocation mechanism.
 
-    This module drives both parties in-process (as the paper's PoC
-    does), with explicit message accounting for the communication
-    experiments and simulated network rounds for the latency model. *)
+    This module is the façade over the protocol stack:
+    {!Errors} (typed failures) → {!Msg} (wire messages) → {!Report}
+    (traffic accounting) → {!Party} (per-party state machines) →
+    {!Driver} (synchronous or clock-scheduled transport) →
+    {!Close}/{!Revoke}/{!Splice} (closure, punishment, splicing).
+    Both parties run in-process, as the paper's PoC does; all message,
+    byte and signature counts derive from actually-serialized wire
+    traffic. *)
 
 open Monet_ec
 module Tp = Monet_sig.Two_party
@@ -24,7 +29,10 @@ let log_src = Logs.Src.create "monet.channel" ~doc:"MoChannel protocol events"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
-type config = {
+(* --- re-exported types (full re-declarations keep existing field
+       accesses and record literals working) --- *)
+
+type config = Party.config = {
   ring_size : int;
   vcof_reps : int option; (* None = production default (80) *)
   kes_tau : int; (* dispute timer, simulated ms *)
@@ -33,18 +41,10 @@ type config = {
   precompute : int; (* batch size; 0 = original (per-update) mode *)
 }
 
-let default_config =
-  {
-    ring_size = 11;
-    vcof_reps = None;
-    kes_tau = 60_000;
-    n_escrowers = 5;
-    escrow_threshold = 3;
-    precompute = 0;
-  }
+let default_config = Party.default_config
 
 (** Per-phase accounting, aggregated into experiment tables. *)
-type report = {
+type report = Report.t = {
   mutable messages : int;
   mutable bytes : int;
   mutable rounds : int; (* sequential message legs (latency multiplier) *)
@@ -54,45 +54,41 @@ type report = {
   mutable script_gas : int;
 }
 
-let fresh_report () =
-  { messages = 0; bytes = 0; rounds = 0; signatures = 0; monero_txs = 0;
-    script_txs = 0; script_gas = 0 }
+let fresh_report = Report.fresh
 
-let add_msg (r : report) ~bytes:n =
-  r.messages <- r.messages + 1;
-  r.bytes <- r.bytes + n
-
-(* Shared environment: the two chains and the escrow service. *)
-type env = {
+type env = Party.env = {
   ledger : Monet_xmr.Ledger.t;
   script : Monet_script.Chain.t;
   kes_contract : int;
   kes_deploy_gas : int;
   escrowers : Monet_kes.Escrow.escrower array;
   env_g : Monet_hash.Drbg.t; (* environment randomness (decoy minting etc.) *)
+  deals : (string, Monet_pvss.Pvss.dealing) Hashtbl.t; (* PVSS bulletin board *)
 }
 
-let make_env (g : Monet_hash.Drbg.t) : env =
-  let script = Monet_script.Chain.create () in
-  let kes_contract, kes_deploy_gas = Monet_kes.Kes_contract.deploy script in
-  {
-    ledger = Monet_xmr.Ledger.create ();
-    script;
-    kes_contract;
-    kes_deploy_gas;
-    escrowers = Monet_kes.Escrow.create_escrowers (Monet_hash.Drbg.split g "escrowers") ~n:8;
-    env_g = g;
-  }
+let make_env = Party.make_env
 
-(* A precomputed batch: my future pairs and the counterparty's verified
-   statements (both legs), indexed by absolute state number. *)
-type batch = {
+type batch = Party.batch = {
   mutable my_pairs : Monet_vcof.Vcof.pair array;
   mutable their_stmts : Monet_sig.Stmt.t array;
   mutable base_state : int; (* state number of index 0 *)
 }
 
-type party = {
+type lock_state = Party.lock_state = {
+  lk_stmt : Monet_sig.Stmt.t; (* the AMHL lock statement *)
+  lk_amount : int; (* amount moving from lock-payer to lock-payee *)
+  lk_payer_is_alice : bool;
+  lk_presig : Monet_sig.Lsag.pre_signature; (* incomplete: needs lock witness too *)
+  lk_prefix : string;
+  lk_tx : Monet_xmr.Tx.t;
+  lk_ring : Point.t array;
+  lk_timer : int; (* cascade timer τ for this hop *)
+  lk_prev_presig : Monet_sig.Lsag.pre_signature; (* state to fall back to on cancel *)
+}
+
+type phase = Party.phase
+
+type party = Party.party = {
   cfg : config;
   role : Tp.role;
   g : Monet_hash.Drbg.t;
@@ -110,581 +106,99 @@ type party = {
   mutable commit_ring : Point.t array;
   mutable presig : Monet_sig.Lsag.pre_signature;
   mutable my_out_kp : Monet_sig.Sig_core.keypair; (* my fresh output key this state *)
-  mutable out_keys : Monet_sig.Sig_core.keypair list; (* every per-state output key (old states stay claimable) *)
+  mutable out_keys : Monet_sig.Sig_core.keypair list;
   mutable kes_commit : Monet_kes.Kes_contract.commit; (* cross-signed latest *)
-  my_root : Monet_vcof.Vcof.pair; (* randomized chain root; own old witnesses re-derive from it *)
-  (* All pre-signed states, for revocation handling. *)
+  my_root : Monet_vcof.Vcof.pair;
   mutable presig_history :
     (int * string * Monet_sig.Lsag.pre_signature * Monet_xmr.Tx.t) list;
   mutable lock : lock_state option;
   mutable closed : bool;
+  mutable phase : phase;
+  mutable extracted : Sc.t option;
 }
 
-and lock_state = {
-  lk_stmt : Monet_sig.Stmt.t; (* the AMHL lock statement *)
-  lk_amount : int; (* amount moving from lock-payer to lock-payee *)
-  lk_payer_is_alice : bool;
-  lk_presig : Monet_sig.Lsag.pre_signature; (* incomplete: needs lock witness too *)
-  lk_prefix : string;
-  lk_tx : Monet_xmr.Tx.t;
-  lk_ring : Point.t array;
-  lk_timer : int; (* cascade timer τ for this hop *)
-  lk_prev_presig : Monet_sig.Lsag.pre_signature; (* state to fall back to on cancel *)
+(** Message transport: [Driver.Sync] (immediate FIFO, the experiment
+    configuration) or [Driver.Scheduled] (discrete-event clock with
+    sampled link latency). *)
+type transport = Driver.mode
+
+type channel = Driver.channel = {
+  a : party;
+  b : party;
+  env : env;
+  id : int;
+  mutable transport : transport;
+  mutable trace : Msg.t list; (* deliveries of the last session, in order *)
 }
 
-type channel = { a : party; b : party; env : env; id : int }
+type payout = Close.payout = {
+  pay_a : int;
+  pay_b : int;
+  close_tx : Monet_xmr.Tx.t;
+}
 
+type error = Errors.t
+
+let error_to_string = Errors.to_string
 let other (c : channel) (p : party) = if p == c.a then c.b else c.a
 
-(* --- helpers --- *)
+(** The wire messages delivered during the channel's most recent
+    protocol session, in delivery order. *)
+let last_trace (c : channel) : Msg.t list = c.trace
 
-let shared_seed (j : Tp.joint) ~(state : int) ~(label : string) : string =
-  Monet_hash.Hash.tagged "channel-coin"
-    [ Point.encode j.Tp.vk; string_of_int state; label ]
-
-(* Both parties must sample the same decoy ring for the commitment
-   transaction; they seed the sampler from the shared channel coin. *)
-let commit_ring (env : env) (j : Tp.joint) ~(funding_outpoint : int) ~(state : int)
-    ~(ring_size : int) : int array * int =
-  let coin = Monet_hash.Drbg.create ~seed:(shared_seed j ~state ~label:"ring") in
-  Monet_xmr.Ledger.sample_ring coin env.ledger ~real:funding_outpoint ~ring_size
-
-(* Build the (unsigned) state-i commitment transaction. *)
-let build_commit_tx (env : env) (j : Tp.joint) ~(funding_outpoint : int)
-    ~(capacity : int) ~(state : int) ~(ring_size : int) ~(out_a : Point.t)
-    ~(bal_a : int) ~(out_b : Point.t) ~(bal_b : int) :
-    Monet_xmr.Tx.t * string * Point.t array * int =
-  assert (bal_a + bal_b = capacity);
-  let refs, pi = commit_ring env j ~funding_outpoint ~state ~ring_size in
-  let ring = Monet_xmr.Ledger.ring_of_refs env.ledger refs in
-  let key_image = Point.mul (Sc.add j.Tp.my_sk Sc.zero) j.Tp.hp in
-  (* The key image of the joint key is the joint one: *)
-  ignore key_image;
-  let ki = j.Tp.key_image in
-  let outputs =
-    (if bal_a > 0 then [ { Monet_xmr.Tx.otk = out_a; amount = bal_a } ] else [])
-    @ if bal_b > 0 then [ { Monet_xmr.Tx.otk = out_b; amount = bal_b } ] else []
-  in
-  let tx =
-    {
-      Monet_xmr.Tx.inputs =
-        [
-          {
-            Monet_xmr.Tx.ring_refs = refs;
-            amount = capacity;
-            key_image = ki;
-            signature = { Monet_sig.Lsag.c0 = Sc.zero; ss = [||]; key_image = ki };
-          };
-        ];
-      outputs;
-      fee = 0;
-      extra = "";
-    }
-  in
-  (tx, Monet_xmr.Tx.prefix_bytes tx, ring, pi)
-
-(* Jointly pre-sign a commitment prefix under [stmt]; returns presig
-   and accounts 4 messages / 2 rounds into [rep]. *)
-let joint_presign (c : channel) ~(stmt : Monet_sig.Stmt.t) ~(ring : Point.t array)
-    ~(pi : int) ~(prefix : string) (rep : report) :
-    (Monet_sig.Lsag.pre_signature, string) result =
-  let na = Tp.nonce c.a.g c.a.joint and nb = Tp.nonce c.b.g c.b.joint in
-  let nonce_bytes =
-    Monet_util.Wire.size Tp.encode_nonce_msg na.Tp.ns_msg
-  in
-  add_msg rep ~bytes:nonce_bytes;
-  add_msg rep ~bytes:nonce_bytes;
-  rep.rounds <- rep.rounds + 1;
-  match
-    ( Tp.session c.a.joint ~ring ~pi ~msg:prefix ~stmt ~mine:na ~theirs:nb.Tp.ns_msg,
-      Tp.session c.b.joint ~ring ~pi ~msg:prefix ~stmt ~mine:nb ~theirs:na.Tp.ns_msg )
-  with
-  | Ok sa, Ok sb ->
-      let za = Tp.z_share c.a.joint sa na and zb = Tp.z_share c.b.joint sb nb in
-      add_msg rep ~bytes:32;
-      add_msg rep ~bytes:32;
-      rep.rounds <- rep.rounds + 1;
-      rep.signatures <- rep.signatures + 2;
-      if not (Tp.check_z_share c.a.joint sa ~their_nonce:nb.Tp.ns_msg ~z:zb) then
-        Error "bob sent a bad response share"
-      else if not (Tp.check_z_share c.b.joint sb ~their_nonce:na.Tp.ns_msg ~z:za) then
-        Error "alice sent a bad response share"
-      else Ok (Tp.assemble sa ~my_z:za ~their_z:zb)
-  | Error e, _ | _, Error e -> Error e
-
-(* Cross-sign the KES commit for the current state (2 messages). *)
-let cross_sign_kes (c : channel) ~(state : int) ~(digest : string) (rep : report) :
-    Monet_kes.Kes_contract.commit =
-  let id = c.a.kes_instance in
-  let sig_a =
-    Monet_kes.Kes_client.sign_commit_half c.a.g c.a.kes_party ~id ~state ~digest
-  in
-  let sig_b =
-    Monet_kes.Kes_client.sign_commit_half c.b.g c.b.kes_party ~id ~state ~digest
-  in
-  add_msg rep ~bytes:Monet_sig.Sig_core.signature_bytes;
-  add_msg rep ~bytes:Monet_sig.Sig_core.signature_bytes;
-  rep.signatures <- rep.signatures + 2;
-  Monet_kes.Kes_client.assemble_commit ~state ~digest ~sig_a ~sig_b
-
-let state_digest (c : channel) ~(state : int) : string =
-  let sa = c.a.clras.Monet_cas.Clras.my_stmt and sb = c.b.clras.Monet_cas.Clras.my_stmt in
-  Monet_hash.Hash.tagged "state-digest"
-    [
-      string_of_int c.id; string_of_int state;
-      Point.encode sa.Monet_sig.Stmt.yg; Point.encode sb.Monet_sig.Stmt.yg;
-    ]
-
-(* --- funding --- *)
-
-(* Build and sign the funding transaction: inputs from both wallets,
-   one joint output (the channel capacity), change back to each
-   wallet. Structurally a perfectly ordinary Monero transaction. *)
-let funding_tx (env : env) ~(wallet_a : Monet_xmr.Wallet.t)
-    ~(wallet_b : Monet_xmr.Wallet.t) ~(joint_out : Point.t) ~(bal_a : int)
-    ~(bal_b : int) (rep : report) : (Monet_xmr.Tx.t, string) result =
-  let module W = Monet_xmr.Wallet in
-  let module L = Monet_xmr.Ledger in
-  let module T = Monet_xmr.Tx in
-  let select (w : W.t) target =
-    let rec go acc total = function
-      | _ when total >= target -> Some (acc, total)
-      | [] -> None
-      | o :: rest -> go (o :: acc) (total + o.W.amount) rest
-    in
-    go [] 0 w.W.owned
-  in
-  match (select wallet_a bal_a, select wallet_b bal_b) with
-  | None, _ -> Error "alice: insufficient balance for funding"
-  | _, None -> Error "bob: insufficient balance for funding"
-  | Some (coins_a, tot_a), Some (coins_b, tot_b) ->
-      let change w tot target =
-        if tot > target then begin
-          let kp = Monet_sig.Sig_core.gen w.W.g in
-          w.W.pending_keys <- kp :: w.W.pending_keys;
-          [ { T.otk = kp.Monet_sig.Sig_core.vk; amount = tot - target } ]
-        end
-        else []
-      in
-      let outputs =
-        ({ T.otk = joint_out; amount = bal_a + bal_b }
-         :: change wallet_a tot_a bal_a)
-        @ change wallet_b tot_b bal_b
-      in
-      let plan =
-        List.map
-          (fun (w, o) ->
-            let refs, pi = L.sample_ring w.W.g env.ledger ~real:o.W.global_index
-                             ~ring_size:w.W.ring_size in
-            let ki =
-              Monet_sig.Lsag.key_image ~sk:o.W.keypair.Monet_sig.Sig_core.sk
-                ~vk:o.W.keypair.vk
-            in
-            (w, o, refs, pi, ki))
-          (List.map (fun o -> (wallet_a, o)) coins_a
-          @ List.map (fun o -> (wallet_b, o)) coins_b)
-      in
-      let skeleton =
-        {
-          T.inputs =
-            List.map
-              (fun (_, o, refs, _, ki) ->
-                { T.ring_refs = refs; amount = o.W.amount; key_image = ki;
-                  signature = { Monet_sig.Lsag.c0 = Sc.zero; ss = [||]; key_image = ki } })
-              plan;
-          outputs;
-          fee = 0;
-          extra = "";
-        }
-      in
-      let prefix = T.prefix_bytes skeleton in
-      let inputs =
-        List.map
-          (fun (w, o, refs, pi, ki) ->
-            let ring = L.ring_of_refs env.ledger refs in
-            rep.signatures <- rep.signatures + 1;
-            let signature =
-              Monet_sig.Lsag.sign w.W.g ~ring ~pi
-                ~sk:o.W.keypair.Monet_sig.Sig_core.sk ~msg:prefix
-            in
-            { T.ring_refs = refs; amount = o.W.amount; key_image = ki; signature })
-          plan
-      in
-      wallet_a.W.owned <- List.filter (fun o -> not (List.memq o coins_a)) wallet_a.W.owned;
-      wallet_b.W.owned <- List.filter (fun o -> not (List.memq o coins_b)) wallet_b.W.owned;
-      (* The two parties exchange their signature halves. *)
-      add_msg rep ~bytes:(Monet_util.Wire.size T.encode skeleton / 2);
-      add_msg rep ~bytes:(Monet_util.Wire.size T.encode skeleton / 2);
-      rep.rounds <- rep.rounds + 1;
-      Ok { skeleton with T.inputs }
-
-(* --- state refresh: fresh output keys, commitment build, presign --- *)
-
-let refresh_state (c : channel) ?(extra_stmt : Monet_sig.Stmt.t option)
-    (rep : report) : (unit, string) result =
-  let state = c.a.state in
-  c.a.my_out_kp <- Monet_sig.Sig_core.gen c.a.g;
-  c.b.my_out_kp <- Monet_sig.Sig_core.gen c.b.g;
-  c.a.out_keys <- c.a.my_out_kp :: c.a.out_keys;
-  c.b.out_keys <- c.b.my_out_kp :: c.b.out_keys;
-  let tx, prefix, ring, pi =
-    build_commit_tx c.env c.a.joint ~funding_outpoint:c.a.funding_outpoint
-      ~capacity:c.a.capacity ~state ~ring_size:c.a.cfg.ring_size
-      ~out_a:c.a.my_out_kp.Monet_sig.Sig_core.vk ~bal_a:c.a.my_balance
-      ~out_b:c.b.my_out_kp.Monet_sig.Sig_core.vk ~bal_b:c.b.my_balance
-  in
-  let base_stmt = Monet_cas.Clras.joint_stmt c.a.clras in
-  let stmt =
-    match extra_stmt with
-    | None -> base_stmt
-    | Some s -> Monet_sig.Stmt.combine base_stmt s
-  in
-  match joint_presign c ~stmt ~ring ~pi ~prefix rep with
-  | Error e -> Error e
-  | Ok presig ->
-      rep.signatures <- rep.signatures + 1 (* the adaptor signature itself *);
-      List.iter
-        (fun (p : party) ->
-          p.commit_tx <- tx;
-          p.commit_ring <- ring;
-          p.presig <- presig;
-          p.presig_history <- (state, prefix, presig, tx) :: p.presig_history)
-        [ c.a; c.b ];
-      let digest = state_digest c ~state in
-      let commit = cross_sign_kes c ~state ~digest rep in
-      c.a.kes_commit <- commit;
-      c.b.kes_commit <- commit;
-      rep.rounds <- rep.rounds + 1;
-      Ok ()
+let check_open = Close.check_open
 
 (* --- establishment --- *)
 
-let establish ?(cfg = default_config) (env : env) ~(id : int)
-    ~(wallet_a : Monet_xmr.Wallet.t) ~(wallet_b : Monet_xmr.Wallet.t)
-    ~(bal_a : int) ~(bal_b : int) : (channel * report, string) result =
-  let rep = fresh_report () in
+let establish ?(cfg = default_config) ?(transport = Driver.Sync) (env : env)
+    ~(id : int) ~(wallet_a : Monet_xmr.Wallet.t) ~(wallet_b : Monet_xmr.Wallet.t)
+    ~(bal_a : int) ~(bal_b : int) : (channel * report, error) result =
+  let rep = Report.fresh () in
   let ga = Monet_hash.Drbg.split env.env_g (Printf.sprintf "ch%d/a" id) in
   let gb = Monet_hash.Drbg.split env.env_g (Printf.sprintf "ch%d/b" id) in
-  (* JGen: 4 messages over 2 rounds. *)
-  let sk_a, km_a = Tp.key_msg ga in
-  let sk_b, km_b = Tp.key_msg gb in
-  add_msg rep ~bytes:(Monet_util.Wire.size Tp.encode_key_msg km_a);
-  add_msg rep ~bytes:(Monet_util.Wire.size Tp.encode_key_msg km_b);
-  rep.rounds <- rep.rounds + 1;
-  match (Tp.ki_msg ga ~sk:sk_a ~my:km_a ~theirs:km_b,
-         Tp.ki_msg gb ~sk:sk_b ~my:km_b ~theirs:km_a) with
-  | Error e, _ | _, Error e -> Error e
-  | Ok kia, Ok kib -> (
-      add_msg rep ~bytes:(Monet_util.Wire.size Tp.encode_ki_msg kia);
-      add_msg rep ~bytes:(Monet_util.Wire.size Tp.encode_ki_msg kib);
-      rep.rounds <- rep.rounds + 1;
-      match
-        ( Tp.finish_jgen ~role:Tp.Alice ~sk:sk_a ~my:km_a ~theirs:km_b ~my_ki:kia ~their_ki:kib,
-          Tp.finish_jgen ~role:Tp.Bob ~sk:sk_b ~my:km_b ~theirs:km_a ~my_ki:kib ~their_ki:kia )
-      with
+  let capacity = bal_a + bal_b in
+  Monet_xmr.Ledger.ensure_decoys env.env_g env.ledger ~amount:capacity
+    ~n:(3 * cfg.ring_size);
+  let ea = Party.est_create cfg Tp.Alice ga ~id ~wallet:wallet_a ~bal_a ~bal_b in
+  let eb = Party.est_create cfg Tp.Bob gb ~id ~wallet:wallet_b ~bal_a ~bal_b in
+  match Driver.run_est ~mode:transport env rep ea eb with
+  | Error e -> Error e
+  | Ok () -> (
+      match (Party.est_finish ea env, Party.est_finish eb env) with
       | Error e, _ | _, Error e -> Error e
-      | Ok ja, Ok jb ->
-          (* VCOF roots; the *pre-randomization* roots go to escrow. *)
-          let root_a = Monet_vcof.Vcof.sw_gen ga in
-          let root_b = Monet_vcof.Vcof.sw_gen gb in
-          (* Channel-private randomizers, derived from the 2-party DH
-             secret so both parties (and nobody else) can compute them. *)
-          let dh = Point.mul sk_a jb.Tp.my_vk (* = sk_a·vk_B = sk_b·vk_A *) in
-          let rand_of role =
-            Sc.of_hash "chan-randomizer" [ Point.encode dh; string_of_int id; role ]
-          in
-          let r_a = rand_of "A" and r_b = rand_of "B" in
-          let chain_root_a = Monet_vcof.Vcof.randomize root_a ~r:r_a in
-          let chain_root_b = Monet_vcof.Vcof.randomize root_b ~r:r_b in
-          (* Escrow the roots. *)
-          let pks = Monet_kes.Escrow.public_keys env.escrowers in
-          let deal_a =
-            Monet_pvss.Pvss.deal ga ~secret:root_a.Monet_vcof.Vcof.wit
-              ~t:cfg.escrow_threshold
-              ~escrower_pks:(Array.sub pks 0 cfg.n_escrowers)
-          in
-          let deal_b =
-            Monet_pvss.Pvss.deal gb ~secret:root_b.Monet_vcof.Vcof.wit
-              ~t:cfg.escrow_threshold
-              ~escrower_pks:(Array.sub pks 0 cfg.n_escrowers)
-          in
-          let kes_instance = id in
-          let tag_a = Monet_kes.Escrow.tag ~instance:kes_instance ~party:"A" in
-          let tag_b = Monet_kes.Escrow.tag ~instance:kes_instance ~party:"B" in
-          (match
-             ( Monet_kes.Escrow.distribute env.escrowers ~tag:tag_a deal_a,
-               Monet_kes.Escrow.distribute env.escrowers ~tag:tag_b deal_b )
-           with
-          | Error e, _ | _, Error e -> Error e
-          | Ok (), Ok () ->
-              (* Each party checks the counterparty's escrow binds the
-                 (de-randomized) chain root it announced. *)
-              let binding_ok root_pub deal r =
-                Point.equal
-                  (Point.add (Monet_pvss.Pvss.secret_commitment deal) (Point.mul_base r))
-                  root_pub
-              in
-              if
-                not
-                  (binding_ok chain_root_b.Monet_vcof.Vcof.stmt deal_b r_b
-                  && binding_ok chain_root_a.Monet_vcof.Vcof.stmt deal_a r_a)
-              then Error "escrow does not bind the announced chain root"
-              else begin
-                (* 2P-CLRAS initial statements (2 messages). *)
-                let ca, ma0 = Monet_cas.Clras.init ?reps:cfg.vcof_reps ~root:chain_root_a ga ja in
-                let cb, mb0 = Monet_cas.Clras.init ?reps:cfg.vcof_reps ~root:chain_root_b gb jb in
-                add_msg rep ~bytes:(Monet_util.Wire.size Monet_cas.Clras.encode_stmt_msg ma0);
-                add_msg rep ~bytes:(Monet_util.Wire.size Monet_cas.Clras.encode_stmt_msg mb0);
-                rep.rounds <- rep.rounds + 1;
-                begin match (Monet_cas.Clras.receive ca mb0, Monet_cas.Clras.receive cb ma0) with
-                | Error e, _ | _, Error e -> Error e
-                | Ok (), Ok () -> (
-                    (* KES instance (2 script transactions). *)
-                    let kp_a = Monet_kes.Kes_client.make_party ga ~addr:(Printf.sprintf "0xA%d" id) in
-                    let kp_b = Monet_kes.Kes_client.make_party gb ~addr:(Printf.sprintf "0xB%d" id) in
-                    let digest = Monet_kes.Escrow.escrow_digest deal_a deal_b in
-                    let r1 =
-                      Monet_kes.Kes_client.call_deploy_instance env.script
-                        ~contract:env.kes_contract kp_a ~id:kes_instance
-                        ~vk_a:kp_a.Monet_kes.Kes_client.p_kp.vk
-                        ~vk_b:kp_b.Monet_kes.Kes_client.p_kp.vk ~escrow_digest:digest
-                    in
-                    let r2 =
-                      Monet_kes.Kes_client.call_add_ok env.script ~contract:env.kes_contract
-                        kp_b ~id:kes_instance
-                    in
-                    rep.script_txs <- rep.script_txs + 2;
-                    rep.script_gas <-
-                      rep.script_gas + r1.Monet_script.Chain.r_gas + r2.Monet_script.Chain.r_gas;
-                    match (r1.Monet_script.Chain.r_ok, r2.Monet_script.Chain.r_ok) with
-                    | Error e, _ | _, Error e -> Error ("kes: " ^ e)
-                    | Ok _, Ok _ -> (
-                        (* Funding transaction. *)
-                        let capacity = bal_a + bal_b in
-                        Monet_xmr.Ledger.ensure_decoys env.env_g env.ledger ~amount:capacity
-                          ~n:(3 * cfg.ring_size);
-                        match
-                          funding_tx env ~wallet_a ~wallet_b ~joint_out:ja.Tp.vk ~bal_a
-                            ~bal_b rep
-                        with
-                        | Error e -> Error e
-                        | Ok ftx -> (
-                            match Monet_xmr.Ledger.submit env.ledger ftx with
-                            | Error e -> Error ("funding: " ^ e)
-                            | Ok () ->
-                                ignore (Monet_xmr.Ledger.mine env.ledger);
-                                rep.monero_txs <- rep.monero_txs + 1;
-                                (* Locate the joint output's global index. *)
-                                let funding_outpoint = ref (-1) in
-                                for i = 0 to Monet_xmr.Ledger.output_count env.ledger - 1 do
-                                  match Monet_xmr.Ledger.get_output env.ledger i with
-                                  | Some e when Point.equal e.Monet_xmr.Ledger.out.Monet_xmr.Tx.otk ja.Tp.vk ->
-                                      funding_outpoint := i
-                                  | _ -> ()
-                                done;
-                                let dummy_kp = Monet_sig.Sig_core.gen ga in
-                                let dummy_commit =
-                                  { Monet_kes.Kes_contract.cm_state = 0; cm_digest = "";
-                                    cm_sig_a = { Monet_sig.Sig_core.h = Sc.zero; s = Sc.zero };
-                                    cm_sig_b = { Monet_sig.Sig_core.h = Sc.zero; s = Sc.zero } }
-                                in
-                                let dummy_tx =
-                                  { Monet_xmr.Tx.inputs = []; outputs = []; fee = 0; extra = "" }
-                                in
-                                let dummy_presig =
-                                  { Monet_sig.Lsag.p_c0 = Sc.zero; p_ss = [||];
-                                    p_key_image = ja.Tp.key_image; p_pi = 0 }
-                                in
-                                let mk role g joint clras kes_party my_root =
-                                  {
-                                    cfg; role; g; joint; clras; kes_party; kes_instance; my_root;
-                                    batch = None; state = 0;
-                                    my_balance = (if role = Tp.Alice then bal_a else bal_b);
-                                    their_balance = (if role = Tp.Alice then bal_b else bal_a);
-                                    capacity; funding_outpoint = !funding_outpoint;
-                                    commit_tx = dummy_tx; commit_ring = [||];
-                                    presig = dummy_presig; my_out_kp = dummy_kp;
-                                    out_keys = [];
-                                    kes_commit = dummy_commit; presig_history = [];
-                                    lock = None; closed = false;
-                                  }
-                                in
-                                let a = mk Tp.Alice ga ja ca kp_a chain_root_a in
-                                let b = mk Tp.Bob gb jb cb kp_b chain_root_b in
-                                let c = { a; b; env; id } in
-                                (match refresh_state c rep with
-                                | Error e -> Error e
-                                | Ok () ->
-                                    Log.info (fun m ->
-                                        m "channel %d open: capacity=%d, funding outpoint=%d"
-                                          id capacity !funding_outpoint);
-                                    Ok (c, rep)))))
-                end
-              end))
-
-(* --- precomputed batches (the paper's optimization, Table I) --- *)
-
-(* One party's batch announcement: per future state, both statement
-   legs, a leg-consistency proof and the consecutiveness step proof. *)
-type batch_entry = {
-  be_stmt : Monet_sig.Stmt.t;
-  be_leg_proof : Monet_sigma.Dleq.proof;
-  be_step_proof : Monet_vcof.Vcof.proof;
-}
-
-let encode_batch_entry w (e : batch_entry) =
-  Monet_sig.Stmt.encode w e.be_stmt;
-  Monet_sigma.Dleq.encode_proof w e.be_leg_proof;
-  Monet_sigma.Stadler.encode w e.be_step_proof
-
-(* Precompute [n] future pairs for [p], returning the announcement. *)
-let precompute_side (p : party) ~(n : int) : Monet_vcof.Vcof.pair array * batch_entry array =
-  let pp = p.clras.Monet_cas.Clras.pp in
-  let current = p.clras.Monet_cas.Clras.mine in
-  let pairs = Array.make (n + 1) current in
-  let entries =
-    Array.init n (fun i ->
-        let next, step_proof =
-          Monet_vcof.Vcof.new_sw ?reps:p.cfg.vcof_reps p.g pairs.(i) ~pp
-        in
-        pairs.(i + 1) <- next;
-        let be_stmt =
-          { Monet_sig.Stmt.yg = next.Monet_vcof.Vcof.stmt;
-            yhp = Point.mul next.Monet_vcof.Vcof.wit p.joint.Tp.hp }
-        in
-        let be_leg_proof =
-          Monet_sigma.Dleq.prove ~context:"clras-legs" p.g ~x:next.Monet_vcof.Vcof.wit
-            ~g1:Point.base ~g2:p.joint.Tp.hp
-        in
-        { be_stmt; be_leg_proof; be_step_proof = step_proof })
-  in
-  (pairs, entries)
-
-(* Verify a counterparty's batch announcement against their current
-   statement, returning the accepted statements. *)
-let verify_batch (p : party) (entries : batch_entry array) :
-    (Monet_sig.Stmt.t array, string) result =
-  let pp = p.clras.Monet_cas.Clras.pp in
-  let prev = ref p.clras.Monet_cas.Clras.their_stmt.Monet_sig.Stmt.yg in
-  let ok = ref true and err = ref "" in
-  Array.iteri
-    (fun i e ->
-      if !ok then begin
-        if
-          not
-            (Monet_sigma.Dleq.verify ~context:"clras-legs" ~g1:Point.base
-               ~h1:e.be_stmt.Monet_sig.Stmt.yg ~g2:p.joint.Tp.hp
-               ~h2:e.be_stmt.Monet_sig.Stmt.yhp e.be_leg_proof)
-        then begin
-          ok := false;
-          err := Printf.sprintf "batch entry %d: legs inconsistent" i
-        end
-        else if
-          not
-            (Monet_vcof.Vcof.c_vrfy ~pp ~prev:!prev ~next:e.be_stmt.Monet_sig.Stmt.yg
-               e.be_step_proof)
-        then begin
-          ok := false;
-          err := Printf.sprintf "batch entry %d: not consecutive" i
-        end
-        else prev := e.be_stmt.Monet_sig.Stmt.yg
-      end)
-    entries;
-  if !ok then Ok (Array.map (fun e -> e.be_stmt) entries) else Error !err
-
-(** Precompute and exchange a batch of [n] statement-witness pairs for
-    both parties — the optimized mode's setup cost. *)
-let exchange_batches (c : channel) ~(n : int) : (report, string) result =
-  let rep = fresh_report () in
-  let pairs_a, entries_a = precompute_side c.a ~n in
-  let pairs_b, entries_b = precompute_side c.b ~n in
-  let bytes entries =
-    Array.fold_left
-      (fun acc e -> acc + Monet_util.Wire.size encode_batch_entry e)
-      4 entries
-  in
-  add_msg rep ~bytes:(bytes entries_a);
-  add_msg rep ~bytes:(bytes entries_b);
-  rep.rounds <- rep.rounds + 1;
-  match (verify_batch c.a entries_b, verify_batch c.b entries_a) with
-  | Error e, _ | _, Error e -> Error e
-  | Ok stmts_b, Ok stmts_a ->
-      c.a.batch <-
-        Some { my_pairs = pairs_a; their_stmts = stmts_b; base_state = c.a.state };
-      c.b.batch <-
-        Some { my_pairs = pairs_b; their_stmts = stmts_a; base_state = c.b.state };
-      Ok rep
-
-(* Advance both parties' CLRAS state to [new_state], either from the
-   precomputed batch (optimized) or by running NewSW + exchange
-   (original mode). *)
-let advance_statements (c : channel) (rep : report) : (unit, string) result =
-  let from_batch (p : party) =
-    match p.batch with
-    | Some b ->
-        let off = p.state - b.base_state in
-        if off >= 1 && off < Array.length b.my_pairs && off <= Array.length b.their_stmts
-        then begin
-          let st = p.clras in
-          st.Monet_cas.Clras.mine <- b.my_pairs.(off);
-          st.Monet_cas.Clras.index <- p.state;
-          st.Monet_cas.Clras.my_stmt <-
-            { Monet_sig.Stmt.yg = b.my_pairs.(off).Monet_vcof.Vcof.stmt;
-              yhp = Point.mul b.my_pairs.(off).Monet_vcof.Vcof.wit p.joint.Tp.hp };
-          st.Monet_cas.Clras.their_index <- p.state;
-          st.Monet_cas.Clras.their_stmt <- b.their_stmts.(off - 1);
-          true
-        end
-        else false
-    | None -> false
-  in
-  if from_batch c.a then
-    if from_batch c.b then Ok () else Error "batch desync between parties"
-  else begin
-    (* Original mode: NewSW on both sides and exchange (2 messages). *)
-    let ma = Monet_cas.Clras.advance c.a.g c.a.clras in
-    let mb = Monet_cas.Clras.advance c.b.g c.b.clras in
-    add_msg rep ~bytes:(Monet_util.Wire.size Monet_cas.Clras.encode_stmt_msg ma);
-    add_msg rep ~bytes:(Monet_util.Wire.size Monet_cas.Clras.encode_stmt_msg mb);
-    rep.rounds <- rep.rounds + 1;
-    match (Monet_cas.Clras.receive c.a.clras mb, Monet_cas.Clras.receive c.b.clras ma) with
-    | Ok (), Ok () -> Ok ()
-    | Error e, _ | _, Error e -> Error e
-  end
+      | Ok a, Ok b -> (
+          let c = { Driver.a; b; env; id; transport; trace = [] } in
+          (* The state-0 commitment. *)
+          match Driver.refresh c rep ~starter:Party.begin_first with
+          | Error e -> Error e
+          | Ok () ->
+              Log.info (fun m ->
+                  m "channel %d open: capacity=%d, funding outpoint=%d" id capacity
+                    a.Party.funding_outpoint);
+              Ok (c, rep)))
 
 (* --- channel update (one off-chain payment) --- *)
 
-let check_open (c : channel) : (unit, string) result =
-  if c.a.closed || c.b.closed then Error "channel closed"
-  else if c.a.lock <> None then Error "channel has a pending lock"
-  else Ok ()
-
 (** Transfer [amount_from_a] (negative: B pays A) by re-signing the
     next state. Returns the phase report. *)
-let update (c : channel) ~(amount_from_a : int) : (report, string) result =
-  let rep = fresh_report () in
+let update (c : channel) ~(amount_from_a : int) : (report, error) result =
+  let rep = Report.fresh () in
   match check_open c with
   | Error e -> Error e
   | Ok () ->
       let new_a = c.a.my_balance - amount_from_a in
       let new_b = c.b.my_balance + amount_from_a in
-      if new_a < 0 || new_b < 0 then Error "insufficient channel balance"
+      if new_a < 0 || new_b < 0 then
+        Error (Errors.Insufficient_funds "channel balance")
       else begin
-        c.a.state <- c.a.state + 1;
-        c.b.state <- c.b.state + 1;
-        match advance_statements c rep with
+        match
+          Driver.refresh c rep ~starter:(fun p -> Party.begin_update p ~amount_from_a)
+        with
         | Error e -> Error e
         | Ok () ->
-            c.a.my_balance <- new_a;
-            c.a.their_balance <- new_b;
-            c.b.my_balance <- new_b;
-            c.b.their_balance <- new_a;
-            (match refresh_state c rep with
-            | Error e -> Error e
-            | Ok () ->
-                Log.debug (fun m ->
-                    m "channel %d state %d: balances %d/%d" c.id c.a.state new_a new_b);
-                Ok rep)
+            Log.debug (fun m ->
+                m "channel %d state %d: balances %d/%d" c.id c.a.state new_a new_b);
+            Ok rep
       end
 
 (* --- AMHL lock / unlock / cancel (one hop of a multi-hop payment) --- *)
@@ -694,659 +208,68 @@ let update (c : channel) ~(amount_from_a : int) : (report, string) result =
     pre-signature is incomplete: completing it requires the lock
     witness on top of the state witnesses. *)
 let lock (c : channel) ~(payer : Tp.role) ~(amount : int)
-    ~(lock_stmt : Monet_sig.Stmt.t) ~(timer : int) : (report, string) result =
-  let rep = fresh_report () in
+    ~(lock_stmt : Monet_sig.Stmt.t) ~(timer : int) : (report, error) result =
+  let rep = Report.fresh () in
   match check_open c with
   | Error e -> Error e
   | Ok () ->
-      let payer_is_alice = payer = Tp.Alice in
-      let delta = if payer_is_alice then amount else -amount in
-      let new_a = c.a.my_balance - delta and new_b = c.b.my_balance + delta in
-      if new_a < 0 || new_b < 0 then Error "insufficient balance for lock"
-      else begin
-        let prev_presig = c.a.presig in
-        c.a.state <- c.a.state + 1;
-        c.b.state <- c.b.state + 1;
-        match advance_statements c rep with
-        | Error e -> Error e
-        | Ok () ->
-            c.a.my_balance <- new_a;
-            c.a.their_balance <- new_b;
-            c.b.my_balance <- new_b;
-            c.b.their_balance <- new_a;
-            (match refresh_state c ~extra_stmt:lock_stmt rep with
-            | Error e -> Error e
-            | Ok () ->
-                let lk =
-                  {
-                    lk_stmt = lock_stmt; lk_amount = amount; lk_payer_is_alice = payer_is_alice;
-                    lk_presig = c.a.presig; lk_prefix = Monet_xmr.Tx.prefix_bytes c.a.commit_tx;
-                    lk_tx = c.a.commit_tx; lk_ring = c.a.commit_ring; lk_timer = timer;
-                    lk_prev_presig = prev_presig;
-                  }
-                in
-                c.a.lock <- Some lk;
-                c.b.lock <- Some lk;
-                Ok rep)
-      end
+      let delta = if payer = Tp.Alice then amount else -amount in
+      if c.a.my_balance - delta < 0 || c.b.my_balance + delta < 0 then
+        Error (Errors.Insufficient_funds "balance for lock")
+      else
+        Driver.refresh c rep ~starter:(fun p ->
+            Party.begin_lock p ~payer ~amount ~lock_stmt ~timer)
+        |> Result.map (fun () -> rep)
 
 (** Unlock with the lock witness [y] (provided by the in-channel
-    payee): both parties complete the pre-signature into a normal
-    state pre-signature; the payer learns [y] by extraction. *)
-let unlock (c : channel) ~(y : Sc.t) : (report * Sc.t, string) result =
-  let rep = fresh_report () in
+    payee): the payee completes the pre-signature and sends it over;
+    the payer learns [y] by extraction. *)
+let unlock (c : channel) ~(y : Sc.t) : (report * Sc.t, error) result =
+  let rep = Report.fresh () in
   match c.a.lock with
-  | None -> Error "no pending lock"
-  | Some lk ->
-      if not (Point.equal lk.lk_stmt.Monet_sig.Stmt.yg (Point.mul_base y)) then
-        Error "lock witness does not open the lock statement"
-      else begin
-        let completed = Monet_sig.Lsag.partial_adapt lk.lk_presig ~y in
-        (* The payee sends the completed pre-signature (1 message); the
-           payer extracts y from it. *)
-        add_msg rep ~bytes:(32 * Array.length completed.Monet_sig.Lsag.p_ss);
-        rep.rounds <- rep.rounds + 1;
-        let extracted = Monet_sig.Lsag.ext_partial completed lk.lk_presig in
-        List.iter
-          (fun (p : party) ->
-            p.presig <- completed;
-            p.presig_history <-
-              (p.state, lk.lk_prefix, completed, lk.lk_tx)
-              :: List.filter (fun (s, _, _, _) -> s <> p.state) p.presig_history;
-            p.lock <- None)
-          [ c.a; c.b ];
-        Ok (rep, extracted)
-      end
+  | None -> Error Errors.No_pending_lock
+  | Some lk -> (
+      let payee, payer = if lk.lk_payer_is_alice then (c.b, c.a) else (c.a, c.b) in
+      match Party.begin_unlock payee ~y with
+      | Error e -> Error e
+      | Ok msgs -> (
+          let init_a, init_b = if payee == c.a then (msgs, []) else ([], msgs) in
+          match Driver.run c rep ~init_a ~init_b with
+          | Error e -> Error e
+          | Ok () -> (
+              match payer.extracted with
+              | Some ext ->
+                  payer.extracted <- None;
+                  Ok (rep, ext)
+              | None -> Error (Errors.Bad_state "lock witness was not extracted"))))
 
 (** Cancel a pending lock cooperatively: jump to state +1 with the
     pre-lock balances (the paper's Ch.State + 2 path). *)
-let cancel_lock (c : channel) : (report, string) result =
+let cancel_lock (c : channel) : (report, error) result =
+  let rep = Report.fresh () in
   match c.a.lock with
-  | None -> Error "no pending lock"
-  | Some lk ->
-      let rep = fresh_report () in
-      (* Undo the optimistic balance shift. *)
-      let delta = if lk.lk_payer_is_alice then lk.lk_amount else -lk.lk_amount in
-      c.a.my_balance <- c.a.my_balance + delta;
-      c.a.their_balance <- c.a.their_balance - delta;
-      c.b.my_balance <- c.b.my_balance - delta;
-      c.b.their_balance <- c.b.their_balance + delta;
-      c.a.lock <- None;
-      c.b.lock <- None;
-      c.a.state <- c.a.state + 1;
-      c.b.state <- c.b.state + 1;
-      match advance_statements c rep with
-      | Error e -> Error e
-      | Ok () -> (
-          match refresh_state c rep with Error e -> Error e | Ok () -> Ok rep)
+  | None -> Error Errors.No_pending_lock
+  | Some _ ->
+      Driver.refresh c rep ~starter:Party.begin_cancel |> Result.map (fun () -> rep)
 
-(* --- closure --- *)
+(* --- precomputed batches (the paper's optimization, Table I) --- *)
 
-type payout = { pay_a : int; pay_b : int; close_tx : Monet_xmr.Tx.t }
+(** Precompute and exchange a batch of [n] statement-witness pairs for
+    both parties — the optimized mode's setup cost. *)
+let exchange_batches (c : channel) ~(n : int) : (report, error) result =
+  let rep = Report.fresh () in
+  let _, entries_a = Party.precompute_batch c.a ~n in
+  let _, entries_b = Party.precompute_batch c.b ~n in
+  Driver.run c rep ~init_a:[ Msg.Batch_announce entries_a ]
+    ~init_b:[ Msg.Batch_announce entries_b ]
+  |> Result.map (fun () -> rep)
 
-(* Submit the adapted commitment and mine it. *)
-let settle (c : channel) ?(priority = 0) (sg : Monet_sig.Lsag.signature)
-    (tx : Monet_xmr.Tx.t) (rep : report) : (payout, string) result =
-  let signed =
-    { tx with
-      Monet_xmr.Tx.inputs =
-        List.map (fun (i : Monet_xmr.Tx.input) -> { i with signature = sg }) tx.inputs
-    }
-  in
-  match Monet_xmr.Ledger.submit ~priority c.env.ledger signed with
-  | Error e -> Error ("close: " ^ e)
-  | Ok () ->
-      ignore (Monet_xmr.Ledger.mine c.env.ledger);
-      rep.monero_txs <- rep.monero_txs + 1;
-      Log.info (fun m -> m "channel %d settled on-chain at state %d" c.id c.a.state);
-      c.a.closed <- true;
-      c.b.closed <- true;
-      (* A party's payout is whatever outputs pay to any of its
-         per-state keys (old states stay claimable after disputes). *)
-      let pay_of (keys : Monet_sig.Sig_core.keypair list) =
-        List.fold_left
-          (fun acc (o : Monet_xmr.Tx.output) ->
-            if List.exists (fun (k : Monet_sig.Sig_core.keypair) -> Point.equal o.otk k.vk) keys
-            then acc + o.amount
-            else acc)
-          0 signed.Monet_xmr.Tx.outputs
-      in
-      Ok { pay_a = pay_of c.a.out_keys; pay_b = pay_of c.b.out_keys; close_tx = signed }
+(* --- closure, revocation, splicing (see the dedicated modules) --- *)
 
-(** Cooperative close: exchange latest witnesses, adapt, settle, and
-    terminate the KES instance. *)
-let cooperative_close (c : channel) : (payout * report, string) result =
-  let rep = fresh_report () in
-  if c.a.closed then Error "channel closed"
-  else if c.a.lock <> None then Error "resolve the pending lock first"
-  else begin
-    let wa = Monet_cas.Clras.my_witness c.a.clras in
-    let wb = Monet_cas.Clras.my_witness c.b.clras in
-    add_msg rep ~bytes:32;
-    add_msg rep ~bytes:32;
-    rep.rounds <- rep.rounds + 1;
-    if not (Monet_cas.Clras.witness_opens c.a.clras wb) then
-      Error "bob's witness does not open his statement"
-    else if not (Monet_cas.Clras.witness_opens c.b.clras wa) then
-      Error "alice's witness does not open her statement"
-    else begin
-      let sg = Monet_cas.Clras.adapt c.a.presig ~wa ~wb in
-      match settle c sg c.a.commit_tx rep with
-      | Error e -> Error e
-      | Ok payout ->
-          (* Terminate the KES instance with the final cross-signed
-             commit (the no-dispute script path). *)
-          let r =
-            Monet_kes.Kes_client.call_close c.env.script ~contract:c.env.kes_contract
-              c.a.kes_party ~id:c.a.kes_instance c.a.kes_commit
-          in
-          rep.script_txs <- rep.script_txs + 1;
-          rep.script_gas <- rep.script_gas + r.Monet_script.Chain.r_gas;
-          (match r.Monet_script.Chain.r_ok with
-          | Ok _ -> Ok (payout, rep)
-          | Error e -> Error ("kes close: " ^ e))
-    end
-  end
-
-(* A party's own witness at any past state re-derives from its chain
-   root (forward derivation only — the chain is one-way). *)
-let my_witness_at (p : party) ~(state : int) : Sc.t =
-  Monet_vcof.Vcof.derive_n ~pp:p.clras.Monet_cas.Clras.pp
-    p.my_root.Monet_vcof.Vcof.wit state
-
-(** Unilateral close through the KES (the dispute path). [proposer]
-    opens a dispute with the latest cross-signed commit. If the
-    counterparty is [responsive], it answers and the channel settles
-    cooperatively; otherwise the timer expires, the KES releases the
-    counterparty's escrowed root witness, and the proposer derives the
-    latest witness forward and settles alone. *)
-let dispute_close (c : channel) ~(proposer : Tp.role) ~(responsive : bool) :
-    (payout * report, string) result =
-  let rep = fresh_report () in
-  if c.a.closed then Error "channel closed"
-  else begin
-    let p = if proposer = Tp.Alice then c.a else c.b in
-    let q = other c p in
-    let r1 =
-      Monet_kes.Kes_client.call_set_timer c.env.script ~contract:c.env.kes_contract
-        p.kes_party ~id:p.kes_instance ~tau:p.cfg.kes_tau p.kes_commit
-    in
-    rep.script_txs <- rep.script_txs + 1;
-    rep.script_gas <- rep.script_gas + r1.Monet_script.Chain.r_gas;
-    match r1.Monet_script.Chain.r_ok with
-    | Error e -> Error ("set_timer: " ^ e)
-    | Ok _ ->
-        if responsive && p.lock <> None then
-          Error "cancel the pending lock before a cooperative settlement"
-        else if responsive then begin
-          let r2 =
-            Monet_kes.Kes_client.call_resp c.env.script ~contract:c.env.kes_contract
-              q.kes_party ~id:q.kes_instance q.kes_commit
-          in
-          rep.script_txs <- rep.script_txs + 1;
-          rep.script_gas <- rep.script_gas + r2.Monet_script.Chain.r_gas;
-          match r2.Monet_script.Chain.r_ok with
-          | Error e -> Error ("resp: " ^ e)
-          | Ok _ -> (
-              (* Terminated without key release: settle cooperatively. *)
-              let wa = Monet_cas.Clras.my_witness c.a.clras in
-              let wb = Monet_cas.Clras.my_witness c.b.clras in
-              add_msg rep ~bytes:32;
-              add_msg rep ~bytes:32;
-              rep.rounds <- rep.rounds + 1;
-              let sg = Monet_cas.Clras.adapt c.a.presig ~wa ~wb in
-              match settle c sg c.a.commit_tx rep with
-              | Error e -> Error e
-              | Ok payout -> Ok (payout, rep))
-        end
-        else begin
-          (* Timer expires unanswered. *)
-          Monet_script.Chain.advance_time c.env.script (p.cfg.kes_tau + 1);
-          let r3 =
-            Monet_kes.Kes_client.call_timeout c.env.script ~contract:c.env.kes_contract
-              p.kes_party ~id:p.kes_instance
-          in
-          rep.script_txs <- rep.script_txs + 1;
-          rep.script_gas <- rep.script_gas + r3.Monet_script.Chain.r_gas;
-          match r3.Monet_script.Chain.r_ok with
-          | Error e -> Error ("timeout: " ^ e)
-          | Ok _ ->
-              if
-                not
-                  (Monet_kes.Kes_client.key_released r3.Monet_script.Chain.r_events
-                     ~id:p.kes_instance ~addr:p.kes_party.Monet_kes.Kes_client.p_addr)
-              then Error "no key release event"
-              else begin
-                (* Reconstruct the counterparty's root witness from the
-                   escrowers, re-apply the channel randomizer, derive
-                   forward to the current state and settle. *)
-                let tag =
-                  Monet_kes.Escrow.tag ~instance:p.kes_instance
-                    ~party:(if q.role = Tp.Alice then "A" else "B")
-                in
-                match Monet_kes.Escrow.release_and_reconstruct c.env.escrowers ~tag with
-                | Error e -> Error ("escrow: " ^ e)
-                | Ok root_wit ->
-                    let dh = Point.mul p.joint.Tp.my_sk p.joint.Tp.their_vk in
-                    let r_q =
-                      Sc.of_hash "chan-randomizer"
-                        [ Point.encode dh; string_of_int c.id;
-                          (if q.role = Tp.Alice then "A" else "B") ]
-                    in
-                    let their_root = Sc.add root_wit r_q in
-                    (* A pending lock's pre-signature cannot complete
-                       (its lock witness is missing): the dispute then
-                       settles at the last fully-signed state, i.e. the
-                       pre-lock one. *)
-                    let target_state = if p.lock = None then p.state else p.state - 1 in
-                    (match
-                       List.find_opt (fun (st, _, _, _) -> st = target_state)
-                         p.presig_history
-                     with
-                    | None -> Error "no settleable state in history"
-                    | Some (_, _, presig, tx) ->
-                        let their_wit =
-                          Monet_vcof.Vcof.derive_n ~pp:p.clras.Monet_cas.Clras.pp
-                            their_root target_state
-                        in
-                        let my_wit = my_witness_at p ~state:target_state in
-                        let wa, wb =
-                          if p.role = Tp.Alice then (my_wit, their_wit)
-                          else (their_wit, my_wit)
-                        in
-                        let sg = Monet_cas.Clras.adapt presig ~wa ~wb in
-                        (match settle c sg tx rep with
-                        | Error e -> Error e
-                        | Ok payout -> Ok (payout, rep)))
-              end
-        end
-  end
-
-(* --- revocation: old-state cheating and punishment --- *)
-
-(** Adversary helper: [cheater] submits (without mining) the old
-    [state]'s commitment, supplying the victim's old witness
-    [victim_old_wit] (modelling a leak/compromise — honest runs never
-    reveal it). Returns the submitted transaction. *)
-let submit_old_state (c : channel) ~(cheater : Tp.role) ~(state : int)
-    ~(victim_old_wit : Sc.t) : (Monet_xmr.Tx.t, string) result =
-  let p = if cheater = Tp.Alice then c.a else c.b in
-  match List.find_opt (fun (s, _, _, _) -> s = state) p.presig_history with
-  | None -> Error "no presignature for that state"
-  | Some (_, _, presig, tx) ->
-      let my_old = my_witness_at p ~state in
-      let wa, wb =
-        if p.role = Tp.Alice then (my_old, victim_old_wit)
-        else (victim_old_wit, my_old)
-      in
-      let sg = Monet_cas.Clras.adapt presig ~wa ~wb in
-      let signed =
-        { tx with
-          Monet_xmr.Tx.inputs =
-            List.map
-              (fun (i : Monet_xmr.Tx.input) -> { i with signature = sg })
-              tx.inputs
-        }
-      in
-      (match Monet_xmr.Ledger.submit c.env.ledger signed with
-      | Error e -> Error ("cheat submit: " ^ e)
-      | Ok () -> Ok signed)
-
-(** Watch the mempool: if a commitment transaction for an old state of
-    this channel shows up, extract the combined witness from its ring
-    signature, derive the counterparty's latest witness forward, adapt
-    the latest pre-signature and replace the cheating transaction
-    (priority race). Returns the payout if punishment succeeded. *)
-let watch_and_punish (c : channel) ~(victim : Tp.role) : (payout, string) result =
-  let p = if victim = Tp.Alice then c.a else c.b in
-  let latest_prefix = Monet_xmr.Tx.prefix_bytes p.commit_tx in
-  let ki = p.joint.Tp.key_image in
-  let offending =
-    List.find_opt
-      (fun (_, (tx : Monet_xmr.Tx.t)) ->
-        List.exists
-          (fun (i : Monet_xmr.Tx.input) -> Point.equal i.key_image ki)
-          tx.inputs
-        && Monet_xmr.Tx.prefix_bytes tx <> latest_prefix)
-      c.env.ledger.Monet_xmr.Ledger.mempool
-  in
-  match offending with
-  | None -> Error "no cheating transaction observed"
-  | Some (_, tx) -> (
-      let prefix = Monet_xmr.Tx.prefix_bytes tx in
-      match
-        List.find_opt (fun (_, pf, _, _) -> pf = prefix) p.presig_history
-      with
-      | None -> Error "offending tx does not match any known state"
-      | Some (old_state, _, old_presig, _) ->
-          let sg =
-            match tx.Monet_xmr.Tx.inputs with
-            | [ i ] -> i.signature
-            | _ -> invalid_arg "commitment has one input"
-          in
-          let combined = Monet_cas.Clras.ext sg old_presig in
-          let my_old = my_witness_at p ~state:old_state in
-          let their_old = Sc.sub combined my_old in
-          let steps = p.state - old_state in
-          let their_latest =
-            Monet_vcof.Vcof.derive_n ~pp:p.clras.Monet_cas.Clras.pp their_old steps
-          in
-          let my_latest = Monet_cas.Clras.my_witness p.clras in
-          let wa, wb =
-            if p.role = Tp.Alice then (my_latest, their_latest)
-            else (their_latest, my_latest)
-          in
-          let latest_sg = Monet_cas.Clras.adapt p.presig ~wa ~wb in
-          let rep = fresh_report () in
-          settle c ~priority:1 latest_sg p.commit_tx rep)
-
-(* --- splicing: on-chain top-up without closing ------------------------- *)
-
-(** Splice-in: [funder] adds [amount] from its wallet to the channel
-    without settling balances on-chain. A splice *re-keys* the
-    channel: the old joint one-time key's image is consumed by the
-    splice transaction, so the enlarged funding output must pay a
-    fresh joint key (Monero's fresh-key policy applies to channels
-    too). The splice transaction spends the old joint output
-    (co-signed with the 2-party ring protocol — on-chain it looks like
-    any other spend) together with the funder's coins; the parties
-    then run fresh key generation, fresh (escrowed, re-randomized)
-    VCOF roots and a fresh KES instance, and the channel continues at
-    the combined balances. Returns the re-anchored channel; the old
-    handle is marked closed. *)
-let splice_in (c : channel) ~(funder : Tp.role) ~(amount : int)
-    ~(wallet : Monet_xmr.Wallet.t) : (channel * report, string) result =
-  let rep = fresh_report () in
-  match check_open c with
-  | Error e -> Error e
-  | Ok () ->
-      let module W = Monet_xmr.Wallet in
-      let module L = Monet_xmr.Ledger in
-      let module T = Monet_xmr.Tx in
-      let cfg = c.a.cfg in
-      let ga = c.a.g and gb = c.b.g in
-      (* Fresh joint key (4 messages, as at establishment). *)
-      let sk_a, km_a = Tp.key_msg ga in
-      let sk_b, km_b = Tp.key_msg gb in
-      add_msg rep ~bytes:(Monet_util.Wire.size Tp.encode_key_msg km_a);
-      add_msg rep ~bytes:(Monet_util.Wire.size Tp.encode_key_msg km_b);
-      rep.rounds <- rep.rounds + 1;
-      (match (Tp.ki_msg ga ~sk:sk_a ~my:km_a ~theirs:km_b,
-              Tp.ki_msg gb ~sk:sk_b ~my:km_b ~theirs:km_a) with
-      | Error e, _ | _, Error e -> Error e
-      | Ok kia, Ok kib -> (
-          add_msg rep ~bytes:(Monet_util.Wire.size Tp.encode_ki_msg kia);
-          add_msg rep ~bytes:(Monet_util.Wire.size Tp.encode_ki_msg kib);
-          rep.rounds <- rep.rounds + 1;
-          match
-            ( Tp.finish_jgen ~role:Tp.Alice ~sk:sk_a ~my:km_a ~theirs:km_b ~my_ki:kia
-                ~their_ki:kib,
-              Tp.finish_jgen ~role:Tp.Bob ~sk:sk_b ~my:km_b ~theirs:km_a ~my_ki:kib
-                ~their_ki:kia )
-          with
-          | Error e, _ | _, Error e -> Error e
-          | Ok ja, Ok jb -> (
-              (* Funder's coins. *)
-              let rec select acc total = function
-                | _ when total >= amount -> Some (acc, total)
-                | [] -> None
-                | o :: rest -> select (o :: acc) (total + o.W.amount) rest
-              in
-              match select [] 0 wallet.W.owned with
-              | None -> Error "funder: insufficient wallet balance"
-              | Some (coins, total) -> (
-                  let new_capacity = c.a.capacity + amount in
-                  L.ensure_decoys c.env.env_g c.env.ledger ~amount:new_capacity
-                    ~n:(3 * cfg.ring_size);
-                  let joint_refs, joint_pi =
-                    commit_ring c.env c.a.joint ~funding_outpoint:c.a.funding_outpoint
-                      ~state:(c.a.state + 1000000) ~ring_size:cfg.ring_size
-                  in
-                  let joint_ring = L.ring_of_refs c.env.ledger joint_refs in
-                  let change = total - amount in
-                  let change_kp = Monet_sig.Sig_core.gen wallet.W.g in
-                  if change > 0 then
-                    wallet.W.pending_keys <- change_kp :: wallet.W.pending_keys;
-                  let coin_plan =
-                    List.map
-                      (fun o ->
-                        let refs, pi =
-                          L.sample_ring wallet.W.g c.env.ledger ~real:o.W.global_index
-                            ~ring_size:wallet.W.ring_size
-                        in
-                        let ki =
-                          Monet_sig.Lsag.key_image
-                            ~sk:o.W.keypair.Monet_sig.Sig_core.sk ~vk:o.W.keypair.vk
-                        in
-                        (o, refs, pi, ki))
-                      coins
-                  in
-                  let outputs =
-                    { T.otk = ja.Tp.vk; amount = new_capacity }
-                    :: (if change > 0 then [ { T.otk = change_kp.vk; amount = change } ]
-                        else [])
-                  in
-                  let skeleton =
-                    { T.inputs =
-                        { T.ring_refs = joint_refs; amount = c.a.capacity;
-                          key_image = c.a.joint.Tp.key_image;
-                          signature = { Monet_sig.Lsag.c0 = Sc.zero; ss = [||];
-                                        key_image = c.a.joint.Tp.key_image } }
-                        :: List.map
-                             (fun (o, refs, _, ki) ->
-                               { T.ring_refs = refs; amount = o.W.amount; key_image = ki;
-                                 signature = { Monet_sig.Lsag.c0 = Sc.zero; ss = [||];
-                                               key_image = ki } })
-                             coin_plan;
-                      outputs; fee = 0; extra = "" }
-                  in
-                  let prefix = T.prefix_bytes skeleton in
-                  (* Old joint input co-signed by both parties. *)
-                  let co_sign () =
-                    let na = Tp.nonce ga c.a.joint and nb = Tp.nonce gb c.b.joint in
-                    add_msg rep
-                      ~bytes:(Monet_util.Wire.size Tp.encode_nonce_msg na.Tp.ns_msg);
-                    add_msg rep
-                      ~bytes:(Monet_util.Wire.size Tp.encode_nonce_msg nb.Tp.ns_msg);
-                    rep.rounds <- rep.rounds + 1;
-                    match
-                      ( Tp.session c.a.joint ~ring:joint_ring ~pi:joint_pi ~msg:prefix
-                          ~stmt:Monet_sig.Stmt.zero ~mine:na ~theirs:nb.Tp.ns_msg,
-                        Tp.session c.b.joint ~ring:joint_ring ~pi:joint_pi ~msg:prefix
-                          ~stmt:Monet_sig.Stmt.zero ~mine:nb ~theirs:na.Tp.ns_msg )
-                    with
-                    | Ok sa, Ok sb ->
-                        let za = Tp.z_share c.a.joint sa na in
-                        let zb = Tp.z_share c.b.joint sb nb in
-                        add_msg rep ~bytes:32;
-                        add_msg rep ~bytes:32;
-                        rep.rounds <- rep.rounds + 1;
-                        rep.signatures <- rep.signatures + 2;
-                        if
-                          not
-                            (Tp.check_z_share c.a.joint sa ~their_nonce:nb.Tp.ns_msg
-                               ~z:zb)
-                        then Error "bad share from bob"
-                        else begin
-                          let pre = Tp.assemble sa ~my_z:za ~their_z:zb in
-                          Ok { Monet_sig.Lsag.c0 = pre.Monet_sig.Lsag.p_c0;
-                               ss = pre.Monet_sig.Lsag.p_ss;
-                               key_image = pre.Monet_sig.Lsag.p_key_image }
-                        end
-                    | Error e, _ | _, Error e -> Error e
-                  in
-                  match co_sign () with
-                  | Error e -> Error ("splice joint sig: " ^ e)
-                  | Ok joint_sig -> (
-                      let inputs =
-                        { T.ring_refs = joint_refs; amount = c.a.capacity;
-                          key_image = c.a.joint.Tp.key_image; signature = joint_sig }
-                        :: List.map
-                             (fun (o, refs, pi, ki) ->
-                               rep.signatures <- rep.signatures + 1;
-                               let ring = L.ring_of_refs c.env.ledger refs in
-                               { T.ring_refs = refs; amount = o.W.amount;
-                                 key_image = ki;
-                                 signature =
-                                   Monet_sig.Lsag.sign wallet.W.g ~ring ~pi
-                                     ~sk:o.W.keypair.Monet_sig.Sig_core.sk ~msg:prefix })
-                             coin_plan
-                      in
-                      let tx = { skeleton with T.inputs } in
-                      match L.submit c.env.ledger tx with
-                      | Error e -> Error ("splice: " ^ e)
-                      | Ok () -> (
-                          wallet.W.owned <-
-                            List.filter (fun o -> not (List.memq o coins)) wallet.W.owned;
-                          ignore (L.mine c.env.ledger);
-                          rep.monero_txs <- rep.monero_txs + 1;
-                          let new_outpoint = ref (-1) in
-                          for i = 0 to L.output_count c.env.ledger - 1 do
-                            match L.get_output c.env.ledger i with
-                            | Some e
-                              when Point.equal e.L.out.T.otk ja.Tp.vk
-                                   && e.L.out.T.amount = new_capacity ->
-                                new_outpoint := i
-                            | _ -> ()
-                          done;
-                          if !new_outpoint < 0 then Error "spliced output not found"
-                          else begin
-                            (* Fresh roots, escrow and KES instance for the
-                               re-keyed channel. *)
-
-                            let new_id = (c.id * 1000) + c.a.state + 1 in
-                            let root_a = Monet_vcof.Vcof.sw_gen ga in
-                            let root_b = Monet_vcof.Vcof.sw_gen gb in
-                            let dh = Point.mul sk_a jb.Tp.my_vk in
-                            let rand_of role =
-                              Sc.of_hash "chan-randomizer"
-                                [ Point.encode dh; string_of_int new_id; role ]
-                            in
-                            let chain_root_a =
-                              Monet_vcof.Vcof.randomize root_a ~r:(rand_of "A")
-                            in
-                            let chain_root_b =
-                              Monet_vcof.Vcof.randomize root_b ~r:(rand_of "B")
-                            in
-                            let pks = Monet_kes.Escrow.public_keys c.env.escrowers in
-                            begin
-                            let deal_a =
-                              Monet_pvss.Pvss.deal ga
-                                ~secret:root_a.Monet_vcof.Vcof.wit
-                                ~t:cfg.escrow_threshold
-                                ~escrower_pks:(Array.sub pks 0 cfg.n_escrowers)
-                            in
-                            let deal_b =
-                              Monet_pvss.Pvss.deal gb
-                                ~secret:root_b.Monet_vcof.Vcof.wit
-                                ~t:cfg.escrow_threshold
-                                ~escrower_pks:(Array.sub pks 0 cfg.n_escrowers)
-                            in
-                            match
-                              ( Monet_kes.Escrow.distribute c.env.escrowers
-                                  ~tag:(Monet_kes.Escrow.tag ~instance:new_id ~party:"A")
-                                  deal_a,
-                                Monet_kes.Escrow.distribute c.env.escrowers
-                                  ~tag:(Monet_kes.Escrow.tag ~instance:new_id ~party:"B")
-                                  deal_b )
-                            with
-                            | Error e, _ | _, Error e -> Error e
-                            | Ok (), Ok () -> (
-                                let ca, ma0 =
-                                  Monet_cas.Clras.init ?reps:cfg.vcof_reps
-                                    ~root:chain_root_a ga ja
-                                in
-                                let cb, mb0 =
-                                  Monet_cas.Clras.init ?reps:cfg.vcof_reps
-                                    ~root:chain_root_b gb jb
-                                in
-                                add_msg rep
-                                  ~bytes:(Monet_util.Wire.size
-                                            Monet_cas.Clras.encode_stmt_msg ma0);
-                                add_msg rep
-                                  ~bytes:(Monet_util.Wire.size
-                                            Monet_cas.Clras.encode_stmt_msg mb0);
-                                rep.rounds <- rep.rounds + 1;
-                                match
-                                  ( Monet_cas.Clras.receive ca mb0,
-                                    Monet_cas.Clras.receive cb ma0 )
-                                with
-                                | Error e, _ | _, Error e -> Error e
-                                | Ok (), Ok () -> (
-                                    let kp_a =
-                                      Monet_kes.Kes_client.make_party ga
-                                        ~addr:(Printf.sprintf "0xA%d" new_id)
-                                    in
-                                    let kp_b =
-                                      Monet_kes.Kes_client.make_party gb
-                                        ~addr:(Printf.sprintf "0xB%d" new_id)
-                                    in
-                                    let digest =
-                                      Monet_kes.Escrow.escrow_digest deal_a deal_b
-                                    in
-                                    let r1 =
-                                      Monet_kes.Kes_client.call_deploy_instance
-                                        c.env.script ~contract:c.env.kes_contract kp_a
-                                        ~id:new_id
-                                        ~vk_a:kp_a.Monet_kes.Kes_client.p_kp.vk
-                                        ~vk_b:kp_b.Monet_kes.Kes_client.p_kp.vk
-                                        ~escrow_digest:digest
-                                    in
-                                    let r2 =
-                                      Monet_kes.Kes_client.call_add_ok c.env.script
-                                        ~contract:c.env.kes_contract kp_b ~id:new_id
-                                    in
-                                    rep.script_txs <- rep.script_txs + 2;
-                                    rep.script_gas <-
-                                      rep.script_gas + r1.Monet_script.Chain.r_gas
-                                      + r2.Monet_script.Chain.r_gas;
-                                    match
-                                      (r1.Monet_script.Chain.r_ok,
-                                       r2.Monet_script.Chain.r_ok)
-                                    with
-                                    | Error e, _ | _, Error e -> Error ("kes: " ^ e)
-                                    | Ok _, Ok _ ->
-                                        let bal funder_role (q : party) =
-                                          if q.role = funder_role then
-                                            q.my_balance + amount
-                                          else q.my_balance
-                                        in
-                                        let new_bal_a = bal funder c.a in
-                                        let new_bal_b = bal funder c.b in
-                                        let mk role g joint clras kes_party my_root
-                                            my_bal their_bal =
-                                          { cfg; role; g; joint; clras; kes_party;
-                                            kes_instance = new_id; batch = None;
-                                            state = 0; my_balance = my_bal;
-                                            their_balance = their_bal;
-                                            capacity = new_capacity;
-                                            funding_outpoint = !new_outpoint;
-                                            commit_tx = c.a.commit_tx;
-                                            commit_ring = [||];
-                                            presig = c.a.presig;
-                                            my_out_kp = c.a.my_out_kp; out_keys = [];
-                                            kes_commit = c.a.kes_commit;
-                                            presig_history = []; my_root;
-                                            lock = None; closed = false }
-                                        in
-                                        let a' =
-                                          mk Tp.Alice ga ja ca kp_a chain_root_a
-                                            new_bal_a new_bal_b
-                                        in
-                                        let b' =
-                                          mk Tp.Bob gb jb cb kp_b chain_root_b
-                                            new_bal_b new_bal_a
-                                        in
-                                        let c' = { c with a = a'; b = b'; id = new_id } in
-                                        (match refresh_state c' rep with
-                                        | Error e -> Error e
-                                        | Ok () ->
-                                            c.a.closed <- true;
-                                            c.b.closed <- true;
-                                            Log.info (fun m ->
-                                                m
-                                                  "channel %d spliced +%d into channel %d: capacity %d"
-                                                  c.id amount new_id new_capacity);
-                                            Ok (c', rep))))
-                            end
-                          end))))))
+let settle = Close.settle
+let cooperative_close = Close.cooperative_close
+let dispute_close = Close.dispute_close
+let my_witness_at = Revoke.my_witness_at
+let submit_old_state = Revoke.submit_old_state
+let watch_and_punish = Revoke.watch_and_punish
+let splice_in = Splice.splice_in

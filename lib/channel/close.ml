@@ -1,0 +1,212 @@
+(** Channel closure: cooperative, and the KES dispute path. *)
+
+open Monet_ec
+module Tp = Monet_sig.Two_party
+module Clras = Monet_cas.Clras
+
+let log_src = Logs.Src.create "monet.channel.close" ~doc:"MoChannel closure"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type payout = { pay_a : int; pay_b : int; close_tx : Monet_xmr.Tx.t }
+
+let check_open (c : Driver.channel) : (unit, Errors.t) result =
+  if c.Driver.a.Party.closed || c.Driver.b.Party.closed then Error Errors.Closed
+  else if c.Driver.a.Party.lock <> None then Error Errors.Pending_lock
+  else Ok ()
+
+(* Submit the adapted commitment and mine it. *)
+let settle (c : Driver.channel) ?(priority = 0) (sg : Monet_sig.Lsag.signature)
+    (tx : Monet_xmr.Tx.t) (rep : Report.t) : (payout, Errors.t) result =
+  let a = c.Driver.a and b = c.Driver.b and env = c.Driver.env in
+  let signed =
+    { tx with
+      Monet_xmr.Tx.inputs =
+        List.map (fun (i : Monet_xmr.Tx.input) -> { i with signature = sg }) tx.inputs
+    }
+  in
+  match Monet_xmr.Ledger.submit ~priority env.Party.ledger signed with
+  | Error e -> Error (Errors.Chain ("close: " ^ e))
+  | Ok () ->
+      ignore (Monet_xmr.Ledger.mine env.Party.ledger);
+      rep.Report.monero_txs <- rep.Report.monero_txs + 1;
+      Log.info (fun m ->
+          m "channel %d settled on-chain at state %d" c.Driver.id a.Party.state);
+      a.Party.closed <- true;
+      b.Party.closed <- true;
+      (* A party's payout is whatever outputs pay to any of its
+         per-state keys (old states stay claimable after disputes). *)
+      let pay_of (keys : Monet_sig.Sig_core.keypair list) =
+        List.fold_left
+          (fun acc (o : Monet_xmr.Tx.output) ->
+            if
+              List.exists
+                (fun (k : Monet_sig.Sig_core.keypair) -> Point.equal o.otk k.vk)
+                keys
+            then acc + o.amount
+            else acc)
+          0 signed.Monet_xmr.Tx.outputs
+      in
+      Ok
+        { pay_a = pay_of a.Party.out_keys; pay_b = pay_of b.Party.out_keys;
+          close_tx = signed }
+
+(* Exchange state witnesses over the driver (each side checks the
+   other's opens its statement), then adapt the latest pre-signature
+   into a full ring signature. *)
+let exchange_witnesses (c : Driver.channel) (rep : Report.t) :
+    (Monet_sig.Lsag.signature, Errors.t) result =
+  let a = c.Driver.a and b = c.Driver.b in
+  match
+    Driver.run c rep ~init_a:(Party.begin_close a) ~init_b:(Party.begin_close b)
+  with
+  | Error e -> Error e
+  | Ok () ->
+      let wa = Clras.my_witness a.Party.clras in
+      let wb = Clras.my_witness b.Party.clras in
+      Ok (Clras.adapt a.Party.presig ~wa ~wb)
+
+(** Cooperative close: exchange latest witnesses, adapt, settle, and
+    terminate the KES instance. *)
+let cooperative_close (c : Driver.channel) : (payout * Report.t, Errors.t) result =
+  let rep = Report.fresh () in
+  let a = c.Driver.a and env = c.Driver.env in
+  if a.Party.closed then Error Errors.Closed
+  else if a.Party.lock <> None then
+    Error (Errors.Bad_state "resolve the pending lock first")
+  else
+    match exchange_witnesses c rep with
+    | Error e -> Error e
+    | Ok sg -> (
+        match settle c sg a.Party.commit_tx rep with
+        | Error e -> Error e
+        | Ok payout -> (
+            (* Terminate the KES instance with the final cross-signed
+               commit (the no-dispute script path). *)
+            let r =
+              Monet_kes.Kes_client.call_close env.Party.script
+                ~contract:env.Party.kes_contract a.Party.kes_party
+                ~id:a.Party.kes_instance a.Party.kes_commit
+            in
+            Report.script rep r;
+            match r.Monet_script.Chain.r_ok with
+            | Ok _ -> Ok (payout, rep)
+            | Error e -> Error (Errors.Kes ("close: " ^ e))))
+
+(** Unilateral close through the KES (the dispute path). [proposer]
+    opens a dispute with the latest cross-signed commit. If the
+    counterparty is [responsive], it answers and the channel settles
+    cooperatively; otherwise the timer expires, the KES releases the
+    counterparty's escrowed root witness, and the proposer derives the
+    latest witness forward and settles alone. *)
+let dispute_close (c : Driver.channel) ~(proposer : Tp.role) ~(responsive : bool) :
+    (payout * Report.t, Errors.t) result =
+  let rep = Report.fresh () in
+  let env = c.Driver.env in
+  if c.Driver.a.Party.closed then Error Errors.Closed
+  else begin
+    let p = if proposer = Tp.Alice then c.Driver.a else c.Driver.b in
+    let q = if proposer = Tp.Alice then c.Driver.b else c.Driver.a in
+    let r1 =
+      Monet_kes.Kes_client.call_set_timer env.Party.script
+        ~contract:env.Party.kes_contract p.Party.kes_party
+        ~id:p.Party.kes_instance ~tau:p.Party.cfg.Party.kes_tau p.Party.kes_commit
+    in
+    Report.script rep r1;
+    match r1.Monet_script.Chain.r_ok with
+    | Error e -> Error (Errors.Kes ("set_timer: " ^ e))
+    | Ok _ ->
+        if responsive && p.Party.lock <> None then
+          Error
+            (Errors.Bad_state "cancel the pending lock before a cooperative settlement")
+        else if responsive then begin
+          let r2 =
+            Monet_kes.Kes_client.call_resp env.Party.script
+              ~contract:env.Party.kes_contract q.Party.kes_party
+              ~id:q.Party.kes_instance q.Party.kes_commit
+          in
+          Report.script rep r2;
+          match r2.Monet_script.Chain.r_ok with
+          | Error e -> Error (Errors.Kes ("resp: " ^ e))
+          | Ok _ -> (
+              (* Terminated without key release: settle cooperatively. *)
+              match exchange_witnesses c rep with
+              | Error e -> Error e
+              | Ok sg -> (
+                  match settle c sg c.Driver.a.Party.commit_tx rep with
+                  | Error e -> Error e
+                  | Ok payout -> Ok (payout, rep)))
+        end
+        else begin
+          (* Timer expires unanswered. *)
+          Monet_script.Chain.advance_time env.Party.script (p.Party.cfg.Party.kes_tau + 1);
+          let r3 =
+            Monet_kes.Kes_client.call_timeout env.Party.script
+              ~contract:env.Party.kes_contract p.Party.kes_party
+              ~id:p.Party.kes_instance
+          in
+          Report.script rep r3;
+          match r3.Monet_script.Chain.r_ok with
+          | Error e -> Error (Errors.Kes ("timeout: " ^ e))
+          | Ok _ ->
+              if
+                not
+                  (Monet_kes.Kes_client.key_released r3.Monet_script.Chain.r_events
+                     ~id:p.Party.kes_instance
+                     ~addr:p.Party.kes_party.Monet_kes.Kes_client.p_addr)
+              then Error (Errors.Kes "no key release event")
+              else begin
+                (* Reconstruct the counterparty's root witness from the
+                   escrowers, re-apply the channel randomizer, derive
+                   forward to the current state and settle. *)
+                let tag =
+                  Monet_kes.Escrow.tag ~instance:p.Party.kes_instance
+                    ~party:(Party.role_label q.Party.role)
+                in
+                match
+                  Monet_kes.Escrow.release_and_reconstruct env.Party.escrowers ~tag
+                with
+                | Error e -> Error (Errors.Escrow ("escrow: " ^ e))
+                | Ok root_wit -> (
+                    let dh =
+                      Point.mul p.Party.joint.Tp.my_sk p.Party.joint.Tp.their_vk
+                    in
+                    let r_q =
+                      Sc.of_hash "chan-randomizer"
+                        [ Point.encode dh; string_of_int c.Driver.id;
+                          Party.role_label q.Party.role ]
+                    in
+                    let their_root = Sc.add root_wit r_q in
+                    (* A pending lock's pre-signature cannot complete
+                       (its lock witness is missing): the dispute then
+                       settles at the last fully-signed state, i.e. the
+                       pre-lock one. *)
+                    let target_state =
+                      if p.Party.lock = None then p.Party.state else p.Party.state - 1
+                    in
+                    match
+                      List.find_opt
+                        (fun (st, _, _, _) -> st = target_state)
+                        p.Party.presig_history
+                    with
+                    | None -> Error (Errors.Bad_state "no settleable state in history")
+                    | Some (_, _, presig, tx) -> (
+                        let their_wit =
+                          Monet_vcof.Vcof.derive_n
+                            ~pp:p.Party.clras.Clras.pp their_root target_state
+                        in
+                        let my_wit =
+                          Monet_vcof.Vcof.derive_n ~pp:p.Party.clras.Clras.pp
+                            p.Party.my_root.Monet_vcof.Vcof.wit target_state
+                        in
+                        let wa, wb =
+                          if p.Party.role = Tp.Alice then (my_wit, their_wit)
+                          else (their_wit, my_wit)
+                        in
+                        let sg = Clras.adapt presig ~wa ~wb in
+                        match settle c sg tx rep with
+                        | Error e -> Error e
+                        | Ok payout -> Ok (payout, rep)))
+              end
+        end
+  end

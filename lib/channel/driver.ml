@@ -1,0 +1,137 @@
+(** The transport between the two party state machines.
+
+    Messages always travel as serialized {!Msg} values; every delivery
+    is charged to the report ({!Report.deliver}), so the experiment
+    byte/message counts are properties of the actual wire traffic.
+
+    Two modes:
+    - [Sync]: messages are delivered immediately, in FIFO order —
+      this is the in-process configuration the experiment tables use;
+    - [Scheduled]: deliveries go through the {!Monet_dsim.Clock} with
+      sampled per-message link latency. Each direction of the link is
+      FIFO (a message never overtakes an earlier one the same way),
+      which the linear per-phase state machines rely on.
+
+    Rounds are the maximum causal depth over all deliveries (a reply
+    is one deeper than the message it answers), which is identical in
+    both modes. *)
+
+type mode =
+  | Sync
+  | Scheduled of {
+      clock : Monet_dsim.Clock.t;
+      latency : Monet_dsim.Latency.t;
+      g : Monet_hash.Drbg.t; (* latency sampling randomness *)
+    }
+
+type channel = {
+  a : Party.party;
+  b : Party.party;
+  env : Party.env;
+  id : int;
+  mutable transport : mode;
+  mutable trace : Msg.t list; (* deliveries of the last session, in order *)
+}
+
+type dest = To_a | To_b
+
+(* Run a message exchange to quiescence. [handle] is the endpoint pair;
+   [init_a]/[init_b] are the messages A resp. B send first. *)
+let run_generic ~(mode : mode) ~(rep : Report.t)
+    ~(handle : dest -> Msg.t -> (Msg.t list, Errors.t) result)
+    ~(record : Msg.t -> unit) ~(init_a : Msg.t list) ~(init_b : Msg.t list) :
+    (unit, Errors.t) result =
+  let err = ref None in
+  let max_depth = ref 0 in
+  let fail e = if !err = None then err := Some e in
+  let flip = function To_a -> To_b | To_b -> To_a in
+  let deliver ~send dest depth m =
+    if !err = None then begin
+      let d = depth + 1 in
+      if d > !max_depth then max_depth := d;
+      Report.deliver rep m;
+      record m;
+      match handle dest m with
+      | Error e -> fail e
+      | Ok replies -> List.iter (send (flip dest) d) replies
+    end
+  in
+  (match mode with
+  | Sync ->
+      let q = Queue.create () in
+      let send dest depth m = Queue.add (dest, depth, m) q in
+      List.iter (send To_b 0) init_a;
+      List.iter (send To_a 0) init_b;
+      while !err = None && not (Queue.is_empty q) do
+        let dest, depth, m = Queue.pop q in
+        deliver ~send dest depth m
+      done
+  | Scheduled { clock; latency; g } ->
+      (* Per-direction FIFO links: a message is delivered no earlier
+         than the previous one sent the same way (the clock's FIFO
+         tie-break keeps send order at equal times). *)
+      let last_to_a = ref (Monet_dsim.Clock.now clock)
+      and last_to_b = ref (Monet_dsim.Clock.now clock) in
+      let rec send dest depth m =
+        if !err = None then begin
+          let now = Monet_dsim.Clock.now clock in
+          let link = match dest with To_a -> last_to_a | To_b -> last_to_b in
+          let at =
+            Float.max (now +. Monet_dsim.Latency.sample g latency) !link
+          in
+          link := at;
+          Monet_dsim.Clock.schedule clock ~delay:(at -. now) (fun () ->
+              deliver ~send dest depth m)
+        end
+      in
+      List.iter (send To_b 0) init_a;
+      List.iter (send To_a 0) init_b;
+      Monet_dsim.Clock.run clock ());
+  rep.Report.rounds <- rep.Report.rounds + !max_depth;
+  match !err with None -> Ok () | Some e -> Error e
+
+(** Run a protocol session between the channel's two parties. The
+    delivered messages replace [c.trace]. *)
+let run (c : channel) (rep : Report.t) ~(init_a : Msg.t list)
+    ~(init_b : Msg.t list) : (unit, Errors.t) result =
+  let buf = ref [] in
+  let handle dest m =
+    let p = match dest with To_a -> c.a | To_b -> c.b in
+    Party.handle p ~env:c.env ~rep m
+  in
+  let r =
+    run_generic ~mode:c.transport ~rep ~handle
+      ~record:(fun m -> buf := m :: !buf)
+      ~init_a ~init_b
+  in
+  c.trace <- List.rev !buf;
+  r
+
+(** Run the establishment machines to quiescence. *)
+let run_est ~(mode : mode) (env : Party.env) (rep : Report.t) (ea : Party.est)
+    (eb : Party.est) : (unit, Errors.t) result =
+  let handle dest m =
+    let e = match dest with To_a -> ea | To_b -> eb in
+    Party.est_handle e ~env ~rep m
+  in
+  run_generic ~mode ~rep ~handle ~record:ignore
+    ~init_a:(Party.est_begin ea) ~init_b:(Party.est_begin eb)
+
+(** One complete state refresh (both parties enter the session via
+    [starter], then messages flow to quiescence). Charges the
+    assembled adaptor pre-signature. *)
+let refresh (c : channel) (rep : Report.t)
+    ~(starter : Party.party -> (Msg.t list, Errors.t) result) :
+    (unit, Errors.t) result =
+  match starter c.a with
+  | Error e -> Error e
+  | Ok init_a -> (
+      match starter c.b with
+      | Error e -> Error e
+      | Ok init_b -> (
+          match run c rep ~init_a ~init_b with
+          | Error e -> Error e
+          | Ok () ->
+              rep.Report.signatures <-
+                rep.Report.signatures + 1 (* the adaptor signature itself *);
+              Ok ()))

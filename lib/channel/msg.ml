@@ -1,0 +1,259 @@
+(** Wire messages of the MoChannel protocol (paper §IV, Fig. 4).
+
+    Every party-to-party interaction of the channel layer — joint key
+    generation, funding, per-state pre-signing, AMHL locks, batch
+    announcements and closure — is one of these constructors, with a
+    full {!Monet_util.Wire} encoding. The driver serializes each
+    message on delivery, so the experiment reports count bytes of real
+    protocol traffic rather than hand-maintained estimates. *)
+
+open Monet_ec
+module Tp = Monet_sig.Two_party
+module Wire = Monet_util.Wire
+
+(** One party's funding contribution: ring references, amount and key
+    image per input (the spend secrets never travel), plus the change
+    outputs it wants. Both parties deterministically assemble the same
+    funding skeleton from the two contributions. *)
+type contrib = {
+  fc_inputs : (int array * int * Point.t) list; (* ring refs, amount, key image *)
+  fc_change : Monet_xmr.Tx.output list;
+}
+
+(** Establishment bundle sent once the joint key exists: the CLRAS
+    state-0 statement, the party's KES identity and its funding
+    contribution. *)
+type establish_info = {
+  ei_stmt : Monet_cas.Clras.stmt_msg;
+  ei_kes_vk : Point.t;
+  ei_kes_addr : string;
+  ei_contrib : contrib;
+}
+
+(** One entry of a precomputed statement batch (the paper's optimized
+    mode, Table I): the statement legs, a leg-consistency proof and
+    the consecutiveness step proof. *)
+type batch_entry = {
+  be_stmt : Monet_sig.Stmt.t;
+  be_leg_proof : Monet_sigma.Dleq.proof;
+  be_step_proof : Monet_vcof.Vcof.proof;
+}
+
+type t =
+  | Key_share of Tp.key_msg  (** JGen leg 1: key share + proof of possession *)
+  | Key_image_share of Tp.ki_msg  (** JGen leg 2: key-image share + DLEQ *)
+  | Establish_info of establish_info
+  | Funding_sigs of Monet_sig.Lsag.signature list
+      (** ring signatures over the funding skeleton, one per own input *)
+  | Stmt_announce of { sm : Monet_cas.Clras.stmt_msg; out_vk : Point.t }
+      (** NewSW statement for the next state + fresh output key *)
+  | Commit_nonce of { nonce : Tp.nonce_msg; out_vk : Point.t option }
+      (** PSign leg 1; carries the fresh output key when no statement
+          announcement preceded it (batched mode, first commitment) *)
+  | Z_share of Sc.t  (** PSign leg 2: response share *)
+  | Kes_sig of Monet_sig.Sig_core.signature  (** KES commit half-signature *)
+  | Batch_announce of batch_entry array
+  | Lock_open of Monet_sig.Lsag.pre_signature
+      (** lock-witness-adapted pre-signature (payee → payer) *)
+  | Witness_reveal of Sc.t  (** state witness, at cooperative closure *)
+
+let label = function
+  | Key_share _ -> "key-share"
+  | Key_image_share _ -> "key-image-share"
+  | Establish_info _ -> "establish-info"
+  | Funding_sigs _ -> "funding-sigs"
+  | Stmt_announce _ -> "stmt-announce"
+  | Commit_nonce _ -> "commit-nonce"
+  | Z_share _ -> "z-share"
+  | Kes_sig _ -> "kes-sig"
+  | Batch_announce _ -> "batch-announce"
+  | Lock_open _ -> "lock-open"
+  | Witness_reveal _ -> "witness-reveal"
+
+(* --- decoders for the building blocks that only had encoders --- *)
+
+let read_point r = Point.decode_exn (Wire.read_fixed r 32)
+let read_scalar r = Sc.of_bytes_le (Wire.read_fixed r 32)
+
+let decode_key_msg r : Tp.key_msg =
+  let km_vk = read_point r in
+  let km_pok = Monet_sigma.Schnorr.decode_proof r in
+  { Tp.km_vk; km_pok }
+
+let decode_ki_msg r : Tp.ki_msg =
+  let ki_share = read_point r in
+  let ki_proof = Monet_sigma.Dleq.decode_proof r in
+  { Tp.ki_share; ki_proof }
+
+let decode_nonce_msg r : Tp.nonce_msg =
+  let nm_rg = read_point r in
+  let nm_ri = read_point r in
+  let nm_proof = Monet_sigma.Dleq.decode_proof r in
+  { Tp.nm_rg; nm_ri; nm_proof }
+
+let decode_stmt_msg r : Monet_cas.Clras.stmt_msg =
+  let sm_index = Wire.read_u32 r in
+  let sm_stmt = Monet_sig.Stmt.decode r in
+  let sm_leg_proof = Monet_sigma.Dleq.decode_proof r in
+  let sm_step_proof =
+    match Wire.read_u8 r with
+    | 0 -> None
+    | _ -> (
+        match Monet_sigma.Stadler.decode r with
+        | Some p -> Some p
+        | None -> invalid_arg "stmt_msg: bad step proof")
+  in
+  { Monet_cas.Clras.sm_index; sm_stmt; sm_leg_proof; sm_step_proof }
+
+let encode_contrib w (c : contrib) =
+  Wire.write_list w
+    (fun w (refs, amount, ki) ->
+      Wire.write_u32 w (Array.length refs);
+      Array.iter (Wire.write_u32 w) refs;
+      Wire.write_u64 w amount;
+      Wire.write_fixed w (Point.encode ki))
+    c.fc_inputs;
+  Wire.write_list w
+    (fun w (o : Monet_xmr.Tx.output) ->
+      Wire.write_fixed w (Point.encode o.otk);
+      Wire.write_u64 w o.amount)
+    c.fc_change
+
+let decode_contrib r : contrib =
+  let fc_inputs =
+    Wire.read_list r (fun r ->
+        let n = Wire.read_u32 r in
+        if n > 4096 then invalid_arg "contrib: ring too large";
+        let refs = Array.init n (fun _ -> Wire.read_u32 r) in
+        let amount = Wire.read_u64 r in
+        let ki = read_point r in
+        (refs, amount, ki))
+  in
+  let fc_change =
+    Wire.read_list r (fun r ->
+        let otk = read_point r in
+        let amount = Wire.read_u64 r in
+        { Monet_xmr.Tx.otk; amount })
+  in
+  { fc_inputs; fc_change }
+
+let encode_batch_entry w (e : batch_entry) =
+  Monet_sig.Stmt.encode w e.be_stmt;
+  Monet_sigma.Dleq.encode_proof w e.be_leg_proof;
+  Monet_sigma.Stadler.encode w e.be_step_proof
+
+let decode_batch_entry r : batch_entry =
+  let be_stmt = Monet_sig.Stmt.decode r in
+  let be_leg_proof = Monet_sigma.Dleq.decode_proof r in
+  let be_step_proof =
+    match Monet_sigma.Stadler.decode r with
+    | Some p -> p
+    | None -> invalid_arg "batch_entry: bad step proof"
+  in
+  { be_stmt; be_leg_proof; be_step_proof }
+
+(* --- the message codec --- *)
+
+let encode (w : Wire.writer) (m : t) =
+  match m with
+  | Key_share km ->
+      Wire.write_u8 w 1;
+      Tp.encode_key_msg w km
+  | Key_image_share ki ->
+      Wire.write_u8 w 2;
+      Tp.encode_ki_msg w ki
+  | Establish_info ei ->
+      Wire.write_u8 w 3;
+      Monet_cas.Clras.encode_stmt_msg w ei.ei_stmt;
+      Wire.write_fixed w (Point.encode ei.ei_kes_vk);
+      Wire.write_bytes w ei.ei_kes_addr;
+      encode_contrib w ei.ei_contrib
+  | Funding_sigs sigs ->
+      Wire.write_u8 w 4;
+      Wire.write_list w Monet_sig.Lsag.encode sigs
+  | Stmt_announce { sm; out_vk } ->
+      Wire.write_u8 w 5;
+      Monet_cas.Clras.encode_stmt_msg w sm;
+      Wire.write_fixed w (Point.encode out_vk)
+  | Commit_nonce { nonce; out_vk } ->
+      Wire.write_u8 w 6;
+      Tp.encode_nonce_msg w nonce;
+      (match out_vk with
+      | None -> Wire.write_u8 w 0
+      | Some vk ->
+          Wire.write_u8 w 1;
+          Wire.write_fixed w (Point.encode vk))
+  | Z_share z ->
+      Wire.write_u8 w 7;
+      Wire.write_fixed w (Sc.to_bytes_le z)
+  | Kes_sig sg ->
+      Wire.write_u8 w 8;
+      Monet_sig.Sig_core.encode w sg
+  | Batch_announce entries ->
+      Wire.write_u8 w 9;
+      Wire.write_u32 w (Array.length entries);
+      Array.iter (encode_batch_entry w) entries
+  | Lock_open presig ->
+      Wire.write_u8 w 10;
+      Monet_sig.Lsag.encode_pre w presig
+  | Witness_reveal wit ->
+      Wire.write_u8 w 11;
+      Wire.write_fixed w (Sc.to_bytes_le wit)
+
+let decode_reader (r : Wire.reader) : t =
+  match Wire.read_u8 r with
+  | 1 -> Key_share (decode_key_msg r)
+  | 2 -> Key_image_share (decode_ki_msg r)
+  | 3 ->
+      let ei_stmt = decode_stmt_msg r in
+      let ei_kes_vk = read_point r in
+      let ei_kes_addr = Wire.read_bytes r in
+      let ei_contrib = decode_contrib r in
+      Establish_info { ei_stmt; ei_kes_vk; ei_kes_addr; ei_contrib }
+  | 4 -> Funding_sigs (Wire.read_list r Monet_sig.Lsag.decode)
+  | 5 ->
+      let sm = decode_stmt_msg r in
+      let out_vk = read_point r in
+      Stmt_announce { sm; out_vk }
+  | 6 ->
+      let nonce = decode_nonce_msg r in
+      let out_vk =
+        match Wire.read_u8 r with 0 -> None | _ -> Some (read_point r)
+      in
+      Commit_nonce { nonce; out_vk }
+  | 7 -> Z_share (read_scalar r)
+  | 8 -> Kes_sig (Monet_sig.Sig_core.decode r)
+  | 9 ->
+      let n = Wire.read_u32 r in
+      if n > 4096 then invalid_arg "batch too large";
+      Batch_announce (Array.init n (fun _ -> decode_batch_entry r))
+  | 10 -> Lock_open (Monet_sig.Lsag.decode_pre r)
+  | 11 -> Witness_reveal (read_scalar r)
+  | tag -> invalid_arg (Printf.sprintf "unknown message tag %d" tag)
+
+let to_bytes (m : t) : string =
+  let w = Wire.create_writer () in
+  encode w m;
+  Wire.contents w
+
+let of_bytes (s : string) : (t, Errors.t) result =
+  try
+    let r = Wire.reader_of_string s in
+    let m = decode_reader r in
+    if Wire.at_end r then Ok m else Error (Errors.Codec "trailing bytes")
+  with
+  | Wire.Truncated -> Error (Errors.Codec "truncated message")
+  | Invalid_argument e -> Error (Errors.Codec e)
+
+(** Serialized size — what the driver charges to [report.bytes]. *)
+let size (m : t) : int = Wire.size encode m
+
+(** Signatures carried by this message, for the reports' signature
+    accounting (a Z-share is one party's half of the joint adaptor
+    signature; the assembled adaptor itself is charged by the driver
+    at session completion). *)
+let sig_count = function
+  | Funding_sigs sigs -> List.length sigs
+  | Z_share _ -> 1
+  | Kes_sig _ -> 1
+  | _ -> 0

@@ -1,0 +1,94 @@
+(** Revocation: old-state cheating and its punishment (paper §IV-C).
+
+    Publishing an old commitment reveals its combined state witness
+    on-chain; the victim extracts it, derives the counterparty's
+    *latest* witness forward (VCOF consecutiveness) and settles at the
+    latest state with priority. *)
+
+open Monet_ec
+module Tp = Monet_sig.Two_party
+module Clras = Monet_cas.Clras
+
+(* A party's own witness at any past state re-derives from its chain
+   root (forward derivation only — the chain is one-way). *)
+let my_witness_at (p : Party.party) ~(state : int) : Sc.t =
+  Monet_vcof.Vcof.derive_n ~pp:p.Party.clras.Clras.pp
+    p.Party.my_root.Monet_vcof.Vcof.wit state
+
+(** Adversary helper: [cheater] submits (without mining) the old
+    [state]'s commitment, supplying the victim's old witness
+    [victim_old_wit] (modelling a leak/compromise — honest runs never
+    reveal it). Returns the submitted transaction. *)
+let submit_old_state (c : Driver.channel) ~(cheater : Tp.role) ~(state : int)
+    ~(victim_old_wit : Sc.t) : (Monet_xmr.Tx.t, Errors.t) result =
+  let p = if cheater = Tp.Alice then c.Driver.a else c.Driver.b in
+  match List.find_opt (fun (s, _, _, _) -> s = state) p.Party.presig_history with
+  | None -> Error (Errors.Bad_state "no presignature for that state")
+  | Some (_, _, presig, tx) -> (
+      let my_old = my_witness_at p ~state in
+      let wa, wb =
+        if p.Party.role = Tp.Alice then (my_old, victim_old_wit)
+        else (victim_old_wit, my_old)
+      in
+      let sg = Clras.adapt presig ~wa ~wb in
+      let signed =
+        { tx with
+          Monet_xmr.Tx.inputs =
+            List.map
+              (fun (i : Monet_xmr.Tx.input) -> { i with signature = sg })
+              tx.inputs
+        }
+      in
+      match Monet_xmr.Ledger.submit c.Driver.env.Party.ledger signed with
+      | Error e -> Error (Errors.Chain ("cheat submit: " ^ e))
+      | Ok () -> Ok signed)
+
+(** Watch the mempool: if a commitment transaction for an old state of
+    this channel shows up, extract the combined witness from its ring
+    signature, derive the counterparty's latest witness forward, adapt
+    the latest pre-signature and replace the cheating transaction
+    (priority race). Returns the payout if punishment succeeded. *)
+let watch_and_punish (c : Driver.channel) ~(victim : Tp.role) :
+    (Close.payout, Errors.t) result =
+  let p = if victim = Tp.Alice then c.Driver.a else c.Driver.b in
+  let latest_prefix = Monet_xmr.Tx.prefix_bytes p.Party.commit_tx in
+  let ki = p.Party.joint.Tp.key_image in
+  let offending =
+    List.find_opt
+      (fun (_, (tx : Monet_xmr.Tx.t)) ->
+        List.exists
+          (fun (i : Monet_xmr.Tx.input) -> Point.equal i.key_image ki)
+          tx.inputs
+        && Monet_xmr.Tx.prefix_bytes tx <> latest_prefix)
+      c.Driver.env.Party.ledger.Monet_xmr.Ledger.mempool
+  in
+  match offending with
+  | None -> Error (Errors.Bad_state "no cheating transaction observed")
+  | Some (_, tx) -> (
+      let prefix = Monet_xmr.Tx.prefix_bytes tx in
+      match
+        List.find_opt (fun (_, pf, _, _) -> pf = prefix) p.Party.presig_history
+      with
+      | None ->
+          Error (Errors.Bad_state "offending tx does not match any known state")
+      | Some (old_state, _, old_presig, _) ->
+          let sg =
+            match tx.Monet_xmr.Tx.inputs with
+            | [ i ] -> i.signature
+            | _ -> invalid_arg "commitment has one input"
+          in
+          let combined = Clras.ext sg old_presig in
+          let my_old = my_witness_at p ~state:old_state in
+          let their_old = Sc.sub combined my_old in
+          let steps = p.Party.state - old_state in
+          let their_latest =
+            Monet_vcof.Vcof.derive_n ~pp:p.Party.clras.Clras.pp their_old steps
+          in
+          let my_latest = Clras.my_witness p.Party.clras in
+          let wa, wb =
+            if p.Party.role = Tp.Alice then (my_latest, their_latest)
+            else (their_latest, my_latest)
+          in
+          let latest_sg = Clras.adapt p.Party.presig ~wa ~wb in
+          let rep = Report.fresh () in
+          Close.settle c ~priority:1 latest_sg p.Party.commit_tx rep)

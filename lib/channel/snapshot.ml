@@ -173,6 +173,7 @@ let restore ~(cfg : Channel.config) ~(g : Monet_hash.Drbg.t) (data : string) :
           kes_instance; batch = None; state; my_balance; their_balance; capacity;
           funding_outpoint; commit_tx; commit_ring; presig; my_out_kp; out_keys;
           kes_commit; presig_history; my_root; lock = None; closed;
+          phase = Party.Idle; extracted = None;
         }
     end
   with
@@ -188,5 +189,5 @@ let restore_channel ~(cfg : Channel.config) (env : Channel.env) ~(id : int)
     ( restore ~cfg ~g:(Monet_hash.Drbg.split g "a") snap_a,
       restore ~cfg ~g:(Monet_hash.Drbg.split g "b") snap_b )
   with
-  | Ok a, Ok b -> Ok { Channel.a; b; env; id }
+  | Ok a, Ok b -> Ok { Channel.a; b; env; id; transport = Driver.Sync; trace = [] }
   | Error e, _ | _, Error e -> Error e

@@ -1,0 +1,356 @@
+(** Splicing: on-chain top-up without closing (paper §IV-E).
+
+    A splice *re-keys* the channel: the old joint one-time key's image
+    is consumed by the splice transaction, so the enlarged funding
+    output must pay a fresh joint key (Monero's fresh-key policy
+    applies to channels too). The splice transaction spends the old
+    joint output (co-signed with the 2-party ring protocol — on-chain
+    it looks like any other spend) together with the funder's coins;
+    the parties then run fresh key generation, fresh (escrowed,
+    re-randomized) VCOF roots and a fresh KES instance, and the
+    channel continues at the combined balances.
+
+    This is orchestration around the party machines rather than a
+    message flow of its own: its jgen/co-sign legs are accounted by
+    hand ({!Report.add_raw}) with real serialized sizes, and the
+    re-keyed channel's first commitment runs over the {!Driver}. *)
+
+open Monet_ec
+module Tp = Monet_sig.Two_party
+module Clras = Monet_cas.Clras
+
+let log_src = Logs.Src.create "monet.channel.splice" ~doc:"MoChannel splicing"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+(** Splice-in: [funder] adds [amount] from its wallet to the channel.
+    Returns the re-anchored channel; the old handle is marked
+    closed. *)
+let splice_in (c : Driver.channel) ~(funder : Tp.role) ~(amount : int)
+    ~(wallet : Monet_xmr.Wallet.t) : (Driver.channel * Report.t, Errors.t) result =
+  let rep = Report.fresh () in
+  match Close.check_open c with
+  | Error e -> Error e
+  | Ok () ->
+      let module W = Monet_xmr.Wallet in
+      let module L = Monet_xmr.Ledger in
+      let module T = Monet_xmr.Tx in
+      let pa = c.Driver.a and pb = c.Driver.b and env = c.Driver.env in
+      let cfg = pa.Party.cfg in
+      let ga = pa.Party.g and gb = pb.Party.g in
+      (* Fresh joint key (4 messages, as at establishment). *)
+      let sk_a, km_a = Tp.key_msg ga in
+      let sk_b, km_b = Tp.key_msg gb in
+      Report.add_raw rep ~bytes:(Msg.size (Msg.Key_share km_a));
+      Report.add_raw rep ~bytes:(Msg.size (Msg.Key_share km_b));
+      rep.Report.rounds <- rep.Report.rounds + 1;
+      (match
+         ( Tp.ki_msg ga ~sk:sk_a ~my:km_a ~theirs:km_b,
+           Tp.ki_msg gb ~sk:sk_b ~my:km_b ~theirs:km_a )
+       with
+      | Error e, _ | _, Error e -> Error (Errors.Bad_proof e)
+      | Ok kia, Ok kib -> (
+          Report.add_raw rep ~bytes:(Msg.size (Msg.Key_image_share kia));
+          Report.add_raw rep ~bytes:(Msg.size (Msg.Key_image_share kib));
+          rep.Report.rounds <- rep.Report.rounds + 1;
+          match
+            ( Tp.finish_jgen ~role:Tp.Alice ~sk:sk_a ~my:km_a ~theirs:km_b
+                ~my_ki:kia ~their_ki:kib,
+              Tp.finish_jgen ~role:Tp.Bob ~sk:sk_b ~my:km_b ~theirs:km_a
+                ~my_ki:kib ~their_ki:kia )
+          with
+          | Error e, _ | _, Error e -> Error (Errors.Bad_proof e)
+          | Ok ja, Ok jb -> (
+              (* Funder's coins. *)
+              let rec select acc total = function
+                | _ when total >= amount -> Some (acc, total)
+                | [] -> None
+                | o :: rest -> select (o :: acc) (total + o.W.amount) rest
+              in
+              match select [] 0 wallet.W.owned with
+              | None -> Error (Errors.Insufficient_funds "wallet balance (funder)")
+              | Some (coins, total) -> (
+                  let new_capacity = pa.Party.capacity + amount in
+                  L.ensure_decoys env.Party.env_g env.Party.ledger
+                    ~amount:new_capacity ~n:(3 * cfg.Party.ring_size);
+                  let joint_refs, joint_pi =
+                    Party.commit_ring env pa.Party.joint
+                      ~funding_outpoint:pa.Party.funding_outpoint
+                      ~state:(pa.Party.state + 1000000)
+                      ~ring_size:cfg.Party.ring_size
+                  in
+                  let joint_ring = L.ring_of_refs env.Party.ledger joint_refs in
+                  let change = total - amount in
+                  let change_kp = Monet_sig.Sig_core.gen wallet.W.g in
+                  if change > 0 then
+                    wallet.W.pending_keys <- change_kp :: wallet.W.pending_keys;
+                  let coin_plan =
+                    List.map
+                      (fun o ->
+                        let refs, pi =
+                          L.sample_ring wallet.W.g env.Party.ledger
+                            ~real:o.W.global_index ~ring_size:wallet.W.ring_size
+                        in
+                        let ki =
+                          Monet_sig.Lsag.key_image
+                            ~sk:o.W.keypair.Monet_sig.Sig_core.sk ~vk:o.W.keypair.vk
+                        in
+                        (o, refs, pi, ki))
+                      coins
+                  in
+                  let outputs =
+                    { T.otk = ja.Tp.vk; amount = new_capacity }
+                    :: (if change > 0 then
+                          [ { T.otk = change_kp.vk; amount = change } ]
+                        else [])
+                  in
+                  let old_ki = pa.Party.joint.Tp.key_image in
+                  let skeleton =
+                    { T.inputs =
+                        { T.ring_refs = joint_refs; amount = pa.Party.capacity;
+                          key_image = old_ki;
+                          signature = { Monet_sig.Lsag.c0 = Sc.zero; ss = [||];
+                                        key_image = old_ki } }
+                        :: List.map
+                             (fun (o, refs, _, ki) ->
+                               { T.ring_refs = refs; amount = o.W.amount;
+                                 key_image = ki;
+                                 signature = { Monet_sig.Lsag.c0 = Sc.zero;
+                                               ss = [||]; key_image = ki } })
+                             coin_plan;
+                      outputs; fee = 0; extra = "" }
+                  in
+                  let prefix = T.prefix_bytes skeleton in
+                  (* Old joint input co-signed by both parties. *)
+                  let co_sign () =
+                    let na = Tp.nonce ga pa.Party.joint
+                    and nb = Tp.nonce gb pb.Party.joint in
+                    Report.add_raw rep
+                      ~bytes:
+                        (Msg.size
+                           (Msg.Commit_nonce { nonce = na.Tp.ns_msg; out_vk = None }));
+                    Report.add_raw rep
+                      ~bytes:
+                        (Msg.size
+                           (Msg.Commit_nonce { nonce = nb.Tp.ns_msg; out_vk = None }));
+                    rep.Report.rounds <- rep.Report.rounds + 1;
+                    match
+                      ( Tp.session pa.Party.joint ~ring:joint_ring ~pi:joint_pi
+                          ~msg:prefix ~stmt:Monet_sig.Stmt.zero ~mine:na
+                          ~theirs:nb.Tp.ns_msg,
+                        Tp.session pb.Party.joint ~ring:joint_ring ~pi:joint_pi
+                          ~msg:prefix ~stmt:Monet_sig.Stmt.zero ~mine:nb
+                          ~theirs:na.Tp.ns_msg )
+                    with
+                    | Ok sa, Ok sb ->
+                        let za = Tp.z_share pa.Party.joint sa na in
+                        let zb = Tp.z_share pb.Party.joint sb nb in
+                        Report.add_raw rep ~bytes:(Msg.size (Msg.Z_share za));
+                        Report.add_raw rep ~bytes:(Msg.size (Msg.Z_share zb));
+                        rep.Report.rounds <- rep.Report.rounds + 1;
+                        rep.Report.signatures <- rep.Report.signatures + 2;
+                        if
+                          not
+                            (Tp.check_z_share pa.Party.joint sa
+                               ~their_nonce:nb.Tp.ns_msg ~z:zb)
+                        then Error (Errors.Bad_proof "bad share from bob")
+                        else begin
+                          let pre = Tp.assemble sa ~my_z:za ~their_z:zb in
+                          Ok { Monet_sig.Lsag.c0 = pre.Monet_sig.Lsag.p_c0;
+                               ss = pre.Monet_sig.Lsag.p_ss;
+                               key_image = pre.Monet_sig.Lsag.p_key_image }
+                        end
+                    | Error e, _ | _, Error e -> Error (Errors.Bad_proof e)
+                  in
+                  match co_sign () with
+                  | Error e -> Error e
+                  | Ok joint_sig -> (
+                      let inputs =
+                        { T.ring_refs = joint_refs; amount = pa.Party.capacity;
+                          key_image = old_ki; signature = joint_sig }
+                        :: List.map
+                             (fun (o, refs, pi, ki) ->
+                               rep.Report.signatures <- rep.Report.signatures + 1;
+                               let ring = L.ring_of_refs env.Party.ledger refs in
+                               { T.ring_refs = refs; amount = o.W.amount;
+                                 key_image = ki;
+                                 signature =
+                                   Monet_sig.Lsag.sign wallet.W.g ~ring ~pi
+                                     ~sk:o.W.keypair.Monet_sig.Sig_core.sk
+                                     ~msg:prefix })
+                             coin_plan
+                      in
+                      let tx = { skeleton with T.inputs } in
+                      match L.submit env.Party.ledger tx with
+                      | Error e -> Error (Errors.Chain ("splice: " ^ e))
+                      | Ok () -> (
+                          wallet.W.owned <-
+                            List.filter
+                              (fun o -> not (List.memq o coins))
+                              wallet.W.owned;
+                          ignore (L.mine env.Party.ledger);
+                          rep.Report.monero_txs <- rep.Report.monero_txs + 1;
+                          let new_outpoint = ref (-1) in
+                          for i = 0 to L.output_count env.Party.ledger - 1 do
+                            match L.get_output env.Party.ledger i with
+                            | Some e
+                              when Point.equal e.L.out.T.otk ja.Tp.vk
+                                   && e.L.out.T.amount = new_capacity ->
+                                new_outpoint := i
+                            | _ -> ()
+                          done;
+                          if !new_outpoint < 0 then
+                            Error (Errors.Chain "spliced output not found")
+                          else begin
+                            (* Fresh roots, escrow and KES instance for
+                               the re-keyed channel. *)
+                            let new_id = (c.Driver.id * 1000) + pa.Party.state + 1 in
+                            let root_a = Monet_vcof.Vcof.sw_gen ga in
+                            let root_b = Monet_vcof.Vcof.sw_gen gb in
+                            let dh = Point.mul sk_a jb.Tp.my_vk in
+                            let rand_of role =
+                              Sc.of_hash "chan-randomizer"
+                                [ Point.encode dh; string_of_int new_id; role ]
+                            in
+                            let chain_root_a =
+                              Monet_vcof.Vcof.randomize root_a ~r:(rand_of "A")
+                            in
+                            let chain_root_b =
+                              Monet_vcof.Vcof.randomize root_b ~r:(rand_of "B")
+                            in
+                            let pks = Monet_kes.Escrow.public_keys env.Party.escrowers in
+                            let deal_a =
+                              Monet_pvss.Pvss.deal ga
+                                ~secret:root_a.Monet_vcof.Vcof.wit
+                                ~t:cfg.Party.escrow_threshold
+                                ~escrower_pks:(Array.sub pks 0 cfg.Party.n_escrowers)
+                            in
+                            let deal_b =
+                              Monet_pvss.Pvss.deal gb
+                                ~secret:root_b.Monet_vcof.Vcof.wit
+                                ~t:cfg.Party.escrow_threshold
+                                ~escrower_pks:(Array.sub pks 0 cfg.Party.n_escrowers)
+                            in
+                            let tag_a =
+                              Monet_kes.Escrow.tag ~instance:new_id ~party:"A"
+                            in
+                            let tag_b =
+                              Monet_kes.Escrow.tag ~instance:new_id ~party:"B"
+                            in
+                            match
+                              ( Monet_kes.Escrow.distribute env.Party.escrowers
+                                  ~tag:tag_a deal_a,
+                                Monet_kes.Escrow.distribute env.Party.escrowers
+                                  ~tag:tag_b deal_b )
+                            with
+                            | Error e, _ | _, Error e -> Error (Errors.Escrow e)
+                            | Ok (), Ok () -> (
+                                Hashtbl.replace env.Party.deals tag_a deal_a;
+                                Hashtbl.replace env.Party.deals tag_b deal_b;
+                                let ca, ma0 =
+                                  Clras.init ?reps:cfg.Party.vcof_reps
+                                    ~root:chain_root_a ga ja
+                                in
+                                let cb, mb0 =
+                                  Clras.init ?reps:cfg.Party.vcof_reps
+                                    ~root:chain_root_b gb jb
+                                in
+                                Report.add_raw rep
+                                  ~bytes:
+                                    (Monet_util.Wire.size Clras.encode_stmt_msg ma0);
+                                Report.add_raw rep
+                                  ~bytes:
+                                    (Monet_util.Wire.size Clras.encode_stmt_msg mb0);
+                                rep.Report.rounds <- rep.Report.rounds + 1;
+                                match (Clras.receive ca mb0, Clras.receive cb ma0) with
+                                | Error e, _ | _, Error e -> Error (Errors.Bad_proof e)
+                                | Ok (), Ok () -> (
+                                    let kp_a =
+                                      Monet_kes.Kes_client.make_party ga
+                                        ~addr:(Printf.sprintf "0xA%d" new_id)
+                                    in
+                                    let kp_b =
+                                      Monet_kes.Kes_client.make_party gb
+                                        ~addr:(Printf.sprintf "0xB%d" new_id)
+                                    in
+                                    let digest =
+                                      Monet_kes.Escrow.escrow_digest deal_a deal_b
+                                    in
+                                    let r1 =
+                                      Monet_kes.Kes_client.call_deploy_instance
+                                        env.Party.script
+                                        ~contract:env.Party.kes_contract kp_a
+                                        ~id:new_id
+                                        ~vk_a:kp_a.Monet_kes.Kes_client.p_kp.vk
+                                        ~vk_b:kp_b.Monet_kes.Kes_client.p_kp.vk
+                                        ~escrow_digest:digest
+                                    in
+                                    let r2 =
+                                      Monet_kes.Kes_client.call_add_ok env.Party.script
+                                        ~contract:env.Party.kes_contract kp_b
+                                        ~id:new_id
+                                    in
+                                    Report.script rep r1;
+                                    Report.script rep r2;
+                                    match
+                                      ( r1.Monet_script.Chain.r_ok,
+                                        r2.Monet_script.Chain.r_ok )
+                                    with
+                                    | Error e, _ | _, Error e -> Error (Errors.Kes e)
+                                    | Ok _, Ok _ -> (
+                                        let bal funder_role (q : Party.party) =
+                                          if q.Party.role = funder_role then
+                                            q.Party.my_balance + amount
+                                          else q.Party.my_balance
+                                        in
+                                        let new_bal_a = bal funder pa in
+                                        let new_bal_b = bal funder pb in
+                                        let mk role g joint clras kes_party my_root
+                                            my_bal their_bal : Party.party =
+                                          { Party.cfg; role; g; joint; clras;
+                                            kes_party; kes_instance = new_id;
+                                            batch = None; state = 0;
+                                            my_balance = my_bal;
+                                            their_balance = their_bal;
+                                            capacity = new_capacity;
+                                            funding_outpoint = !new_outpoint;
+                                            commit_tx = pa.Party.commit_tx;
+                                            commit_ring = [||];
+                                            presig = pa.Party.presig;
+                                            my_out_kp = pa.Party.my_out_kp;
+                                            out_keys = [];
+                                            kes_commit = pa.Party.kes_commit;
+                                            presig_history = []; my_root;
+                                            lock = None; closed = false;
+                                            phase = Party.Idle; extracted = None }
+                                        in
+                                        let a' =
+                                          mk Tp.Alice ga ja ca kp_a chain_root_a
+                                            new_bal_a new_bal_b
+                                        in
+                                        let b' =
+                                          mk Tp.Bob gb jb cb kp_b chain_root_b
+                                            new_bal_b new_bal_a
+                                        in
+                                        let c' =
+                                          { Driver.a = a'; b = b'; env;
+                                            id = new_id;
+                                            transport = c.Driver.transport;
+                                            trace = [] }
+                                        in
+                                        match
+                                          Driver.refresh c' rep
+                                            ~starter:Party.begin_first
+                                        with
+                                        | Error e -> Error e
+                                        | Ok () ->
+                                            pa.Party.closed <- true;
+                                            pb.Party.closed <- true;
+                                            Log.info (fun m ->
+                                                m
+                                                  "channel %d spliced +%d into \
+                                                   channel %d: capacity %d"
+                                                  c.Driver.id amount new_id
+                                                  new_capacity);
+                                            Ok (c', rep))))
+                          end))))))

@@ -79,7 +79,7 @@ let open_channel (t : t) ~(left : int) ~(right : int) ~(bal_left : int)
     Ch.establish ~cfg:t.cfg t.env ~id:t.next_edge ~wallet_a:nl.n_wallet
       ~wallet_b:nr.n_wallet ~bal_a:bal_left ~bal_b:bal_right
   with
-  | Error e -> Error e
+  | Error e -> Error (Ch.error_to_string e)
   | Ok (channel, rep) ->
       (* Reclaim funding change outputs mined during establishment. *)
       Monet_xmr.Wallet.scan nl.n_wallet t.env.Ch.ledger;

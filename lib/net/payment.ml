@@ -10,6 +10,20 @@
 module Ch = Monet_channel.Channel
 open Monet_ec
 
+(** Payment-layer failures. Channel failures keep their typed cause
+    (with the hop context that produced them); routing/onion failures
+    originate here. Strings appear only at the CLI/bench boundary via
+    {!error_to_string}. *)
+type error =
+  | Channel of string * Ch.error (* context (e.g. "lock hop 2"), cause *)
+  | Routing of string
+  | Onion of string
+  | Failed of string
+
+let error_to_string = function
+  | Channel (ctx, e) -> Printf.sprintf "%s: %s" ctx (Ch.error_to_string e)
+  | Routing s | Onion s | Failed s -> s
+
 type phase_stats = {
   mutable setup_ms : float;
   mutable lock_ms : float; (* total across hops *)
@@ -55,11 +69,11 @@ type outcome = {
     ones. *)
 let execute (t : Graph.t) ~(path : Router.hop list) ~(amount : int)
     ?(receiver_cooperates = true) ?(base_timer = 60_000) ?(timer_delta = 10_000) () :
-    (outcome, string) result =
+    (outcome, error) result =
   let stats = fresh_stats () in
   let hops = Array.of_list path in
   let n = Array.length hops in
-  if n = 0 then Error "empty path"
+  if n = 0 then Error (Routing "empty path")
   else begin
     stats.n_hops <- n;
     (* --- Setup (sender) --- *)
@@ -103,12 +117,13 @@ let execute (t : Graph.t) ~(path : Router.hop list) ~(amount : int)
               ~repad:(node.Graph.n_wallet.Monet_xmr.Wallet.g, onion_layer_bytes)
               ~sk onion
           with
-          | Error e -> Error e
+          | Error e -> Error (Onion e)
           | Ok (_payload, next) ->
               if Monet_amhl.Amhl.verify_hop ~hp:(hp_of_edge h.Router.h_edge)
                    amhl.Monet_amhl.Amhl.packets.(i)
               then go (i + 1) next
-              else Error (Printf.sprintf "hop %d rejected its AMHL packet" (i + 1))
+              else
+                Error (Failed (Printf.sprintf "hop %d rejected its AMHL packet" (i + 1)))
         end
       in
       go 0 onion
@@ -132,7 +147,7 @@ let execute (t : Graph.t) ~(path : Router.hop list) ~(amount : int)
             in
             stats.lock_ms <- stats.lock_ms +. ms;
             match r with
-            | Error e -> Error (Printf.sprintf "lock hop %d: %s" (i + 1) e)
+            | Error e -> Error (Channel (Printf.sprintf "lock hop %d" (i + 1), e))
             | Ok rep ->
                 stats.messages <- stats.messages + rep.Ch.messages;
                 stats.bytes <- stats.bytes + rep.Ch.bytes;
@@ -150,7 +165,8 @@ let execute (t : Graph.t) ~(path : Router.hop list) ~(amount : int)
                 if i < 0 then Ok ()
                 else
                   match Ch.cancel_lock hops.(i).Router.h_edge.Graph.e_channel with
-                  | Error e -> Error (Printf.sprintf "cancel hop %d: %s" (i + 1) e)
+                  | Error e ->
+                      Error (Channel (Printf.sprintf "cancel hop %d" (i + 1), e))
                   | Ok rep ->
                       stats.messages <- stats.messages + rep.Ch.messages;
                       stats.bytes <- stats.bytes + rep.Ch.bytes;
@@ -171,7 +187,8 @@ let execute (t : Graph.t) ~(path : Router.hop list) ~(amount : int)
                   in
                   stats.unlock_ms <- stats.unlock_ms +. ms;
                   match r with
-                  | Error e -> Error (Printf.sprintf "unlock hop %d: %s" (i + 1) e)
+                  | Error e ->
+                      Error (Channel (Printf.sprintf "unlock hop %d" (i + 1), e))
                   | Ok (rep, extracted) ->
                       stats.messages <- stats.messages + rep.Ch.messages;
                       stats.bytes <- stats.bytes + rep.Ch.bytes;
@@ -199,11 +216,11 @@ let execute (t : Graph.t) ~(path : Router.hop list) ~(amount : int)
     open. Call after an [execute] that locked the path — here we run
     the lock phase ourselves for convenience. *)
 let fail_with_last_hop_dispute (t : Graph.t) ~(path : Router.hop list)
-    ~(amount : int) () : (Ch.payout * phase_stats, string) result =
+    ~(amount : int) () : (Ch.payout * phase_stats, error) result =
   let stats = fresh_stats () in
   let hops = Array.of_list path in
   let n = Array.length hops in
-  if n = 0 then Error "empty path"
+  if n = 0 then Error (Routing "empty path")
   else begin
     stats.n_hops <- n;
     let hps = Array.map (fun h -> hp_of_edge h.Router.h_edge) hops in
@@ -217,7 +234,7 @@ let fail_with_last_hop_dispute (t : Graph.t) ~(path : Router.hop list)
             ~lock_stmt:amhl.Monet_amhl.Amhl.locks.(i).Monet_sig.Stmt.stmt
             ~timer:(60_000 + ((n - i) * 10_000))
         with
-        | Error e -> Error e
+        | Error e -> Error (Channel (Printf.sprintf "lock hop %d" (i + 1), e))
         | Ok rep ->
             stats.messages <- stats.messages + rep.Ch.messages;
             lock_all (i + 1)
@@ -231,7 +248,7 @@ let fail_with_last_hop_dispute (t : Graph.t) ~(path : Router.hop list)
           if i < 0 then Ok ()
           else
             match Ch.cancel_lock hops.(i).Router.h_edge.Graph.e_channel with
-            | Error e -> Error e
+            | Error e -> Error (Channel (Printf.sprintf "cancel hop %d" (i + 1), e))
             | Ok _ -> cancel_upto (i - 1)
         in
         (match cancel_upto (n - 2) with
@@ -243,14 +260,15 @@ let fail_with_last_hop_dispute (t : Graph.t) ~(path : Router.hop list)
             let proposer = role_of_payer last in
             Ch.dispute_close last.Router.h_edge.Graph.e_channel ~proposer
               ~responsive:false
-            |> Result.map (fun (payout, _rep) -> (payout, stats)))
+            |> Result.map (fun (payout, _rep) -> (payout, stats))
+            |> Result.map_error (fun e -> Channel ("dispute close", e)))
   end
 
 (** Route and pay in one step. *)
 let pay (t : Graph.t) ~(src : int) ~(dst : int) ~(amount : int)
-    ?(receiver_cooperates = true) () : (outcome, string) result =
+    ?(receiver_cooperates = true) () : (outcome, error) result =
   match Router.find_path t ~src ~dst ~amount with
-  | Error e -> Error e
+  | Error e -> Error (Routing e)
   | Ok path -> execute t ~path ~amount ~receiver_cooperates ()
 
 (** End-to-end latency under the paper's accounting: per hop, one
@@ -289,7 +307,7 @@ let amounts_with_fees (t : Graph.t) ~(path : Router.hop list) ~(amount : int) :
     locks its own amount, so intermediaries earn their fee when the
     cascade settles. *)
 let execute_with_fees (t : Graph.t) ~(path : Router.hop list) ~(amount : int) () :
-    (outcome * int, string) result =
+    (outcome * int, error) result =
   let amounts = amounts_with_fees t ~path ~amount in
   let total_sent = List.hd amounts in
   let stats = fresh_stats () in
@@ -307,7 +325,7 @@ let execute_with_fees (t : Graph.t) ~(path : Router.hop list) ~(amount : int) ()
           ~lock_stmt:amhl.Monet_amhl.Amhl.locks.(i).Monet_sig.Stmt.stmt
           ~timer:(60_000 + ((n - i) * 10_000))
       with
-      | Error e -> Error (Printf.sprintf "lock hop %d: %s" (i + 1) e)
+      | Error e -> Error (Channel (Printf.sprintf "lock hop %d" (i + 1), e))
       | Ok rep ->
           stats.messages <- stats.messages + rep.Ch.messages;
           lock_all (i + 1)
@@ -319,7 +337,7 @@ let execute_with_fees (t : Graph.t) ~(path : Router.hop list) ~(amount : int) ()
         if i < 0 then Ok ()
         else
           match Ch.unlock hops.(i).Router.h_edge.Graph.e_channel ~y:w with
-          | Error e -> Error (Printf.sprintf "unlock hop %d: %s" (i + 1) e)
+          | Error e -> Error (Channel (Printf.sprintf "unlock hop %d" (i + 1), e))
           | Ok (rep, extracted) ->
               stats.messages <- stats.messages + rep.Ch.messages;
               if i = 0 then Ok ()
@@ -339,14 +357,14 @@ let execute_with_fees (t : Graph.t) ~(path : Router.hop list) ~(amount : int) ()
     across parts — noted as future work). Returns the per-part
     (path, amount) breakdown. *)
 let pay_multipath (t : Graph.t) ~(src : int) ~(dst : int) ~(amount : int)
-    ?(max_parts = 4) () : ((Router.hop list * int) list, string) result =
+    ?(max_parts = 4) () : ((Router.hop list * int) list, error) result =
   let rec plan remaining used_edges parts_left acc =
     if remaining = 0 then Ok (List.rev acc)
-    else if parts_left = 0 then Error "amount does not fit in max_parts routes"
+    else if parts_left = 0 then Error (Routing "amount does not fit in max_parts routes")
     else begin
       (* Find a path avoiding edges already used by earlier parts. *)
       match Router.find_path_avoiding t ~src ~dst ~amount:1 ~avoid:used_edges with
-      | Error _ -> Error "insufficient disjoint capacity"
+      | Error _ -> Error (Routing "insufficient disjoint capacity")
       | Ok path ->
           let bottleneck =
             List.fold_left
@@ -355,7 +373,7 @@ let pay_multipath (t : Graph.t) ~(src : int) ~(dst : int) ~(amount : int)
               max_int path
           in
           let part = min remaining bottleneck in
-          if part <= 0 then Error "no capacity"
+          if part <= 0 then Error (Routing "no capacity")
           else begin
             let used' =
               List.fold_left (fun acc (h : Router.hop) -> h.Router.h_edge.Graph.e_id :: acc)
@@ -373,7 +391,7 @@ let pay_multipath (t : Graph.t) ~(src : int) ~(dst : int) ~(amount : int)
         | (path, part) :: rest -> (
             match execute t ~path ~amount:part () with
             | Ok o when o.succeeded -> run rest
-            | Ok _ -> Error "part cancelled"
+            | Ok _ -> Error (Failed "part cancelled")
             | Error e -> Error e)
       in
       run parts

@@ -5,6 +5,7 @@ open Monet_ec
 open Monet_channel.Channel
 module Tp = Monet_sig.Two_party
 
+let err = error_to_string
 let drbg = Monet_hash.Drbg.of_int 60606
 
 let test_cfg =
@@ -27,7 +28,7 @@ let setup ?(cfg = test_cfg) ?(bal_a = 60) ?(bal_b = 40) (label : string) =
   fund wb bal_b;
   match establish ~cfg env ~id:1 ~wallet_a:wa ~wallet_b:wb ~bal_a ~bal_b with
   | Ok (c, rep) -> (env, c, rep, wa, wb)
-  | Error e -> Alcotest.failf "establish: %s" e
+  | Error e -> Alcotest.failf "establish: %s" (err e)
 
 let test_establish () =
   let _, c, rep, _, _ = setup "est" in
@@ -49,17 +50,17 @@ let test_establish () =
 let test_update_and_cooperative_close () =
   let _, c, _, _, _ = setup "upd" in
   (match update c ~amount_from_a:15 with
-  | Error e -> Alcotest.failf "update: %s" e
+  | Error e -> Alcotest.failf "update: %s" (err e)
   | Ok rep ->
       Alcotest.(check int) "state" 1 c.a.state;
       Alcotest.(check bool) "update messages" true (rep.messages >= 4));
   (match update c ~amount_from_a:(-5) with
-  | Error e -> Alcotest.failf "update2: %s" e
+  | Error e -> Alcotest.failf "update2: %s" (err e)
   | Ok _ -> ());
   Alcotest.(check int) "alice 50" 50 c.a.my_balance;
   Alcotest.(check int) "bob 50" 50 c.b.my_balance;
   match cooperative_close c with
-  | Error e -> Alcotest.failf "close: %s" e
+  | Error e -> Alcotest.failf "close: %s" (err e)
   | Ok (payout, rep) ->
       Alcotest.(check int) "alice payout" 50 payout.pay_a;
       Alcotest.(check int) "bob payout" 50 payout.pay_b;
@@ -73,11 +74,11 @@ let test_overdraft_rejected () =
   let _, c, _, _, _ = setup "ovr" in
   match update c ~amount_from_a:1000 with
   | Ok _ -> Alcotest.fail "overdraft allowed"
-  | Error e -> Alcotest.(check string) "error" "insufficient channel balance" e
+  | Error e -> Alcotest.(check string) "error" "insufficient channel balance" (err e)
 
 let test_update_after_close_rejected () =
   let _, c, _, _, _ = setup "uac" in
-  (match cooperative_close c with Ok _ -> () | Error e -> Alcotest.fail e);
+  (match cooperative_close c with Ok _ -> () | Error e -> Alcotest.fail (err e));
   match update c ~amount_from_a:1 with
   | Ok _ -> Alcotest.fail "update after close"
   | Error _ -> ()
@@ -87,9 +88,9 @@ let test_fungibility () =
      structurally identical to ordinary wallet payments: same input
      arity, ring sizes, output fields — on-chain unidentifiability. *)
   let env, c, _, wa, _ = setup "fun" in
-  (match update c ~amount_from_a:10 with Ok _ -> () | Error e -> Alcotest.fail e);
+  (match update c ~amount_from_a:10 with Ok _ -> () | Error e -> Alcotest.fail (err e));
   let payout, _ =
-    match cooperative_close c with Ok r -> r | Error e -> Alcotest.failf "close: %s" e
+    match cooperative_close c with Ok r -> r | Error e -> Alcotest.failf "close: %s" (err e)
   in
   (* An ordinary payment for comparison. *)
   Monet_xmr.Wallet.scan wa env.ledger;
@@ -117,9 +118,9 @@ let test_dispute_responsive () =
   (* Proposer opens a dispute; counterparty responds; channel settles
      cooperatively at the latest state; no key release. *)
   let _, c, _, _, _ = setup "dresp" in
-  (match update c ~amount_from_a:20 with Ok _ -> () | Error e -> Alcotest.fail e);
+  (match update c ~amount_from_a:20 with Ok _ -> () | Error e -> Alcotest.fail (err e));
   match dispute_close c ~proposer:Tp.Alice ~responsive:true with
-  | Error e -> Alcotest.failf "dispute: %s" e
+  | Error e -> Alcotest.failf "dispute: %s" (err e)
   | Ok (payout, rep) ->
       Alcotest.(check int) "alice gets latest" 40 payout.pay_a;
       Alcotest.(check int) "bob gets latest" 60 payout.pay_b;
@@ -130,11 +131,11 @@ let test_dispute_unresponsive_guaranteed_closure () =
      root, proposer derives the latest witness and settles alone:
      guaranteed channel closure + guaranteed payout. *)
   let _, c, _, _, _ = setup "dto" in
-  (match update c ~amount_from_a:25 with Ok _ -> () | Error e -> Alcotest.fail e);
-  (match update c ~amount_from_a:(-10) with Ok _ -> () | Error e -> Alcotest.fail e);
+  (match update c ~amount_from_a:25 with Ok _ -> () | Error e -> Alcotest.fail (err e));
+  (match update c ~amount_from_a:(-10) with Ok _ -> () | Error e -> Alcotest.fail (err e));
   (* Latest: alice 45, bob 55. *)
   match dispute_close c ~proposer:Tp.Bob ~responsive:false with
-  | Error e -> Alcotest.failf "dispute: %s" e
+  | Error e -> Alcotest.failf "dispute: %s" (err e)
   | Ok (payout, rep) ->
       Alcotest.(check int) "alice payout at latest" 45 payout.pay_a;
       Alcotest.(check int) "bob payout at latest" 55 payout.pay_b;
@@ -147,17 +148,17 @@ let test_revocation_punishes_cheater () =
      own signature, derives his latest witness forward and settles the
      latest state first. *)
   let _, c, _, _, _ = setup "rev" in
-  (match update c ~amount_from_a:30 with Ok _ -> () | Error e -> Alcotest.fail e);
+  (match update c ~amount_from_a:30 with Ok _ -> () | Error e -> Alcotest.fail (err e));
   (* state 1: alice 30 / bob 70 — good for bob *)
-  (match update c ~amount_from_a:(-40) with Ok _ -> () | Error e -> Alcotest.fail e);
-  (match update c ~amount_from_a:(-10) with Ok _ -> () | Error e -> Alcotest.fail e);
+  (match update c ~amount_from_a:(-40) with Ok _ -> () | Error e -> Alcotest.fail (err e));
+  (match update c ~amount_from_a:(-10) with Ok _ -> () | Error e -> Alcotest.fail (err e));
   (* state 3 (latest): alice 80 / bob 20 *)
   let alice_old_wit = my_witness_at c.a ~state:1 in
   (match submit_old_state c ~cheater:Tp.Bob ~state:1 ~victim_old_wit:alice_old_wit with
-  | Error e -> Alcotest.failf "cheat submit: %s" e
+  | Error e -> Alcotest.failf "cheat submit: %s" (err e)
   | Ok _ -> ());
   match watch_and_punish c ~victim:Tp.Alice with
-  | Error e -> Alcotest.failf "punish: %s" e
+  | Error e -> Alcotest.failf "punish: %s" (err e)
   | Ok payout ->
       Alcotest.(check int) "alice gets latest 80" 80 payout.pay_a;
       Alcotest.(check int) "bob gets latest 20" 20 payout.pay_b
@@ -166,11 +167,11 @@ let test_cheat_unnoticed_would_win () =
   (* Sanity for the race model: if nobody watches, the old state mines
      — i.e. the punishment above is what protects Alice. *)
   let env, c, _, _, _ = setup "rev2" in
-  (match update c ~amount_from_a:30 with Ok _ -> () | Error e -> Alcotest.fail e);
-  (match update c ~amount_from_a:(-40) with Ok _ -> () | Error e -> Alcotest.fail e);
+  (match update c ~amount_from_a:30 with Ok _ -> () | Error e -> Alcotest.fail (err e));
+  (match update c ~amount_from_a:(-40) with Ok _ -> () | Error e -> Alcotest.fail (err e));
   let alice_old_wit = my_witness_at c.a ~state:1 in
   (match submit_old_state c ~cheater:Tp.Bob ~state:1 ~victim_old_wit:alice_old_wit with
-  | Error e -> Alcotest.failf "cheat submit: %s" e
+  | Error e -> Alcotest.failf "cheat submit: %s" (err e)
   | Ok _ -> ());
   let block = Monet_xmr.Ledger.mine env.ledger in
   Alcotest.(check int) "old state mined" 1 (List.length block.Monet_xmr.Ledger.b_txs)
@@ -182,7 +183,7 @@ let test_lock_unlock () =
   let y = Sc.random_nonzero g in
   let lock_stmt = Monet_sig.Stmt.make ~y ~hp:c.a.joint.Tp.hp in
   (match lock c ~payer:Tp.Alice ~amount:10 ~lock_stmt ~timer:5000 with
-  | Error e -> Alcotest.failf "lock: %s" e
+  | Error e -> Alcotest.failf "lock: %s" (err e)
   | Ok _ -> ());
   Alcotest.(check bool) "lock pending" true (c.a.lock <> None);
   (* A further update is refused while locked. *)
@@ -194,12 +195,12 @@ let test_lock_unlock () =
   | Ok _ -> Alcotest.fail "bad witness unlocked"
   | Error _ -> ());
   (match unlock c ~y with
-  | Error e -> Alcotest.failf "unlock: %s" e
+  | Error e -> Alcotest.failf "unlock: %s" (err e)
   | Ok (_, extracted) ->
       Alcotest.(check bool) "payer extracts the lock witness" true (Sc.equal extracted y));
   (* Channel now settles at the shifted balances. *)
   match cooperative_close c with
-  | Error e -> Alcotest.failf "close: %s" e
+  | Error e -> Alcotest.failf "close: %s" (err e)
   | Ok (payout, _) ->
       Alcotest.(check int) "alice 50" 50 payout.pay_a;
       Alcotest.(check int) "bob 50" 50 payout.pay_b
@@ -209,14 +210,14 @@ let test_lock_cancel () =
   let y = Sc.random_nonzero (Monet_hash.Drbg.split drbg "w2") in
   let lock_stmt = Monet_sig.Stmt.make ~y ~hp:c.a.joint.Tp.hp in
   (match lock c ~payer:Tp.Alice ~amount:10 ~lock_stmt ~timer:5000 with
-  | Error e -> Alcotest.failf "lock: %s" e
+  | Error e -> Alcotest.failf "lock: %s" (err e)
   | Ok _ -> ());
   (match cancel_lock c with
-  | Error e -> Alcotest.failf "cancel: %s" e
+  | Error e -> Alcotest.failf "cancel: %s" (err e)
   | Ok _ -> ());
   Alcotest.(check bool) "lock cleared" true (c.a.lock = None);
   match cooperative_close c with
-  | Error e -> Alcotest.failf "close: %s" e
+  | Error e -> Alcotest.failf "close: %s" (err e)
   | Ok (payout, _) ->
       Alcotest.(check int) "alice unchanged" 60 payout.pay_a;
       Alcotest.(check int) "bob unchanged" 40 payout.pay_b
@@ -226,32 +227,32 @@ let test_batch_mode () =
      the per-update NewSW/CVrfy and exchange only ~32-byte messages. *)
   let _, c, _, _, _ = setup "batch" in
   (match exchange_batches c ~n:5 with
-  | Error e -> Alcotest.failf "batch: %s" e
+  | Error e -> Alcotest.failf "batch: %s" (err e)
   | Ok rep -> Alcotest.(check bool) "batch bytes dominated by proofs" true (rep.bytes > 1000));
   let before = fresh_report () in
   ignore before;
   (match update c ~amount_from_a:5 with
-  | Error e -> Alcotest.failf "u1: %s" e
+  | Error e -> Alcotest.failf "u1: %s" (err e)
   | Ok rep ->
       (* No VCOF proofs on the wire in batch mode. *)
       Alcotest.(check bool) "small update messages" true (rep.bytes < 2000));
-  (match update c ~amount_from_a:5 with Error e -> Alcotest.fail e | Ok _ -> ());
-  (match update c ~amount_from_a:(-3) with Error e -> Alcotest.fail e | Ok _ -> ());
+  (match update c ~amount_from_a:5 with Error e -> Alcotest.fail (err e) | Ok _ -> ());
+  (match update c ~amount_from_a:(-3) with Error e -> Alcotest.fail (err e) | Ok _ -> ());
   match cooperative_close c with
-  | Error e -> Alcotest.failf "close: %s" e
+  | Error e -> Alcotest.failf "close: %s" (err e)
   | Ok (payout, _) ->
       Alcotest.(check int) "alice" 53 payout.pay_a;
       Alcotest.(check int) "bob" 47 payout.pay_b
 
 let test_batch_exhaustion_falls_back () =
   let _, c, _, _, _ = setup "batchx" in
-  (match exchange_batches c ~n:2 with Error e -> Alcotest.fail e | Ok _ -> ());
-  (match update c ~amount_from_a:1 with Error e -> Alcotest.fail e | Ok _ -> ());
-  (match update c ~amount_from_a:1 with Error e -> Alcotest.fail e | Ok _ -> ());
+  (match exchange_batches c ~n:2 with Error e -> Alcotest.fail (err e) | Ok _ -> ());
+  (match update c ~amount_from_a:1 with Error e -> Alcotest.fail (err e) | Ok _ -> ());
+  (match update c ~amount_from_a:1 with Error e -> Alcotest.fail (err e) | Ok _ -> ());
   (* Batch exhausted: falls back to original mode transparently. *)
-  (match update c ~amount_from_a:1 with Error e -> Alcotest.failf "fallback: %s" e | Ok _ -> ());
+  (match update c ~amount_from_a:1 with Error e -> Alcotest.failf "fallback: %s" (err e) | Ok _ -> ());
   match cooperative_close c with
-  | Error e -> Alcotest.failf "close: %s" e
+  | Error e -> Alcotest.failf "close: %s" (err e)
   | Ok (payout, _) -> Alcotest.(check int) "alice" 57 payout.pay_a
 
 
@@ -259,8 +260,8 @@ let test_snapshot_restore_continue () =
   (* Establish, update, persist both parties, "restart", keep
      transacting, close: state, balances and history all survive. *)
   let env, c, _, _, _ = setup "snap" in
-  (match update c ~amount_from_a:10 with Ok _ -> () | Error e -> Alcotest.fail e);
-  (match update c ~amount_from_a:(-5) with Ok _ -> () | Error e -> Alcotest.fail e);
+  (match update c ~amount_from_a:10 with Ok _ -> () | Error e -> Alcotest.fail (err e));
+  (match update c ~amount_from_a:(-5) with Ok _ -> () | Error e -> Alcotest.fail (err e));
   let snap_a = Monet_channel.Snapshot.save c.a in
   let snap_b = Monet_channel.Snapshot.save c.b in
   Alcotest.(check bool) "snapshots non-trivial" true
@@ -273,19 +274,19 @@ let test_snapshot_restore_continue () =
   | Ok c' ->
       Alcotest.(check int) "state restored" 2 c'.a.state;
       Alcotest.(check int) "alice balance" 55 c'.a.my_balance;
-      (match update c' ~amount_from_a:5 with Ok _ -> () | Error e -> Alcotest.fail e);
+      (match update c' ~amount_from_a:5 with Ok _ -> () | Error e -> Alcotest.fail (err e));
       (match cooperative_close c' with
       | Ok (payout, _) ->
           Alcotest.(check int) "alice payout" 50 payout.pay_a;
           Alcotest.(check int) "bob payout" 50 payout.pay_b
-      | Error e -> Alcotest.failf "close after restore: %s" e)
+      | Error e -> Alcotest.failf "close after restore: %s" (err e))
 
 let test_snapshot_punishment_survives_restart () =
   (* The whole point of persisting history: a restarted party can still
      punish an old-state cheat. *)
   let env, c, _, _, _ = setup "snapp" in
-  (match update c ~amount_from_a:30 with Ok _ -> () | Error e -> Alcotest.fail e);
-  (match update c ~amount_from_a:(-40) with Ok _ -> () | Error e -> Alcotest.fail e);
+  (match update c ~amount_from_a:30 with Ok _ -> () | Error e -> Alcotest.fail (err e));
+  (match update c ~amount_from_a:(-40) with Ok _ -> () | Error e -> Alcotest.fail (err e));
   let snap_a = Monet_channel.Snapshot.save c.a in
   let snap_b = Monet_channel.Snapshot.save c.b in
   let c' =
@@ -299,10 +300,10 @@ let test_snapshot_punishment_survives_restart () =
   let alice_old = my_witness_at c'.a ~state:1 in
   (match submit_old_state c' ~cheater:Tp.Bob ~state:1 ~victim_old_wit:alice_old with
   | Ok _ -> ()
-  | Error e -> Alcotest.failf "cheat: %s" e);
+  | Error e -> Alcotest.failf "cheat: %s" (err e));
   match watch_and_punish c' ~victim:Tp.Alice with
   | Ok payout -> Alcotest.(check int) "restored party punishes" 70 payout.pay_a
-  | Error e -> Alcotest.failf "punish after restore: %s" e
+  | Error e -> Alcotest.failf "punish after restore: %s" (err e)
 
 let test_snapshot_rejects_garbage () =
   (match Monet_channel.Snapshot.restore ~cfg:test_cfg ~g:(Monet_hash.Drbg.of_int 1) "nonsense" with
@@ -319,7 +320,7 @@ let test_splice_in () =
      output, enlarged capacity, payments continue, final payout
      reflects the splice. *)
   let env, c, _, wa, _ = setup "splice" in
-  (match update c ~amount_from_a:10 with Ok _ -> () | Error e -> Alcotest.fail e);
+  (match update c ~amount_from_a:10 with Ok _ -> () | Error e -> Alcotest.fail (err e));
   (* Give Alice's wallet a coin to splice in. *)
   let g = Monet_hash.Drbg.split drbg "splice-coin" in
   Monet_xmr.Ledger.ensure_decoys g env.ledger ~amount:30 ~n:20;
@@ -327,19 +328,19 @@ let test_splice_in () =
   let idx = Monet_xmr.Ledger.genesis_output env.ledger { Monet_xmr.Tx.otk = kp.vk; amount = 30 } in
   Monet_xmr.Wallet.adopt wa ~global_index:idx ~keypair:kp ~amount:30;
   match splice_in c ~funder:Tp.Alice ~amount:30 ~wallet:wa with
-  | Error e -> Alcotest.failf "splice: %s" e
+  | Error e -> Alcotest.failf "splice: %s" (err e)
   | Ok (c', rep) ->
       Alcotest.(check int) "one monero tx" 1 rep.monero_txs;
       Alcotest.(check int) "capacity grew" 130 c'.a.capacity;
       Alcotest.(check int) "alice balance grew" 80 c'.a.my_balance;
       Alcotest.(check bool) "old handle dead" true c.a.closed;
       (* The channel keeps working at the new capacity. *)
-      (match update c' ~amount_from_a:70 with Ok _ -> () | Error e -> Alcotest.fail e);
+      (match update c' ~amount_from_a:70 with Ok _ -> () | Error e -> Alcotest.fail (err e));
       (match cooperative_close c' with
       | Ok (payout, _) ->
           Alcotest.(check int) "alice payout" 10 payout.pay_a;
           Alcotest.(check int) "bob payout" 120 payout.pay_b
-      | Error e -> Alcotest.failf "close after splice: %s" e)
+      | Error e -> Alcotest.failf "close after splice: %s" (err e))
 
 let tests =
   [

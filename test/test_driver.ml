@@ -1,0 +1,80 @@
+(* Transport equivalence: the clock-scheduled driver must be
+   observationally identical to the synchronous one — same balances,
+   payouts and per-phase traffic counts — since rounds are causal
+   depth and each link direction is FIFO in both modes. *)
+open Monet_channel.Channel
+module Driver = Monet_channel.Driver
+
+let test_cfg =
+  { default_config with vcof_reps = Some 8; ring_size = 5; n_escrowers = 4;
+    escrow_threshold = 2 }
+
+let counts (r : report) = (r.messages, r.bytes, r.rounds, r.signatures)
+
+(* Establish + 10 updates + cooperative close over [transport], from a
+   fixed seed so both transports see identical cryptography. *)
+let lifecycle ~transport =
+  let env = make_env (Monet_hash.Drbg.of_int 909090) in
+  let g = Monet_hash.Drbg.of_int 919191 in
+  Monet_xmr.Ledger.ensure_decoys g env.ledger ~amount:60 ~n:20;
+  Monet_xmr.Ledger.ensure_decoys g env.ledger ~amount:40 ~n:20;
+  let wa = Monet_xmr.Wallet.create ~ring_size:test_cfg.ring_size g ~label:"walletA" in
+  let wb = Monet_xmr.Wallet.create ~ring_size:test_cfg.ring_size g ~label:"walletB" in
+  let fund w amount =
+    let kp = Monet_sig.Sig_core.gen g in
+    let idx =
+      Monet_xmr.Ledger.genesis_output env.ledger
+        { Monet_xmr.Tx.otk = kp.vk; amount }
+    in
+    Monet_xmr.Wallet.adopt w ~global_index:idx ~keypair:kp ~amount
+  in
+  fund wa 60;
+  fund wb 40;
+  match
+    establish ~cfg:test_cfg ~transport env ~id:1 ~wallet_a:wa ~wallet_b:wb
+      ~bal_a:60 ~bal_b:40
+  with
+  | Error e -> Alcotest.failf "establish: %s" (error_to_string e)
+  | Ok (c, est_rep) ->
+      let traffic = ref [ counts est_rep ] in
+      for i = 1 to 10 do
+        let amount_from_a = if i mod 2 = 0 then -2 else 3 in
+        match update c ~amount_from_a with
+        | Ok rep -> traffic := counts rep :: !traffic
+        | Error e -> Alcotest.failf "update %d: %s" i (error_to_string e)
+      done;
+      let bal = (c.a.my_balance, c.b.my_balance) in
+      (match cooperative_close c with
+      | Error e -> Alcotest.failf "close: %s" (error_to_string e)
+      | Ok (p, rep) ->
+          traffic := counts rep :: !traffic;
+          (bal, (p.pay_a, p.pay_b), List.rev !traffic))
+
+let test_scheduled_equals_sync () =
+  let sync_bal, sync_pay, sync_traffic = lifecycle ~transport:Driver.Sync in
+  let clock = Monet_dsim.Clock.create () in
+  let sched_bal, sched_pay, sched_traffic =
+    lifecycle
+      ~transport:
+        (Driver.Scheduled
+           { clock; latency = Monet_dsim.Latency.Uniform (1.0, 25.0);
+             g = Monet_hash.Drbg.of_int 5 })
+  in
+  Alcotest.(check (pair int int)) "final balances" sync_bal sched_bal;
+  Alcotest.(check (pair int int)) "payouts" sync_pay sched_pay;
+  Alcotest.(check int) "same number of phases" (List.length sync_traffic)
+    (List.length sched_traffic);
+  List.iteri
+    (fun i ((m, b, r, s), (m', b', r', s')) ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "phase %d traffic (messages/bytes/rounds/signatures)" i)
+        [ m; b; r; s ] [ m'; b'; r'; s' ])
+    (List.combine sync_traffic sched_traffic);
+  (* The scheduled run actually consumed simulated time. *)
+  Alcotest.(check bool) "clock advanced" true (Monet_dsim.Clock.now clock > 0.0)
+
+let tests =
+  [
+    Alcotest.test_case "scheduled transport = sync transport" `Quick
+      test_scheduled_equals_sync;
+  ]

@@ -220,7 +220,7 @@ let test_channel_zero_update () =
   fund wb 50;
   match Monet_channel.Channel.establish ~cfg env ~id:1 ~wallet_a:wa ~wallet_b:wb
           ~bal_a:50 ~bal_b:50 with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Monet_channel.Channel.error_to_string e)
   | Ok (c, _) -> (
       (* Zero-amount update is a (wasteful but valid) state bump. *)
       match Monet_channel.Channel.update c ~amount_from_a:0 with
@@ -228,7 +228,7 @@ let test_channel_zero_update () =
           Alcotest.(check int) "state advanced" 1 c.Monet_channel.Channel.a.state;
           Alcotest.(check int) "balance unchanged" 50
             c.Monet_channel.Channel.a.my_balance
-      | Error e -> Alcotest.fail e)
+      | Error e -> Alcotest.fail (Monet_channel.Channel.error_to_string e))
 
 let tests =
   [

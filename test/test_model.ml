@@ -102,19 +102,19 @@ let test_emulation_three_party () =
     | Ok (id, _) -> id | Error e -> Alcotest.fail e in
   (match Payment.pay net ~src:a ~dst:c ~amount:10 () with
   | Ok o -> Alcotest.(check bool) "real payment ok" true o.Payment.succeeded
-  | Error e -> Alcotest.fail e);
+  | Error e -> Alcotest.fail (Payment.error_to_string e));
   (match Ch.update (Graph.edge net ab').Graph.e_channel ~amount_from_a:5 with
   | Ok _ -> ()
-  | Error e -> Alcotest.fail e);
+  | Error e -> Alcotest.fail (Ch.error_to_string e));
   let real_ab =
     match Ch.cooperative_close (Graph.edge net ab').Graph.e_channel with
     | Ok (p, _) -> (p.Ch.pay_a, p.Ch.pay_b)
-    | Error e -> Alcotest.fail e
+    | Error e -> Alcotest.fail (Ch.error_to_string e)
   in
   let real_bc =
     match Ch.cooperative_close (Graph.edge net bc').Graph.e_channel with
     | Ok (p, _) -> (p.Ch.pay_a, p.Ch.pay_b)
-    | Error e -> Alcotest.fail e
+    | Error e -> Alcotest.fail (Ch.error_to_string e)
   in
   (* The environment cannot distinguish the two worlds: identical
      payout distributions. *)
@@ -136,9 +136,11 @@ let test_emulation_dispute_equals_ideal_close () =
   let eid = match Graph.open_channel net ~left:a ~right:b ~bal_left:60 ~bal_right:40 with
     | Ok (id, _) -> id | Error e -> Alcotest.fail e in
   let ch = (Graph.edge net eid).Graph.e_channel in
-  (match Ch.update ch ~amount_from_a:(-25) with Ok _ -> () | Error e -> Alcotest.fail e);
+  (match Ch.update ch ~amount_from_a:(-25) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Ch.error_to_string e));
   match Ch.dispute_close ch ~proposer:Monet_sig.Two_party.Alice ~responsive:false with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Ch.error_to_string e)
   | Ok (p, _) ->
       Alcotest.(check (pair int int)) "unilateral close = ideal close" ideal_payout
         (p.Ch.pay_a, p.Ch.pay_b)

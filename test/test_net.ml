@@ -112,7 +112,7 @@ let test_multihop_payment () =
   let t, ids = line_network ~n:3 "mh" in
   (* Alice (0) pays Carol (2) 10 via Bob (1): the paper's running example. *)
   match Payment.pay t ~src:ids.(0) ~dst:ids.(2) ~amount:10 () with
-  | Error e -> Alcotest.failf "pay: %s" e
+  | Error e -> Alcotest.failf "pay: %s" (Payment.error_to_string e)
   | Ok outcome ->
       Alcotest.(check bool) "succeeded" true outcome.Payment.succeeded;
       Alcotest.(check int) "2 hops" 2 outcome.Payment.stats.Payment.n_hops;
@@ -131,7 +131,7 @@ let test_multihop_atomicity_on_cancel () =
      no half-paid state (atomicity + unlockability). *)
   let t, ids = line_network ~n:4 "atom" in
   match Payment.pay t ~src:ids.(0) ~dst:ids.(3) ~amount:10 ~receiver_cooperates:false () with
-  | Error e -> Alcotest.failf "pay: %s" e
+  | Error e -> Alcotest.failf "pay: %s" (Payment.error_to_string e)
   | Ok outcome ->
       Alcotest.(check bool) "failed as expected" false outcome.Payment.succeeded;
       List.iter
@@ -145,7 +145,7 @@ let test_multihop_atomicity_on_cancel () =
 let test_multihop_long_path () =
   let t, ids = line_network ~n:6 "long" in
   match Payment.pay t ~src:ids.(0) ~dst:ids.(5) ~amount:7 () with
-  | Error e -> Alcotest.failf "pay: %s" e
+  | Error e -> Alcotest.failf "pay: %s" (Payment.error_to_string e)
   | Ok outcome ->
       Alcotest.(check int) "5 hops" 5 outcome.Payment.stats.Payment.n_hops;
       Alcotest.(check bool) "succeeded" true outcome.Payment.succeeded;
@@ -156,7 +156,7 @@ let test_multihop_long_path () =
 let test_latency_model () =
   let t, ids = line_network ~n:3 "lat" in
   match Payment.pay t ~src:ids.(0) ~dst:ids.(2) ~amount:5 () with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Payment.error_to_string e)
   | Ok o ->
       let l = Payment.latency_ms o ~network_ms:60.0 in
       (* Paper's model: >= n_h * 60ms, plus computation. *)
@@ -174,7 +174,7 @@ let test_worst_case_last_hop_dispute () =
   | Error e -> Alcotest.fail e
   | Ok path -> (
       match Payment.fail_with_last_hop_dispute t ~path ~amount:10 () with
-      | Error e -> Alcotest.failf "worst case: %s" e
+      | Error e -> Alcotest.failf "worst case: %s" (Payment.error_to_string e)
       | Ok (payout, _) ->
           (* Last channel settled at pre-lock balances (50/50). *)
           Alcotest.(check int) "payer side payout" 50 payout.Ch.pay_a;
@@ -197,8 +197,8 @@ let test_watchtower_punishes () =
   let e = Graph.edge t 1 in
   let c = e.Graph.e_channel in
   (* Two updates so there is an old state to cheat with. *)
-  (match Ch.update c ~amount_from_a:20 with Ok _ -> () | Error err -> Alcotest.fail err);
-  (match Ch.update c ~amount_from_a:(-30) with Ok _ -> () | Error err -> Alcotest.fail err);
+  (match Ch.update c ~amount_from_a:20 with Ok _ -> () | Error err -> Alcotest.fail (Ch.error_to_string err));
+  (match Ch.update c ~amount_from_a:(-30) with Ok _ -> () | Error err -> Alcotest.fail (Ch.error_to_string err));
   let tower = Monet_channel.Watchtower.create () in
   Monet_channel.Watchtower.watch tower c ~victim:Monet_sig.Two_party.Alice;
   (* Clean tick: nothing suspicious. *)
@@ -209,7 +209,7 @@ let test_watchtower_punishes () =
   (match Ch.submit_old_state c ~cheater:Monet_sig.Two_party.Bob ~state:1
            ~victim_old_wit:alice_old with
   | Ok _ -> ()
-  | Error err -> Alcotest.fail err);
+  | Error err -> Alcotest.fail (Ch.error_to_string err));
   let r1 = Monet_channel.Watchtower.tick tower in
   (match r1.Monet_channel.Watchtower.punished with
   | [ (_, payout) ] -> Alcotest.(check int) "latest state enforced" 60 payout.Ch.pay_a
@@ -220,8 +220,8 @@ let test_watchtower_scheduled_on_clock () =
   let t, _ = line_network ~n:2 "wt2" in
   let e = Graph.edge t 1 in
   let c = e.Graph.e_channel in
-  (match Ch.update c ~amount_from_a:5 with Ok _ -> () | Error err -> Alcotest.fail err);
-  (match Ch.update c ~amount_from_a:5 with Ok _ -> () | Error err -> Alcotest.fail err);
+  (match Ch.update c ~amount_from_a:5 with Ok _ -> () | Error err -> Alcotest.fail (Ch.error_to_string err));
+  (match Ch.update c ~amount_from_a:5 with Ok _ -> () | Error err -> Alcotest.fail (Ch.error_to_string err));
   let tower = Monet_channel.Watchtower.create () in
   Monet_channel.Watchtower.watch tower c ~victim:Monet_sig.Two_party.Bob;
   let clock = Monet_dsim.Clock.create () in
@@ -232,7 +232,7 @@ let test_watchtower_scheduled_on_clock () =
       match Ch.submit_old_state c ~cheater:Monet_sig.Two_party.Alice ~state:1
               ~victim_old_wit:bob_old with
       | Ok _ -> ()
-      | Error err -> Alcotest.failf "cheat: %s" err);
+      | Error err -> Alcotest.failf "cheat: %s" (Ch.error_to_string err));
   Monet_dsim.Clock.run clock ();
   Alcotest.(check int) "tower punished during simulation" 1
     tower.Monet_channel.Watchtower.punishments
@@ -291,10 +291,10 @@ let test_fungibility_statistical () =
     let e = Graph.edge t 1 in
     (match Ch.update e.Graph.e_channel ~amount_from_a:5 with
     | Ok _ -> ()
-    | Error err -> Alcotest.fail err);
+    | Error err -> Alcotest.fail (Ch.error_to_string err));
     (match Ch.cooperative_close e.Graph.e_channel with
     | Ok (p, _) -> record `Channel p.Ch.close_tx
-    | Error err -> Alcotest.fail err);
+    | Error err -> Alcotest.fail (Ch.error_to_string err));
     (* A wallet payment of the same denomination on the same ledger. *)
     let node = Graph.node t ids.(0) in
     Monet_xmr.Wallet.scan node.Graph.n_wallet t.Graph.env.Ch.ledger;
@@ -336,7 +336,7 @@ let test_routing_fees () =
       Alcotest.(check (list int)) "fee-adjusted amounts" [ 12; 10 ]
         (Payment.amounts_with_fees t ~path ~amount:10);
       match Payment.execute_with_fees t ~path ~amount:10 () with
-      | Error e -> Alcotest.fail e
+      | Error e -> Alcotest.fail (Payment.error_to_string e)
       | Ok (o, total_sent) ->
           Alcotest.(check bool) "succeeded" true o.Payment.succeeded;
           Alcotest.(check int) "sender cost incl. fee" 12 total_sent));
@@ -366,7 +366,7 @@ let test_multipath_payment () =
   | Ok _ -> Alcotest.fail "single path should not fit"
   | Error _ -> ());
   match Payment.pay_multipath t ~src:s ~dst:d ~amount:50 () with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Payment.error_to_string e)
   | Ok parts ->
       Alcotest.(check int) "two parts" 2 (List.length parts);
       Alcotest.(check int) "parts sum to amount" 50

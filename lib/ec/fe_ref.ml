@@ -1,0 +1,128 @@
+(** Reference implementation of the ed25519 base field GF(2^255 - 19)
+    over variable-length {!Bn} arrays.
+
+    This was the production field until the ten-limb kernel in {!Fe}
+    replaced it; it is kept as the differential-testing oracle
+    (test/test_ec.ml) and as the baseline side of bench/ec_bench.ml.
+    Nothing on a hot path should use it. *)
+
+include Fp.Make (struct
+  let modulus_hex = "7fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffed"
+  let name = "fe25519"
+end)
+
+let p = modulus
+let nineteen = Bn.of_int 19
+
+(* Specialized reduction: 2^255 = 19 (mod p). Folding twice brings any
+   510-bit product below ~2^132 + 2^255, after which at most one
+   subtraction of p remains. Faster than Barrett on this modulus. *)
+let reduce_fold (x : Bn.t) : Bn.t =
+  let fold x =
+    if Bn.num_bits x <= 255 then x
+    else begin
+      let hi = Bn.shift_right_bits x 255 in
+      let lo = Bn.sub x (Bn.shift_left_bits hi 255) in
+      Bn.add lo (Bn.mul hi nineteen)
+    end
+  in
+  let x = fold (fold x) in
+  let rec trim x = if Bn.compare x p >= 0 then trim (Bn.sub x p) else x in
+  trim x
+
+(* Specialized multiplication: schoolbook over at most 10 base-2^26
+   limbs, then limb-aligned folding using 2^260 ≡ 608 and a final
+   bit-level fold of bits ≥ 255 using 2^255 ≡ 19. Avoids the generic
+   shift/divide machinery of [Bn]; point arithmetic lives on this. *)
+let mul (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then Bn.zero
+  else begin
+    let prod = Array.make 20 0 in
+    for i = 0 to la - 1 do
+      let ai = a.(i) in
+      let carry = ref 0 in
+      for j = 0 to lb - 1 do
+        let v = prod.(i + j) + (ai * b.(j)) + !carry in
+        prod.(i + j) <- v land 0x3ffffff;
+        carry := v lsr 26
+      done;
+      let k = ref (i + lb) in
+      while !carry <> 0 do
+        let v = prod.(!k) + !carry in
+        prod.(!k) <- v land 0x3ffffff;
+        carry := v lsr 26;
+        incr k
+      done
+    done;
+    (* Fold limbs 10..19 down with 2^260 = 608 (mod p). *)
+    for i = 10 to 19 do
+      prod.(i - 10) <- prod.(i - 10) + (prod.(i) * 608);
+      prod.(i) <- 0
+    done;
+    (* Carry chain; the overflow above limb 9 folds again via 608. *)
+    let carry = ref 0 in
+    for i = 0 to 9 do
+      let v = prod.(i) + !carry in
+      prod.(i) <- v land 0x3ffffff;
+      carry := v lsr 26
+    done;
+    while !carry <> 0 do
+      let c = !carry in
+      carry := 0;
+      prod.(0) <- prod.(0) + (c * 608);
+      for i = 0 to 9 do
+        let v = prod.(i) + !carry in
+        prod.(i) <- v land 0x3ffffff;
+        carry := v lsr 26
+      done
+    done;
+    (* Bit-level fold of bits 255.. (top 5 bits of limb 9) via 19. *)
+    let hi = prod.(9) lsr 21 in
+    if hi <> 0 then begin
+      prod.(9) <- prod.(9) land 0x1fffff;
+      prod.(0) <- prod.(0) + (19 * hi);
+      let carry = ref 0 in
+      for i = 0 to 9 do
+        let v = prod.(i) + !carry in
+        prod.(i) <- v land 0x3ffffff;
+        carry := v lsr 26
+      done;
+      assert (!carry = 0)
+    end;
+    let r = Bn.normalize prod in
+    let rec trim x = if Bn.compare x p >= 0 then trim (Bn.sub x p) else x in
+    trim r
+  end
+
+let sq a = mul a a
+
+(* Re-derive pow over the faster mul. *)
+let pow (base : t) (e : Bn.t) : t =
+  let n = Bn.num_bits e in
+  let acc = ref one and b = ref (reduce_fold base) in
+  for i = 0 to n - 1 do
+    if Bn.testbit e i then acc := mul !acc !b;
+    if i < n - 1 then b := sq !b
+  done;
+  !acc
+
+let inv a = pow a (Bn.sub p (Bn.of_int 2))
+
+(* Curve constants. *)
+let d = of_hex "52036cee2b6ffe738cc740797779e89800700a4d4141d8ab75eb4dca135978a3"
+let sqrt_m1 = of_hex "2b8324804fc1df0b2b4d00993dfbd7a72f431806ad2fe478c4ee1b274a0ea0b0"
+
+(** Square root mod p (p = 5 mod 8): candidate = a^((p+3)/8), fixed up
+    by sqrt(-1) when needed. Returns [None] if [a] is a non-residue. *)
+let sqrt (a : t) : t option =
+  let e = Bn.shift_right_bits (Bn.add p (Bn.of_int 3)) 3 in
+  let x = pow a e in
+  let x2 = sq x in
+  if equal x2 a then Some x
+  else begin
+    let x' = mul x sqrt_m1 in
+    if equal (sq x') a then Some x' else None
+  end
+
+let is_odd (a : t) : bool = Bn.testbit a 0

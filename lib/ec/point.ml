@@ -4,7 +4,18 @@
 
     Arithmetic is variable-time: this is a research reproduction, not a
     hardened wallet. Encoding is the standard 32-byte little-endian y
-    with the sign of x in the top bit. *)
+    with the sign of x in the top bit.
+
+    Scalar multiplication strategy (DESIGN.md §3.5):
+    - {!mul}: width-5 signed sliding window (wNAF) over a precomputed
+      odd-multiples table of the point — ~252 doublings, ~42 additions;
+    - {!mul_base}: fixed-base comb over a lazy 32x255 byte-window table
+      of B — 32 additions, no doublings;
+    - {!mul2} / {!double_mul}: Straus–Shamir interleaving, one shared
+      doubling chain for both scalars; [double_mul a p b] = a·P + b·B
+      uses a wider (width-8) wNAF table for the fixed base. Every
+      verification equation in sig/sigma/cas/vcof/xmr routes through
+      these instead of two independent {!mul} calls. *)
 
 type t = { x : Fe.t; y : Fe.t; z : Fe.t; t : Fe.t }
 
@@ -53,64 +64,165 @@ let equal (p : t) (q : t) : bool =
   Fe.equal (Fe.mul p.x q.z) (Fe.mul q.x p.z)
   && Fe.equal (Fe.mul p.y q.z) (Fe.mul q.y p.z)
 
-let is_identity (p : t) : bool = equal p identity
+(* O = (0 : Z : Z : 0), so X = 0 ∧ Y = Z suffices — no field
+   multiplications, unlike going through [equal p identity]. *)
+let is_identity (p : t) : bool = Fe.is_zero p.x && Fe.equal p.y p.z
 
-(** Variable-time 4-bit windowed scalar multiplication. *)
-let mul (k : Sc.t) (p : t) : t =
-  let n = Bn.num_bits k in
-  if n = 0 then identity
-  else begin
-    (* table.(j) = (j+1)·P *)
-    let table = Array.make 15 p in
-    for j = 1 to 14 do
-      table.(j) <- add table.(j - 1) p
-    done;
-    let windows = (n + 3) / 4 in
-    let acc = ref identity in
-    for w = windows - 1 downto 0 do
-      acc := double (double (double (double !acc)));
-      let digit =
-        (if Bn.testbit k ((4 * w) + 3) then 8 else 0)
-        lor (if Bn.testbit k ((4 * w) + 2) then 4 else 0)
-        lor (if Bn.testbit k ((4 * w) + 1) then 2 else 0)
-        lor if Bn.testbit k (4 * w) then 1 else 0
-      in
-      if digit <> 0 then acc := add !acc table.(digit - 1)
-    done;
-    !acc
-  end
+(* --- Scalar recoding ------------------------------------------------ *)
 
-(* Fixed-base multiplication with a precomputed 4-bit window table of
-   the base point: table.(w).(j) = (j+1) * 16^w * B. *)
+(* Signed sliding-window recoding: returns 262 digits, each 0 or odd in
+   [-m, m] (m = 2^(w-1) - 1 for width w), with nonzero digits at least
+   w apart. Positions ≥ 256 only ever hold a carry bit from the borrow
+   propagation; scalars here are < 2^255. *)
+let slide ~(m : int) (k : Sc.t) : int array =
+  let bytes = Sc.to_bytes_le k in
+  let r = Array.make 262 0 in
+  for i = 0 to 255 do
+    r.(i) <- (Char.code bytes.[i lsr 3] lsr (i land 7)) land 1
+  done;
+  for i = 0 to 255 do
+    if r.(i) <> 0 then begin
+      let b = ref 1 in
+      while !b <= 8 && i + !b <= 255 do
+        (if r.(i + !b) <> 0 then
+           let v = r.(i + !b) lsl !b in
+           if r.(i) + v <= m then begin
+             r.(i) <- r.(i) + v;
+             r.(i + !b) <- 0
+           end
+           else if r.(i) - v >= -m then begin
+             r.(i) <- r.(i) - v;
+             (* propagate the borrow upward *)
+             let j = ref (i + !b) in
+             let carrying = ref true in
+             while !carrying do
+               if r.(!j) = 0 then begin
+                 r.(!j) <- 1;
+                 carrying := false
+               end
+               else begin
+                 r.(!j) <- 0;
+                 incr j
+               end
+             done
+           end
+           else b := 9 (* window exhausted *));
+        incr b
+      done
+    end
+  done;
+  r
+
+(* tbl.(i) = (2i+1)·P *)
+let odd_multiples (p : t) (n : int) : t array =
+  let tbl = Array.make n p in
+  let p2 = double p in
+  for i = 1 to n - 1 do
+    tbl.(i) <- add tbl.(i - 1) p2
+  done;
+  tbl
+
+(* Apply a wNAF digit d (0 or odd) against an odd-multiples table. *)
+let apply_digit (acc : t) (tbl : t array) (d : int) : t =
+  if d > 0 then add acc tbl.(d asr 1)
+  else if d < 0 then sub_point acc tbl.(-d asr 1)
+  else acc
+
+(* Fixed-base comb: table.(w).(j) = (j+1) · 256^w · B, built with one
+   running row (32·255 additions, amortized over the process). *)
 let base_table : t array array lazy_t =
   lazy
-    (Array.init 64 (fun w ->
-         let step = ref base in
-         for _ = 1 to 4 * w do
-           step := double !step
-         done;
-         let row = Array.make 15 identity in
+    (let step = ref base in
+     Array.init 32 (fun _ ->
+         let row = Array.make 255 identity in
          row.(0) <- !step;
-         for j = 1 to 14 do
+         for j = 1 to 254 do
            row.(j) <- add row.(j - 1) !step
          done;
+         (* 256·step = row.(254) + step, seeding the next window *)
+         step := add row.(254) !step;
          row))
 
-(** [mul_base k] = k·B, using the window table. *)
+(** [mul_base k] = k·B: one table addition per nonzero scalar byte. *)
 let mul_base (k : Sc.t) : t =
   let table = Lazy.force base_table in
   let acc = ref identity in
   let bytes = Sc.to_bytes_le k in
   for i = 0 to 31 do
     let byte = Char.code bytes.[i] in
-    let lo = byte land 0xf and hi = byte lsr 4 in
-    if lo <> 0 then acc := add !acc table.(2 * i).(lo - 1);
-    if hi <> 0 then acc := add !acc table.((2 * i) + 1).(hi - 1)
+    if byte <> 0 then acc := add !acc table.(i).(byte - 1)
   done;
   !acc
 
-(** [mul2 a p b q] = a·P + b·Q (naive; used by verifiers). *)
-let mul2 (a : Sc.t) (p : t) (b : Sc.t) (q : t) : t = add (mul a p) (mul b q)
+(** Variable-base multiplication: width-5 wNAF over an 8-entry
+    odd-multiples table. [mul k Point.base] is redirected to the comb
+    (callers should say {!mul_base}, but the literal base point is
+    cheap to recognize and common in generic code such as DLEQ over
+    (G, Hp)). *)
+let mul (k : Sc.t) (p : t) : t =
+  if p == base then mul_base k
+  else begin
+    let naf = slide ~m:15 k in
+    let i = ref 261 in
+    while !i >= 0 && naf.(!i) = 0 do
+      decr i
+    done;
+    if !i < 0 then identity
+    else begin
+      let tbl = odd_multiples p 8 in
+      let acc = ref (apply_digit identity tbl naf.(!i)) in
+      for j = !i - 1 downto 0 do
+        acc := double !acc;
+        acc := apply_digit !acc tbl naf.(j)
+      done;
+      !acc
+    end
+  end
+
+(* Width-8 wNAF table of B for the Straus fixed-base leg. *)
+let base_wnaf_table : t array lazy_t = lazy (odd_multiples base 64)
+
+(** [mul2 a p b q] = a·P + b·Q by Straus–Shamir interleaving: one
+    shared doubling chain, two width-5 wNAF digit streams. *)
+let mul2 (a : Sc.t) (p : t) (b : Sc.t) (q : t) : t =
+  let na = slide ~m:15 a and nb = slide ~m:15 b in
+  let i = ref 261 in
+  while !i >= 0 && na.(!i) = 0 && nb.(!i) = 0 do
+    decr i
+  done;
+  if !i < 0 then identity
+  else begin
+    let ta = odd_multiples p 8 and tb = odd_multiples q 8 in
+    let acc = ref (apply_digit (apply_digit identity ta na.(!i)) tb nb.(!i)) in
+    for j = !i - 1 downto 0 do
+      acc := double !acc;
+      acc := apply_digit !acc ta na.(j);
+      acc := apply_digit !acc tb nb.(j)
+    done;
+    !acc
+  end
+
+(** [double_mul a p b] = a·P + b·B — the verifier's workhorse: every
+    sig/sigma check of the shape s·G ± c·X goes through here, paying
+    one doubling chain instead of two. The fixed-base leg uses a
+    width-8 wNAF (64-entry odd-multiples table of B). *)
+let double_mul (a : Sc.t) (p : t) (b : Sc.t) : t =
+  let na = slide ~m:15 a and nb = slide ~m:127 b in
+  let i = ref 261 in
+  while !i >= 0 && na.(!i) = 0 && nb.(!i) = 0 do
+    decr i
+  done;
+  if !i < 0 then identity
+  else begin
+    let ta = odd_multiples p 8 and tb = Lazy.force base_wnaf_table in
+    let acc = ref (apply_digit (apply_digit identity ta na.(!i)) tb nb.(!i)) in
+    for j = !i - 1 downto 0 do
+      acc := double !acc;
+      acc := apply_digit !acc ta na.(j);
+      acc := apply_digit !acc tb nb.(j)
+    done;
+    !acc
+  end
 
 let is_on_curve (p : t) : bool =
   (* -x² + y² = z² + d t²  and  t·z = x·y (extended-coordinate invariants) *)
@@ -141,9 +253,9 @@ let decode (s : string) : t option =
     let ybytes =
       String.init 32 (fun i -> if i = 31 then Char.chr (Char.code s.[31] land 0x7f) else s.[i])
     in
-    let y = Bn.of_bytes_le ybytes in
-    if Bn.compare y Fe.p >= 0 then None
+    if Bn.compare (Bn.of_bytes_le ybytes) Fe.p >= 0 then None
     else begin
+      let y = Fe.of_bytes_le ybytes in
       let y2 = Fe.sq y in
       let u = Fe.sub y2 Fe.one and v = Fe.add (Fe.mul Fe.d y2) Fe.one in
       (* x² = u/v *)

@@ -32,7 +32,7 @@ let pre_sign (g : Monet_hash.Drbg.t) (kp : Sig_core.keypair) (msg : string)
 
 let pre_verify (vk : Point.t) (msg : string) ~(stmt : Point.t) (p : pre_signature) :
     bool =
-  let r_pre = Point.sub_point (Point.mul_base p.s_pre) (Point.mul p.h vk) in
+  let r_pre = Point.double_mul (Sc.neg p.h) vk p.s_pre in
   let r_sign = Point.add r_pre stmt in
   Sc.equal p.h (Sig_core.challenge r_sign vk msg)
 

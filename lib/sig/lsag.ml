@@ -39,8 +39,8 @@ let key_image ~(sk : Sc.t) ~(vk : Point.t) : Point.t =
 
 (* Walk one step: from (c_i, s_i) at slot i to c_{i+1}. *)
 let step ~msg ~ring ~hps ~ki c i s =
-  let l = Point.add (Point.mul_base s) (Point.mul c ring.(i)) in
-  let r = Point.add (Point.mul s hps.(i)) (Point.mul c ki) in
+  let l = Point.double_mul c ring.(i) s in
+  let r = Point.mul2 s hps.(i) c ki in
   challenge msg l r
 
 (* Core signing: with [stmt] the commitment at the real index is offset
@@ -105,15 +105,9 @@ let pre_verify ~(ring : Point.t array) ~(msg : string) ~(stmt : Stmt.t)
   let c = ref p.p_c0 in
   for i = 0 to n - 1 do
     if i = p.p_pi then begin
-      let l =
-        Point.add
-          (Point.add (Point.mul_base p.p_ss.(i)) (Point.mul !c ring.(i)))
-          stmt.Stmt.yg
-      in
+      let l = Point.add (Point.double_mul !c ring.(i) p.p_ss.(i)) stmt.Stmt.yg in
       let r =
-        Point.add
-          (Point.add (Point.mul p.p_ss.(i) hps.(i)) (Point.mul !c p.p_key_image))
-          stmt.Stmt.yhp
+        Point.add (Point.mul2 p.p_ss.(i) hps.(i) !c p.p_key_image) stmt.Stmt.yhp
       in
       c := challenge msg l r
     end

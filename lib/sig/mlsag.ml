@@ -32,9 +32,9 @@ let challenge msg l1 r l2 =
     [ msg; Point.encode l1; Point.encode r; Point.encode l2 ]
 
 let step ~msg ~(ring : column array) ~hps ~ki c i s1 s2 =
-  let l1 = Point.add (Point.mul_base s1) (Point.mul c ring.(i).p) in
-  let r = Point.add (Point.mul s1 hps.(i)) (Point.mul c ki) in
-  let l2 = Point.add (Point.mul_base s2) (Point.mul c ring.(i).d) in
+  let l1 = Point.double_mul c ring.(i).p s1 in
+  let r = Point.mul2 s1 hps.(i) c ki in
+  let l2 = Point.double_mul c ring.(i).d s2 in
   challenge msg l1 r l2
 
 let hp_of_ring (ring : column array) : Point.t array =

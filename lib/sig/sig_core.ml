@@ -37,5 +37,5 @@ let sign (g : Monet_hash.Drbg.t) (kp : keypair) (msg : string) : signature =
   { h; s = Sc.add r (Sc.mul h kp.sk) }
 
 let verify (vk : Point.t) (msg : string) (sg : signature) : bool =
-  let rg = Point.sub_point (Point.mul_base sg.s) (Point.mul sg.h vk) in
+  let rg = Point.double_mul (Sc.neg sg.h) vk sg.s in
   Sc.equal sg.h (challenge rg vk msg)

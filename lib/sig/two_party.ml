@@ -166,11 +166,9 @@ let z_share (j : joint) (se : session) (mine : nonce_secret) : Sc.t =
     nonce and key shares (accountable abort). *)
 let check_z_share (j : joint) (se : session) ~(their_nonce : nonce_msg) ~(z : Sc.t) :
     bool =
-  Point.equal
-    (Point.mul_base z)
-    (Point.sub_point their_nonce.nm_rg (Point.mul se.se_c_pi j.their_vk))
-  && Point.equal (Point.mul z j.hp)
-       (Point.sub_point their_nonce.nm_ri (Point.mul se.se_c_pi j.their_ki))
+  (* z·G + c_π·vk = R and z·Hp + c_π·I = R_I, each one Straus pass. *)
+  Point.equal (Point.double_mul se.se_c_pi j.their_vk z) their_nonce.nm_rg
+  && Point.equal (Point.mul2 z j.hp se.se_c_pi j.their_ki) their_nonce.nm_ri
 
 let assemble (se : session) ~(my_z : Sc.t) ~(their_z : Sc.t) : Lsag.pre_signature =
   let ss = Array.copy se.se_ss in

@@ -90,11 +90,12 @@ let z_share (j : Two_party.joint) (se : session) (mine : Two_party.nonce_secret)
 
 let check_z_share (j : Two_party.joint) (se : session)
     ~(their_nonce : Two_party.nonce_msg) ~(z : Sc.t) : bool =
-  Point.equal (Point.mul_base z)
-    (Point.sub_point their_nonce.Two_party.nm_rg (Point.mul se.cs_c_pi j.Two_party.their_vk))
-  && Point.equal (Point.mul z j.Two_party.hp)
-       (Point.sub_point their_nonce.Two_party.nm_ri
-          (Point.mul se.cs_c_pi j.Two_party.their_ki))
+  Point.equal
+    (Point.double_mul se.cs_c_pi j.Two_party.their_vk z)
+    their_nonce.Two_party.nm_rg
+  && Point.equal
+       (Point.mul2 z j.Two_party.hp se.cs_c_pi j.Two_party.their_ki)
+       their_nonce.Two_party.nm_ri
 
 let assemble (se : session) ~(my_z : Sc.t) ~(their_z : Sc.t) : pre_signature =
   let s1 = Array.copy se.cs_s1 in
@@ -118,18 +119,14 @@ let pre_verify ~(ring : Mlsag.column array) ~(msg : string) ~(stmt : Stmt.t)
   for i = 0 to n - 1 do
     if i = p.pc_pi then begin
       let l1 =
-        Point.add
-          (Point.add (Point.mul_base p.pc_s1.(i)) (Point.mul !c ring.(i).Mlsag.p))
-          stmt.Stmt.yg
+        Point.add (Point.double_mul !c ring.(i).Mlsag.p p.pc_s1.(i)) stmt.Stmt.yg
       in
       let r1 =
         Point.add
-          (Point.add (Point.mul p.pc_s1.(i) hps.(i)) (Point.mul !c p.pc_key_image))
+          (Point.mul2 p.pc_s1.(i) hps.(i) !c p.pc_key_image)
           stmt.Stmt.yhp
       in
-      let l2 =
-        Point.add (Point.mul_base p.pc_s2.(i)) (Point.mul !c ring.(i).Mlsag.d)
-      in
+      let l2 = Point.double_mul !c ring.(i).Mlsag.d p.pc_s2.(i) in
       c := Mlsag.challenge msg l1 r1 l2
     end
     else

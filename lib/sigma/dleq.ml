@@ -37,8 +37,10 @@ let prove ?(context = "") (g : Monet_hash.Drbg.t) ~(x : Sc.t) ~(g1 : Point.t)
 
 let verify ?(context = "") ~(g1 : Point.t) ~(h1 : Point.t) ~(g2 : Point.t)
     ~(h2 : Point.t) (p : proof) : bool =
-  let a1 = Point.sub_point (Point.mul p.s g1) (Point.mul p.c h1) in
-  let a2 = Point.sub_point (Point.mul p.s g2) (Point.mul p.c h2) in
+  (* A_i = s·G_i - c·H_i, each leg one Straus pass. *)
+  let nc = Sc.neg p.c in
+  let a1 = Point.mul2 p.s g1 nc h1 in
+  let a2 = Point.mul2 p.s g2 nc h2 in
   let t = Transcript.create "dleq" in
   Transcript.absorb t ~label:"ctx" context;
   absorb_statement t ~g1 ~h1 ~g2 ~h2;

@@ -9,7 +9,7 @@ let h : Point.t = Point.hash_to_point "pedersen-h" "monet generator H"
 type commitment = Point.t
 
 let commit ~(value : Sc.t) ~(blind : Sc.t) : commitment =
-  Point.add (Point.mul_base value) (Point.mul blind h)
+  Point.double_mul blind h value
 
 let verify ~(value : Sc.t) ~(blind : Sc.t) (c : commitment) : bool =
   Point.equal c (commit ~value ~blind)

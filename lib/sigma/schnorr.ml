@@ -27,8 +27,8 @@ let prove ?(context = "") (g : Monet_hash.Drbg.t) ~(x : Sc.t) ~(xg : Point.t) : 
   { c; s = Sc.add r (Sc.mul c x) }
 
 let verify ?(context = "") ~(xg : Point.t) (p : proof) : bool =
-  (* R = sG - cX; recompute challenge. *)
-  let rg = Point.sub_point (Point.mul_base p.s) (Point.mul p.c xg) in
+  (* R = sG - cX in one Straus pass; recompute challenge. *)
+  let rg = Point.double_mul (Sc.neg p.c) xg p.s in
   let t = Transcript.create "schnorr" in
   Transcript.absorb t ~label:"ctx" context;
   Transcript.absorb_point t ~label:"X" xg;

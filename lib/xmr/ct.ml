@@ -22,7 +22,7 @@ let h : Point.t = Point.hash_to_point "ringct-h" "amount generator"
 type commitment = Point.t
 
 let commit ~(amount : int) ~(blind : Sc.t) : commitment =
-  Point.add (Point.mul (Sc.of_int amount) h) (Point.mul_base blind)
+  Point.double_mul (Sc.of_int amount) h blind
 
 let commit_zero ~(blind : Sc.t) : commitment = Point.mul_base blind
 

@@ -32,7 +32,7 @@ let prove_or (g : Monet_hash.Drbg.t) ~(context : string) ~(stmt0 : Point.t)
   (* Simulated branch: pick its challenge and response first. *)
   let e_sim = Sc.random_nonzero g and s_sim = Sc.random_nonzero g in
   let stmt_sim = if real = 0 then stmt1 else stmt0 in
-  let a_sim = Point.sub_point (Point.mul_base s_sim) (Point.mul e_sim stmt_sim) in
+  let a_sim = Point.double_mul (Sc.neg e_sim) stmt_sim s_sim in
   let a_real = Point.mul_base k in
   let a0, a1 = if real = 0 then (a_real, a_sim) else (a_sim, a_real) in
   let e = challenge ~stmt0 ~stmt1 ~a0 ~a1 ~context in
@@ -43,8 +43,8 @@ let prove_or (g : Monet_hash.Drbg.t) ~(context : string) ~(stmt0 : Point.t)
 
 let verify_or ~(context : string) ~(stmt0 : Point.t) ~(stmt1 : Point.t) (p : or_proof)
     : bool =
-  let a0 = Point.sub_point (Point.mul_base p.s0) (Point.mul p.e0 stmt0) in
-  let a1 = Point.sub_point (Point.mul_base p.s1) (Point.mul p.e1 stmt1) in
+  let a0 = Point.double_mul (Sc.neg p.e0) stmt0 p.s0 in
+  let a1 = Point.double_mul (Sc.neg p.e1) stmt1 p.s1 in
   Sc.equal (Sc.add p.e0 p.e1) (challenge ~stmt0 ~stmt1 ~a0 ~a1 ~context)
 
 (** Prove C = amount·H + blind·G has amount in [0, 2^nbits). Returns

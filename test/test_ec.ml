@@ -186,6 +186,149 @@ let test_hash_to_point () =
   let p' = Point.hash_to_point "test" "hello" in
   Alcotest.(check bool) "deterministic" true (Point.equal p p')
 
+(* --- Differential: ten-limb Fe vs the Bn-backed reference Fe_ref ---
+
+   Fe_ref is the pre-optimization field kept solely as an oracle; both
+   sides are driven from the same 32-byte inputs and compared through
+   their canonical encodings. *)
+
+let diff_count = 10_000
+
+(* Interesting boundary encodings: 0, 1, p-1, p, p+1 (the last two are
+   non-canonical and must reduce), 2^255-1, values straddling limb
+   boundaries. *)
+let fe_edge_bytes : string list =
+  let le32_of_hex_be h =
+    (* Bn.to_bytes_le canonicalizes for us. *)
+    Bn.to_bytes_le (Bn.of_hex h) ~len:32
+  in
+  [
+    String.make 32 '\x00';
+    "\x01" ^ String.make 31 '\x00';
+    le32_of_hex_be "7fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffec";
+    le32_of_hex_be "7fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffed";
+    le32_of_hex_be "7fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffee";
+    String.make 32 '\xff';
+    le32_of_hex_be "0000000000000000000000000000000000000000000000000000000003ffffff";
+    le32_of_hex_be "0000000000000000000000000000000000000000000000000000000004000000";
+    String.make 16 '\x00' ^ String.make 16 '\xff';
+  ]
+
+let check_fe_pair ~what i expect got =
+  if not (String.equal expect got) then
+    Alcotest.failf "fe differential %s mismatch at case %d: ref %s, fast %s" what i
+      (Monet_util.Hex.encode expect) (Monet_util.Hex.encode got)
+
+let test_fe_differential () =
+  let g = Monet_hash.Drbg.of_int 7321 in
+  let n_edge = List.length fe_edge_bytes in
+  let edges = Array.of_list fe_edge_bytes in
+  for i = 0 to diff_count - 1 do
+    (* First cases pair up the edge encodings; the rest are random. *)
+    let sa = if i < n_edge * n_edge then edges.(i / n_edge) else Monet_hash.Drbg.bytes g 32 in
+    let sb = if i < n_edge * n_edge then edges.(i mod n_edge) else Monet_hash.Drbg.bytes g 32 in
+    let a = Fe.of_bytes_le sa and b = Fe.of_bytes_le sb in
+    let ar = Fe_ref.of_bytes_le sa and br = Fe_ref.of_bytes_le sb in
+    check_fe_pair ~what:"encode" i (Fe_ref.to_bytes_le ar) (Fe.to_bytes_le a);
+    check_fe_pair ~what:"add" i
+      (Fe_ref.to_bytes_le (Fe_ref.add ar br))
+      (Fe.to_bytes_le (Fe.add a b));
+    check_fe_pair ~what:"sub" i
+      (Fe_ref.to_bytes_le (Fe_ref.sub ar br))
+      (Fe.to_bytes_le (Fe.sub a b));
+    check_fe_pair ~what:"mul" i
+      (Fe_ref.to_bytes_le (Fe_ref.mul ar br))
+      (Fe.to_bytes_le (Fe.mul a b));
+    check_fe_pair ~what:"sq" i
+      (Fe_ref.to_bytes_le (Fe_ref.sq ar))
+      (Fe.to_bytes_le (Fe.sq a));
+    (* inv: running Fe_ref.inv 10k times is too slow, so check the fast
+       inverse against the reference multiplication: a · a⁻¹ = 1. *)
+    if not (Fe.is_zero a) then begin
+      let ia = Fe.to_bytes_le (Fe.inv a) in
+      let prod = Fe_ref.mul ar (Fe_ref.of_bytes_le ia) in
+      if not (Fe_ref.equal prod Fe_ref.one) then
+        Alcotest.failf "fe differential inv mismatch at case %d (a=%s)" i
+          (Monet_util.Hex.encode sa)
+    end
+  done
+
+(* --- RFC 8032 known-answer vectors ---
+
+   Ed25519 public keys are clamp(SHA-512(seed)[0..31])·B, so the test
+   vectors from RFC 8032 §7.1 pin down SHA-512, the clamping, scalar
+   reduction and the fixed-base comb all at once. *)
+
+let rfc8032_vectors =
+  [
+    ( "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60",
+      "d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a" );
+    ( "4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb",
+      "3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c" );
+    ( "c5aa8df43f9f837bedb7442f31dcb7b166d38535076f094b85ce3a2e0b4458f7",
+      "fc51cd8e6218a1a38da47ed00230f0580816ed13ba3303ac5deb911548908025" );
+  ]
+
+let test_rfc8032_pubkeys () =
+  List.iter
+    (fun (seed_hex, pk_hex) ->
+      let h = Monet_hash.Sha512.digest (Monet_util.Hex.decode seed_hex) in
+      let b = Bytes.of_string (String.sub h 0 32) in
+      Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) land 248));
+      Bytes.set b 31 (Char.chr (Char.code (Bytes.get b 31) land 127 lor 64));
+      (* Reducing the clamped scalar mod l is harmless: B has order l. *)
+      let k = Sc.of_bn (Bn.of_bytes_le (Bytes.to_string b)) in
+      let pk = Point.mul_base k in
+      Alcotest.(check string) "rfc8032 public key" pk_hex
+        (Monet_util.Hex.encode (Point.encode pk));
+      (* And the encoding must decode back to the same point. *)
+      match Point.decode (Monet_util.Hex.decode pk_hex) with
+      | None -> Alcotest.fail "rfc8032 pk does not decode"
+      | Some q -> Alcotest.(check bool) "decode matches" true (Point.equal pk q))
+    rfc8032_vectors
+
+(* --- Straus double-scalar multiplications --- *)
+
+let test_double_mul () =
+  for _ = 1 to 50 do
+    let a = Sc.random drbg and b = Sc.random drbg in
+    let p = Point.mul_base (Sc.random drbg) in
+    let expect = Point.add (Point.mul a p) (Point.mul_base b) in
+    Alcotest.(check bool) "double_mul = aP + bB" true
+      (Point.equal (Point.double_mul a p b) expect)
+  done;
+  (* Degenerate scalars. *)
+  let p = Point.mul_base (Sc.of_int 7) in
+  Alcotest.(check bool) "0·P + 0·B = O" true
+    (Point.is_identity (Point.double_mul Sc.zero p Sc.zero));
+  Alcotest.(check bool) "0·P + 1·B = B" true
+    (Point.equal (Point.double_mul Sc.zero p Sc.one) Point.base);
+  Alcotest.(check bool) "1·P + 0·B = P" true
+    (Point.equal (Point.double_mul Sc.one p Sc.zero) p)
+
+let test_mul2 () =
+  for _ = 1 to 50 do
+    let a = Sc.random drbg and b = Sc.random drbg in
+    let p = Point.mul_base (Sc.random drbg) in
+    let q = Point.hash_to_point "mul2-test" (Sc.to_bytes_le b) in
+    let expect = Point.add (Point.mul a p) (Point.mul b q) in
+    Alcotest.(check bool) "mul2 = aP + bQ" true
+      (Point.equal (Point.mul2 a p b q) expect)
+  done
+
+let test_is_identity () =
+  Alcotest.(check bool) "identity" true (Point.is_identity Point.identity);
+  Alcotest.(check bool) "double identity" true
+    (Point.is_identity (Point.double Point.identity));
+  Alcotest.(check bool) "O + O" true
+    (Point.is_identity (Point.add Point.identity Point.identity));
+  Alcotest.(check bool) "B not identity" false (Point.is_identity Point.base);
+  (* A point with non-trivial Z: l·P for random subgroup P. *)
+  let p = Point.mul_base (Sc.random drbg) in
+  Alcotest.(check bool) "l·P = O" true (Point.is_identity (Point.mul Sc.l p));
+  Alcotest.(check bool) "P + (-P) = O" true
+    (Point.is_identity (Point.add p (Point.neg p)))
+
 (* --- Z_l* chain arithmetic --- *)
 
 let test_zl_pow_homomorphic () =
@@ -231,6 +374,11 @@ let tests =
     Alcotest.test_case "decode rejects garbage" `Quick test_decode_rejects_garbage;
     Alcotest.test_case "negation" `Quick test_neg;
     Alcotest.test_case "hash to point" `Quick test_hash_to_point;
+    Alcotest.test_case "fe differential vs ref" `Quick test_fe_differential;
+    Alcotest.test_case "rfc8032 public keys" `Quick test_rfc8032_pubkeys;
+    Alcotest.test_case "double_mul (Straus aP+bB)" `Quick test_double_mul;
+    Alcotest.test_case "mul2 (Straus aP+bQ)" `Quick test_mul2;
+    Alcotest.test_case "is_identity" `Quick test_is_identity;
     Alcotest.test_case "zl pow homomorphic" `Quick test_zl_pow_homomorphic;
     Alcotest.test_case "zl pow small" `Quick test_zl_pow_small;
   ]

@@ -1,0 +1,28 @@
+(* Short chaos soak: a fixed-seed slice of the fault-injection harness
+   that self-validates — non-zero exit on any invariant violation, any
+   harness error, or missing dispute/punishment coverage. Wired into
+   the root `check` alias via @fault-smoke; the full soak lives in
+   test/test_fault.ml. *)
+
+module Chaos = Monet_chaos.Chaos
+
+let () =
+  let runs = 16 in
+  let s = Chaos.soak ~n_hops:3 ~base_seed:1000 ~runs () in
+  Printf.printf
+    "fault-smoke: %d schedules | delivered %d | disputes %d | punishments %d \
+     | timeouts %d | retransmits %d | faults fired %d\n"
+    s.Chaos.s_runs s.Chaos.s_delivered s.Chaos.s_disputes s.Chaos.s_punishments
+    s.Chaos.s_timeouts s.Chaos.s_retransmits s.Chaos.s_faults_fired;
+  List.iter
+    (fun (seed, label, problem) ->
+      Printf.printf "  FAIL seed=%d [%s]: %s\n" seed label problem)
+    s.Chaos.s_failures;
+  let missing = ref [] in
+  if s.Chaos.s_disputes = 0 then missing := "dispute" :: !missing;
+  if s.Chaos.s_punishments = 0 then missing := "punishment" :: !missing;
+  List.iter
+    (fun path -> Printf.printf "  FAIL: no schedule reached the %s path\n" path)
+    !missing;
+  if s.Chaos.s_failures <> [] || !missing <> [] then exit 1;
+  print_endline "fault-smoke: OK"

@@ -122,14 +122,32 @@ type party = Party.party = {
     sampled link latency). *)
 type transport = Driver.mode
 
+(** Fault injection + recovery parameters (see {!Driver.faults} and
+    {!Monet_fault.Plan}); [None] = faultless transport. *)
+type faults = Driver.faults = {
+  f_plan : Monet_fault.Plan.t;
+  f_deadline_ms : float;
+  f_max_retries : int;
+  f_backoff : float;
+  mutable f_retransmits : int;
+  mutable f_timeouts : int;
+}
+
+let make_faults = Driver.make_faults
+
 type channel = Driver.channel = {
   a : party;
   b : party;
   env : env;
   id : int;
   mutable transport : transport;
+  mutable faults : faults option;
   mutable trace : Msg.t list; (* deliveries of the last session, in order *)
 }
+
+(** Install (or clear) a fault plan. Fault injection needs the
+    scheduled transport; set both together. *)
+let set_faults (c : channel) (f : faults option) : unit = c.faults <- f
 
 type payout = Close.payout = {
   pay_a : int;
@@ -167,7 +185,7 @@ let establish ?(cfg = default_config) ?(transport = Driver.Sync) (env : env)
       match (Party.est_finish ea env, Party.est_finish eb env) with
       | Error e, _ | _, Error e -> Error e
       | Ok a, Ok b -> (
-          let c = { Driver.a; b; env; id; transport; trace = [] } in
+          let c = { Driver.a; b; env; id; transport; faults = None; trace = [] } in
           (* The state-0 commitment. *)
           match Driver.refresh c rep ~starter:Party.begin_first with
           | Error e -> Error e
@@ -228,20 +246,27 @@ let unlock (c : channel) ~(y : Sc.t) : (report * Sc.t, error) result =
   let rep = Report.fresh () in
   match c.a.lock with
   | None -> Error Errors.No_pending_lock
-  | Some lk -> (
+  | Some lk ->
       let payee, payer = if lk.lk_payer_is_alice then (c.b, c.a) else (c.a, c.b) in
-      match Party.begin_unlock payee ~y with
-      | Error e -> Error e
-      | Ok msgs -> (
-          let init_a, init_b = if payee == c.a then (msgs, []) else ([], msgs) in
-          match Driver.run c rep ~init_a ~init_b with
+      (* [begin_unlock] clears the payee's lock before any message
+         flows, and the payer stays Idle throughout — so the stall
+         detector must watch the payer's lock, not the phases. *)
+      Driver.with_rollback c (fun () ->
+          match Party.begin_unlock payee ~y with
           | Error e -> Error e
-          | Ok () -> (
-              match payer.extracted with
-              | Some ext ->
-                  payer.extracted <- None;
-                  Ok (rep, ext)
-              | None -> Error (Errors.Bad_state "lock witness was not extracted"))))
+          | Ok msgs -> (
+              let init_a, init_b = if payee == c.a then (msgs, []) else ([], msgs) in
+              match
+                Driver.run c rep ~init_a ~init_b
+                  ~finished:(fun () -> payer.lock = None)
+              with
+              | Error e -> Error e
+              | Ok () -> (
+                  match payer.extracted with
+                  | Some ext ->
+                      payer.extracted <- None;
+                      Ok (rep, ext)
+                  | None -> Error (Errors.Bad_state "lock witness was not extracted"))))
 
 (** Cancel a pending lock cooperatively: jump to state +1 with the
     pre-lock balances (the paper's Ch.State + 2 path). *)
@@ -258,11 +283,12 @@ let cancel_lock (c : channel) : (report, error) result =
     both parties — the optimized mode's setup cost. *)
 let exchange_batches (c : channel) ~(n : int) : (report, error) result =
   let rep = Report.fresh () in
-  let _, entries_a = Party.precompute_batch c.a ~n in
-  let _, entries_b = Party.precompute_batch c.b ~n in
-  Driver.run c rep ~init_a:[ Msg.Batch_announce entries_a ]
-    ~init_b:[ Msg.Batch_announce entries_b ]
-  |> Result.map (fun () -> rep)
+  Driver.with_rollback c (fun () ->
+      let _, entries_a = Party.precompute_batch c.a ~n in
+      let _, entries_b = Party.precompute_batch c.b ~n in
+      Driver.run c rep ~init_a:[ Msg.Batch_announce entries_a ]
+        ~init_b:[ Msg.Batch_announce entries_b ]
+      |> Result.map (fun () -> rep))
 
 (* --- closure, revocation, splicing (see the dedicated modules) --- *)
 

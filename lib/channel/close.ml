@@ -57,14 +57,16 @@ let settle (c : Driver.channel) ?(priority = 0) (sg : Monet_sig.Lsag.signature)
 let exchange_witnesses (c : Driver.channel) (rep : Report.t) :
     (Monet_sig.Lsag.signature, Errors.t) result =
   let a = c.Driver.a and b = c.Driver.b in
-  match
-    Driver.run c rep ~init_a:(Party.begin_close a) ~init_b:(Party.begin_close b)
-  with
-  | Error e -> Error e
-  | Ok () ->
-      let wa = Clras.my_witness a.Party.clras in
-      let wb = Clras.my_witness b.Party.clras in
-      Ok (Clras.adapt a.Party.presig ~wa ~wb)
+  Driver.with_rollback c (fun () ->
+      match
+        Driver.run c rep ~init_a:(Party.begin_close a)
+          ~init_b:(Party.begin_close b)
+      with
+      | Error e -> Error e
+      | Ok () ->
+          let wa = Clras.my_witness a.Party.clras in
+          let wb = Clras.my_witness b.Party.clras in
+          Ok (Clras.adapt a.Party.presig ~wa ~wb))
 
 (** Cooperative close: exchange latest witnesses, adapt, settle, and
     terminate the KES instance. *)
@@ -99,8 +101,8 @@ let cooperative_close (c : Driver.channel) : (payout * Report.t, Errors.t) resul
     cooperatively; otherwise the timer expires, the KES releases the
     counterparty's escrowed root witness, and the proposer derives the
     latest witness forward and settles alone. *)
-let dispute_close (c : Driver.channel) ~(proposer : Tp.role) ~(responsive : bool) :
-    (payout * Report.t, Errors.t) result =
+let dispute_close ?lock_witness (c : Driver.channel) ~(proposer : Tp.role)
+    ~(responsive : bool) : (payout * Report.t, Errors.t) result =
   let rep = Report.fresh () in
   let env = c.Driver.env in
   if c.Driver.a.Party.closed then Error Errors.Closed
@@ -180,17 +182,50 @@ let dispute_close (c : Driver.channel) ~(proposer : Tp.role) ~(responsive : bool
                     (* A pending lock's pre-signature cannot complete
                        (its lock witness is missing): the dispute then
                        settles at the last fully-signed state, i.e. the
-                       pre-lock one. *)
-                    let target_state =
-                      if p.Party.lock = None then p.Party.state else p.Party.state - 1
+                       pre-lock one — unless the proposer holds the
+                       lock witness (a payee whose counterparty went
+                       silent mid-unlock), in which case it completes
+                       the locked pre-signature and settles at the
+                       locked state, keeping the forwarded amount. *)
+                    let target =
+                      match (p.Party.lock, lock_witness) with
+                      | Some lk, Some y ->
+                          if
+                            not
+                              (Point.equal lk.Party.lk_stmt.Monet_sig.Stmt.yg
+                                 (Point.mul_base y))
+                          then
+                            Error
+                              (Errors.Bad_witness
+                                 "lock witness does not open the lock statement")
+                          else
+                            Ok
+                              ( p.Party.state,
+                                Some
+                                  ( Monet_sig.Lsag.partial_adapt lk.Party.lk_presig
+                                      ~y,
+                                    lk.Party.lk_tx ) )
+                      | Some _, None -> Ok (p.Party.state - 1, None)
+                      | None, _ -> Ok (p.Party.state, None)
                     in
-                    match
-                      List.find_opt
-                        (fun (st, _, _, _) -> st = target_state)
-                        p.Party.presig_history
-                    with
+                    match target with
+                    | Error e -> Error e
+                    | Ok (target_state, locked) -> (
+                    let from_history =
+                      match locked with
+                      | Some pt -> Some pt
+                      | None -> (
+                          match
+                            List.find_opt
+                              (fun (st, _, _, _) -> st = target_state)
+                              p.Party.presig_history
+                          with
+                          | Some (_, _, presig, tx) -> Some (presig, tx)
+                          | None -> None)
+                    in
+                    match from_history with
                     | None -> Error (Errors.Bad_state "no settleable state in history")
-                    | Some (_, _, presig, tx) -> (
+                    | Some (presig, tx) -> (
                         let their_wit =
                           Monet_vcof.Vcof.derive_n
                             ~pp:p.Party.clras.Clras.pp their_root target_state
@@ -206,7 +241,7 @@ let dispute_close (c : Driver.channel) ~(proposer : Tp.role) ~(responsive : bool
                         let sg = Clras.adapt presig ~wa ~wb in
                         match settle c sg tx rep with
                         | Error e -> Error e
-                        | Ok payout -> Ok (payout, rep)))
+                        | Ok payout -> Ok (payout, rep))))
               end
         end
   end

@@ -14,7 +14,20 @@
 
     Rounds are the maximum causal depth over all deliveries (a reply
     is one deeper than the message it answers), which is identical in
-    both modes. *)
+    both modes.
+
+    A channel may additionally carry a {!faults} record: a seeded
+    {!Monet_fault.Plan} the scheduled transport consults on every
+    send, plus recovery parameters. The fault path adds what the plain
+    transports never needed: receiver-side duplicate suppression
+    (keyed on the serialized message — within a session each direction
+    never repeats a payload), and a deadline/retransmit loop. When the
+    clock drains without the session reaching its completion predicate,
+    the driver waits out the deadline (advancing simulated time,
+    backoff-scaled per attempt) and retransmits the last message in
+    each direction; after [f_max_retries] fruitless attempts it gives
+    up with {!Errors.Timeout}, and {!with_rollback} undoes the
+    half-run session on both parties. *)
 
 type mode =
   | Sync
@@ -24,12 +37,28 @@ type mode =
       g : Monet_hash.Drbg.t; (* latency sampling randomness *)
     }
 
+(** Fault injection + recovery parameters for one channel. *)
+type faults = {
+  f_plan : Monet_fault.Plan.t;
+  f_deadline_ms : float; (* per-phase deadline before a retransmission *)
+  f_max_retries : int;
+  f_backoff : float; (* deadline multiplier per successive attempt *)
+  mutable f_retransmits : int;
+  mutable f_timeouts : int; (* sessions abandoned after all retries *)
+}
+
+let make_faults ?(deadline_ms = 500.0) ?(max_retries = 3) ?(backoff = 2.0)
+    (plan : Monet_fault.Plan.t) : faults =
+  { f_plan = plan; f_deadline_ms = deadline_ms; f_max_retries = max_retries;
+    f_backoff = backoff; f_retransmits = 0; f_timeouts = 0 }
+
 type channel = {
   a : Party.party;
   b : Party.party;
   env : Party.env;
   id : int;
   mutable transport : mode;
+  mutable faults : faults option;
   mutable trace : Msg.t list; (* deliveries of the last session, in order *)
 }
 
@@ -90,24 +119,198 @@ let run_generic ~(mode : mode) ~(rep : Report.t)
   rep.Report.rounds <- rep.Report.rounds + !max_depth;
   match !err with None -> Ok () | Some e -> Error e
 
+(* The fault-injecting scheduled transport. Structure mirrors the
+   Scheduled arm of [run_generic], with the plan consulted per send,
+   per-direction dedup, and the deadline/retransmit loop around the
+   clock drain. *)
+let run_faulty ~clock ~latency ~g (f : faults) ~(rep : Report.t)
+    ~(handle : dest -> Msg.t -> (Msg.t list, Errors.t) result)
+    ~(record : Msg.t -> unit) ~(finished : unit -> bool) ~(init_a : Msg.t list)
+    ~(init_b : Msg.t list) : (unit, Errors.t) result =
+  let module Plan = Monet_fault.Plan in
+  let plan = f.f_plan in
+  let err = ref None in
+  let max_depth = ref 0 in
+  let fail e = if !err = None then err := Some e in
+  let flip = function To_a -> To_b | To_b -> To_a in
+  let seen_a = Hashtbl.create 16 and seen_b = Hashtbl.create 16 in
+  (* Everything sent in each direction, in order — the retransmission
+     unit (go-back-N). Sessions start symmetrically (both parties
+     announce at once), so a drop can lose a message that is *not*
+     the last one in flight; retransmitting the whole log is
+     idempotent thanks to the receiver-side dedup. *)
+  let log_to_a : (int * Msg.t) list ref = ref []
+  and log_to_b : (int * Msg.t) list ref = ref [] in
+  (* Hold-back stash: a message that does not fit the receiver's
+     current phase may simply be early (its predecessor was dropped
+     or delayed); it is retried after the next successful delivery
+     and only a session timeout makes the loss permanent. *)
+  let pending : (dest * int * Msg.t) Queue.t = Queue.create () in
+  let link_to_a = ref (Monet_dsim.Clock.now clock)
+  and link_to_b = ref (Monet_dsim.Clock.now clock) in
+  let rec schedule dest depth m ~extra =
+    let now = Monet_dsim.Clock.now clock in
+    let link = match dest with To_a -> link_to_a | To_b -> link_to_b in
+    let at =
+      Float.max (now +. Monet_dsim.Latency.sample g latency +. extra) !link
+    in
+    link := at;
+    Monet_dsim.Clock.schedule clock ~delay:(at -. now) (fun () ->
+        deliver dest depth m)
+  and transmit ~fresh dest depth m =
+    if !err = None then begin
+      if fresh then begin
+        let log = match dest with To_a -> log_to_a | To_b -> log_to_b in
+        log := (depth, m) :: !log
+      end;
+      match Plan.decide plan ~to_a:(dest = To_a) with
+      | Plan.Drop | Plan.Withhold -> ()
+      | Plan.Deliver -> schedule dest depth m ~extra:0.0
+      | Plan.Delay extra -> schedule dest depth m ~extra
+      | Plan.Duplicate ->
+          schedule dest depth m ~extra:0.0;
+          schedule dest depth m ~extra:0.0
+    end
+  and process dest depth m =
+    (* Post-dedup handling. [Bad_state] here means the message does
+       not fit the receiver's phase — under faults that is reordering,
+       not a protocol violation, so hold it back and retry later. *)
+    match handle dest m with
+    | Error (Errors.Bad_state _) when Queue.length pending < 64 ->
+        Queue.add (dest, depth, m) pending
+    | Error e -> fail e
+    | Ok replies ->
+        (if Plan.mute plan ~a:(dest = To_a) then ()
+         else List.iter (transmit ~fresh:true (flip dest) depth) replies);
+        retry_pending ()
+  and retry_pending () =
+    (* One pass over the stash; recurse only while a pass makes
+       progress, so termination is bounded by the stash size. *)
+    let n = Queue.length pending in
+    let progressed = ref false in
+    for _ = 1 to n do
+      if !err = None && not (Queue.is_empty pending) then begin
+        let dest, depth, m = Queue.pop pending in
+        if Plan.crashed plan ~a:(dest = To_a) then Plan.note_withheld plan
+        else
+          match handle dest m with
+          | Error (Errors.Bad_state _) -> Queue.add (dest, depth, m) pending
+          | Error e -> fail e
+          | Ok replies ->
+              progressed := true;
+              if Plan.mute plan ~a:(dest = To_a) then ()
+              else List.iter (transmit ~fresh:true (flip dest) depth) replies
+      end
+    done;
+    if !progressed && !err = None then retry_pending ()
+  and deliver dest depth m =
+    if !err = None then begin
+      if Plan.crashed plan ~a:(dest = To_a) then Plan.note_withheld plan
+      else begin
+        let seen = match dest with To_a -> seen_a | To_b -> seen_b in
+        let key = Msg.to_bytes m in
+        if Hashtbl.mem seen key then () (* duplicate: already processed *)
+        else begin
+          Hashtbl.replace seen key ();
+          Plan.note_delivery plan;
+          let d = depth + 1 in
+          if d > !max_depth then max_depth := d;
+          Report.deliver rep m;
+          record m;
+          process dest d m
+        end
+      end
+    end
+  in
+  List.iter (transmit ~fresh:true To_b 0) init_a;
+  List.iter (transmit ~fresh:true To_a 0) init_b;
+  Monet_dsim.Clock.run clock ();
+  (* Deadline / retransmit loop: the clock drained but the session is
+     not done — some message was lost. Wait out the (backoff-scaled)
+     deadline and replay each direction's send log in order
+     (go-back-N; already-processed messages dedup away at the
+     receiver), provided the sender can still speak. *)
+  let attempt = ref 0 in
+  while !err = None && (not (finished ())) && !attempt < f.f_max_retries do
+    incr attempt;
+    Monet_dsim.Clock.advance clock
+      (f.f_deadline_ms *. (f.f_backoff ** float_of_int (!attempt - 1)));
+    let retransmit dest log =
+      (* messages to A originate at B and vice versa *)
+      let sender_is_a = dest = To_b in
+      if Plan.can_send plan ~a:sender_is_a && !log <> [] then begin
+        f.f_retransmits <- f.f_retransmits + 1;
+        List.iter
+          (fun (depth, m) -> transmit ~fresh:false dest depth m)
+          (List.rev !log)
+      end
+    in
+    retransmit To_a log_to_a;
+    retransmit To_b log_to_b;
+    Monet_dsim.Clock.run clock ()
+  done;
+  rep.Report.rounds <- rep.Report.rounds + !max_depth;
+  match !err with
+  | Some e -> Error e
+  | None ->
+      if finished () then Ok ()
+      else begin
+        f.f_timeouts <- f.f_timeouts + 1;
+        Error
+          (Errors.Timeout
+             (Printf.sprintf "session stalled after %d retransmission round(s)"
+                f.f_max_retries))
+      end
+
 (** Run a protocol session between the channel's two parties. The
-    delivered messages replace [c.trace]. *)
-let run (c : channel) (rep : Report.t) ~(init_a : Msg.t list)
+    delivered messages replace [c.trace]. [finished] is the session's
+    completion predicate, used by the fault path to distinguish a
+    quiesced session from a stalled one (default: both parties idle). *)
+let run ?finished (c : channel) (rep : Report.t) ~(init_a : Msg.t list)
     ~(init_b : Msg.t list) : (unit, Errors.t) result =
   let buf = ref [] in
   let handle dest m =
     let p = match dest with To_a -> c.a | To_b -> c.b in
     Party.handle p ~env:c.env ~rep m
   in
+  let record m = buf := m :: !buf in
   let r =
-    run_generic ~mode:c.transport ~rep ~handle
-      ~record:(fun m -> buf := m :: !buf)
-      ~init_a ~init_b
+    match (c.faults, c.transport) with
+    | Some f, Scheduled { clock; latency; g } ->
+        let finished =
+          match finished with
+          | Some pred -> pred
+          | None -> fun () -> Party.is_idle c.a && Party.is_idle c.b
+        in
+        run_faulty ~clock ~latency ~g f ~rep ~handle ~record ~finished ~init_a
+          ~init_b
+    | Some _, Sync ->
+        Error (Errors.Bad_state "fault injection requires the scheduled transport")
+    | None, _ -> run_generic ~mode:c.transport ~rep ~handle ~record ~init_a ~init_b
   in
   c.trace <- List.rev !buf;
   r
 
-(** Run the establishment machines to quiescence. *)
+(** Run [f], and when it fails with {!Errors.Timeout} under fault
+    injection, restore both parties to their pre-session state — a
+    timed-out session must look as if it never started, or the next
+    session (and witness derivation) would desync. *)
+let with_rollback (c : channel) (f : unit -> ('a, Errors.t) result) :
+    ('a, Errors.t) result =
+  match c.faults with
+  | None -> f ()
+  | Some _ -> (
+      let cka = Party.checkpoint c.a and ckb = Party.checkpoint c.b in
+      match f () with
+      | Error (Errors.Timeout _) as e ->
+          Party.rollback c.a cka;
+          Party.rollback c.b ckb;
+          e
+      | r -> r)
+
+(** Run the establishment machines to quiescence. Establishment is
+    never fault-injected: chaos schedules install their plans on
+    already-open channels. *)
 let run_est ~(mode : mode) (env : Party.env) (rep : Report.t) (ea : Party.est)
     (eb : Party.est) : (unit, Errors.t) result =
   let handle dest m =
@@ -123,15 +326,16 @@ let run_est ~(mode : mode) (env : Party.env) (rep : Report.t) (ea : Party.est)
 let refresh (c : channel) (rep : Report.t)
     ~(starter : Party.party -> (Msg.t list, Errors.t) result) :
     (unit, Errors.t) result =
-  match starter c.a with
-  | Error e -> Error e
-  | Ok init_a -> (
-      match starter c.b with
+  with_rollback c (fun () ->
+      match starter c.a with
       | Error e -> Error e
-      | Ok init_b -> (
-          match run c rep ~init_a ~init_b with
+      | Ok init_a -> (
+          match starter c.b with
           | Error e -> Error e
-          | Ok () ->
-              rep.Report.signatures <-
-                rep.Report.signatures + 1 (* the adaptor signature itself *);
-              Ok ()))
+          | Ok init_b -> (
+              match run c rep ~init_a ~init_b with
+              | Error e -> Error e
+              | Ok () ->
+                  rep.Report.signatures <-
+                    rep.Report.signatures + 1 (* the adaptor signature itself *);
+                  Ok ())))

@@ -20,6 +20,9 @@ type t =
   | Kes of string  (** key-escrow-service script call failed *)
   | Chain of string  (** Monero ledger rejected a transaction *)
   | Codec of string  (** wire message failed to decode *)
+  | Timeout of string
+      (** a protocol session missed its deadline despite retries; the
+          session's effects have been rolled back *)
 
 let to_string = function
   | Closed -> "channel closed"
@@ -33,5 +36,8 @@ let to_string = function
   | Kes s -> "kes: " ^ s
   | Chain s -> s
   | Codec s -> "codec: " ^ s
+  | Timeout s -> "timeout: " ^ s
 
 let pp fmt e = Format.pp_print_string fmt (to_string e)
+
+let is_timeout = function Timeout _ -> true | _ -> false

@@ -551,6 +551,77 @@ let handle (p : party) ~(env : env) ~(rep : Report.t) (m : Msg.t) :
       Error (Errors.Bad_state "batch desync between parties")
   | _, m -> Error (Errors.Bad_state ("unexpected message: " ^ Msg.label m))
 
+(* --- session checkpoints (fault recovery) ------------------------------- *)
+
+let is_idle (p : party) : bool = p.phase = Idle
+
+(** Everything a protocol session may mutate, captured so that a
+    timed-out session can be rolled back as if it never started. The
+    CLRAS indices/statements must be part of the set: [begin_refresh]
+    bumps the state and advances the chain view before any message
+    flows, and witness derivation (disputes, revocation) is keyed on
+    them. Witnesses themselves re-derive from the immutable roots, so
+    rolling the indices back keeps every later derivation consistent. *)
+type checkpoint = {
+  ck_state : int;
+  ck_my_balance : int;
+  ck_their_balance : int;
+  ck_commit_tx : Monet_xmr.Tx.t;
+  ck_commit_ring : Point.t array;
+  ck_presig : Monet_sig.Lsag.pre_signature;
+  ck_my_out_kp : Monet_sig.Sig_core.keypair;
+  ck_out_keys : Monet_sig.Sig_core.keypair list;
+  ck_kes_commit : Monet_kes.Kes_contract.commit;
+  ck_presig_history :
+    (int * string * Monet_sig.Lsag.pre_signature * Monet_xmr.Tx.t) list;
+  ck_lock : lock_state option;
+  ck_phase : phase;
+  ck_extracted : Sc.t option;
+  ck_batch : batch option;
+  ck_cl_index : int;
+  ck_cl_mine : Monet_vcof.Vcof.pair;
+  ck_cl_my_stmt : Monet_sig.Stmt.t;
+  ck_cl_their_index : int;
+  ck_cl_their_stmt : Monet_sig.Stmt.t;
+}
+
+let checkpoint (p : party) : checkpoint =
+  let st = p.clras in
+  {
+    ck_state = p.state; ck_my_balance = p.my_balance;
+    ck_their_balance = p.their_balance; ck_commit_tx = p.commit_tx;
+    ck_commit_ring = p.commit_ring; ck_presig = p.presig;
+    ck_my_out_kp = p.my_out_kp; ck_out_keys = p.out_keys;
+    ck_kes_commit = p.kes_commit; ck_presig_history = p.presig_history;
+    ck_lock = p.lock; ck_phase = p.phase; ck_extracted = p.extracted;
+    ck_batch = p.batch; ck_cl_index = st.Clras.index;
+    ck_cl_mine = st.Clras.mine; ck_cl_my_stmt = st.Clras.my_stmt;
+    ck_cl_their_index = st.Clras.their_index;
+    ck_cl_their_stmt = st.Clras.their_stmt;
+  }
+
+let rollback (p : party) (ck : checkpoint) : unit =
+  p.state <- ck.ck_state;
+  p.my_balance <- ck.ck_my_balance;
+  p.their_balance <- ck.ck_their_balance;
+  p.commit_tx <- ck.ck_commit_tx;
+  p.commit_ring <- ck.ck_commit_ring;
+  p.presig <- ck.ck_presig;
+  p.my_out_kp <- ck.ck_my_out_kp;
+  p.out_keys <- ck.ck_out_keys;
+  p.kes_commit <- ck.ck_kes_commit;
+  p.presig_history <- ck.ck_presig_history;
+  p.lock <- ck.ck_lock;
+  p.phase <- ck.ck_phase;
+  p.extracted <- ck.ck_extracted;
+  p.batch <- ck.ck_batch;
+  let st = p.clras in
+  st.Clras.index <- ck.ck_cl_index;
+  st.Clras.mine <- ck.ck_cl_mine;
+  st.Clras.my_stmt <- ck.ck_cl_my_stmt;
+  st.Clras.their_index <- ck.ck_cl_their_index;
+  st.Clras.their_stmt <- ck.ck_cl_their_stmt
+
 (* --- establishment ------------------------------------------------------ *)
 
 type est_phase = E_key | E_ki | E_info | E_fund | E_done

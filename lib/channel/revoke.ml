@@ -71,7 +71,7 @@ let watch_and_punish (c : Driver.channel) ~(victim : Tp.role) :
       with
       | None ->
           Error (Errors.Bad_state "offending tx does not match any known state")
-      | Some (old_state, _, old_presig, _) ->
+      | Some (old_state, _, old_presig, _) -> (
           let sg =
             match tx.Monet_xmr.Tx.inputs with
             | [ i ] -> i.signature
@@ -80,15 +80,31 @@ let watch_and_punish (c : Driver.channel) ~(victim : Tp.role) :
           let combined = Clras.ext sg old_presig in
           let my_old = my_witness_at p ~state:old_state in
           let their_old = Sc.sub combined my_old in
-          let steps = p.Party.state - old_state in
-          let their_latest =
-            Monet_vcof.Vcof.derive_n ~pp:p.Party.clras.Clras.pp their_old steps
+          (* The punishment settles at the latest state whose
+             pre-signature completes with state witnesses alone. With
+             a lock pending the latest pre-signature also needs the
+             (unknown) lock witness, so the victim falls back to the
+             pre-lock state — the lock is unresolved, so its amount
+             reverts to the payer there. *)
+          let target_state =
+            if p.Party.lock = None then p.Party.state else p.Party.state - 1
           in
-          let my_latest = Clras.my_witness p.Party.clras in
-          let wa, wb =
-            if p.Party.role = Tp.Alice then (my_latest, their_latest)
-            else (their_latest, my_latest)
-          in
-          let latest_sg = Clras.adapt p.Party.presig ~wa ~wb in
-          let rep = Report.fresh () in
-          Close.settle c ~priority:1 latest_sg p.Party.commit_tx rep)
+          match
+            List.find_opt
+              (fun (st, _, _, _) -> st = target_state)
+              p.Party.presig_history
+          with
+          | None -> Error (Errors.Bad_state "no punishable state in history")
+          | Some (_, _, target_presig, target_tx) ->
+              let steps = target_state - old_state in
+              let their_latest =
+                Monet_vcof.Vcof.derive_n ~pp:p.Party.clras.Clras.pp their_old steps
+              in
+              let my_latest = my_witness_at p ~state:target_state in
+              let wa, wb =
+                if p.Party.role = Tp.Alice then (my_latest, their_latest)
+                else (their_latest, my_latest)
+              in
+              let latest_sg = Clras.adapt target_presig ~wa ~wb in
+              let rep = Report.fresh () in
+              Close.settle c ~priority:1 latest_sg target_tx rep))

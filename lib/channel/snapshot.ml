@@ -189,5 +189,8 @@ let restore_channel ~(cfg : Channel.config) (env : Channel.env) ~(id : int)
     ( restore ~cfg ~g:(Monet_hash.Drbg.split g "a") snap_a,
       restore ~cfg ~g:(Monet_hash.Drbg.split g "b") snap_b )
   with
-  | Ok a, Ok b -> Ok { Channel.a; b; env; id; transport = Driver.Sync; trace = [] }
+  | Ok a, Ok b ->
+      Ok
+        { Channel.a; b; env; id; transport = Driver.Sync; faults = None;
+          trace = [] }
   | Error e, _ | _, Error e -> Error e

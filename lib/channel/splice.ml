@@ -336,7 +336,7 @@ let splice_in (c : Driver.channel) ~(funder : Tp.role) ~(amount : int)
                                           { Driver.a = a'; b = b'; env;
                                             id = new_id;
                                             transport = c.Driver.transport;
-                                            trace = [] }
+                                            faults = None; trace = [] }
                                         in
                                         match
                                           Driver.refresh c' rep

@@ -6,44 +6,69 @@
     role and a handle to the channel — and sweeps the mempool on every
     tick. A party can run its own tower or outsource to one; here the
     tower is an in-process actor the simulation drives (e.g. once per
-    block interval). *)
+    block interval).
+
+    Registration is idempotent (one entry per channel id, so a party
+    and its outsourced tower cannot double-punish), and entries are
+    pruned once their channel is punished or otherwise closed —
+    [watched_count] is therefore the number of channels still under
+    surveillance, which the chaos invariant checker reconciles against
+    punishments. *)
 
 type entry = {
   w_channel : Channel.channel;
   w_victim : Monet_sig.Two_party.role;
-  mutable w_punished : bool;
 }
 
 type t = { mutable entries : entry list; mutable punishments : int }
 
 let create () : t = { entries = []; punishments = 0 }
 
+(** Register [channel] for surveillance. Duplicate registrations (same
+    channel id, whatever the victim) are ignored: the first watcher
+    wins, and a punishment can only ever fire once per channel. *)
 let watch (t : t) (channel : Channel.channel) ~(victim : Monet_sig.Two_party.role) :
     unit =
-  t.entries <- { w_channel = channel; w_victim = victim; w_punished = false } :: t.entries
+  if
+    not
+      (List.exists
+         (fun e -> e.w_channel.Channel.id = channel.Channel.id)
+         t.entries)
+  then t.entries <- { w_channel = channel; w_victim = victim } :: t.entries
+
+(** Channels currently under surveillance (punished and closed ones
+    are pruned on tick). *)
+let watched_count (t : t) : int = List.length t.entries
 
 type tick_result = {
   punished : (Channel.channel * Channel.payout) list;
   clean : int; (* watched channels with nothing suspicious *)
 }
 
-(** One surveillance pass over the shared mempool. *)
+(** One surveillance pass over the shared mempool. Punished channels —
+    and channels that closed by other means — leave the watch list. *)
 let tick (t : t) : tick_result =
   let punished = ref [] and clean = ref 0 in
-  List.iter
-    (fun e ->
-      if (not e.w_punished) && not e.w_channel.Channel.a.Channel.closed then begin
-        match Channel.watch_and_punish e.w_channel ~victim:e.w_victim with
-        | Ok payout ->
-            Logs.warn ~src:Channel.log_src (fun m ->
-                m "watchtower punished a stale close on channel %d"
-                  e.w_channel.Channel.id);
-            e.w_punished <- true;
-            t.punishments <- t.punishments + 1;
-            punished := (e.w_channel, payout) :: !punished
-        | Error _ -> incr clean
-      end)
-    t.entries;
+  let keep =
+    List.filter
+      (fun e ->
+        if e.w_channel.Channel.a.Channel.closed then false
+        else begin
+          match Channel.watch_and_punish e.w_channel ~victim:e.w_victim with
+          | Ok payout ->
+              Logs.warn ~src:Channel.log_src (fun m ->
+                  m "watchtower punished a stale close on channel %d"
+                    e.w_channel.Channel.id);
+              t.punishments <- t.punishments + 1;
+              punished := (e.w_channel, payout) :: !punished;
+              false
+          | Error _ ->
+              incr clean;
+              true
+        end)
+      t.entries
+  in
+  t.entries <- keep;
   { punished = !punished; clean = !clean }
 
 (** Drive the tower from the discrete-event clock: re-arms itself every

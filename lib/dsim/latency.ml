@@ -4,7 +4,7 @@
 type t =
   | Fixed of float (* ms *)
   | Uniform of float * float
-  | Normal of float * float (* mean, stddev; truncated at 0 *)
+  | Normal of float * float (* mean, stddev; resampled while negative *)
 
 let wan_4g = Fixed 60.0
 let lan = Fixed 0.5
@@ -14,10 +14,22 @@ let sample (g : Monet_hash.Drbg.t) (t : t) : float =
   | Fixed ms -> ms
   | Uniform (lo, hi) -> lo +. ((hi -. lo) *. Monet_hash.Drbg.float g)
   | Normal (mu, sigma) ->
-      (* Box-Muller *)
-      let u1 = max 1e-12 (Monet_hash.Drbg.float g) and u2 = Monet_hash.Drbg.float g in
-      let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
-      Float.max 0.0 (mu +. (sigma *. z))
+      (* Box-Muller, rejecting negative draws. Clamping them to 0
+         instead would pile the whole left tail into a point mass at
+         0 and bias the sample mean above mu; resampling draws from
+         the conditional law given latency >= 0, which for the
+         configurations of interest (mu a few sigma above 0) is
+         indistinguishable from the unconstrained normal. The retry
+         count is bounded so pathological parameters (mu << 0)
+         still terminate. *)
+      let rec draw attempts =
+        let u1 = max 1e-12 (Monet_hash.Drbg.float g)
+        and u2 = Monet_hash.Drbg.float g in
+        let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+        let x = mu +. (sigma *. z) in
+        if x >= 0.0 then x else if attempts >= 64 then 0.0 else draw (attempts + 1)
+      in
+      draw 0
 
 let mean = function
   | Fixed ms -> ms

@@ -1,0 +1,312 @@
+(** Seeded chaos schedules over the full protocol stack.
+
+    One chaos run builds a fresh line network of [n_hops] MoChannels,
+    installs a fault {!scenario} (fault plans on the links, plus
+    scripted misbehaviour at precise protocol points), drives one
+    recoverable multi-hop payment through it on the discrete-event
+    clock, and then checks the {!Invariant}s: funds conserved, every
+    lock resolved, no double punishment. Everything derives from the
+    integer seed — a failing schedule replays exactly.
+
+    The scenarios map to the paper's adversary model:
+
+    - [Happy]: no faults; the recoverable engine must behave like the
+      plain one.
+    - [Flaky severity]: every link drops/delays/duplicates/withholds
+      per a profile drawn from the seed. The driver's retransmission
+      machinery absorbs transient faults; a link that dies outright
+      escalates to a KES dispute.
+    - [Silent_hop i]: hop [i]'s channel goes dark before the payment,
+      so its lock session times out. The sender disputes that channel
+      through the KES and cancels the locks already placed upstream.
+    - [Silent_receiver]: the receiver takes the locks and never
+      releases the witness. Every hop waits out its cascade timer and
+      cancels; the receiver's own channel ends in a pre-lock dispute.
+    - [Cheating_hop i]: once hop [i] is locked, its payee goes dark
+      {e and} broadcasts a stale commitment. The watchtower must catch
+      it and settle with priority before the dispute path even runs. *)
+
+module Ch = Monet_channel.Channel
+module Driver = Monet_channel.Driver
+module Watchtower = Monet_channel.Watchtower
+module Graph = Monet_net.Graph
+module Router = Monet_net.Router
+module Payment = Monet_net.Payment
+module Plan = Monet_fault.Plan
+module Tp = Monet_sig.Two_party
+
+type scenario =
+  | Happy
+  | Flaky of float  (** severity in [0,1] *)
+  | Silent_hop of int  (** this hop's channel is dark from the start *)
+  | Silent_receiver
+  | Cheating_hop of int  (** goes dark after locking + broadcasts stale state *)
+
+let scenario_label = function
+  | Happy -> "happy"
+  | Flaky s -> Printf.sprintf "flaky(%.2f)" s
+  | Silent_hop i -> Printf.sprintf "silent-hop(%d)" i
+  | Silent_receiver -> "silent-receiver"
+  | Cheating_hop i -> Printf.sprintf "cheating-hop(%d)" i
+
+type outcome = {
+  o_label : string;
+  o_delivered : bool;
+  o_fates : Payment.hop_fate array;
+  o_disputes : int;
+  o_punishments : int;
+  o_timeouts : int; (* channel sessions that exhausted their retries *)
+  o_retransmits : int;
+  o_faults_fired : int; (* link/party faults that actually triggered *)
+  o_violations : string list; (* [] = all invariants held *)
+}
+
+(* Small-parameter configuration: the soak cares about protocol-level
+   interleavings, not cryptographic work factors. *)
+let chaos_cfg =
+  { Ch.default_config with
+    Ch.vcof_reps = Some 2; ring_size = 3; n_escrowers = 3; escrow_threshold = 2 }
+
+(** Run one seeded schedule. [Error] means the harness itself could not
+    set the network up or the payment hit a non-timeout protocol error —
+    both are harness bugs, not tolerated faults. *)
+let run ?(cfg = chaos_cfg) ?(n_hops = 3) ?(amount = 25) ~(seed : int)
+    (scenario : scenario) : (outcome, string) result =
+  if n_hops < 1 then invalid_arg "Chaos.run: n_hops must be >= 1";
+  (match scenario with
+  | (Silent_hop i | Cheating_hop i) when i < 0 || i >= n_hops ->
+      invalid_arg "Chaos.run: scenario hop out of range"
+  | _ -> ());
+  let g = Monet_hash.Drbg.of_int seed in
+  let t = Graph.create ~cfg g in
+  let nodes =
+    Array.init (n_hops + 1) (fun i ->
+        Graph.add_node t ~name:(Printf.sprintf "n%d" i))
+  in
+  Array.iter (fun id -> Graph.fund_node t id ~amount:2_000) nodes;
+  (* Line topology. Two plain updates per channel give the punishment
+     path genuinely old states (0 and 1) below the latest. *)
+  let rec build i acc =
+    if i >= n_hops then Ok (List.rev acc)
+    else
+      match
+        Graph.open_channel t ~left:nodes.(i) ~right:(nodes.(i + 1))
+          ~bal_left:500 ~bal_right:500
+      with
+      | Error e -> Error (Printf.sprintf "open hop %d: %s" i e)
+      | Ok (eid, _) -> (
+          let ch = (Graph.edge t eid).Graph.e_channel in
+          match (Ch.update ch ~amount_from_a:10, Ch.update ch ~amount_from_a:10) with
+          | Error e, _ | _, Error e ->
+              Error
+                (Printf.sprintf "update hop %d: %s" i (Ch.error_to_string e))
+          | Ok _, Ok _ -> build (i + 1) (eid :: acc))
+  in
+  match build 0 [] with
+  | Error e -> Error e
+  | Ok edge_ids -> (
+      let edge_ids = Array.of_list edge_ids in
+      let channel_of i = (Graph.edge t edge_ids.(i)).Graph.e_channel in
+      (* Scheduled transport on a shared clock + per-link fault plans;
+         establishment and the warm-up updates above ran faultless. *)
+      let clock = Monet_dsim.Clock.create () in
+      let latency = Monet_dsim.Latency.Fixed 5.0 in
+      let plans =
+        Array.mapi
+          (fun i eid ->
+            let pg = Monet_hash.Drbg.split g (Printf.sprintf "plan/%d" eid) in
+            let plan =
+              match scenario with
+              | Flaky severity ->
+                  Plan.make ~profile:(Plan.flaky_profile ~severity pg) pg
+              | Silent_hop j when i = j ->
+                  let p = Plan.none () in
+                  Plan.kill p;
+                  p
+              | Happy | Silent_hop _ | Silent_receiver | Cheating_hop _ ->
+                  Plan.none ()
+            in
+            let ch = channel_of i in
+            ch.Ch.transport <-
+              Driver.Scheduled
+                { clock; latency;
+                  g = Monet_hash.Drbg.split g (Printf.sprintf "lat/%d" eid) };
+            Ch.set_faults ch
+              (Some
+                 (Ch.make_faults ~deadline_ms:100.0 ~max_retries:3 ~backoff:2.0
+                    plan));
+            plan)
+          edge_ids
+      in
+      (* Every payer outsources surveillance of its channel. On this
+         line topology the payer of hop i is always party A. *)
+      let tower = Watchtower.create () in
+      Array.iteri
+        (fun i _ -> Watchtower.watch tower (channel_of i) ~victim:Tp.Alice)
+        edge_ids;
+      let on_locked j =
+        match scenario with
+        | Silent_receiver when j = n_hops - 1 -> Plan.kill plans.(j)
+        | Cheating_hop i when j = i -> (
+            (* The hop's payee stops responding and broadcasts the
+               stale state-1 commitment (with the victim's leaked old
+               witness, as the threat model allows). *)
+            Plan.kill plans.(i);
+            let ch = channel_of i in
+            let victim_old = Ch.my_witness_at ch.Ch.a ~state:1 in
+            match
+              Ch.submit_old_state ch ~cheater:Tp.Bob ~state:1
+                ~victim_old_wit:victim_old
+            with
+            | Ok _ -> ()
+            | Error e ->
+                failwith ("chaos: cheat broadcast: " ^ Ch.error_to_string e))
+        | Happy | Flaky _ | Silent_hop _ | Silent_receiver | Cheating_hop _ ->
+            ()
+      in
+      let receiver_cooperates =
+        match scenario with Silent_receiver -> false | _ -> true
+      in
+      match
+        Router.find_path t ~src:nodes.(0) ~dst:nodes.(n_hops) ~amount
+      with
+      | Error e -> Error ("routing: " ^ e)
+      | Ok path -> (
+          match
+            Payment.execute_recoverable t ~path ~amount ~receiver_cooperates
+              ~tower ~clock ~on_locked ~base_timer:2_000 ~timer_delta:500 ()
+          with
+          | Error e -> Error ("payment: " ^ Payment.error_to_string e)
+          | Ok r ->
+              (* Collect the run's on-chain settlements, give the tower
+                 one last pass (absorbing anything it catches), then
+                 check the graph. *)
+              let settled = ref [] in
+              Array.iteri
+                (fun i fate ->
+                  match fate with
+                  | Payment.Hop_disputed p | Payment.Hop_punished p ->
+                      settled := (edge_ids.(i), p) :: !settled
+                  | Payment.Hop_pending | Payment.Hop_unlocked
+                  | Payment.Hop_cancelled -> ())
+                r.Payment.r_fates;
+              let final = Watchtower.tick tower in
+              List.iter
+                (fun ((ch : Ch.channel), p) ->
+                  Array.iteri
+                    (fun i _ ->
+                      if (channel_of i).Ch.id = ch.Ch.id then
+                        settled := (edge_ids.(i), p) :: !settled)
+                    edge_ids)
+                final.Watchtower.punished;
+              let violations = ref (Invariant.check t ~settled:!settled) in
+              let add v = violations := !violations @ [ v ] in
+              (* Tower bookkeeping reconciles with the fates. *)
+              let n_open =
+                List.length (List.filter Graph.is_open t.Graph.edges)
+              in
+              if Watchtower.watched_count tower > n_open then
+                add "watchtower still watches a closed channel";
+              let n_punished =
+                Array.fold_left
+                  (fun acc -> function
+                    | Payment.Hop_punished _ -> acc + 1
+                    | _ -> acc)
+                  0 r.Payment.r_fates
+                + List.length final.Watchtower.punished
+              in
+              if tower.Watchtower.punishments <> n_punished then
+                add
+                  (Printf.sprintf
+                     "tower counted %d punishments, fates show %d (double \
+                      punishment?)"
+                     tower.Watchtower.punishments n_punished);
+              let retransmits = ref 0 in
+              Array.iteri
+                (fun i _ ->
+                  match (channel_of i).Ch.faults with
+                  | Some f -> retransmits := !retransmits + f.Ch.f_retransmits
+                  | None -> ())
+                edge_ids;
+              Ok
+                {
+                  o_label = scenario_label scenario;
+                  o_delivered = r.Payment.r_delivered;
+                  o_fates = r.Payment.r_fates;
+                  o_disputes = r.Payment.r_disputes;
+                  o_punishments = r.Payment.r_punishments;
+                  o_timeouts = r.Payment.r_timeouts;
+                  o_retransmits = !retransmits;
+                  o_faults_fired =
+                    Array.fold_left
+                      (fun acc p -> acc + Plan.faults_fired p)
+                      0 plans;
+                  o_violations = !violations;
+                }))
+
+(* --- soak: many seeded schedules, aggregated --- *)
+
+type soak_summary = {
+  s_runs : int;
+  s_delivered : int;
+  s_disputes : int;
+  s_punishments : int;
+  s_timeouts : int;
+  s_retransmits : int;
+  s_faults_fired : int;
+  s_failures : (int * string * string) list; (* seed, label, problem *)
+}
+
+(** The soak's schedule mix for a given seed: mostly flaky links of
+    seed-dependent severity, with the scripted adversarial scenarios
+    interleaved so every soak provably exercises the dispute and
+    punishment paths. *)
+let scenario_for ~(seed : int) ~(n_hops : int) : scenario =
+  match seed mod 8 with
+  | 0 -> Happy
+  | 1 -> Silent_hop (seed / 8 mod n_hops)
+  | 2 -> Silent_receiver
+  | 3 -> Cheating_hop (seed / 8 mod n_hops)
+  | k -> Flaky (0.2 +. (0.15 *. float_of_int (k - 4)))
+
+(** Run [runs] seeded schedules ([base_seed], [base_seed+1], ...) over
+    [n_hops]-hop payments and aggregate. Any invariant violation or
+    harness error lands in [s_failures] with its seed, so it can be
+    replayed with {!run} directly. *)
+let soak ?(cfg = chaos_cfg) ?(n_hops = 3) ?(base_seed = 0) ~(runs : int) () :
+    soak_summary =
+  let sum =
+    ref
+      { s_runs = 0; s_delivered = 0; s_disputes = 0; s_punishments = 0;
+        s_timeouts = 0; s_retransmits = 0; s_faults_fired = 0; s_failures = [] }
+  in
+  for i = 0 to runs - 1 do
+    let seed = base_seed + i in
+    let scenario = scenario_for ~seed ~n_hops in
+    let s = !sum in
+    (match run ~cfg ~n_hops ~seed scenario with
+    | Error e ->
+        sum :=
+          { s with
+            s_runs = s.s_runs + 1;
+            s_failures = (seed, scenario_label scenario, e) :: s.s_failures }
+    | Ok o ->
+        let failures =
+          match o.o_violations with
+          | [] -> s.s_failures
+          | vs ->
+              (seed, o.o_label, String.concat "; " vs) :: s.s_failures
+        in
+        sum :=
+          {
+            s_runs = s.s_runs + 1;
+            s_delivered = s.s_delivered + (if o.o_delivered then 1 else 0);
+            s_disputes = s.s_disputes + o.o_disputes;
+            s_punishments = s.s_punishments + o.o_punishments;
+            s_timeouts = s.s_timeouts + o.o_timeouts;
+            s_retransmits = s.s_retransmits + o.o_retransmits;
+            s_faults_fired = s.s_faults_fired + o.o_faults_fired;
+            s_failures = failures;
+          })
+  done;
+  { !sum with s_failures = List.rev !sum.s_failures }

@@ -1,0 +1,87 @@
+(** Conservation and resolution invariants over a channel graph.
+
+    After any fault schedule — however hostile — the network must end
+    in a state where no money was created or destroyed and every
+    in-flight lock reached a terminal fate. [check] walks every edge
+    of the graph and returns the list of violations (empty = the run
+    conserved):
+
+    - {b View consistency}: both parties of a channel agree on the
+      state number, the balances (mirrored), the closed flag and
+      whether a lock is pending. The driver's rollback-on-timeout is
+      what makes this hold under faults: a half-run session must not
+      leave one party at state [i+1] and the other at [i].
+    - {b Open channels}: balances are non-negative and sum to the
+      funding capacity, no lock is left pending (every lock was
+      unlocked, cancelled or escalated), and the funding output's key
+      image is still unspent on the ledger.
+    - {b Closed channels}: exactly one on-chain settlement was
+      recorded (a second one would mean a double punishment or a
+      double close — the ledger's key images forbid it, and so does
+      this check), its payouts sum to the capacity, and the funding
+      key image is spent.
+
+    The per-edge capacity checks compose into global conservation:
+    Σ capacities = Σ open balances + Σ closed payouts. *)
+
+module Ch = Monet_channel.Channel
+module Graph = Monet_net.Graph
+module Tp = Monet_sig.Two_party
+
+(** Check the graph against the settlements the run recorded
+    ([(edge id, payout)] from disputes and watchtower punishments).
+    Returns violations, oldest first; [] means every invariant held. *)
+let check (t : Graph.t) ~(settled : (int * Ch.payout) list) : string list =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  let ledger = t.Graph.env.Ch.ledger in
+  let funding_spent (ch : Ch.channel) =
+    Hashtbl.mem ledger.Monet_xmr.Ledger.key_images
+      (Monet_ec.Point.encode ch.Ch.a.Ch.joint.Tp.key_image)
+  in
+  List.iter
+    (fun (e : Graph.edge) ->
+      let ch = e.Graph.e_channel in
+      let a = ch.Ch.a and b = ch.Ch.b in
+      let cap = a.Ch.capacity in
+      let tag = Printf.sprintf "edge %d" e.Graph.e_id in
+      (* Both parties must hold the same view of the channel. *)
+      if a.Ch.state <> b.Ch.state then
+        err "%s: state views diverge (%d vs %d)" tag a.Ch.state b.Ch.state;
+      if a.Ch.closed <> b.Ch.closed then err "%s: closed views diverge" tag;
+      if
+        a.Ch.my_balance <> b.Ch.their_balance
+        || a.Ch.their_balance <> b.Ch.my_balance
+      then err "%s: balance views diverge" tag;
+      if (a.Ch.lock = None) <> (b.Ch.lock = None) then
+        err "%s: lock views diverge" tag;
+      let settlements =
+        List.filter_map
+          (fun (id, p) -> if id = e.Graph.e_id then Some p else None)
+          settled
+      in
+      if a.Ch.closed then begin
+        (match settlements with
+        | [ p ] ->
+            if p.Ch.pay_a + p.Ch.pay_b <> cap then
+              err "%s: on-chain payout %d+%d does not conserve capacity %d" tag
+                p.Ch.pay_a p.Ch.pay_b cap
+        | [] -> err "%s: closed with no recorded settlement" tag
+        | ps -> err "%s: settled %d times (double punishment?)" tag (List.length ps));
+        if not (funding_spent ch) then
+          err "%s: closed but the funding key image is unspent" tag
+      end
+      else begin
+        if a.Ch.my_balance < 0 || b.Ch.my_balance < 0 then
+          err "%s: negative balance" tag;
+        if a.Ch.my_balance + b.Ch.my_balance <> cap then
+          err "%s: off-chain balances %d+%d do not conserve capacity %d" tag
+            a.Ch.my_balance b.Ch.my_balance cap;
+        if a.Ch.lock <> None then err "%s: lock left pending after recovery" tag;
+        if funding_spent ch then
+          err "%s: open but the funding key image is spent" tag;
+        if settlements <> [] then
+          err "%s: settlement recorded for an open channel" tag
+      end)
+    t.Graph.edges;
+  List.rev !errs

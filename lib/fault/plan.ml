@@ -1,0 +1,157 @@
+(** Fault plans: a seeded description of how a channel's link and its
+    two endpoints misbehave, consulted by {!Monet_channel.Driver} on
+    every message send/delivery.
+
+    The plan's grammar is the paper's adversary model made executable:
+
+    - per-message {e link} faults — drop, delay (extra latency on top
+      of the transport's sampled latency), duplicate, or {e withhold}
+      (the direction dies and stays dead, so retransmissions provably
+      fail and the deadline/escalation machinery must take over);
+    - per-party modes — [Honest], [Crash_after n] (the party stops
+      receiving and sending after the channel's [n]-th delivery:
+      crash-stop), or [Silent] (byzantine-silent: the party keeps
+      receiving — and updating local state — but never replies).
+
+    All randomness comes from a {!Monet_hash.Drbg}, so a fault
+    schedule is a pure function of its seed and the soak harness can
+    replay any failing schedule. Decisions and outcomes are counted so
+    tests can assert a fault actually fired. *)
+
+type action =
+  | Deliver
+  | Drop  (** lose this message (transient; a retransmission may pass) *)
+  | Delay of float  (** deliver with this many extra simulated ms *)
+  | Duplicate  (** deliver twice (receiver-side dedup must cope) *)
+  | Withhold  (** this direction of the link dies, permanently *)
+
+type party_mode =
+  | Honest
+  | Crash_after of int
+      (** crash-stop once the channel has seen this many deliveries *)
+  | Silent  (** byzantine-silent: receives and mutates state, never replies *)
+
+(** Per-message fault probabilities; [delay_ms] is the extra-latency
+    range a [Delay] samples from. *)
+type profile = {
+  p_drop : float;
+  p_delay : float;
+  delay_ms : float * float;
+  p_duplicate : float;
+  p_withhold : float;
+}
+
+type stats = {
+  mutable n_decisions : int;
+  mutable n_dropped : int;
+  mutable n_delayed : int;
+  mutable n_duplicated : int;
+  mutable n_withheld : int; (* messages swallowed by a dead link/party *)
+}
+
+type t = {
+  g : Monet_hash.Drbg.t;
+  profile : profile;
+  mutable mode_a : party_mode;
+  mutable mode_b : party_mode;
+  mutable dead_to_a : bool; (* sticky withhold, per direction *)
+  mutable dead_to_b : bool;
+  mutable deliveries : int; (* successful deliveries, drives Crash_after *)
+  stats : stats;
+}
+
+let fresh_stats () =
+  { n_decisions = 0; n_dropped = 0; n_delayed = 0; n_duplicated = 0;
+    n_withheld = 0 }
+
+let honest_profile =
+  { p_drop = 0.0; p_delay = 0.0; delay_ms = (0.0, 0.0); p_duplicate = 0.0;
+    p_withhold = 0.0 }
+
+let make ?(profile = honest_profile) ?(mode_a = Honest) ?(mode_b = Honest)
+    (g : Monet_hash.Drbg.t) : t =
+  { g; profile; mode_a; mode_b; dead_to_a = false; dead_to_b = false;
+    deliveries = 0; stats = fresh_stats () }
+
+(** A plan that never faults (the driver's fault path with this plan
+    must behave like the plain transport, modulo bookkeeping). *)
+let none () : t = make (Monet_hash.Drbg.of_int 0)
+
+(** Draw a flaky-link profile from [g]: each probability is scaled by
+    [severity] (0 = honest, 1 = harsh). *)
+let flaky_profile ?(severity = 0.5) (g : Monet_hash.Drbg.t) : profile =
+  let u () = Monet_hash.Drbg.float g *. severity in
+  {
+    p_drop = 0.3 *. u ();
+    p_delay = 0.5 *. u ();
+    delay_ms = (10.0, 10.0 +. (200.0 *. Monet_hash.Drbg.float g));
+    p_duplicate = 0.3 *. u ();
+    p_withhold = 0.02 *. u ();
+  }
+
+(** Kill both directions and both parties now (used by scenarios that
+    make a hop go dark at a precise protocol point). *)
+let kill (t : t) : unit =
+  t.dead_to_a <- true;
+  t.dead_to_b <- true;
+  t.mode_a <- Crash_after 0;
+  t.mode_b <- Crash_after 0
+
+let mode (t : t) ~(a : bool) = if a then t.mode_a else t.mode_b
+
+(** Has the party stopped participating entirely? *)
+let crashed (t : t) ~(a : bool) : bool =
+  match mode t ~a with
+  | Crash_after n -> t.deliveries >= n
+  | Honest | Silent -> false
+
+(** Does the party swallow its replies (byzantine-silent, or crashed)? *)
+let mute (t : t) ~(a : bool) : bool =
+  (match mode t ~a with Silent -> true | Honest | Crash_after _ -> false)
+  || crashed t ~a
+
+(** Can the party originate (re)transmissions? *)
+let can_send (t : t) ~(a : bool) : bool = not (mute t ~a)
+
+let note_delivery (t : t) : unit = t.deliveries <- t.deliveries + 1
+let note_withheld (t : t) : unit = t.stats.n_withheld <- t.stats.n_withheld + 1
+
+(** The link decision for one message headed to party [to_a]. A dead
+    direction always withholds; otherwise the profile's probabilities
+    decide (at most one fault per message, drop > withhold > delay >
+    duplicate precedence). *)
+let decide (t : t) ~(to_a : bool) : action =
+  let s = t.stats in
+  s.n_decisions <- s.n_decisions + 1;
+  if (if to_a then t.dead_to_a else t.dead_to_b) then begin
+    s.n_withheld <- s.n_withheld + 1;
+    Withhold
+  end
+  else begin
+    let p = t.profile in
+    let u = Monet_hash.Drbg.float t.g in
+    if u < p.p_drop then begin
+      s.n_dropped <- s.n_dropped + 1;
+      Drop
+    end
+    else if u < p.p_drop +. p.p_withhold then begin
+      (if to_a then t.dead_to_a <- true else t.dead_to_b <- true);
+      s.n_withheld <- s.n_withheld + 1;
+      Withhold
+    end
+    else if u < p.p_drop +. p.p_withhold +. p.p_delay then begin
+      let lo, hi = p.delay_ms in
+      s.n_delayed <- s.n_delayed + 1;
+      Delay (lo +. ((hi -. lo) *. Monet_hash.Drbg.float t.g))
+    end
+    else if u < p.p_drop +. p.p_withhold +. p.p_delay +. p.p_duplicate then begin
+      s.n_duplicated <- s.n_duplicated + 1;
+      Duplicate
+    end
+    else Deliver
+  end
+
+(** Total link/party faults that actually fired. *)
+let faults_fired (t : t) : int =
+  t.stats.n_dropped + t.stats.n_delayed + t.stats.n_duplicated
+  + t.stats.n_withheld

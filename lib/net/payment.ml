@@ -10,19 +10,28 @@
 module Ch = Monet_channel.Channel
 open Monet_ec
 
-(** Payment-layer failures. Channel failures keep their typed cause
-    (with the hop context that produced them); routing/onion failures
-    originate here. Strings appear only at the CLI/bench boundary via
-    {!error_to_string}. *)
+(** Payment-layer failures, fully typed so fault-path tests can
+    pattern-match on the *kind* of failure (and the hop it happened
+    at) instead of string-comparing. Channel failures keep their typed
+    cause with the hop context that produced them; strings appear only
+    at the CLI/bench boundary via {!error_to_string}. *)
 type error =
   | Channel of string * Ch.error (* context (e.g. "lock hop 2"), cause *)
-  | Routing of string
-  | Onion of string
-  | Failed of string
+  | No_route of string (* the router found no (disjoint) path *)
+  | Onion of string (* onion wrap/peel failure *)
+  | Packet_rejected of int (* hop (1-based) rejected its AMHL packet *)
+  | Timeout of int
+      (* hop (1-based) stayed silent past its deadline and the
+         escalation machinery could not resolve it either *)
+  | Cancelled (* a multipath part was cancelled by the receiver *)
 
 let error_to_string = function
   | Channel (ctx, e) -> Printf.sprintf "%s: %s" ctx (Ch.error_to_string e)
-  | Routing s | Onion s | Failed s -> s
+  | No_route s -> "no route: " ^ s
+  | Onion s -> "onion: " ^ s
+  | Packet_rejected hop -> Printf.sprintf "hop %d rejected its AMHL packet" hop
+  | Timeout hop -> Printf.sprintf "hop %d timed out and could not be resolved" hop
+  | Cancelled -> "part cancelled"
 
 type phase_stats = {
   mutable setup_ms : float;
@@ -73,7 +82,7 @@ let execute (t : Graph.t) ~(path : Router.hop list) ~(amount : int)
   let stats = fresh_stats () in
   let hops = Array.of_list path in
   let n = Array.length hops in
-  if n = 0 then Error (Routing "empty path")
+  if n = 0 then Error (No_route "empty path")
   else begin
     stats.n_hops <- n;
     (* --- Setup (sender) --- *)
@@ -123,7 +132,7 @@ let execute (t : Graph.t) ~(path : Router.hop list) ~(amount : int)
                    amhl.Monet_amhl.Amhl.packets.(i)
               then go (i + 1) next
               else
-                Error (Failed (Printf.sprintf "hop %d rejected its AMHL packet" (i + 1)))
+                Error (Packet_rejected (i + 1))
         end
       in
       go 0 onion
@@ -220,7 +229,7 @@ let fail_with_last_hop_dispute (t : Graph.t) ~(path : Router.hop list)
   let stats = fresh_stats () in
   let hops = Array.of_list path in
   let n = Array.length hops in
-  if n = 0 then Error (Routing "empty path")
+  if n = 0 then Error (No_route "empty path")
   else begin
     stats.n_hops <- n;
     let hps = Array.map (fun h -> hp_of_edge h.Router.h_edge) hops in
@@ -264,11 +273,247 @@ let fail_with_last_hop_dispute (t : Graph.t) ~(path : Router.hop list)
             |> Result.map_error (fun e -> Channel ("dispute close", e)))
   end
 
+(* --- fault recovery: the cascade-timeout escalation engine -------------- *)
+
+(** How each hop of a recoverable payment ended up. *)
+type hop_fate =
+  | Hop_pending  (** never locked (failure hit an earlier hop first) *)
+  | Hop_unlocked  (** paid off-chain, channel stays open *)
+  | Hop_cancelled  (** cancelled cooperatively, channel stays open *)
+  | Hop_disputed of Ch.payout  (** force-closed through the KES *)
+  | Hop_punished of Ch.payout
+      (** the watchtower caught a stale broadcast and settled with
+          priority *)
+
+type recovered = {
+  r_stats : phase_stats;
+  r_fates : hop_fate array;
+  r_delivered : bool; (* the receiver ended up paid (off- or on-chain) *)
+  r_disputes : int;
+  r_punishments : int;
+  r_timeouts : int; (* channel sessions that hit their deadline *)
+}
+
+let ( let* ) r f = match r with Ok x -> f x | Error e -> Error (e : error)
+
+(** Like {!execute}, but faults never escape as hard errors: when a
+    hop's channel session times out (its counterparty stayed silent
+    past the driver deadline — see {!Monet_channel.Driver}), the
+    engine escalates exactly as the paper's Fig. 5 prescribes. It
+    waits out the hop's cascade timer τ (advancing [clock]), gives the
+    watchtower [tower] a tick (the silent party may have broadcast a
+    stale commitment — punished with priority), and otherwise forces
+    the stuck channel through the KES dispute path; hops upstream of a
+    lock-phase failure cancel cooperatively (escalating the same way
+    if their counterparty is silent too). A hop that goes dark
+    mid-unlock is settled *at the locked state* with the witness the
+    payee already holds, so the cascade continues upstream and every
+    honest intermediary stays made whole. Channel errors other than
+    timeouts still surface as [Error]: they indicate protocol
+    violations, not silence. *)
+let execute_recoverable (t : Graph.t) ~(path : Router.hop list) ~(amount : int)
+    ?(receiver_cooperates = true) ?tower ?clock ?on_locked
+    ?(base_timer = 60_000) ?(timer_delta = 10_000) () : (recovered, error) result
+    =
+  let stats = fresh_stats () in
+  let hops = Array.of_list path in
+  let n = Array.length hops in
+  if n = 0 then Error (No_route "empty path")
+  else begin
+    stats.n_hops <- n;
+    let fates = Array.make n Hop_pending in
+    let timeouts = ref 0 in
+    let delivered = ref false in
+    let channel_of i = hops.(i).Router.h_edge.Graph.e_channel in
+    let tau i = float_of_int (base_timer + ((n - i) * timer_delta)) in
+    let charge (rep : Ch.report) =
+      stats.messages <- stats.messages + rep.Ch.messages;
+      stats.bytes <- stats.bytes + rep.Ch.bytes
+    in
+    let wait ms =
+      match clock with Some ck -> Monet_dsim.Clock.advance ck ms | None -> ()
+    in
+    (* A tower tick may punish any watched channel (not only the hop
+       being resolved): fold every punishment into the fates. *)
+    let absorb_tick (r : Monet_channel.Watchtower.tick_result) =
+      List.iter
+        (fun ((ch : Ch.channel), payout) ->
+          Array.iteri
+            (fun i (h : Router.hop) ->
+              if h.Router.h_edge.Graph.e_channel.Ch.id = ch.Ch.id then
+                match fates.(i) with
+                | Hop_pending | Hop_cancelled | Hop_unlocked ->
+                    fates.(i) <- Hop_punished payout
+                | Hop_disputed _ | Hop_punished _ -> ())
+            hops)
+        r.Monet_channel.Watchtower.punished
+    in
+    let tower_tick () =
+      match tower with
+      | Some tw -> absorb_tick (Monet_channel.Watchtower.tick tw)
+      | None -> ()
+    in
+    (* A hop went dark past its deadline: wait out its cascade timer,
+       let the watchtower race the mempool, then force the channel
+       through the KES. *)
+    let resolve_stuck i ~(proposer : Monet_sig.Two_party.role) ?lock_witness ()
+        : (unit, error) result =
+      wait (tau i);
+      tower_tick ();
+      match fates.(i) with
+      | Hop_punished _ -> Ok ()
+      | _ -> (
+          match
+            Ch.dispute_close ?lock_witness (channel_of i) ~proposer
+              ~responsive:false
+          with
+          | Ok (payout, rep) ->
+              charge rep;
+              fates.(i) <- Hop_disputed payout;
+              Ok ()
+          | Error e ->
+              Error (Channel (Printf.sprintf "dispute hop %d" (i + 1), e)))
+    in
+    let resolve_cancel i : (unit, error) result =
+      if (channel_of i).Ch.a.Ch.closed then Ok () (* already settled on-chain *)
+      else
+        match Ch.cancel_lock (channel_of i) with
+        | Ok rep ->
+            charge rep;
+            fates.(i) <- Hop_cancelled;
+            Ok ()
+        | Error e when Monet_channel.Errors.is_timeout e ->
+            incr timeouts;
+            resolve_stuck i ~proposer:(role_of_payer hops.(i)) ()
+        | Error e -> Error (Channel (Printf.sprintf "cancel hop %d" (i + 1), e))
+    in
+    (* Cancel hops [i] down to 0, each after its timer expires. *)
+    let rec cancel_down i : (unit, error) result =
+      if i < 0 then Ok ()
+      else begin
+        wait (tau i);
+        let* () = resolve_cancel i in
+        cancel_down (i - 1)
+      end
+    in
+    let finish () =
+      let count f = Array.fold_left (fun acc x -> if f x then acc + 1 else acc) 0 fates in
+      Ok
+        {
+          r_stats = stats;
+          r_fates = fates;
+          r_delivered = !delivered;
+          r_disputes = count (function Hop_disputed _ -> true | _ -> false);
+          r_punishments = count (function Hop_punished _ -> true | _ -> false);
+          r_timeouts = !timeouts;
+        }
+    in
+    (* --- Setup: AMHL locks + per-hop verification --- *)
+    let hps = Array.map (fun h -> hp_of_edge h.Router.h_edge) hops in
+    let amhl, setup_ms = timed (fun () -> Monet_amhl.Amhl.setup t.Graph.g ~hps) in
+    stats.setup_ms <- setup_ms;
+    let rec verify i =
+      if i >= n then Ok ()
+      else if
+        Monet_amhl.Amhl.verify_hop ~hp:hps.(i) amhl.Monet_amhl.Amhl.packets.(i)
+      then verify (i + 1)
+      else Error (Packet_rejected (i + 1))
+    in
+    let* () = verify 0 in
+    (* --- Lock, sender → receiver --- *)
+    let rec lock_all i : (bool, error) result =
+      if i >= n then Ok true
+      else begin
+        let h = hops.(i) in
+        let r, ms =
+          timed (fun () ->
+              Ch.lock h.Router.h_edge.Graph.e_channel ~payer:(role_of_payer h)
+                ~amount
+                ~lock_stmt:amhl.Monet_amhl.Amhl.locks.(i).Monet_sig.Stmt.stmt
+                ~timer:(base_timer + ((n - i) * timer_delta)))
+        in
+        stats.lock_ms <- stats.lock_ms +. ms;
+        match r with
+        | Ok rep ->
+            charge rep;
+            (match on_locked with Some f -> f i | None -> ());
+            lock_all (i + 1)
+        | Error e when Monet_channel.Errors.is_timeout e ->
+            (* The stuck hop resolves first (its rolled-back channel is
+               force-closed at the last complete state), then the
+               already-locked upstream hops cancel, closest to the
+               failure point first. *)
+            incr timeouts;
+            let* () = resolve_stuck i ~proposer:(role_of_payer h) () in
+            let* () = cancel_down (i - 1) in
+            Ok false
+        | Error e -> Error (Channel (Printf.sprintf "lock hop %d" (i + 1), e))
+      end
+    in
+    let* complete = lock_all 0 in
+    if not complete then finish ()
+    else if not receiver_cooperates then begin
+      (* The receiver holds a completed lock and goes dark: every hop
+         waits out its timer and cancels; silent counterparties turn
+         the cancel into a KES dispute at the pre-lock state. *)
+      let* () = cancel_down (n - 1) in
+      finish ()
+    end
+    else begin
+      (* --- Unlock, receiver → sender --- *)
+      let rec unlock_all i (w : Sc.t) : (unit, error) result =
+        if i < 0 then Ok ()
+        else begin
+          let continue_up () =
+            if i = 0 then Ok ()
+            else
+              unlock_all (i - 1)
+                (Monet_amhl.Amhl.cascade ~y:amhl.Monet_amhl.Amhl.wits.(i - 1)
+                   ~w_next:w)
+          in
+          let r, ms = timed (fun () -> Ch.unlock (channel_of i) ~y:w) in
+          stats.unlock_ms <- stats.unlock_ms +. ms;
+          match r with
+          | Ok (rep, _extracted) ->
+              charge rep;
+              fates.(i) <- Hop_unlocked;
+              if i = n - 1 then delivered := true;
+              continue_up ()
+          | Error e when Monet_channel.Errors.is_timeout e ->
+              (* The payee holds the witness: settle the locked state
+                 on-chain (dispute with [lock_witness]) unless the
+                 tower already punished a stale broadcast. *)
+              incr timeouts;
+              let payee =
+                if role_of_payer hops.(i) = Monet_sig.Two_party.Alice then
+                  Monet_sig.Two_party.Bob
+                else Monet_sig.Two_party.Alice
+              in
+              let* () = resolve_stuck i ~proposer:payee ~lock_witness:w () in
+              (match fates.(i) with
+              | Hop_disputed _ ->
+                  (* The witness is on-chain: the payer extracts it and
+                     the cascade continues upstream. *)
+                  if i = n - 1 then delivered := true;
+                  continue_up ()
+              | _ ->
+                  (* Punished at the pre-lock state: the witness was
+                     never revealed, so upstream hops cancel. *)
+                  cancel_down (i - 1))
+          | Error e ->
+              Error (Channel (Printf.sprintf "unlock hop %d" (i + 1), e))
+        end
+      in
+      let* () = unlock_all (n - 1) amhl.Monet_amhl.Amhl.combined.(n - 1) in
+      finish ()
+    end
+  end
+
 (** Route and pay in one step. *)
 let pay (t : Graph.t) ~(src : int) ~(dst : int) ~(amount : int)
     ?(receiver_cooperates = true) () : (outcome, error) result =
   match Router.find_path t ~src ~dst ~amount with
-  | Error e -> Error (Routing e)
+  | Error e -> Error (No_route e)
   | Ok path -> execute t ~path ~amount ~receiver_cooperates ()
 
 (** End-to-end latency under the paper's accounting: per hop, one
@@ -360,11 +605,11 @@ let pay_multipath (t : Graph.t) ~(src : int) ~(dst : int) ~(amount : int)
     ?(max_parts = 4) () : ((Router.hop list * int) list, error) result =
   let rec plan remaining used_edges parts_left acc =
     if remaining = 0 then Ok (List.rev acc)
-    else if parts_left = 0 then Error (Routing "amount does not fit in max_parts routes")
+    else if parts_left = 0 then Error (No_route "amount does not fit in max_parts routes")
     else begin
       (* Find a path avoiding edges already used by earlier parts. *)
       match Router.find_path_avoiding t ~src ~dst ~amount:1 ~avoid:used_edges with
-      | Error _ -> Error (Routing "insufficient disjoint capacity")
+      | Error _ -> Error (No_route "insufficient disjoint capacity")
       | Ok path ->
           let bottleneck =
             List.fold_left
@@ -373,7 +618,7 @@ let pay_multipath (t : Graph.t) ~(src : int) ~(dst : int) ~(amount : int)
               max_int path
           in
           let part = min remaining bottleneck in
-          if part <= 0 then Error (Routing "no capacity")
+          if part <= 0 then Error (No_route "no capacity")
           else begin
             let used' =
               List.fold_left (fun acc (h : Router.hop) -> h.Router.h_edge.Graph.e_id :: acc)
@@ -391,7 +636,7 @@ let pay_multipath (t : Graph.t) ~(src : int) ~(dst : int) ~(amount : int)
         | (path, part) :: rest -> (
             match execute t ~path ~amount:part () with
             | Ok o when o.succeeded -> run rest
-            | Ok _ -> Error (Failed "part cancelled")
+            | Ok _ -> Error Cancelled
             | Error e -> Error e)
       in
       run parts

@@ -335,8 +335,12 @@ let e7 (e2r : e2_result) =
   (* LN baseline: one channel update (2 signatures + 2 verifications). *)
   let btc = Monet_lightning.Btc_sim.create () in
   let ln =
-    Monet_lightning.Ln_channel.open_channel (Monet_hash.Drbg.split drbg "e7") btc
-      ~bal_a:100_000 ~bal_b:100_000 ~csv_delay:6
+    match
+      Monet_lightning.Ln_channel.open_channel (Monet_hash.Drbg.split drbg "e7") btc
+        ~bal_a:100_000 ~bal_b:100_000 ~csv_delay:6
+    with
+    | Ok t -> t
+    | Error e -> failwith e
   in
   let ln_ms =
     time_ms ~runs:5 (fun () ->

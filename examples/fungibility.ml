@@ -76,8 +76,12 @@ let () =
   (* The Lightning baseline's on-chain footprint, for contrast. *)
   let btc = Monet_lightning.Btc_sim.create () in
   let ln =
-    Monet_lightning.Ln_channel.open_channel (Monet_hash.Drbg.of_int 78) btc ~bal_a:60
-      ~bal_b:40 ~csv_delay:6
+    match
+      Monet_lightning.Ln_channel.open_channel (Monet_hash.Drbg.of_int 78) btc
+        ~bal_a:60 ~bal_b:40 ~csv_delay:6
+    with
+    | Ok t -> t
+    | Error e -> failwith e
   in
   (match Monet_lightning.Ln_channel.update ln ~amount_from_a:10 with
   | Ok () -> ()

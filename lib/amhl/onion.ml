@@ -49,7 +49,7 @@ let decrypt_layer ~(sk : Sc.t) (cipher : string) : (layer_plain, string) result 
     let expect =
       Monet_hash.Hash.tagged "onion-mac" [ Point.encode eph; body_enc ]
     in
-    if not (Monet_util.Bytes_ext.equal_ct mac (String.sub expect 0 16)) then
+    if not (Monet_util.Bytes_ext.ct_equal mac (String.sub expect 0 16)) then
       Error "onion: bad mac"
     else begin
       let pad = kdf (Point.mul sk eph) (String.length body_enc) in

@@ -302,10 +302,10 @@ let with_rollback (c : channel) (f : unit -> ('a, Errors.t) result) :
   | Some _ -> (
       let cka = Party.checkpoint c.a and ckb = Party.checkpoint c.b in
       match f () with
-      | Error (Errors.Timeout _) as e ->
+      | Error e when Errors.is_timeout e ->
           Party.rollback c.a cka;
           Party.rollback c.b ckb;
-          e
+          Error e
       | r -> r)
 
 (** Run the establishment machines to quiescence. Establishment is

@@ -72,11 +72,11 @@ let watch_and_punish (c : Driver.channel) ~(victim : Tp.role) :
       | None ->
           Error (Errors.Bad_state "offending tx does not match any known state")
       | Some (old_state, _, old_presig, _) -> (
-          let sg =
-            match tx.Monet_xmr.Tx.inputs with
-            | [ i ] -> i.signature
-            | _ -> invalid_arg "commitment has one input"
-          in
+          match tx.Monet_xmr.Tx.inputs with
+          | [] | _ :: _ :: _ ->
+              Error (Errors.Bad_state "commitment must have exactly one input")
+          | [ i ] -> (
+          let sg = i.signature in
           let combined = Clras.ext sg old_presig in
           let my_old = my_witness_at p ~state:old_state in
           let their_old = Sc.sub combined my_old in
@@ -107,4 +107,4 @@ let watch_and_punish (c : Driver.channel) ~(victim : Tp.role) :
               in
               let latest_sg = Clras.adapt target_presig ~wa ~wb in
               let rep = Report.fresh () in
-              Close.settle c ~priority:1 latest_sg target_tx rep))
+              Close.settle c ~priority:1 latest_sg target_tx rep)))

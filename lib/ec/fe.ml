@@ -337,9 +337,16 @@ let random (g : Monet_hash.Drbg.t) : t =
 
 (* --- Comparisons (via the canonical encoding) --- *)
 
+(* Field elements reach equality checks carrying secret-derived
+   coordinates (e.g. point equality during verification); compare the
+   canonical encodings in constant time so the scan never exits at
+   the first differing byte. *)
 let zero_bytes = String.make 32 '\000'
-let equal (a : t) (b : t) : bool = String.equal (to_bytes_le a) (to_bytes_le b)
-let is_zero (a : t) : bool = String.equal (to_bytes_le a) zero_bytes
+
+let equal (a : t) (b : t) : bool =
+  Monet_util.Bytes_ext.ct_equal (to_bytes_le a) (to_bytes_le b)
+
+let is_zero (a : t) : bool = Monet_util.Bytes_ext.ct_equal (to_bytes_le a) zero_bytes
 let is_odd (a : t) : bool = Char.code (to_bytes_le a).[0] land 1 = 1
 
 (* --- Exponentiation (binary ladder over a Bn exponent) --- *)

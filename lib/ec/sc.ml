@@ -8,6 +8,13 @@ end)
 
 let l = modulus
 
+(* Scalars are secret material (keys, witnesses, adaptor shares); a
+   Bn-level compare would exit at the first differing limb, leaking
+   the mismatch position. Compare canonical encodings in constant
+   time instead. *)
+let equal (a : t) (b : t) : bool =
+  Monet_util.Bytes_ext.ct_equal (to_bytes_le a) (to_bytes_le b)
+
 (** Reduce a 64-byte little-endian value (e.g. a SHA-512 digest) to a
     scalar, as standard ed25519 does. *)
 let of_bytes_le_wide (s : string) : t =

@@ -100,7 +100,7 @@ let make_state (t : t) ~(n : int) ~(bal_a : int) ~(bal_b : int) ~(htlcs : htlc l
 
 (** Open a channel funded by two P2pk outputs (one per party). *)
 let open_channel (g : Monet_hash.Drbg.t) (chain : Btc_sim.t) ~(bal_a : int)
-    ~(bal_b : int) ~(csv_delay : int) : t =
+    ~(bal_b : int) ~(csv_delay : int) : (t, string) result =
   let a = { kp = Monet_sig.Sig_core.gen g; g = Monet_hash.Drbg.split g "a" } in
   let b = { kp = Monet_sig.Sig_core.gen g; g = Monet_hash.Drbg.split g "b" } in
   let coin_a = Btc_sim.genesis_output chain { script = P2pk a.kp.vk; amount = bal_a } in
@@ -119,21 +119,23 @@ let open_channel (g : Monet_hash.Drbg.t) (chain : Btc_sim.t) ~(bal_a : int)
         [ { prev = coin_a; witness = WSig (Monet_sig.Sig_core.sign a.g a.kp msg) };
           { prev = coin_b; witness = WSig (Monet_sig.Sig_core.sign b.g b.kp msg) } ] }
   in
-  (match Btc_sim.submit chain funding_tx with
-  | Ok () -> ignore (Btc_sim.mine chain)
-  | Error e -> failwith ("ln funding: " ^ e));
-  let funding_outpoint = chain.Btc_sim.n - 1 in
-  let t =
-    { chain; a; b; funding_outpoint; capacity = bal_a + bal_b; csv_delay;
-      current =
-        { st_num = 0; st_bal_a = 0; st_bal_b = 0; st_htlcs = []; st_rev_secret_a = Sc.zero;
-          st_rev_secret_b = Sc.zero;
-          st_commit = { inputs = []; outputs = []; locktime = 0 };
-          st_sig_a = { h = Sc.zero; s = Sc.zero }; st_sig_b = { h = Sc.zero; s = Sc.zero } };
-      revoked = []; closed = false; n_updates = 0 }
-  in
-  t.current <- make_state t ~n:0 ~bal_a ~bal_b ~htlcs:[];
-  t
+  match Btc_sim.submit chain funding_tx with
+  | Error e -> Error ("ln funding: " ^ e)
+  | Ok () ->
+      ignore (Btc_sim.mine chain);
+      let funding_outpoint = chain.Btc_sim.n - 1 in
+      let t =
+        { chain; a; b; funding_outpoint; capacity = bal_a + bal_b; csv_delay;
+          current =
+            { st_num = 0; st_bal_a = 0; st_bal_b = 0; st_htlcs = [];
+              st_rev_secret_a = Sc.zero; st_rev_secret_b = Sc.zero;
+              st_commit = { inputs = []; outputs = []; locktime = 0 };
+              st_sig_a = { h = Sc.zero; s = Sc.zero };
+              st_sig_b = { h = Sc.zero; s = Sc.zero } };
+          revoked = []; closed = false; n_updates = 0 }
+      in
+      t.current <- make_state t ~n:0 ~bal_a ~bal_b ~htlcs:[];
+      Ok t
 
 (** One channel update: new commitment signed by both, previous state
     revoked by revealing its secrets. *)
@@ -177,7 +179,11 @@ let add_htlc (t : t) ~(from_a : bool) ~(amount : int) ~(hash : string)
     claimant) — the off-chain fulfilled path. *)
 let fulfill_htlc (t : t) ~(preimage : string) : (unit, string) result =
   let hash = Monet_hash.Hash.fast preimage in
-  match List.partition (fun h -> h.hl_hash = hash) t.current.st_htlcs with
+  match
+    List.partition
+      (fun h -> Monet_util.Bytes_ext.ct_equal h.hl_hash hash)
+      t.current.st_htlcs
+  with
   | [], _ -> Error "no such htlc"
   | h :: _, rest ->
       let prev = t.current in

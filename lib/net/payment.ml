@@ -553,8 +553,9 @@ let amounts_with_fees (t : Graph.t) ~(path : Router.hop list) ~(amount : int) :
     cascade settles. *)
 let execute_with_fees (t : Graph.t) ~(path : Router.hop list) ~(amount : int) () :
     (outcome * int, error) result =
-  let amounts = amounts_with_fees t ~path ~amount in
-  let total_sent = List.hd amounts in
+  match amounts_with_fees t ~path ~amount with
+  | [] -> Error (No_route "empty path")
+  | total_sent :: _ as amounts ->
   let stats = fresh_stats () in
   let hops = Array.of_list path and amts = Array.of_list amounts in
   let n = Array.length hops in

@@ -43,6 +43,14 @@ let step ~msg ~ring ~hps ~ki c i s =
   let r = Point.mul2 s hps.(i) c ki in
   challenge msg l r
 
+(* The real signer's ring position is what linkable ring signatures
+   hide — treat it as secret material for the constant-time lint.
+   The reference LSAG structure below *does* index and branch on it
+   (decoy fill cycles from pi+1); those findings are accepted for the
+   simulation-grade kernel via tools/lint/allow.sexp, which documents
+   the residual side channel instead of silencing it.
+   (* lint: secret: pi *) *)
+
 (* Core signing: with [stmt] the commitment at the real index is offset
    by the statement legs, producing a pre-signature response. *)
 let sign_core (g : Monet_hash.Drbg.t) ~(ring : Point.t array) ~(pi : int)

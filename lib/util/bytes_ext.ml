@@ -6,8 +6,14 @@ let xor (a : string) (b : string) : string =
   String.init (String.length a) (fun i ->
       Char.chr (Char.code a.[i] lxor Char.code b.[i]))
 
-(* Constant-time-style equality: always scans the full string. *)
-let equal_ct (a : string) (b : string) : bool =
+(** Constant-time equality (accumulator-OR style): the scan is
+    branch-free and always covers the full string, so the running time
+    depends only on the (public) lengths — never on where the first
+    mismatch sits. This is the comparison every secret-material check
+    (adaptor witnesses, MAC tags, preimages, signature components)
+    must route through; `monet-lint`'s [secret-eq] rule enforces it
+    (DESIGN.md §3.7). *)
+let ct_equal (a : string) (b : string) : bool =
   String.length a = String.length b
   &&
   let acc = ref 0 in

@@ -78,19 +78,20 @@ let validate (l : t) (tx : Tx.t) : verdict =
         else if Hashtbl.mem l.key_images ki then Some "key image already spent"
         else if List.mem ki seen_kis then Some "duplicate key image within tx"
         else begin
-          let ring_ok =
-            Array.for_all
-              (fun r ->
-                match get_output l r with
-                | Some e -> e.out.Tx.amount = i.amount
-                | None -> false)
-              i.ring_refs
+          (* One pass: collect the ring keys, dropping refs that are
+             missing or of the wrong denomination — a size mismatch
+             afterwards means some member was bad. *)
+          let ring =
+            Array.to_list i.ring_refs
+            |> List.filter_map (fun r ->
+                   match get_output l r with
+                   | Some e when e.out.Tx.amount = i.amount -> Some e.out.Tx.otk
+                   | Some _ | None -> None)
+            |> Array.of_list
           in
-          if not ring_ok then Some "ring member missing or wrong denomination"
+          if Array.length ring <> Array.length i.ring_refs then
+            Some "ring member missing or wrong denomination"
           else begin
-            let ring =
-              Array.map (fun r -> (Option.get (get_output l r)).out.Tx.otk) i.ring_refs
-            in
             if not (Monet_sig.Lsag.verify ~ring ~msg:prefix i.signature) then
               Some "ring signature invalid"
             else if not (Point.equal i.key_image i.signature.Monet_sig.Lsag.key_image)
@@ -168,7 +169,11 @@ let mine (l : t) : block =
     (ring_refs, position of the real member). *)
 let sample_ring (g : Monet_hash.Drbg.t) (l : t) ~(real : int) ~(ring_size : int) :
     int array * int =
-  let amount = (Option.get (get_output l real)).out.Tx.amount in
+  let amount =
+    match get_output l real with
+    | Some e -> e.out.Tx.amount
+    | None -> invalid_arg "Ledger.sample_ring: unknown output index"
+  in
   let candidates =
     match Hashtbl.find_opt l.by_amount amount with
     | Some b -> List.filter (fun i -> i <> real) !b
@@ -190,7 +195,12 @@ let sample_ring (g : Monet_hash.Drbg.t) (l : t) ~(real : int) ~(ring_size : int)
   (refs, !pi)
 
 let ring_of_refs (l : t) (refs : int array) : Point.t array =
-  Array.map (fun r -> (Option.get (get_output l r)).out.Tx.otk) refs
+  Array.map
+    (fun r ->
+      match get_output l r with
+      | Some e -> e.out.Tx.otk
+      | None -> invalid_arg "Ledger.ring_of_refs: unknown output index")
+    refs
 
 (** Mint [n] extra outputs of [amount] to throwaway keys so rings of
     that denomination always have decoys (simulation convenience; on

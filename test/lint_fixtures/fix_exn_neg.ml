@@ -1,0 +1,13 @@
+(* Negative fixtures: typed errors instead of exceptions.
+   Never compiled. *)
+
+type err = Bad of string
+
+let boom () = Error (Bad "boom")
+
+let guard (x : int) = if x < 0 then Error (Bad "neg") else Ok x
+
+(* assert with a real condition is fine; only `assert false' is flagged. *)
+let checked (x : int) =
+  assert (x >= 0);
+  x

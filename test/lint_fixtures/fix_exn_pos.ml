@@ -1,0 +1,12 @@
+(* Positive fixtures: forbid-exn must fire on every escape hatch.
+   Never compiled. *)
+
+let boom () = failwith "boom"
+
+let guard (x : int) = if x < 0 then invalid_arg "neg" else x
+
+let rethrow (e : exn) = raise e
+
+let unreachable () = assert false
+
+let cast (x : int) : string = Obj.magic x

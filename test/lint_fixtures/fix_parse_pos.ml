@@ -1,0 +1,4 @@
+(* Positive fixture: unparseable source yields a parse-error finding
+   instead of crashing the linter. Never compiled. *)
+
+let = = in

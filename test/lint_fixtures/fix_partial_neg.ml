@@ -1,0 +1,7 @@
+(* Negative fixtures: total accessors. Never compiled. *)
+
+let first = function [] -> None | x :: _ -> Some x
+
+let forced (o : int option) ~default = Option.value o ~default
+
+let raw (a : int array) = if Array.length a > 0 then Some a.(0) else None

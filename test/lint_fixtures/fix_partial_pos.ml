@@ -1,0 +1,10 @@
+(* Positive fixtures: partial-fn must fire on partial accessors.
+   Never compiled. *)
+
+let first (xs : int list) = List.hd xs
+
+let third (xs : int list) = List.nth xs 2
+
+let forced (o : int option) = Option.get o
+
+let raw (a : int array) = Array.unsafe_get a 0

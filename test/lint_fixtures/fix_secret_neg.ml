@@ -1,0 +1,20 @@
+(* Negative fixtures: the secret rules must stay silent here.
+   Linted with c_secret_scope = all; never compiled. *)
+
+let table = [| 1; 2; 3 |]
+
+(* Constant-time comparison of secret material is the sanctioned idiom. *)
+let compare_ok (sk_bytes : string) (other : string) =
+  Monet_util.Bytes_ext.ct_equal sk_bytes other
+
+(* A convention-secret name declared public overrides the heuristic. *)
+(* lint: public: blind_count *)
+let branch_on_public (blind_count : int) = if blind_count = 0 then 1 else 2
+
+(* Public data may branch and index freely. *)
+let index_by_public (slot : int) = table.(slot)
+
+(* A declassifying call launders taint: commitments are public. *)
+let branch_on_commitment (sk : string) =
+  let c = Hashtbl.hash (commit sk) in
+  if c = 0 then 1 else 2

@@ -1,0 +1,26 @@
+(* Positive fixtures: every secret-family rule must fire.
+   Linted with c_secret_scope = all; never compiled. *)
+(* lint: secret: tag *)
+
+let table = [| 1; 2; 3 |]
+
+(* Convention-named secret in a branch and an early-exit equality. *)
+let branch_on_secret (sk : int) = if sk = 0 then 1 else 2
+
+(* Convention-named secret as an array index. *)
+let index_by_secret (witness : int) = table.(witness)
+
+(* Comment-annotated secret (see line 3) as an index. *)
+let index_by_annotated (tag : int) = table.(tag)
+
+(* [@secret]-attributed binding, taint through a let. *)
+let index_by_attr () =
+  let (y [@secret]) = 1 in
+  let shifted = y + 1 in
+  table.(shifted)
+
+(* Taint propagation: derived from a convention secret. *)
+let index_by_derived () =
+  let preimage = 2 in
+  let slot = preimage - 1 in
+  String.get "abc" slot

@@ -1,0 +1,10 @@
+(* Negative fixtures: exhaustive wire-type matches and catch-alls
+   over non-wire types are both fine. Never compiled. *)
+
+type msg = Key_share of int | Witness_reveal of int
+
+let on_msg (m : msg) = match m with Key_share _ -> 1 | Witness_reveal _ -> 2
+
+type colour = Red | Green | Blue
+
+let on_colour (c : colour) = match c with Red -> 0 | _ -> 1

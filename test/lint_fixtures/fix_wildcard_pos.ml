@@ -1,0 +1,10 @@
+(* Positive fixtures: wildcard-match must fire on catch-alls over
+   wire types (recognised by constructor names). Never compiled. *)
+
+type msg = Key_share of int | Witness_reveal of int | Lock_open of int
+
+let on_msg (m : msg) = match m with Key_share _ -> 1 | _ -> 0
+
+type errors = Closed | Timeout of int | Codec of string
+
+let on_err (e : errors) = match e with Closed -> 1 | _ -> 0

@@ -91,7 +91,11 @@ let test_htlc_paths () =
 
 let test_ln_channel_updates_and_close () =
   let c = Btc_sim.create () in
-  let ch = Ln_channel.open_channel (Monet_hash.Drbg.split drbg "ln1") c ~bal_a:60 ~bal_b:40 ~csv_delay:6 in
+  let ch =
+    match Ln_channel.open_channel (Monet_hash.Drbg.split drbg "ln1") c ~bal_a:60 ~bal_b:40 ~csv_delay:6 with
+    | Ok t -> t
+    | Error e -> Alcotest.fail e
+  in
   (match Ln_channel.update ch ~amount_from_a:15 with Ok () -> () | Error e -> Alcotest.fail e);
   (match Ln_channel.update ch ~amount_from_a:(-5) with Ok () -> () | Error e -> Alcotest.fail e);
   Alcotest.(check int) "bal a" 50 ch.Ln_channel.current.Ln_channel.st_bal_a;
@@ -102,7 +106,11 @@ let test_ln_channel_updates_and_close () =
 
 let test_ln_htlc_flow () =
   let c = Btc_sim.create () in
-  let ch = Ln_channel.open_channel (Monet_hash.Drbg.split drbg "ln2") c ~bal_a:50 ~bal_b:50 ~csv_delay:6 in
+  let ch =
+    match Ln_channel.open_channel (Monet_hash.Drbg.split drbg "ln2") c ~bal_a:50 ~bal_b:50 ~csv_delay:6 with
+    | Ok t -> t
+    | Error e -> Alcotest.fail e
+  in
   let preimage = "multi-hop-secret" in
   let hash = Monet_hash.Hash.fast preimage in
   (match Ln_channel.add_htlc ch ~from_a:true ~amount:10 ~hash ~timeout:20 with
@@ -114,7 +122,11 @@ let test_ln_htlc_flow () =
 
 let test_ln_penalty () =
   let c = Btc_sim.create () in
-  let ch = Ln_channel.open_channel (Monet_hash.Drbg.split drbg "ln3") c ~bal_a:60 ~bal_b:40 ~csv_delay:6 in
+  let ch =
+    match Ln_channel.open_channel (Monet_hash.Drbg.split drbg "ln3") c ~bal_a:60 ~bal_b:40 ~csv_delay:6 with
+    | Ok t -> t
+    | Error e -> Alcotest.fail e
+  in
   (* Save state 0 (bob-favourable: 60/40 → after update 20/80). *)
   let old0 = (0, ch.Ln_channel.current) in
   (match Ln_channel.update ch ~amount_from_a:40 with Ok () -> () | Error e -> Alcotest.fail e);

@@ -1,0 +1,181 @@
+(* Golden tests for the monet-lint engine, driven by the fixtures
+   under test/lint_fixtures/ (declared as dune deps, so they are
+   present in the sandbox cwd at runtime). Each positive fixture
+   pins the exact (rule, line, symbol) triples the engine must emit;
+   each negative fixture must be silent. *)
+
+(* Fixtures live outside lib/, so secret rules are enabled everywhere
+   (the CLI's --secret-scope-all). *)
+let cfg = { Lint_engine.default_config with c_secret_scope = (fun _ -> true) }
+
+(* `dune runtest` runs the binary from test/; `dune exec` from the
+   workspace root. Resolve the fixtures dir from either. *)
+let fixtures_dir =
+  if Sys.file_exists "lint_fixtures" then "lint_fixtures"
+  else Filename.concat "test" "lint_fixtures"
+
+let lint ?(cfg = cfg) name =
+  let file = Filename.concat fixtures_dir name in
+  Lint_engine.lint_source ~cfg ~file (Lint_engine.read_file file)
+
+let triple (f : Lint_engine.finding) = (f.f_rule, f.f_line, f.f_symbol)
+
+let check_golden name expected =
+  Alcotest.(check (list (triple string int string)))
+    name expected
+    (List.map triple (lint name))
+
+let test_secret_pos () =
+  check_golden "fix_secret_pos.ml"
+    [ ("secret-branch", 8, "sk");
+      ("secret-eq", 8, "sk");
+      ("secret-index", 11, "witness");
+      ("secret-index", 14, "tag");
+      ("secret-index", 20, "shifted");
+      ("secret-index", 26, "slot") ]
+
+let test_exn_pos () =
+  check_golden "fix_exn_pos.ml"
+    [ ("forbid-exn", 4, "failwith");
+      ("forbid-exn", 6, "invalid_arg");
+      ("forbid-exn", 8, "raise");
+      ("forbid-exn", 10, "assert_false");
+      ("forbid-exn", 12, "Obj.magic") ]
+
+let test_partial_pos () =
+  check_golden "fix_partial_pos.ml"
+    [ ("partial-fn", 4, "List.hd");
+      ("partial-fn", 6, "List.nth");
+      ("partial-fn", 8, "Option.get");
+      ("partial-fn", 10, "Array.unsafe_get") ]
+
+let test_wildcard_pos () =
+  check_golden "fix_wildcard_pos.ml"
+    [ ("wildcard-match", 6, "Msg.t"); ("wildcard-match", 10, "Errors.t") ]
+
+let test_parse_error () =
+  match lint "fix_parse_pos.ml" with
+  | [ f ] ->
+      Alcotest.(check string) "rule" "parse-error" f.Lint_engine.f_rule;
+      Alcotest.(check int) "line" 1 f.f_line
+  | fs -> Alcotest.failf "expected exactly one parse-error, got %d findings" (List.length fs)
+
+let test_negatives_silent () =
+  List.iter
+    (fun name -> check_golden name [])
+    [ "fix_secret_neg.ml"; "fix_exn_neg.ml"; "fix_partial_neg.ml"; "fix_wildcard_neg.ml" ]
+
+(* Outside the secret scope, only the scope-independent rules fire. *)
+let test_secret_scope_gates_rules () =
+  let cfg = Lint_engine.default_config in
+  Alcotest.(check (list (triple string int string)))
+    "secret rules off outside scope" []
+    (List.map triple (lint ~cfg "fix_secret_pos.ml"))
+
+(* -- allowlist semantics ------------------------------------------- *)
+
+let fixture_path name = Filename.concat fixtures_dir name
+
+let allowlist_src =
+  Printf.sprintf
+    {|(allow secret-branch %s sk "fixture")
+      (allow secret-eq %s sk "fixture")
+      (allow secret-index %s "*" "fixture")|}
+    (fixture_path "fix_secret_pos.ml")
+    (fixture_path "fix_secret_pos.ml")
+    (fixture_path "fix_secret_pos.ml")
+
+let parse_allow src =
+  match Lint_engine.parse_allowlist src with
+  | Ok entries -> entries
+  | Error e -> Alcotest.fail e
+
+let run_fixture ~allow ~strict name =
+  let cfg =
+    { cfg with Lint_engine.c_allow = parse_allow allow; c_strict_allow = strict }
+  in
+  Lint_engine.run ~cfg [ fixture_path name ]
+
+let test_allowlist_suppresses () =
+  let r = run_fixture ~allow:allowlist_src ~strict:true "fix_secret_pos.ml" in
+  Alcotest.(check int) "all suppressed" 0 (List.length r.Lint_engine.r_findings);
+  Alcotest.(check int) "suppressed count" 6 r.r_suppressed
+
+(* Removing one allowlist entry must make the run fail again — the
+   acceptance demo from the issue. *)
+let test_allowlist_removal_fails () =
+  let weakened =
+    Printf.sprintf
+      {|(allow secret-branch %s sk "fixture")
+        (allow secret-index %s "*" "fixture")|}
+      (fixture_path "fix_secret_pos.ml")
+      (fixture_path "fix_secret_pos.ml")
+  in
+  let r = run_fixture ~allow:weakened ~strict:true "fix_secret_pos.ml" in
+  Alcotest.(check (list (triple string int string)))
+    "secret-eq resurfaces" [ ("secret-eq", 8, "sk") ]
+    (List.map triple r.Lint_engine.r_findings)
+
+(* An entry matching nothing is itself a finding under --strict-allow. *)
+let test_stale_allow () =
+  let stale =
+    allowlist_src
+    ^ Printf.sprintf {| (allow forbid-exn %s "*" "stale") |}
+        (fixture_path "fix_secret_pos.ml")
+  in
+  let r = run_fixture ~allow:stale ~strict:true "fix_secret_pos.ml" in
+  (match r.Lint_engine.r_findings with
+  | [ f ] -> Alcotest.(check string) "rule" "stale-allow" f.Lint_engine.f_rule
+  | fs -> Alcotest.failf "expected one stale-allow, got %d" (List.length fs));
+  let lax = run_fixture ~allow:stale ~strict:false "fix_secret_pos.ml" in
+  Alcotest.(check int) "lax mode ignores stale entries" 0
+    (List.length lax.Lint_engine.r_findings)
+
+let test_allowlist_rejects_garbage () =
+  (match Lint_engine.parse_allowlist "(allow too few)" with
+  | Ok _ -> Alcotest.fail "accepted malformed entry"
+  | Error _ -> ());
+  match Lint_engine.parse_allowlist "(allow a b c \"unterminated" with
+  | Ok _ -> Alcotest.fail "accepted unterminated string"
+  | Error _ -> ()
+
+(* -- JSON output ---------------------------------------------------- *)
+
+let test_json_valid_and_versioned () =
+  let r = run_fixture ~allow:"" ~strict:false "fix_exn_pos.ml" in
+  let js = Lint_engine.to_json r in
+  (match Lint_engine.validate_json js with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "emitted JSON fails self-validation: %s" e);
+  Alcotest.(check bool) "schema tag present" true
+    (let tag = Printf.sprintf "%S" Lint_engine.json_schema_version in
+     let rec mem i =
+       i + String.length tag <= String.length js
+       && (String.sub js i (String.length tag) = tag || mem (i + 1))
+     in
+     mem 0)
+
+(* Messages with quotes/backslashes must survive escaping: validate
+   JSON for a report whose finding text embeds both. *)
+let test_json_escaping () =
+  let r = run_fixture ~allow:"" ~strict:false "fix_parse_pos.ml" in
+  match Lint_engine.validate_json (Lint_engine.to_json r) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "escaping broke JSON: %s" e
+
+let tests =
+  [
+    Alcotest.test_case "secret positives" `Quick test_secret_pos;
+    Alcotest.test_case "forbid-exn positives" `Quick test_exn_pos;
+    Alcotest.test_case "partial-fn positives" `Quick test_partial_pos;
+    Alcotest.test_case "wildcard positives" `Quick test_wildcard_pos;
+    Alcotest.test_case "parse error finding" `Quick test_parse_error;
+    Alcotest.test_case "negatives silent" `Quick test_negatives_silent;
+    Alcotest.test_case "secret scope gating" `Quick test_secret_scope_gates_rules;
+    Alcotest.test_case "allowlist suppresses" `Quick test_allowlist_suppresses;
+    Alcotest.test_case "allowlist removal fails" `Quick test_allowlist_removal_fails;
+    Alcotest.test_case "stale allow strict" `Quick test_stale_allow;
+    Alcotest.test_case "allowlist rejects garbage" `Quick test_allowlist_rejects_garbage;
+    Alcotest.test_case "json self-validates" `Quick test_json_valid_and_versioned;
+    Alcotest.test_case "json escaping" `Quick test_json_escaping;
+  ]

@@ -19,10 +19,28 @@ let test_le64_roundtrip () =
       Alcotest.(check int) (string_of_int n) n (Monet_util.Bytes_ext.int_of_le64 s 0))
     [ 0; 1; 255; 65536; 1 lsl 40; max_int / 2 ]
 
-let test_equal_ct () =
-  Alcotest.(check bool) "equal" true (Monet_util.Bytes_ext.equal_ct "abc" "abc");
-  Alcotest.(check bool) "unequal" false (Monet_util.Bytes_ext.equal_ct "abc" "abd");
-  Alcotest.(check bool) "length mismatch" false (Monet_util.Bytes_ext.equal_ct "ab" "abc")
+let test_ct_equal () =
+  Alcotest.(check bool) "equal" true (Monet_util.Bytes_ext.ct_equal "abc" "abc");
+  Alcotest.(check bool) "unequal" false (Monet_util.Bytes_ext.ct_equal "abc" "abd");
+  Alcotest.(check bool) "length mismatch" false (Monet_util.Bytes_ext.ct_equal "ab" "abc");
+  Alcotest.(check bool) "empty" true (Monet_util.Bytes_ext.ct_equal "" "");
+  (* A single flipped bit at any position must be caught — the
+     accumulator-OR must fold every byte, not stop early. *)
+  let base = String.init 32 (fun i -> Char.chr (i * 7 land 0xff)) in
+  for pos = 0 to 31 do
+    for bit = 0 to 7 do
+      let flipped =
+        String.mapi
+          (fun i c -> if i = pos then Char.chr (Char.code c lxor (1 lsl bit)) else c)
+          base
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "bit flip %d/%d" pos bit)
+        false
+        (Monet_util.Bytes_ext.ct_equal base flipped)
+    done
+  done;
+  Alcotest.(check bool) "32-byte equal" true (Monet_util.Bytes_ext.ct_equal base base)
 
 let test_wire_at_end () =
   let w = Monet_util.Wire.create_writer () in
@@ -93,7 +111,7 @@ let tests =
     Alcotest.test_case "hex errors" `Quick test_hex_errors;
     Alcotest.test_case "hex case" `Quick test_hex_case_insensitive;
     Alcotest.test_case "le64 roundtrip" `Quick test_le64_roundtrip;
-    Alcotest.test_case "equal_ct" `Quick test_equal_ct;
+    Alcotest.test_case "ct_equal" `Quick test_ct_equal;
     Alcotest.test_case "wire at_end" `Quick test_wire_at_end;
     Alcotest.test_case "drbg os entropy" `Quick test_drbg_os_seeded_distinct;
     Alcotest.test_case "keccak vs sha3" `Quick test_keccak_vs_sha3_differ;

@@ -1,0 +1,856 @@
+(** monet-lint — AST-level static analysis for secret hygiene and
+    error discipline (DESIGN.md §3.7).
+
+    The linter parses every [.ml] file it is pointed at into a
+    {!Parsetree.structure} (no typing pass — [compiler-libs.common]
+    only) and walks it with an {!Ast_iterator}, applying three rule
+    families:
+
+    {b Secret-taint / constant-time discipline} (applied only to files
+    in the secret scope — by default [lib/ec], [lib/sig], [lib/sigma],
+    [lib/cas], [lib/vcof]):
+    - [secret-branch] — an [if]/[match]/[while] scrutinee influenced by
+      secret material: control flow must not depend on secrets.
+    - [secret-index] — an array/bytes/string access whose index is
+      influenced by secret material (cache-timing channel).
+    - [secret-eq] — early-exit structural equality ([=], [<>],
+      [compare], [String.equal], [Bytes.equal], …) on secret material;
+      route through the constant-time [Bytes_ext.ct_equal] instead.
+
+    Secrets are seeded by naming convention (identifiers with a [sk],
+    [secret], [wit]/[witness], [preimage], [priv] or [blind] word
+    component), by a [[@secret]] attribute on a binding or pattern, or
+    by a [(* lint: secret: name1 name2 *)] source comment, and then
+    propagated through [let] bindings. Applications of one-way /
+    blinding functions ([Point.mul_base], hashes, challenges) are
+    treated as declassifying: their results are public under the
+    schemes' hardness assumptions, which keeps the taint honest.
+
+    {b Error discipline} (whole tree):
+    - [forbid-exn] — [failwith] / [invalid_arg] / [raise] / [assert
+      false] / [exit] / [Obj.magic] in library code. The protocol
+      stack's contract (PR 1) is typed [Errors.t] results; escaping
+      exceptions are allowed only via the committed allowlist.
+
+    {b Partiality} (whole tree):
+    - [partial-fn] — [List.hd] / [List.nth] / [Option.get] /
+      [Array.unsafe_get] (and [String]/[Bytes] unsafe accessors).
+    - [wildcard-match] — a [match] that names constructors of the wire
+      types [Msg.t] / [Errors.t] but also has a catch-all case: adding
+      a constructor to a wire type must break the build, not fall
+      through a [_].
+
+    Findings are suppressed only through [tools/lint/allow.sexp]
+    (entries carry a justification); with [strict_allow] any unused
+    allowlist entry is itself a finding, so the allowlist cannot rot. *)
+
+(* ----------------------------------------------------------------- *)
+(* Findings                                                          *)
+(* ----------------------------------------------------------------- *)
+
+type finding = {
+  f_file : string;
+  f_line : int;
+  f_col : int;
+  f_rule : string;
+  f_symbol : string;  (** token the allowlist matches on *)
+  f_message : string;
+  f_suggestion : string;
+}
+
+let finding_compare a b =
+  let c = compare a.f_file b.f_file in
+  if c <> 0 then c
+  else
+    let c = compare a.f_line b.f_line in
+    if c <> 0 then c else compare (a.f_rule, a.f_col) (b.f_rule, b.f_col)
+
+(* ----------------------------------------------------------------- *)
+(* Allowlist: (allow <rule> <file> <symbol> "justification")         *)
+(* ----------------------------------------------------------------- *)
+
+type allow_entry = {
+  a_rule : string;
+  a_file : string;
+  a_symbol : string;  (** ["*"] matches any symbol *)
+  a_why : string;
+  mutable a_used : bool;
+}
+
+(* A tiny s-expression reader: atoms, quoted strings, parens, and
+   [;]-to-end-of-line comments. Enough for allow.sexp; no external
+   sexp library needed. *)
+type sexp = Atom of string | List of sexp list
+
+let parse_sexps (src : string) : (sexp list, string) result =
+  let n = String.length src in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some src.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | Some ';' ->
+        while !pos < n && src.[!pos] <> '\n' do
+          advance ()
+        done;
+        skip_ws ()
+    | _ -> ()
+  in
+  let read_string () =
+    advance ();
+    (* opening quote *)
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then Error "unterminated string"
+      else
+        match src.[!pos] with
+        | '"' ->
+            advance ();
+            Ok (Buffer.contents b)
+        | '\\' when !pos + 1 < n ->
+            Buffer.add_char b src.[!pos + 1];
+            pos := !pos + 2;
+            go ()
+        | c ->
+            Buffer.add_char b c;
+            advance ();
+            go ()
+    in
+    go ()
+  in
+  let read_atom () =
+    let start = !pos in
+    let stop c = c = '(' || c = ')' || c = '"' || c = ';' in
+    while
+      !pos < n
+      && (not (stop src.[!pos]))
+      && not (List.mem src.[!pos] [ ' '; '\t'; '\n'; '\r' ])
+    do
+      advance ()
+    done;
+    String.sub src start (!pos - start)
+  in
+  let rec read_one () : (sexp, string) result =
+    skip_ws ();
+    match peek () with
+    | None -> Error "unexpected end of input"
+    | Some '(' ->
+        advance ();
+        let rec items acc =
+          skip_ws ();
+          match peek () with
+          | Some ')' ->
+              advance ();
+              Ok (List (List.rev acc))
+          | None -> Error "unclosed ("
+          | _ -> ( match read_one () with Ok s -> items (s :: acc) | Error e -> Error e)
+        in
+        items []
+    | Some ')' -> Error "unbalanced )"
+    | Some '"' -> ( match read_string () with Ok s -> Ok (Atom s) | Error e -> Error e)
+    | Some _ -> Ok (Atom (read_atom ()))
+  in
+  let rec top acc =
+    skip_ws ();
+    if !pos >= n then Ok (List.rev acc)
+    else match read_one () with Ok s -> top (s :: acc) | Error e -> Error e
+  in
+  top []
+
+let parse_allowlist (src : string) : (allow_entry list, string) result =
+  match parse_sexps src with
+  | Error e -> Error ("allowlist: " ^ e)
+  | Ok sexps ->
+      let entry = function
+        | List [ Atom "allow"; Atom rule; Atom file; Atom symbol; Atom why ] ->
+            Ok { a_rule = rule; a_file = file; a_symbol = symbol; a_why = why; a_used = false }
+        | _ -> Error "allowlist: each entry must be (allow <rule> <file> <symbol> \"why\")"
+      in
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | s :: rest -> ( match entry s with Ok e -> go (e :: acc) rest | Error e -> Error e)
+      in
+      go [] sexps
+
+let allow_matches (e : allow_entry) (f : finding) : bool =
+  e.a_rule = f.f_rule && e.a_file = f.f_file
+  && (e.a_symbol = "*" || e.a_symbol = f.f_symbol)
+
+(* ----------------------------------------------------------------- *)
+(* Configuration                                                     *)
+(* ----------------------------------------------------------------- *)
+
+type config = {
+  c_allow : allow_entry list;
+  c_secret_scope : string -> bool;  (** file is under CT discipline *)
+  c_strict_allow : bool;  (** unused allowlist entries are findings *)
+}
+
+let default_secret_scope (file : string) : bool =
+  let under d =
+    (* matches both "lib/ec/fe.ml" and absolute paths ending in it *)
+    let d = d ^ "/" in
+    let rec search i =
+      i >= 0
+      && (String.length file - i >= String.length d
+          && String.sub file i (String.length d) = d
+         || search (i - 1))
+    in
+    search (String.length file - String.length d)
+  in
+  List.exists under [ "lib/ec"; "lib/sig"; "lib/sigma"; "lib/cas"; "lib/vcof" ]
+
+let default_config =
+  { c_allow = []; c_secret_scope = default_secret_scope; c_strict_allow = false }
+
+(* ----------------------------------------------------------------- *)
+(* Secret seeding and taint                                          *)
+(* ----------------------------------------------------------------- *)
+
+(* A name is convention-secret when any of its [_]-separated word
+   components is one of these. Deliberately conservative: short
+   ambiguous names (y, w, r, x) must be declared with [@secret] or a
+   (* lint: secret: ... *) comment instead. *)
+let secret_words = [ "sk"; "secret"; "wit"; "witness"; "preimage"; "priv"; "blind" ]
+
+let split_words (s : string) : string list = String.split_on_char '_' s
+
+let convention_secret (name : string) : bool =
+  List.exists (fun w -> List.mem w secret_words) (split_words name)
+
+(* Applications whose result is public even on secret input: one-way /
+   blinding maps under DLP, and signing/proving outputs that the
+   schemes publish by design (zero-knowledge / unforgeability make
+   them simulatable without the witness). Matched on the last
+   component of the applied identifier. *)
+let declassifying = [ "mul_base"; "mul"; "double_mul"; "mul2"; "hash_to_point";
+                      "challenge"; "of_hash"; "tagged"; "fast"; "commit";
+                      "prove"; "verify"; "sign"; "sign_core"; "pre_sign" ]
+
+(* [(* lint: secret: a b c *)] / [(* lint: public: a b c *)] comments,
+   scanned on the raw source because comments never reach the
+   Parsetree. [secret] adds names to the file's taint seed; [public]
+   overrides both convention and propagation (for names the schemes
+   publish by design). *)
+let comment_names ~(marker : string) (src : string) : string list =
+  let out = ref [] in
+  let rec scan from =
+    match
+      let rec find i =
+        if i + String.length marker > String.length src then None
+        else if String.sub src i (String.length marker) = marker then Some i
+        else find (i + 1)
+      in
+      find from
+    with
+    | None -> ()
+    | Some i ->
+        let start = i + String.length marker in
+        let stop =
+          let rec find j =
+            if j + 2 > String.length src then String.length src
+            else if src.[j] = '*' && src.[j + 1] = ')' then j
+            else find (j + 1)
+          in
+          find start
+        in
+        let names =
+          String.sub src start (stop - start)
+          |> String.split_on_char ' '
+          |> List.concat_map (String.split_on_char ',')
+          |> List.filter (fun s -> s <> "")
+        in
+        out := names @ !out;
+        scan stop
+  in
+  scan 0;
+  !out
+
+let comment_secrets = comment_names ~marker:"lint: secret:"
+let comment_publics = comment_names ~marker:"lint: public:"
+
+let has_secret_attr (attrs : Parsetree.attributes) : bool =
+  List.exists (fun (a : Parsetree.attribute) -> a.attr_name.txt = "secret") attrs
+
+let rec pattern_vars (p : Parsetree.pattern) : string list =
+  match p.ppat_desc with
+  | Ppat_var v -> [ v.txt ]
+  | Ppat_alias (inner, v) -> v.txt :: pattern_vars inner
+  | Ppat_tuple ps -> List.concat_map pattern_vars ps
+  | Ppat_constraint (inner, _) -> pattern_vars inner
+  | Ppat_record (fields, _) -> List.concat_map (fun (_, p) -> pattern_vars p) fields
+  | Ppat_construct (_, Some (_, inner)) -> pattern_vars inner
+  | Ppat_variant (_, Some inner) -> pattern_vars inner
+  | Ppat_or (a, b) -> pattern_vars a @ pattern_vars b
+  | Ppat_array ps -> List.concat_map pattern_vars ps
+  | Ppat_open (_, inner) -> pattern_vars inner
+  | _ -> []
+
+let lid_path (l : Longident.t) : string = String.concat "." (Longident.flatten l)
+
+let lid_last (l : Longident.t) : string =
+  match List.rev (Longident.flatten l) with [] -> "" | x :: _ -> x
+
+(* Does [e] mention a secret identifier (by name or field access),
+   without descending into declassifying applications? Returns the
+   first offending name for the report. *)
+let mentions_secret (secret : string -> bool) (e : Parsetree.expression) : string option
+    =
+  let found = ref None in
+  let note n = if !found = None then found := Some n in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self ex ->
+          match ex.Parsetree.pexp_desc with
+          | Pexp_ident { txt; _ } ->
+              let n = lid_last txt in
+              if secret n then note n
+          | Pexp_field (inner, { txt; _ }) ->
+              let n = lid_last txt in
+              if secret n then note n;
+              self.expr self inner
+          | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args)
+            when List.mem (lid_last txt) declassifying ->
+              (* result is public; arguments do not taint it, but
+                 still look inside for e.g. a secret-indexed access
+                 used to build the argument *)
+              ignore args
+          | _ -> Ast_iterator.default_iterator.expr self ex)
+    }
+  in
+  it.expr it e;
+  !found
+
+(* ----------------------------------------------------------------- *)
+(* Wire-type constructor sets for the wildcard-match rule            *)
+(* ----------------------------------------------------------------- *)
+
+let msg_constructors =
+  [ "Key_share"; "Key_image_share"; "Establish_info"; "Funding_sigs";
+    "Stmt_announce"; "Commit_nonce"; "Z_share"; "Kes_sig"; "Batch_announce";
+    "Lock_open"; "Witness_reveal" ]
+
+let errors_constructors =
+  [ "Closed"; "Pending_lock"; "No_pending_lock"; "Insufficient_funds";
+    "Bad_proof"; "Bad_witness"; "Bad_state"; "Escrow"; "Kes"; "Chain";
+    "Codec"; "Timeout" ]
+
+let rec pattern_constructors (p : Parsetree.pattern) : string list =
+  match p.ppat_desc with
+  | Ppat_construct ({ txt; _ }, arg) ->
+      lid_last txt
+      :: (match arg with Some (_, inner) -> pattern_constructors inner | None -> [])
+  | Ppat_tuple ps | Ppat_array ps -> List.concat_map pattern_constructors ps
+  | Ppat_alias (inner, _) | Ppat_constraint (inner, _) | Ppat_open (_, inner) ->
+      pattern_constructors inner
+  | Ppat_or (a, b) -> pattern_constructors a @ pattern_constructors b
+  | Ppat_record (fields, _) -> List.concat_map (fun (_, p) -> pattern_constructors p) fields
+  | _ -> []
+
+(* A catch-all case: [_], a bare variable, or a tuple of those. *)
+let rec is_catch_all (p : Parsetree.pattern) : bool =
+  match p.ppat_desc with
+  | Ppat_any | Ppat_var _ -> true
+  | Ppat_tuple ps -> List.exists is_catch_all ps
+  | Ppat_alias (inner, _) | Ppat_constraint (inner, _) -> is_catch_all inner
+  | _ -> false
+
+(* ----------------------------------------------------------------- *)
+(* The rule walker                                                   *)
+(* ----------------------------------------------------------------- *)
+
+let forbidden_calls =
+  [ ("failwith", "failwith");
+    ("invalid_arg", "invalid_arg");
+    ("raise", "raise");
+    ("raise_notrace", "raise");
+    ("exit", "exit");
+    ("Stdlib.failwith", "failwith");
+    ("Stdlib.invalid_arg", "invalid_arg");
+    ("Stdlib.raise", "raise");
+    ("Stdlib.exit", "exit");
+    ("Obj.magic", "Obj.magic") ]
+
+let partial_calls =
+  [ "List.hd"; "List.nth"; "Option.get"; "Array.unsafe_get"; "String.unsafe_get";
+    "Bytes.unsafe_get"; "Array.unsafe_set"; "Bytes.unsafe_set" ]
+
+let eq_operators = [ "="; "<>"; "compare"; "String.equal"; "String.compare";
+                     "Bytes.equal"; "Bytes.compare" ]
+
+let indexed_get = [ "Array.get"; "String.get"; "Bytes.get"; "Array.unsafe_get";
+                    "String.unsafe_get"; "Bytes.unsafe_get"; "Array.set";
+                    "Bytes.set"; "Array.unsafe_set"; "Bytes.unsafe_set" ]
+
+let lint_structure ~(cfg : config) ~(file : string) ~(src : string)
+    (str : Parsetree.structure) : finding list =
+  let findings = ref [] in
+  let add ~(loc : Location.t) ~rule ~symbol ~message ~suggestion =
+    let p = loc.Location.loc_start in
+    findings :=
+      {
+        f_file = file;
+        f_line = p.Lexing.pos_lnum;
+        f_col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+        f_rule = rule;
+        f_symbol = symbol;
+        f_message = message;
+        f_suggestion = suggestion;
+      }
+      :: !findings
+  in
+  let in_secret_scope = cfg.c_secret_scope file in
+
+  (* -- pass 1: secret-name sets. Seeds (naming convention, [@secret],
+     comment annotations) are file-wide; taint *propagation* through
+     let bindings is scoped to each top-level structure item, so a
+     tainted local `i' in one function cannot bleed onto an unrelated
+     loop counter of the same name elsewhere in the file. -- *)
+  let seeds = comment_secrets src in
+  let publics = comment_publics src in
+  let item_secrets (item : Parsetree.structure_item) : string -> bool =
+    let secrets : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+    List.iter (fun n -> Hashtbl.replace secrets n ()) seeds;
+    let is_secret n =
+      (convention_secret n || Hashtbl.mem secrets n) && not (List.mem n publics)
+    in
+    let changed = ref true in
+    let rounds = ref 0 in
+    while !changed && !rounds < 10 do
+      changed := false;
+      incr rounds;
+      let mark n =
+        if not (Hashtbl.mem secrets n) then begin
+          Hashtbl.replace secrets n ();
+          changed := true
+        end
+      in
+      let it =
+        {
+          Ast_iterator.default_iterator with
+          value_binding =
+            (fun self vb ->
+              (* A function whose *body* mentions secrets is not
+                 itself secret data — only non-function bindings
+                 propagate taint to the bound name. *)
+              let rec is_fun (e : Parsetree.expression) =
+                match e.pexp_desc with
+                | Pexp_fun _ | Pexp_function _ -> true
+                | Pexp_newtype (_, inner) | Pexp_constraint (inner, _) ->
+                    is_fun inner
+                | _ -> false
+              in
+              let tainted =
+                has_secret_attr vb.Parsetree.pvb_attributes
+                || has_secret_attr vb.pvb_pat.ppat_attributes
+                || ((not (is_fun vb.pvb_expr))
+                   && mentions_secret is_secret vb.pvb_expr <> None)
+              in
+              if tainted then List.iter mark (pattern_vars vb.pvb_pat);
+              Ast_iterator.default_iterator.value_binding self vb);
+          pat =
+            (fun self p ->
+              if has_secret_attr p.Parsetree.ppat_attributes then
+                List.iter mark (pattern_vars p);
+              Ast_iterator.default_iterator.pat self p);
+        }
+      in
+      it.structure_item it item
+    done;
+    is_secret
+  in
+
+  (* -- pass 2: the rules -- *)
+  let walk_item (is_secret : string -> bool) (item : Parsetree.structure_item) =
+  let check_secret_scrutinee ~loc ~what (scrut : Parsetree.expression) =
+    if in_secret_scope then
+      match mentions_secret is_secret scrut with
+      | Some name ->
+          add ~loc ~rule:"secret-branch" ~symbol:name
+            ~message:
+              (Printf.sprintf "%s scrutinee depends on secret `%s'" what name)
+            ~suggestion:
+              "make control flow independent of secret material (constant-time \
+               select), or allowlist with a justification"
+      | None -> ()
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self ex ->
+          (match ex.Parsetree.pexp_desc with
+          | Pexp_ifthenelse (cond, _, _) ->
+              check_secret_scrutinee ~loc:ex.pexp_loc ~what:"if" cond
+          | Pexp_while (cond, _) ->
+              check_secret_scrutinee ~loc:ex.pexp_loc ~what:"while" cond
+          | Pexp_match (scrut, cases) ->
+              check_secret_scrutinee ~loc:ex.pexp_loc ~what:"match" scrut;
+              let ctors = List.concat_map (fun (c : Parsetree.case) ->
+                  pattern_constructors c.pc_lhs) cases
+              in
+              let family =
+                if List.exists (fun c -> List.mem c msg_constructors) ctors then
+                  Some "Msg.t"
+                else if List.exists (fun c -> List.mem c errors_constructors) ctors
+                then Some "Errors.t"
+                else None
+              in
+              (match family with
+              | Some fam
+                when List.exists
+                       (fun (c : Parsetree.case) ->
+                         c.pc_guard = None && is_catch_all c.pc_lhs)
+                       cases ->
+                  add ~loc:ex.pexp_loc ~rule:"wildcard-match" ~symbol:fam
+                    ~message:
+                      (Printf.sprintf
+                         "match on wire type %s has a catch-all case" fam)
+                    ~suggestion:
+                      "enumerate the constructors so extending the wire type \
+                       breaks the build, or allowlist a deliberate reject-all \
+                       with a justification"
+              | _ -> ())
+          | Pexp_assert { pexp_desc = Pexp_construct ({ txt = Lident "false"; _ }, None); _ }
+            ->
+              add ~loc:ex.pexp_loc ~rule:"forbid-exn" ~symbol:"assert_false"
+                ~message:"`assert false' in library code"
+                ~suggestion:"return a typed Errors.t instead, or allowlist with \
+                             a justification"
+          | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) -> (
+              let path = lid_path txt in
+              (match List.assoc_opt path forbidden_calls with
+              | Some symbol ->
+                  add ~loc:ex.pexp_loc ~rule:"forbid-exn" ~symbol
+                    ~message:(Printf.sprintf "`%s' in library code" path)
+                    ~suggestion:
+                      "return a typed Errors.t instead of escaping with an \
+                       exception, or allowlist with a justification"
+              | None -> ());
+              if List.mem path partial_calls then
+                add ~loc:ex.pexp_loc ~rule:"partial-fn" ~symbol:path
+                  ~message:(Printf.sprintf "partial function `%s'" path)
+                  ~suggestion:
+                    "pattern-match on the shape (or use a total accessor); \
+                     allowlist only inside audited hot kernels";
+              if in_secret_scope then begin
+                (if List.mem path eq_operators then
+                   let offender =
+                     List.find_map
+                       (fun (_, a) -> mentions_secret is_secret a)
+                       args
+                   in
+                   match offender with
+                   | Some name ->
+                       add ~loc:ex.pexp_loc ~rule:"secret-eq" ~symbol:name
+                         ~message:
+                           (Printf.sprintf
+                              "early-exit equality `%s' on secret `%s'" path name)
+                         ~suggestion:
+                           "compare fixed-length encodings with \
+                            Monet_util.Bytes_ext.ct_equal"
+                   | None -> ());
+                if List.mem path indexed_get then
+                  match args with
+                  | _ :: (_, idx) :: _ -> (
+                      match mentions_secret is_secret idx with
+                      | Some name ->
+                          add ~loc:ex.pexp_loc ~rule:"secret-index" ~symbol:name
+                            ~message:
+                              (Printf.sprintf
+                                 "memory access indexed by secret `%s'" name)
+                            ~suggestion:
+                              "access all candidates and select in constant \
+                               time, or allowlist with a justification"
+                      | None -> ())
+                  | _ -> ()
+              end)
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self ex);
+    }
+  in
+  it.structure_item it item
+  in
+  List.iter
+    (fun item ->
+      let is_secret =
+        if in_secret_scope then item_secrets item else fun _ -> false
+      in
+      walk_item is_secret item)
+    str;
+  List.rev !findings
+
+(* ----------------------------------------------------------------- *)
+(* Driving: files, allowlist application, reports                    *)
+(* ----------------------------------------------------------------- *)
+
+type report = {
+  r_files : int;
+  r_findings : finding list;  (** unsuppressed, sorted *)
+  r_suppressed : int;
+}
+
+let parse_impl ~(file : string) (src : string) : (Parsetree.structure, string) result =
+  let lexbuf = Lexing.from_string src in
+  Location.init lexbuf file;
+  match Parse.implementation lexbuf with
+  | str -> Ok str
+  | exception e -> Error (Printexc.to_string e)
+
+let lint_source ~(cfg : config) ~(file : string) (src : string) : finding list =
+  match parse_impl ~file src with
+  | Error e ->
+      [ { f_file = file; f_line = 1; f_col = 0; f_rule = "parse-error";
+          f_symbol = "parse"; f_message = e; f_suggestion = "fix the syntax error" } ]
+  | Ok str -> lint_structure ~cfg ~file ~src str
+
+let read_file (path : string) : string =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let rec ml_files_under (path : string) : string list =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort compare
+    |> List.concat_map (fun entry -> ml_files_under (Filename.concat path entry))
+  else if Filename.check_suffix path ".ml" then [ path ]
+  else []
+
+(** Lint [paths] (files or directories, recursed for [.ml]) and apply
+    the allowlist. *)
+let run ~(cfg : config) (paths : string list) : report =
+  let files = List.concat_map ml_files_under paths in
+  let raw = List.concat_map (fun f -> lint_source ~cfg ~file:f (read_file f)) files in
+  let suppressed = ref 0 in
+  let kept =
+    List.filter
+      (fun f ->
+        match List.find_opt (fun e -> allow_matches e f) cfg.c_allow with
+        | Some e ->
+            e.a_used <- true;
+            incr suppressed;
+            false
+        | None -> true)
+      raw
+  in
+  let stale =
+    if cfg.c_strict_allow then
+      List.filter_map
+        (fun e ->
+          if e.a_used then None
+          else
+            Some
+              {
+                f_file = "tools/lint/allow.sexp";
+                f_line = 1;
+                f_col = 0;
+                f_rule = "stale-allow";
+                f_symbol = Printf.sprintf "%s:%s:%s" e.a_rule e.a_file e.a_symbol;
+                f_message =
+                  Printf.sprintf
+                    "allowlist entry (%s %s %s) matched no finding" e.a_rule
+                    e.a_file e.a_symbol;
+                f_suggestion = "delete the stale entry";
+              })
+        cfg.c_allow
+    else []
+  in
+  {
+    r_files = List.length files;
+    r_findings = List.sort finding_compare (kept @ stale);
+    r_suppressed = !suppressed;
+  }
+
+(* ----------------------------------------------------------------- *)
+(* Output                                                            *)
+(* ----------------------------------------------------------------- *)
+
+let pp_finding (out : out_channel) (f : finding) : unit =
+  Printf.fprintf out "%s:%d:%d: [%s] %s — %s\n" f.f_file f.f_line f.f_col f.f_rule
+    f.f_message f.f_suggestion
+
+let pp_report (out : out_channel) (r : report) : unit =
+  List.iter (pp_finding out) r.r_findings;
+  Printf.fprintf out "monet-lint: %d finding%s (%d suppressed) in %d file%s\n"
+    (List.length r.r_findings)
+    (if List.length r.r_findings = 1 then "" else "s")
+    r.r_suppressed r.r_files
+    (if r.r_files = 1 then "" else "s")
+
+(* JSON emission, schema "monet-lint/1". *)
+
+let json_escape (s : string) : string =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_schema_version = "monet-lint/1"
+
+let to_json (r : report) : string =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"schema\":\"%s\",\"files\":%d,\"suppressed\":%d,\"findings\":["
+       json_schema_version r.r_files r.r_suppressed);
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"file\":\"%s\",\"line\":%d,\"col\":%d,\"rule\":\"%s\",\"symbol\":\"%s\",\"message\":\"%s\",\"suggestion\":\"%s\"}"
+           (json_escape f.f_file) f.f_line f.f_col (json_escape f.f_rule)
+           (json_escape f.f_symbol) (json_escape f.f_message)
+           (json_escape f.f_suggestion)))
+    r.r_findings;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+(* ----------------------------------------------------------------- *)
+(* A minimal JSON reader used to self-validate [to_json] output      *)
+(* (and by test/test_lint.ml): parses a strict subset — objects,     *)
+(* arrays, strings, integers — and checks the monet-lint/1 shape.    *)
+(* ----------------------------------------------------------------- *)
+
+module Json = struct
+  type t =
+    | Obj of (string * t) list
+    | Arr of t list
+    | Str of string
+    | Int of int
+
+  let parse (s : string) : (t, string) result =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = Error (Printf.sprintf "json: %s at %d" msg !pos) in
+    let rec skip_ws () =
+      if !pos < n && (s.[!pos] = ' ' || s.[!pos] = '\n' || s.[!pos] = '\t' || s.[!pos] = '\r')
+      then (incr pos; skip_ws ())
+    in
+    let rec value () : (t, string) result =
+      skip_ws ();
+      if !pos >= n then fail "eof"
+      else
+        match s.[!pos] with
+        | '{' ->
+            incr pos;
+            let rec fields acc =
+              skip_ws ();
+              if !pos < n && s.[!pos] = '}' then (incr pos; Ok (Obj (List.rev acc)))
+              else
+                match value () with
+                | Ok (Str key) -> (
+                    skip_ws ();
+                    if !pos < n && s.[!pos] = ':' then begin
+                      incr pos;
+                      match value () with
+                      | Ok v -> (
+                          skip_ws ();
+                          if !pos < n && s.[!pos] = ',' then (incr pos; fields ((key, v) :: acc))
+                          else if !pos < n && s.[!pos] = '}' then (incr pos; Ok (Obj (List.rev ((key, v) :: acc))))
+                          else fail "expected , or }")
+                      | Error e -> Error e
+                    end
+                    else fail "expected :")
+                | Ok _ -> fail "object key must be a string"
+                | Error e -> Error e
+            in
+            fields []
+        | '[' ->
+            incr pos;
+            let rec items acc =
+              skip_ws ();
+              if !pos < n && s.[!pos] = ']' then (incr pos; Ok (Arr (List.rev acc)))
+              else
+                match value () with
+                | Ok v -> (
+                    skip_ws ();
+                    if !pos < n && s.[!pos] = ',' then (incr pos; items (v :: acc))
+                    else if !pos < n && s.[!pos] = ']' then (incr pos; Ok (Arr (List.rev (v :: acc))))
+                    else fail "expected , or ]")
+                | Error e -> Error e
+            in
+            items []
+        | '"' ->
+            incr pos;
+            let b = Buffer.create 16 in
+            let rec str () =
+              if !pos >= n then fail "unterminated string"
+              else
+                match s.[!pos] with
+                | '"' -> (incr pos; Ok (Str (Buffer.contents b)))
+                | '\\' when !pos + 1 < n ->
+                    (match s.[!pos + 1] with
+                    | 'n' -> Buffer.add_char b '\n'
+                    | 't' -> Buffer.add_char b '\t'
+                    | 'r' -> Buffer.add_char b '\r'
+                    | 'u' ->
+                        (* keep the escape verbatim; fidelity is not
+                           needed for validation *)
+                        Buffer.add_string b "\\u"
+                    | c -> Buffer.add_char b c);
+                    pos := !pos + (if s.[!pos + 1] = 'u' then 2 else 2);
+                    str ()
+                | c -> (Buffer.add_char b c; incr pos; str ())
+            in
+            str ()
+        | c when c = '-' || (c >= '0' && c <= '9') ->
+            let start = !pos in
+            if c = '-' then incr pos;
+            while !pos < n && s.[!pos] >= '0' && s.[!pos] <= '9' do incr pos done;
+            (try Ok (Int (int_of_string (String.sub s start (!pos - start))))
+             with _ -> fail "bad number")
+        | _ -> fail "unexpected character"
+    in
+    match value () with
+    | Ok v ->
+        skip_ws ();
+        if !pos = n then Ok v else fail "trailing garbage"
+    | Error e -> Error e
+
+  let member (key : string) = function
+    | Obj fields -> List.assoc_opt key fields
+    | _ -> None
+end
+
+(** Validate a [--json] document against the monet-lint/1 shape. *)
+let validate_json (s : string) : (unit, string) result =
+  match Json.parse s with
+  | Error e -> Error e
+  | Ok doc -> (
+      let str_field o k = match Json.member k o with Some (Json.Str _) -> true | _ -> false in
+      let int_field o k = match Json.member k o with Some (Json.Int _) -> true | _ -> false in
+      match Json.member "schema" doc with
+      | Some (Json.Str v) when v = json_schema_version -> (
+          if not (int_field doc "files" && int_field doc "suppressed") then
+            Error "missing files/suppressed counters"
+          else
+            match Json.member "findings" doc with
+            | Some (Json.Arr items) ->
+                let bad =
+                  List.find_opt
+                    (fun f ->
+                      not
+                        (str_field f "file" && int_field f "line" && int_field f "col"
+                        && str_field f "rule" && str_field f "symbol"
+                        && str_field f "message" && str_field f "suggestion"))
+                    items
+                in
+                if bad = None then Ok () else Error "malformed finding record"
+            | _ -> Error "findings must be an array")
+      | Some (Json.Str v) -> Error ("unknown schema version " ^ v)
+      | _ -> Error "missing schema field")

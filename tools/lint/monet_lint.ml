@@ -1,0 +1,75 @@
+(** monet-lint command line.
+
+    Usage: monet_lint [options] PATH...
+
+    PATHs are [.ml] files or directories (recursed). Exit status: 0
+    when the unsuppressed finding set is empty, 1 when there are
+    findings, 2 on usage or I/O errors. *)
+
+let usage =
+  "monet_lint [--json] [--allow FILE] [--strict-allow] [--secret-scope-all] PATH..."
+
+let () =
+  let json = ref false in
+  let allow_file = ref "" in
+  let strict_allow = ref false in
+  let secret_all = ref false in
+  let paths = ref [] in
+  let spec =
+    [
+      ("--json", Arg.Set json, " emit findings as monet-lint/1 JSON on stdout");
+      ("--allow", Arg.Set_string allow_file, "FILE allowlist (allow.sexp) to apply");
+      ( "--strict-allow",
+        Arg.Set strict_allow,
+        " treat unused allowlist entries as findings (full-tree runs)" );
+      ( "--secret-scope-all",
+        Arg.Set secret_all,
+        " apply the secret/CT rules to every file (fixture runs)" );
+    ]
+  in
+  Arg.parse spec (fun p -> paths := p :: !paths) usage;
+  if !paths = [] then begin
+    prerr_endline usage;
+    exit 2
+  end;
+  let allow =
+    if !allow_file = "" then []
+    else
+      match Lint_engine.parse_allowlist (Lint_engine.read_file !allow_file) with
+      | Ok entries -> entries
+      | Error e ->
+          Printf.eprintf "monet-lint: %s: %s\n" !allow_file e;
+          exit 2
+      | exception Sys_error e ->
+          Printf.eprintf "monet-lint: %s\n" e;
+          exit 2
+  in
+  let cfg =
+    {
+      Lint_engine.c_allow = allow;
+      c_strict_allow = !strict_allow;
+      c_secret_scope =
+        (if !secret_all then fun _ -> true else Lint_engine.default_secret_scope);
+    }
+  in
+  let report =
+    match Lint_engine.run ~cfg (List.rev !paths) with
+    | r -> r
+    | exception Sys_error e ->
+        Printf.eprintf "monet-lint: %s\n" e;
+        exit 2
+  in
+  if !json then begin
+    let doc = Lint_engine.to_json report in
+    (* the emitter self-validates: a malformed document is a linter
+       bug, not a lint finding *)
+    (match Lint_engine.validate_json doc with
+    | Ok () -> ()
+    | Error e ->
+        Printf.eprintf "monet-lint: internal error: emitted invalid JSON: %s\n" e;
+        exit 2);
+    print_string doc;
+    print_newline ()
+  end
+  else Lint_engine.pp_report stdout report;
+  exit (if report.Lint_engine.r_findings = [] then 0 else 1)

@@ -150,6 +150,7 @@ let json_of_entries ~mode (entries : entry list) : string =
   Buffer.add_string b "  \"schema\": \"monet-ec-bench/1\",\n";
   Buffer.add_string b (Printf.sprintf "  \"mode\": \"%s\",\n" mode);
   Buffer.add_string b "  \"unit\": \"ops_per_sec\",\n";
+  Buffer.add_string b "  \"obs_registry\": \"disabled\",\n";
   Buffer.add_string b "  \"results\": {\n";
   List.iteri
     (fun i e ->
@@ -442,11 +443,16 @@ let required_keys =
   [
     "fe_mul"; "fe_mul_vs_specialized"; "point_mul"; "mul_base"; "double_mul";
     "lsag_sign_ring11"; "lsag_verify_ring11"; "channel_update"; "results";
-    "schema";
+    "schema"; "obs_registry";
   ]
 
 let () =
   let smoke = Array.exists (( = ) "--smoke") Sys.argv in
+  (* BENCH_ec.json numbers are only comparable across revisions if the
+     metrics registry stayed out of the hot path: assert it is disabled
+     and that no counter was ever bumped in this process. *)
+  if Monet_obs.Metrics.is_enabled () || Monet_obs.Metrics.total_count () <> 0 then
+    failwith "ec_bench must run with the Monet_obs registry disabled";
   let out = ref "BENCH_ec.json" in
   Array.iteri (fun i a -> if a = "-o" && i + 1 < Array.length Sys.argv then out := Sys.argv.(i + 1)) Sys.argv;
   let entries = run ~smoke in

@@ -52,6 +52,18 @@ let header title =
 let row3 name paper ours =
   Printf.printf "  %-34s %14s %14s\n%!" name paper ours
 
+(* E1 rows carry op-count provenance: which EC operations dominate the
+   measured time, from the Monet_obs registry (DESIGN.md §3.8). *)
+let row4 name paper ours ops =
+  Printf.printf "  %-22s %12s %12s   %s\n%!" name paper ours ops
+
+(* The EC-op counter deltas caused by one run of [f]. *)
+let ops_of (f : unit -> unit) : string =
+  let before = Monet_obs.Metrics.snapshot () in
+  f ();
+  let d = Monet_obs.Metrics.diff ~before ~after:(Monet_obs.Metrics.snapshot ()) in
+  if d = [] then "-" else Monet_obs.Trace.ops_summary ~limit:3 d
+
 let ms v = Printf.sprintf "%.2f ms" v
 let kb v = Printf.sprintf "%.2f KB" (float_of_int v /. 1024.0)
 
@@ -99,25 +111,26 @@ let ring_for (j : Tp.joint) ~n ~pi =
 
 let e1 () =
   header "E1  2P-CLRAS primitive computation times (paper §VI-A)";
-  Printf.printf "  %-34s %14s %14s\n" "operation" "paper" "this repo";
+  Printf.printf "  %-22s %12s %12s   %s\n" "operation" "paper" "this repo"
+    "dominant ops (1 run)";
   let pp = Monet_vcof.Vcof.default_pp in
   let pair = ref (Monet_vcof.Vcof.sw_gen drbg) in
-  row3 "SWGen" "3.5 ms"
-    (ms (time_ms (fun () -> pair := Monet_vcof.Vcof.sw_gen drbg)));
+  let swgen () = pair := Monet_vcof.Vcof.sw_gen drbg in
+  row4 "SWGen" "3.5 ms" (ms (time_ms swgen)) (ops_of swgen);
   let proof = ref None in
   let next = ref !pair in
-  row3 "NewSW (80-rep proof)" "30 ms"
-    (ms
-       (time_ms ~runs:3 (fun () ->
-            let n, p = Monet_vcof.Vcof.new_sw drbg !pair ~pp in
-            next := n;
-            proof := Some p)));
-  row3 "CVrfy (80-rep proof)" "330 ms"
-    (ms
-       (time_ms ~runs:3 (fun () ->
-            assert
-              (Monet_vcof.Vcof.c_vrfy ~pp ~prev:(!pair).Monet_vcof.Vcof.stmt
-                 ~next:(!next).Monet_vcof.Vcof.stmt (Option.get !proof)))));
+  let newsw () =
+    let n, p = Monet_vcof.Vcof.new_sw drbg !pair ~pp in
+    next := n;
+    proof := Some p
+  in
+  row4 "NewSW (80-rep)" "30 ms" (ms (time_ms ~runs:3 newsw)) (ops_of newsw);
+  let cvrfy () =
+    assert
+      (Monet_vcof.Vcof.c_vrfy ~pp ~prev:(!pair).Monet_vcof.Vcof.stmt
+         ~next:(!next).Monet_vcof.Vcof.stmt (Option.get !proof))
+  in
+  row4 "CVrfy (80-rep)" "330 ms" (ms (time_ms ~runs:3 cvrfy)) (ops_of cvrfy);
   (* 2-party ring pre-signing over an 11-ring. *)
   let ja, jb = jgen "e1" in
   let ring = ring_for ja ~n:11 ~pi:4 in
@@ -125,25 +138,23 @@ let e1 () =
   let stmt = Monet_sig.Stmt.make ~y ~hp:ja.Tp.hp in
   let presig = ref None in
   let ga = Monet_hash.Drbg.split drbg "e1/na" and gb = Monet_hash.Drbg.split drbg "e1/nb" in
-  row3 "PSign (2P, ring 11)" "3.5 ms"
-    (ms
-       (time_ms (fun () ->
-            match Tp.run_psign ga gb ~alice:ja ~bob:jb ~ring ~pi:4 ~msg:"m" ~stmt with
-            | Ok p -> presig := Some p
-            | Error e -> failwith e)));
-  row3 "PVrfy (ring 11)" "3.4 ms"
-    (ms
-       (time_ms (fun () ->
-            assert (Monet_sig.Lsag.pre_verify ~ring ~msg:"m" ~stmt (Option.get !presig)))));
+  let psign () =
+    match Tp.run_psign ga gb ~alice:ja ~bob:jb ~ring ~pi:4 ~msg:"m" ~stmt with
+    | Ok p -> presig := Some p
+    | Error e -> failwith e
+  in
+  row4 "PSign (2P, ring 11)" "3.5 ms" (ms (time_ms psign)) (ops_of psign);
+  let pvrfy () =
+    assert (Monet_sig.Lsag.pre_verify ~ring ~msg:"m" ~stmt (Option.get !presig))
+  in
+  row4 "PVrfy (ring 11)" "3.4 ms" (ms (time_ms pvrfy)) (ops_of pvrfy);
   let adapted = ref None in
-  row3 "Adapt" "0.000198 ms"
-    (ms
-       (time_ms ~runs:51 (fun () ->
-            adapted := Some (Monet_sig.Lsag.adapt (Option.get !presig) ~y))));
-  row3 "Ext" "(n/a)"
-    (ms
-       (time_ms ~runs:51 (fun () ->
-            assert (Sc.equal y (Monet_sig.Lsag.ext (Option.get !adapted) (Option.get !presig))))))
+  let adapt () = adapted := Some (Monet_sig.Lsag.adapt (Option.get !presig) ~y) in
+  row4 "Adapt" "0.000198 ms" (ms (time_ms ~runs:51 adapt)) (ops_of adapt);
+  let ext () =
+    assert (Sc.equal y (Monet_sig.Lsag.ext (Option.get !adapted) (Option.get !presig)))
+  in
+  row4 "Ext" "(n/a)" (ms (time_ms ~runs:51 ext)) (ops_of ext)
 
 (* --- E2: Table I — original vs optimized MoChannel ----------------- *)
 
@@ -615,13 +626,50 @@ let bechamel_suite () =
 
 (* --- driver ------------------------------------------------------------ *)
 
+(* Per-experiment metrics summary: the op-count deltas the experiment
+   caused, so EXPERIMENTS.md rows can cite dominant op counts. *)
+let summarize name before =
+  let after = Monet_obs.Metrics.snapshot () in
+  match Monet_obs.Metrics.diff ~before ~after with
+  | [] -> ()
+  | d -> Printf.printf "  [%s ops] %s\n%!" name (Monet_obs.Trace.ops_summary ~limit:5 d)
+
+(* Pull `--trace FILE` out of the argument list; everything else is an
+   experiment filter as before. *)
+let rec split_trace = function
+  | [] -> (None, [])
+  | "--trace" :: file :: rest ->
+      let _, args = split_trace rest in
+      (Some file, args)
+  | "--trace" :: [] -> failwith "--trace requires an output file argument"
+  | a :: rest ->
+      let t, args = split_trace rest in
+      (t, a :: args)
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  let run name f = if args = [] || List.mem name args then f () in
+  let trace_file, args = split_trace (List.tl (Array.to_list Sys.argv)) in
+  let run name f =
+    if args = [] || List.mem name args then begin
+      let before = Monet_obs.Metrics.snapshot () in
+      f ();
+      summarize name before
+    end
+  in
+  (* The registry is always live in the harness so experiment summaries
+     and E1 provenance columns carry op counts; spans only when asked. *)
+  Monet_obs.Metrics.enable ();
+  (match trace_file with
+  | Some _ -> Monet_obs.Trace.enable ~capacity:4096 ()
+  | None -> ());
   Printf.printf "MoNet evaluation harness — see DESIGN.md §4 and EXPERIMENTS.md\n%!";
   run "e1" e1;
   let e2r =
-    if args = [] || List.mem "e2" args || List.mem "e7" args then Some (e2 ())
+    if args = [] || List.mem "e2" args || List.mem "e7" args then begin
+      let before = Monet_obs.Metrics.snapshot () in
+      let r = e2 () in
+      summarize "e2" before;
+      Some r
+    end
     else None
   in
   run "e3" e3;
@@ -635,4 +683,18 @@ let () =
   run "a2" a2;
   run "a3" a3;
   run "bechamel" bechamel_suite;
+  (match trace_file with
+  | None -> ()
+  | Some file ->
+      let js = Monet_obs.Trace.to_json () in
+      (match Monet_obs.Trace.validate_json js with
+      | Ok () -> ()
+      | Error e -> failwith ("trace JSON failed self-validation: " ^ e));
+      let oc = open_out file in
+      output_string oc js;
+      close_out oc;
+      Printf.printf "\nTrace (%s, %d root spans) written to %s\n%!"
+        Monet_obs.Trace.json_schema_version
+        (List.length (Monet_obs.Trace.roots ()))
+        file);
   Printf.printf "\nDone.\n%!"

@@ -194,6 +194,109 @@ let vcof verbose seed reps steps =
   done;
   0
 
+(* --- trace --- *)
+
+(* Replay a canned scenario with the Monet_obs tracer live and
+   pretty-print the resulting span tree (DESIGN.md §3.8). *)
+let trace verbose seed reps scenario out =
+  setup_logs verbose;
+  Monet_obs.Metrics.enable ();
+  Monet_obs.Trace.enable ~capacity:4096 ();
+  let mk_env_wallets () =
+    let g = Monet_hash.Drbg.of_int seed in
+    let env = Ch.make_env g in
+    let mk label amount =
+      let w = Monet_xmr.Wallet.create g ~label in
+      let kp = Monet_sig.Sig_core.gen g in
+      Monet_xmr.Ledger.ensure_decoys g env.Ch.ledger ~amount ~n:30;
+      let idx =
+        Monet_xmr.Ledger.genesis_output env.Ch.ledger
+          { Monet_xmr.Tx.otk = kp.Monet_sig.Sig_core.vk; amount }
+      in
+      Monet_xmr.Wallet.adopt w ~global_index:idx ~keypair:kp ~amount;
+      w
+    in
+    (env, mk "alice" 50, mk "bob" 50)
+  in
+  let run_channel_scenario k =
+    let env, wa, wb = mk_env_wallets () in
+    match Ch.establish ~cfg:(cfg_of ~reps) env ~id:1 ~wallet_a:wa ~wallet_b:wb ~bal_a:50 ~bal_b:50 with
+    | Error e ->
+        Printf.eprintf "error: %s\n" (Ch.error_to_string e);
+        1
+    | Ok (c, _) -> k c
+  in
+  let status =
+    match scenario with
+    | "pay" ->
+        let t = Graph.create ~cfg:(cfg_of ~reps) (Monet_hash.Drbg.of_int seed) in
+        let ids = Array.init 4 (fun i -> Graph.add_node t ~name:(Printf.sprintf "n%d" i)) in
+        Array.iter (fun id -> Graph.fund_node t id ~amount:1000) ids;
+        let opened =
+          Array.for_all
+            (fun i ->
+              match Graph.open_channel t ~left:ids.(i) ~right:ids.(i + 1) ~bal_left:500 ~bal_right:500 with
+              | Ok _ -> true
+              | Error e ->
+                  Printf.eprintf "error: %s\n" e;
+                  false)
+            [| 0; 1; 2 |]
+        in
+        if not opened then 1
+        else begin
+          (* Only the payment itself is interesting: drop setup spans. *)
+          Monet_obs.Trace.clear ();
+          match Payment.pay t ~src:ids.(0) ~dst:ids.(3) ~amount:7 () with
+          | Ok _ -> 0
+          | Error e ->
+              Printf.eprintf "payment failed: %s\n" (Payment.error_to_string e);
+              1
+        end
+    | "update" ->
+        run_channel_scenario (fun c ->
+            match Ch.update c ~amount_from_a:10 with
+            | Ok _ -> 0
+            | Error e ->
+                Printf.eprintf "update failed: %s\n" (Ch.error_to_string e);
+                1)
+    | "dispute" ->
+        run_channel_scenario (fun c ->
+            match Ch.update c ~amount_from_a:(-20) with
+            | Error e ->
+                Printf.eprintf "update failed: %s\n" (Ch.error_to_string e);
+                1
+            | Ok _ -> (
+                match Ch.dispute_close c ~proposer:Tp.Alice ~responsive:false with
+                | Ok _ -> 0
+                | Error e ->
+                    Printf.eprintf "dispute failed: %s\n" (Ch.error_to_string e);
+                    1))
+    | s ->
+        Printf.eprintf "unknown scenario %S (expected pay, update or dispute)\n" s;
+        2
+  in
+  if status <> 0 then status
+  else begin
+    List.iter
+      (fun sp -> print_string (Monet_obs.Trace.render sp))
+      (Monet_obs.Trace.roots ());
+    match out with
+    | None -> 0
+    | Some file -> (
+        let js = Monet_obs.Trace.to_json () in
+        match Monet_obs.Trace.validate_json js with
+        | Error e ->
+            Printf.eprintf "internal error: trace JSON invalid: %s\n" e;
+            1
+        | Ok () ->
+            let oc = open_out file in
+            output_string oc js;
+            close_out oc;
+            Printf.printf "trace (%s) written to %s\n"
+              Monet_obs.Trace.json_schema_version file;
+            0)
+  end
+
 (* --- cmdliner plumbing --- *)
 
 let demo_cmd =
@@ -225,6 +328,18 @@ let vcof_cmd =
   Cmd.v (Cmd.info "vcof" ~doc:"Walk a VCOF chain and verify each step")
     Term.(const vcof $ verbose_arg $ seed_arg $ reps_arg $ steps)
 
+let trace_cmd =
+  let scenario =
+    Arg.(value & pos 0 string "pay"
+         & info [] ~docv:"SCENARIO" ~doc:"One of pay, update or dispute.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Also write monet-trace/1 JSON to $(docv).")
+  in
+  Cmd.v (Cmd.info "trace" ~doc:"Replay a scenario and print its span tree")
+    Term.(const trace $ verbose_arg $ seed_arg $ reps_arg $ scenario $ out)
+
 let () =
   let info = Cmd.info "monet-cli" ~doc:"MoNet payment channel network playground" in
-  exit (Cmd.eval' (Cmd.group info [ demo_cmd; pay_cmd; dispute_cmd; topology_cmd; vcof_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ demo_cmd; pay_cmd; dispute_cmd; topology_cmd; vcof_cmd; trace_cmd ]))

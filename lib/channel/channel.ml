@@ -171,6 +171,9 @@ let check_open = Close.check_open
 let establish ?(cfg = default_config) ?(transport = Driver.Sync) (env : env)
     ~(id : int) ~(wallet_a : Monet_xmr.Wallet.t) ~(wallet_b : Monet_xmr.Wallet.t)
     ~(bal_a : int) ~(bal_b : int) : (channel * report, error) result =
+  Monet_obs.Trace.span "channel.establish"
+    ~attrs:[ ("channel", string_of_int id) ]
+  @@ fun () ->
   let rep = Report.fresh () in
   let ga = Monet_hash.Drbg.split env.env_g (Printf.sprintf "ch%d/a" id) in
   let gb = Monet_hash.Drbg.split env.env_g (Printf.sprintf "ch%d/b" id) in
@@ -200,6 +203,10 @@ let establish ?(cfg = default_config) ?(transport = Driver.Sync) (env : env)
 (** Transfer [amount_from_a] (negative: B pays A) by re-signing the
     next state. Returns the phase report. *)
 let update (c : channel) ~(amount_from_a : int) : (report, error) result =
+  Monet_obs.Trace.span "channel.update"
+    ~attrs:
+      [ ("channel", string_of_int c.id); ("state", string_of_int c.a.state) ]
+  @@ fun () ->
   let rep = Report.fresh () in
   match check_open c with
   | Error e -> Error e
@@ -227,6 +234,9 @@ let update (c : channel) ~(amount_from_a : int) : (report, error) result =
     witness on top of the state witnesses. *)
 let lock (c : channel) ~(payer : Tp.role) ~(amount : int)
     ~(lock_stmt : Monet_sig.Stmt.t) ~(timer : int) : (report, error) result =
+  Monet_obs.Trace.span "channel.lock"
+    ~attrs:[ ("channel", string_of_int c.id); ("timer", string_of_int timer) ]
+  @@ fun () ->
   let rep = Report.fresh () in
   match check_open c with
   | Error e -> Error e
@@ -243,6 +253,9 @@ let lock (c : channel) ~(payer : Tp.role) ~(amount : int)
     payee): the payee completes the pre-signature and sends it over;
     the payer learns [y] by extraction. *)
 let unlock (c : channel) ~(y : Sc.t) : (report * Sc.t, error) result =
+  Monet_obs.Trace.span "channel.unlock"
+    ~attrs:[ ("channel", string_of_int c.id) ]
+  @@ fun () ->
   let rep = Report.fresh () in
   match c.a.lock with
   | None -> Error Errors.No_pending_lock
@@ -271,6 +284,9 @@ let unlock (c : channel) ~(y : Sc.t) : (report * Sc.t, error) result =
 (** Cancel a pending lock cooperatively: jump to state +1 with the
     pre-lock balances (the paper's Ch.State + 2 path). *)
 let cancel_lock (c : channel) : (report, error) result =
+  Monet_obs.Trace.span "channel.cancel-lock"
+    ~attrs:[ ("channel", string_of_int c.id) ]
+  @@ fun () ->
   let rep = Report.fresh () in
   match c.a.lock with
   | None -> Error Errors.No_pending_lock
@@ -282,6 +298,9 @@ let cancel_lock (c : channel) : (report, error) result =
 (** Precompute and exchange a batch of [n] statement-witness pairs for
     both parties — the optimized mode's setup cost. *)
 let exchange_batches (c : channel) ~(n : int) : (report, error) result =
+  Monet_obs.Trace.span "channel.batch"
+    ~attrs:[ ("channel", string_of_int c.id); ("n", string_of_int n) ]
+  @@ fun () ->
   let rep = Report.fresh () in
   Driver.with_rollback c (fun () ->
       let _, entries_a = Party.precompute_batch c.a ~n in

@@ -18,6 +18,11 @@ let check_open (c : Driver.channel) : (unit, Errors.t) result =
 (* Submit the adapted commitment and mine it. *)
 let settle (c : Driver.channel) ?(priority = 0) (sg : Monet_sig.Lsag.signature)
     (tx : Monet_xmr.Tx.t) (rep : Report.t) : (payout, Errors.t) result =
+  Monet_obs.Trace.span "channel.settle"
+    ~attrs:
+      [ ("channel", string_of_int c.Driver.id);
+        ("priority", string_of_int priority) ]
+  @@ fun () ->
   let a = c.Driver.a and b = c.Driver.b and env = c.Driver.env in
   let signed =
     { tx with
@@ -71,6 +76,9 @@ let exchange_witnesses (c : Driver.channel) (rep : Report.t) :
 (** Cooperative close: exchange latest witnesses, adapt, settle, and
     terminate the KES instance. *)
 let cooperative_close (c : Driver.channel) : (payout * Report.t, Errors.t) result =
+  Monet_obs.Trace.span "channel.cooperative-close"
+    ~attrs:[ ("channel", string_of_int c.Driver.id) ]
+  @@ fun () ->
   let rep = Report.fresh () in
   let a = c.Driver.a and env = c.Driver.env in
   if a.Party.closed then Error Errors.Closed
@@ -103,6 +111,12 @@ let cooperative_close (c : Driver.channel) : (payout * Report.t, Errors.t) resul
     latest witness forward and settles alone. *)
 let dispute_close ?lock_witness (c : Driver.channel) ~(proposer : Tp.role)
     ~(responsive : bool) : (payout * Report.t, Errors.t) result =
+  Monet_obs.Trace.span "channel.dispute-close"
+    ~attrs:
+      [ ("channel", string_of_int c.Driver.id);
+        ("proposer", if proposer = Tp.Alice then "a" else "b");
+        ("responsive", string_of_bool responsive) ]
+  @@ fun () ->
   let rep = Report.fresh () in
   let env = c.Driver.env in
   if c.Driver.a.Party.closed then Error Errors.Closed

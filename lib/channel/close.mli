@@ -1,0 +1,46 @@
+(** Channel closure: cooperative, and the KES dispute path. *)
+
+(** What each side takes home from an on-chain settlement, plus the
+    transaction that realized it. A party's payout is whatever outputs
+    pay to any of its per-state keys (old states stay claimable after
+    disputes). *)
+type payout = { pay_a : int; pay_b : int; close_tx : Monet_xmr.Tx.t }
+
+(** [Ok ()] iff the channel is open and lock-free — the precondition
+    shared by updates, batching and splicing. *)
+val check_open : Driver.channel -> (unit, Errors.t) result
+
+(** Submit the adapted commitment [tx] carrying signature [sg] and
+    mine it; marks both parties closed and computes the payout.
+    [priority] orders competing mempool entries (revocation races use
+    1 to beat the cheater's 0). *)
+val settle :
+  Driver.channel ->
+  ?priority:int ->
+  Monet_sig.Lsag.signature ->
+  Monet_xmr.Tx.t ->
+  Report.t ->
+  (payout, Errors.t) result
+
+(** Cooperative close: exchange latest witnesses over the driver,
+    adapt the latest pre-signature, settle, and terminate the KES
+    instance via its no-dispute path. *)
+val cooperative_close :
+  Driver.channel -> (payout * Report.t, Errors.t) result
+
+(** Unilateral close through the KES (the dispute path). [proposer]
+    opens a dispute with the latest cross-signed commit. If the
+    counterparty is [responsive], it answers and the channel settles
+    cooperatively; otherwise the timer expires, the KES releases the
+    counterparty's escrowed root witness, and the proposer derives the
+    latest witness forward and settles alone. With a lock pending the
+    dispute settles at the pre-lock state — unless the proposer passes
+    the lock's [lock_witness] (a payee whose counterparty went silent
+    mid-unlock), which completes the locked pre-signature and keeps
+    the forwarded amount. *)
+val dispute_close :
+  ?lock_witness:Monet_ec.Sc.t ->
+  Driver.channel ->
+  proposer:Monet_sig.Two_party.role ->
+  responsive:bool ->
+  (payout * Report.t, Errors.t) result

@@ -64,6 +64,18 @@ type channel = {
 
 type dest = To_a | To_b
 
+let dest_label = function To_a -> "a" | To_b -> "b"
+
+(* Per-phase tracing: every delivery handled by a party runs inside a
+   "driver.<message-label>" span, so a channel-update trace decomposes
+   into its wire phases (key-share, commit-nonce, z-share, …) with
+   per-phase EC-op counts (DESIGN.md §3.8). *)
+let handle_traced handle dest (m : Msg.t) =
+  Monet_obs.Trace.span
+    ("driver." ^ Msg.label m)
+    ~attrs:[ ("to", dest_label dest) ]
+    (fun () -> handle dest m)
+
 (* Run a message exchange to quiescence. [handle] is the endpoint pair;
    [init_a]/[init_b] are the messages A resp. B send first. *)
 let run_generic ~(mode : mode) ~(rep : Report.t)
@@ -80,7 +92,7 @@ let run_generic ~(mode : mode) ~(rep : Report.t)
       if d > !max_depth then max_depth := d;
       Report.deliver rep m;
       record m;
-      match handle dest m with
+      match handle_traced handle dest m with
       | Error e -> fail e
       | Ok replies -> List.iter (send (flip dest) d) replies
     end
@@ -175,7 +187,7 @@ let run_faulty ~clock ~latency ~g (f : faults) ~(rep : Report.t)
     (* Post-dedup handling. [Bad_state] here means the message does
        not fit the receiver's phase — under faults that is reordering,
        not a protocol violation, so hold it back and retry later. *)
-    match handle dest m with
+    match handle_traced handle dest m with
     | Error (Errors.Bad_state _) when Queue.length pending < 64 ->
         Queue.add (dest, depth, m) pending
     | Error e -> fail e
@@ -193,7 +205,7 @@ let run_faulty ~clock ~latency ~g (f : faults) ~(rep : Report.t)
         let dest, depth, m = Queue.pop pending in
         if Plan.crashed plan ~a:(dest = To_a) then Plan.note_withheld plan
         else
-          match handle dest m with
+          match handle_traced handle dest m with
           | Error (Errors.Bad_state _) -> Queue.add (dest, depth, m) pending
           | Error e -> fail e
           | Ok replies ->
@@ -240,6 +252,11 @@ let run_faulty ~clock ~latency ~g (f : faults) ~(rep : Report.t)
       let sender_is_a = dest = To_b in
       if Plan.can_send plan ~a:sender_is_a && !log <> [] then begin
         f.f_retransmits <- f.f_retransmits + 1;
+        Monet_obs.Trace.event "driver.retransmit"
+          ~attrs:
+            [ ("attempt", string_of_int !attempt);
+              ("dir", "to-" ^ dest_label dest);
+              ("messages", string_of_int (List.length !log)) ];
         List.iter
           (fun (depth, m) -> transmit ~fresh:false dest depth m)
           (List.rev !log)
@@ -256,6 +273,8 @@ let run_faulty ~clock ~latency ~g (f : faults) ~(rep : Report.t)
       if finished () then Ok ()
       else begin
         f.f_timeouts <- f.f_timeouts + 1;
+        Monet_obs.Trace.event "driver.timeout"
+          ~attrs:[ ("retries", string_of_int f.f_max_retries) ];
         Error
           (Errors.Timeout
              (Printf.sprintf "session stalled after %d retransmission round(s)"

@@ -1,0 +1,37 @@
+(** Typed errors for the channel protocol stack.
+
+    Every fallible step in the channel layer returns one of these
+    instead of a bare string, so callers (the payment layer, the
+    driver, tests) can react to the *kind* of failure — retry on a
+    transient chain error, abort on a bad proof, surface a balance
+    problem to the user — and only the CLI/bench boundary flattens to
+    text via {!to_string}. *)
+
+(** The failure kinds of the channel layer. *)
+type t =
+  | Closed  (** the channel is already closed *)
+  | Pending_lock  (** operation needs a lock-free channel *)
+  | No_pending_lock  (** unlock/cancel without a lock in flight *)
+  | Insufficient_funds of string
+      (** not enough balance; the payload names which balance *)
+  | Bad_proof of string  (** a cryptographic check on a message failed *)
+  | Bad_witness of string  (** a revealed witness does not open its statement *)
+  | Bad_state of string  (** protocol-state violation (desync, bad phase) *)
+  | Escrow of string  (** PVSS escrow distribution / reconstruction *)
+  | Kes of string  (** key-escrow-service script call failed *)
+  | Chain of string  (** Monero ledger rejected a transaction *)
+  | Codec of string  (** wire message failed to decode *)
+  | Timeout of string
+      (** a protocol session missed its deadline despite retries; the
+          session's effects have been rolled back *)
+
+(** Human-readable rendering, for the CLI/bench boundary only —
+    protocol code should match on the constructors instead. *)
+val to_string : t -> string
+
+(** Formatter-friendly version of {!to_string}. *)
+val pp : Format.formatter -> t -> unit
+
+(** [true] exactly for {!Timeout} — the one error kind the payment
+    layer's escalation engine recovers from rather than propagates. *)
+val is_timeout : t -> bool

@@ -1,0 +1,90 @@
+(** Wire messages of the MoChannel protocol (paper §IV, Fig. 4).
+
+    Every party-to-party interaction of the channel layer — joint key
+    generation, funding, per-state pre-signing, AMHL locks, batch
+    announcements and closure — is one of these constructors, with a
+    full {!Monet_util.Wire} encoding. The driver serializes each
+    message on delivery, so the experiment reports count bytes of real
+    protocol traffic rather than hand-maintained estimates. *)
+
+(** One party's funding contribution: ring references, amount and key
+    image per input (the spend secrets never travel), plus the change
+    outputs it wants. Both parties deterministically assemble the same
+    funding skeleton from the two contributions. *)
+type contrib = {
+  fc_inputs : (int array * int * Monet_ec.Point.t) list;
+  fc_change : Monet_xmr.Tx.output list;
+}
+
+(** Establishment bundle sent once the joint key exists: the CLRAS
+    state-0 statement, the party's KES identity and its funding
+    contribution. *)
+type establish_info = {
+  ei_stmt : Monet_cas.Clras.stmt_msg;
+  ei_kes_vk : Monet_ec.Point.t;
+  ei_kes_addr : string;
+  ei_contrib : contrib;
+}
+
+(** One entry of a precomputed statement batch (the paper's optimized
+    mode, Table I): the statement legs, a leg-consistency proof and
+    the consecutiveness step proof. *)
+type batch_entry = {
+  be_stmt : Monet_sig.Stmt.t;
+  be_leg_proof : Monet_sigma.Dleq.proof;
+  be_step_proof : Monet_vcof.Vcof.proof;
+}
+
+(** The protocol messages. Adding a constructor is a wire-format
+    change: extend {!encode}/[of_bytes] together and keep the tag
+    space dense. *)
+type t =
+  | Key_share of Monet_sig.Two_party.key_msg
+      (** JGen leg 1: key share + proof of possession *)
+  | Key_image_share of Monet_sig.Two_party.ki_msg
+      (** JGen leg 2: key-image share + DLEQ *)
+  | Establish_info of establish_info
+  | Funding_sigs of Monet_sig.Lsag.signature list
+      (** ring signatures over the funding skeleton, one per own input *)
+  | Stmt_announce of {
+      sm : Monet_cas.Clras.stmt_msg;
+      out_vk : Monet_ec.Point.t;
+    }  (** NewSW statement for the next state + fresh output key *)
+  | Commit_nonce of {
+      nonce : Monet_sig.Two_party.nonce_msg;
+      out_vk : Monet_ec.Point.t option;
+    }
+      (** PSign leg 1; carries the fresh output key when no statement
+          announcement preceded it (batched mode, first commitment) *)
+  | Z_share of Monet_ec.Sc.t  (** PSign leg 2: response share *)
+  | Kes_sig of Monet_sig.Sig_core.signature
+      (** KES commit half-signature *)
+  | Batch_announce of batch_entry array
+  | Lock_open of Monet_sig.Lsag.pre_signature
+      (** lock-witness-adapted pre-signature (payee → payer) *)
+  | Witness_reveal of Monet_ec.Sc.t
+      (** state witness, at cooperative closure *)
+
+(** Stable kebab-case name of a message's constructor — the driver's
+    per-phase span names ("driver.key-share", …) and the fault
+    injector's message selectors both key off it. *)
+val label : t -> string
+
+(** Append [t]'s wire encoding to a writer. *)
+val encode : Monet_util.Wire.writer -> t -> unit
+
+(** Serialize to a standalone byte string. *)
+val to_bytes : t -> string
+
+(** Parse a standalone byte string; trailing bytes, truncation and
+    malformed payloads all surface as [Error (Codec _)]. *)
+val of_bytes : string -> (t, Errors.t) result
+
+(** Serialized size — what the driver charges to [report.bytes]. *)
+val size : t -> int
+
+(** Signatures carried by this message, for the reports' signature
+    accounting (a Z-share is one party's half of the joint adaptor
+    signature; the assembled adaptor itself is charged by the driver
+    at session completion). *)
+val sig_count : t -> int

@@ -50,6 +50,11 @@ let submit_old_state (c : Driver.channel) ~(cheater : Tp.role) ~(state : int)
     (priority race). Returns the payout if punishment succeeded. *)
 let watch_and_punish (c : Driver.channel) ~(victim : Tp.role) :
     (Close.payout, Errors.t) result =
+  Monet_obs.Trace.span "channel.watch-punish"
+    ~attrs:
+      [ ("channel", string_of_int c.Driver.id);
+        ("victim", if victim = Tp.Alice then "a" else "b") ]
+  @@ fun () ->
   let p = if victim = Tp.Alice then c.Driver.a else c.Driver.b in
   let latest_prefix = Monet_xmr.Tx.prefix_bytes p.Party.commit_tx in
   let ki = p.Party.joint.Tp.key_image in
@@ -107,4 +112,12 @@ let watch_and_punish (c : Driver.channel) ~(victim : Tp.role) :
               in
               let latest_sg = Clras.adapt target_presig ~wa ~wb in
               let rep = Report.fresh () in
-              Close.settle c ~priority:1 latest_sg target_tx rep)))
+              let r = Close.settle c ~priority:1 latest_sg target_tx rep in
+              (match r with
+              | Ok _ ->
+                  Monet_obs.Trace.event "revoke.punish"
+                    ~attrs:
+                      [ ("old_state", string_of_int old_state);
+                        ("settled_state", string_of_int target_state) ]
+              | Error _ -> ());
+              r)))

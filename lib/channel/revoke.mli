@@ -1,0 +1,32 @@
+(** Revocation: old-state cheating and its punishment (paper §IV-C).
+
+    Publishing an old commitment reveals its combined state witness
+    on-chain; the victim extracts it, derives the counterparty's
+    *latest* witness forward (VCOF consecutiveness) and settles at the
+    latest state with priority. *)
+
+(** A party's own witness at any past [state], re-derived from its
+    chain root (forward derivation only — the chain is one-way). *)
+val my_witness_at : Party.party -> state:int -> Monet_ec.Sc.t
+
+(** Adversary helper: [cheater] submits (without mining) the old
+    [state]'s commitment, supplying the victim's old witness
+    [victim_old_wit] (modelling a leak/compromise — honest runs never
+    reveal it). Returns the submitted transaction. *)
+val submit_old_state :
+  Driver.channel ->
+  cheater:Monet_sig.Two_party.role ->
+  state:int ->
+  victim_old_wit:Monet_ec.Sc.t ->
+  (Monet_xmr.Tx.t, Errors.t) result
+
+(** Watch the mempool: if a commitment transaction for an old state of
+    this channel shows up, extract the combined witness from its ring
+    signature, derive the counterparty's latest witness forward, adapt
+    the latest pre-signature and replace the cheating transaction
+    (priority race). Returns the payout if punishment succeeded; emits
+    a ["revoke.punish"] trace event when it does. *)
+val watch_and_punish :
+  Driver.channel ->
+  victim:Monet_sig.Two_party.role ->
+  (Close.payout, Errors.t) result

@@ -28,6 +28,11 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
     closed. *)
 let splice_in (c : Driver.channel) ~(funder : Tp.role) ~(amount : int)
     ~(wallet : Monet_xmr.Wallet.t) : (Driver.channel * Report.t, Errors.t) result =
+  Monet_obs.Trace.span "channel.splice-in"
+    ~attrs:
+      [ ("channel", string_of_int c.Driver.id);
+        ("amount", string_of_int amount) ]
+  @@ fun () ->
   let rep = Report.fresh () in
   match Close.check_open c with
   | Error e -> Error e

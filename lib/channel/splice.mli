@@ -1,0 +1,21 @@
+(** Splicing: on-chain top-up without closing (paper §IV-E).
+
+    A splice *re-keys* the channel: the old joint one-time key's image
+    is consumed by the splice transaction, so the enlarged funding
+    output must pay a fresh joint key (Monero's fresh-key policy
+    applies to channels too). The splice transaction spends the old
+    joint output (co-signed with the 2-party ring protocol — on-chain
+    it looks like any other spend) together with the funder's coins;
+    the parties then run fresh key generation, fresh (escrowed,
+    re-randomized) VCOF roots and a fresh KES instance, and the
+    channel continues at the combined balances. *)
+
+(** Splice-in: [funder] adds [amount] from its wallet to the channel.
+    Returns the re-anchored channel (fresh id, fresh joint key, state
+    0 at the combined balances); the old handle is marked closed. *)
+val splice_in :
+  Driver.channel ->
+  funder:Monet_sig.Two_party.role ->
+  amount:int ->
+  wallet:Monet_xmr.Wallet.t ->
+  (Driver.channel * Report.t, Errors.t) result

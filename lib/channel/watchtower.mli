@@ -1,0 +1,47 @@
+(** Watchtower: automated mempool surveillance for channel parties.
+
+    MoNet's revocation works only if someone notices a stale commitment
+    before it is mined ({!Channel.watch_and_punish}). A watchtower
+    holds, per watched channel, everything the punishment needs — the
+    victim's role and a handle to the channel — and sweeps the mempool
+    on every tick. A party can run its own tower or outsource to one;
+    here the tower is an in-process actor the simulation drives (e.g.
+    once per block interval). *)
+
+(** One channel under surveillance: the channel handle and which role
+    the tower punishes on behalf of. *)
+type entry = {
+  w_channel : Channel.channel;
+  w_victim : Monet_sig.Two_party.role;
+}
+
+(** A tower: its watch list and a running punishment count. *)
+type t = { mutable entries : entry list; mutable punishments : int }
+
+(** A tower with an empty watch list. *)
+val create : unit -> t
+
+(** Register [channel] for surveillance. Duplicate registrations (same
+    channel id, whatever the victim) are ignored: the first watcher
+    wins, and a punishment can only ever fire once per channel. *)
+val watch : t -> Channel.channel -> victim:Monet_sig.Two_party.role -> unit
+
+(** Channels currently under surveillance (punished and closed ones
+    are pruned on tick). *)
+val watched_count : t -> int
+
+(** Outcome of one surveillance pass: the channels punished this tick
+    (with their payouts) and how many watched channels looked clean. *)
+type tick_result = {
+  punished : (Channel.channel * Channel.payout) list;
+  clean : int;
+}
+
+(** One surveillance pass over the shared mempool. Punished channels —
+    and channels that closed by other means — leave the watch list. *)
+val tick : t -> tick_result
+
+(** Drive the tower from the discrete-event clock: re-arms itself every
+    [interval_ms] until [until_ms]. *)
+val schedule :
+  t -> Monet_dsim.Clock.t -> interval_ms:float -> until_ms:float -> unit

@@ -72,24 +72,34 @@ let pop (c : t) : event option =
     Some top
   end
 
-(** Run events until the queue is empty or [limit] is reached. *)
+let m_events = Monet_obs.Metrics.counter "dsim.events"
+
+(** Run events until the queue is empty or [limit] is reached. While
+    draining, the queue's simulated time is installed as the tracer's
+    sim clock, so every span/event recorded inside an event callback
+    carries sim-time next to wall-time. *)
 let run (c : t) ?(limit = max_float) () : unit =
   let continue = ref true in
-  while !continue do
-    match pop c with
-    | None -> continue := false
-    | Some ev ->
-        if ev.at > limit then begin
-          (* Push back and stop: the event stays for a later run. *)
-          schedule c ~delay:(ev.at -. c.now) ev.run;
-          c.now <- limit;
-          continue := false
-        end
-        else begin
-          c.now <- ev.at;
-          ev.run ()
-        end
-  done
+  Monet_obs.Trace.set_sim_clock (Some (fun () -> c.now));
+  Fun.protect
+    ~finally:(fun () -> Monet_obs.Trace.set_sim_clock None)
+    (fun () ->
+      while !continue do
+        match pop c with
+        | None -> continue := false
+        | Some ev ->
+            if ev.at > limit then begin
+              (* Push back and stop: the event stays for a later run. *)
+              schedule c ~delay:(ev.at -. c.now) ev.run;
+              c.now <- limit;
+              continue := false
+            end
+            else begin
+              c.now <- ev.at;
+              Monet_obs.Metrics.bump m_events;
+              ev.run ()
+            end
+      done)
 
 (** Advance the clock without events (models pure computation time). *)
 let advance (c : t) (ms : float) : unit =

@@ -20,6 +20,11 @@
 
 type t = int array (* exactly 10 limbs, little-endian *)
 
+(* EC-op provenance (DESIGN.md §3.8): one branch per call while the
+   registry is off, proven unmeasurable by the @bench-smoke guard. *)
+let m_mul = Monet_obs.Metrics.counter "ec.fe_mul"
+let m_sq = Monet_obs.Metrics.counter "ec.fe_sq"
+
 let p : Bn.t =
   Bn.of_hex "7fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffed"
 
@@ -80,6 +85,7 @@ let neg (a : t) : t = Array.map (fun x -> -x) a
    overshoots ⌈25.5(i+j)⌉ by one exactly then). Straight-line ref10
    row order; every sum is ≤ 10·2^59 in magnitude. *)
 let mul (f : t) (g : t) : t =
+  Monet_obs.Metrics.bump m_mul;
   let f0 = Array.unsafe_get f 0 and f1 = Array.unsafe_get f 1
   and f2 = Array.unsafe_get f 2 and f3 = Array.unsafe_get f 3
   and f4 = Array.unsafe_get f 4 and f5 = Array.unsafe_get f 5
@@ -161,6 +167,7 @@ let mul (f : t) (g : t) : t =
 (* Dedicated squaring: the symmetric terms merge, ~half the limb
    products of [mul]. *)
 let sq (f : t) : t =
+  Monet_obs.Metrics.bump m_sq;
   let f0 = Array.unsafe_get f 0 and f1 = Array.unsafe_get f 1
   and f2 = Array.unsafe_get f 2 and f3 = Array.unsafe_get f 3
   and f4 = Array.unsafe_get f 4 and f5 = Array.unsafe_get f 5

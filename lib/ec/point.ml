@@ -19,6 +19,12 @@
 
 type t = { x : Fe.t; y : Fe.t; z : Fe.t; t : Fe.t }
 
+(* Scalar-multiplication provenance counters (DESIGN.md §3.8). *)
+let m_mul = Monet_obs.Metrics.counter "ec.point_mul"
+let m_mul_base = Monet_obs.Metrics.counter "ec.point_mul_base"
+let m_mul2 = Monet_obs.Metrics.counter "ec.point_mul2"
+let m_double_mul = Monet_obs.Metrics.counter "ec.point_double_mul"
+
 let identity = { x = Fe.zero; y = Fe.one; z = Fe.one; t = Fe.zero }
 
 let of_affine (x : Fe.t) (y : Fe.t) : t = { x; y; z = Fe.one; t = Fe.mul x y }
@@ -145,6 +151,7 @@ let base_table : t array array lazy_t =
 
 (** [mul_base k] = k·B: one table addition per nonzero scalar byte. *)
 let mul_base (k : Sc.t) : t =
+  Monet_obs.Metrics.bump m_mul_base;
   let table = Lazy.force base_table in
   let acc = ref identity in
   let bytes = Sc.to_bytes_le k in
@@ -162,6 +169,7 @@ let mul_base (k : Sc.t) : t =
 let mul (k : Sc.t) (p : t) : t =
   if p == base then mul_base k
   else begin
+    Monet_obs.Metrics.bump m_mul;
     let naf = slide ~m:15 k in
     let i = ref 261 in
     while !i >= 0 && naf.(!i) = 0 do
@@ -185,6 +193,7 @@ let base_wnaf_table : t array lazy_t = lazy (odd_multiples base 64)
 (** [mul2 a p b q] = a·P + b·Q by Straus–Shamir interleaving: one
     shared doubling chain, two width-5 wNAF digit streams. *)
 let mul2 (a : Sc.t) (p : t) (b : Sc.t) (q : t) : t =
+  Monet_obs.Metrics.bump m_mul2;
   let na = slide ~m:15 a and nb = slide ~m:15 b in
   let i = ref 261 in
   while !i >= 0 && na.(!i) = 0 && nb.(!i) = 0 do
@@ -207,6 +216,7 @@ let mul2 (a : Sc.t) (p : t) (b : Sc.t) (q : t) : t =
     one doubling chain instead of two. The fixed-base leg uses a
     width-8 wNAF (64-entry odd-multiples table of B). *)
 let double_mul (a : Sc.t) (p : t) (b : Sc.t) : t =
+  Monet_obs.Metrics.bump m_double_mul;
   let na = slide ~m:15 a and nb = slide ~m:127 b in
   let i = ref 261 in
   while !i >= 0 && na.(!i) = 0 && nb.(!i) = 0 do

@@ -26,9 +26,14 @@ let assemble_commit ~(state : int) ~(digest : string)
 
 (* --- contract call helpers --- *)
 
+(* Each helper runs inside a "kes.<method>" span, so the script.gas
+   charged by Chain.call lands in that span's ops — gas attributed to
+   the protocol phase that spent it (DESIGN.md §3.8). *)
+
 let call_deploy_instance (chain : Monet_script.Chain.t) ~(contract : int) (p : party)
     ~(id : int) ~(vk_a : Point.t) ~(vk_b : Point.t) ~(escrow_digest : string) :
     Monet_script.Chain.receipt =
+  Monet_obs.Trace.span "kes.deploy_instance" @@ fun () ->
   let w = Wire.create_writer () in
   Wire.write_u32 w id;
   Wire.write_fixed w (Point.encode vk_a);
@@ -38,6 +43,7 @@ let call_deploy_instance (chain : Monet_script.Chain.t) ~(contract : int) (p : p
     ~args:(Wire.contents w)
 
 let call_add_ok chain ~contract (p : party) ~(id : int) : Monet_script.Chain.receipt =
+  Monet_obs.Trace.span "kes.add_ok" @@ fun () ->
   let w = Wire.create_writer () in
   Wire.write_u32 w id;
   Monet_script.Chain.call chain ~caller:p.p_addr ~contract ~meth:"add_ok"
@@ -45,6 +51,7 @@ let call_add_ok chain ~contract (p : party) ~(id : int) : Monet_script.Chain.rec
 
 let call_set_timer chain ~contract (p : party) ~(id : int) ~(tau : int)
     (c : Kes_contract.commit) : Monet_script.Chain.receipt =
+  Monet_obs.Trace.span "kes.set_timer" @@ fun () ->
   let w = Wire.create_writer () in
   Wire.write_u32 w id;
   Wire.write_u64 w tau;
@@ -54,6 +61,7 @@ let call_set_timer chain ~contract (p : party) ~(id : int) ~(tau : int)
 
 let call_resp chain ~contract (p : party) ~(id : int) (c : Kes_contract.commit) :
     Monet_script.Chain.receipt =
+  Monet_obs.Trace.span "kes.resp" @@ fun () ->
   let w = Wire.create_writer () in
   Wire.write_u32 w id;
   Kes_contract.encode_commit w c;
@@ -61,6 +69,7 @@ let call_resp chain ~contract (p : party) ~(id : int) (c : Kes_contract.commit) 
     ~args:(Wire.contents w)
 
 let call_timeout chain ~contract (p : party) ~(id : int) : Monet_script.Chain.receipt =
+  Monet_obs.Trace.span "kes.timeout" @@ fun () ->
   let w = Wire.create_writer () in
   Wire.write_u32 w id;
   Monet_script.Chain.call chain ~caller:p.p_addr ~contract ~meth:"timeout"
@@ -68,6 +77,7 @@ let call_timeout chain ~contract (p : party) ~(id : int) : Monet_script.Chain.re
 
 let call_close chain ~contract (p : party) ~(id : int) (c : Kes_contract.commit) :
     Monet_script.Chain.receipt =
+  Monet_obs.Trace.span "kes.close" @@ fun () ->
   let w = Wire.create_writer () in
   Wire.write_u32 w id;
   Kes_contract.encode_commit w c;

@@ -1,0 +1,77 @@
+(** The MoNet channel graph: nodes (users) and the MoChannels between
+    them. Nodes own wallets on the simulated Monero ledger and an onion
+    key for AMHL setup delivery. *)
+
+(** A network participant: identity, onion keypair (AMHL packet
+    delivery), an on-ledger wallet and its flat forwarding fee. *)
+type node = {
+  n_id : int;
+  n_name : string;
+  n_onion : Monet_sig.Sig_core.keypair;
+  n_wallet : Monet_xmr.Wallet.t;
+  mutable n_fee_base : int;
+}
+
+(** A channel in the graph. [e_left] plays channel-party A, [e_right]
+    plays B. *)
+type edge = {
+  e_id : int;
+  e_channel : Monet_channel.Channel.channel;
+  e_left : int;
+  e_right : int;
+}
+
+(** The graph: a shared channel environment (ledger, script chain,
+    escrowers) plus the node and edge sets. *)
+type t = {
+  env : Monet_channel.Channel.env;
+  g : Monet_hash.Drbg.t;
+  cfg : Monet_channel.Channel.config;
+  mutable nodes : node list;
+  mutable edges : edge list;
+  mutable next_node : int;
+  mutable next_edge : int;
+}
+
+(** An empty graph over a fresh simulated ledger/script environment. *)
+val create : ?cfg:Monet_channel.Channel.config -> Monet_hash.Drbg.t -> t
+
+(** Add a node and return its id. *)
+val add_node : t -> name:string -> int
+
+(** Look up a node by id. Raises [Invalid_argument] on unknown ids —
+    node ids come from {!add_node}, so a miss is a caller bug. *)
+val node : t -> int -> node
+
+(** Mint on-ledger funds for a node's wallet (genesis allocation). *)
+val fund_node : t -> int -> amount:int -> unit
+
+(** Open a MoChannel between two funded nodes; returns the new edge id
+    and the establishment report. *)
+val open_channel :
+  t ->
+  left:int ->
+  right:int ->
+  bal_left:int ->
+  bal_right:int ->
+  (int * Monet_channel.Channel.report, string) result
+
+(** Look up an edge by id. Raises [Invalid_argument] on unknown ids. *)
+val edge : t -> int -> edge
+
+(** The balance [node_id] holds in [e]. Raises [Invalid_argument] if
+    the node is not an endpoint of the edge. *)
+val balance_of : edge -> node_id:int -> int
+
+(** The other endpoint of [e]. Raises [Invalid_argument] if the node
+    is not an endpoint of the edge. *)
+val peer_of : edge -> node_id:int -> int
+
+(** Whether the edge's channel is still open. *)
+val is_open : edge -> bool
+
+(** All open edges incident to [node_id]. *)
+val edges_of : t -> int -> edge list
+
+(** Set a node's forwarding fee (flat, per payment). *)
+val set_fee : t -> int -> fee:int -> unit

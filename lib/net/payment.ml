@@ -79,6 +79,11 @@ type outcome = {
 let execute (t : Graph.t) ~(path : Router.hop list) ~(amount : int)
     ?(receiver_cooperates = true) ?(base_timer = 60_000) ?(timer_delta = 10_000) () :
     (outcome, error) result =
+  Monet_obs.Trace.span "payment.execute"
+    ~attrs:
+      [ ("hops", string_of_int (List.length path));
+        ("amount", string_of_int amount) ]
+  @@ fun () ->
   let stats = fresh_stats () in
   let hops = Array.of_list path in
   let n = Array.length hops in
@@ -87,6 +92,7 @@ let execute (t : Graph.t) ~(path : Router.hop list) ~(amount : int)
     stats.n_hops <- n;
     (* --- Setup (sender) --- *)
     let (amhl, onion), setup_ms =
+      Monet_obs.Trace.span "payment.setup" @@ fun () ->
       timed (fun () ->
           let hps = Array.map (fun h -> hp_of_edge h.Router.h_edge) hops in
           let amhl = Monet_amhl.Amhl.setup t.Graph.g ~hps in
@@ -150,6 +156,9 @@ let execute (t : Graph.t) ~(path : Router.hop list) ~(amount : int)
               amhl.Monet_amhl.Amhl.locks.(i).Monet_sig.Stmt.stmt
             in
             let r, ms =
+              Monet_obs.Trace.span "payment.lock"
+                ~attrs:[ ("hop", string_of_int (i + 1)) ]
+              @@ fun () ->
               timed (fun () ->
                   Ch.lock h.Router.h_edge.Graph.e_channel ~payer:(role_of_payer h)
                     ~amount ~lock_stmt ~timer)
@@ -173,7 +182,12 @@ let execute (t : Graph.t) ~(path : Router.hop list) ~(amount : int)
               let rec cancel_all i =
                 if i < 0 then Ok ()
                 else
-                  match Ch.cancel_lock hops.(i).Router.h_edge.Graph.e_channel with
+                  match
+                    Monet_obs.Trace.span "payment.cancel"
+                      ~attrs:[ ("hop", string_of_int (i + 1)) ]
+                      (fun () ->
+                        Ch.cancel_lock hops.(i).Router.h_edge.Graph.e_channel)
+                  with
                   | Error e ->
                       Error (Channel (Printf.sprintf "cancel hop %d" (i + 1), e))
                   | Ok rep ->
@@ -191,6 +205,9 @@ let execute (t : Graph.t) ~(path : Router.hop list) ~(amount : int)
                 if i < 0 then Ok ()
                 else begin
                   let r, ms =
+                    Monet_obs.Trace.span "payment.unlock"
+                      ~attrs:[ ("hop", string_of_int (i + 1)) ]
+                    @@ fun () ->
                     timed (fun () ->
                         Ch.unlock hops.(i).Router.h_edge.Graph.e_channel ~y:w)
                   in
@@ -315,6 +332,11 @@ let execute_recoverable (t : Graph.t) ~(path : Router.hop list) ~(amount : int)
     ?(receiver_cooperates = true) ?tower ?clock ?on_locked
     ?(base_timer = 60_000) ?(timer_delta = 10_000) () : (recovered, error) result
     =
+  Monet_obs.Trace.span "payment.execute-recoverable"
+    ~attrs:
+      [ ("hops", string_of_int (List.length path));
+        ("amount", string_of_int amount) ]
+  @@ fun () ->
   let stats = fresh_stats () in
   let hops = Array.of_list path in
   let n = Array.length hops in
@@ -343,6 +365,8 @@ let execute_recoverable (t : Graph.t) ~(path : Router.hop list) ~(amount : int)
               if h.Router.h_edge.Graph.e_channel.Ch.id = ch.Ch.id then
                 match fates.(i) with
                 | Hop_pending | Hop_cancelled | Hop_unlocked ->
+                    Monet_obs.Trace.event "payment.punish"
+                      ~attrs:[ ("hop", string_of_int (i + 1)) ];
                     fates.(i) <- Hop_punished payout
                 | Hop_disputed _ | Hop_punished _ -> ())
             hops)
@@ -363,6 +387,8 @@ let execute_recoverable (t : Graph.t) ~(path : Router.hop list) ~(amount : int)
       match fates.(i) with
       | Hop_punished _ -> Ok ()
       | _ -> (
+          Monet_obs.Trace.event "payment.dispute"
+            ~attrs:[ ("hop", string_of_int (i + 1)) ];
           match
             Ch.dispute_close ?lock_witness (channel_of i) ~proposer
               ~responsive:false

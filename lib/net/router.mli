@@ -1,0 +1,21 @@
+(** Pathfinding over the channel graph: shortest path (fewest hops)
+    with per-hop spendable-capacity constraints, BFS with lexicographic
+    tie-breaking so routing is deterministic. *)
+
+(** One hop of a route: the edge it crosses and which node pays on
+    it. *)
+type hop = { h_edge : Graph.edge; h_payer : int }
+
+(** A path src→dst where every hop can forward [amount]. *)
+val find_path :
+  Graph.t -> src:int -> dst:int -> amount:int -> (hop list, string) result
+
+(** Like {!find_path} but never using the edges in [avoid] — used by
+    multi-path payments to find capacity-disjoint routes. *)
+val find_path_avoiding :
+  Graph.t ->
+  src:int ->
+  dst:int ->
+  amount:int ->
+  avoid:int list ->
+  (hop list, string) result

@@ -1,0 +1,118 @@
+(* Metrics registry: named counters, gauges and histograms with a
+   global on/off switch (DESIGN.md §3.8).
+
+   Instruments register their metric once at module-initialization time
+   and keep the returned record; the hot-path update functions ([bump],
+   [add], [set], [observe]) check the [enabled] flag and do nothing when
+   the registry is off, so an instrumented kernel pays one load and one
+   conditional branch per update — the cost the @bench-smoke guard in
+   bench/ec_bench.ml pins as unmeasurable against the EC baseline. *)
+
+type counter = { c_name : string; mutable c_count : int }
+type gauge = { g_name : string; mutable g_value : int }
+
+type histogram = {
+  h_name : string;
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+let enabled = ref false
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+let enable () = enabled := true
+let disable () = enabled := false
+let is_enabled () = !enabled
+
+let counter (name : string) : counter =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+      let c = { c_name = name; c_count = 0 } in
+      Hashtbl.replace counters name c;
+      c
+
+let gauge (name : string) : gauge =
+  match Hashtbl.find_opt gauges name with
+  | Some g -> g
+  | None ->
+      let g = { g_name = name; g_value = 0 } in
+      Hashtbl.replace gauges name g;
+      g
+
+let histogram (name : string) : histogram =
+  match Hashtbl.find_opt histograms name with
+  | Some h -> h
+  | None ->
+      let h =
+        { h_name = name; h_count = 0; h_sum = 0.0; h_min = infinity;
+          h_max = neg_infinity }
+      in
+      Hashtbl.replace histograms name h;
+      h
+
+let[@inline] bump (c : counter) : unit =
+  if !enabled then c.c_count <- c.c_count + 1
+
+let[@inline] add (c : counter) (n : int) : unit =
+  if !enabled then c.c_count <- c.c_count + n
+
+let count (c : counter) : int = c.c_count
+
+let[@inline] set (g : gauge) (v : int) : unit = if !enabled then g.g_value <- v
+let gauge_value (g : gauge) : int = g.g_value
+
+let observe (h : histogram) (v : float) : unit =
+  if !enabled then begin
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum +. v;
+    if v < h.h_min then h.h_min <- v;
+    if v > h.h_max then h.h_max <- v
+  end
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.c_count <- 0) counters;
+  Hashtbl.iter (fun _ g -> g.g_value <- 0) gauges;
+  Hashtbl.iter
+    (fun _ h ->
+      h.h_count <- 0;
+      h.h_sum <- 0.0;
+      h.h_min <- infinity;
+      h.h_max <- neg_infinity)
+    histograms
+
+let snapshot () : (string * int) list =
+  let items =
+    Hashtbl.fold
+      (fun name c acc -> if c.c_count > 0 then (name, c.c_count) :: acc else acc)
+      counters []
+  in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) items
+
+(* Counters are monotone between resets, so a per-key subtraction of a
+   [before] snapshot from an [after] snapshot never goes negative; keys
+   absent from [before] count from zero. *)
+let diff ~(before : (string * int) list) ~(after : (string * int) list) :
+    (string * int) list =
+  List.filter_map
+    (fun (name, v) ->
+      let prev = match List.assoc_opt name before with Some p -> p | None -> 0 in
+      if v - prev > 0 then Some (name, v - prev) else None)
+    after
+
+let total_count () : int =
+  Hashtbl.fold (fun _ c acc -> acc + c.c_count) counters 0
+
+let histogram_snapshot () : (string * (int * float * float * float)) list =
+  let items =
+    Hashtbl.fold
+      (fun name h acc ->
+        if h.h_count > 0 then (name, (h.h_count, h.h_sum, h.h_min, h.h_max)) :: acc
+        else acc)
+      histograms []
+  in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) items

@@ -1,0 +1,78 @@
+(** Metrics registry: named counters, gauges and histograms behind a
+    global enable switch.
+
+    Instrumented modules register a metric once (typically at module
+    initialization) and keep the returned handle; the update functions
+    are no-ops while the registry is disabled, costing one flag load
+    and one branch — the "zero overhead when off" contract of
+    DESIGN.md §3.8, enforced by the guard in [bench/ec_bench.ml]. *)
+
+type counter = { c_name : string; mutable c_count : int }
+(** A monotone event counter. *)
+
+type gauge = { g_name : string; mutable g_value : int }
+(** A last-write-wins instantaneous value. *)
+
+type histogram = {
+  h_name : string;
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+(** A streaming summary (count / sum / min / max) of observed samples. *)
+
+val enable : unit -> unit
+(** Turn the registry on: subsequent updates take effect. *)
+
+val disable : unit -> unit
+(** Turn the registry off: updates become no-ops (values are kept). *)
+
+val is_enabled : unit -> bool
+(** Whether updates currently take effect. *)
+
+val counter : string -> counter
+(** [counter name] interns the counter registered under [name],
+    creating it at zero on first use. Callable while disabled. *)
+
+val gauge : string -> gauge
+(** [gauge name] interns the gauge registered under [name]. *)
+
+val histogram : string -> histogram
+(** [histogram name] interns the histogram registered under [name]. *)
+
+val bump : counter -> unit
+(** Increment a counter by one (no-op while disabled). *)
+
+val add : counter -> int -> unit
+(** Increment a counter by an arbitrary amount (no-op while disabled). *)
+
+val count : counter -> int
+(** Current value of a counter. *)
+
+val set : gauge -> int -> unit
+(** Set a gauge (no-op while disabled). *)
+
+val gauge_value : gauge -> int
+(** Current value of a gauge. *)
+
+val observe : histogram -> float -> unit
+(** Record one sample into a histogram (no-op while disabled). *)
+
+val reset : unit -> unit
+(** Zero every registered metric (registration handles stay valid). *)
+
+val snapshot : unit -> (string * int) list
+(** All non-zero counters as [(name, count)], sorted by name. *)
+
+val diff :
+  before:(string * int) list -> after:(string * int) list -> (string * int) list
+(** Per-counter increase between two {!snapshot}s; keys absent from
+    [before] count from zero, and non-positive deltas are dropped. *)
+
+val total_count : unit -> int
+(** Sum of all counter values — zero iff no counter ever fired. *)
+
+val histogram_snapshot : unit -> (string * (int * float * float * float)) list
+(** All non-empty histograms as [(name, (count, sum, min, max))],
+    sorted by name. *)

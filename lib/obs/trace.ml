@@ -1,0 +1,506 @@
+(* Structured tracing: nested spans, point events, a ring-buffer sink
+   and a self-validated JSON exporter (schema monet-trace/1).
+
+   A span records wall-clock start/end (the overridable [clock],
+   defaulting to CPU milliseconds to match the repo's Sys.time-based
+   harness), optional simulation-clock start/end (installed by
+   Monet_dsim.Clock.run for the duration of a drain), its attributes,
+   point events, child spans, and the per-counter increase of the
+   metrics registry over its extent ([sp_ops], inclusive of children).
+
+   When tracing is disabled, [span name f] is [f ()] after one flag
+   load; [event] is a no-op. All sink state is module-global: the
+   protocol stack is single-threaded by construction (deterministic
+   DRBG, discrete-event clock), like the metrics registry. *)
+
+type event = {
+  ev_name : string;
+  ev_attrs : (string * string) list;
+  ev_at_ms : float;
+  ev_sim_ms : float option;
+}
+
+type span = {
+  sp_name : string;
+  sp_attrs : (string * string) list;
+  sp_start_ms : float;
+  sp_sim_start_ms : float option;
+  mutable sp_end_ms : float;
+  mutable sp_sim_end_ms : float option;
+  mutable sp_events : event list;
+  mutable sp_children : span list;
+  mutable sp_ops : (string * int) list;
+  mutable sp_snap : (string * int) list; (* metrics snapshot at open *)
+}
+
+let json_schema_version = "monet-trace/1"
+
+let enabled = ref false
+let clock : (unit -> float) ref = ref (fun () -> Sys.time () *. 1000.0)
+let sim_clock : (unit -> float) option ref = ref None
+
+(* Open spans, innermost first. *)
+let stack : span list ref = ref []
+
+(* Ring buffer of finished root spans: bounded memory under long
+   soaks, newest [capacity] roots retained. *)
+let default_capacity = 256
+let ring : span option array ref = ref (Array.make default_capacity None)
+let ring_pos = ref 0
+let ring_len = ref 0
+
+(* Events fired outside any span land here (newest first, capped). *)
+let orphans : event list ref = ref []
+let orphan_count = ref 0
+
+let set_clock f = clock := f
+let set_sim_clock f = sim_clock := f
+let now_ms () = !clock ()
+let sim_now () = match !sim_clock with Some c -> Some (c ()) | None -> None
+
+let clear () =
+  stack := [];
+  ring := Array.make (Array.length !ring) None;
+  ring_pos := 0;
+  ring_len := 0;
+  orphans := [];
+  orphan_count := 0
+
+let enable ?(capacity = default_capacity) () =
+  let capacity = if capacity < 1 then 1 else capacity in
+  ring := Array.make capacity None;
+  ring_pos := 0;
+  ring_len := 0;
+  stack := [];
+  orphans := [];
+  orphan_count := 0;
+  enabled := true
+
+let disable () = enabled := false
+let is_enabled () = !enabled
+
+let ring_push sp =
+  let cap = Array.length !ring in
+  !ring.(!ring_pos) <- Some sp;
+  ring_pos := (!ring_pos + 1) mod cap;
+  if !ring_len < cap then incr ring_len
+
+(* Finished roots, oldest first. *)
+let roots () : span list =
+  let cap = Array.length !ring in
+  let start = (!ring_pos - !ring_len + cap) mod cap in
+  let acc = ref [] in
+  for i = !ring_len - 1 downto 0 do
+    match !ring.((start + i) mod cap) with
+    | Some sp -> acc := sp :: !acc
+    | None -> ()
+  done;
+  !acc
+
+let loose_events () : event list = List.rev !orphans
+
+let finish sp =
+  sp.sp_end_ms <- now_ms ();
+  sp.sp_sim_end_ms <- sim_now ();
+  sp.sp_ops <- Metrics.diff ~before:sp.sp_snap ~after:(Metrics.snapshot ());
+  sp.sp_snap <- [];
+  sp.sp_events <- List.rev sp.sp_events;
+  sp.sp_children <- List.rev sp.sp_children;
+  match !stack with
+  | top :: rest when top == sp -> (
+      stack := rest;
+      match rest with
+      | parent :: _ -> parent.sp_children <- sp :: parent.sp_children
+      | [] -> ring_push sp)
+  | _ -> () (* tracer was reset mid-span; drop the span *)
+
+let span ?(attrs = []) (name : string) (f : unit -> 'a) : 'a =
+  if not !enabled then f ()
+  else begin
+    let sp =
+      { sp_name = name; sp_attrs = attrs; sp_start_ms = now_ms ();
+        sp_sim_start_ms = sim_now (); sp_end_ms = 0.0; sp_sim_end_ms = None;
+        sp_events = []; sp_children = []; sp_ops = [];
+        sp_snap = Metrics.snapshot () }
+    in
+    stack := sp :: !stack;
+    Fun.protect ~finally:(fun () -> finish sp) f
+  end
+
+let event ?(attrs = []) (name : string) : unit =
+  if !enabled then begin
+    let ev =
+      { ev_name = name; ev_attrs = attrs; ev_at_ms = now_ms ();
+        ev_sim_ms = sim_now () }
+    in
+    match !stack with
+    | sp :: _ -> sp.sp_events <- ev :: sp.sp_events
+    | [] ->
+        if !orphan_count < 4096 then begin
+          orphans := ev :: !orphans;
+          incr orphan_count
+        end
+  end
+
+let duration_ms sp = sp.sp_end_ms -. sp.sp_start_ms
+
+(* --- JSON export (schema monet-trace/1) --------------------------- *)
+
+let esc (s : string) : string =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let add_attrs b attrs =
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "\"%s\":\"%s\"" (esc k) (esc v)))
+    attrs;
+  Buffer.add_char b '}'
+
+let add_event b (ev : event) =
+  Buffer.add_string b
+    (Printf.sprintf "{\"name\":\"%s\",\"at_ms\":%.6f" (esc ev.ev_name) ev.ev_at_ms);
+  (match ev.ev_sim_ms with
+  | Some t -> Buffer.add_string b (Printf.sprintf ",\"sim_ms\":%.6f" t)
+  | None -> ());
+  Buffer.add_string b ",\"attrs\":";
+  add_attrs b ev.ev_attrs;
+  Buffer.add_char b '}'
+
+let rec add_span b (sp : span) =
+  Buffer.add_string b
+    (Printf.sprintf "{\"name\":\"%s\",\"start_ms\":%.6f,\"end_ms\":%.6f"
+       (esc sp.sp_name) sp.sp_start_ms sp.sp_end_ms);
+  (match (sp.sp_sim_start_ms, sp.sp_sim_end_ms) with
+  | Some s, Some e ->
+      Buffer.add_string b
+        (Printf.sprintf ",\"sim_start_ms\":%.6f,\"sim_end_ms\":%.6f" s e)
+  | _ -> ());
+  Buffer.add_string b ",\"attrs\":";
+  add_attrs b sp.sp_attrs;
+  Buffer.add_string b ",\"ops\":{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "\"%s\":%d" (esc k) v))
+    sp.sp_ops;
+  Buffer.add_string b "},\"events\":[";
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_char b ',';
+      add_event b ev)
+    sp.sp_events;
+  Buffer.add_string b "],\"children\":[";
+  List.iteri
+    (fun i child ->
+      if i > 0 then Buffer.add_char b ',';
+      add_span b child)
+    sp.sp_children;
+  Buffer.add_string b "]}"
+
+let to_json () : string =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b (Printf.sprintf "  \"schema\": \"%s\",\n" json_schema_version);
+  Buffer.add_string b "  \"clock_unit\": \"ms\",\n";
+  Buffer.add_string b "  \"spans\": [";
+  List.iteri
+    (fun i sp ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b "\n    ";
+      add_span b sp)
+    (roots ());
+  Buffer.add_string b "\n  ],\n  \"events\": [";
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b "\n    ";
+      add_event b ev)
+    (loose_events ());
+  Buffer.add_string b "\n  ]\n}\n";
+  Buffer.contents b
+
+(* --- self-validation ------------------------------------------------
+
+   Exception-free recursive-descent parser over the JSON subset the
+   exporter emits (objects, arrays, strings, numbers), then a
+   structural check of the monet-trace/1 schema. Result-style
+   throughout: lib/ is linted with forbid-exn. *)
+
+type json =
+  | J_obj of (string * json) list
+  | J_arr of json list
+  | J_str of string
+  | J_num of float
+
+let parse_json (s : string) : (json, string) result =
+  let n = String.length s in
+  let rec skip i =
+    if i < n then
+      match s.[i] with ' ' | '\n' | '\t' | '\r' -> skip (i + 1) | _ -> i
+    else i
+  in
+  let parse_string i =
+    (* i points just past the opening quote *)
+    let b = Buffer.create 16 in
+    let rec go i =
+      if i >= n then Error "unterminated string"
+      else
+        match s.[i] with
+        | '"' -> Ok (Buffer.contents b, i + 1)
+        | '\\' ->
+            if i + 1 >= n then Error "dangling escape"
+            else begin
+              (match s.[i + 1] with
+              | 'n' -> Buffer.add_char b '\n'
+              | 'r' -> Buffer.add_char b '\r'
+              | 't' -> Buffer.add_char b '\t'
+              | 'u' -> Buffer.add_char b '?' (* code point not needed here *)
+              | c -> Buffer.add_char b c);
+              let skip_extra = if s.[i + 1] = 'u' then 4 else 0 in
+              go (i + 2 + skip_extra)
+            end
+        | c ->
+            Buffer.add_char b c;
+            go (i + 1)
+    in
+    go i
+  in
+  let parse_number i =
+    let num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    let rec stop j = if j < n && num_char s.[j] then stop (j + 1) else j in
+    let j = stop i in
+    match float_of_string_opt (String.sub s i (j - i)) with
+    | Some f when Float.is_finite f -> Ok (J_num f, j)
+    | _ -> Error "bad number"
+  in
+  let rec parse_value i : (json * int, string) result =
+    let i = skip i in
+    if i >= n then Error "unexpected end of input"
+    else
+      match s.[i] with
+      | '{' -> parse_obj (i + 1) []
+      | '[' -> parse_arr (i + 1) []
+      | '"' -> (
+          match parse_string (i + 1) with
+          | Ok (v, i) -> Ok (J_str v, i)
+          | Error e -> Error e)
+      | '-' | '0' .. '9' -> parse_number i
+      | c -> Error (Printf.sprintf "unexpected character %C" c)
+  and parse_obj i acc =
+    let i = skip i in
+    if i >= n then Error "unterminated object"
+    else if s.[i] = '}' then Ok (J_obj (List.rev acc), i + 1)
+    else if s.[i] <> '"' then Error "expected object key"
+    else
+      match parse_string (i + 1) with
+      | Error e -> Error e
+      | Ok (key, i) -> (
+          let i = skip i in
+          if i >= n || s.[i] <> ':' then Error "expected ':'"
+          else
+            match parse_value (i + 1) with
+            | Error e -> Error e
+            | Ok (v, i) -> (
+                let i = skip i in
+                if i < n && s.[i] = ',' then parse_obj (i + 1) ((key, v) :: acc)
+                else if i < n && s.[i] = '}' then
+                  Ok (J_obj (List.rev ((key, v) :: acc)), i + 1)
+                else Error "expected ',' or '}'"))
+  and parse_arr i acc =
+    let i = skip i in
+    if i >= n then Error "unterminated array"
+    else if s.[i] = ']' then Ok (J_arr (List.rev acc), i + 1)
+    else
+      match parse_value i with
+      | Error e -> Error e
+      | Ok (v, i) -> (
+          let i = skip i in
+          if i < n && s.[i] = ',' then parse_arr (i + 1) (v :: acc)
+          else if i < n && s.[i] = ']' then Ok (J_arr (List.rev (v :: acc)), i + 1)
+          else Error "expected ',' or ']'")
+  in
+  match parse_value 0 with
+  | Error e -> Error e
+  | Ok (v, i) ->
+      let i = skip i in
+      if i <> n then Error "trailing data after document" else Ok v
+
+let field name fields = List.assoc_opt name fields
+
+let require_string name fields =
+  match field name fields with
+  | Some (J_str s) -> Ok s
+  | _ -> Error (Printf.sprintf "missing or non-string field %S" name)
+
+let require_number name fields =
+  match field name fields with
+  | Some (J_num f) -> Ok f
+  | _ -> Error (Printf.sprintf "missing or non-number field %S" name)
+
+let check_attrs name fields =
+  match field name fields with
+  | Some (J_obj kvs) ->
+      if List.for_all (fun (_, v) -> match v with J_str _ -> true | _ -> false) kvs
+      then Ok ()
+      else Error (Printf.sprintf "%S values must be strings" name)
+  | _ -> Error (Printf.sprintf "missing or non-object field %S" name)
+
+let check_event (j : json) : (unit, string) result =
+  match j with
+  | J_obj fields -> (
+      match require_string "name" fields with
+      | Error e -> Error e
+      | Ok _ -> (
+          match require_number "at_ms" fields with
+          | Error e -> Error e
+          | Ok _ -> check_attrs "attrs" fields))
+  | _ -> Error "event is not an object"
+
+let rec check_list check = function
+  | [] -> Ok ()
+  | x :: rest -> ( match check x with Error e -> Error e | Ok () -> check_list check rest)
+
+let rec check_span (j : json) : (unit, string) result =
+  match j with
+  | J_obj fields -> (
+      match require_string "name" fields with
+      | Error e -> Error e
+      | Ok _ -> (
+          match require_number "start_ms" fields with
+          | Error e -> Error e
+          | Ok _ -> (
+              match require_number "end_ms" fields with
+              | Error e -> Error e
+              | Ok _ -> (
+                  match check_attrs "attrs" fields with
+                  | Error e -> Error e
+                  | Ok () -> (
+                      match field "ops" fields with
+                      | Some (J_obj ops)
+                        when List.for_all
+                               (fun (_, v) ->
+                                 match v with
+                                 | J_num f -> Float.is_integer f && f >= 0.0
+                                 | _ -> false)
+                               ops -> (
+                          match field "events" fields with
+                          | Some (J_arr evs) -> (
+                              match check_list check_event evs with
+                              | Error e -> Error e
+                              | Ok () -> (
+                                  match field "children" fields with
+                                  | Some (J_arr children) ->
+                                      check_list check_span children
+                                  | _ -> Error "missing or non-array \"children\""))
+                          | _ -> Error "missing or non-array \"events\""
+                          )
+                      | _ -> Error "missing or malformed \"ops\" (object of non-negative integers)")))))
+  | _ -> Error "span is not an object"
+
+let validate_json (s : string) : (unit, string) result =
+  match parse_json s with
+  | Error e -> Error ("parse error: " ^ e)
+  | Ok (J_obj fields) -> (
+      match require_string "schema" fields with
+      | Error e -> Error e
+      | Ok v when v <> json_schema_version ->
+          Error (Printf.sprintf "schema is %S, expected %S" v json_schema_version)
+      | Ok _ -> (
+          match require_string "clock_unit" fields with
+          | Error e -> Error e
+          | Ok _ -> (
+              match field "spans" fields with
+              | Some (J_arr spans) -> (
+                  match check_list check_span spans with
+                  | Error e -> Error e
+                  | Ok () -> (
+                      match field "events" fields with
+                      | Some (J_arr evs) -> check_list check_event evs
+                      | _ -> Error "missing or non-array \"events\""))
+              | _ -> Error "missing or non-array \"spans\"")))
+  | Ok _ -> Error "document is not an object"
+
+(* --- ASCII span-tree rendering ------------------------------------ *)
+
+let ops_summary ?(limit = 6) (ops : (string * int) list) : string =
+  let sorted = List.sort (fun (_, a) (_, b) -> compare b a) ops in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  let shown = take limit sorted in
+  let extra = List.length sorted - List.length shown in
+  let body =
+    String.concat " " (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) shown)
+  in
+  if extra > 0 then Printf.sprintf "%s (+%d more)" body extra else body
+
+let render (sp : span) : string =
+  let b = Buffer.create 1024 in
+  let rec go prefix is_last sp =
+    let connector =
+      if prefix = "" && is_last then "" else if is_last then "`- " else "|- "
+    in
+    let attrs =
+      match sp.sp_attrs with
+      | [] -> ""
+      | attrs ->
+          " ["
+          ^ String.concat " "
+              (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) attrs)
+          ^ "]"
+    in
+    let sim =
+      match (sp.sp_sim_start_ms, sp.sp_sim_end_ms) with
+      | Some s, Some e -> Printf.sprintf "  sim %.2f ms" (e -. s)
+      | _ -> ""
+    in
+    Buffer.add_string b
+      (Printf.sprintf "%s%s%s%s  %.3f ms%s\n" prefix connector sp.sp_name attrs
+         (duration_ms sp) sim);
+    let child_prefix =
+      if prefix = "" && connector = "" then ""
+      else prefix ^ if is_last then "   " else "|  "
+    in
+    (match sp.sp_ops with
+    | [] -> ()
+    | ops ->
+        Buffer.add_string b
+          (Printf.sprintf "%s   ops: %s\n" child_prefix (ops_summary ops)));
+    List.iter
+      (fun ev ->
+        Buffer.add_string b
+          (Printf.sprintf "%s   ! %s%s\n" child_prefix ev.ev_name
+             (match ev.ev_attrs with
+             | [] -> ""
+             | attrs ->
+                 " ["
+                 ^ String.concat " "
+                     (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) attrs)
+                 ^ "]")))
+      sp.sp_events;
+    let n = List.length sp.sp_children in
+    List.iteri (fun i c -> go child_prefix (i = n - 1) c) sp.sp_children
+  in
+  go "" true sp;
+  Buffer.contents b

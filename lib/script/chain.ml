@@ -75,11 +75,26 @@ let deploy (c : t) ~(code_size : int) ~(make : storage -> handler) : int * int =
   c.n_contracts <- c.n_contracts + 1;
   (c.n_contracts - 1, meter.Gas.used)
 
+let m_calls = Monet_obs.Metrics.counter "script.calls"
+let m_gas = Monet_obs.Metrics.counter "script.gas"
+
+(* Every contract call funnels through here, so charging the gas
+   counter and emitting a trace event at the end of [call] attributes
+   all script-chain cost to whatever span is open (DESIGN.md §3.8). *)
+let observe_receipt ~(meth : string) (r : receipt) : receipt =
+  Monet_obs.Metrics.bump m_calls;
+  Monet_obs.Metrics.add m_gas r.r_gas;
+  Monet_obs.Trace.event "script.call"
+    ~attrs:
+      [ ("method", meth); ("gas", string_of_int r.r_gas);
+        ("ok", match r.r_ok with Ok _ -> "true" | Error _ -> "false") ];
+  r
+
 (** Call a contract method as an on-chain transaction. *)
 let call (c : t) ~(caller : address) ~(contract : int) ~(meth : string)
     ~(args : string) : receipt =
   if contract < 0 || contract >= c.n_contracts then
-    { r_ok = Error "no such contract"; r_gas = 0; r_events = [] }
+    observe_receipt ~meth { r_ok = Error "no such contract"; r_gas = 0; r_events = [] }
   else begin
     let k = c.contracts.(contract) in
     let meter = Gas.create () in
@@ -98,7 +113,8 @@ let call (c : t) ~(caller : address) ~(contract : int) ~(meth : string)
     in
     c.height <- c.height + 1;
     c.log <- !events @ c.log;
-    { r_ok; r_gas = meter.Gas.used; r_events = List.rev !events }
+    observe_receipt ~meth
+      { r_ok; r_gas = meter.Gas.used; r_events = List.rev !events }
   end
 
 (** Events emitted since a given log position (for off-chain watchers:

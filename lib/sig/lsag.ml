@@ -37,8 +37,13 @@ let challenge (msg : string) (l : Point.t) (r : Point.t) : Sc.t =
 let key_image ~(sk : Sc.t) ~(vk : Point.t) : Point.t =
   Point.mul sk (Point.hash_to_point "lsag-hp" (Point.encode vk))
 
+(* Ring-walk provenance: one bump per ring slot visited, across
+   sign/verify/pre-verify alike (DESIGN.md §3.8). *)
+let m_step = Monet_obs.Metrics.counter "sig.lsag_step"
+
 (* Walk one step: from (c_i, s_i) at slot i to c_{i+1}. *)
 let step ~msg ~ring ~hps ~ki c i s =
+  Monet_obs.Metrics.bump m_step;
   let l = Point.double_mul c ring.(i) s in
   let r = Point.mul2 s hps.(i) c ki in
   challenge msg l r

@@ -68,7 +68,13 @@ let genesis_output (l : t) (out : Tx.output) : int = add_output l out
 
 type verdict = Valid | Invalid of string
 
+let m_validate = Monet_obs.Metrics.counter "xmr.validate"
+
 let validate (l : t) (tx : Tx.t) : verdict =
+  Monet_obs.Metrics.bump m_validate;
+  Monet_obs.Trace.span "xmr.validate"
+    ~attrs:[ ("inputs", string_of_int (List.length tx.Tx.inputs)) ]
+  @@ fun () ->
   let prefix = Tx.prefix_bytes tx in
   let rec check_inputs seen_kis = function
     | [] -> None

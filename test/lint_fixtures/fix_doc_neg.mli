@@ -1,0 +1,16 @@
+(** Module-level doc comment. *)
+
+(** Doc before the val. *)
+val before : int -> int
+
+val after : int -> int
+(** Doc after the val. *)
+
+(** Types and exceptions need no val docs. *)
+type t = A | B
+
+(** Nested signatures count too. *)
+module Nested : sig
+  (** Documented inside a nested signature. *)
+  val fine : t -> t
+end

@@ -1,0 +1,12 @@
+(* doc-comment positives: undocumented and half-documented vals. *)
+
+val undocumented : int -> int
+
+(** This one is fine. *)
+val documented : int -> int
+
+val also_undocumented : string
+
+module Nested : sig
+  val nested_undocumented : unit -> unit
+end

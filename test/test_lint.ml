@@ -4,9 +4,12 @@
    pins the exact (rule, line, symbol) triples the engine must emit;
    each negative fixture must be silent. *)
 
-(* Fixtures live outside lib/, so secret rules are enabled everywhere
-   (the CLI's --secret-scope-all). *)
-let cfg = { Lint_engine.default_config with c_secret_scope = (fun _ -> true) }
+(* Fixtures live outside lib/, so secret and doc rules are enabled
+   everywhere (the CLI's --secret-scope-all). *)
+let cfg =
+  { Lint_engine.default_config with
+    c_secret_scope = (fun _ -> true);
+    c_doc_scope = (fun _ -> true) }
 
 (* `dune runtest` runs the binary from test/; `dune exec` from the
    workspace root. Resolve the fixtures dir from either. *)
@@ -72,6 +75,32 @@ let test_secret_scope_gates_rules () =
     "secret rules off outside scope" []
     (List.map triple (lint ~cfg "fix_secret_pos.ml"))
 
+(* -- the doc-comment rule (interfaces) ----------------------------- *)
+
+let lint_mli ?(cfg = cfg) name =
+  let file = Filename.concat fixtures_dir name in
+  Lint_engine.lint_interface_source ~cfg ~file (Lint_engine.read_file file)
+
+let test_doc_pos () =
+  Alcotest.(check (list (triple string int string)))
+    "fix_doc_pos.mli"
+    [ ("doc-comment", 3, "undocumented");
+      ("doc-comment", 8, "also_undocumented");
+      ("doc-comment", 11, "nested_undocumented") ]
+    (List.map triple (lint_mli "fix_doc_pos.mli"))
+
+let test_doc_neg () =
+  Alcotest.(check (list (triple string int string)))
+    "fix_doc_neg.mli" []
+    (List.map triple (lint_mli "fix_doc_neg.mli"))
+
+(* Outside the doc scope, interfaces are not checked at all. *)
+let test_doc_scope_gates_rule () =
+  let cfg = Lint_engine.default_config in
+  Alcotest.(check (list (triple string int string)))
+    "doc rule off outside scope" []
+    (List.map triple (lint_mli ~cfg "fix_doc_pos.mli"))
+
 (* -- allowlist semantics ------------------------------------------- *)
 
 let fixture_path name = Filename.concat fixtures_dir name
@@ -131,6 +160,22 @@ let test_stale_allow () =
   Alcotest.(check int) "lax mode ignores stale entries" 0
     (List.length lax.Lint_engine.r_findings)
 
+(* doc-comment findings route through the same allowlist machinery as
+   every other rule. *)
+let test_doc_allowlist () =
+  let allow =
+    Printf.sprintf
+      {|(allow doc-comment %s undocumented "fixture")
+        (allow doc-comment %s also_undocumented "fixture")
+        (allow doc-comment %s nested_undocumented "fixture")|}
+      (fixture_path "fix_doc_pos.mli")
+      (fixture_path "fix_doc_pos.mli")
+      (fixture_path "fix_doc_pos.mli")
+  in
+  let r = run_fixture ~allow ~strict:true "fix_doc_pos.mli" in
+  Alcotest.(check int) "all suppressed" 0 (List.length r.Lint_engine.r_findings);
+  Alcotest.(check int) "suppressed count" 3 r.r_suppressed
+
 let test_allowlist_rejects_garbage () =
   (match Lint_engine.parse_allowlist "(allow too few)" with
   | Ok _ -> Alcotest.fail "accepted malformed entry"
@@ -172,6 +217,10 @@ let tests =
     Alcotest.test_case "parse error finding" `Quick test_parse_error;
     Alcotest.test_case "negatives silent" `Quick test_negatives_silent;
     Alcotest.test_case "secret scope gating" `Quick test_secret_scope_gates_rules;
+    Alcotest.test_case "doc-comment positives" `Quick test_doc_pos;
+    Alcotest.test_case "doc-comment negatives" `Quick test_doc_neg;
+    Alcotest.test_case "doc scope gating" `Quick test_doc_scope_gates_rule;
+    Alcotest.test_case "doc-comment allowlist" `Quick test_doc_allowlist;
     Alcotest.test_case "allowlist suppresses" `Quick test_allowlist_suppresses;
     Alcotest.test_case "allowlist removal fails" `Quick test_allowlist_removal_fails;
     Alcotest.test_case "stale allow strict" `Quick test_stale_allow;

@@ -40,6 +40,13 @@
       a constructor to a wire type must break the build, not fall
       through a [_].
 
+    {b Documentation} ([.mli] files in the doc scope — by default
+    [lib/obs] and [lib/channel]):
+    - [doc-comment] — an exported [val] without a [(** … *)] doc
+      comment. Interfaces in the doc scope are API surface; odoc is
+      not a build dependency, so this rule is what keeps their
+      documentation from rotting.
+
     Findings are suppressed only through [tools/lint/allow.sexp]
     (entries carry a justification); with [strict_allow] any unused
     allowlist entry is itself a finding, so the allowlist cannot rot. *)
@@ -186,10 +193,11 @@ let allow_matches (e : allow_entry) (f : finding) : bool =
 type config = {
   c_allow : allow_entry list;
   c_secret_scope : string -> bool;  (** file is under CT discipline *)
+  c_doc_scope : string -> bool;  (** [.mli] must doc-comment its vals *)
   c_strict_allow : bool;  (** unused allowlist entries are findings *)
 }
 
-let default_secret_scope (file : string) : bool =
+let path_under (dirs : string list) (file : string) : bool =
   let under d =
     (* matches both "lib/ec/fe.ml" and absolute paths ending in it *)
     let d = d ^ "/" in
@@ -201,10 +209,17 @@ let default_secret_scope (file : string) : bool =
     in
     search (String.length file - String.length d)
   in
-  List.exists under [ "lib/ec"; "lib/sig"; "lib/sigma"; "lib/cas"; "lib/vcof" ]
+  List.exists under dirs
+
+let default_secret_scope (file : string) : bool =
+  path_under [ "lib/ec"; "lib/sig"; "lib/sigma"; "lib/cas"; "lib/vcof" ] file
+
+let default_doc_scope (file : string) : bool =
+  path_under [ "lib/obs"; "lib/channel"; "lib/net" ] file
 
 let default_config =
-  { c_allow = []; c_secret_scope = default_secret_scope; c_strict_allow = false }
+  { c_allow = []; c_secret_scope = default_secret_scope;
+    c_doc_scope = default_doc_scope; c_strict_allow = false }
 
 (* ----------------------------------------------------------------- *)
 (* Secret seeding and taint                                          *)
@@ -609,6 +624,69 @@ let lint_source ~(cfg : config) ~(file : string) (src : string) : finding list =
           f_symbol = "parse"; f_message = e; f_suggestion = "fix the syntax error" } ]
   | Ok str -> lint_structure ~cfg ~file ~src str
 
+(* --- the doc-comment rule, on interfaces ------------------------- *)
+
+let parse_intf ~(file : string) (src : string) : (Parsetree.signature, string) result =
+  let lexbuf = Lexing.from_string src in
+  Location.init lexbuf file;
+  match Parse.interface lexbuf with
+  | sg -> Ok sg
+  | exception e -> Error (Printexc.to_string e)
+
+(* The parser turns a [(** … *)] adjacent to a signature item into an
+   ["ocaml.doc"] attribute on that item, so documentedness is a pure
+   AST property. *)
+let has_doc_attr (attrs : Parsetree.attributes) : bool =
+  List.exists
+    (fun (a : Parsetree.attribute) ->
+      a.attr_name.txt = "ocaml.doc" || a.attr_name.txt = "doc")
+    attrs
+
+let lint_signature ~(file : string) (sg : Parsetree.signature) : finding list =
+  let findings = ref [] in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      signature_item =
+        (fun self item ->
+          (match item.Parsetree.psig_desc with
+          | Psig_value vd when not (has_doc_attr vd.pval_attributes) ->
+              let p = item.psig_loc.Location.loc_start in
+              findings :=
+                {
+                  f_file = file;
+                  f_line = p.Lexing.pos_lnum;
+                  f_col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+                  f_rule = "doc-comment";
+                  f_symbol = vd.pval_name.txt;
+                  f_message =
+                    Printf.sprintf "exported `val %s' has no doc comment"
+                      vd.pval_name.txt;
+                  f_suggestion =
+                    "document the value with (** … *) — interfaces in the doc \
+                     scope are API surface";
+                }
+                :: !findings
+          | _ -> ());
+          Ast_iterator.default_iterator.signature_item self item);
+    }
+  in
+  it.signature it sg;
+  List.rev !findings
+
+(** Lint an [.mli]: only the [doc-comment] rule applies (interfaces
+    contain no executable code for the other rule families). *)
+let lint_interface_source ~(cfg : config) ~(file : string) (src : string) :
+    finding list =
+  if not (cfg.c_doc_scope file) then []
+  else
+    match parse_intf ~file src with
+    | Error e ->
+        [ { f_file = file; f_line = 1; f_col = 0; f_rule = "parse-error";
+            f_symbol = "parse"; f_message = e;
+            f_suggestion = "fix the syntax error" } ]
+    | Ok sg -> lint_signature ~file sg
+
 let read_file (path : string) : string =
   let ic = open_in_bin path in
   Fun.protect
@@ -619,14 +697,22 @@ let rec ml_files_under (path : string) : string list =
   if Sys.is_directory path then
     Sys.readdir path |> Array.to_list |> List.sort compare
     |> List.concat_map (fun entry -> ml_files_under (Filename.concat path entry))
-  else if Filename.check_suffix path ".ml" then [ path ]
+  else if Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+  then [ path ]
   else []
 
-(** Lint [paths] (files or directories, recursed for [.ml]) and apply
-    the allowlist. *)
+(** Lint [paths] (files or directories, recursed for [.ml]/[.mli]) and
+    apply the allowlist. *)
 let run ~(cfg : config) (paths : string list) : report =
   let files = List.concat_map ml_files_under paths in
-  let raw = List.concat_map (fun f -> lint_source ~cfg ~file:f (read_file f)) files in
+  let raw =
+    List.concat_map
+      (fun f ->
+        if Filename.check_suffix f ".mli" then
+          lint_interface_source ~cfg ~file:f (read_file f)
+        else lint_source ~cfg ~file:f (read_file f))
+      files
+  in
   let suppressed = ref 0 in
   let kept =
     List.filter

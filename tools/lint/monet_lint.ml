@@ -50,6 +50,7 @@ let () =
       c_strict_allow = !strict_allow;
       c_secret_scope =
         (if !secret_all then fun _ -> true else Lint_engine.default_secret_scope);
+      c_doc_scope = Lint_engine.default_doc_scope;
     }
   in
   let report =

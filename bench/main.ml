@@ -297,7 +297,7 @@ let line_network ?(precompute = 4) ~n label =
     with
     | Ok (eid, _) -> (
         if precompute > 0 then
-          match Ch.exchange_batches (Graph.edge t eid).Graph.e_channel ~n:precompute with
+          match Ch.exchange_batches (Graph.channel_exn (Graph.edge t eid)) ~n:precompute with
           | Ok _ -> ()
           | Error e -> ch_err e)
     | Error e -> failwith e

@@ -1,0 +1,307 @@
+(* Network throughput benchmark — the measured replacement for the
+   paper's extrapolated "1.1M TPS" headline (EXPERIMENTS.md E2/E7,
+   DESIGN.md §3.9).
+
+   For each synthetic topology (hub/spoke, Barabási–Albert scale-free,
+   2-D grid) this drives an open-arrival payment workload through
+   Monet_net.Workload on the discrete-event clock: Poisson arrivals,
+   fee-aware Dijkstra routing, per-node service queues. Network TPS is
+   measured on the simulated clock — completions over sim-time — so
+   hub saturation and liquidity depletion genuinely cap it.
+
+   Emits BENCH_net.json (schema monet-net-bench/1) with one row per
+   topology: success rate vs offered load, measured TPS, liquidity
+   depletion over sim-time, and op-count provenance from the obs
+   registry (routes, Dijkstra node settles / edge relaxations). The
+   committed BENCH_net.json at the repo root is produced by:
+
+     dune exec bench/net_bench.exe -- -o BENCH_net.json
+
+   `--smoke` runs tiny populations and then re-reads the emitted file
+   through a small JSON parser, failing if it is malformed or missing
+   a field — wired into `dune build @bench-net-smoke` (and `check`). *)
+
+module Graph = Monet_net.Graph
+module Topo = Monet_net.Topo
+module Workload = Monet_net.Workload
+module Metrics = Monet_obs.Metrics
+
+let seed = 0x6e31
+
+type row = {
+  r_topology : string;
+  r_nodes : int;
+  r_edges : int;
+  r_report : Workload.report;
+  r_routes : int; (* obs: Router.find_path calls *)
+  r_settled : int; (* obs: Dijkstra nodes settled *)
+  r_relaxed : int; (* obs: edge relaxations *)
+  r_wall_s : float;
+}
+
+let counter_delta diff name =
+  match List.assoc_opt name diff with Some n -> n | None -> 0
+
+let run_topology ~(spec : Topo.spec) ~(balance : int) ~(cfg : Workload.config) :
+    row =
+  let g = Monet_hash.Drbg.of_int seed in
+  let t =
+    match Topo.build ~balance ~fee_base:1 ~fee_ppm:100 g spec with
+    | Ok t -> t
+    | Error e -> failwith (Topo.name spec ^ ": " ^ e)
+  in
+  let rng = Monet_hash.Drbg.split g "workload" in
+  let before = Metrics.snapshot () in
+  let t0 = Sys.time () in
+  let report =
+    match Workload.run rng t cfg with
+    | Ok r -> r
+    | Error e -> failwith (Topo.name spec ^ ": workload: " ^ e)
+  in
+  let wall = Sys.time () -. t0 in
+  let diff = Metrics.diff ~before ~after:(Metrics.snapshot ()) in
+  {
+    r_topology = Topo.name spec;
+    r_nodes = Graph.n_nodes t;
+    r_edges = Graph.n_edges t;
+    r_report = report;
+    r_routes = counter_delta diff "net.route";
+    r_settled = counter_delta diff "net.route.settled";
+    r_relaxed = counter_delta diff "net.route.relaxed";
+    r_wall_s = wall;
+  }
+
+(* --- JSON out ------------------------------------------------------ *)
+
+let json_of_rows ~mode ~(cfg : Workload.config) (rows : row list) : string =
+  let b = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "{\n";
+  add "  \"schema\": \"monet-net-bench/1\",\n";
+  add "  \"mode\": \"%s\",\n" mode;
+  add "  \"seed\": %d,\n" seed;
+  add "  \"workload\": {\n";
+  add "    \"payments_per_topology\": %d,\n" cfg.Workload.n_payments;
+  add "    \"offered_rate_tps\": %.1f,\n" cfg.Workload.arrival_rate;
+  add "    \"amount_min\": %d,\n" cfg.Workload.amount_min;
+  add "    \"amount_max\": %d,\n" cfg.Workload.amount_max;
+  add "    \"hop_proc_ms\": %.1f\n" cfg.Workload.hop_proc_ms;
+  add "  },\n";
+  add "  \"rows\": {\n";
+  List.iteri
+    (fun i r ->
+      let rep = r.r_report in
+      add "    \"%s\": {\n" r.r_topology;
+      add "      \"nodes\": %d,\n" r.r_nodes;
+      add "      \"channels\": %d,\n" r.r_edges;
+      add "      \"payments_offered\": %d,\n" rep.Workload.offered;
+      add "      \"payments_completed\": %d,\n" rep.Workload.completed;
+      add "      \"payments_no_route\": %d,\n" rep.Workload.no_route;
+      add "      \"success_rate\": %.4f,\n" rep.Workload.success_rate;
+      add "      \"offered_rate_tps\": %.1f,\n" rep.Workload.offered_rate;
+      add "      \"measured_tps\": %.1f,\n" rep.Workload.tps;
+      add "      \"sim_seconds\": %.3f,\n" (rep.Workload.sim_ms /. 1000.0);
+      add "      \"avg_path_hops\": %.2f,\n" rep.Workload.avg_path_len;
+      add "      \"fees_paid\": %d,\n" rep.Workload.fees_paid;
+      add "      \"depleted_channels_final\": %d,\n" rep.Workload.depleted_final;
+      add "      \"conserved\": %b,\n" rep.Workload.conserved;
+      (* depletion over sim-time: [sim_s, depleted, completed] points *)
+      add "      \"depletion\": [";
+      List.iteri
+        (fun j (s : Workload.sample) ->
+          if j > 0 then add ", ";
+          add "[%.1f, %d, %d]" (s.Workload.s_time_ms /. 1000.0)
+            s.Workload.s_depleted s.Workload.s_completed)
+        rep.Workload.samples;
+      add "],\n";
+      add "      \"ops\": {\n";
+      add "        \"routes\": %d,\n" r.r_routes;
+      add "        \"dijkstra_settled\": %d,\n" r.r_settled;
+      add "        \"dijkstra_relaxed\": %d\n" r.r_relaxed;
+      add "      },\n";
+      add "      \"wall_seconds\": %.2f\n" r.r_wall_s;
+      add "    }%s\n" (if i < List.length rows - 1 then "," else ""))
+    rows;
+  add "  }\n}\n";
+  Buffer.contents b
+
+(* Minimal JSON parser (objects / arrays / strings / numbers /
+   booleans — the subset we emit), used by --smoke to validate the
+   file we just wrote. *)
+exception Bad_json of string
+
+let parse_json (s : string) : string list =
+  let n = String.length s in
+  let i = ref 0 in
+  let keys = ref [] in
+  let peek () = if !i >= n then raise (Bad_json "unexpected eof") else s.[!i] in
+  let adv () = incr i in
+  let rec skip_ws () =
+    if !i < n then
+      match s.[!i] with ' ' | '\n' | '\t' | '\r' -> adv (); skip_ws () | _ -> ()
+  in
+  let expect c =
+    skip_ws ();
+    if peek () <> c then raise (Bad_json (Printf.sprintf "expected '%c'" c));
+    adv ()
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      let c = peek () in
+      adv ();
+      if c = '"' then Buffer.contents b
+      else if c = '\\' then begin
+        Buffer.add_char b (peek ());
+        adv ();
+        go ()
+      end
+      else begin
+        Buffer.add_char b c;
+        go ()
+      end
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !i in
+    let num_char c =
+      match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+    in
+    while !i < n && num_char s.[!i] do
+      adv ()
+    done;
+    match float_of_string_opt (String.sub s start (!i - start)) with
+    | Some f when Float.is_finite f -> ()
+    | _ -> raise (Bad_json "bad number")
+  in
+  let parse_lit lit =
+    String.iter
+      (fun c ->
+        if peek () <> c then raise (Bad_json ("expected " ^ lit));
+        adv ())
+      lit
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' -> parse_obj ()
+    | '[' -> parse_arr ()
+    | '"' -> ignore (parse_string ())
+    | 't' -> parse_lit "true"
+    | 'f' -> parse_lit "false"
+    | '-' | '0' .. '9' -> parse_number ()
+    | c -> raise (Bad_json (Printf.sprintf "unexpected '%c'" c))
+  and parse_arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = ']' then adv ()
+    else
+      let rec elems () =
+        parse_value ();
+        skip_ws ();
+        if peek () = ',' then begin
+          adv ();
+          elems ()
+        end
+        else expect ']'
+      in
+      elems ()
+  and parse_obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = '}' then adv ()
+    else
+      let rec members () =
+        skip_ws ();
+        keys := parse_string () :: !keys;
+        expect ':';
+        parse_value ();
+        skip_ws ();
+        if peek () = ',' then begin
+          adv ();
+          members ()
+        end
+        else expect '}'
+      in
+      members ()
+  in
+  parse_value ();
+  skip_ws ();
+  if !i <> n then raise (Bad_json "trailing data");
+  !keys
+
+let required_keys =
+  [
+    "schema"; "mode"; "seed"; "workload"; "rows"; "hub_spoke"; "scale_free";
+    "grid"; "nodes"; "channels"; "success_rate"; "offered_rate_tps";
+    "measured_tps"; "sim_seconds"; "depleted_channels_final"; "depletion";
+    "conserved"; "ops"; "routes"; "dijkstra_settled"; "fees_paid";
+  ]
+
+(* --- main ----------------------------------------------------------- *)
+
+let () =
+  let smoke = Array.exists (( = ) "--smoke") Sys.argv in
+  let out = ref "BENCH_net.json" in
+  Array.iteri
+    (fun i a -> if a = "-o" && i + 1 < Array.length Sys.argv then out := Sys.argv.(i + 1))
+    Sys.argv;
+  (* Metrics ON here, deliberately: this bench measures sim-time
+     throughput, not wall time, and the counters are the op-count
+     provenance each row carries. *)
+  Metrics.enable ();
+  let specs, balance, cfg =
+    if smoke then
+      ( [ Topo.Hub_spoke { hubs = 4; spokes_per_hub = 14 };
+          Topo.Scale_free { nodes = 60; m = 2 };
+          Topo.Grid { rows = 8; cols = 8 } ],
+        5_000,
+        { Workload.n_payments = 500; arrival_rate = 200.0; amount_min = 10;
+          amount_max = 1_000; hop_proc_ms = 20.0; sample_every_ms = 500.0 } )
+    else
+      ( [ Topo.Hub_spoke { hubs = 16; spokes_per_hub = 63 };
+          Topo.Scale_free { nodes = 1_024; m = 2 };
+          Topo.Grid { rows = 32; cols = 32 } ],
+        5_000,
+        { Workload.n_payments = 100_000; arrival_rate = 2_000.0; amount_min = 10;
+          amount_max = 1_000; hop_proc_ms = 20.0; sample_every_ms = 20_000.0 } )
+  in
+  let rows = List.map (fun spec -> run_topology ~spec ~balance ~cfg) specs in
+  Printf.printf "%-11s %6s %8s %9s %9s %9s %8s %9s\n" "topology" "nodes"
+    "channels" "offered/s" "meas.TPS" "success" "depleted" "wall(s)";
+  List.iter
+    (fun r ->
+      let rep = r.r_report in
+      Printf.printf "%-11s %6d %8d %9.1f %9.1f %8.1f%% %8d %9.2f\n" r.r_topology
+        r.r_nodes r.r_edges rep.Workload.offered_rate rep.Workload.tps
+        (100.0 *. rep.Workload.success_rate)
+        rep.Workload.depleted_final r.r_wall_s)
+    rows;
+  List.iter
+    (fun r ->
+      if not r.r_report.Workload.conserved then
+        failwith (r.r_topology ^ ": wealth not conserved"))
+    rows;
+  let json = json_of_rows ~mode:(if smoke then "smoke" else "full") ~cfg rows in
+  let oc = open_out !out in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote %s\n%!" !out;
+  if smoke then begin
+    let ic = open_in !out in
+    let len = in_channel_length ic in
+    let contents = really_input_string ic len in
+    close_in ic;
+    let keys =
+      try parse_json contents
+      with Bad_json m -> failwith ("BENCH_net.json invalid: " ^ m)
+    in
+    List.iter
+      (fun k ->
+        if not (List.mem k keys) then
+          failwith (Printf.sprintf "BENCH_net.json missing key %S" k))
+      required_keys;
+    Printf.printf "smoke: JSON validated (%d keys)\n%!" (List.length keys)
+  end

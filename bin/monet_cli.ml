@@ -14,6 +14,8 @@ module Ch = Monet_channel.Channel
 module Graph = Monet_net.Graph
 module Router = Monet_net.Router
 module Payment = Monet_net.Payment
+module Topo = Monet_net.Topo
+module Workload = Monet_net.Workload
 module Tp = Monet_sig.Two_party
 open Cmdliner
 
@@ -167,7 +169,7 @@ let topology verbose seed reps nodes channels =
         (Graph.balance_of e ~node_id:e.Graph.e_left)
         (Graph.node t e.Graph.e_right).Graph.n_name
         (Graph.balance_of e ~node_id:e.Graph.e_right))
-    (List.rev t.Graph.edges);
+    (Graph.edge_list t);
   0
 
 (* --- vcof --- *)
@@ -297,6 +299,48 @@ let trace verbose seed reps scenario out =
             0)
   end
 
+(* --- net run: population-scale workload --- *)
+
+let net_run verbose seed topology nodes payments rate balance fee_base fee_ppm =
+  setup_logs verbose;
+  match Topo.spec_of_string topology ~nodes with
+  | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      1
+  | Ok spec -> (
+      let g = Monet_hash.Drbg.of_int seed in
+      match Topo.build ~balance ~fee_base ~fee_ppm g spec with
+      | Error e ->
+          Printf.eprintf "error: %s\n" e;
+          1
+      | Ok t -> (
+          let rng = Monet_hash.Drbg.split g "workload" in
+          let cfg =
+            { Workload.default_config with
+              Workload.n_payments = payments; arrival_rate = rate }
+          in
+          Printf.printf "%s: %d nodes, %d channels; %d payments at %.0f/s\n%!"
+            (Topo.name spec) (Graph.n_nodes t) (Graph.n_edges t) payments rate;
+          match Workload.run rng t cfg with
+          | Error e ->
+              Printf.eprintf "error: %s\n" e;
+              1
+          | Ok r ->
+              Printf.printf "completed %d/%d (%.1f%% success, %d no-route)\n"
+                r.Workload.completed r.Workload.offered
+                (100.0 *. r.Workload.success_rate)
+                r.Workload.no_route;
+              Printf.printf
+                "measured TPS %.1f over %.1f sim-seconds (offered %.1f/s)\n"
+                r.Workload.tps
+                (r.Workload.sim_ms /. 1000.0)
+                r.Workload.offered_rate;
+              Printf.printf "avg path %.2f hops, fees paid %d, %d depleted channels\n"
+                r.Workload.avg_path_len r.Workload.fees_paid
+                r.Workload.depleted_final;
+              Printf.printf "wealth conserved: %b\n" r.Workload.conserved;
+              if r.Workload.conserved then 0 else 1))
+
 (* --- cmdliner plumbing --- *)
 
 let demo_cmd =
@@ -340,6 +384,42 @@ let trace_cmd =
   Cmd.v (Cmd.info "trace" ~doc:"Replay a scenario and print its span tree")
     Term.(const trace $ verbose_arg $ seed_arg $ reps_arg $ scenario $ out)
 
+let net_cmd =
+  let run_cmd =
+    let topology =
+      Arg.(value & opt string "scale_free"
+           & info [ "topology" ] ~docv:"SHAPE"
+               ~doc:"Topology: hub_spoke, scale_free or grid.")
+    in
+    let nodes = Arg.(value & opt int 1000 & info [ "nodes" ] ~doc:"Population size.") in
+    let payments =
+      Arg.(value & opt int 10_000 & info [ "payments" ] ~doc:"Payment arrivals.")
+    in
+    let rate =
+      Arg.(value & opt float 500.0
+           & info [ "rate" ] ~doc:"Offered load, payments per sim-second.")
+    in
+    let balance =
+      Arg.(value & opt int 50_000
+           & info [ "balance" ] ~doc:"Per-side channel balance.")
+    in
+    let fee_base =
+      Arg.(value & opt int 1 & info [ "fee-base" ] ~doc:"Flat forwarding fee.")
+    in
+    let fee_ppm =
+      Arg.(value & opt int 100
+           & info [ "fee-ppm" ] ~doc:"Proportional forwarding fee (parts per million).")
+    in
+    Cmd.v
+      (Cmd.info "run"
+         ~doc:"Measure network TPS under an open-arrival payment workload")
+      Term.(const net_run $ verbose_arg $ seed_arg $ topology $ nodes $ payments
+            $ rate $ balance $ fee_base $ fee_ppm)
+  in
+  Cmd.group
+    (Cmd.info "net" ~doc:"Population-scale network engine (topologies + workloads)")
+    [ run_cmd ]
+
 let () =
   let info = Cmd.info "monet-cli" ~doc:"MoNet payment channel network playground" in
-  exit (Cmd.eval' (Cmd.group info [ demo_cmd; pay_cmd; dispute_cmd; topology_cmd; vcof_cmd; trace_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ demo_cmd; pay_cmd; dispute_cmd; topology_cmd; vcof_cmd; trace_cmd; net_cmd ]))

@@ -55,7 +55,7 @@ let () =
         (Graph.balance_of e ~node_id:e.Graph.e_left)
         (Graph.node net e.Graph.e_right).Graph.n_name
         (Graph.balance_of e ~node_id:e.Graph.e_right))
-    (List.rev net.Graph.edges);
+    (Graph.edge_list net);
 
   (* And a payment whose receiver refuses to reveal: everything
      cancels, nobody is half-paid. *)

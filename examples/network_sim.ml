@@ -32,9 +32,10 @@ let () =
   let tower = Monet_channel.Watchtower.create () in
   List.iter
     (fun (e : Graph.edge) ->
-      Monet_channel.Watchtower.watch tower e.Graph.e_channel ~victim:Monet_sig.Two_party.Alice;
-      Monet_channel.Watchtower.watch tower e.Graph.e_channel ~victim:Monet_sig.Two_party.Bob)
-    net.Graph.edges;
+      let c = Graph.channel_exn e in
+      Monet_channel.Watchtower.watch tower c ~victim:Monet_sig.Two_party.Alice;
+      Monet_channel.Watchtower.watch tower c ~victim:Monet_sig.Two_party.Bob)
+    (Graph.edge_list net);
 
   let clock = Monet_dsim.Clock.create () in
   Monet_channel.Watchtower.schedule tower clock ~interval_ms:2000.0 ~until_ms:60_000.0;
@@ -64,7 +65,7 @@ let () =
      its first channel. The watchtower catches it on its next tick. *)
   Monet_dsim.Clock.schedule clock ~delay:30_500.0 (fun () ->
       let e = Graph.edge net 1 in
-      let c = e.Graph.e_channel in
+      let c = Graph.channel_exn e in
       if (not c.Ch.a.Ch.closed) && c.Ch.a.Ch.state >= 2 && c.Ch.a.Ch.lock = None then begin
         let victim_old = Ch.my_witness_at c.Ch.a ~state:1 in
         match
@@ -90,4 +91,4 @@ let () =
         (Graph.node net e.Graph.e_right).Graph.n_name
         (Graph.balance_of e ~node_id:e.Graph.e_right)
         (if Graph.is_open e then "" else "  [closed]"))
-    (List.rev net.Graph.edges)
+    (Graph.edge_list net)

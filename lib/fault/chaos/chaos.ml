@@ -84,6 +84,12 @@ let run ?(cfg = chaos_cfg) ?(n_hops = 3) ?(amount = 25) ~(seed : int)
         Graph.add_node t ~name:(Printf.sprintf "n%d" i))
   in
   Array.iter (fun id -> Graph.fund_node t id ~amount:2_000) nodes;
+  (* Intermediaries charge a small forwarding fee, so every schedule
+     also exercises fee-adjusted lock amounts and the fee-level
+     conservation check below. *)
+  for i = 1 to n_hops - 1 do
+    Graph.set_fee t nodes.(i) ~fee:1
+  done;
   (* Line topology. Two plain updates per channel give the punishment
      path genuinely old states (0 and 1) below the latest. *)
   let rec build i acc =
@@ -95,7 +101,7 @@ let run ?(cfg = chaos_cfg) ?(n_hops = 3) ?(amount = 25) ~(seed : int)
       with
       | Error e -> Error (Printf.sprintf "open hop %d: %s" i e)
       | Ok (eid, _) -> (
-          let ch = (Graph.edge t eid).Graph.e_channel in
+          let ch = Graph.channel_exn (Graph.edge t eid) in
           match (Ch.update ch ~amount_from_a:10, Ch.update ch ~amount_from_a:10) with
           | Error e, _ | _, Error e ->
               Error
@@ -106,7 +112,7 @@ let run ?(cfg = chaos_cfg) ?(n_hops = 3) ?(amount = 25) ~(seed : int)
   | Error e -> Error e
   | Ok edge_ids -> (
       let edge_ids = Array.of_list edge_ids in
-      let channel_of i = (Graph.edge t edge_ids.(i)).Graph.e_channel in
+      let channel_of i = Graph.channel_exn (Graph.edge t edge_ids.(i)) in
       (* Scheduled transport on a shared clock + per-link fault plans;
          establishment and the warm-up updates above ran faultless. *)
       let clock = Monet_dsim.Clock.create () in
@@ -172,6 +178,10 @@ let run ?(cfg = chaos_cfg) ?(n_hops = 3) ?(amount = 25) ~(seed : int)
       with
       | Error e -> Error ("routing: " ^ e)
       | Ok path -> (
+          let wealth_before =
+            Array.to_list
+              (Array.map (fun id -> (id, Invariant.wealth t id)) nodes)
+          in
           match
             Payment.execute_recoverable t ~path ~amount ~receiver_cooperates
               ~tower ~clock ~on_locked ~base_timer:2_000 ~timer_delta:500 ()
@@ -201,9 +211,25 @@ let run ?(cfg = chaos_cfg) ?(n_hops = 3) ?(amount = 25) ~(seed : int)
                 final.Watchtower.punished;
               let violations = ref (Invariant.check t ~settled:!settled) in
               let add v = violations := !violations @ [ v ] in
+              (* When everything stayed off-chain, conservation must
+                 hold down to the fee level: each party's wealth moved
+                 by exactly its role's share of the payment. *)
+              let all_off_chain =
+                Array.for_all
+                  (function
+                    | Payment.Hop_pending | Payment.Hop_unlocked
+                    | Payment.Hop_cancelled ->
+                        true
+                    | Payment.Hop_disputed _ | Payment.Hop_punished _ -> false)
+                  r.Payment.r_fates
+              in
+              if all_off_chain then
+                List.iter add
+                  (Invariant.check_payment_delta t ~wealth_before ~path ~amount
+                     ~delivered:r.Payment.r_delivered);
               (* Tower bookkeeping reconciles with the fates. *)
               let n_open =
-                List.length (List.filter Graph.is_open t.Graph.edges)
+                List.length (List.filter Graph.is_open (Graph.edge_list t))
               in
               if Watchtower.watched_count tower > n_open then
                 add "watchtower still watches a closed channel";

@@ -22,10 +22,16 @@
       key image is spent.
 
     The per-edge capacity checks compose into global conservation:
-    Σ capacities = Σ open balances + Σ closed payouts. *)
+    Σ capacities = Σ open balances + Σ closed payouts.
+
+    {!check_payment_delta} sharpens conservation to the fee level for
+    runs that stayed off-chain: the sender's wealth drops by amount
+    plus fees, the receiver's rises by exactly the amount, and every
+    intermediary's rises by exactly its forwarding fee. *)
 
 module Ch = Monet_channel.Channel
 module Graph = Monet_net.Graph
+module Router = Monet_net.Router
 module Tp = Monet_sig.Two_party
 
 (** Check the graph against the settlements the run recorded
@@ -39,49 +45,109 @@ let check (t : Graph.t) ~(settled : (int * Ch.payout) list) : string list =
     Hashtbl.mem ledger.Monet_xmr.Ledger.key_images
       (Monet_ec.Point.encode ch.Ch.a.Ch.joint.Tp.key_image)
   in
-  List.iter
-    (fun (e : Graph.edge) ->
-      let ch = e.Graph.e_channel in
-      let a = ch.Ch.a and b = ch.Ch.b in
-      let cap = a.Ch.capacity in
+  Graph.iter_edges t (fun (e : Graph.edge) ->
       let tag = Printf.sprintf "edge %d" e.Graph.e_id in
-      (* Both parties must hold the same view of the channel. *)
-      if a.Ch.state <> b.Ch.state then
-        err "%s: state views diverge (%d vs %d)" tag a.Ch.state b.Ch.state;
-      if a.Ch.closed <> b.Ch.closed then err "%s: closed views diverge" tag;
-      if
-        a.Ch.my_balance <> b.Ch.their_balance
-        || a.Ch.their_balance <> b.Ch.my_balance
-      then err "%s: balance views diverge" tag;
-      if (a.Ch.lock = None) <> (b.Ch.lock = None) then
-        err "%s: lock views diverge" tag;
       let settlements =
         List.filter_map
           (fun (id, p) -> if id = e.Graph.e_id then Some p else None)
           settled
       in
-      if a.Ch.closed then begin
-        (match settlements with
-        | [ p ] ->
-            if p.Ch.pay_a + p.Ch.pay_b <> cap then
-              err "%s: on-chain payout %d+%d does not conserve capacity %d" tag
-                p.Ch.pay_a p.Ch.pay_b cap
-        | [] -> err "%s: closed with no recorded settlement" tag
-        | ps -> err "%s: settled %d times (double punishment?)" tag (List.length ps));
-        if not (funding_spent ch) then
-          err "%s: closed but the funding key image is unspent" tag
-      end
-      else begin
-        if a.Ch.my_balance < 0 || b.Ch.my_balance < 0 then
-          err "%s: negative balance" tag;
-        if a.Ch.my_balance + b.Ch.my_balance <> cap then
-          err "%s: off-chain balances %d+%d do not conserve capacity %d" tag
-            a.Ch.my_balance b.Ch.my_balance cap;
-        if a.Ch.lock <> None then err "%s: lock left pending after recovery" tag;
-        if funding_spent ch then
-          err "%s: open but the funding key image is spent" tag;
-        if settlements <> [] then
-          err "%s: settlement recorded for an open channel" tag
-      end)
-    t.Graph.edges;
+      match e.Graph.e_channel with
+      | Graph.Sim s ->
+          (* Simulated channels settle nothing on-chain; conservation
+             is the balance pair staying non-negative (the transfer
+             API conserves their sum by construction). *)
+          if s.Graph.sim_left < 0 || s.Graph.sim_right < 0 then
+            err "%s: negative simulated balance" tag;
+          if settlements <> [] then
+            err "%s: on-chain settlement recorded for a simulated channel" tag
+      | Graph.Real ch ->
+          let a = ch.Ch.a and b = ch.Ch.b in
+          let cap = a.Ch.capacity in
+          (* Both parties must hold the same view of the channel. *)
+          if a.Ch.state <> b.Ch.state then
+            err "%s: state views diverge (%d vs %d)" tag a.Ch.state b.Ch.state;
+          if a.Ch.closed <> b.Ch.closed then err "%s: closed views diverge" tag;
+          if
+            a.Ch.my_balance <> b.Ch.their_balance
+            || a.Ch.their_balance <> b.Ch.my_balance
+          then err "%s: balance views diverge" tag;
+          if (a.Ch.lock = None) <> (b.Ch.lock = None) then
+            err "%s: lock views diverge" tag;
+          if a.Ch.closed then begin
+            (match settlements with
+            | [ p ] ->
+                if p.Ch.pay_a + p.Ch.pay_b <> cap then
+                  err "%s: on-chain payout %d+%d does not conserve capacity %d"
+                    tag p.Ch.pay_a p.Ch.pay_b cap
+            | [] -> err "%s: closed with no recorded settlement" tag
+            | ps ->
+                err "%s: settled %d times (double punishment?)" tag
+                  (List.length ps));
+            if not (funding_spent ch) then
+              err "%s: closed but the funding key image is unspent" tag
+          end
+          else begin
+            if a.Ch.my_balance < 0 || b.Ch.my_balance < 0 then
+              err "%s: negative balance" tag;
+            if a.Ch.my_balance + b.Ch.my_balance <> cap then
+              err "%s: off-chain balances %d+%d do not conserve capacity %d" tag
+                a.Ch.my_balance b.Ch.my_balance cap;
+            if a.Ch.lock <> None then
+              err "%s: lock left pending after recovery" tag;
+            if funding_spent ch then
+              err "%s: open but the funding key image is spent" tag;
+            if settlements <> [] then
+              err "%s: settlement recorded for an open channel" tag
+          end);
+  List.rev !errs
+
+(** A node's off-chain wealth: the sum of its balances across its open
+    channels. *)
+let wealth (t : Graph.t) (v : int) : int =
+  List.fold_left
+    (fun acc e -> acc + Graph.balance_of e ~node_id:v)
+    0 (Graph.edges_of t v)
+
+(** Fee-level conservation for a payment that stayed entirely
+    off-chain (every hop unlocked or cancelled, nothing settled
+    on-chain). Given per-node wealth snapshots from before the
+    payment: if [delivered], the sender must be down by exactly
+    amount-plus-fees, the receiver up by exactly [amount], and each
+    intermediary up by exactly its forwarding fee ({!Router.amounts});
+    otherwise every snapshot must be unchanged. Returns violations,
+    [] = fees conserved. *)
+let check_payment_delta (t : Graph.t) ~(wealth_before : (int * int) list)
+    ~(path : Router.hop list) ~(amount : int) ~(delivered : bool) : string list
+    =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  let expected = Hashtbl.create 8 in
+  let add v d =
+    let cur = try Hashtbl.find expected v with Not_found -> 0 in
+    Hashtbl.replace expected v (cur + d)
+  in
+  let hops = Array.of_list path in
+  let n = Array.length hops in
+  if delivered && n > 0 then begin
+    let amts = Array.of_list (Router.amounts t ~amount path) in
+    add hops.(0).Router.h_payer (-amts.(0));
+    let receiver =
+      Graph.peer_of hops.(n - 1).Router.h_edge
+        ~node_id:hops.(n - 1).Router.h_payer
+    in
+    add receiver amount;
+    for i = 1 to n - 1 do
+      (* the intermediary between hops i-1 and i keeps its fee *)
+      add hops.(i).Router.h_payer (amts.(i - 1) - amts.(i))
+    done
+  end;
+  List.iter
+    (fun (v, before) ->
+      let delta = try Hashtbl.find expected v with Not_found -> 0 in
+      let got = wealth t v in
+      if got <> before + delta then
+        err "node %d: wealth %d after the payment, expected %d (fees not conserved)"
+          v got (before + delta))
+    wealth_before;
   List.rev !errs

@@ -1,20 +1,54 @@
-(** The MoNet channel graph: nodes (users) and the MoChannels between
-    them. Nodes own wallets on the simulated Monero ledger and an onion
-    key for AMHL setup delivery. *)
+(** The MoNet channel graph, rebuilt for population scale.
+
+    Nodes and edges live in growable arrays indexed by id, and every
+    node keeps an adjacency index of incident edge ids, so [node] /
+    [edge] are O(1) and [edges_of] is O(degree) — the seed's
+    assoc-list representation scanned every node and every edge on
+    each lookup and topped out at toy sizes.
+
+    Two kinds of channel back an edge:
+
+    - {b Real} — a full MoChannel with the complete cryptographic
+      protocol stack behind it ({!open_channel}); used by the
+      payment/chaos/dispute machinery.
+    - {b Sim} — a balance-pair abstraction of a channel
+      ({!open_sim_channel}); no wallets, no signatures. This is what
+      lets {!Topo} build thousand-node networks and {!Workload} push
+      hundreds of thousands of payments through them while measuring
+      network-level throughput (ROADMAP item 1).
+
+    Node cryptographic material (onion keypair, on-ledger wallet) is
+    created lazily from a per-node DRBG split taken at {!add_node}, so
+    population-scale graphs never pay for key generation while the
+    real-channel API keeps working unchanged and deterministically. *)
 
 module Ch = Monet_channel.Channel
+
+(** Balance pair of a simulated (crypto-free) channel. *)
+type sim_state = {
+  mutable sim_left : int; (* spendable balance of [e_left] *)
+  mutable sim_right : int; (* spendable balance of [e_right] *)
+  mutable sim_closed : bool;
+}
+
+(** What backs an edge: a full MoChannel or a balance-only simulated
+    channel. *)
+type chan = Real of Ch.channel | Sim of sim_state
 
 type node = {
   n_id : int;
   n_name : string;
-  n_onion : Monet_sig.Sig_core.keypair;
-  n_wallet : Monet_xmr.Wallet.t;
+  n_onion : Monet_sig.Sig_core.keypair Lazy.t;
+  n_wallet : Monet_xmr.Wallet.t Lazy.t;
   mutable n_fee_base : int; (* flat fee charged for forwarding a payment *)
+  mutable n_fee_ppm : int; (* proportional fee, parts-per-million of amount *)
+  mutable n_adj : int array; (* incident edge ids; first n_deg are live *)
+  mutable n_deg : int;
 }
 
 type edge = {
   e_id : int;
-  e_channel : Ch.channel;
+  e_channel : chan;
   e_left : int; (* node that plays channel-party A *)
   e_right : int; (* node that plays channel-party B *)
 }
@@ -23,10 +57,10 @@ type t = {
   env : Ch.env;
   g : Monet_hash.Drbg.t;
   cfg : Ch.config;
-  mutable nodes : node list; (* reverse order of creation *)
-  mutable edges : edge list;
-  mutable next_node : int;
-  mutable next_edge : int;
+  mutable node_arr : node array; (* first node_count are live; id = index *)
+  mutable node_count : int;
+  mutable edge_arr : edge array; (* first edge_count are live; id = index+1 *)
+  mutable edge_count : int;
 }
 
 let create ?(cfg = Ch.default_config) (g : Monet_hash.Drbg.t) : t =
@@ -34,83 +68,241 @@ let create ?(cfg = Ch.default_config) (g : Monet_hash.Drbg.t) : t =
     env = Ch.make_env (Monet_hash.Drbg.split g "env");
     g;
     cfg;
-    nodes = [];
-    edges = [];
-    next_node = 0;
-    next_edge = 1;
+    node_arr = [||];
+    node_count = 0;
+    edge_arr = [||];
+    edge_count = 0;
   }
 
+let n_nodes (t : t) : int = t.node_count
+let n_edges (t : t) : int = t.edge_count
+
+(* Growable-array push: amortized O(1), doubling capacity, using the
+   pushed element itself as filler so no dummy value is needed. *)
+let push_node (t : t) (nd : node) : unit =
+  if t.node_count = Array.length t.node_arr then begin
+    let cap = max 8 (2 * t.node_count) in
+    let bigger = Array.make cap nd in
+    Array.blit t.node_arr 0 bigger 0 t.node_count;
+    t.node_arr <- bigger
+  end;
+  t.node_arr.(t.node_count) <- nd;
+  t.node_count <- t.node_count + 1
+
+let push_edge (t : t) (e : edge) : unit =
+  if t.edge_count = Array.length t.edge_arr then begin
+    let cap = max 8 (2 * t.edge_count) in
+    let bigger = Array.make cap e in
+    Array.blit t.edge_arr 0 bigger 0 t.edge_count;
+    t.edge_arr <- bigger
+  end;
+  t.edge_arr.(t.edge_count) <- e;
+  t.edge_count <- t.edge_count + 1
+
 let add_node (t : t) ~(name : string) : int =
-  let gn = Monet_hash.Drbg.split t.g ("node/" ^ string_of_int t.next_node) in
+  let gn = Monet_hash.Drbg.split t.g ("node/" ^ string_of_int t.node_count) in
+  let g_onion = Monet_hash.Drbg.split gn "onion" in
+  let g_wallet = Monet_hash.Drbg.split gn "wallet" in
+  let ring_size = t.cfg.Ch.ring_size in
   let node =
     {
-      n_id = t.next_node;
+      n_id = t.node_count;
       n_name = name;
-      n_onion = Monet_sig.Sig_core.gen gn;
-      n_wallet = Monet_xmr.Wallet.create ~ring_size:t.cfg.ring_size gn ~label:name;
+      n_onion = lazy (Monet_sig.Sig_core.gen g_onion);
+      n_wallet = lazy (Monet_xmr.Wallet.create ~ring_size g_wallet ~label:name);
       n_fee_base = 0;
+      n_fee_ppm = 0;
+      n_adj = [||];
+      n_deg = 0;
     }
   in
-  t.nodes <- node :: t.nodes;
-  t.next_node <- t.next_node + 1;
+  push_node t node;
   node.n_id
 
 let node (t : t) (id : int) : node =
-  match List.find_opt (fun n -> n.n_id = id) t.nodes with
-  | Some n -> n
-  | None -> invalid_arg (Printf.sprintf "Graph.node: no node %d" id)
+  if id < 0 || id >= t.node_count then
+    invalid_arg (Printf.sprintf "Graph.node: no node %d" id)
+  else t.node_arr.(id)
+
+(** Force a node's onion keypair (AMHL packet delivery). *)
+let onion_of (n : node) : Monet_sig.Sig_core.keypair = Lazy.force n.n_onion
+
+(** Force a node's on-ledger wallet. *)
+let wallet_of (n : node) : Monet_xmr.Wallet.t = Lazy.force n.n_wallet
 
 (** Mint on-ledger funds for a node's wallet (genesis allocation). *)
 let fund_node (t : t) (id : int) ~(amount : int) : unit =
   let n = node t id in
-  let kp = Monet_sig.Sig_core.gen n.n_wallet.Monet_xmr.Wallet.g in
-  Monet_xmr.Ledger.ensure_decoys t.g t.env.Ch.ledger ~amount ~n:(3 * t.cfg.ring_size);
+  let w = wallet_of n in
+  let kp = Monet_sig.Sig_core.gen w.Monet_xmr.Wallet.g in
+  Monet_xmr.Ledger.ensure_decoys t.g t.env.Ch.ledger ~amount ~n:(3 * t.cfg.Ch.ring_size);
   let idx =
     Monet_xmr.Ledger.genesis_output t.env.Ch.ledger
       { Monet_xmr.Tx.otk = kp.Monet_sig.Sig_core.vk; amount }
   in
-  Monet_xmr.Wallet.adopt n.n_wallet ~global_index:idx ~keypair:kp ~amount
+  Monet_xmr.Wallet.adopt w ~global_index:idx ~keypair:kp ~amount
+
+let add_adj (n : node) (eid : int) : unit =
+  if n.n_deg = Array.length n.n_adj then begin
+    let cap = max 4 (2 * n.n_deg) in
+    let bigger = Array.make cap eid in
+    Array.blit n.n_adj 0 bigger 0 n.n_deg;
+    n.n_adj <- bigger
+  end;
+  n.n_adj.(n.n_deg) <- eid;
+  n.n_deg <- n.n_deg + 1
+
+let index_edge (t : t) (e : edge) : unit =
+  push_edge t e;
+  add_adj (node t e.e_left) e.e_id;
+  add_adj (node t e.e_right) e.e_id
 
 (** Open a MoChannel between two funded nodes. *)
 let open_channel (t : t) ~(left : int) ~(right : int) ~(bal_left : int)
     ~(bal_right : int) : (int * Ch.report, string) result =
   let nl = node t left and nr = node t right in
+  let id = t.edge_count + 1 in
   match
-    Ch.establish ~cfg:t.cfg t.env ~id:t.next_edge ~wallet_a:nl.n_wallet
-      ~wallet_b:nr.n_wallet ~bal_a:bal_left ~bal_b:bal_right
+    Ch.establish ~cfg:t.cfg t.env ~id ~wallet_a:(wallet_of nl)
+      ~wallet_b:(wallet_of nr) ~bal_a:bal_left ~bal_b:bal_right
   with
   | Error e -> Error (Ch.error_to_string e)
   | Ok (channel, rep) ->
       (* Reclaim funding change outputs mined during establishment. *)
-      Monet_xmr.Wallet.scan nl.n_wallet t.env.Ch.ledger;
-      Monet_xmr.Wallet.scan nr.n_wallet t.env.Ch.ledger;
-      let e =
-        { e_id = t.next_edge; e_channel = channel; e_left = left; e_right = right }
-      in
-      t.edges <- e :: t.edges;
-      t.next_edge <- t.next_edge + 1;
+      Monet_xmr.Wallet.scan (wallet_of nl) t.env.Ch.ledger;
+      Monet_xmr.Wallet.scan (wallet_of nr) t.env.Ch.ledger;
+      let e = { e_id = id; e_channel = Real channel; e_left = left; e_right = right } in
+      index_edge t e;
       Ok (e.e_id, rep)
 
+(** Open a simulated (balance-only) channel: no wallets, no crypto —
+    the population-scale path used by {!Topo} and {!Workload}. *)
+let open_sim_channel (t : t) ~(left : int) ~(right : int) ~(bal_left : int)
+    ~(bal_right : int) : int =
+  if left = right then invalid_arg "Graph.open_sim_channel: left = right";
+  if bal_left < 0 || bal_right < 0 then
+    invalid_arg "Graph.open_sim_channel: negative balance";
+  ignore (node t left);
+  ignore (node t right);
+  let id = t.edge_count + 1 in
+  let e =
+    {
+      e_id = id;
+      e_channel = Sim { sim_left = bal_left; sim_right = bal_right; sim_closed = false };
+      e_left = left;
+      e_right = right;
+    }
+  in
+  index_edge t e;
+  id
+
 let edge (t : t) (id : int) : edge =
-  match List.find_opt (fun e -> e.e_id = id) t.edges with
-  | Some e -> e
-  | None -> invalid_arg (Printf.sprintf "Graph.edge: no edge %d" id)
+  if id < 1 || id > t.edge_count then
+    invalid_arg (Printf.sprintf "Graph.edge: no edge %d" id)
+  else t.edge_arr.(id - 1)
+
+(** The real MoChannel behind [e]; raises on simulated edges, which
+    have no protocol stack to drive. *)
+let channel_exn (e : edge) : Ch.channel =
+  match e.e_channel with
+  | Real c -> c
+  | Sim _ -> invalid_arg (Printf.sprintf "Graph.channel_exn: edge %d is simulated" e.e_id)
 
 (** The balance [node_id] holds in [e]. *)
 let balance_of (e : edge) ~(node_id : int) : int =
-  if e.e_left = node_id then e.e_channel.Ch.a.Ch.my_balance
-  else if e.e_right = node_id then e.e_channel.Ch.b.Ch.my_balance
-  else invalid_arg "Graph.balance_of: node not on edge"
+  match e.e_channel with
+  | Real c ->
+      if e.e_left = node_id then c.Ch.a.Ch.my_balance
+      else if e.e_right = node_id then c.Ch.b.Ch.my_balance
+      else invalid_arg "Graph.balance_of: node not on edge"
+  | Sim s ->
+      if e.e_left = node_id then s.sim_left
+      else if e.e_right = node_id then s.sim_right
+      else invalid_arg "Graph.balance_of: node not on edge"
 
 let peer_of (e : edge) ~(node_id : int) : int =
   if e.e_left = node_id then e.e_right
   else if e.e_right = node_id then e.e_left
   else invalid_arg "Graph.peer_of: node not on edge"
 
-let is_open (e : edge) : bool = not e.e_channel.Ch.a.Ch.closed
+let is_open (e : edge) : bool =
+  match e.e_channel with
+  | Real c -> not c.Ch.a.Ch.closed
+  | Sim s -> not s.sim_closed
+
+(** Total capacity of the edge (both sides). *)
+let capacity_of (e : edge) : int =
+  match e.e_channel with
+  | Real c -> c.Ch.a.Ch.capacity
+  | Sim s -> s.sim_left + s.sim_right
+
+(** Move [amount] across a simulated edge from [payer] to its peer.
+    Raises on real edges (those settle through the channel protocol)
+    and on insufficient balance — the router checks capacity first, so
+    a miss here is a caller bug. *)
+let sim_transfer (e : edge) ~(payer : int) ~(amount : int) : unit =
+  match e.e_channel with
+  | Real _ -> invalid_arg "Graph.sim_transfer: edge is a real channel"
+  | Sim s ->
+      if amount < 0 then invalid_arg "Graph.sim_transfer: negative amount";
+      if s.sim_closed then invalid_arg "Graph.sim_transfer: channel closed";
+      if e.e_left = payer then begin
+        if s.sim_left < amount then invalid_arg "Graph.sim_transfer: insufficient";
+        s.sim_left <- s.sim_left - amount;
+        s.sim_right <- s.sim_right + amount
+      end
+      else if e.e_right = payer then begin
+        if s.sim_right < amount then invalid_arg "Graph.sim_transfer: insufficient";
+        s.sim_right <- s.sim_right - amount;
+        s.sim_left <- s.sim_left + amount
+      end
+      else invalid_arg "Graph.sim_transfer: node not on edge"
+
+(** Apply [f] to every incident edge id of [node_id] — the raw O(deg)
+    adjacency walk (includes closed edges). *)
+let iter_adj (t : t) (node_id : int) (f : edge -> unit) : unit =
+  let n = node t node_id in
+  for i = 0 to n.n_deg - 1 do
+    f t.edge_arr.(n.n_adj.(i) - 1)
+  done
 
 let edges_of (t : t) (node_id : int) : edge list =
-  List.filter (fun e -> (e.e_left = node_id || e.e_right = node_id) && is_open e) t.edges
+  let acc = ref [] in
+  iter_adj t node_id (fun e -> if is_open e then acc := e :: !acc);
+  List.rev !acc
+
+(** Apply [f] to every edge, in id order. *)
+let iter_edges (t : t) (f : edge -> unit) : unit =
+  for i = 0 to t.edge_count - 1 do
+    f t.edge_arr.(i)
+  done
+
+(** All edges as a list, in id order (allocates; prefer {!iter_edges}
+    on large graphs). *)
+let edge_list (t : t) : edge list =
+  List.init t.edge_count (fun i -> t.edge_arr.(i))
+
+(** Sum of every edge's spendable balances — constant under routing
+    and sim transfers; the workload engine's conservation check. *)
+let total_balance (t : t) : int =
+  let sum = ref 0 in
+  iter_edges t (fun e ->
+      if is_open e then
+        sum := !sum + balance_of e ~node_id:e.e_left + balance_of e ~node_id:e.e_right);
+  !sum
 
 (** Set a node's forwarding fee (flat, per payment). *)
 let set_fee (t : t) (id : int) ~(fee : int) : unit = (node t id).n_fee_base <- fee
+
+(** Set a node's full forwarding-fee policy: [base] flat plus [ppm]
+    parts-per-million of the forwarded amount. *)
+let set_fee_policy (t : t) (id : int) ~(base : int) ~(ppm : int) : unit =
+  let n = node t id in
+  n.n_fee_base <- base;
+  n.n_fee_ppm <- ppm
+
+(** The fee [id] charges for forwarding [amount]:
+    [base + amount * ppm / 1_000_000]. *)
+let fee_of (t : t) (id : int) ~(amount : int) : int =
+  let n = node t id in
+  n.n_fee_base + (amount * n.n_fee_ppm / 1_000_000)

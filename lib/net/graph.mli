@@ -1,47 +1,75 @@
-(** The MoNet channel graph: nodes (users) and the MoChannels between
-    them. Nodes own wallets on the simulated Monero ledger and an onion
-    key for AMHL setup delivery. *)
+(** The MoNet channel graph, rebuilt for population scale: nodes and
+    edges in growable arrays with per-node adjacency indexes (O(1)
+    lookup, O(degree) neighborhood), lazily materialized node crypto,
+    and two channel backings — full MoChannels for the protocol
+    machinery and balance-only simulated channels for thousand-node
+    throughput measurement (DESIGN.md §3.9). *)
 
-(** A network participant: identity, onion keypair (AMHL packet
-    delivery), an on-ledger wallet and its flat forwarding fee. *)
+(** Balance pair of a simulated (crypto-free) channel. *)
+type sim_state = {
+  mutable sim_left : int;
+  mutable sim_right : int;
+  mutable sim_closed : bool;
+}
+
+(** What backs an edge: a full MoChannel ({!open_channel}) or a
+    balance-only simulated channel ({!open_sim_channel}). *)
+type chan = Real of Monet_channel.Channel.channel | Sim of sim_state
+
+(** A network participant. Onion keypair (AMHL packet delivery) and
+    on-ledger wallet are lazy: population-scale graphs never force
+    them. [n_adj]/[n_deg] are the adjacency index (incident edge ids);
+    treat them as internal and use {!edges_of} / {!iter_adj}. *)
 type node = {
   n_id : int;
   n_name : string;
-  n_onion : Monet_sig.Sig_core.keypair;
-  n_wallet : Monet_xmr.Wallet.t;
+  n_onion : Monet_sig.Sig_core.keypair Lazy.t;
+  n_wallet : Monet_xmr.Wallet.t Lazy.t;
   mutable n_fee_base : int;
+  mutable n_fee_ppm : int;
+  mutable n_adj : int array;
+  mutable n_deg : int;
 }
 
 (** A channel in the graph. [e_left] plays channel-party A, [e_right]
     plays B. *)
-type edge = {
-  e_id : int;
-  e_channel : Monet_channel.Channel.channel;
-  e_left : int;
-  e_right : int;
-}
+type edge = { e_id : int; e_channel : chan; e_left : int; e_right : int }
 
 (** The graph: a shared channel environment (ledger, script chain,
-    escrowers) plus the node and edge sets. *)
+    escrowers) plus the node and edge stores. [node_arr]/[edge_arr]
+    are internal growable arrays — use the accessors. *)
 type t = {
   env : Monet_channel.Channel.env;
   g : Monet_hash.Drbg.t;
   cfg : Monet_channel.Channel.config;
-  mutable nodes : node list;
-  mutable edges : edge list;
-  mutable next_node : int;
-  mutable next_edge : int;
+  mutable node_arr : node array;
+  mutable node_count : int;
+  mutable edge_arr : edge array;
+  mutable edge_count : int;
 }
 
 (** An empty graph over a fresh simulated ledger/script environment. *)
 val create : ?cfg:Monet_channel.Channel.config -> Monet_hash.Drbg.t -> t
 
-(** Add a node and return its id. *)
+(** Number of nodes. *)
+val n_nodes : t -> int
+
+(** Number of edges (open or closed). *)
+val n_edges : t -> int
+
+(** Add a node and return its id. O(1) amortized; no key generation
+    happens until the node's wallet or onion key is actually used. *)
 val add_node : t -> name:string -> int
 
-(** Look up a node by id. Raises [Invalid_argument] on unknown ids —
-    node ids come from {!add_node}, so a miss is a caller bug. *)
+(** Look up a node by id, O(1). Raises [Invalid_argument] on unknown
+    ids — node ids come from {!add_node}, so a miss is a caller bug. *)
 val node : t -> int -> node
+
+(** Force a node's onion keypair (AMHL packet delivery). *)
+val onion_of : node -> Monet_sig.Sig_core.keypair
+
+(** Force a node's on-ledger wallet. *)
+val wallet_of : node -> Monet_xmr.Wallet.t
 
 (** Mint on-ledger funds for a node's wallet (genesis allocation). *)
 val fund_node : t -> int -> amount:int -> unit
@@ -56,8 +84,20 @@ val open_channel :
   bal_right:int ->
   (int * Monet_channel.Channel.report, string) result
 
-(** Look up an edge by id. Raises [Invalid_argument] on unknown ids. *)
+(** Open a simulated (balance-only) channel — no wallets, no crypto —
+    and return its edge id. The population-scale path used by {!Topo}
+    and {!Workload}. Raises [Invalid_argument] on self-loops or
+    negative balances. *)
+val open_sim_channel :
+  t -> left:int -> right:int -> bal_left:int -> bal_right:int -> int
+
+(** Look up an edge by id, O(1). Raises [Invalid_argument] on unknown
+    ids. *)
 val edge : t -> int -> edge
+
+(** The real MoChannel behind an edge. Raises [Invalid_argument] on
+    simulated edges, which have no protocol stack to drive. *)
+val channel_exn : edge -> Monet_channel.Channel.channel
 
 (** The balance [node_id] holds in [e]. Raises [Invalid_argument] if
     the node is not an endpoint of the edge. *)
@@ -70,8 +110,40 @@ val peer_of : edge -> node_id:int -> int
 (** Whether the edge's channel is still open. *)
 val is_open : edge -> bool
 
-(** All open edges incident to [node_id]. *)
+(** Total capacity of the edge (both sides together). *)
+val capacity_of : edge -> int
+
+(** Move [amount] across a simulated edge from [payer] to its peer.
+    Raises [Invalid_argument] on real edges, closed channels and
+    insufficient balance — callers route first, so a miss is a bug. *)
+val sim_transfer : edge -> payer:int -> amount:int -> unit
+
+(** Apply a function to every incident edge of a node — the raw
+    O(degree) adjacency walk (includes closed edges). *)
+val iter_adj : t -> int -> (edge -> unit) -> unit
+
+(** All open edges incident to [node_id], in insertion order. *)
 val edges_of : t -> int -> edge list
+
+(** Apply a function to every edge, in id order. *)
+val iter_edges : t -> (edge -> unit) -> unit
+
+(** All edges as a list, in id order (allocates; prefer {!iter_edges}
+    on large graphs). *)
+val edge_list : t -> edge list
+
+(** Sum of every open edge's spendable balances — invariant under
+    routing and sim transfers (the conservation check used by the
+    workload engine and its tests). *)
+val total_balance : t -> int
 
 (** Set a node's forwarding fee (flat, per payment). *)
 val set_fee : t -> int -> fee:int -> unit
+
+(** Set a node's full forwarding-fee policy: [base] flat plus [ppm]
+    parts-per-million of the forwarded amount. *)
+val set_fee_policy : t -> int -> base:int -> ppm:int -> unit
+
+(** The fee [id] charges for forwarding [amount]:
+    [base + amount * ppm / 1_000_000]. *)
+val fee_of : t -> int -> amount:int -> int

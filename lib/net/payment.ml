@@ -63,7 +63,7 @@ let role_of_payer (hop : Router.hop) : Monet_sig.Two_party.role =
 let onion_layer_bytes = 4096
 
 let hp_of_edge (e : Graph.edge) : Point.t =
-  e.Graph.e_channel.Ch.a.Ch.joint.Monet_sig.Two_party.hp
+  (Graph.channel_exn e).Ch.a.Ch.joint.Monet_sig.Two_party.hp
 
 type outcome = {
   stats : phase_stats;
@@ -75,7 +75,9 @@ type outcome = {
     models a receiver that never reveals the final witness: all locks
     are then cancelled (unlockability). [base_timer] seeds the cascade:
     hop i gets base + (n - i)·delta so earlier hops outlive later
-    ones. *)
+    ones. Each hop locks its own fee-adjusted amount
+    ({!Router.amounts}): the receiver nets [amount] and every
+    intermediary keeps its forwarding fee when the cascade settles. *)
 let execute (t : Graph.t) ~(path : Router.hop list) ~(amount : int)
     ?(receiver_cooperates = true) ?(base_timer = 60_000) ?(timer_delta = 10_000) () :
     (outcome, error) result =
@@ -90,6 +92,7 @@ let execute (t : Graph.t) ~(path : Router.hop list) ~(amount : int)
   if n = 0 then Error (No_route "empty path")
   else begin
     stats.n_hops <- n;
+    let amts = Array.of_list (Router.amounts t ~amount path) in
     (* --- Setup (sender) --- *)
     let (amhl, onion), setup_ms =
       Monet_obs.Trace.span "payment.setup" @@ fun () ->
@@ -102,7 +105,7 @@ let execute (t : Graph.t) ~(path : Router.hop list) ~(amount : int)
               (Array.mapi
                  (fun i (h : Router.hop) ->
                    let payee = Graph.peer_of h.Router.h_edge ~node_id:h.Router.h_payer in
-                   let pk = (Graph.node t payee).Graph.n_onion.Monet_sig.Sig_core.vk in
+                   let pk = (Graph.onion_of (Graph.node t payee)).Monet_sig.Sig_core.vk in
                    let w = Monet_util.Wire.create_writer () in
                    Monet_sig.Stmt.encode_proved w
                      amhl.Monet_amhl.Amhl.packets.(i).Monet_amhl.Amhl.hp_lock;
@@ -126,10 +129,10 @@ let execute (t : Graph.t) ~(path : Router.hop list) ~(amount : int)
           let h = hops.(i) in
           let payee = Graph.peer_of h.Router.h_edge ~node_id:h.Router.h_payer in
           let node = Graph.node t payee in
-          let sk = node.Graph.n_onion.Monet_sig.Sig_core.sk in
+          let sk = (Graph.onion_of node).Monet_sig.Sig_core.sk in
           match
             Monet_amhl.Onion.peel
-              ~repad:(node.Graph.n_wallet.Monet_xmr.Wallet.g, onion_layer_bytes)
+              ~repad:((Graph.wallet_of node).Monet_xmr.Wallet.g, onion_layer_bytes)
               ~sk onion
           with
           | Error e -> Error (Onion e)
@@ -160,8 +163,8 @@ let execute (t : Graph.t) ~(path : Router.hop list) ~(amount : int)
                 ~attrs:[ ("hop", string_of_int (i + 1)) ]
               @@ fun () ->
               timed (fun () ->
-                  Ch.lock h.Router.h_edge.Graph.e_channel ~payer:(role_of_payer h)
-                    ~amount ~lock_stmt ~timer)
+                  Ch.lock (Graph.channel_exn h.Router.h_edge)
+                    ~payer:(role_of_payer h) ~amount:amts.(i) ~lock_stmt ~timer)
             in
             stats.lock_ms <- stats.lock_ms +. ms;
             match r with
@@ -186,7 +189,7 @@ let execute (t : Graph.t) ~(path : Router.hop list) ~(amount : int)
                     Monet_obs.Trace.span "payment.cancel"
                       ~attrs:[ ("hop", string_of_int (i + 1)) ]
                       (fun () ->
-                        Ch.cancel_lock hops.(i).Router.h_edge.Graph.e_channel)
+                        Ch.cancel_lock (Graph.channel_exn hops.(i).Router.h_edge))
                   with
                   | Error e ->
                       Error (Channel (Printf.sprintf "cancel hop %d" (i + 1), e))
@@ -209,7 +212,7 @@ let execute (t : Graph.t) ~(path : Router.hop list) ~(amount : int)
                       ~attrs:[ ("hop", string_of_int (i + 1)) ]
                     @@ fun () ->
                     timed (fun () ->
-                        Ch.unlock hops.(i).Router.h_edge.Graph.e_channel ~y:w)
+                        Ch.unlock (Graph.channel_exn hops.(i).Router.h_edge) ~y:w)
                   in
                   stats.unlock_ms <- stats.unlock_ms +. ms;
                   match r with
@@ -249,14 +252,16 @@ let fail_with_last_hop_dispute (t : Graph.t) ~(path : Router.hop list)
   if n = 0 then Error (No_route "empty path")
   else begin
     stats.n_hops <- n;
+    let amts = Array.of_list (Router.amounts t ~amount path) in
     let hps = Array.map (fun h -> hp_of_edge h.Router.h_edge) hops in
     let amhl = Monet_amhl.Amhl.setup t.Graph.g ~hps in
     let rec lock_all i =
       if i >= n then Ok ()
       else
         match
-          Ch.lock hops.(i).Router.h_edge.Graph.e_channel
-            ~payer:(role_of_payer hops.(i)) ~amount
+          Ch.lock
+            (Graph.channel_exn hops.(i).Router.h_edge)
+            ~payer:(role_of_payer hops.(i)) ~amount:amts.(i)
             ~lock_stmt:amhl.Monet_amhl.Amhl.locks.(i).Monet_sig.Stmt.stmt
             ~timer:(60_000 + ((n - i) * 10_000))
         with
@@ -273,7 +278,7 @@ let fail_with_last_hop_dispute (t : Graph.t) ~(path : Router.hop list)
         let rec cancel_upto i =
           if i < 0 then Ok ()
           else
-            match Ch.cancel_lock hops.(i).Router.h_edge.Graph.e_channel with
+            match Ch.cancel_lock (Graph.channel_exn hops.(i).Router.h_edge) with
             | Error e -> Error (Channel (Printf.sprintf "cancel hop %d" (i + 1), e))
             | Ok _ -> cancel_upto (i - 1)
         in
@@ -284,7 +289,7 @@ let fail_with_last_hop_dispute (t : Graph.t) ~(path : Router.hop list)
                escalates to the KES. *)
             let last = hops.(n - 1) in
             let proposer = role_of_payer last in
-            Ch.dispute_close last.Router.h_edge.Graph.e_channel ~proposer
+            Ch.dispute_close (Graph.channel_exn last.Router.h_edge) ~proposer
               ~responsive:false
             |> Result.map (fun (payout, _rep) -> (payout, stats))
             |> Result.map_error (fun e -> Channel ("dispute close", e)))
@@ -346,7 +351,8 @@ let execute_recoverable (t : Graph.t) ~(path : Router.hop list) ~(amount : int)
     let fates = Array.make n Hop_pending in
     let timeouts = ref 0 in
     let delivered = ref false in
-    let channel_of i = hops.(i).Router.h_edge.Graph.e_channel in
+    let amts = Array.of_list (Router.amounts t ~amount path) in
+    let channel_of i = Graph.channel_exn hops.(i).Router.h_edge in
     let tau i = float_of_int (base_timer + ((n - i) * timer_delta)) in
     let charge (rep : Ch.report) =
       stats.messages <- stats.messages + rep.Ch.messages;
@@ -362,7 +368,7 @@ let execute_recoverable (t : Graph.t) ~(path : Router.hop list) ~(amount : int)
         (fun ((ch : Ch.channel), payout) ->
           Array.iteri
             (fun i (h : Router.hop) ->
-              if h.Router.h_edge.Graph.e_channel.Ch.id = ch.Ch.id then
+              if (Graph.channel_exn h.Router.h_edge).Ch.id = ch.Ch.id then
                 match fates.(i) with
                 | Hop_pending | Hop_cancelled | Hop_unlocked ->
                     Monet_obs.Trace.event "payment.punish"
@@ -453,8 +459,8 @@ let execute_recoverable (t : Graph.t) ~(path : Router.hop list) ~(amount : int)
         let h = hops.(i) in
         let r, ms =
           timed (fun () ->
-              Ch.lock h.Router.h_edge.Graph.e_channel ~payer:(role_of_payer h)
-                ~amount
+              Ch.lock (channel_of i) ~payer:(role_of_payer h)
+                ~amount:amts.(i)
                 ~lock_stmt:amhl.Monet_amhl.Amhl.locks.(i).Monet_sig.Stmt.stmt
                 ~timer:(base_timer + ((n - i) * timer_delta)))
         in
@@ -557,70 +563,24 @@ let latency_full_rounds_ms (o : outcome) ~(network_ms : float) : float =
 
 (* --- fees and multi-path ------------------------------------------------ *)
 
-(** Per-hop amounts when intermediaries charge forwarding fees: the
+(** Per-hop amounts when intermediaries charge forwarding fees —
+    {!Router.amounts} under the payment-layer name callers know: the
     receiver nets [amount]; hop i additionally carries the fees of
-    every intermediary downstream of it, each of whom keeps its fee as
-    the difference between what it receives and what it forwards. *)
+    every intermediary downstream of it, each of whom keeps its fee
+    (base + proportional, {!Graph.fee_of}) as the difference between
+    what it receives and what it forwards. *)
 let amounts_with_fees (t : Graph.t) ~(path : Router.hop list) ~(amount : int) :
     int list =
-  let hops = Array.of_list path in
-  let n = Array.length hops in
-  let amounts = Array.make n amount in
-  (* walk right to left; the intermediary between hop i and i+1 is the
-     payer of hop i+1 *)
-  for i = n - 2 downto 0 do
-    let intermediary = hops.(i + 1).Router.h_payer in
-    amounts.(i) <- amounts.(i + 1) + (Graph.node t intermediary).Graph.n_fee_base
-  done;
-  Array.to_list amounts
+  Router.amounts t ~amount path
 
-(** Like {!execute} but with per-hop fee-adjusted amounts. Each hop
-    locks its own amount, so intermediaries earn their fee when the
-    cascade settles. *)
+(** {!execute} (which charges per-hop fees itself) paired with the
+    total the sender paid on the first hop. *)
 let execute_with_fees (t : Graph.t) ~(path : Router.hop list) ~(amount : int) () :
     (outcome * int, error) result =
   match amounts_with_fees t ~path ~amount with
   | [] -> Error (No_route "empty path")
-  | total_sent :: _ as amounts ->
-  let stats = fresh_stats () in
-  let hops = Array.of_list path and amts = Array.of_list amounts in
-  let n = Array.length hops in
-  stats.n_hops <- n;
-  let hps = Array.map (fun h -> hp_of_edge h.Router.h_edge) hops in
-  let amhl = Monet_amhl.Amhl.setup t.Graph.g ~hps in
-  let rec lock_all i =
-    if i >= n then Ok ()
-    else
-      match
-        Ch.lock hops.(i).Router.h_edge.Graph.e_channel ~payer:(role_of_payer hops.(i))
-          ~amount:amts.(i)
-          ~lock_stmt:amhl.Monet_amhl.Amhl.locks.(i).Monet_sig.Stmt.stmt
-          ~timer:(60_000 + ((n - i) * 10_000))
-      with
-      | Error e -> Error (Channel (Printf.sprintf "lock hop %d" (i + 1), e))
-      | Ok rep ->
-          stats.messages <- stats.messages + rep.Ch.messages;
-          lock_all (i + 1)
-  in
-  match lock_all 0 with
-  | Error e -> Error e
-  | Ok () ->
-      let rec unlock_all i w =
-        if i < 0 then Ok ()
-        else
-          match Ch.unlock hops.(i).Router.h_edge.Graph.e_channel ~y:w with
-          | Error e -> Error (Channel (Printf.sprintf "unlock hop %d" (i + 1), e))
-          | Ok (rep, extracted) ->
-              stats.messages <- stats.messages + rep.Ch.messages;
-              if i = 0 then Ok ()
-              else
-                unlock_all (i - 1)
-                  (Monet_amhl.Amhl.cascade ~y:amhl.Monet_amhl.Amhl.wits.(i - 1)
-                     ~w_next:extracted)
-      in
-      (match unlock_all (n - 1) amhl.Monet_amhl.Amhl.combined.(n - 1) with
-      | Error e -> Error e
-      | Ok () -> Ok ({ stats; path; succeeded = true }, total_sent))
+  | total_sent :: _ ->
+      Result.map (fun o -> (o, total_sent)) (execute t ~path ~amount ())
 
 (** Multi-path payment: split [amount] greedily over capacity-disjoint
     routes (each part bounded by its bottleneck). Parts are individual
@@ -644,7 +604,15 @@ let pay_multipath (t : Graph.t) ~(src : int) ~(dst : int) ~(amount : int)
                 min acc (Graph.balance_of h.Router.h_edge ~node_id:h.Router.h_payer))
               max_int path
           in
-          let part = min remaining bottleneck in
+          (* Fee headroom: the first hop carries part + fees, so shrink
+             the part until amount-plus-fees fits the bottleneck
+             (fees are monotone in the amount, so this converges). *)
+          let rec fit p =
+            if p <= 0 then 0
+            else if p + Router.fees t ~amount:p path <= bottleneck then p
+            else fit (bottleneck - Router.fees t ~amount:p path)
+          in
+          let part = fit (min remaining bottleneck) in
           if part <= 0 then Error (No_route "no capacity")
           else begin
             let used' =

@@ -1,21 +1,63 @@
-(** Pathfinding over the channel graph: shortest path (fewest hops)
-    with per-hop spendable-capacity constraints, BFS with lexicographic
-    tie-breaking so routing is deterministic. *)
+(** Pathfinding over the channel graph: capacity- and fee-aware
+    Dijkstra run {e backwards} from the destination, so every
+    relaxation knows the exact amount (payment plus downstream fees)
+    the candidate payer must be able to forward. Route cost is total
+    intermediary fees plus a per-hop penalty; ties break
+    deterministically on (cost, hops, edge id), so the same graph
+    always yields the same route under any transport. *)
 
-(** One hop of a route: the edge it crosses and which node pays on
-    it. *)
+(** One step of a route: the edge to cross and which endpoint pays. *)
 type hop = { h_edge : Graph.edge; h_payer : int }
 
-(** A path src→dst where every hop can forward [amount]. *)
-val find_path :
-  Graph.t -> src:int -> dst:int -> amount:int -> (hop list, string) result
+(** Sets of edge ids, used to exclude edges from a search. *)
+module Edge_set : Set.S with type elt = int
 
-(** Like {!find_path} but never using the edges in [avoid] — used by
-    multi-path payments to find capacity-disjoint routes. *)
+(** Reusable Dijkstra workspace: generation-stamped per-node arrays
+    plus a binary heap, so repeated routing on a large graph costs
+    O(touched) per call instead of O(V) re-initialization. *)
+type state
+
+(** A fresh workspace sized for [t] (grows automatically if the graph
+    does). *)
+val make_state : Graph.t -> state
+
+(** [find_path t ~src ~dst ~amount] is the cheapest feasible route for
+    a payment of [amount] received by [dst], or [Error] if none
+    exists. Feasible means every hop's payer can spend the amount that
+    hop carries (payment plus all downstream fees). [avoid] excludes
+    edges by id; [hop_cost] (default 1) is the per-hop penalty added
+    to fees in the cost objective; [state] reuses a workspace from
+    {!make_state}. *)
+val find_path :
+  ?state:state ->
+  ?avoid:Edge_set.t ->
+  ?hop_cost:int ->
+  Graph.t ->
+  src:int ->
+  dst:int ->
+  amount:int ->
+  (hop list, string) result
+
+(** {!find_path} with the avoid set given as a list of edge ids — the
+    shape multi-path routing accumulates. *)
 val find_path_avoiding :
+  ?state:state ->
   Graph.t ->
   src:int ->
   dst:int ->
   amount:int ->
   avoid:int list ->
   (hop list, string) result
+
+(** Per-hop amounts along a route when every intermediary charges its
+    fee policy: the last hop carries [amount]; each earlier hop adds
+    the downstream intermediary's fee. Same length and order as the
+    route. *)
+val amounts : Graph.t -> amount:int -> hop list -> int list
+
+(** The routing cost of a path — total intermediary fees plus
+    [hop_cost] per hop; the objective {!find_path} minimizes. *)
+val cost : Graph.t -> ?hop_cost:int -> amount:int -> hop list -> int
+
+(** Total fees the sender pays on top of [amount] along the path. *)
+val fees : Graph.t -> amount:int -> hop list -> int

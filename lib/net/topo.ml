@@ -1,0 +1,163 @@
+(** Synthetic channel-network topologies (DESIGN.md §3.9): hub/spoke
+    (the paper's merchant-hub deployment story), Barabási–Albert
+    scale-free (what organically grown PCNs like Lightning measure as)
+    and 2-D grids (the worst case for path length). All generators are
+    deterministic functions of the [Drbg] seed and build
+    population-scale graphs over balance-only simulated channels
+    ({!Graph.open_sim_channel}); node crypto stays lazy and is never
+    forced. *)
+
+module Drbg = Monet_hash.Drbg
+
+type spec =
+  | Hub_spoke of { hubs : int; spokes_per_hub : int }
+  | Scale_free of { nodes : int; m : int }
+  | Grid of { rows : int; cols : int }
+
+let name = function
+  | Hub_spoke _ -> "hub_spoke"
+  | Scale_free _ -> "scale_free"
+  | Grid _ -> "grid"
+
+let n_nodes_of = function
+  | Hub_spoke { hubs; spokes_per_hub } -> hubs * (1 + spokes_per_hub)
+  | Scale_free { nodes; _ } -> nodes
+  | Grid { rows; cols } -> rows * cols
+
+(* Standard shapes for a target population, used by the CLI and the
+   bench harness: hub count scales with sqrt(n), grids are as square
+   as possible, scale-free attaches m = 2 edges per arrival. *)
+let spec_of_string (s : string) ~(nodes : int) : (spec, string) result =
+  if nodes < 4 then Error "need at least 4 nodes"
+  else
+    match s with
+    | "hub_spoke" | "hub" ->
+        let hubs = max 2 (int_of_float (sqrt (float_of_int nodes)) / 2) in
+        let spokes = max 1 ((nodes / hubs) - 1) in
+        Ok (Hub_spoke { hubs; spokes_per_hub = spokes })
+    | "scale_free" | "ba" -> Ok (Scale_free { nodes; m = 2 })
+    | "grid" ->
+        let rows = max 2 (int_of_float (sqrt (float_of_int nodes))) in
+        let cols = max 2 ((nodes + rows - 1) / rows) in
+        Ok (Grid { rows; cols })
+    | _ -> Error (Printf.sprintf "unknown topology %S (hub_spoke|scale_free|grid)" s)
+
+let validate = function
+  | Hub_spoke { hubs; spokes_per_hub } ->
+      if hubs < 1 || spokes_per_hub < 0 then Error "hub_spoke: need hubs >= 1, spokes >= 0"
+      else Ok ()
+  | Scale_free { nodes; m } ->
+      if m < 1 then Error "scale_free: need m >= 1"
+      else if nodes < m + 2 then Error "scale_free: need nodes >= m + 2"
+      else Ok ()
+  | Grid { rows; cols } ->
+      if rows < 1 || cols < 1 then Error "grid: need rows, cols >= 1" else Ok ()
+
+let add_nodes t n =
+  for i = 0 to n - 1 do
+    ignore (Graph.add_node t ~name:(Printf.sprintf "n%d" i))
+  done
+
+let build_hub_spoke t ~hubs ~spokes_per_hub ~balance =
+  add_nodes t (hubs * (1 + spokes_per_hub));
+  (* Hubs 0..hubs-1 form a clique over trunk channels sized to carry
+     their spokes' aggregate traffic; spokes hang off one hub each. *)
+  let trunk = balance * max 1 spokes_per_hub in
+  for i = 0 to hubs - 1 do
+    for j = i + 1 to hubs - 1 do
+      ignore (Graph.open_sim_channel t ~left:i ~right:j ~bal_left:trunk ~bal_right:trunk)
+    done
+  done;
+  for s = 0 to (hubs * spokes_per_hub) - 1 do
+    let spoke = hubs + s in
+    let hub = s mod hubs in
+    ignore
+      (Graph.open_sim_channel t ~left:spoke ~right:hub ~bal_left:balance
+         ~bal_right:balance)
+  done
+
+let build_scale_free t rng ~nodes ~m ~balance =
+  add_nodes t nodes;
+  (* Barabási–Albert preferential attachment: keep every edge endpoint
+     in a bag and sample targets from it, so a node's chance of
+     gaining an edge is proportional to its degree. Seed with a
+     clique on the first m+1 nodes. *)
+  let bag = ref (Array.make 64 0) in
+  let bag_n = ref 0 in
+  let push v =
+    if !bag_n = Array.length !bag then
+      bag := Array.append !bag (Array.make !bag_n 0);
+    !bag.(!bag_n) <- v;
+    incr bag_n
+  in
+  let connect a b =
+    ignore (Graph.open_sim_channel t ~left:a ~right:b ~bal_left:balance ~bal_right:balance);
+    push a;
+    push b
+  in
+  let m0 = m + 1 in
+  for i = 0 to m0 - 1 do
+    for j = i + 1 to m0 - 1 do
+      connect i j
+    done
+  done;
+  for v = m0 to nodes - 1 do
+    (* m distinct targets per arrival; rejection-sample duplicates,
+       falling back to the lowest unused id if the bag is too
+       concentrated to yield m distinct nodes quickly. *)
+    let chosen = ref [] in
+    let attempts = ref 0 in
+    while List.length !chosen < m && !attempts < 50 * m do
+      incr attempts;
+      let cand = !bag.(Drbg.int rng !bag_n) in
+      if cand <> v && not (List.mem cand !chosen) then chosen := cand :: !chosen
+    done;
+    let fallback = ref 0 in
+    while List.length !chosen < m do
+      if !fallback <> v && not (List.mem !fallback !chosen) then
+        chosen := !fallback :: !chosen;
+      incr fallback
+    done;
+    List.iter (fun u -> connect v u) !chosen
+  done
+
+let build_grid t ~rows ~cols ~balance =
+  add_nodes t (rows * cols);
+  let id r c = (r * cols) + c in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then
+        ignore
+          (Graph.open_sim_channel t ~left:(id r c) ~right:(id r (c + 1))
+             ~bal_left:balance ~bal_right:balance);
+      if r + 1 < rows then
+        ignore
+          (Graph.open_sim_channel t ~left:(id r c) ~right:(id (r + 1) c)
+             ~bal_left:balance ~bal_right:balance)
+    done
+  done
+
+let build ?(balance = 1_000_000) ?(fee_base = 0) ?(fee_ppm = 0) (g : Drbg.t)
+    (spec : spec) : (Graph.t, string) result =
+  match validate spec with
+  | Error e -> Error e
+  | Ok () ->
+      if balance < 0 then Error "balance must be non-negative"
+      else begin
+        (* Two independent child generators: one owns the graph's node
+           streams, one drives topology randomness, so adding a
+           generator never perturbs node key derivation. *)
+        let gg = Drbg.split g "graph" in
+        let rng = Drbg.split g "topo" in
+        let t = Graph.create gg in
+        (match spec with
+        | Hub_spoke { hubs; spokes_per_hub } ->
+            build_hub_spoke t ~hubs ~spokes_per_hub ~balance
+        | Scale_free { nodes; m } -> build_scale_free t rng ~nodes ~m ~balance
+        | Grid { rows; cols } -> build_grid t ~rows ~cols ~balance);
+        if fee_base <> 0 || fee_ppm <> 0 then
+          for v = 0 to Graph.n_nodes t - 1 do
+            Graph.set_fee_policy t v ~base:fee_base ~ppm:fee_ppm
+          done;
+        Ok t
+      end

@@ -1,0 +1,37 @@
+(** Synthetic channel-network topology generators, deterministic in
+    the [Drbg] seed, building population-scale graphs over simulated
+    (balance-only) channels — see DESIGN.md §3.9. *)
+
+(** A topology shape: hub/spoke (hubs form a clique with trunk
+    capacity, spokes hang off one hub each), Barabási–Albert
+    scale-free ([m] channels per arriving node, preferential
+    attachment), or a 2-D grid with 4-neighbor channels. *)
+type spec =
+  | Hub_spoke of { hubs : int; spokes_per_hub : int }
+  | Scale_free of { nodes : int; m : int }
+  | Grid of { rows : int; cols : int }
+
+(** Stable short name of a spec's shape ("hub_spoke", "scale_free",
+    "grid") — used in bench rows and CLI output. *)
+val name : spec -> string
+
+(** Number of nodes the spec will generate. *)
+val n_nodes_of : spec -> int
+
+(** Parse a shape name ("hub_spoke"/"hub", "scale_free"/"ba", "grid")
+    into a spec with standard proportions for a target population of
+    [nodes]. *)
+val spec_of_string : string -> nodes:int -> (spec, string) result
+
+(** Build the graph: every channel opens with [balance] on each side
+    (hub trunks get [balance × spokes]); every node gets the
+    forwarding-fee policy [fee_base]/[fee_ppm] (defaults 0, i.e. free
+    forwarding). Deterministic in [g]. Errors on degenerate specs
+    (e.g. scale-free with fewer than [m + 2] nodes). *)
+val build :
+  ?balance:int ->
+  ?fee_base:int ->
+  ?fee_ppm:int ->
+  Monet_hash.Drbg.t ->
+  spec ->
+  (Graph.t, string) result

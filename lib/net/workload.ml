@@ -1,0 +1,206 @@
+(** Open-arrival payment workload over a channel graph, driven by the
+    discrete-event clock — the engine behind the measured network-TPS
+    numbers in BENCH_net.json (DESIGN.md §3.9).
+
+    Payments arrive as a Poisson process at [arrival_rate] per
+    sim-second, each between a uniformly random (src, dst) pair with a
+    uniformly random amount. Each arrival is routed with the
+    fee-aware Dijkstra ({!Router.find_path}, shared workspace), its
+    per-hop fee-adjusted amounts are settled through
+    {!Graph.sim_transfer}, and its completion is scheduled through a
+    per-node queueing model: every payer (sender and intermediaries)
+    serves hops one at a time, [hop_proc_ms] each, so busy hubs build
+    queues and throughput saturates instead of scaling linearly with
+    offered load. Network TPS is therefore {e measured} on the
+    simulated clock — completions over the sim-time span — not
+    extrapolated from a single channel.
+
+    Liquidity depletion is sampled over sim-time: an edge counts as
+    depleted once its poorer side can no longer carry even a
+    minimum-amount payment. Wealth conservation ([Graph.total_balance]
+    before = after) is checked on every run and reported. *)
+
+module Drbg = Monet_hash.Drbg
+module Clock = Monet_dsim.Clock
+
+type config = {
+  n_payments : int; (* arrivals to generate *)
+  arrival_rate : float; (* payments per sim-second, network-wide *)
+  amount_min : int;
+  amount_max : int;
+  hop_proc_ms : float; (* per-hop service time at the paying node *)
+  sample_every_ms : float; (* liquidity-depletion sampling period *)
+}
+
+let default_config =
+  {
+    n_payments = 1_000;
+    arrival_rate = 100.0;
+    amount_min = 10;
+    amount_max = 1_000;
+    hop_proc_ms = 20.0;
+    sample_every_ms = 1_000.0;
+  }
+
+type sample = {
+  s_time_ms : float;
+  s_depleted : int; (* edges whose poorer side < amount_min *)
+  s_completed : int; (* payments completed by this time *)
+  s_no_route : int; (* routing failures by this time *)
+}
+
+type report = {
+  offered : int;
+  completed : int;
+  no_route : int;
+  success_rate : float; (* completed / offered *)
+  offered_rate : float; (* configured arrivals per sim-second *)
+  tps : float; (* completed / sim-time span — the measured number *)
+  sim_ms : float; (* sim-time of the last completion *)
+  total_hops : int;
+  avg_path_len : float; (* hops per completed payment *)
+  fees_paid : int; (* total intermediary earnings *)
+  depleted_final : int;
+  samples : sample list; (* depletion over sim-time, oldest first *)
+  conserved : bool; (* total_balance before = after *)
+}
+
+let m_arrivals = Monet_obs.Metrics.counter "net.workload.arrival"
+let m_completed = Monet_obs.Metrics.counter "net.workload.completed"
+let m_no_route = Monet_obs.Metrics.counter "net.workload.no_route"
+
+let depleted_edges (t : Graph.t) ~(amount_min : int) : int =
+  let n = ref 0 in
+  Graph.iter_edges t (fun e ->
+      if Graph.is_open e then begin
+        let lo =
+          min
+            (Graph.balance_of e ~node_id:e.Graph.e_left)
+            (Graph.balance_of e ~node_id:e.Graph.e_right)
+        in
+        if lo < amount_min then incr n
+      end);
+  !n
+
+(** Exponential inter-arrival gap for a Poisson process at [rate]/s,
+    in sim-ms. The DRBG float is in [0, 1); guard the log. *)
+let exp_gap_ms (rng : Drbg.t) ~(rate : float) : float =
+  let u = Drbg.float rng in
+  let u = if u <= 0.0 then 1e-12 else u in
+  -.log u /. rate *. 1000.0
+
+let run ?(clock = Clock.create ()) (rng : Drbg.t) (t : Graph.t) (cfg : config) :
+    (report, string) result =
+  if cfg.n_payments <= 0 then Error "n_payments must be positive"
+  else if cfg.arrival_rate <= 0.0 then Error "arrival_rate must be positive"
+  else if cfg.amount_min <= 0 || cfg.amount_max < cfg.amount_min then
+    Error "need 0 < amount_min <= amount_max"
+  else if Graph.n_nodes t < 2 then Error "need at least two nodes"
+  else
+    Monet_obs.Trace.span "workload.run"
+      ~attrs:
+        [ ("payments", string_of_int cfg.n_payments);
+          ("nodes", string_of_int (Graph.n_nodes t)) ]
+    @@ fun () ->
+    let wealth0 = Graph.total_balance t in
+    let n_nodes = Graph.n_nodes t in
+    let state = Router.make_state t in
+    let busy = Array.make n_nodes 0.0 in
+    let offered = ref 0 in
+    let completed = ref 0 in
+    let no_route = ref 0 in
+    let total_hops = ref 0 in
+    let fees_paid = ref 0 in
+    let last_completion = ref 0.0 in
+    let samples = ref [] in
+    (* Periodic liquidity sampling, rescheduling itself until every
+       payment resolved, so the depletion curve spans the whole run
+       including the backlog drain after arrivals stop. *)
+    let rec sampler () =
+      samples :=
+        {
+          s_time_ms = Clock.now clock;
+          s_depleted = depleted_edges t ~amount_min:cfg.amount_min;
+          s_completed = !completed;
+          s_no_route = !no_route;
+        }
+        :: !samples;
+      if !completed + !no_route < cfg.n_payments then
+        Clock.schedule clock ~delay:cfg.sample_every_ms sampler
+    in
+    let span_amount = cfg.amount_max - cfg.amount_min + 1 in
+    let one_arrival () =
+      Monet_obs.Metrics.bump m_arrivals;
+      incr offered;
+      let src = Drbg.int rng n_nodes in
+      let dst =
+        let d = Drbg.int rng (n_nodes - 1) in
+        if d >= src then d + 1 else d
+      in
+      let amount = cfg.amount_min + Drbg.int rng span_amount in
+      match Router.find_path ~state t ~src ~dst ~amount with
+      | Error _ ->
+          Monet_obs.Metrics.bump m_no_route;
+          incr no_route
+      | Ok path ->
+          (* Settle liquidity now (the route was feasible against the
+             current balances and nothing runs between route and
+             settle), then push the hops through the per-node queues
+             to find when the payment completes. *)
+          let amts = Router.amounts t ~amount path in
+          List.iter2
+            (fun (h : Router.hop) amt ->
+              Graph.sim_transfer h.Router.h_edge ~payer:h.Router.h_payer ~amount:amt)
+            path amts;
+          (match amts with
+          | first :: _ -> fees_paid := !fees_paid + (first - amount)
+          | [] -> ());
+          total_hops := !total_hops + List.length path;
+          let finish = ref (Clock.now clock) in
+          List.iter
+            (fun (h : Router.hop) ->
+              let p = h.Router.h_payer in
+              let start = Float.max !finish busy.(p) in
+              finish := start +. cfg.hop_proc_ms;
+              busy.(p) <- !finish)
+            path;
+          Clock.schedule clock
+            ~delay:(!finish -. Clock.now clock)
+            (fun () ->
+              Monet_obs.Metrics.bump m_completed;
+              incr completed;
+              last_completion := Clock.now clock)
+    in
+    (* Chain arrivals so the event heap stays small: each arrival
+       schedules the next at an exponential gap. *)
+    let remaining = ref cfg.n_payments in
+    let rec arrival () =
+      one_arrival ();
+      decr remaining;
+      if !remaining > 0 then
+        Clock.schedule clock ~delay:(exp_gap_ms rng ~rate:cfg.arrival_rate) arrival
+    in
+    Clock.schedule clock ~delay:(exp_gap_ms rng ~rate:cfg.arrival_rate) arrival;
+    Clock.schedule clock ~delay:cfg.sample_every_ms sampler;
+    Clock.run clock ();
+    sampler ();
+    let sim_ms = Float.max !last_completion (Clock.now clock) in
+    let completed_f = float_of_int !completed in
+    Ok
+      {
+        offered = !offered;
+        completed = !completed;
+        no_route = !no_route;
+        success_rate =
+          (if !offered = 0 then 0.0 else completed_f /. float_of_int !offered);
+        offered_rate = cfg.arrival_rate;
+        tps = (if sim_ms <= 0.0 then 0.0 else completed_f /. (sim_ms /. 1000.0));
+        sim_ms;
+        total_hops = !total_hops;
+        avg_path_len =
+          (if !completed = 0 then 0.0 else float_of_int !total_hops /. completed_f);
+        fees_paid = !fees_paid;
+        depleted_final = depleted_edges t ~amount_min:cfg.amount_min;
+        samples = List.rev !samples;
+        conserved = Graph.total_balance t = wealth0;
+      }

@@ -103,16 +103,16 @@ let test_emulation_three_party () =
   (match Payment.pay net ~src:a ~dst:c ~amount:10 () with
   | Ok o -> Alcotest.(check bool) "real payment ok" true o.Payment.succeeded
   | Error e -> Alcotest.fail (Payment.error_to_string e));
-  (match Ch.update (Graph.edge net ab').Graph.e_channel ~amount_from_a:5 with
+  (match Ch.update (Graph.channel_exn (Graph.edge net ab')) ~amount_from_a:5 with
   | Ok _ -> ()
   | Error e -> Alcotest.fail (Ch.error_to_string e));
   let real_ab =
-    match Ch.cooperative_close (Graph.edge net ab').Graph.e_channel with
+    match Ch.cooperative_close (Graph.channel_exn (Graph.edge net ab')) with
     | Ok (p, _) -> (p.Ch.pay_a, p.Ch.pay_b)
     | Error e -> Alcotest.fail (Ch.error_to_string e)
   in
   let real_bc =
-    match Ch.cooperative_close (Graph.edge net bc').Graph.e_channel with
+    match Ch.cooperative_close (Graph.channel_exn (Graph.edge net bc')) with
     | Ok (p, _) -> (p.Ch.pay_a, p.Ch.pay_b)
     | Error e -> Alcotest.fail (Ch.error_to_string e)
   in
@@ -135,7 +135,7 @@ let test_emulation_dispute_equals_ideal_close () =
   Graph.fund_node net b ~amount:100;
   let eid = match Graph.open_channel net ~left:a ~right:b ~bal_left:60 ~bal_right:40 with
     | Ok (id, _) -> id | Error e -> Alcotest.fail e in
-  let ch = (Graph.edge net eid).Graph.e_channel in
+  let ch = Graph.channel_exn (Graph.edge net eid) in
   (match Ch.update ch ~amount_from_a:(-25) with
   | Ok _ -> ()
   | Error e -> Alcotest.fail (Ch.error_to_string e));

@@ -140,7 +140,7 @@ let test_multihop_atomicity_on_cancel () =
             (Printf.sprintf "edge %d balances restored" e.Graph.e_id)
             50
             (Graph.balance_of e ~node_id:e.Graph.e_left))
-        t.Graph.edges
+        (Graph.edge_list t)
 
 let test_multihop_long_path () =
   let t, ids = line_network ~n:6 "long" in
@@ -181,7 +181,7 @@ let test_worst_case_last_hop_dispute () =
           Alcotest.(check int) "receiver side payout" 50 payout.Ch.pay_b;
           let last = Graph.edge t 3 in
           Alcotest.(check bool) "last channel closed" true
-            last.Graph.e_channel.Ch.a.Ch.closed;
+            (Graph.channel_exn last).Ch.a.Ch.closed;
           (* Earlier channels remain open at original balances. *)
           List.iter
             (fun eid ->
@@ -195,7 +195,7 @@ let test_worst_case_last_hop_dispute () =
 let test_watchtower_punishes () =
   let t, ids = line_network ~n:2 "wt" in
   let e = Graph.edge t 1 in
-  let c = e.Graph.e_channel in
+  let c = Graph.channel_exn e in
   (* Two updates so there is an old state to cheat with. *)
   (match Ch.update c ~amount_from_a:20 with Ok _ -> () | Error err -> Alcotest.fail (Ch.error_to_string err));
   (match Ch.update c ~amount_from_a:(-30) with Ok _ -> () | Error err -> Alcotest.fail (Ch.error_to_string err));
@@ -219,7 +219,7 @@ let test_watchtower_punishes () =
 let test_watchtower_scheduled_on_clock () =
   let t, _ = line_network ~n:2 "wt2" in
   let e = Graph.edge t 1 in
-  let c = e.Graph.e_channel in
+  let c = Graph.channel_exn e in
   (match Ch.update c ~amount_from_a:5 with Ok _ -> () | Error err -> Alcotest.fail (Ch.error_to_string err));
   (match Ch.update c ~amount_from_a:5 with Ok _ -> () | Error err -> Alcotest.fail (Ch.error_to_string err));
   let tower = Monet_channel.Watchtower.create () in
@@ -289,21 +289,21 @@ let test_fungibility_statistical () =
   for i = 0 to 2 do
     let t, ids = line_network ~n:2 (Printf.sprintf "fs%d" i) in
     let e = Graph.edge t 1 in
-    (match Ch.update e.Graph.e_channel ~amount_from_a:5 with
+    (match Ch.update (Graph.channel_exn e) ~amount_from_a:5 with
     | Ok _ -> ()
     | Error err -> Alcotest.fail (Ch.error_to_string err));
-    (match Ch.cooperative_close e.Graph.e_channel with
+    (match Ch.cooperative_close (Graph.channel_exn e) with
     | Ok (p, _) -> record `Channel p.Ch.close_tx
     | Error err -> Alcotest.fail (Ch.error_to_string err));
     (* A wallet payment of the same denomination on the same ledger. *)
     let node = Graph.node t ids.(0) in
-    Monet_xmr.Wallet.scan node.Graph.n_wallet t.Graph.env.Ch.ledger;
+    Monet_xmr.Wallet.scan (Graph.wallet_of node) t.Graph.env.Ch.ledger;
     let g2 = Monet_hash.Drbg.of_int (500 + i) in
     let dest = Point.mul_base (Sc.random_nonzero g2) in
-    let amount = Monet_xmr.Wallet.balance node.Graph.n_wallet in
+    let amount = Monet_xmr.Wallet.balance (Graph.wallet_of node) in
     if amount > 0 then begin
       Monet_xmr.Ledger.ensure_decoys g2 t.Graph.env.Ch.ledger ~amount ~n:15;
-      match Monet_xmr.Wallet.pay node.Graph.n_wallet t.Graph.env.Ch.ledger ~dest ~amount with
+      match Monet_xmr.Wallet.pay (Graph.wallet_of node) t.Graph.env.Ch.ledger ~dest ~amount with
       | Ok tx -> record `Wallet tx
       | Error err -> Alcotest.fail err
     end
@@ -378,7 +378,7 @@ let test_multipath_payment () =
             if e.Graph.e_left = d || e.Graph.e_right = d then
               acc + Graph.balance_of e ~node_id:d
             else acc)
-          0 t.Graph.edges
+          0 (Graph.edge_list t)
       in
       Alcotest.(check int) "receiver credited across parts" 110 recv
 

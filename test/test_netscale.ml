@@ -1,0 +1,375 @@
+(* The population-scale network engine: array-backed graph core,
+   capacity/fee-aware Dijkstra (checked against a brute-force
+   reference), topology generators and the open-arrival workload. *)
+module Ch = Monet_channel.Channel
+module Graph = Monet_net.Graph
+module Router = Monet_net.Router
+module Topo = Monet_net.Topo
+module Workload = Monet_net.Workload
+module Drbg = Monet_hash.Drbg
+
+let drbg = Drbg.of_int 424242
+
+let test_cfg =
+  { Ch.default_config with Ch.vcof_reps = Some 8; ring_size = 5; n_escrowers = 4;
+    escrow_threshold = 2 }
+
+(* --- graph core --- *)
+
+let test_graph_core () =
+  let t = Graph.create (Drbg.split drbg "core") in
+  let a = Graph.add_node t ~name:"a"
+  and b = Graph.add_node t ~name:"b"
+  and c = Graph.add_node t ~name:"c" in
+  let ab = Graph.open_sim_channel t ~left:a ~right:b ~bal_left:30 ~bal_right:10 in
+  let bc = Graph.open_sim_channel t ~left:b ~right:c ~bal_left:20 ~bal_right:0 in
+  Alcotest.(check int) "3 nodes" 3 (Graph.n_nodes t);
+  Alcotest.(check int) "2 edges" 2 (Graph.n_edges t);
+  Alcotest.(check string) "O(1) node lookup" "b" (Graph.node t b).Graph.n_name;
+  let e = Graph.edge t ab in
+  Alcotest.(check int) "left balance" 30 (Graph.balance_of e ~node_id:a);
+  Alcotest.(check int) "right balance" 10 (Graph.balance_of e ~node_id:b);
+  Alcotest.(check int) "peer" b (Graph.peer_of e ~node_id:a);
+  Alcotest.(check int) "capacity" 40 (Graph.capacity_of e);
+  Alcotest.(check int) "total balance" 60 (Graph.total_balance t);
+  Alcotest.(check int) "deg b = 2" 2 (List.length (Graph.edges_of t b));
+  Graph.sim_transfer e ~payer:a ~amount:25;
+  Alcotest.(check int) "payer debited" 5 (Graph.balance_of e ~node_id:a);
+  Alcotest.(check int) "payee credited" 35 (Graph.balance_of e ~node_id:b);
+  Alcotest.(check int) "transfer conserves" 60 (Graph.total_balance t);
+  (* Fee policy: base + proportional. *)
+  Graph.set_fee_policy t b ~base:2 ~ppm:10_000 (* 1% *);
+  Alcotest.(check int) "fee base+ppm" 7 (Graph.fee_of t b ~amount:500);
+  Graph.set_fee t b ~fee:3;
+  Alcotest.(check int) "set_fee keeps ppm" 8 (Graph.fee_of t b ~amount:500);
+  (* Misuse is a caller bug, loudly. *)
+  Alcotest.check_raises "unknown node" (Invalid_argument "Graph.node: no node 99")
+    (fun () -> ignore (Graph.node t 99));
+  (match try Ok (Graph.channel_exn e) with Invalid_argument m -> Error m with
+  | Ok _ -> Alcotest.fail "channel_exn on a simulated edge"
+  | Error _ -> ());
+  (match
+     try Ok (Graph.sim_transfer (Graph.edge t bc) ~payer:c ~amount:1)
+     with Invalid_argument m -> Error m
+   with
+  | Ok _ -> Alcotest.fail "overdraft allowed"
+  | Error _ -> ())
+
+let test_graph_scale () =
+  (* 10k nodes / 20k sim channels: no crypto is forced, insertion and
+     lookup stay flat. *)
+  let t = Graph.create (Drbg.split drbg "scale") in
+  let n = 10_000 in
+  for i = 0 to n - 1 do
+    ignore (Graph.add_node t ~name:(Printf.sprintf "n%d" i))
+  done;
+  let rng = Drbg.split drbg "scale-edges" in
+  for _ = 1 to 2 * n do
+    let a = Drbg.int rng n and b = Drbg.int rng n in
+    if a <> b then
+      ignore (Graph.open_sim_channel t ~left:a ~right:b ~bal_left:5 ~bal_right:5)
+  done;
+  Alcotest.(check int) "nodes" n (Graph.n_nodes t);
+  Alcotest.(check bool) "edges indexed" true (Graph.n_edges t > n);
+  Alcotest.(check int) "conserved" (10 * Graph.n_edges t) (Graph.total_balance t);
+  (* Adjacency degrees sum to 2|E|. *)
+  let degsum = ref 0 in
+  for v = 0 to n - 1 do
+    Graph.iter_adj t v (fun _ -> incr degsum)
+  done;
+  Alcotest.(check int) "handshake lemma" (2 * Graph.n_edges t) !degsum
+
+(* --- Dijkstra vs a brute-force reference --- *)
+
+(* Every simple path src→dst with its feasibility and cost, by DFS.
+   Fees here are base-only, which makes edge weights amount-independent
+   and the Dijkstra optimum exact (proportional fees make the weight a
+   function of the suffix, where cheapest-cost is a heuristic — as in
+   deployed PCNs). *)
+let brute_force (t : Graph.t) ~src ~dst ~amount :
+    (int * Router.hop list) option =
+  let best = ref None in
+  let consider path =
+    let amts = Router.amounts t ~amount path in
+    let feasible =
+      List.for_all2
+        (fun (h : Router.hop) amt ->
+          Graph.balance_of h.Router.h_edge ~node_id:h.Router.h_payer >= amt)
+        path amts
+    in
+    if feasible then begin
+      let cost = Router.cost t ~amount path in
+      match !best with
+      | Some (c, _) when c <= cost -> ()
+      | _ -> best := Some (cost, path)
+    end
+  in
+  let rec go v visited path_rev =
+    if v = dst then consider (List.rev path_rev)
+    else
+      Graph.iter_adj t v (fun e ->
+          if Graph.is_open e then begin
+            let u = Graph.peer_of e ~node_id:v in
+            if not (List.mem u visited) then
+              go u (u :: visited) ({ Router.h_edge = e; h_payer = v } :: path_rev)
+          end)
+  in
+  go src [ src ] [];
+  !best
+
+let edge_ids path = List.map (fun (h : Router.hop) -> h.Router.h_edge.Graph.e_id) path
+
+let test_dijkstra_vs_bruteforce () =
+  let rng = Drbg.split drbg "bf" in
+  let state = ref None in
+  for case = 0 to 79 do
+    let n = 4 + Drbg.int rng 4 in
+    let t = Graph.create (Drbg.split rng (Printf.sprintf "g%d" case)) in
+    for i = 0 to n - 1 do
+      ignore (Graph.add_node t ~name:(Printf.sprintf "n%d" i));
+      Graph.set_fee t i ~fee:(Drbg.int rng 4)
+    done;
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        if Drbg.int rng 2 = 0 then
+          ignore
+            (Graph.open_sim_channel t ~left:i ~right:j
+               ~bal_left:(Drbg.int rng 60) ~bal_right:(Drbg.int rng 60))
+      done
+    done;
+    let s =
+      match !state with
+      | Some s -> s
+      | None ->
+          let s = Router.make_state t in
+          state := Some s;
+          s
+    in
+    let src = Drbg.int rng n in
+    let dst = (src + 1 + Drbg.int rng (n - 1)) mod n in
+    let amount = 1 + Drbg.int rng 25 in
+    let tag = Printf.sprintf "case %d (%d->%d, %d)" case src dst amount in
+    match (Router.find_path ~state:s t ~src ~dst ~amount, brute_force t ~src ~dst ~amount) with
+    | Error _, None -> ()
+    | Error e, Some _ -> Alcotest.failf "%s: router missed a feasible path: %s" tag e
+    | Ok _, None -> Alcotest.failf "%s: router invented an infeasible path" tag
+    | Ok path, Some (best_cost, _) ->
+        (* The returned path must itself be feasible... *)
+        let amts = Router.amounts t ~amount path in
+        List.iter2
+          (fun (h : Router.hop) amt ->
+            if Graph.balance_of h.Router.h_edge ~node_id:h.Router.h_payer < amt
+            then Alcotest.failf "%s: infeasible hop returned" tag)
+          path amts;
+        (* ...connected src→dst... *)
+        let v = ref src in
+        List.iter
+          (fun (h : Router.hop) ->
+            if h.Router.h_payer <> !v then Alcotest.failf "%s: broken chain" tag;
+            v := Graph.peer_of h.Router.h_edge ~node_id:!v)
+          path;
+        if !v <> dst then Alcotest.failf "%s: path does not reach dst" tag;
+        (* ...and cost-minimal. *)
+        Alcotest.(check int) (tag ^ ": minimal cost") best_cost
+          (Router.cost t ~amount path)
+  done
+
+let test_router_avoid_set () =
+  (* Diamond a-b-d / a-c-d: avoiding the first route forces the
+     second; avoiding both exhausts the graph. *)
+  let t = Graph.create (Drbg.split drbg "avoid") in
+  let a = Graph.add_node t ~name:"a" and b = Graph.add_node t ~name:"b" in
+  let c = Graph.add_node t ~name:"c" and d = Graph.add_node t ~name:"d" in
+  ignore (Graph.open_sim_channel t ~left:a ~right:b ~bal_left:50 ~bal_right:50);
+  ignore (Graph.open_sim_channel t ~left:b ~right:d ~bal_left:50 ~bal_right:50);
+  ignore (Graph.open_sim_channel t ~left:a ~right:c ~bal_left:50 ~bal_right:50);
+  ignore (Graph.open_sim_channel t ~left:c ~right:d ~bal_left:50 ~bal_right:50);
+  let p1 =
+    match Router.find_path t ~src:a ~dst:d ~amount:10 with
+    | Ok p -> p
+    | Error e -> Alcotest.fail e
+  in
+  let p2 =
+    match Router.find_path_avoiding t ~src:a ~dst:d ~amount:10 ~avoid:(edge_ids p1) with
+    | Ok p -> p
+    | Error e -> Alcotest.fail e
+  in
+  List.iter
+    (fun id ->
+      if List.mem id (edge_ids p1) then Alcotest.fail "avoided edge reused")
+    (edge_ids p2);
+  match
+    Router.find_path_avoiding t ~src:a ~dst:d ~amount:10
+      ~avoid:(edge_ids p1 @ edge_ids p2)
+  with
+  | Ok _ -> Alcotest.fail "route through exhausted graph"
+  | Error _ -> ()
+
+(* --- determinism: same seed, same routes, any transport --- *)
+
+(* A real-channel diamond; [scheduled] installs the event-queue
+   transport on every channel before anything is routed. *)
+let build_real_diamond ~scheduled label =
+  let g = Drbg.of_int 90125 in
+  let t = Graph.create ~cfg:test_cfg g in
+  let ids = Array.init 4 (fun i -> Graph.add_node t ~name:(Printf.sprintf "%s%d" label i)) in
+  Array.iter (fun id -> Graph.fund_node t id ~amount:1_000) ids;
+  List.iter
+    (fun (l, r) ->
+      match Graph.open_channel t ~left:ids.(l) ~right:ids.(r) ~bal_left:50 ~bal_right:50 with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail e)
+    [ (0, 1); (1, 3); (0, 2); (2, 3) ];
+  Graph.set_fee t ids.(1) ~fee:1;
+  Graph.set_fee t ids.(2) ~fee:2;
+  if scheduled then begin
+    let clock = Monet_dsim.Clock.create () in
+    Graph.iter_edges t (fun e ->
+        (Graph.channel_exn e).Ch.transport <-
+          Monet_channel.Driver.Scheduled
+            { clock; latency = Monet_dsim.Latency.Fixed 5.0;
+              g = Drbg.split g "lat" })
+  end;
+  (t, ids)
+
+let test_routes_deterministic_across_transports () =
+  let route t ids =
+    match Router.find_path t ~src:ids.(0) ~dst:ids.(3) ~amount:10 with
+    | Ok p -> edge_ids p
+    | Error e -> Alcotest.fail e
+  in
+  let t1, ids1 = build_real_diamond ~scheduled:false "s" in
+  let t2, ids2 = build_real_diamond ~scheduled:false "s" in
+  let t3, ids3 = build_real_diamond ~scheduled:true "s" in
+  let r1 = route t1 ids1 and r2 = route t2 ids2 and r3 = route t3 ids3 in
+  Alcotest.(check (list int)) "same seed, same route" r1 r2;
+  Alcotest.(check (list int)) "scheduled transport, same route" r1 r3;
+  (* The cheaper intermediary (fee 1, via node 1) wins. *)
+  Alcotest.(check (list int)) "fee-aware choice" [ 1; 2 ] r1;
+  (* And the payment actually settles over both transports, charging
+     the intermediary's fee on the first hop. *)
+  List.iter
+    (fun (t, ids) ->
+      match Monet_net.Payment.pay t ~src:ids.(0) ~dst:ids.(3) ~amount:10 () with
+      | Ok o ->
+          Alcotest.(check bool) "delivered" true o.Monet_net.Payment.succeeded;
+          let first = Graph.edge t 1 in
+          Alcotest.(check int) "sender paid amount+fee" (50 - 11)
+            (Graph.balance_of first ~node_id:ids.(0));
+          let last = Graph.edge t 2 in
+          Alcotest.(check int) "receiver got the amount" (50 + 10)
+            (Graph.balance_of last ~node_id:ids.(3))
+      | Error e -> Alcotest.fail (Monet_net.Payment.error_to_string e))
+    [ (t1, ids1); (t3, ids3) ]
+
+(* --- topology generators --- *)
+
+let test_topo_shapes () =
+  let build spec =
+    match Topo.build ~balance:100 (Drbg.split drbg "shapes") spec with
+    | Ok t -> t
+    | Error e -> Alcotest.fail e
+  in
+  let hs = build (Topo.Hub_spoke { hubs = 3; spokes_per_hub = 4 }) in
+  Alcotest.(check int) "hub/spoke nodes" 15 (Graph.n_nodes hs);
+  Alcotest.(check int) "hub/spoke edges" 15 (Graph.n_edges hs);
+  (* hub trunks carry balance x spokes *)
+  Alcotest.(check int) "trunk capacity" 800 (Graph.capacity_of (Graph.edge hs 1));
+  let sf = build (Topo.Scale_free { nodes = 30; m = 2 }) in
+  Alcotest.(check int) "scale-free nodes" 30 (Graph.n_nodes sf);
+  Alcotest.(check int) "scale-free edges" (3 + (27 * 2)) (Graph.n_edges sf);
+  let gr = build (Topo.Grid { rows = 4; cols = 5 }) in
+  Alcotest.(check int) "grid nodes" 20 (Graph.n_nodes gr);
+  Alcotest.(check int) "grid edges" 31 (Graph.n_edges gr);
+  (* Degenerate specs are rejected, not half-built. *)
+  (match Topo.build (Drbg.split drbg "bad") (Topo.Scale_free { nodes = 3; m = 2 }) with
+  | Ok _ -> Alcotest.fail "degenerate scale-free accepted"
+  | Error _ -> ());
+  match Topo.spec_of_string "grid" ~nodes:1000 with
+  | Ok s -> Alcotest.(check bool) "parsed spec covers target" true (Topo.n_nodes_of s >= 1000)
+  | Error e -> Alcotest.fail e
+
+let test_topo_deterministic () =
+  let edges_sig spec seed =
+    match Topo.build ~balance:100 (Drbg.of_int seed) spec with
+    | Error e -> Alcotest.fail e
+    | Ok t ->
+        List.map (fun (e : Graph.edge) -> (e.Graph.e_left, e.Graph.e_right)) (Graph.edge_list t)
+  in
+  let spec = Topo.Scale_free { nodes = 40; m = 2 } in
+  Alcotest.(check bool) "same seed, same wiring" true
+    (edges_sig spec 7 = edges_sig spec 7);
+  Alcotest.(check bool) "different seed, different wiring" true
+    (edges_sig spec 7 <> edges_sig spec 8)
+
+(* --- workload engine --- *)
+
+let test_workload_conserves_and_measures () =
+  let spec = Topo.Scale_free { nodes = 60; m = 2 } in
+  let g = Drbg.of_int 5150 in
+  let t =
+    match Topo.build ~balance:2_000 ~fee_base:1 ~fee_ppm:1_000 g spec with
+    | Ok t -> t
+    | Error e -> Alcotest.fail e
+  in
+  let cfg =
+    { Workload.default_config with Workload.n_payments = 1_500; arrival_rate = 300.0 }
+  in
+  match Workload.run (Drbg.split g "w") t cfg with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      Alcotest.(check int) "all arrivals accounted" 1_500
+        (r.Workload.completed + r.Workload.no_route);
+      Alcotest.(check bool) "most payments complete" true
+        (r.Workload.success_rate > 0.5);
+      Alcotest.(check bool) "TPS measured" true (r.Workload.tps > 0.0);
+      Alcotest.(check bool) "TPS below offered (queueing)" true
+        (r.Workload.tps <= r.Workload.offered_rate);
+      Alcotest.(check bool) "paths are multi-hop on average" true
+        (r.Workload.avg_path_len >= 1.0);
+      Alcotest.(check bool) "fees were charged" true (r.Workload.fees_paid > 0);
+      Alcotest.(check bool) "depletion curve sampled" true
+        (List.length r.Workload.samples >= 2);
+      Alcotest.(check bool) "wealth conserved" true r.Workload.conserved
+
+let test_workload_deterministic () =
+  let once () =
+    let g = Drbg.of_int 8888 in
+    let t =
+      match Topo.build ~balance:1_000 (Drbg.split g "t") (Topo.Grid { rows = 6; cols = 6 }) with
+      | Ok t -> t
+      | Error e -> Alcotest.fail e
+    in
+    let cfg =
+      { Workload.default_config with Workload.n_payments = 400; arrival_rate = 200.0 }
+    in
+    match Workload.run (Drbg.split g "w") t cfg with
+    | Ok r -> (r.Workload.completed, r.Workload.no_route, r.Workload.tps, r.Workload.fees_paid)
+    | Error e -> Alcotest.fail e
+  in
+  let a = once () and b = once () in
+  Alcotest.(check bool) "same seed, same workload outcome" true (a = b)
+
+let test_workload_rejects_degenerate () =
+  let t = Graph.create (Drbg.split drbg "deg") in
+  ignore (Graph.add_node t ~name:"only");
+  match Workload.run (Drbg.split drbg "degw") t Workload.default_config with
+  | Ok _ -> Alcotest.fail "workload ran on a 1-node graph"
+  | Error _ -> ()
+
+let tests =
+  [
+    Alcotest.test_case "graph core" `Quick test_graph_core;
+    Alcotest.test_case "graph at 10k nodes" `Quick test_graph_scale;
+    Alcotest.test_case "dijkstra = brute force" `Quick test_dijkstra_vs_bruteforce;
+    Alcotest.test_case "avoid set" `Quick test_router_avoid_set;
+    Alcotest.test_case "routes deterministic across transports" `Slow
+      test_routes_deterministic_across_transports;
+    Alcotest.test_case "topology shapes" `Quick test_topo_shapes;
+    Alcotest.test_case "topology deterministic" `Quick test_topo_deterministic;
+    Alcotest.test_case "workload conserves + measures" `Quick
+      test_workload_conserves_and_measures;
+    Alcotest.test_case "workload deterministic" `Quick test_workload_deterministic;
+    Alcotest.test_case "workload rejects degenerate" `Quick
+      test_workload_rejects_degenerate;
+  ]

@@ -212,11 +212,11 @@ let test_three_hop_payment_golden_tree () =
   let clock = Monet_dsim.Clock.create () in
   List.iter
     (fun (e : Graph.edge) ->
-      e.Graph.e_channel.Ch.transport <-
+      (Graph.channel_exn e).Ch.transport <-
         Monet_channel.Driver.Scheduled
           { clock; latency = Monet_dsim.Latency.Fixed 5.0;
             g = Monet_hash.Drbg.split drbg "lat" })
-    t.Graph.edges;
+    (Graph.edge_list t);
   (* Trace only the payment, not the establishment. *)
   Metrics.enable ();
   Trace.enable ();

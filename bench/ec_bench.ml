@@ -412,6 +412,51 @@ let run ~smoke : entry list =
         if not (Monet_sig.Lsag.verify ~ring ~msg:"bench" !sg) then
           failwith "lsag verify failed in bench")
   in
+  (* Pippenger MSM at batch 64, per-term rate, vs computing the same
+     sum with 64 individual scalar muls and adds. *)
+  let msm_n = 64 in
+  let msm_terms =
+    Array.init msm_n (fun _ ->
+        (Sc.random_nonzero drbg, Point.mul_base (Sc.random_nonzero drbg)))
+  in
+  let msm_ops =
+    float_of_int msm_n
+    *. ops_per_sec ~iters:(scale 100 2) (fun () ->
+           sink := !sink lxor Hashtbl.hash (Point.msm msm_terms))
+  in
+  let msm_baseline =
+    float_of_int msm_n
+    *. ops_per_sec ~iters:(scale 20 1) (fun () ->
+           let acc = ref Point.identity in
+           Array.iter (fun (k, q) -> acc := Point.add !acc (Point.mul k q)) msm_terms;
+           sink := !sink lxor Hashtbl.hash !acc)
+  in
+  (* Schnorr batch verification at batch 64 (the ISSUE's ≥3× point):
+     one RLC + MSM for the whole batch vs a loop of individual
+     verifies (one Straus pass each). *)
+  let bv_n = 64 in
+  let bv_items =
+    Array.init bv_n (fun i ->
+        let kp = Monet_sig.Sig_core.gen drbg in
+        let msg = Printf.sprintf "batch-%d" i in
+        { Monet_sig.Batch.vk = kp.Monet_sig.Sig_core.vk; msg;
+          sg = Monet_sig.Sig_core.sign drbg kp msg })
+  in
+  let batch_verify_ops =
+    float_of_int bv_n
+    *. ops_per_sec ~iters:(scale 100 2) (fun () ->
+           if not (Monet_sig.Batch.verify_sigs bv_items) then
+             failwith "batch verify failed in bench")
+  in
+  let batch_verify_baseline =
+    float_of_int bv_n
+    *. ops_per_sec ~iters:(scale 20 1) (fun () ->
+           Array.iter
+             (fun (it : Monet_sig.Batch.sig_item) ->
+               if not (Monet_sig.Sig_core.verify it.vk it.msg it.sg) then
+                 failwith "verify failed in bench")
+             bv_items)
+  in
   (* One full channel update (both parties, incl. KES cross-signing),
      with a reduced VCOF repetition count so the Stadler proofs don't
      drown the EC signal; the rep count is recorded in the entry. *)
@@ -435,6 +480,14 @@ let run ~smoke : entry list =
     entry "double_mul" dm_ops ~baseline:dm_baseline;
     entry "lsag_sign_ring11" lsag_sign_ops;
     entry "lsag_verify_ring11" lsag_verify_ops;
+    entry "msm" msm_ops ~baseline:msm_baseline
+      ~note:
+        "64-term Pippenger MSM, per-term rate; baseline: same sum by 64 \
+         point_mul + add";
+    entry "batch_verify" batch_verify_ops ~baseline:batch_verify_baseline
+      ~note:
+        "64 Schnorr signatures by RLC batch (one MSM), per-signature rate; \
+         baseline: individual verifies";
     entry "channel_update" upd_ops
       ~note:(Printf.sprintf "vcof_reps=%d, both parties incl. KES" vcof_reps);
   ]
@@ -442,8 +495,8 @@ let run ~smoke : entry list =
 let required_keys =
   [
     "fe_mul"; "fe_mul_vs_specialized"; "point_mul"; "mul_base"; "double_mul";
-    "lsag_sign_ring11"; "lsag_verify_ring11"; "channel_update"; "results";
-    "schema"; "obs_registry";
+    "lsag_sign_ring11"; "lsag_verify_ring11"; "msm"; "batch_verify";
+    "channel_update"; "results"; "schema"; "obs_registry";
   ]
 
 let () =

@@ -24,6 +24,7 @@
 module Graph = Monet_net.Graph
 module Topo = Monet_net.Topo
 module Workload = Monet_net.Workload
+module Shard = Monet_net.Shard
 module Metrics = Monet_obs.Metrics
 
 let seed = 0x6e31
@@ -71,9 +72,49 @@ let run_topology ~(spec : Topo.spec) ~(balance : int) ~(cfg : Workload.config) :
     r_wall_s = wall;
   }
 
+(* --- Domain scaling (DESIGN.md §3.10) ------------------------------ *)
+
+(* One row per (shape, domain count): the same total population and
+   payment workload, statically sharded over D domains. TPS is
+   measured on the simulated clock — total completions over the
+   slowest shard's sim-time span — so the scaling comes from real
+   capacity (each shard brings its own hubs and service queues), not
+   from wall-clock parallelism. *)
+type drow = {
+  d_shape : string;
+  d_nodes : int;
+  d_domains : int;
+  d_merged : Shard.merged;
+  d_wall_s : float;
+}
+
+let run_domains ~(shape : string) ~(nodes : int) ~(cfg : Workload.config)
+    (domains : int list) : drow list =
+  List.map
+    (fun d ->
+      match
+        Shard.plan ~seed:"bench-domains" ~domains:d ~shape ~nodes
+          ~balance:10_000 cfg
+      with
+      | Error e -> failwith (Printf.sprintf "domains %s/%d: %s" shape d e)
+      | Ok p -> (
+          let t0 = Sys.time () in
+          match Shard.run p with
+          | Error e -> failwith (Printf.sprintf "domains %s/%d: %s" shape d e)
+          | Ok m ->
+              {
+                d_shape = shape;
+                d_nodes = nodes;
+                d_domains = d;
+                d_merged = m;
+                d_wall_s = Sys.time () -. t0;
+              }))
+    domains
+
 (* --- JSON out ------------------------------------------------------ *)
 
-let json_of_rows ~mode ~(cfg : Workload.config) (rows : row list) : string =
+let json_of_rows ~mode ~(cfg : Workload.config) ~(dcfg : Workload.config)
+    ~(drows : drow list) (rows : row list) : string =
   let b = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   add "{\n";
@@ -122,6 +163,52 @@ let json_of_rows ~mode ~(cfg : Workload.config) (rows : row list) : string =
       add "      \"wall_seconds\": %.2f\n" r.r_wall_s;
       add "    }%s\n" (if i < List.length rows - 1 then "," else ""))
     rows;
+  add "  },\n";
+  (* Domain-scaling dimension: same shape and total workload, sharded
+     over 1/2/4/… domains (lib/net/shard.ml). *)
+  add "  \"domains\": {\n";
+  add "    \"workload\": {\n";
+  add "      \"payments\": %d,\n" dcfg.Workload.n_payments;
+  add "      \"offered_rate_tps\": %.1f,\n" dcfg.Workload.arrival_rate;
+  add "      \"hop_proc_ms\": %.1f\n" dcfg.Workload.hop_proc_ms;
+  add "    },\n";
+  add "    \"shapes\": {\n";
+  let shapes =
+    List.fold_left
+      (fun acc d -> if List.mem d.d_shape acc then acc else acc @ [ d.d_shape ])
+      [] drows
+  in
+  List.iteri
+    (fun si shape ->
+      let rows_d = List.filter (fun d -> d.d_shape = shape) drows in
+      let tps_of n =
+        List.find_opt (fun d -> d.d_domains = n) rows_d
+        |> Option.map (fun d -> d.d_merged.Shard.agg_tps)
+      in
+      add "      \"%s\": {\n" shape;
+      add "        \"nodes\": %d,\n" (List.hd rows_d).d_nodes;
+      add "        \"by_domains\": [";
+      List.iteri
+        (fun j d ->
+          let m = d.d_merged in
+          if j > 0 then add ", ";
+          add
+            "{\"domains\": %d, \"measured_tps\": %.1f, \"completed\": %d, \
+             \"offered\": %d, \"success_rate\": %.4f, \"sim_seconds\": %.3f, \
+             \"conserved\": %b, \"wall_seconds\": %.2f}"
+            d.d_domains m.Shard.agg_tps m.Shard.agg_completed m.Shard.agg_offered
+            m.Shard.agg_success_rate
+            (m.Shard.agg_sim_ms /. 1000.0)
+            m.Shard.conserved d.d_wall_s)
+        rows_d;
+      add "],\n";
+      (match (tps_of 1, tps_of 4) with
+      | Some t1, Some t4 when t1 > 0.0 ->
+          add "        \"speedup_4d_vs_1d\": %.2f\n" (t4 /. t1)
+      | _ -> add "        \"speedup_4d_vs_1d\": null\n");
+      add "      }%s\n" (if si < List.length shapes - 1 then "," else ""))
+    shapes;
+  add "    }\n";
   add "  }\n}\n";
   Buffer.contents b
 
@@ -191,6 +278,7 @@ let parse_json (s : string) : string list =
     | '"' -> ignore (parse_string ())
     | 't' -> parse_lit "true"
     | 'f' -> parse_lit "false"
+    | 'n' -> parse_lit "null"
     | '-' | '0' .. '9' -> parse_number ()
     | c -> raise (Bad_json (Printf.sprintf "unexpected '%c'" c))
   and parse_arr () =
@@ -237,7 +325,8 @@ let required_keys =
     "schema"; "mode"; "seed"; "workload"; "rows"; "hub_spoke"; "scale_free";
     "grid"; "nodes"; "channels"; "success_rate"; "offered_rate_tps";
     "measured_tps"; "sim_seconds"; "depleted_channels_final"; "depletion";
-    "conserved"; "ops"; "routes"; "dijkstra_settled"; "fees_paid";
+    "conserved"; "ops"; "routes"; "dijkstra_settled"; "fees_paid"; "domains";
+    "shapes"; "by_domains"; "speedup_4d_vs_1d";
   ]
 
 (* --- main ----------------------------------------------------------- *)
@@ -284,7 +373,44 @@ let () =
       if not r.r_report.Workload.conserved then
         failwith (r.r_topology ^ ": wealth not conserved"))
     rows;
-  let json = json_of_rows ~mode:(if smoke then "smoke" else "full") ~cfg rows in
+  (* Domain-scaling sweep: same total population / workload, sharded
+     over D domains (static channel-id partition, per-shard ledgers
+     merged at the block boundary — lib/net/shard.ml). *)
+  let dshapes, dnodes, dlist, dcfg =
+    if smoke then
+      ( [ "hub_spoke" ],
+        32,
+        [ 1; 2; 4 ],
+        { Workload.n_payments = 200; arrival_rate = 400.0; amount_min = 10;
+          amount_max = 200; hop_proc_ms = 20.0; sample_every_ms = 1_000.0 } )
+    else
+      ( [ "hub_spoke"; "scale_free"; "grid" ],
+        512,
+        [ 1; 2; 4; 8 ],
+        { Workload.n_payments = 8_000; arrival_rate = 4_000.0; amount_min = 10;
+          amount_max = 200; hop_proc_ms = 20.0; sample_every_ms = 10_000.0 } )
+  in
+  let drows =
+    List.concat_map
+      (fun shape -> run_domains ~shape ~nodes:dnodes ~cfg:dcfg dlist)
+      dshapes
+  in
+  Printf.printf "\n%-11s %6s %8s %9s %9s %9s %9s\n" "shape" "nodes" "domains"
+    "meas.TPS" "success" "sim(s)" "wall(s)";
+  List.iter
+    (fun d ->
+      let m = d.d_merged in
+      Printf.printf "%-11s %6d %8d %9.1f %8.1f%% %9.3f %9.2f\n" d.d_shape
+        d.d_nodes d.d_domains m.Shard.agg_tps
+        (100.0 *. m.Shard.agg_success_rate)
+        (m.Shard.agg_sim_ms /. 1000.0)
+        d.d_wall_s;
+      if not m.Shard.conserved then
+        failwith (d.d_shape ^ ": sharded wealth not conserved"))
+    drows;
+  let json =
+    json_of_rows ~mode:(if smoke then "smoke" else "full") ~cfg ~dcfg ~drows rows
+  in
   let oc = open_out !out in
   output_string oc json;
   close_out oc;

@@ -301,8 +301,53 @@ let trace verbose seed reps scenario out =
 
 (* --- net run: population-scale workload --- *)
 
-let net_run verbose seed topology nodes payments rate balance fee_base fee_ppm =
+(* Sharded execution path (--domains N > 1): static channel-id
+   partition over N OCaml domains, merged at the block boundary
+   (DESIGN.md §3.10). *)
+let net_run_sharded seed topology nodes payments rate balance fee_base fee_ppm
+    domains =
+  let cfg =
+    { Workload.default_config with
+      Workload.n_payments = payments; arrival_rate = rate }
+  in
+  match
+    Monet_net.Shard.plan
+      ~seed:(Printf.sprintf "cli-net-run/%d" seed)
+      ~domains ~shape:topology ~nodes ~balance ~fee_base ~fee_ppm cfg
+  with
+  | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      1
+  | Ok p -> (
+      Printf.printf "%s: %d nodes over %d domains; %d payments at %.0f/s\n%!"
+        topology nodes domains payments rate;
+      match Monet_net.Shard.run p with
+      | Error e ->
+          Printf.eprintf "error: %s\n" e;
+          1
+      | Ok m ->
+          let open Monet_net.Shard in
+          Printf.printf "completed %d/%d (%.1f%% success, %d no-route)\n"
+            m.agg_completed m.agg_offered
+            (100.0 *. m.agg_success_rate)
+            m.agg_no_route;
+          Printf.printf
+            "aggregate TPS %.1f over %.1f sim-seconds (slowest shard), fees %d\n"
+            m.agg_tps (m.agg_sim_ms /. 1000.0) m.agg_fees;
+          Printf.printf "wealth conserved: %b\n" m.conserved;
+          if m.conserved then 0 else 1)
+
+let net_run verbose seed topology nodes payments rate balance fee_base fee_ppm
+    domains =
   setup_logs verbose;
+  if domains < 1 then begin
+    Printf.eprintf "error: --domains must be >= 1\n";
+    1
+  end
+  else if domains > 1 then
+    net_run_sharded seed topology nodes payments rate balance fee_base fee_ppm
+      domains
+  else
   match Topo.spec_of_string topology ~nodes with
   | Error e ->
       Printf.eprintf "error: %s\n" e;
@@ -410,11 +455,16 @@ let net_cmd =
       Arg.(value & opt int 100
            & info [ "fee-ppm" ] ~doc:"Proportional forwarding fee (parts per million).")
     in
+    let domains =
+      Arg.(value & opt int 1
+           & info [ "domains" ]
+               ~doc:"Shard the population over N OCaml domains (N > 1).")
+    in
     Cmd.v
       (Cmd.info "run"
          ~doc:"Measure network TPS under an open-arrival payment workload")
       Term.(const net_run $ verbose_arg $ seed_arg $ topology $ nodes $ payments
-            $ rate $ balance $ fee_base $ fee_ppm)
+            $ rate $ balance $ fee_base $ fee_ppm $ domains)
   in
   Cmd.group
     (Cmd.info "net" ~doc:"Population-scale network engine (topologies + workloads)")

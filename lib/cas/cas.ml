@@ -39,6 +39,13 @@ let c_vrfy (s : signer) ~(prev : Point.t) ~(next : Point.t)
     (proof : Monet_vcof.Vcof.proof) : bool =
   Monet_vcof.Vcof.c_vrfy ~pp:s.pp ~prev ~next proof
 
+(** Batched CVrfy across a burst of chain steps under this signer's pp
+    (e.g. verifying a counterparty's whole chain at channel open):
+    one multi-scalar multiplication instead of per-step proofs. *)
+let c_vrfy_batch (s : signer)
+    (steps : (Point.t * Point.t * Monet_vcof.Vcof.proof) array) : bool =
+  Monet_vcof.Vcof.c_vrfy_batch ~pp:s.pp steps
+
 (** PSign under the signer's current chain statement. *)
 let p_sign (g : Monet_hash.Drbg.t) (s : signer) (msg : string) : Adaptor.pre_signature
     =

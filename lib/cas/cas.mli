@@ -25,6 +25,11 @@ val new_sw :
 val c_vrfy :
   signer -> prev:Point.t -> next:Point.t -> Monet_vcof.Vcof.proof -> bool
 
+val c_vrfy_batch :
+  signer -> (Point.t * Point.t * Monet_vcof.Vcof.proof) array -> bool
+(** Batched CVrfy over a burst of (prev, next, proof) chain steps:
+    one multi-scalar multiplication for the whole burst. *)
+
 val p_sign : Monet_hash.Drbg.t -> signer -> string -> Adaptor.pre_signature
 (** Pre-sign under the signer's current chain statement. *)
 

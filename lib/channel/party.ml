@@ -384,33 +384,52 @@ let precompute_batch (p : party) ~(n : int) :
 let verify_batch (p : party) (entries : Msg.batch_entry array) :
     (Monet_sig.Stmt.t array, string) result =
   let pp = p.clras.Clras.pp in
-  let prev = ref p.clras.Clras.their_stmt.Monet_sig.Stmt.yg in
   let ok = ref true and err = ref "" in
   Array.iteri
     (fun i (e : Msg.batch_entry) ->
-      if !ok then begin
-        if
-          not
-            (Monet_sigma.Dleq.verify ~context:"clras-legs" ~g1:Point.base
-               ~h1:e.be_stmt.Monet_sig.Stmt.yg ~g2:p.joint.Tp.hp
-               ~h2:e.be_stmt.Monet_sig.Stmt.yhp e.be_leg_proof)
-        then begin
-          ok := false;
-          err := Printf.sprintf "batch entry %d: legs inconsistent" i
-        end
-        else if
-          not
-            (Monet_vcof.Vcof.c_vrfy ~pp ~prev:!prev ~next:e.be_stmt.Monet_sig.Stmt.yg
-               e.be_step_proof)
-        then begin
-          ok := false;
-          err := Printf.sprintf "batch entry %d: not consecutive" i
-        end
-        else prev := e.be_stmt.Monet_sig.Stmt.yg
+      if
+        !ok
+        && not
+             (Monet_sigma.Dleq.verify ~context:"clras-legs" ~g1:Point.base
+                ~h1:e.be_stmt.Monet_sig.Stmt.yg ~g2:p.joint.Tp.hp
+                ~h2:e.be_stmt.Monet_sig.Stmt.yhp e.be_leg_proof)
+      then begin
+        ok := false;
+        err := Printf.sprintf "batch entry %d: legs inconsistent" i
       end)
     entries;
-  if !ok then Ok (Array.map (fun (e : Msg.batch_entry) -> e.be_stmt) entries)
-  else Error !err
+  if not !ok then Error !err
+  else begin
+    (* Entries chain from our view of their current statement; verify
+       all consecutiveness proofs in one batched CVrfy (a single MSM).
+       On failure, re-verify stepwise only to name the culprit. *)
+    let prev i =
+      if i = 0 then p.clras.Clras.their_stmt.Monet_sig.Stmt.yg
+      else entries.(i - 1).Msg.be_stmt.Monet_sig.Stmt.yg
+    in
+    let steps =
+      Array.mapi
+        (fun i (e : Msg.batch_entry) ->
+          (prev i, e.be_stmt.Monet_sig.Stmt.yg, e.be_step_proof))
+        entries
+    in
+    if Monet_vcof.Vcof.c_vrfy_batch ~pp steps then
+      Ok (Array.map (fun (e : Msg.batch_entry) -> e.be_stmt) entries)
+    else begin
+      let bad = ref (Array.length entries - 1) in
+      let i = ref 0 in
+      let searching = ref true in
+      while !searching && !i < Array.length steps do
+        let pv, nx, proof = steps.(!i) in
+        if not (Monet_vcof.Vcof.c_vrfy ~pp ~prev:pv ~next:nx proof) then begin
+          bad := !i;
+          searching := false
+        end;
+        incr i
+      done;
+      Error (Printf.sprintf "batch entry %d: not consecutive" !bad)
+    end
+  end
 
 (* --- the message handler ----------------------------------------------- *)
 
@@ -950,8 +969,8 @@ let est_finish (e : est) (env : env) : (party, Errors.t) result =
       let dummy_kp = Monet_sig.Sig_core.gen e.e_g in
       let dummy_commit =
         { Monet_kes.Kes_contract.cm_state = 0; cm_digest = "";
-          cm_sig_a = { Monet_sig.Sig_core.h = Sc.zero; s = Sc.zero };
-          cm_sig_b = { Monet_sig.Sig_core.h = Sc.zero; s = Sc.zero } }
+          cm_sig_a = { Monet_sig.Sig_core.rp = Monet_ec.Point.identity; s = Sc.zero };
+          cm_sig_b = { Monet_sig.Sig_core.rp = Monet_ec.Point.identity; s = Sc.zero } }
       in
       let dummy_tx = { Monet_xmr.Tx.inputs = []; outputs = []; fee = 0; extra = "" } in
       let dummy_presig =

@@ -36,7 +36,7 @@ let bytes_len = 32
    |h_even| ≤ 2^25, and the top carry has been folded back into h0 via
    2^255 ≡ 19. Rounding biases make [asr] behave as a nearest-integer
    division, so limbs end up centred around 0. *)
-let carry_make h0 h1 h2 h3 h4 h5 h6 h7 h8 h9 : t =
+let carry_into (d : t) h0 h1 h2 h3 h4 h5 h6 h7 h8 h9 : unit =
   let b26 = 1 lsl 25 and b25 = 1 lsl 24 in
   let c = (h0 + b26) asr 26 in
   let h1 = h1 + c and h0 = h0 - (c lsl 26) in
@@ -62,19 +62,60 @@ let carry_make h0 h1 h2 h3 h4 h5 h6 h7 h8 h9 : t =
   let h0 = h0 + (19 * c) and h9 = h9 - (c lsl 25) in
   let c = (h0 + b26) asr 26 in
   let h1 = h1 + c and h0 = h0 - (c lsl 26) in
-  [| h0; h1; h2; h3; h4; h5; h6; h7; h8; h9 |]
+  Array.unsafe_set d 0 h0;
+  Array.unsafe_set d 1 h1;
+  Array.unsafe_set d 2 h2;
+  Array.unsafe_set d 3 h3;
+  Array.unsafe_set d 4 h4;
+  Array.unsafe_set d 5 h5;
+  Array.unsafe_set d 6 h6;
+  Array.unsafe_set d 7 h7;
+  Array.unsafe_set d 8 h8;
+  Array.unsafe_set d 9 h9
 
-let add (a : t) (b : t) : t =
+let carry_make h0 h1 h2 h3 h4 h5 h6 h7 h8 h9 : t =
+  let d = Array.make 10 0 in
+  carry_into d h0 h1 h2 h3 h4 h5 h6 h7 h8 h9;
+  d
+
+(* --- In-place variants ----------------------------------------------
+   The [_into] operations write their (carried, loosely-reduced)
+   result into a caller-owned buffer instead of allocating: the MSM
+   inner loops ({!Point.msm}) run thousands of additions per call, and
+   the ~13 ten-word arrays a fresh-allocation formula produces per
+   point addition are pure GC churn there. The destination may alias
+   an operand — every limb is read before anything is written. *)
+
+let alloc () : t = Array.make 10 0
+let copy (a : t) : t = Array.copy a
+let copy_into (d : t) (a : t) : unit = Array.blit a 0 d 0 10
+
+let add_into (d : t) (a : t) (b : t) : unit =
   let ga = Array.unsafe_get a and gb = Array.unsafe_get b in
-  carry_make
+  carry_into d
     (ga 0 + gb 0) (ga 1 + gb 1) (ga 2 + gb 2) (ga 3 + gb 3) (ga 4 + gb 4)
     (ga 5 + gb 5) (ga 6 + gb 6) (ga 7 + gb 7) (ga 8 + gb 8) (ga 9 + gb 9)
 
-let sub (a : t) (b : t) : t =
+let sub_into (d : t) (a : t) (b : t) : unit =
   let ga = Array.unsafe_get a and gb = Array.unsafe_get b in
-  carry_make
+  carry_into d
     (ga 0 - gb 0) (ga 1 - gb 1) (ga 2 - gb 2) (ga 3 - gb 3) (ga 4 - gb 4)
     (ga 5 - gb 5) (ga 6 - gb 6) (ga 7 - gb 7) (ga 8 - gb 8) (ga 9 - gb 9)
+
+let neg_into (d : t) (a : t) : unit =
+  for i = 0 to 9 do
+    Array.unsafe_set d i (- Array.unsafe_get a i)
+  done
+
+let add (a : t) (b : t) : t =
+  let d = alloc () in
+  add_into d a b;
+  d
+
+let sub (a : t) (b : t) : t =
+  let d = alloc () in
+  sub_into d a b;
+  d
 
 (* Limb-wise negation preserves the loose-reduction bounds. *)
 let neg (a : t) : t = Array.map (fun x -> -x) a
@@ -84,7 +125,7 @@ let neg (a : t) : t = Array.map (fun x -> -x) a
    with i, j both odd a 2 (the radix-2^25.5 exponent ⌈25.5i⌉+⌈25.5j⌉
    overshoots ⌈25.5(i+j)⌉ by one exactly then). Straight-line ref10
    row order; every sum is ≤ 10·2^59 in magnitude. *)
-let mul (f : t) (g : t) : t =
+let mul_into (d : t) (f : t) (g : t) : unit =
   Monet_obs.Metrics.bump m_mul;
   let f0 = Array.unsafe_get f 0 and f1 = Array.unsafe_get f 1
   and f2 = Array.unsafe_get f 2 and f3 = Array.unsafe_get f 3
@@ -162,11 +203,25 @@ let mul (f : t) (g : t) : t =
   let h0 = h0 + (19 * c) and h9 = h9 - (c lsl 25) in
   let c = (h0 + b26) asr 26 in
   let h1 = h1 + c and h0 = h0 - (c lsl 26) in
-  [| h0; h1; h2; h3; h4; h5; h6; h7; h8; h9 |]
+  Array.unsafe_set d 0 h0;
+  Array.unsafe_set d 1 h1;
+  Array.unsafe_set d 2 h2;
+  Array.unsafe_set d 3 h3;
+  Array.unsafe_set d 4 h4;
+  Array.unsafe_set d 5 h5;
+  Array.unsafe_set d 6 h6;
+  Array.unsafe_set d 7 h7;
+  Array.unsafe_set d 8 h8;
+  Array.unsafe_set d 9 h9
+
+let mul (f : t) (g : t) : t =
+  let d = Array.make 10 0 in
+  mul_into d f g;
+  d
 
 (* Dedicated squaring: the symmetric terms merge, ~half the limb
    products of [mul]. *)
-let sq (f : t) : t =
+let sq_into (d : t) (f : t) : unit =
   Monet_obs.Metrics.bump m_sq;
   let f0 = Array.unsafe_get f 0 and f1 = Array.unsafe_get f 1
   and f2 = Array.unsafe_get f 2 and f3 = Array.unsafe_get f 3
@@ -228,7 +283,21 @@ let sq (f : t) : t =
   let h0 = h0 + (19 * c) and h9 = h9 - (c lsl 25) in
   let c = (h0 + b26) asr 26 in
   let h1 = h1 + c and h0 = h0 - (c lsl 26) in
-  [| h0; h1; h2; h3; h4; h5; h6; h7; h8; h9 |]
+  Array.unsafe_set d 0 h0;
+  Array.unsafe_set d 1 h1;
+  Array.unsafe_set d 2 h2;
+  Array.unsafe_set d 3 h3;
+  Array.unsafe_set d 4 h4;
+  Array.unsafe_set d 5 h5;
+  Array.unsafe_set d 6 h6;
+  Array.unsafe_set d 7 h7;
+  Array.unsafe_set d 8 h8;
+  Array.unsafe_set d 9 h9
+
+let sq (f : t) : t =
+  let d = Array.make 10 0 in
+  sq_into d f;
+  d
 
 (* --- Canonical encoding (the only place full reduction happens) --- *)
 

@@ -190,6 +190,14 @@ let mul (k : Sc.t) (p : t) : t =
 (* Width-8 wNAF table of B for the Straus fixed-base leg. *)
 let base_wnaf_table : t array lazy_t = lazy (odd_multiples base 64)
 
+(** Force the process-wide precomputed tables. OCaml lazies are not
+    safe to force concurrently (CamlinternalLazy.Undefined); anything
+    that spawns domains which touch the group (lib/net/shard.ml) must
+    call this on the parent domain first. *)
+let force_precomp () =
+  ignore (Lazy.force base_table);
+  ignore (Lazy.force base_wnaf_table)
+
 (** [mul2 a p b q] = a·P + b·Q by Straus–Shamir interleaving: one
     shared doubling chain, two width-5 wNAF digit streams. *)
 let mul2 (a : Sc.t) (p : t) (b : Sc.t) (q : t) : t =
@@ -234,6 +242,282 @@ let double_mul (a : Sc.t) (p : t) (b : Sc.t) : t =
     !acc
   end
 
+(* --- Multi-scalar multiplication (Pippenger) ------------------------ *)
+
+(* Signed base-2^w digit recoding: digits d_j ∈ [-2^(w-1), 2^(w-1)]
+   with Σ d_j·2^(jw) = k. One extra digit absorbs the final carry
+   (scalars are < 2^253). *)
+let signed_digits ~(w : int) (k : Sc.t) : int array =
+  let bytes = Sc.to_bytes_le k in
+  let nwin = ((256 + w - 1) / w) + 1 in
+  let digits = Array.make nwin 0 in
+  let byte i = if i >= 32 then 0 else Char.code (String.unsafe_get bytes i) in
+  (* Only recode up to the scalar's top nonzero byte: short (e.g.
+     128-bit batch-randomizer) scalars fill half the windows with
+     structural zeros. *)
+  let top = ref 31 in
+  while !top > 0 && byte !top = 0 do
+    decr top
+  done;
+  let last_win = min (nwin - 1) ((((!top + 1) * 8) / w) + 1) in
+  let mask = (1 lsl w) - 1 in
+  let half = 1 lsl (w - 1) in
+  let carry = ref 0 in
+  for j = 0 to last_win do
+    (* Window j covers bits [j·w, j·w + w); with w ≤ 13 it spans at
+       most three bytes, read in one go. *)
+    let bit0 = j * w in
+    let idx = bit0 lsr 3 and off = bit0 land 7 in
+    let v =
+      (byte idx lor (byte (idx + 1) lsl 8) lor (byte (idx + 2) lsl 16))
+      lsr off land mask
+    in
+    let u = ref (v + !carry) in
+    if !u > half then begin
+      digits.(j) <- !u - (1 lsl w);
+      carry := 1
+    end
+    else begin
+      digits.(j) <- !u;
+      carry := 0
+    end
+  done;
+  digits
+
+(* Pippenger window width: minimize the additions model
+   ceil(256/w)·(n + 2·2^(w-1)) — the scatter pass plus the two-pass
+   bucket reduction — over the doubling chain shared by all windows.
+   (Window widths one either side of the optimum measure within noise
+   of each other on batch-sized inputs; the simple model tracks the
+   measured optimum across n = 32…512.) *)
+let msm_window (n : int) : int =
+  let best = ref 1 and best_cost = ref max_int in
+  for w = 1 to 13 do
+    let windows = ((256 + w - 1) / w) + 1 in
+    let cost = windows * (n + (2 * (1 lsl (w - 1)))) in
+    if cost < !best_cost then begin
+      best_cost := cost;
+      best := w
+    end
+  done;
+  !best
+
+let m_msm = Monet_obs.Metrics.counter "ec.point_msm"
+let m_msm_terms = Monet_obs.Metrics.counter "ec.point_msm_terms"
+
+(** Normalize many points to Z = 1 with one shared field inversion
+    (Montgomery's trick): ~3 field multiplications per point instead
+    of one ~30-squaring inversion each. The returned points are equal
+    to the inputs as group elements. *)
+let normalize_batch (ps : t array) : t array =
+  let n = Array.length ps in
+  let prefix = Array.make n Fe.one in
+  let acc = ref Fe.one in
+  for i = 0 to n - 1 do
+    prefix.(i) <- !acc;
+    acc := Fe.mul !acc ps.(i).z
+  done;
+  let inv = ref (Fe.inv !acc) in
+  let out = Array.make n identity in
+  for i = n - 1 downto 0 do
+    let zi = Fe.mul !inv prefix.(i) in
+    inv := Fe.mul !inv ps.(i).z;
+    let x = Fe.mul ps.(i).x zi and y = Fe.mul ps.(i).y zi in
+    out.(i) <- { x; y; z = Fe.one; t = Fe.mul x y }
+  done;
+  out
+
+(** [msm [| (k₀,P₀); … |]] = Σ kᵢ·Pᵢ by bucketed (Pippenger)
+    multi-scalar multiplication with signed base-2^w digits, the
+    window width chosen from the term count. Sub-linear in n: one
+    shared doubling chain and ~n + 2^w additions per window, so
+    verifying a batch of n equations costs far less than n
+    independent scalar multiplications. Terms with zero scalars or
+    identity points are harmless (they scatter nothing). *)
+let msm (terms : (Sc.t * t) array) : t =
+  let n = Array.length terms in
+  if n = 0 then identity
+  else if n < 4 then
+    (* Below the bucket break-even: Straus-pair the terms. *)
+    let rec go i acc =
+      if i >= n then acc
+      else if i + 1 < n then
+        let k0, p0 = terms.(i) and k1, p1 = terms.(i + 1) in
+        go (i + 2) (add acc (mul2 k0 p0 k1 p1))
+      else
+        let k, p = terms.(i) in
+        add acc (mul k p)
+    in
+    go 0 identity
+  else begin
+    Monet_obs.Metrics.bump m_msm;
+    Monet_obs.Metrics.add m_msm_terms n;
+    let w = msm_window n in
+    let half = 1 lsl (w - 1) in
+    let digits = Array.map (fun (k, _) -> signed_digits ~w k) terms in
+    let nwin = ((256 + w - 1) / w) + 1 in
+    (* Normalize the input points once (one shared inversion) and keep
+       them in precomputed "Niels" form (y−x, y+x, ±2d·t): the scatter
+       adds below are then mixed additions — 7 field multiplications
+       instead of the 9 of the unified projective formula — and a
+       negated term is free (swap the y∓x legs, take the negated t
+       leg). All accumulators (buckets, running sums, the result) are
+       mutable working points over preallocated limb buffers, reused
+       across every window: a fresh-allocation formula would churn
+       ~13 ten-word arrays per addition through the minor heap. *)
+    let norm = normalize_batch (Array.map snd terms) in
+    let ym = Array.map (fun p -> Fe.sub p.y p.x) norm in
+    let yp = Array.map (fun p -> Fe.add p.y p.x) norm in
+    let td = Array.map (fun p -> Fe.mul p.t d2) norm in
+    let tdn = Array.map Fe.neg td in
+    let wp_alloc () = (Fe.alloc (), Fe.alloc (), Fe.alloc (), Fe.alloc ()) in
+    (* Shared scratch for the formulas below; no call nests another. *)
+    let s0 = Fe.alloc () and s1 = Fe.alloc () and s2 = Fe.alloc ()
+    and s3 = Fe.alloc () and s4 = Fe.alloc () and s5 = Fe.alloc ()
+    and s6 = Fe.alloc () and s7 = Fe.alloc () in
+    (* acc += Niels form of ±norm(i); add-2008-hwcd-3 mixed. *)
+    let add_niels_into ((ax, ay, az, at) : Fe.t * Fe.t * Fe.t * Fe.t) (i : int)
+        (positive : bool) : unit =
+      let ymi = if positive then ym.(i) else yp.(i) in
+      let ypi = if positive then yp.(i) else ym.(i) in
+      let tdi = if positive then td.(i) else tdn.(i) in
+      Fe.sub_into s0 ay ax;
+      Fe.mul_into s0 s0 ymi;
+      Fe.add_into s1 ay ax;
+      Fe.mul_into s1 s1 ypi;
+      Fe.mul_into s2 at tdi;
+      Fe.add_into s3 az az;
+      Fe.sub_into s4 s1 s0;
+      Fe.sub_into s5 s3 s2;
+      Fe.add_into s6 s3 s2;
+      Fe.add_into s7 s1 s0;
+      Fe.mul_into ax s4 s5;
+      Fe.mul_into ay s6 s7;
+      Fe.mul_into at s4 s7;
+      Fe.mul_into az s5 s6
+    in
+    (* r += q; unified add-2008-hwcd-3 (r and q must not alias). *)
+    let add_wp_into ((rx, ry, rz, rt) : Fe.t * Fe.t * Fe.t * Fe.t)
+        ((qx, qy, qz, qt) : Fe.t * Fe.t * Fe.t * Fe.t) : unit =
+      Fe.sub_into s0 ry rx;
+      Fe.sub_into s1 qy qx;
+      Fe.mul_into s0 s0 s1;
+      Fe.add_into s1 ry rx;
+      Fe.add_into s2 qy qx;
+      Fe.mul_into s1 s1 s2;
+      Fe.mul_into s2 rt d2;
+      Fe.mul_into s2 s2 qt;
+      Fe.add_into s3 rz rz;
+      Fe.mul_into s3 s3 qz;
+      Fe.sub_into s4 s1 s0;
+      Fe.sub_into s5 s3 s2;
+      Fe.add_into s6 s3 s2;
+      Fe.add_into s7 s1 s0;
+      Fe.mul_into rx s4 s5;
+      Fe.mul_into ry s6 s7;
+      Fe.mul_into rt s4 s7;
+      Fe.mul_into rz s5 s6
+    in
+    (* acc := 2·acc; dbl-2008-hwcd. *)
+    let double_into ((ax, ay, az, at) : Fe.t * Fe.t * Fe.t * Fe.t) : unit =
+      Fe.sq_into s0 ax;
+      Fe.sq_into s1 ay;
+      Fe.sq_into s2 az;
+      Fe.add_into s2 s2 s2;
+      Fe.neg_into s3 s0;
+      Fe.add_into s4 ax ay;
+      Fe.sq_into s4 s4;
+      Fe.sub_into s4 s4 s0;
+      Fe.sub_into s4 s4 s1;
+      Fe.add_into s5 s3 s1;
+      Fe.sub_into s6 s5 s2;
+      Fe.sub_into s7 s3 s1;
+      Fe.mul_into ax s4 s6;
+      Fe.mul_into ay s5 s7;
+      Fe.mul_into at s4 s7;
+      Fe.mul_into az s6 s5
+    in
+    let store_into ((bx, by, bz, bt) : Fe.t * Fe.t * Fe.t * Fe.t) (i : int)
+        (positive : bool) : unit =
+      let p = norm.(i) in
+      if positive then begin
+        Fe.copy_into bx p.x;
+        Fe.copy_into bt p.t
+      end
+      else begin
+        Fe.neg_into bx p.x;
+        Fe.neg_into bt p.t
+      end;
+      Fe.copy_into by p.y;
+      Fe.copy_into bz p.z
+    in
+    let copy_wp ((dx, dy, dz, dt) : Fe.t * Fe.t * Fe.t * Fe.t)
+        ((sx, sy, sz, st) : Fe.t * Fe.t * Fe.t * Fe.t) : unit =
+      Fe.copy_into dx sx;
+      Fe.copy_into dy sy;
+      Fe.copy_into dz sz;
+      Fe.copy_into dt st
+    in
+    let buckets = Array.init (half + 1) (fun _ -> wp_alloc ()) in
+    let occ = Array.make (half + 1) false in
+    let running = wp_alloc () and total = wp_alloc () and acc = wp_alloc () in
+    let has_acc = ref false in
+    for j = nwin - 1 downto 0 do
+      if !has_acc then
+        for _ = 1 to w do
+          double_into acc
+        done;
+      (* Scatter this window's digits into |digit| buckets, tracking
+         the highest bucket touched so the reduction sweep only walks
+         the populated prefix. First store into an empty bucket is a
+         copy, not an addition. *)
+      let hi = ref 0 in
+      for i = 0 to n - 1 do
+        let d = digits.(i).(j) in
+        if d <> 0 then begin
+          let b = abs d in
+          if occ.(b) then add_niels_into buckets.(b) i (d > 0)
+          else begin
+            store_into buckets.(b) i (d > 0);
+            occ.(b) <- true
+          end;
+          if b > !hi then hi := b
+        end
+      done;
+      if !hi > 0 then begin
+        (* Σ b·bucket[b] via the running-sum trick, skipping empty
+           buckets (sparse with short — e.g. 128-bit randomizer —
+           coefficients, where half the windows scatter nothing). *)
+        let has_run = ref false and has_tot = ref false in
+        for b = !hi downto 1 do
+          if occ.(b) then begin
+            if !has_run then add_wp_into running buckets.(b)
+            else begin
+              copy_wp running buckets.(b);
+              has_run := true
+            end;
+            occ.(b) <- false
+          end;
+          if !has_run then
+            if !has_tot then add_wp_into total running
+            else begin
+              copy_wp total running;
+              has_tot := true
+            end
+        done;
+        if !has_acc then add_wp_into acc total
+        else begin
+          copy_wp acc total;
+          has_acc := true
+        end
+      end
+    done;
+    if not !has_acc then identity
+    else
+      let ax, ay, az, at = acc in
+      { x = Fe.copy ax; y = Fe.copy ay; z = Fe.copy az; t = Fe.copy at }
+  end
+
 let is_on_curve (p : t) : bool =
   (* -x² + y² = z² + d t²  and  t·z = x·y (extended-coordinate invariants) *)
   let x2 = Fe.sq p.x and y2 = Fe.sq p.y and z2 = Fe.sq p.z in
@@ -248,13 +532,24 @@ let in_prime_subgroup (p : t) : bool = is_identity (mul Sc.l p)
 
 (* --- Encoding --- *)
 
-let encode (p : t) : string =
-  let zi = Fe.inv p.z in
-  let x = Fe.mul p.x zi and y = Fe.mul p.y zi in
+(* Compress affine (x, y): 32-byte little-endian y, sign of x on top. *)
+let encode_affine (x : Fe.t) (y : Fe.t) : string =
   let bytes = Bytes.of_string (Fe.to_bytes_le y) in
   if Fe.is_odd x then
     Bytes.set bytes 31 (Char.chr (Char.code (Bytes.get bytes 31) lor 0x80));
   Bytes.unsafe_to_string bytes
+
+let encode (p : t) : string =
+  let zi = Fe.inv p.z in
+  encode_affine (Fe.mul p.x zi) (Fe.mul p.y zi)
+
+(** Encode many points with one shared field inversion (Montgomery's
+    trick: prefix-product the Zᵢ, invert the total, walk back). A
+    single {!Fe.inv} is ~30 field squarings' worth of work, so batch
+    verifiers that hash dozens of points into challenges pay ~3 field
+    multiplications per point here instead of one inversion each. *)
+let encode_batch (ps : t array) : string array =
+  Array.map (fun (p : t) -> encode_affine p.x p.y) (normalize_batch ps)
 
 let decode (s : string) : t option =
   if String.length s <> 32 then None
@@ -288,6 +583,7 @@ let decode_exn (s : string) : t =
     Monero's Elligator-style hash_to_ec; it has the same interface and
     the same uniform-point-with-unknown-dlog property. *)
 let h2p_cache : (string, t) Hashtbl.t = Hashtbl.create 64
+let h2p_mu = Mutex.create ()
 
 let hash_to_point (tag : string) (data : string) : t =
   let rec go ctr =
@@ -299,12 +595,13 @@ let hash_to_point (tag : string) (data : string) : t =
     | None -> go (ctr + 1)
   in
   let key = tag ^ "\x00" ^ data in
-  match Hashtbl.find_opt h2p_cache key with
+  match Mutex.protect h2p_mu (fun () -> Hashtbl.find_opt h2p_cache key) with
   | Some p -> p
   | None ->
       let p = go 0 in
-      if Hashtbl.length h2p_cache > 65536 then Hashtbl.reset h2p_cache;
-      Hashtbl.add h2p_cache key p;
+      Mutex.protect h2p_mu (fun () ->
+          if Hashtbl.length h2p_cache > 65536 then Hashtbl.reset h2p_cache;
+          Hashtbl.add h2p_cache key p);
       p
 
 let pp ppf p = Format.fprintf ppf "%s" (Monet_util.Hex.encode (encode p))

@@ -23,8 +23,65 @@ let ctx = Bn.Barrett.create Sc.l
     candidate and expose it as the default. *)
 let default_base : Sc.t = Bn.of_int 7
 
-(** [pow h x] = h^x mod ℓ — the VCOF consecutive one-way step. *)
-let pow (h : Sc.t) (x : Bn.t) : Sc.t = Bn.Barrett.pow_mod ctx h x
+(* Fixed-base comb tables for [pow]. Stadler proofs exponentiate the
+   same public base h for every one of their 80 repetitions, so the
+   squaring schedule of a generic square-and-multiply is pure waste:
+   precompute h^(d·2^(4i)) for each 4-bit window i and digit d once,
+   and a 384-bit exponentiation becomes ~96 modular multiplications
+   with no squarings at all. Tables are cached per base for the whole
+   process (paid once, shared by prover, verifier and batch verifier);
+   a mutex makes the cache safe to consult from worker domains. *)
+let comb_window = 4
+let comb_windows = ((8 * 48) + comb_window - 1) / comb_window (* 384-bit exps *)
+
+type comb = Bn.t array array (* comb.(i).(d) = h^(d·2^(4i)) mod ℓ *)
+
+let combs : (string, comb) Hashtbl.t = Hashtbl.create 4
+let combs_mu = Mutex.create ()
+
+let build_comb (h : Sc.t) : comb =
+  let unit = Bn.rem Bn.one Sc.l in
+  let t = Array.make_matrix comb_windows 16 unit in
+  let base = ref (Bn.Barrett.reduce ctx h) in
+  for i = 0 to comb_windows - 1 do
+    for d = 1 to 15 do
+      t.(i).(d) <- Bn.Barrett.mul_mod ctx t.(i).(d - 1) !base
+    done;
+    if i < comb_windows - 1 then
+      for _ = 1 to comb_window do
+        base := Bn.Barrett.mul_mod ctx !base !base
+      done
+  done;
+  t
+
+let comb_of (h : Sc.t) : comb =
+  let key = Bn.to_bytes_le h ~len:32 in
+  Mutex.protect combs_mu (fun () ->
+      match Hashtbl.find_opt combs key with
+      | Some t -> t
+      | None ->
+          let t = build_comb h in
+          Hashtbl.add combs key t;
+          t)
+
+(** [pow h x] = h^x mod ℓ — the VCOF consecutive one-way step.
+    Fixed-base comb for exponents up to 384 bits; generic Barrett
+    square-and-multiply beyond that. *)
+let pow (h : Sc.t) (x : Bn.t) : Sc.t =
+  if Bn.num_bits x > comb_windows * comb_window then Bn.Barrett.pow_mod ctx h x
+  else begin
+    let t = comb_of h in
+    let nwin = (Bn.num_bits x + comb_window - 1) / comb_window in
+    let acc = ref (Bn.rem Bn.one Sc.l) in
+    for i = 0 to nwin - 1 do
+      let d = ref 0 in
+      for b = comb_window - 1 downto 0 do
+        d := (!d lsl 1) lor (if Bn.testbit x ((i * comb_window) + b) then 1 else 0)
+      done;
+      if !d <> 0 then acc := Bn.Barrett.mul_mod ctx !acc t.(i).(!d)
+    done;
+    !acc
+  end
 
 (** Fold a scalar (mod ℓ) into the exponent ring (mod ℓ-1). *)
 let exp_of_scalar (x : Sc.t) : Exp.t = Exp.of_bn x

@@ -68,7 +68,7 @@ let build_commit (t_chain : Btc_sim.t) ~(funding : int) ~(kp_a : Point.t)
             amount = h.hl_amount })
         htlcs
   in
-  { Btc_sim.inputs = [ { Btc_sim.prev = funding; witness = Btc_sim.WSig { h = Sc.zero; s = Sc.zero } } ];
+  { Btc_sim.inputs = [ { Btc_sim.prev = funding; witness = Btc_sim.WSig { rp = Monet_ec.Point.identity; s = Sc.zero } } ];
     outputs; locktime = 0 }
 
 let rev_secret (side : side) (n : int) : Sc.t =
@@ -107,8 +107,8 @@ let open_channel (g : Monet_hash.Drbg.t) (chain : Btc_sim.t) ~(bal_a : int)
   let coin_b = Btc_sim.genesis_output chain { script = P2pk b.kp.vk; amount = bal_b } in
   let funding_tx =
     { Btc_sim.inputs =
-        [ { prev = coin_a; witness = WSig { h = Sc.zero; s = Sc.zero } };
-          { prev = coin_b; witness = WSig { h = Sc.zero; s = Sc.zero } } ];
+        [ { prev = coin_a; witness = WSig { rp = Monet_ec.Point.identity; s = Sc.zero } };
+          { prev = coin_b; witness = WSig { rp = Monet_ec.Point.identity; s = Sc.zero } } ];
       outputs = [ { script = Multisig2 (a.kp.vk, b.kp.vk); amount = bal_a + bal_b } ];
       locktime = 0 }
   in
@@ -130,8 +130,8 @@ let open_channel (g : Monet_hash.Drbg.t) (chain : Btc_sim.t) ~(bal_a : int)
             { st_num = 0; st_bal_a = 0; st_bal_b = 0; st_htlcs = [];
               st_rev_secret_a = Sc.zero; st_rev_secret_b = Sc.zero;
               st_commit = { inputs = []; outputs = []; locktime = 0 };
-              st_sig_a = { h = Sc.zero; s = Sc.zero };
-              st_sig_b = { h = Sc.zero; s = Sc.zero } };
+              st_sig_a = { rp = Monet_ec.Point.identity; s = Sc.zero };
+              st_sig_b = { rp = Monet_ec.Point.identity; s = Sc.zero } };
           revoked = []; closed = false; n_updates = 0 }
       in
       t.current <- make_state t ~n:0 ~bal_a ~bal_b ~htlcs:[];
@@ -257,7 +257,7 @@ let punish (t : t) ~(victim_is_a : bool) ~(state_num : int) : (int, string) resu
       | Some (outpoint, amount) ->
           let sweep =
             { Btc_sim.inputs =
-                [ { prev = outpoint; witness = WRevocation { h = Sc.zero; s = Sc.zero } } ];
+                [ { prev = outpoint; witness = WRevocation { rp = Monet_ec.Point.identity; s = Sc.zero } } ];
               outputs = [ { script = P2pk victim.kp.vk; amount } ];
               locktime = 0 }
           in

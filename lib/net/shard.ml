@@ -1,0 +1,204 @@
+(** Domain-sharded workload execution: a payment population split into
+    independent shards, each run on its own OCaml 5 domain
+    (DESIGN.md §3.10).
+
+    Channels never span shards — the partition is static, by channel
+    id: shard i owns every channel of subpopulation i, so no locks,
+    no cross-domain liquidity and no work stealing. Each shard gets a
+    domain-local DRBG split from the root seed, its own discrete-event
+    clock and its own ledger (graph); ledgers are merged only at the
+    block boundary, after every shard has drained, by aggregating the
+    per-shard reports.
+
+    Determinism: the plan (per-shard topologies, seeds and workload
+    slices) is a pure function of the inputs, and shards share no
+    mutable state, so a parallel run is byte-identical to a sequential
+    run of the same plan — {!run} with [~parallel:false] executes the
+    identical shard closures on the calling domain, and
+    test/test_netscale.ml pins the equality.
+
+    Aggregate TPS is measured, per shard, on its simulated clock: the
+    network-wide figure is total completions over the slowest shard's
+    sim-time span (the block boundary — every shard has drained by
+    then). Saturated topologies are bottlenecked on hub service time,
+    so sharding the population over D domains multiplies available
+    hub capacity and the measured TPS scales with D (BENCH_net.json's
+    [domains] dimension). *)
+
+module Drbg = Monet_hash.Drbg
+
+type plan = {
+  p_seed : string;
+  p_domains : int;
+  p_specs : Topo.spec array; (* per-shard topology *)
+  p_cfgs : Workload.config array; (* per-shard workload slice *)
+  p_balance : int;
+  p_fee_base : int;
+  p_fee_ppm : int;
+}
+
+type merged = {
+  domains : int;
+  shards : Workload.report array; (* in shard order *)
+  agg_offered : int;
+  agg_completed : int;
+  agg_no_route : int;
+  agg_success_rate : float;
+  agg_tps : float; (* Σ completed / max shard sim-span *)
+  agg_sim_ms : float; (* slowest shard: the block boundary *)
+  agg_fees : int;
+  conserved : bool; (* every shard conserved wealth *)
+}
+
+let m_shard_runs = Monet_obs.Metrics.counter "net.shard.run"
+
+(* Spread [total] over [n] slots as evenly as possible (first slots
+   take the remainder), so the plan is a pure function of the input. *)
+let split_evenly (total : int) (n : int) : int array =
+  Array.init n (fun i -> (total / n) + if i < total mod n then 1 else 0)
+
+let plan ~(seed : string) ~(domains : int) ~(shape : string) ~(nodes : int)
+    ?(balance = 10_000) ?(fee_base = 0) ?(fee_ppm = 0) (cfg : Workload.config) :
+    (plan, string) result =
+  if domains < 1 then Error "domains must be >= 1"
+  else if nodes < 2 * domains then Error "need at least two nodes per shard"
+  else if cfg.Workload.n_payments < domains then
+    Error "need at least one payment per shard"
+  else begin
+    let node_counts = split_evenly nodes domains in
+    let payment_counts = split_evenly cfg.Workload.n_payments domains in
+    let specs = Array.make domains (Topo.Grid { rows = 1; cols = 2 }) in
+    let rec build i =
+      if i >= domains then Ok ()
+      else
+        match Topo.spec_of_string shape ~nodes:node_counts.(i) with
+        | Error e -> Error e
+        | Ok spec ->
+            specs.(i) <- spec;
+            build (i + 1)
+    in
+    match build 0 with
+    | Error e -> Error e
+    | Ok () ->
+        let total_payments = float_of_int cfg.Workload.n_payments in
+        let cfgs =
+          Array.init domains (fun i ->
+              {
+                cfg with
+                Workload.n_payments = payment_counts.(i);
+                arrival_rate =
+                  cfg.Workload.arrival_rate
+                  *. (float_of_int payment_counts.(i) /. total_payments);
+              })
+        in
+        Ok
+          {
+            p_seed = seed;
+            p_domains = domains;
+            p_specs = specs;
+            p_cfgs = cfgs;
+            p_balance = balance;
+            p_fee_base = fee_base;
+            p_fee_ppm = fee_ppm;
+          }
+  end
+
+(* One shard, self-contained: domain-local DRBGs split from the
+   shard's root, private graph, private clock. Safe to run on any
+   domain. *)
+let run_shard (p : plan) (rng : Drbg.t) (i : int) : (Workload.report, string) result
+    =
+  Monet_obs.Metrics.bump m_shard_runs;
+  let g_topo = Drbg.split rng "topo" in
+  let g_wl = Drbg.split rng "workload" in
+  match
+    Topo.build ~balance:p.p_balance ~fee_base:p.p_fee_base ~fee_ppm:p.p_fee_ppm
+      g_topo p.p_specs.(i)
+  with
+  | Error e -> Error (Printf.sprintf "shard %d: %s" i e)
+  | Ok graph -> (
+      match Workload.run g_wl graph p.p_cfgs.(i) with
+      | Error e -> Error (Printf.sprintf "shard %d: %s" i e)
+      | Ok r -> Ok r)
+
+let merge (p : plan) (reports : Workload.report array) : merged =
+  let sum f = Array.fold_left (fun acc r -> acc + f r) 0 reports in
+  let offered = sum (fun r -> r.Workload.offered) in
+  let completed = sum (fun r -> r.Workload.completed) in
+  let sim_ms =
+    Array.fold_left (fun acc r -> Float.max acc r.Workload.sim_ms) 0.0 reports
+  in
+  {
+    domains = p.p_domains;
+    shards = reports;
+    agg_offered = offered;
+    agg_completed = completed;
+    agg_no_route = sum (fun r -> r.Workload.no_route);
+    agg_success_rate =
+      (if offered = 0 then 0.0
+       else float_of_int completed /. float_of_int offered);
+    agg_tps =
+      (if sim_ms <= 0.0 then 0.0
+       else float_of_int completed /. (sim_ms /. 1000.0));
+    agg_sim_ms = sim_ms;
+    agg_fees = sum (fun r -> r.Workload.fees_paid);
+    conserved = Array.for_all (fun r -> r.Workload.conserved) reports;
+  }
+
+(** Execute a plan. With [parallel] (default), each shard runs on its
+    own spawned domain; otherwise the same shard closures run in
+    shard order on the calling domain — the results are identical
+    either way (the determinism contract above). *)
+let run ?(parallel = true) (p : plan) : (merged, string) result =
+  (* Split every shard's root DRBG from the seed on the calling
+     domain, in shard order, before anything runs: the derivation
+     order — hence every shard's randomness — is independent of the
+     execution interleaving. *)
+  let root = Drbg.create ~seed:p.p_seed in
+  let rngs =
+    Array.init p.p_domains (fun i -> Drbg.split root (Printf.sprintf "shard-%d" i))
+  in
+  let results =
+    if parallel && p.p_domains > 1 then begin
+      (* The group's precomputed tables are process-wide lazies, and
+         forcing a lazy concurrently raises CamlinternalLazy.Undefined
+         — materialize them here before the workers can race. *)
+      Monet_ec.Point.force_precomp ();
+      Array.map Domain.join
+        (Array.init p.p_domains (fun i ->
+             Domain.spawn (fun () -> run_shard p rngs.(i) i)))
+    end
+    else Array.init p.p_domains (fun i -> run_shard p rngs.(i) i)
+  in
+  let reports, errors =
+    Array.fold_right
+      (fun r (oks, errs) ->
+        match r with
+        | Ok v -> (v :: oks, errs)
+        | Error e -> (oks, e :: errs))
+      results ([], [])
+  in
+  match errors with
+  | e :: _ -> Error e
+  | [] -> Ok (merge p (Array.of_list reports))
+
+(* Exact (hex-float) rendering so determinism can be asserted
+   byte-for-byte across parallel and sequential execution. *)
+let summary (m : merged) : string =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "domains=%d offered=%d completed=%d no_route=%d fees=%d \
+                     conserved=%b tps=%h sim_ms=%h success=%h\n"
+       m.domains m.agg_offered m.agg_completed m.agg_no_route m.agg_fees
+       m.conserved m.agg_tps m.agg_sim_ms m.agg_success_rate);
+  Array.iteri
+    (fun i (r : Workload.report) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "  shard=%d offered=%d completed=%d no_route=%d hops=%d fees=%d \
+            depleted=%d conserved=%b tps=%h sim_ms=%h\n"
+           i r.Workload.offered r.Workload.completed r.Workload.no_route
+           r.Workload.total_hops r.Workload.fees_paid r.Workload.depleted_final
+           r.Workload.conserved r.Workload.tps r.Workload.sim_ms))
+    m.shards;
+  Buffer.contents b

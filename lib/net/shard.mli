@@ -1,0 +1,60 @@
+(** Domain-sharded workload execution (DESIGN.md §3.10): the payment
+    population is statically partitioned by channel id into
+    independent shards — each with its own topology slice, DRBG split
+    from the root seed, discrete-event clock and ledger — and the
+    shards run on separate OCaml 5 domains, merging only at the block
+    boundary. A parallel run is byte-identical to a sequential run of
+    the same plan. *)
+
+type plan = {
+  p_seed : string;
+  p_domains : int;
+  p_specs : Topo.spec array;
+  p_cfgs : Workload.config array;
+  p_balance : int;
+  p_fee_base : int;
+  p_fee_ppm : int;
+}
+(** A fully-determined execution plan: per-shard topologies and
+    workload slices. Pure data — building it runs nothing. *)
+
+type merged = {
+  domains : int;
+  shards : Workload.report array;
+  agg_offered : int;
+  agg_completed : int;
+  agg_no_route : int;
+  agg_success_rate : float;
+  agg_tps : float;
+  agg_sim_ms : float;
+  agg_fees : int;
+  conserved : bool;
+}
+(** Block-boundary merge of the shard reports. [agg_tps] is total
+    completions over the slowest shard's sim-time span ([agg_sim_ms]);
+    [conserved] holds iff every shard conserved total wealth. *)
+
+val plan :
+  seed:string ->
+  domains:int ->
+  shape:string ->
+  nodes:int ->
+  ?balance:int ->
+  ?fee_base:int ->
+  ?fee_ppm:int ->
+  Workload.config ->
+  (plan, string) result
+(** [plan ~seed ~domains ~shape ~nodes cfg] slices [nodes] and
+    [cfg.n_payments] evenly over [domains] shards ([arrival_rate]
+    pro-rated by slice), with a [shape]-shaped topology per shard
+    ("hub_spoke", "scale_free" or "grid"). Errors on degenerate
+    inputs (fewer than two nodes or one payment per shard). *)
+
+val run : ?parallel:bool -> plan -> (merged, string) result
+(** Execute the plan — on one spawned domain per shard by default, or
+    on the calling domain in shard order with [~parallel:false]. Both
+    modes produce identical results. *)
+
+val summary : merged -> string
+(** Exact textual rendering (hex floats) for byte-for-byte determinism
+    checks and logs. *)

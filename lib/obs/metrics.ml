@@ -2,94 +2,168 @@
    global on/off switch (DESIGN.md §3.8).
 
    Instruments register their metric once at module-initialization time
-   and keep the returned record; the hot-path update functions ([bump],
-   [add], [set], [observe]) check the [enabled] flag and do nothing when
-   the registry is off, so an instrumented kernel pays one load and one
+   and keep the returned handle; the hot-path update functions ([bump],
+   [add], [observe]) check the [enabled] flag and do nothing when the
+   registry is off, so an instrumented kernel pays one load and one
    conditional branch per update — the cost the @bench-smoke guard in
-   bench/ec_bench.ml pins as unmeasurable against the EC baseline. *)
+   bench/ec_bench.ml pins as unmeasurable against the EC baseline.
 
-type counter = { c_name : string; mutable c_count : int }
+   Domain safety: counter and histogram updates land in *domain-local*
+   tallies (Domain.DLS) — worker domains spawned by the sharded
+   network engine never contend on, or race against, a shared cell.
+   Read-side functions ([count], [snapshot], [total_count],
+   [histogram_snapshot]) merge every domain's tally at call time.
+   Reads concurrent with running workers are best-effort (per-cell
+   atomic, no tearing); after [Domain.join] the merge is exact.
+   Gauges are last-write-wins and remain single-cell: they are
+   main-domain instruments (workers have no meaningful "current"
+   value to race over). *)
+
+type counter = { c_name : string; c_id : int }
 type gauge = { g_name : string; mutable g_value : int }
+type histogram = { h_name : string; h_id : int }
 
-type histogram = {
-  h_name : string;
-  mutable h_count : int;
-  mutable h_sum : float;
-  mutable h_min : float;
-  mutable h_max : float;
+(* Per-domain histogram cells, merged at read. *)
+type hstate = {
+  mutable hs_count : int;
+  mutable hs_sum : float;
+  mutable hs_min : float;
+  mutable hs_max : float;
 }
 
+type tally = { mutable t_counts : int array; mutable t_hists : hstate array }
+
 let enabled = ref false
+
+(* Registration tables and the list of every domain's tally, all
+   guarded by [mu]. Registration is rare (module init); updates never
+   take the lock. *)
+let mu = Mutex.create ()
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
 let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
 let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+let n_counters = ref 0
+let n_histograms = ref 0
+let tallies : tally list ref = ref []
+
+let dls_key : tally Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let t = { t_counts = [||]; t_hists = [||] } in
+      Mutex.protect mu (fun () -> tallies := t :: !tallies);
+      t)
 
 let enable () = enabled := true
 let disable () = enabled := false
 let is_enabled () = !enabled
 
 let counter (name : string) : counter =
-  match Hashtbl.find_opt counters name with
-  | Some c -> c
-  | None ->
-      let c = { c_name = name; c_count = 0 } in
-      Hashtbl.replace counters name c;
-      c
+  Mutex.protect mu (fun () ->
+      match Hashtbl.find_opt counters name with
+      | Some c -> c
+      | None ->
+          let c = { c_name = name; c_id = !n_counters } in
+          incr n_counters;
+          Hashtbl.replace counters name c;
+          c)
 
 let gauge (name : string) : gauge =
-  match Hashtbl.find_opt gauges name with
-  | Some g -> g
-  | None ->
-      let g = { g_name = name; g_value = 0 } in
-      Hashtbl.replace gauges name g;
-      g
+  Mutex.protect mu (fun () ->
+      match Hashtbl.find_opt gauges name with
+      | Some g -> g
+      | None ->
+          let g = { g_name = name; g_value = 0 } in
+          Hashtbl.replace gauges name g;
+          g)
 
 let histogram (name : string) : histogram =
-  match Hashtbl.find_opt histograms name with
-  | Some h -> h
-  | None ->
-      let h =
-        { h_name = name; h_count = 0; h_sum = 0.0; h_min = infinity;
-          h_max = neg_infinity }
-      in
-      Hashtbl.replace histograms name h;
-      h
+  Mutex.protect mu (fun () ->
+      match Hashtbl.find_opt histograms name with
+      | Some h -> h
+      | None ->
+          let h = { h_name = name; h_id = !n_histograms } in
+          incr n_histograms;
+          Hashtbl.replace histograms name h;
+          h)
 
-let[@inline] bump (c : counter) : unit =
-  if !enabled then c.c_count <- c.c_count + 1
+(* Grow this domain's tally to cover a late-registered metric id. The
+   swap is only ever performed by the owning domain; concurrent
+   readers see either the old or the new array, both self-consistent. *)
+let ensure_counts (t : tally) (id : int) =
+  if id >= Array.length t.t_counts then begin
+    let n = max (id + 1) ((2 * Array.length t.t_counts) + 8) in
+    let a = Array.make n 0 in
+    Array.blit t.t_counts 0 a 0 (Array.length t.t_counts);
+    t.t_counts <- a
+  end
+
+let fresh_hstate () =
+  { hs_count = 0; hs_sum = 0.0; hs_min = infinity; hs_max = neg_infinity }
+
+let ensure_hists (t : tally) (id : int) =
+  if id >= Array.length t.t_hists then begin
+    let n = max (id + 1) ((2 * Array.length t.t_hists) + 4) in
+    let a = Array.init n (fun _ -> fresh_hstate ()) in
+    Array.blit t.t_hists 0 a 0 (Array.length t.t_hists);
+    t.t_hists <- a
+  end
 
 let[@inline] add (c : counter) (n : int) : unit =
-  if !enabled then c.c_count <- c.c_count + n
+  if !enabled then begin
+    let t = Domain.DLS.get dls_key in
+    ensure_counts t c.c_id;
+    t.t_counts.(c.c_id) <- t.t_counts.(c.c_id) + n
+  end
 
-let count (c : counter) : int = c.c_count
+let[@inline] bump (c : counter) : unit = add c 1
+
+let with_tallies (f : tally list -> 'a) : 'a =
+  let ts = Mutex.protect mu (fun () -> !tallies) in
+  f ts
+
+let count (c : counter) : int =
+  with_tallies
+    (List.fold_left
+       (fun acc t ->
+         acc + if c.c_id < Array.length t.t_counts then t.t_counts.(c.c_id) else 0)
+       0)
 
 let[@inline] set (g : gauge) (v : int) : unit = if !enabled then g.g_value <- v
 let gauge_value (g : gauge) : int = g.g_value
 
 let observe (h : histogram) (v : float) : unit =
   if !enabled then begin
-    h.h_count <- h.h_count + 1;
-    h.h_sum <- h.h_sum +. v;
-    if v < h.h_min then h.h_min <- v;
-    if v > h.h_max then h.h_max <- v
+    let t = Domain.DLS.get dls_key in
+    ensure_hists t h.h_id;
+    let hs = t.t_hists.(h.h_id) in
+    hs.hs_count <- hs.hs_count + 1;
+    hs.hs_sum <- hs.hs_sum +. v;
+    if v < hs.hs_min then hs.hs_min <- v;
+    if v > hs.hs_max then hs.hs_max <- v
   end
 
 let reset () =
-  Hashtbl.iter (fun _ c -> c.c_count <- 0) counters;
-  Hashtbl.iter (fun _ g -> g.g_value <- 0) gauges;
-  Hashtbl.iter
-    (fun _ h ->
-      h.h_count <- 0;
-      h.h_sum <- 0.0;
-      h.h_min <- infinity;
-      h.h_max <- neg_infinity)
-    histograms
+  with_tallies
+    (List.iter (fun t ->
+         Array.fill t.t_counts 0 (Array.length t.t_counts) 0;
+         Array.iter
+           (fun hs ->
+             hs.hs_count <- 0;
+             hs.hs_sum <- 0.0;
+             hs.hs_min <- infinity;
+             hs.hs_max <- neg_infinity)
+           t.t_hists));
+  Mutex.protect mu (fun () -> Hashtbl.iter (fun _ g -> g.g_value <- 0) gauges)
 
 let snapshot () : (string * int) list =
+  let regs =
+    Mutex.protect mu (fun () -> Hashtbl.fold (fun _ c acc -> c :: acc) counters [])
+  in
   let items =
-    Hashtbl.fold
-      (fun name c acc -> if c.c_count > 0 then (name, c.c_count) :: acc else acc)
-      counters []
+    List.filter_map
+      (fun c ->
+        let v = count c in
+        if v > 0 then Some (c.c_name, v) else None)
+      regs
   in
   List.sort (fun (a, _) (b, _) -> String.compare a b) items
 
@@ -105,14 +179,31 @@ let diff ~(before : (string * int) list) ~(after : (string * int) list) :
     after
 
 let total_count () : int =
-  Hashtbl.fold (fun _ c acc -> acc + c.c_count) counters 0
+  with_tallies
+    (List.fold_left
+       (fun acc t -> Array.fold_left ( + ) acc t.t_counts)
+       0)
 
 let histogram_snapshot () : (string * (int * float * float * float)) list =
+  let regs =
+    Mutex.protect mu (fun () -> Hashtbl.fold (fun _ h acc -> h :: acc) histograms [])
+  in
   let items =
-    Hashtbl.fold
-      (fun name h acc ->
-        if h.h_count > 0 then (name, (h.h_count, h.h_sum, h.h_min, h.h_max)) :: acc
-        else acc)
-      histograms []
+    List.filter_map
+      (fun h ->
+        let merged = fresh_hstate () in
+        with_tallies
+          (List.iter (fun t ->
+               if h.h_id < Array.length t.t_hists then begin
+                 let hs = t.t_hists.(h.h_id) in
+                 merged.hs_count <- merged.hs_count + hs.hs_count;
+                 merged.hs_sum <- merged.hs_sum +. hs.hs_sum;
+                 if hs.hs_min < merged.hs_min then merged.hs_min <- hs.hs_min;
+                 if hs.hs_max > merged.hs_max then merged.hs_max <- hs.hs_max
+               end));
+        if merged.hs_count > 0 then
+          Some (h.h_name, (merged.hs_count, merged.hs_sum, merged.hs_min, merged.hs_max))
+        else None)
+      regs
   in
   List.sort (fun (a, _) (b, _) -> String.compare a b) items

@@ -5,22 +5,25 @@
     initialization) and keep the returned handle; the update functions
     are no-ops while the registry is disabled, costing one flag load
     and one branch — the "zero overhead when off" contract of
-    DESIGN.md §3.8, enforced by the guard in [bench/ec_bench.ml]. *)
+    DESIGN.md §3.8, enforced by the guard in [bench/ec_bench.ml].
 
-type counter = { c_name : string; mutable c_count : int }
-(** A monotone event counter. *)
+    Counter and histogram updates are *domain-local* (Domain.DLS):
+    worker domains spawned by the sharded network engine tally
+    privately with no shared mutable cells, and the read-side
+    functions merge every domain's tally at call time. After the
+    workers are joined the merge is exact; reads concurrent with
+    running workers are best-effort. Gauges are last-write-wins
+    main-domain instruments. *)
+
+type counter
+(** A monotone event counter (domain-local tallies, merged at read). *)
 
 type gauge = { g_name : string; mutable g_value : int }
-(** A last-write-wins instantaneous value. *)
+(** A last-write-wins instantaneous value (main-domain instrument). *)
 
-type histogram = {
-  h_name : string;
-  mutable h_count : int;
-  mutable h_sum : float;
-  mutable h_min : float;
-  mutable h_max : float;
-}
-(** A streaming summary (count / sum / min / max) of observed samples. *)
+type histogram
+(** A streaming summary (count / sum / min / max) of observed samples,
+    tallied domain-locally and merged at read. *)
 
 val enable : unit -> unit
 (** Turn the registry on: subsequent updates take effect. *)

@@ -9,9 +9,11 @@
    metrics registry over its extent ([sp_ops], inclusive of children).
 
    When tracing is disabled, [span name f] is [f ()] after one flag
-   load; [event] is a no-op. All sink state is module-global: the
-   protocol stack is single-threaded by construction (deterministic
-   DRBG, discrete-event clock), like the metrics registry. *)
+   load; [event] is a no-op. All sink state is module-global and
+   confined to the domain that called [enable]: spans and events from
+   worker domains pass through untraced (the span stack and ring are
+   an inherently sequential structure — workers report through the
+   domain-local metrics registry instead, DESIGN.md §3.10). *)
 
 type event = {
   ev_name : string;
@@ -36,6 +38,14 @@ type span = {
 let json_schema_version = "monet-trace/1"
 
 let enabled = ref false
+
+(* The domain that called [enable]: the only one whose spans/events
+   are recorded. *)
+let owner : Domain.id option ref = ref None
+
+let[@inline] active () =
+  !enabled && (match !owner with Some d -> d = Domain.self () | None -> false)
+
 let clock : (unit -> float) ref = ref (fun () -> Sys.time () *. 1000.0)
 let sim_clock : (unit -> float) option ref = ref None
 
@@ -74,6 +84,7 @@ let enable ?(capacity = default_capacity) () =
   stack := [];
   orphans := [];
   orphan_count := 0;
+  owner := Some (Domain.self ());
   enabled := true
 
 let disable () = enabled := false
@@ -115,7 +126,7 @@ let finish sp =
   | _ -> () (* tracer was reset mid-span; drop the span *)
 
 let span ?(attrs = []) (name : string) (f : unit -> 'a) : 'a =
-  if not !enabled then f ()
+  if not (active ()) then f ()
   else begin
     let sp =
       { sp_name = name; sp_attrs = attrs; sp_start_ms = now_ms ();
@@ -128,7 +139,7 @@ let span ?(attrs = []) (name : string) (f : unit -> 'a) : 'a =
   end
 
 let event ?(attrs = []) (name : string) : unit =
-  if !enabled then begin
+  if active () then begin
     let ev =
       { ev_name = name; ev_attrs = attrs; ev_at_ms = now_ms ();
         ev_sim_ms = sim_now () }

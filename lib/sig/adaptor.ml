@@ -7,20 +7,27 @@
 
     A pre-signature σ̂ on message m under statement Y = y·G becomes a
     valid signature once adapted with the witness y, and the witness
-    can be extracted from any (σ, σ̂) pair. *)
+    can be extracted from any (σ, σ̂) pair.
+
+    Like {!Sig_core}, the pre-signature carries the shifted commitment
+    point R̂ = r·G + Y (the R of the signature it will adapt into)
+    rather than the challenge: the pre-verification equation
+    ŝ·G − h·pk − (R̂ − Y) = O is then a group identity that the
+    {!Batch} verifier folds across a channel burst into one
+    {!Point.msm}. *)
 
 open Monet_ec
 
-type pre_signature = { h : Sc.t; s_pre : Sc.t }
+type pre_signature = { rp_sign : Point.t; s_pre : Sc.t }
 
 let encode (w : Monet_util.Wire.writer) (p : pre_signature) =
-  Monet_util.Wire.write_fixed w (Sc.to_bytes_le p.h);
+  Monet_util.Wire.write_fixed w (Point.encode p.rp_sign);
   Monet_util.Wire.write_fixed w (Sc.to_bytes_le p.s_pre)
 
 let decode (r : Monet_util.Wire.reader) : pre_signature =
-  let h = Sc.of_bytes_le (Monet_util.Wire.read_fixed r 32) in
+  let rp_sign = Point.decode_exn (Monet_util.Wire.read_fixed r 32) in
   let s_pre = Sc.of_bytes_le (Monet_util.Wire.read_fixed r 32) in
-  { h; s_pre }
+  { rp_sign; s_pre }
 
 let pre_sign (g : Monet_hash.Drbg.t) (kp : Sig_core.keypair) (msg : string)
     ~(stmt : Point.t) : pre_signature =
@@ -28,15 +35,15 @@ let pre_sign (g : Monet_hash.Drbg.t) (kp : Sig_core.keypair) (msg : string)
   let r_pre = Point.mul_base r in
   let r_sign = Point.add r_pre stmt in
   let h = Sig_core.challenge r_sign kp.vk msg in
-  { h; s_pre = Sc.add r (Sc.mul h kp.sk) }
+  { rp_sign = r_sign; s_pre = Sc.add r (Sc.mul h kp.sk) }
 
 let pre_verify (vk : Point.t) (msg : string) ~(stmt : Point.t) (p : pre_signature) :
     bool =
-  let r_pre = Point.double_mul (Sc.neg p.h) vk p.s_pre in
-  let r_sign = Point.add r_pre stmt in
-  Sc.equal p.h (Sig_core.challenge r_sign vk msg)
+  let h = Sig_core.challenge p.rp_sign vk msg in
+  let r_pre = Point.double_mul (Sc.neg h) vk p.s_pre in
+  Point.equal r_pre (Point.sub_point p.rp_sign stmt)
 
 let adapt (p : pre_signature) ~(y : Sc.t) : Sig_core.signature =
-  { Sig_core.h = p.h; s = Sc.add p.s_pre y }
+  { Sig_core.rp = p.rp_sign; s = Sc.add p.s_pre y }
 
 let ext (sg : Sig_core.signature) (p : pre_signature) : Sc.t = Sc.sub sg.s p.s_pre

@@ -92,17 +92,24 @@ let pre_sign (g : Monet_hash.Drbg.t) ~(ring : Point.t array) ~(pi : int)
   let p_c0, p_ss, p_key_image = sign_core g ~ring ~pi ~sk ~msg ~stmt in
   { p_c0; p_ss; p_key_image; p_pi = pi }
 
-let verify ~(ring : Point.t array) ~(msg : string) (sg : signature) : bool =
+(** Verify against caller-supplied Hp(Pᵢ) values — the batch verifier
+    ({!Batch.lsag}) derives them once per distinct ring and reuses
+    them across every signature over that ring. *)
+let verify_with_hps ~(hps : Point.t array) ~(ring : Point.t array) ~(msg : string)
+    (sg : signature) : bool =
   let n = Array.length ring in
   n > 0
   && Array.length sg.ss = n
+  && Array.length hps = n
   &&
-  let hps = hp_of_ring ring in
   let c = ref sg.c0 in
   for i = 0 to n - 1 do
     c := step ~msg ~ring ~hps ~ki:sg.key_image !c i sg.ss.(i)
   done;
   Sc.equal !c sg.c0
+
+let verify ~(ring : Point.t array) ~(msg : string) (sg : signature) : bool =
+  verify_with_hps ~hps:(hp_of_ring ring) ~ring ~msg sg
 
 (** Verify a pre-signature: the ring walk must close when the real
     index's commitments are offset by the statement. *)

@@ -1,6 +1,16 @@
 (** Plain Schnorr signatures over ed25519 — the paper's generic
     signature construction (Fig. 1) with P1 = (r, r·G), challenge
-    h = H(R, m), P2 = r + h·sk and V0(pk, h, s) = s·G - h·pk.
+    h = H(R, m), P2 = r + h·sk and verification R = s·G - h·pk.
+
+    Signatures carry the commitment point R (RFC 8032 layout: 32-byte
+    point + 32-byte scalar, 64 bytes on the wire — same size as the
+    previous (h, s) form). Carrying R instead of h is what makes the
+    random-linear-combination batch verifier ({!Batch}) possible: the
+    per-signature equation becomes the group identity
+    s·G − h·pk − R = O, which folds across a batch into one
+    multi-scalar multiplication ({!Point.msm}), whereas the (h, s)
+    form forces each R to be recovered individually before the
+    challenge hash can be recomputed.
 
     Used for the funding-transaction signatures, for every
     authenticated off-chain protocol message, and by the script-chain
@@ -14,28 +24,33 @@ let gen (g : Monet_hash.Drbg.t) : keypair =
   let sk = Sc.random_nonzero g in
   { sk; vk = Point.mul_base sk }
 
-type signature = { h : Sc.t; s : Sc.t }
+type signature = { rp : Point.t; s : Sc.t }
 
 let signature_bytes = 64
 
 let encode (w : Monet_util.Wire.writer) (sg : signature) =
-  Monet_util.Wire.write_fixed w (Sc.to_bytes_le sg.h);
+  Monet_util.Wire.write_fixed w (Point.encode sg.rp);
   Monet_util.Wire.write_fixed w (Sc.to_bytes_le sg.s)
 
 let decode (r : Monet_util.Wire.reader) : signature =
-  let h = Sc.of_bytes_le (Monet_util.Wire.read_fixed r 32) in
+  let rp = Point.decode_exn (Monet_util.Wire.read_fixed r 32) in
   let s = Sc.of_bytes_le (Monet_util.Wire.read_fixed r 32) in
-  { h; s }
+  { rp; s }
+
+(* Challenge from already-encoded points: batch verifiers encode every
+   point once ({!Point.encode_batch}) and reuse the bytes here. *)
+let challenge_enc (r_enc : string) (vk_enc : string) (msg : string) : Sc.t =
+  Sc.of_hash "schnorr-sig" [ r_enc; vk_enc; msg ]
 
 let challenge (r : Point.t) (vk : Point.t) (msg : string) : Sc.t =
-  Sc.of_hash "schnorr-sig" [ Point.encode r; Point.encode vk; msg ]
+  challenge_enc (Point.encode r) (Point.encode vk) msg
 
 let sign (g : Monet_hash.Drbg.t) (kp : keypair) (msg : string) : signature =
   let r = Sc.random_nonzero g in
   let rg = Point.mul_base r in
   let h = challenge rg kp.vk msg in
-  { h; s = Sc.add r (Sc.mul h kp.sk) }
+  { rp = rg; s = Sc.add r (Sc.mul h kp.sk) }
 
 let verify (vk : Point.t) (msg : string) (sg : signature) : bool =
-  let rg = Point.double_mul (Sc.neg sg.h) vk sg.s in
-  Sc.equal sg.h (challenge rg vk msg)
+  let h = challenge sg.rp vk msg in
+  Point.equal (Point.double_mul (Sc.neg h) vk sg.s) sg.rp

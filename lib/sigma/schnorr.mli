@@ -1,15 +1,30 @@
 (** Non-interactive Schnorr proof of knowledge of a discrete
-    logarithm: given X = x·G, prove knowledge of x. *)
+    logarithm: given X = x·G, prove knowledge of x.
+
+    Proofs carry the commitment point R = r·G, so verification checks
+    the group identity s·G − c·X − R = O; {!verify_batch} folds that
+    identity across many proofs into one multi-scalar multiplication
+    (random linear combination, see DESIGN.md §3.10). *)
 
 open Monet_ec
 
-type proof = { c : Sc.t; s : Sc.t }
+type proof = { r : Point.t; s : Sc.t }
 
 val proof_size : int
 val encode_proof : Monet_util.Wire.writer -> proof -> unit
 val decode_proof : Monet_util.Wire.reader -> proof
 
+val challenge_of : context:string -> xg:Point.t -> rg:Point.t -> Sc.t
+
+val randomizers : tag:string -> string list -> int -> Sc.t array
+(** [randomizers ~tag parts n] derives n 128-bit nonzero random-linear-
+    combination coefficients by hashing the whole batch content —
+    shared by every batch verifier in the tree (derandomized batch
+    verification). *)
+
 val prove :
   ?context:string -> Monet_hash.Drbg.t -> x:Sc.t -> xg:Point.t -> proof
 
 val verify : ?context:string -> xg:Point.t -> proof -> bool
+
+val verify_batch : ?context:string -> (Point.t * proof) array -> bool

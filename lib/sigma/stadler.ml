@@ -129,3 +129,80 @@ let verify ?(context = "") ~(h : Sc.t) ~(y : Point.t) ~(y' : Point.t) (p : proof
   in
   let rec go j = j >= n || (check j && go (j + 1)) in
   go 0
+
+(** Batch-verify step proofs sharing one public base [h] (a
+    channel-open burst or a published chain: same pp, many (Y, Y')
+    statements). Every per-repetition equation is a group identity —
+    bit 0:  (h^r)·G − t = O  and  r·G − u = O
+    bit 1:  (h^z)·Y' − t = O  and  z·G + Y − u = O
+    — so all of them fold under 128-bit randomizers into a single
+    multi-scalar multiplication over 2 points per repetition plus
+    (Y, Y') per proof, with the G leg paid once as a fixed-base comb
+    multiplication. The modular exponentiations h^resp are inherent
+    (one per repetition, batched or not) and are served by {!Zl}'s
+    per-base comb tables. Accepts iff every individual {!verify}
+    accepts, except with probability 2⁻¹²⁸ per batch. *)
+let verify_batch ?(context = "") ~(h : Sc.t)
+    (batch : (Point.t * Point.t * proof) array) : bool =
+  let np = Array.length batch in
+  if np = 0 then true
+  else
+    Array.for_all (fun (_, _, p) -> Array.length p.reps > 0) batch
+    &&
+    let total_reps =
+      Array.fold_left (fun acc (_, _, p) -> acc + Array.length p.reps) 0 batch
+    in
+    let parts =
+      List.concat_map
+        (fun (y, y', p) ->
+          Point.encode y :: Point.encode y'
+          :: List.concat_map
+               (fun r ->
+                 [
+                   Point.encode r.t; Point.encode r.u;
+                   Bn.to_bytes_le r.resp ~len:response_bytes;
+                 ])
+               (Array.to_list p.reps))
+        (Array.to_list batch)
+    in
+    let zs =
+      Schnorr.randomizers ~tag:"stadler"
+        (context :: Sc.to_bytes_le h :: parts)
+        (2 * total_reps)
+    in
+    let g_fold = ref Sc.zero in
+    let terms = Array.make ((2 * total_reps) + (2 * np)) (Sc.zero, Point.identity) in
+    let pos = ref 0 in
+    let push z pt =
+      terms.(!pos) <- (z, pt);
+      incr pos
+    in
+    let zbase = ref 0 in
+    Array.iter
+      (fun (y, y', p) ->
+        let commitments = Array.map (fun r -> (r.t, r.u)) p.reps in
+        let bits = challenge_bits ~context ~h ~y ~y' commitments in
+        let y_coeff = ref Sc.zero and y'_coeff = ref Sc.zero in
+        Array.iteri
+          (fun j { t; u; resp } ->
+            let za = zs.(!zbase + (2 * j)) and zb = zs.(!zbase + (2 * j) + 1) in
+            let hr = Zl.pow h resp in
+            if bits.(j) then begin
+              (* resp = z: t = (h^z)·Y',  u = (z mod ℓ)·G + Y *)
+              y'_coeff := Sc.add !y'_coeff (Sc.mul za hr);
+              y_coeff := Sc.add !y_coeff zb;
+              g_fold := Sc.add !g_fold (Sc.mul zb (Sc.of_bn resp))
+            end
+            else
+              (* resp = r: t = (h^r)·G,  u = (r mod ℓ)·G *)
+              g_fold :=
+                Sc.add !g_fold
+                  (Sc.add (Sc.mul za hr) (Sc.mul zb (Sc.of_bn resp)));
+            push za (Point.neg t);
+            push zb (Point.neg u))
+          p.reps;
+        zbase := !zbase + (2 * Array.length p.reps);
+        push !y'_coeff y';
+        push !y_coeff y)
+      batch;
+    Point.is_identity (Point.add (Point.mul_base !g_fold) (Point.msm terms))

@@ -33,3 +33,10 @@ val prove :
 
 val verify :
   ?context:string -> h:Sc.t -> y:Point.t -> y':Point.t -> proof -> bool
+
+val verify_batch :
+  ?context:string -> h:Sc.t -> (Point.t * Point.t * proof) array -> bool
+(** [verify_batch ~h [| (y, y', proof); … |]] folds every repetition
+    equation of every proof into one multi-scalar multiplication via a
+    random linear combination (DESIGN.md §3.10). Accepts iff each
+    individual {!verify} accepts, except with probability 2⁻¹²⁸. *)

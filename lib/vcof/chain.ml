@@ -60,16 +60,10 @@ let publish (c : t) : public =
     verification from the paper's 100-session experiment). *)
 let verify_public (p : public) : bool =
   Array.length p.statements = Array.length p.step_proofs + 1
-  &&
-  let ok = ref true in
-  Array.iteri
-    (fun i proof ->
-      if !ok then
-        ok :=
-          Vcof.c_vrfy ~pp:p.pub_pp ~prev:p.statements.(i) ~next:p.statements.(i + 1)
-            proof)
-    p.step_proofs;
-  !ok
+  && Vcof.c_vrfy_batch ~pp:p.pub_pp
+       (Array.mapi
+          (fun i proof -> (p.statements.(i), p.statements.(i + 1), proof))
+          p.step_proofs)
 
 let total_proof_bytes (p : public) : int =
   Array.fold_left (fun acc pr -> acc + Vcof.proof_size pr) 0 p.step_proofs

@@ -46,6 +46,13 @@ let new_sw ?reps (g : Monet_hash.Drbg.t) (p : pair) ~(pp : Sc.t) : pair * proof 
 let c_vrfy ~(pp : Sc.t) ~(prev : Point.t) ~(next : Point.t) (proof : proof) : bool =
   Monet_sigma.Stadler.verify ~h:pp ~y:prev ~y':next proof
 
+(** CVrfy over a burst of steps (channel-open batches, published
+    chains): one random-linear-combination multi-scalar multiplication
+    instead of per-step verification. Entries are (Yⁱ, Yⁱ⁺¹, Pⁱ⁺¹)
+    triples; they need not form a single chain. *)
+let c_vrfy_batch ~(pp : Sc.t) (steps : (Point.t * Point.t * proof) array) : bool =
+  Monet_sigma.Stadler.verify_batch ~h:pp steps
+
 (** Check that a bare witness opens a statement. *)
 let opens (p : Point.t) (wit : Sc.t) : bool = Point.equal p (Point.mul_base wit)
 

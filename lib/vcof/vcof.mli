@@ -40,6 +40,12 @@ val new_sw :
 val c_vrfy : pp:Sc.t -> prev:Point.t -> next:Point.t -> proof -> bool
 (** [CVrfy((Yⁱ, Yⁱ⁺¹), Pⁱ⁺¹)]: publicly verify one chain step. *)
 
+val c_vrfy_batch : pp:Sc.t -> (Point.t * Point.t * proof) array -> bool
+(** Batched CVrfy across (prev, next, proof) triples under one pp:
+    a single multi-scalar multiplication replaces per-step
+    verification (accepts iff every {!c_vrfy} accepts, except with
+    probability 2⁻¹²⁸). *)
+
 val opens : Point.t -> Sc.t -> bool
 (** Does a bare witness open a statement (Y = y·G)? *)
 

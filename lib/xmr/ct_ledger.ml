@@ -108,9 +108,9 @@ let validate (c : t) (tx : ct_tx) : (unit, string) result =
         then Error "commitments do not balance"
         else if
           not
-            (List.for_all
-               (fun o -> Range_proof.verify o.cto_commitment o.cto_range)
-               tx.ct_outputs)
+            (Range_proof.verify_batch
+               (Array.of_list
+                  (List.map (fun o -> (o.cto_commitment, o.cto_range)) tx.ct_outputs)))
         then Error "range proof invalid"
         else Ok ()
 

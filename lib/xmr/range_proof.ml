@@ -9,11 +9,17 @@
 
     i.e. each C_i hides either 0 or 2^i. The OR composition is the
     standard CDS trick: simulate the false branch, split the Fiat–
-    Shamir challenge. *)
+    Shamir challenge.
+
+    OR-proofs carry both commitment points a₀, a₁ (and derive e₁ from
+    the recomputed challenge), so every check is a group identity
+    sⱼ·G − eⱼ·stmtⱼ − aⱼ = O — the form {!verify_batch} folds across
+    all bits of all proofs into a single multi-scalar multiplication
+    (DESIGN.md §3.10). *)
 
 open Monet_ec
 
-type or_proof = { e0 : Sc.t; s0 : Sc.t; e1 : Sc.t; s1 : Sc.t }
+type or_proof = { a0 : Point.t; a1 : Point.t; e0 : Sc.t; s0 : Sc.t; s1 : Sc.t }
 
 type t = { bit_commitments : Point.t array; proofs : or_proof array }
 
@@ -38,14 +44,19 @@ let prove_or (g : Monet_hash.Drbg.t) ~(context : string) ~(stmt0 : Point.t)
   let e = challenge ~stmt0 ~stmt1 ~a0 ~a1 ~context in
   let e_real = Sc.sub e e_sim in
   let s_real = Sc.add k (Sc.mul e_real blind) in
-  if real = 0 then { e0 = e_real; s0 = s_real; e1 = e_sim; s1 = s_sim }
-  else { e0 = e_sim; s0 = s_sim; e1 = e_real; s1 = s_real }
+  if real = 0 then { a0; a1; e0 = e_real; s0 = s_real; s1 = s_sim }
+  else { a0; a1; e0 = e_sim; s0 = s_sim; s1 = s_real }
+
+(* The second branch challenge is bound by e₀ + e₁ = H(transcript). *)
+let e1_of ~(context : string) ~(stmt0 : Point.t) ~(stmt1 : Point.t) (p : or_proof) :
+    Sc.t =
+  Sc.sub (challenge ~stmt0 ~stmt1 ~a0:p.a0 ~a1:p.a1 ~context) p.e0
 
 let verify_or ~(context : string) ~(stmt0 : Point.t) ~(stmt1 : Point.t) (p : or_proof)
     : bool =
-  let a0 = Point.double_mul (Sc.neg p.e0) stmt0 p.s0 in
-  let a1 = Point.double_mul (Sc.neg p.e1) stmt1 p.s1 in
-  Sc.equal (Sc.add p.e0 p.e1) (challenge ~stmt0 ~stmt1 ~a0 ~a1 ~context)
+  let e1 = e1_of ~context ~stmt0 ~stmt1 p in
+  Point.equal (Point.double_mul (Sc.neg p.e0) stmt0 p.s0) p.a0
+  && Point.equal (Point.double_mul (Sc.neg e1) stmt1 p.s1) p.a1
 
 (** Prove C = amount·H + blind·G has amount in [0, 2^nbits). Returns
     the proof; the verifier recomputes C as the sum of the bit
@@ -91,4 +102,84 @@ let verify ?(nbits = nbits_default) (commitment : Point.t) (p : t) : bool =
     p.proofs;
   !ok
 
-let size_bytes ?(nbits = nbits_default) () : int = nbits * (32 + (4 * 32))
+let m_batch = Monet_obs.Metrics.counter "xmr.range_batch_verify"
+let m_batch_proofs = Monet_obs.Metrics.counter "xmr.range_batch_proofs"
+
+(** Batch-verify range proofs against their commitments with one
+    multi-scalar multiplication (plus one fixed-base comb each for the
+    folded G and H legs). Every per-bit OR equation and every
+    Σ Cᵢ = C balance check is multiplied by an independent 128-bit
+    randomizer and summed; a batch with any invalid proof survives
+    with probability ≤ 2⁻¹²⁸. Accepts iff each individual {!verify}
+    accepts (up to that error). *)
+let verify_batch ?(nbits = nbits_default) (batch : (Point.t * t) array) : bool =
+  Monet_obs.Metrics.bump m_batch;
+  Monet_obs.Metrics.add m_batch_proofs (Array.length batch);
+  Array.for_all
+    (fun ((_ : Point.t), p) ->
+      Array.length p.bit_commitments = nbits && Array.length p.proofs = nbits)
+    batch
+  &&
+  let n = Array.length batch in
+  if n = 0 then true
+  else begin
+    let parts =
+      List.concat_map
+        (fun (c, p) ->
+          Point.encode c
+          :: (Array.to_list p.bit_commitments |> List.map Point.encode)
+          @ List.concat_map
+              (fun q ->
+                [
+                  Point.encode q.a0; Point.encode q.a1; Sc.to_bytes_le q.e0;
+                  Sc.to_bytes_le q.s0; Sc.to_bytes_le q.s1;
+                ])
+              (Array.to_list p.proofs))
+        (Array.to_list batch)
+    in
+    let zs =
+      Monet_sigma.Schnorr.randomizers ~tag:"range-proof" parts (n * ((2 * nbits) + 1))
+    in
+    (* Per proof: 2·nbits OR equations + 1 balance equation.
+       Folding z·(s·G − e·stmt − a) = O across branches:
+         branch 0 (stmt = Cᵢ):        z₀·s₀ on G, −z₀·e₀ on Cᵢ, z₀ on −a₀
+         branch 1 (stmt = Cᵢ − 2ⁱ·H): z₁·s₁ on G, −z₁·e₁ on Cᵢ,
+                                       z₁·e₁·2ⁱ on H, z₁ on −a₁
+       and the balance z₊·(Σ Cᵢ − C): z₊ on each Cᵢ, z₊ on −C. *)
+    let g_fold = ref Sc.zero and h_fold = ref Sc.zero in
+    let terms = Array.make (n * ((3 * nbits) + 1)) (Sc.zero, Point.identity) in
+    let pos = ref 0 in
+    let push z pt =
+      terms.(!pos) <- (z, pt);
+      incr pos
+    in
+    Array.iteri
+      (fun j (commitment, p) ->
+        let zbase = j * ((2 * nbits) + 1) in
+        let z_sum = zs.(zbase + (2 * nbits)) in
+        Array.iteri
+          (fun i q ->
+            let c_i = p.bit_commitments.(i) in
+            let stmt0 = c_i in
+            let stmt1 = Point.sub_point c_i (Point.mul (Sc.of_int (1 lsl i)) Ct.h) in
+            let e1 = e1_of ~context:(string_of_int i) ~stmt0 ~stmt1 q in
+            let z0 = zs.(zbase + (2 * i)) and z1 = zs.(zbase + (2 * i) + 1) in
+            g_fold := Sc.add !g_fold (Sc.add (Sc.mul z0 q.s0) (Sc.mul z1 q.s1));
+            h_fold :=
+              Sc.add !h_fold (Sc.mul (Sc.mul z1 e1) (Sc.of_int (1 lsl i)));
+            let ci_coeff =
+              Sc.sub z_sum (Sc.add (Sc.mul z0 q.e0) (Sc.mul z1 e1))
+            in
+            push ci_coeff c_i;
+            push z0 (Point.neg q.a0);
+            push z1 (Point.neg q.a1))
+          p.proofs;
+        push z_sum (Point.neg commitment))
+      batch;
+    Point.is_identity
+      (Point.add
+         (Point.add (Point.mul_base !g_fold) (Point.mul !h_fold Ct.h))
+         (Point.msm terms))
+  end
+
+let size_bytes ?(nbits = nbits_default) () : int = nbits * (32 + (5 * 32))

@@ -106,6 +106,31 @@ let test_range_proof_tampered_bit () =
   Alcotest.(check bool) "tampered rejected" false
     (Range_proof.verify c { p with Range_proof.bit_commitments = bc })
 
+let test_range_proof_batch () =
+  let g = Monet_hash.Drbg.split drbg "rbatch" in
+  let mk amount =
+    let blind = Sc.random_nonzero g in
+    (Ct.commit ~amount ~blind, Range_proof.prove g ~amount ~blind)
+  in
+  List.iter
+    (fun n ->
+      let batch = Array.init n (fun i -> mk ((i * 977) mod 65536)) in
+      Alcotest.(check bool)
+        (Printf.sprintf "valid batch of %d accepts" n)
+        true (Range_proof.verify_batch batch);
+      if n > 0 then begin
+        (* One proof re-bound to a different commitment must sink the
+           whole batch, wherever it sits. *)
+        let bad = Monet_hash.Drbg.int g n in
+        let corrupt = Array.copy batch in
+        corrupt.(bad) <- (Ct.commit ~amount:7 ~blind:(Sc.random_nonzero g),
+                          snd batch.(bad));
+        Alcotest.(check bool)
+          (Printf.sprintf "bad commitment at %d/%d rejects" bad n)
+          false (Range_proof.verify_batch corrupt)
+      end)
+    [ 0; 1; 2; 5; 8 ]
+
 (* --- CT ledger end to end --- *)
 
 let fund g (l : Ct_ledger.t) amount : Ct_ledger.coin =
@@ -210,6 +235,7 @@ let tests =
     Alcotest.test_case "range proof wrong C" `Quick test_range_proof_wrong_commitment;
     Alcotest.test_case "range proof bounds" `Quick test_range_proof_out_of_range;
     Alcotest.test_case "range proof tampered" `Quick test_range_proof_tampered_bit;
+    Alcotest.test_case "range proof batch" `Quick test_range_proof_batch;
     Alcotest.test_case "ct spend" `Quick test_ct_spend;
     Alcotest.test_case "ct inflation" `Quick test_ct_inflation_rejected;
     Alcotest.test_case "ct overspend" `Quick test_ct_overspend_rejected;

@@ -329,6 +329,82 @@ let test_is_identity () =
   Alcotest.(check bool) "P + (-P) = O" true
     (Point.is_identity (Point.add p (Point.neg p)))
 
+(* --- Pippenger multi-scalar multiplication ---
+
+   Differential against the naive Σ kᵢ·Pᵢ evaluation, 10k scalar/point
+   terms total spread over batch sizes 1…512 (the bucketed path starts
+   at n ≥ 4, so the small sizes exercise the Straus fallback too).
+   Term generation salts in the degenerate shapes the bucket logic has
+   to survive: zero scalars, identity points, repeated points, and
+   ±P pairs that cancel. *)
+
+let test_msm_differential () =
+  let g = Monet_hash.Drbg.of_int 0x6d736d in
+  let sizes = [ 1; 2; 3; 4; 5; 7; 8; 16; 33; 64; 128; 256; 512 ] in
+  let target = 10_000 in
+  let done_terms = ref 0 in
+  let case = ref 0 in
+  while !done_terms < target do
+    let n = List.nth sizes (!case mod List.length sizes) in
+    let terms =
+      Array.init n (fun i ->
+          let k =
+            match Monet_hash.Drbg.int g 8 with
+            | 0 -> Sc.zero
+            | 1 -> Sc.one
+            | 2 -> Sc.of_int (Monet_hash.Drbg.int g 1000)
+            | _ -> Sc.random g
+          in
+          let p =
+            match Monet_hash.Drbg.int g 8 with
+            | 0 -> Point.identity
+            | 1 -> Point.base
+            | 2 when i > 0 -> Point.mul_base (Sc.of_int 42) (* repeats *)
+            | _ -> Point.mul_base (Sc.random g)
+          in
+          (k, p))
+    in
+    (* Every other case appends a cancelling ±P pair. *)
+    let terms =
+      if !case land 1 = 0 && n >= 2 then begin
+        let k = Sc.random g and p = Point.mul_base (Sc.random g) in
+        terms.(n - 2) <- (k, p);
+        terms.(n - 1) <- (k, Point.neg p);
+        terms
+      end
+      else terms
+    in
+    let naive =
+      Array.fold_left
+        (fun acc (k, p) -> Point.add acc (Point.mul k p))
+        Point.identity terms
+    in
+    let fast = Point.msm terms in
+    if not (Point.equal naive fast) then
+      Alcotest.failf "msm differential mismatch at case %d (n=%d)" !case n;
+    done_terms := !done_terms + n;
+    incr case
+  done;
+  (* Empty batch. *)
+  Alcotest.(check bool) "msm [] = O" true (Point.is_identity (Point.msm [||]))
+
+let test_encode_batch () =
+  let g = Monet_hash.Drbg.of_int 0x656e63 in
+  for n = 0 to 9 do
+    let ps =
+      Array.init n (fun i ->
+          if i = 0 then Point.identity else Point.mul_base (Sc.random g))
+    in
+    let batch = Point.encode_batch ps in
+    Array.iteri
+      (fun i p ->
+        Alcotest.(check string)
+          (Printf.sprintf "encode_batch n=%d i=%d" n i)
+          (Monet_util.Hex.encode (Point.encode p))
+          (Monet_util.Hex.encode batch.(i)))
+      ps
+  done
+
 (* --- Z_l* chain arithmetic --- *)
 
 let test_zl_pow_homomorphic () =
@@ -379,6 +455,8 @@ let tests =
     Alcotest.test_case "double_mul (Straus aP+bB)" `Quick test_double_mul;
     Alcotest.test_case "mul2 (Straus aP+bQ)" `Quick test_mul2;
     Alcotest.test_case "is_identity" `Quick test_is_identity;
+    Alcotest.test_case "msm differential (10k terms)" `Slow test_msm_differential;
+    Alcotest.test_case "encode_batch matches encode" `Quick test_encode_batch;
     Alcotest.test_case "zl pow homomorphic" `Quick test_zl_pow_homomorphic;
     Alcotest.test_case "zl pow small" `Quick test_zl_pow_small;
   ]

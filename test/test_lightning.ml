@@ -10,7 +10,7 @@ let test_btc_p2pk () =
   let o = Btc_sim.genesis_output c { script = P2pk kp.vk; amount = 10 } in
   let kp2 = Monet_sig.Sig_core.gen drbg in
   let tx =
-    { Btc_sim.inputs = [ { prev = o; witness = WSig { h = Sc.zero; s = Sc.zero } } ];
+    { Btc_sim.inputs = [ { prev = o; witness = WSig { rp = Monet_ec.Point.identity; s = Sc.zero } } ];
       outputs = [ { script = P2pk kp2.vk; amount = 10 } ]; locktime = 0 }
   in
   let msg = Btc_sim.sighash tx in
@@ -29,7 +29,7 @@ let test_btc_wrong_sig () =
   let kp = Monet_sig.Sig_core.gen drbg and evil = Monet_sig.Sig_core.gen drbg in
   let o = Btc_sim.genesis_output c { script = P2pk kp.vk; amount = 10 } in
   let tx =
-    { Btc_sim.inputs = [ { prev = o; witness = WSig { h = Sc.zero; s = Sc.zero } } ];
+    { Btc_sim.inputs = [ { prev = o; witness = WSig { rp = Monet_ec.Point.identity; s = Sc.zero } } ];
       outputs = [ { script = P2pk evil.vk; amount = 10 } ]; locktime = 0 }
   in
   let msg = Btc_sim.sighash tx in
@@ -52,7 +52,7 @@ let test_htlc_paths () =
   in
   (* Claim path with preimage. *)
   let claim =
-    { Btc_sim.inputs = [ { prev = o; witness = WPreimage (preimage, { h = Sc.zero; s = Sc.zero }) } ];
+    { Btc_sim.inputs = [ { prev = o; witness = WPreimage (preimage, { rp = Monet_ec.Point.identity; s = Sc.zero }) } ];
       outputs = [ { script = P2pk bob.vk; amount = 5 } ]; locktime = 0 }
   in
   let msg = Btc_sim.sighash claim in
@@ -70,7 +70,7 @@ let test_htlc_paths () =
         amount = 5 }
   in
   let refund =
-    { Btc_sim.inputs = [ { prev = o2; witness = WTimeout { h = Sc.zero; s = Sc.zero } } ];
+    { Btc_sim.inputs = [ { prev = o2; witness = WTimeout { rp = Monet_ec.Point.identity; s = Sc.zero } } ];
       outputs = [ { script = P2pk alice.vk; amount = 5 } ]; locktime = 0 }
   in
   let msg2 = Btc_sim.sighash refund in

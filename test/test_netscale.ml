@@ -350,6 +350,74 @@ let test_workload_deterministic () =
   let a = once () and b = once () in
   Alcotest.(check bool) "same seed, same workload outcome" true (a = b)
 
+(* --- domain sharding (lib/net/shard.ml) --- *)
+
+module Shard = Monet_net.Shard
+
+let run_plan ?parallel ~domains ~shape ~nodes cfg =
+  match Shard.plan ~seed:"test-shard" ~domains ~shape ~nodes ~balance:2_000 cfg with
+  | Error e -> Alcotest.fail e
+  | Ok p -> (
+      match Shard.run ?parallel p with
+      | Error e -> Alcotest.fail e
+      | Ok m -> m)
+
+let shard_cfg =
+  { Workload.default_config with Workload.n_payments = 400; arrival_rate = 400.0 }
+
+let test_shard_parallel_deterministic () =
+  (* The determinism contract: N domains in parallel produce the exact
+     merged report — byte-for-byte through the hex-float summary — as
+     the same plan run sequentially on the calling domain, and as a
+     second parallel run. *)
+  List.iter
+    (fun shape ->
+      let seq = run_plan ~parallel:false ~domains:4 ~shape ~nodes:48 shard_cfg in
+      let par = run_plan ~parallel:true ~domains:4 ~shape ~nodes:48 shard_cfg in
+      let par' = run_plan ~parallel:true ~domains:4 ~shape ~nodes:48 shard_cfg in
+      Alcotest.(check string)
+        (shape ^ ": parallel = sequential")
+        (Shard.summary seq) (Shard.summary par);
+      Alcotest.(check string)
+        (shape ^ ": parallel rerun stable")
+        (Shard.summary par) (Shard.summary par'))
+    [ "hub_spoke"; "scale_free"; "grid" ]
+
+let test_shard_merge_accounts () =
+  let m = run_plan ~domains:4 ~shape:"hub_spoke" ~nodes:64 shard_cfg in
+  Alcotest.(check int) "domains recorded" 4 m.Shard.domains;
+  Alcotest.(check int) "4 shard reports" 4 (Array.length m.Shard.shards);
+  (* The plan slices the payment budget exactly. *)
+  Alcotest.(check int) "offered = configured payments"
+    shard_cfg.Workload.n_payments m.Shard.agg_offered;
+  Alcotest.(check int) "completed + no_route = offered" m.Shard.agg_offered
+    (m.Shard.agg_completed + m.Shard.agg_no_route);
+  let sum f = Array.fold_left (fun a r -> a + f r) 0 m.Shard.shards in
+  Alcotest.(check int) "offered totals shard-wise" m.Shard.agg_offered
+    (sum (fun r -> r.Workload.offered));
+  Alcotest.(check int) "fees total shard-wise" m.Shard.agg_fees
+    (sum (fun r -> r.Workload.fees_paid));
+  Alcotest.(check bool) "every shard conserved wealth" true m.Shard.conserved;
+  Alcotest.(check bool) "aggregate TPS positive" true (m.Shard.agg_tps > 0.0)
+
+let test_shard_single_domain_matches_unsharded_shape () =
+  (* domains=1 is the unsharded baseline: one shard holding the whole
+     population and the whole payment budget. *)
+  let m = run_plan ~domains:1 ~shape:"grid" ~nodes:36 shard_cfg in
+  Alcotest.(check int) "one shard" 1 (Array.length m.Shard.shards);
+  Alcotest.(check int) "full budget" shard_cfg.Workload.n_payments
+    m.Shard.agg_offered
+
+let test_shard_rejects_degenerate () =
+  (match Shard.plan ~seed:"x" ~domains:32 ~shape:"grid" ~nodes:16 shard_cfg with
+  | Ok _ -> Alcotest.fail "accepted fewer than two nodes per shard"
+  | Error _ -> ());
+  match
+    Shard.plan ~seed:"x" ~domains:4 ~shape:"bogus" ~nodes:64 shard_cfg
+  with
+  | Ok _ -> Alcotest.fail "accepted unknown shape"
+  | Error _ -> ()
+
 let test_workload_rejects_degenerate () =
   let t = Graph.create (Drbg.split drbg "deg") in
   ignore (Graph.add_node t ~name:"only");
@@ -372,4 +440,11 @@ let tests =
     Alcotest.test_case "workload deterministic" `Quick test_workload_deterministic;
     Alcotest.test_case "workload rejects degenerate" `Quick
       test_workload_rejects_degenerate;
+    Alcotest.test_case "shard parallel = sequential (byte-exact)" `Quick
+      test_shard_parallel_deterministic;
+    Alcotest.test_case "shard merge accounting" `Quick test_shard_merge_accounts;
+    Alcotest.test_case "shard domains=1 baseline" `Quick
+      test_shard_single_domain_matches_unsharded_shape;
+    Alcotest.test_case "shard rejects degenerate" `Quick
+      test_shard_rejects_degenerate;
   ]

@@ -71,6 +71,31 @@ let test_metrics_diff () =
     [ ("test.diff_a", 2); ("test.diff_b", 5) ]
     (Metrics.diff ~before ~after)
 
+let test_metrics_domain_merge () =
+  (* Worker domains bump into domain-local tallies (Domain.DLS); the
+     read-side merge must see every domain's contribution exactly once
+     after the joins. *)
+  Metrics.enable ();
+  let c = Metrics.counter "test.domains" in
+  Metrics.bump c;
+  let workers =
+    Array.init 4 (fun i ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 100 + i do
+              Metrics.bump c
+            done;
+            (* Late registration from a worker domain must also land. *)
+            Metrics.add (Metrics.counter "test.domains_late") 2))
+  in
+  Array.iter Domain.join workers;
+  Alcotest.(check int) "merged across domains"
+    (1 + 100 + 101 + 102 + 103)
+    (Metrics.count c);
+  Alcotest.(check int) "worker-registered counter merged" 8
+    (Metrics.count (Metrics.counter "test.domains_late"));
+  Metrics.reset ();
+  Alcotest.(check int) "reset clears every domain's tally" 0 (Metrics.count c)
+
 (* --- spans --------------------------------------------------------- *)
 
 let test_trace_disabled_records_nothing () =
@@ -300,6 +325,8 @@ let tests =
       (isolated test_metrics_disabled_is_inert);
     Alcotest.test_case "metrics counting" `Quick (isolated test_metrics_counting);
     Alcotest.test_case "metrics diff" `Quick (isolated test_metrics_diff);
+    Alcotest.test_case "metrics merge across domains" `Quick
+      (isolated test_metrics_domain_merge);
     Alcotest.test_case "trace disabled records nothing" `Quick
       (isolated test_trace_disabled_records_nothing);
     Alcotest.test_case "span nesting and ordering" `Quick

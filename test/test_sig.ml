@@ -20,7 +20,8 @@ let test_adaptor_lifecycle () =
   Alcotest.(check bool) "pre-verifies" true (Adaptor.pre_verify kp.vk "m" ~stmt pre);
   (* A pre-signature must not verify as a full signature. *)
   Alcotest.(check bool) "presig is not a sig" false
-    (Sig_core.verify kp.vk "m" { Sig_core.h = pre.Adaptor.h; s = pre.Adaptor.s_pre });
+    (Sig_core.verify kp.vk "m"
+       { Sig_core.rp = pre.Adaptor.rp_sign; s = pre.Adaptor.s_pre });
   let sg = Adaptor.adapt pre ~y in
   Alcotest.(check bool) "adapted verifies" true (Sig_core.verify kp.vk "m" sg);
   let y' = Adaptor.ext sg pre in
@@ -173,6 +174,122 @@ let test_two_party_bad_z_caught () =
         (Two_party.check_z_share ja sa ~their_nonce:nb.Two_party.ns_msg
            ~z:(Sc.add zb Sc.one))
 
+(* --- RLC batch verification (lib/sig/batch.ml) ---
+
+   The contract under test: batch accept ⇔ every individual verify
+   accepts. The adversarial direction plants exactly one corrupted
+   signature at a DRBG-chosen slot for every batch size — the single
+   combined MSM identity has to notice it wherever it hides. *)
+
+let mk_sig_batch g n =
+  Array.init n (fun i ->
+      let kp = Sig_core.gen g in
+      let msg = Printf.sprintf "batch-msg-%d" i in
+      { Batch.vk = kp.vk; msg; sg = Sig_core.sign g kp msg })
+
+let test_batch_sigs_complete () =
+  let g = Monet_hash.Drbg.of_int 0xb001 in
+  List.iter
+    (fun n ->
+      let items = mk_sig_batch g n in
+      Alcotest.(check bool)
+        (Printf.sprintf "all-valid batch of %d accepts" n)
+        true (Batch.verify_sigs items);
+      Alcotest.(check bool)
+        (Printf.sprintf "individual verifies agree (n=%d)" n)
+        true
+        (Array.for_all
+           (fun it -> Sig_core.verify it.Batch.vk it.Batch.msg it.Batch.sg)
+           items))
+    [ 0; 1; 2; 3; 7; 16; 64 ]
+
+let test_batch_sigs_sound () =
+  let g = Monet_hash.Drbg.of_int 0xb002 in
+  List.iter
+    (fun n ->
+      let items = mk_sig_batch g n in
+      let bad = Monet_hash.Drbg.int g n in
+      let corrupt =
+        Array.mapi
+          (fun i it ->
+            if i <> bad then it
+            else
+              match Monet_hash.Drbg.int g 3 with
+              | 0 ->
+                  (* s-component tampered *)
+                  { it with
+                    Batch.sg =
+                      { it.Batch.sg with
+                        Sig_core.s = Sc.add it.Batch.sg.Sig_core.s Sc.one } }
+              | 1 ->
+                  (* commitment point replaced *)
+                  { it with
+                    Batch.sg =
+                      { it.Batch.sg with
+                        Sig_core.rp = Point.mul_base (Sc.random g) } }
+              | _ ->
+                  (* signature moved to a different message *)
+                  { it with Batch.msg = it.Batch.msg ^ "-evil" })
+          items
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "one bad sig at slot %d/%d rejects" bad n)
+        false (Batch.verify_sigs corrupt))
+    [ 1; 2; 3; 7; 16; 64 ]
+
+let mk_pre_batch g n =
+  Array.init n (fun i ->
+      let kp = Sig_core.gen g in
+      let stmt = Point.mul_base (Sc.random_nonzero g) in
+      let msg = Printf.sprintf "pre-msg-%d" i in
+      { Batch.p_vk = kp.vk; p_msg = msg; p_stmt = stmt;
+        p_pre = Adaptor.pre_sign g kp msg ~stmt })
+
+let test_batch_pres () =
+  let g = Monet_hash.Drbg.of_int 0xb003 in
+  List.iter
+    (fun n ->
+      let items = mk_pre_batch g n in
+      Alcotest.(check bool)
+        (Printf.sprintf "all-valid pre batch of %d accepts" n)
+        true (Batch.verify_pres items);
+      if n > 0 then begin
+        let bad = Monet_hash.Drbg.int g n in
+        let corrupt =
+          Array.mapi
+            (fun i it ->
+              if i <> bad then it
+              else { it with Batch.p_stmt = Point.mul_base (Sc.random g) })
+            items
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "one bad statement at slot %d/%d rejects" bad n)
+          false (Batch.verify_pres corrupt)
+      end)
+    [ 0; 1; 2; 5; 16; 32 ]
+
+let test_batch_lsag () =
+  let g = Monet_hash.Drbg.of_int 0xb004 in
+  (* Two signers share one physical ring (the Hp cache path) plus one
+     signer on a second ring. *)
+  let kp1 = Sig_core.gen g and kp2 = Sig_core.gen g in
+  let ring_a = make_ring g ~n:7 ~pi:2 ~vk:kp1.vk in
+  ring_a.(5) <- kp2.vk;
+  let ring_b = make_ring g ~n:5 ~pi:0 ~vk:kp2.vk in
+  let items =
+    [| { Batch.ring = ring_a; l_msg = "a1";
+         l_sg = Lsag.sign g ~ring:ring_a ~pi:2 ~sk:kp1.sk ~msg:"a1" };
+       { Batch.ring = ring_a; l_msg = "a2";
+         l_sg = Lsag.sign g ~ring:ring_a ~pi:5 ~sk:kp2.sk ~msg:"a2" };
+       { Batch.ring = ring_b; l_msg = "b1";
+         l_sg = Lsag.sign g ~ring:ring_b ~pi:0 ~sk:kp2.sk ~msg:"b1" } |]
+  in
+  Alcotest.(check bool) "lsag batch accepts" true (Batch.lsag items);
+  let corrupt = Array.copy items in
+  corrupt.(1) <- { items.(1) with Batch.l_msg = "a2-evil" };
+  Alcotest.(check bool) "lsag batch with one bad walk rejects" false
+    (Batch.lsag corrupt)
+
 let tests =
   [
     Alcotest.test_case "schnorr sign" `Quick test_schnorr_sign;
@@ -189,4 +306,8 @@ let tests =
     Alcotest.test_case "2p psign plain" `Quick test_two_party_psign_plain;
     Alcotest.test_case "2p psign adaptor" `Quick test_two_party_psign_adaptor;
     Alcotest.test_case "2p bad z share" `Quick test_two_party_bad_z_caught;
+    Alcotest.test_case "batch sigs complete" `Quick test_batch_sigs_complete;
+    Alcotest.test_case "batch sigs sound (adversarial)" `Quick test_batch_sigs_sound;
+    Alcotest.test_case "batch pre-signatures" `Quick test_batch_pres;
+    Alcotest.test_case "batch lsag (shared Hp)" `Quick test_batch_lsag;
   ]

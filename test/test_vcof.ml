@@ -92,6 +92,40 @@ let test_chain_witness_only () =
   Alcotest.(check bool) "all open" true
     (Array.for_all (fun p -> Vcof.opens p.Vcof.stmt p.Vcof.wit) pairs)
 
+let test_cvrfy_batch () =
+  (* A burst of consecutive chain steps under one pp: the batched
+     verifier folds all 80-rep Stadler transcripts into one MSM and
+     must agree with per-step c_vrfy — including when exactly one
+     triple is wrong. *)
+  let pp = Vcof.default_pp in
+  let n = 6 in
+  let pairs = Array.make (n + 1) (Vcof.sw_gen drbg) in
+  let proofs =
+    Array.init n (fun i ->
+        let next, proof = Vcof.new_sw ?reps drbg pairs.(i) ~pp in
+        pairs.(i + 1) <- next;
+        proof)
+  in
+  let steps =
+    Array.init n (fun i ->
+        (pairs.(i).Vcof.stmt, pairs.(i + 1).Vcof.stmt, proofs.(i)))
+  in
+  Alcotest.(check bool) "honest burst accepts" true (Vcof.c_vrfy_batch ~pp steps);
+  Alcotest.(check bool) "per-step agrees" true
+    (Array.for_all
+       (fun (prev, next, proof) -> Vcof.c_vrfy ~pp ~prev ~next proof)
+       steps);
+  Alcotest.(check bool) "empty burst accepts" true (Vcof.c_vrfy_batch ~pp [||]);
+  let other = Vcof.sw_gen drbg in
+  for bad = 0 to n - 1 do
+    let corrupt = Array.copy steps in
+    let prev, _, proof = steps.(bad) in
+    corrupt.(bad) <- (prev, other.Vcof.stmt, proof);
+    Alcotest.(check bool)
+      (Printf.sprintf "wrong next at step %d rejects" bad)
+      false (Vcof.c_vrfy_batch ~pp corrupt)
+  done
+
 (* --- CAS (Algorithm 1, single-signer) --- *)
 
 let test_cas_lifecycle () =
@@ -255,6 +289,7 @@ let tests =
   [
     Alcotest.test_case "consecutiveness" `Quick test_consecutiveness;
     Alcotest.test_case "cvrfy" `Quick test_cvrfy;
+    Alcotest.test_case "cvrfy batch" `Quick test_cvrfy_batch;
     Alcotest.test_case "one-wayness shape" `Quick test_one_wayness_shape;
     Alcotest.test_case "derive_n" `Quick test_derive_n;
     Alcotest.test_case "randomize" `Quick test_randomize;

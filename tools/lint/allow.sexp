@@ -79,6 +79,10 @@
   "to_bytes_le writes literal offsets into a fresh 32-byte buffer")
 (allow partial-fn lib/ec/fe.ml String.unsafe_get
   "of_bytes_le reads literal offsets after a length-32 check")
+(allow partial-fn lib/ec/fe.ml Array.unsafe_set
+  "in-place _into kernels write literal limb indices 0..9 into caller-owned Array.make 10 buffers")
+(allow partial-fn lib/ec/point.ml String.unsafe_get
+  "signed-digit recoding reads a 32-byte scalar encoding through a `byte' accessor that returns 0 for indices >= 32")
 
 ; -- deliberate reject-all on the wire dispatcher ------------------
 (allow wildcard-match lib/channel/party.ml Msg.t

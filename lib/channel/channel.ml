@@ -88,6 +88,14 @@ type lock_state = Party.lock_state = {
 
 type phase = Party.phase
 
+(** Durability hooks a journaled party reports its write-ahead moments
+    through (see {!Party.journal_hook}; installed by {!Recovery}). *)
+type journal_hook = Party.journal_hook = {
+  jh_intent : label:string -> state:int -> unit;
+  jh_precommit : Party.pending -> unit;
+  jh_state : unit -> unit;
+}
+
 type party = Party.party = {
   cfg : config;
   role : Tp.role;
@@ -115,6 +123,7 @@ type party = Party.party = {
   mutable closed : bool;
   mutable phase : phase;
   mutable extracted : Sc.t option;
+  mutable journal : journal_hook option;
 }
 
 (** Message transport: [Driver.Sync] (immediate FIFO, the experiment
@@ -135,6 +144,14 @@ type faults = Driver.faults = {
 
 let make_faults = Driver.make_faults
 
+(** Durable-endpoint hooks threaded into the fault-injecting driver
+    (journal-backed dedup + restart callback; see {!Driver.restart_hooks}). *)
+type restart_hooks = Driver.restart_hooks = {
+  rh_seen : (string, unit) Hashtbl.t;
+  rh_note_seen : string -> unit;
+  rh_restart : unit -> unit;
+}
+
 type channel = Driver.channel = {
   a : party;
   b : party;
@@ -143,6 +160,8 @@ type channel = Driver.channel = {
   mutable transport : transport;
   mutable faults : faults option;
   mutable trace : Msg.t list; (* deliveries of the last session, in order *)
+  mutable store_a : restart_hooks option;
+  mutable store_b : restart_hooks option;
 }
 
 (** Install (or clear) a fault plan. Fault injection needs the
@@ -188,7 +207,10 @@ let establish ?(cfg = default_config) ?(transport = Driver.Sync) (env : env)
       match (Party.est_finish ea env, Party.est_finish eb env) with
       | Error e, _ | _, Error e -> Error e
       | Ok a, Ok b -> (
-          let c = { Driver.a; b; env; id; transport; faults = None; trace = [] } in
+          let c =
+            { Driver.a; b; env; id; transport; faults = None; trace = [];
+              store_a = None; store_b = None }
+          in
           (* The state-0 commitment. *)
           match Driver.refresh c rep ~starter:Party.begin_first with
           | Error e -> Error e

@@ -52,6 +52,19 @@ let make_faults ?(deadline_ms = 500.0) ?(max_retries = 3) ?(backoff = 2.0)
   { f_plan = plan; f_deadline_ms = deadline_ms; f_max_retries = max_retries;
     f_backoff = backoff; f_retransmits = 0; f_timeouts = 0 }
 
+(** Durable-endpoint hooks for one party, installed by the recovery
+    layer (the driver stays ignorant of [Recovery]/[lib/store]). When
+    present, the fault path keys receiver-side dedup on [rh_seen] — a
+    table whose contents survive restarts via the journal — instead of
+    a session-local table, reports every processed message through
+    [rh_note_seen], and calls [rh_restart] when a [Plan.Restart]
+    downtime elapses so the endpoint can be rebuilt from disk. *)
+type restart_hooks = {
+  rh_seen : (string, unit) Hashtbl.t;
+  rh_note_seen : string -> unit;
+  rh_restart : unit -> unit;
+}
+
 type channel = {
   a : Party.party;
   b : Party.party;
@@ -60,6 +73,8 @@ type channel = {
   mutable transport : mode;
   mutable faults : faults option;
   mutable trace : Msg.t list; (* deliveries of the last session, in order *)
+  mutable store_a : restart_hooks option; (* durable-endpoint hooks, if journaled *)
+  mutable store_b : restart_hooks option;
 }
 
 type dest = To_a | To_b
@@ -135,7 +150,8 @@ let run_generic ~(mode : mode) ~(rep : Report.t)
    Scheduled arm of [run_generic], with the plan consulted per send,
    per-direction dedup, and the deadline/retransmit loop around the
    clock drain. *)
-let run_faulty ~clock ~latency ~g (f : faults) ~(rep : Report.t)
+let run_faulty ?(store_a : restart_hooks option) ?(store_b : restart_hooks option)
+    ~clock ~latency ~g (f : faults) ~(rep : Report.t)
     ~(handle : dest -> Msg.t -> (Msg.t list, Errors.t) result)
     ~(record : Msg.t -> unit) ~(finished : unit -> bool) ~(init_a : Msg.t list)
     ~(init_b : Msg.t list) : (unit, Errors.t) result =
@@ -145,7 +161,36 @@ let run_faulty ~clock ~latency ~g (f : faults) ~(rep : Report.t)
   let max_depth = ref 0 in
   let fail e = if !err = None then err := Some e in
   let flip = function To_a -> To_b | To_b -> To_a in
-  let seen_a = Hashtbl.create 16 and seen_b = Hashtbl.create 16 in
+  (* Durable endpoints dedup against their journal-backed seen-set (it
+     survives kill/restart); plain endpoints use a session-local table. *)
+  let seen_a = match store_a with Some h -> h.rh_seen | None -> Hashtbl.create 16
+  and seen_b = match store_b with Some h -> h.rh_seen | None -> Hashtbl.create 16 in
+  let store_of = function To_a -> store_a | To_b -> store_b in
+  (* Crash–restart runtime: when a party is down in [Plan.Restart]
+     mode, remember when its downtime ends; once simulated time passes
+     that moment (observed at the next delivery attempt or deadline
+     round — never by moving the clock backwards) revive it and let its
+     recovery hook rebuild the endpoint from storage. *)
+  let revive_at_a = ref None and revive_at_b = ref None in
+  let down dest =
+    let a = dest = To_a in
+    let r = match dest with To_a -> revive_at_a | To_b -> revive_at_b in
+    (match !r with
+    | Some t when Monet_dsim.Clock.now clock >= t ->
+        r := None;
+        Plan.revive plan ~a;
+        Monet_obs.Trace.event "driver.restart"
+          ~attrs:[ ("party", dest_label dest) ];
+        (match store_of dest with Some h -> h.rh_restart () | None -> ())
+    | Some _ | None -> ());
+    Plan.crashed plan ~a
+    && begin
+         (match (!r, Plan.restart_down_ms plan ~a) with
+         | None, Some d -> r := Some (Monet_dsim.Clock.now clock +. d)
+         | _ -> ());
+         true
+       end
+  in
   (* Everything sent in each direction, in order — the retransmission
      unit (go-back-N). Sessions start symmetrically (both parties
      announce at once), so a drop can lose a message that is *not*
@@ -203,7 +248,7 @@ let run_faulty ~clock ~latency ~g (f : faults) ~(rep : Report.t)
     for _ = 1 to n do
       if !err = None && not (Queue.is_empty pending) then begin
         let dest, depth, m = Queue.pop pending in
-        if Plan.crashed plan ~a:(dest = To_a) then Plan.note_withheld plan
+        if down dest then Plan.note_withheld plan
         else
           match handle_traced handle dest m with
           | Error (Errors.Bad_state _) -> Queue.add (dest, depth, m) pending
@@ -217,13 +262,16 @@ let run_faulty ~clock ~latency ~g (f : faults) ~(rep : Report.t)
     if !progressed && !err = None then retry_pending ()
   and deliver dest depth m =
     if !err = None then begin
-      if Plan.crashed plan ~a:(dest = To_a) then Plan.note_withheld plan
+      if down dest then Plan.note_withheld plan
       else begin
         let seen = match dest with To_a -> seen_a | To_b -> seen_b in
         let key = Msg.to_bytes m in
         if Hashtbl.mem seen key then () (* duplicate: already processed *)
         else begin
           Hashtbl.replace seen key ();
+          (match store_of dest with
+          | Some h -> h.rh_note_seen key
+          | None -> ());
           Plan.note_delivery plan;
           let d = depth + 1 in
           if d > !max_depth then max_depth := d;
@@ -247,6 +295,10 @@ let run_faulty ~clock ~latency ~g (f : faults) ~(rep : Report.t)
     incr attempt;
     Monet_dsim.Clock.advance clock
       (f.f_deadline_ms *. (f.f_backoff ** float_of_int (!attempt - 1)));
+    (* A party whose downtime elapsed during the wait revives before
+       the retransmissions below, so they reach it. *)
+    ignore (down To_a);
+    ignore (down To_b);
     let retransmit dest log =
       (* messages to A originate at B and vice versa *)
       let sender_is_a = dest = To_b in
@@ -301,8 +353,8 @@ let run ?finished (c : channel) (rep : Report.t) ~(init_a : Msg.t list)
           | Some pred -> pred
           | None -> fun () -> Party.is_idle c.a && Party.is_idle c.b
         in
-        run_faulty ~clock ~latency ~g f ~rep ~handle ~record ~finished ~init_a
-          ~init_b
+        run_faulty ?store_a:c.store_a ?store_b:c.store_b ~clock ~latency ~g f
+          ~rep ~handle ~record ~finished ~init_a ~init_b
     | Some _, Sync ->
         Error (Errors.Bad_state "fault injection requires the scheduled transport")
     | None, _ -> run_generic ~mode:c.transport ~rep ~handle ~record ~init_a ~init_b
@@ -324,6 +376,11 @@ let with_rollback (c : channel) (f : unit -> ('a, Errors.t) result) :
       | Error e when Errors.is_timeout e ->
           Party.rollback c.a cka;
           Party.rollback c.b ckb;
+          (* Journaled endpoints re-capture their state: the rolled-back
+             heap is now authoritative, and a later crash must not
+             resurrect the abandoned session from the journal tail. *)
+          Party.journal_event c.a (fun h -> h.Party.jh_state ());
+          Party.journal_event c.b (fun h -> h.Party.jh_state ());
           Error e
       | r -> r)
 

@@ -123,6 +123,29 @@ type phase =
   | Await_batch of Monet_vcof.Vcof.pair array (* my pairs, waiting for their entries *)
   | Await_witness (* closure: waiting for their state witness *)
 
+(** Durability hooks, installed by [Recovery.attach] on parties whose
+    state is journaled. [Party] stays ignorant of the store layer; it
+    only reports the three write-ahead moments that matter:
+
+    - [jh_intent] — a refresh session started (state already bumped);
+      a journal tail ending here means the update must be aborted;
+    - [jh_precommit] — the point of no return inside a session: the
+      full pre-signature is assembled and my KES half is about to go
+      out, so the session outcome must be durable {e before} the
+      [Kes_sig] reply is released to the wire;
+    - [jh_state] — committed state changed outside/at the end of a
+      session (refresh completed, lock opened, rollback applied): the
+      journal gets a fresh full-state record.
+
+    Hooks run synchronously on the protocol path; a hook that detects
+    its backend died (partial-write failpoint) signals the fault plan,
+    which mutes this party before any reply escapes. *)
+type journal_hook = {
+  jh_intent : label:string -> state:int -> unit;
+  jh_precommit : pending -> unit;
+  jh_state : unit -> unit;
+}
+
 type party = {
   cfg : config;
   role : Tp.role;
@@ -151,9 +174,19 @@ type party = {
   mutable closed : bool;
   mutable phase : phase;
   mutable extracted : Sc.t option; (* lock witness learned from a Lock_open *)
+  mutable journal : journal_hook option; (* durability hooks, if journaled *)
 }
 
 let role_label = function Tp.Alice -> "A" | Tp.Bob -> "B"
+
+let journal_event (p : party) (f : journal_hook -> unit) : unit =
+  match p.journal with Some h -> f h | None -> ()
+
+let kind_label = function
+  | K_first -> "first"
+  | K_update -> "update"
+  | K_lock _ -> "lock"
+  | K_cancel -> "cancel"
 
 (* --- commitment-transaction helpers (deterministic on both sides) --- *)
 
@@ -277,6 +310,8 @@ let begin_refresh (p : party) ~(kind : kind) ~(my_bal : int) ~(their_bal : int)
         let nonce = Tp.nonce p.g p.joint in
         let pd = mk_pending ~sm_sent:false kp (Some nonce) in
         p.phase <- Await_nonce pd;
+        journal_event p (fun h ->
+            h.jh_intent ~label:(kind_label kind) ~state:p.state);
         Ok
           [ Msg.Commit_nonce
               { nonce = nonce.Tp.ns_msg; out_vk = Some kp.Monet_sig.Sig_core.vk } ]
@@ -287,6 +322,8 @@ let begin_refresh (p : party) ~(kind : kind) ~(my_bal : int) ~(their_bal : int)
         let kp = fresh_out_key p in
         let pd = mk_pending ~sm_sent:true kp None in
         p.phase <- Await_stmt pd;
+        journal_event p (fun h ->
+            h.jh_intent ~label:(kind_label kind) ~state:p.state);
         Ok [ Msg.Stmt_announce { sm; out_vk = kp.Monet_sig.Sig_core.vk } ]
       end
   | _ -> Error (Errors.Bad_state "a protocol session is already in flight")
@@ -343,6 +380,7 @@ let begin_unlock (p : party) ~(y : Sc.t) : (Msg.t list, Errors.t) result =
           (p.state, lk.lk_prefix, completed, lk.lk_tx)
           :: List.filter (fun (s, _, _, _) -> s <> p.state) p.presig_history;
         p.lock <- None;
+        journal_event p (fun h -> h.jh_state ());
         Ok [ Msg.Lock_open completed ]
       end
 
@@ -471,6 +509,7 @@ let complete_refresh (p : party) (pd : pending) ~(their_half : Monet_sig.Sig_cor
   | K_cancel -> p.lock <- None
   | K_first | K_update -> ());
   p.phase <- Idle;
+  journal_event p (fun h -> h.jh_state ());
   Ok []
 
 (** Feed one incoming wire message to the party. Returns the replies
@@ -532,6 +571,10 @@ let handle (p : party) ~(env : env) ~(rep : Report.t) (m : Msg.t) :
         in
         pd.pn_kes_half <- Some half;
         p.phase <- Await_kes pd;
+        (* WAL: the session outcome (and my KES half) must be durable
+           before the Kes_sig below reaches the wire — once the
+           counterparty holds both halves the new state is live. *)
+        journal_event p (fun h -> h.jh_precommit pd);
         Ok [ Msg.Kes_sig half ]
       end
   | Await_kes pd, Msg.Kes_sig their_half -> complete_refresh p pd ~their_half
@@ -564,6 +607,7 @@ let handle (p : party) ~(env : env) ~(rep : Report.t) (m : Msg.t) :
               (p.state, lk.lk_prefix, completed, lk.lk_tx)
               :: List.filter (fun (s, _, _, _) -> s <> p.state) p.presig_history;
             p.lock <- None;
+            journal_event p (fun h -> h.jh_state ());
             Ok []
           end)
   | Await_stmt _, Msg.Commit_nonce _ | Await_nonce _, Msg.Stmt_announce _ ->
@@ -987,6 +1031,6 @@ let est_finish (e : est) (env : env) : (party, Errors.t) result =
           commit_tx = dummy_tx; commit_ring = [||]; presig = dummy_presig;
           my_out_kp = dummy_kp; out_keys = []; kes_commit = dummy_commit;
           presig_history = []; lock = None; closed = false; phase = Idle;
-          extracted = None;
+          extracted = None; journal = None;
         }
     end

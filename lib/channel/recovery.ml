@@ -1,0 +1,379 @@
+(* Crash–restart recovery for journaled channel parties. See recovery.mli. *)
+
+module Tp = Monet_sig.Two_party
+module Wire = Monet_util.Wire
+module Backend = Monet_store.Backend
+module Journal = Monet_store.Journal
+
+(* --- obs ----------------------------------------------------------- *)
+
+let m_records = Monet_obs.Metrics.counter "journal.records"
+let m_checkpoints = Monet_obs.Metrics.counter "journal.checkpoints"
+let m_recoveries = Monet_obs.Metrics.counter "recovery.recoveries"
+let m_replayed = Monet_obs.Metrics.counter "recovery.replayed_records"
+let m_aborted = Monet_obs.Metrics.counter "recovery.aborted_updates"
+let m_resumed = Monet_obs.Metrics.counter "recovery.resumed_updates"
+let m_torn = Monet_obs.Metrics.counter "recovery.torn_tails"
+
+(* --- host ---------------------------------------------------------- *)
+
+type host = {
+  h_backend : Backend.t;
+  h_name : string;
+  h_cfg : Channel.config;
+  h_party : Channel.party;
+  mutable h_journal : Journal.t;
+  h_seen : (string, unit) Hashtbl.t;
+  mutable h_seen_log : string list; (* newest first *)
+  h_reseed_g : Monet_hash.Drbg.t;
+  mutable h_commits : int; (* state records since the last checkpoint *)
+  h_ckpt_every : int;
+  mutable h_on_crash : (unit -> unit) option;
+  mutable h_torn_at_attach : bool; (* open_ at attach truncated a torn tail *)
+}
+
+type report = {
+  r_replayed : int;
+  r_aborted : bool;
+  r_resumed : bool;
+  r_torn : bool;
+}
+
+(* --- record codec --------------------------------------------------
+   tag 1: full state   — snapshot + durable seen-set
+   tag 2: intent       — a refresh session started
+   tag 3: precommit    — session at the point of no return: snapshot
+                         taken at that instant + the pending outcome
+   The checkpoint payload reuses the tag-1 encoding. *)
+
+type record =
+  | R_state of { rs_snap : string; rs_seen : string list }
+  | R_intent of { ri_label : string; ri_state : int }
+  | R_precommit of { rc_snap : string; rc_pending : string; rc_seen : string list }
+
+let enc_seen w (seen_newest_first : string list) =
+  Wire.write_list w (fun w s -> Wire.write_bytes w s) (List.rev seen_newest_first)
+
+let enc_state ~(snap : string) ~(seen : string list) : string =
+  let w = Wire.create_writer () in
+  Wire.write_u8 w 1;
+  Wire.write_bytes w snap;
+  enc_seen w seen;
+  Wire.contents w
+
+let enc_intent ~(label : string) ~(state : int) : string =
+  let w = Wire.create_writer () in
+  Wire.write_u8 w 2;
+  Wire.write_bytes w label;
+  Wire.write_u32 w state;
+  Wire.contents w
+
+let enc_precommit ~(snap : string) ~(pending : string) ~(seen : string list) :
+    string =
+  let w = Wire.create_writer () in
+  Wire.write_u8 w 3;
+  Wire.write_bytes w snap;
+  Wire.write_bytes w pending;
+  enc_seen w seen;
+  Wire.contents w
+
+(* Raises Wire.Truncated / Invalid_argument on corrupt input; callers
+   catch at the recover boundary. *)
+let dec_record (data : string) : record =
+  let r = Wire.reader_of_string data in
+  match Wire.read_u8 r with
+  | 1 ->
+      let rs_snap = Wire.read_bytes r in
+      let rs_seen = List.rev (Wire.read_list r Wire.read_bytes) in
+      R_state { rs_snap; rs_seen }
+  | 2 ->
+      let ri_label = Wire.read_bytes r in
+      let ri_state = Wire.read_u32 r in
+      R_intent { ri_label; ri_state }
+  | 3 ->
+      let rc_snap = Wire.read_bytes r in
+      let rc_pending = Wire.read_bytes r in
+      let rc_seen = List.rev (Wire.read_list r Wire.read_bytes) in
+      R_precommit { rc_snap; rc_pending; rc_seen }
+  | n -> invalid_arg ("Recovery: unknown journal record tag " ^ string_of_int n)
+
+(* --- pending codec (enough to finish an Await_kes session) --------- *)
+
+let enc_pending (pd : Party.pending) : string =
+  let w = Wire.create_writer () in
+  (match pd.Party.pn_kind with
+  | Party.K_first -> Wire.write_u8 w 0
+  | Party.K_update -> Wire.write_u8 w 1
+  | Party.K_lock { kl_stmt; kl_amount; kl_payer_is_alice; kl_timer } ->
+      Wire.write_u8 w 2;
+      Monet_sig.Stmt.encode w kl_stmt;
+      Wire.write_u64 w kl_amount;
+      Wire.write_u8 w (if kl_payer_is_alice then 1 else 0);
+      Wire.write_u32 w kl_timer
+  | Party.K_cancel -> Wire.write_u8 w 3);
+  Wire.write_u64 w pd.Party.pn_my_bal;
+  Wire.write_u64 w pd.Party.pn_their_bal;
+  Snapshot.write_keypair w pd.Party.pn_out_kp;
+  Monet_sig.Lsag.encode_pre w pd.Party.pn_prev_presig;
+  (* The three Some-by-precommit fields; encoding a precommit with any
+     of them missing would be a protocol-order bug upstream. *)
+  Snapshot.write_opt w
+    (fun w (tx, prefix, ring, pi) ->
+      Monet_xmr.Tx.encode w tx;
+      Wire.write_bytes w prefix;
+      Snapshot.write_ring w ring;
+      Wire.write_u32 w pi)
+    pd.Party.pn_built;
+  Snapshot.write_opt w Monet_sig.Lsag.encode_pre pd.Party.pn_presig;
+  Snapshot.write_opt w Monet_sig.Sig_core.encode pd.Party.pn_kes_half;
+  Wire.contents w
+
+let dec_pending (data : string) : Party.pending =
+  let r = Wire.reader_of_string data in
+  let pn_kind =
+    match Wire.read_u8 r with
+    | 0 -> Party.K_first
+    | 1 -> Party.K_update
+    | 2 ->
+        let kl_stmt = Monet_sig.Stmt.decode r in
+        let kl_amount = Wire.read_u64 r in
+        let kl_payer_is_alice = Wire.read_u8 r = 1 in
+        let kl_timer = Wire.read_u32 r in
+        Party.K_lock { kl_stmt; kl_amount; kl_payer_is_alice; kl_timer }
+    | 3 -> Party.K_cancel
+    | n -> invalid_arg ("Recovery: unknown pending kind " ^ string_of_int n)
+  in
+  let pn_my_bal = Wire.read_u64 r in
+  let pn_their_bal = Wire.read_u64 r in
+  let pn_out_kp = Snapshot.read_keypair r in
+  let pn_prev_presig = Monet_sig.Lsag.decode_pre r in
+  let pn_built =
+    Snapshot.read_opt r (fun r ->
+        let tx = Monet_xmr.Tx.decode r in
+        let prefix = Wire.read_bytes r in
+        let ring = Snapshot.read_ring r in
+        let pi = Wire.read_u32 r in
+        (tx, prefix, ring, pi))
+  in
+  let pn_presig = Snapshot.read_opt r Monet_sig.Lsag.decode_pre in
+  let pn_kes_half = Snapshot.read_opt r Monet_sig.Sig_core.decode in
+  let pn_extra =
+    match pn_kind with
+    | Party.K_lock { kl_stmt; _ } -> Some kl_stmt
+    | Party.K_first | Party.K_update | Party.K_cancel -> None
+  in
+  { Party.pn_kind; pn_my_bal; pn_their_bal; pn_extra; pn_out_kp;
+    pn_prev_presig; pn_peer_out = None; pn_built; pn_nonce = None;
+    pn_their_nonce = None; pn_session = None; pn_presig; pn_kes_half }
+
+(* --- journal writes from the party's hooks ------------------------- *)
+
+let sync_crash (h : host) : unit =
+  if Backend.crashed h.h_backend then
+    match h.h_on_crash with Some f -> f () | None -> ()
+
+let append_record (h : host) (data : string) : unit =
+  Journal.append h.h_journal data;
+  Monet_obs.Metrics.bump m_records;
+  sync_crash h
+
+let state_record (h : host) : string =
+  enc_state ~snap:(Snapshot.save h.h_party) ~seen:h.h_seen_log
+
+let commit_state (h : host) : unit =
+  h.h_commits <- h.h_commits + 1;
+  if h.h_commits >= h.h_ckpt_every then begin
+    h.h_commits <- 0;
+    Journal.checkpoint h.h_journal (state_record h);
+    Monet_obs.Metrics.bump m_checkpoints;
+    sync_crash h
+  end
+  else append_record h (state_record h)
+
+let install_hooks (h : host) : unit =
+  h.h_party.Channel.journal <-
+    Some
+      {
+        Party.jh_intent =
+          (fun ~label ~state -> append_record h (enc_intent ~label ~state));
+        jh_precommit =
+          (fun pd ->
+            append_record h
+              (enc_precommit
+                 ~snap:(Snapshot.save h.h_party)
+                 ~pending:(enc_pending pd) ~seen:h.h_seen_log));
+        jh_state = (fun () -> commit_state h);
+      }
+
+let attach ?(ckpt_every = 4) ~(backend : Backend.t) ~(name : string)
+    ~(reseed : Monet_hash.Drbg.t) (p : Channel.party) : host =
+  let journal, replay = Journal.open_ backend ~name in
+  let h =
+    { h_backend = backend; h_name = name; h_cfg = p.Channel.cfg; h_party = p;
+      h_journal = journal; h_seen = Hashtbl.create 64; h_seen_log = [];
+      h_reseed_g = reseed; h_commits = 0; h_ckpt_every = ckpt_every;
+      h_on_crash = None;
+      h_torn_at_attach = replay.Journal.rp_report.Journal.fk_torn }
+  in
+  (* Only a fresh journal gets an initial checkpoint of the live party:
+     re-attaching over an existing journal (a restarted process, before
+     [recover]) must not clobber the durable history with the possibly
+     stale in-memory state. *)
+  if replay.Journal.rp_checkpoint = None && replay.Journal.rp_records = []
+  then begin
+    Journal.checkpoint h.h_journal (state_record h);
+    Monet_obs.Metrics.bump m_checkpoints
+  end;
+  sync_crash h;
+  install_hooks h;
+  h
+
+let set_on_crash (h : host) (f : unit -> unit) : unit = h.h_on_crash <- Some f
+let backend (h : host) : Backend.t = h.h_backend
+let seen_table (h : host) : (string, unit) Hashtbl.t = h.h_seen
+
+let note_seen (h : host) (key : string) : unit =
+  h.h_seen_log <- key :: h.h_seen_log
+
+let restart_hooks (h : host) ~(on_restart : unit -> unit) :
+    Driver.restart_hooks =
+  { Driver.rh_seen = h.h_seen; rh_note_seen = note_seen h;
+    rh_restart = on_restart }
+
+(* --- recovery ------------------------------------------------------ *)
+
+(* Copy every mutable field of [src] (a freshly restored record) into
+   the live record [dst], so that driver/watchtower/payment aliases to
+   [dst] keep observing the channel. Immutable identity fields are
+   channel-static and stay as they are. *)
+let adopt ~(dst : Channel.party) ~(src : Channel.party) : unit =
+  dst.Channel.batch <- None;
+  dst.Channel.state <- src.Channel.state;
+  dst.Channel.my_balance <- src.Channel.my_balance;
+  dst.Channel.their_balance <- src.Channel.their_balance;
+  dst.Channel.commit_tx <- src.Channel.commit_tx;
+  dst.Channel.commit_ring <- src.Channel.commit_ring;
+  dst.Channel.presig <- src.Channel.presig;
+  dst.Channel.my_out_kp <- src.Channel.my_out_kp;
+  dst.Channel.out_keys <- src.Channel.out_keys;
+  dst.Channel.kes_commit <- src.Channel.kes_commit;
+  dst.Channel.presig_history <- src.Channel.presig_history;
+  dst.Channel.lock <- src.Channel.lock;
+  dst.Channel.closed <- src.Channel.closed;
+  dst.Channel.phase <- src.Channel.phase;
+  dst.Channel.extracted <- src.Channel.extracted;
+  let d = dst.Channel.clras and s = src.Channel.clras in
+  d.Monet_cas.Clras.index <- s.Monet_cas.Clras.index;
+  d.Monet_cas.Clras.mine <- s.Monet_cas.Clras.mine;
+  d.Monet_cas.Clras.my_stmt <- s.Monet_cas.Clras.my_stmt;
+  d.Monet_cas.Clras.their_index <- s.Monet_cas.Clras.their_index;
+  d.Monet_cas.Clras.their_stmt <- s.Monet_cas.Clras.their_stmt
+
+let reset_seen (h : host) (seen_newest_first : string list) : unit =
+  Hashtbl.reset h.h_seen;
+  List.iter (fun k -> Hashtbl.replace h.h_seen k ()) seen_newest_first;
+  h.h_seen_log <- seen_newest_first
+
+let recover (h : host) ~(env : Channel.env) : (report, Errors.t) result =
+  Monet_obs.Trace.span "recovery.recover"
+    ~attrs:[ ("name", h.h_name) ]
+  @@ fun () ->
+  Monet_obs.Metrics.bump m_recoveries;
+  (* The restarted process re-opens the same storage. *)
+  Backend.revive h.h_backend;
+  let journal, replay = Journal.open_ h.h_backend ~name:h.h_name in
+  h.h_journal <- journal;
+  h.h_commits <- 0;
+  (* A torn tail may already have been truncated when the restarted
+     process attached, before calling us — still report it. *)
+  let torn = replay.Journal.rp_report.Journal.fk_torn || h.h_torn_at_attach in
+  h.h_torn_at_attach <- false;
+  if torn then Monet_obs.Metrics.bump m_torn;
+  let n_records = List.length replay.Journal.rp_records in
+  Monet_obs.Metrics.add m_replayed n_records;
+  try
+    let last_state = ref None in
+    let tail = ref `Clean in
+    (match replay.Journal.rp_checkpoint with
+    | Some c -> (
+        match dec_record c with
+        | R_state { rs_snap; rs_seen } -> last_state := Some (rs_snap, rs_seen)
+        | R_intent _ | R_precommit _ ->
+            invalid_arg "Recovery: checkpoint is not a state record")
+    | None -> ());
+    List.iter
+      (fun data ->
+        match dec_record data with
+        | R_state { rs_snap; rs_seen } ->
+            last_state := Some (rs_snap, rs_seen);
+            tail := `Clean
+        | R_intent { ri_label; ri_state } -> tail := `Intent (ri_label, ri_state)
+        | R_precommit { rc_snap; rc_pending; rc_seen } ->
+            tail := `Precommit (rc_snap, rc_pending, rc_seen))
+      replay.Journal.rp_records;
+    (* Pick the snapshot to restore and how to treat the in-flight
+       session, if the tail shows one. *)
+    (* (snapshot, seen set, pending-to-resume, aborted?) *)
+    let outcome =
+      match !tail with
+      | `Precommit (snap, pd, seen) -> Some (snap, seen, Some pd, false)
+      | `Intent (_, _) -> (
+          match !last_state with
+          | Some (snap, seen) -> Some (snap, seen, None, true)
+          | None -> None)
+      | `Clean -> (
+          match !last_state with
+          | Some (snap, seen) -> Some (snap, seen, None, false)
+          | None -> None)
+    in
+    match outcome with
+    | None -> Error (Errors.Codec "recovery: no durable state in journal")
+    | Some (snap, seen, pending, aborted) -> (
+        match Snapshot.restore ~cfg:h.h_cfg ~g:h.h_party.Channel.g snap with
+        | Error e -> Error e
+        | Ok fresh ->
+            if
+              fresh.Channel.role <> h.h_party.Channel.role
+              || fresh.Channel.kes_instance <> h.h_party.Channel.kes_instance
+            then Error (Errors.Codec "recovery: snapshot is for another channel")
+            else begin
+              adopt ~dst:h.h_party ~src:fresh;
+              let resumed =
+                match pending with
+                | Some pdb ->
+                    h.h_party.Channel.phase <-
+                      Party.Await_kes (dec_pending pdb);
+                    true
+                | None -> false
+              in
+              if aborted then Monet_obs.Metrics.bump m_aborted;
+              if resumed then Monet_obs.Metrics.bump m_resumed;
+              (* Fresh randomness: replaying the pre-crash DRBG stream
+                 would re-emit signing nonces. *)
+              Monet_hash.Drbg.reseed h.h_party.Channel.g
+                ~seed:(Monet_hash.Drbg.bytes h.h_reseed_g 32);
+              (* Reconcile with the chain: the channel may have been
+                 disputed/settled while we were down. *)
+              let funding_spent =
+                Hashtbl.mem env.Channel.ledger.Monet_xmr.Ledger.key_images
+                  (Monet_ec.Point.encode
+                     h.h_party.Channel.joint.Tp.key_image)
+              in
+              if funding_spent then h.h_party.Channel.closed <- true;
+              reset_seen h seen;
+              Monet_obs.Trace.event "recovery.done"
+                ~attrs:
+                  [ ("records", string_of_int n_records);
+                    ("aborted", string_of_bool aborted);
+                    ("resumed", string_of_bool resumed);
+                    ("torn", string_of_bool torn) ];
+              Ok
+                { r_replayed = n_records; r_aborted = aborted;
+                  r_resumed = resumed; r_torn = torn }
+            end)
+  with
+  | Wire.Truncated -> Error (Errors.Codec "recovery: journal record truncated")
+  | Invalid_argument e -> Error (Errors.Codec ("recovery: " ^ e))
+
+let fsck (h : host) : Journal.fsck_report =
+  Journal.fsck h.h_backend ~name:h.h_name

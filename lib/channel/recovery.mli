@@ -1,0 +1,89 @@
+(** Crash–restart recovery for journaled channel parties.
+
+    A {!host} pairs a live {!Channel.party} with a write-ahead journal
+    ({!Monet_store.Journal}) on some storage backend. Once attached, the
+    party's protocol transitions are journaled through the
+    {!Channel.journal_hook} interface:
+
+    - [jh_intent] — a refresh session was started (append an intent
+      record, so a crash before the point of no return aborts cleanly);
+    - [jh_precommit] — the party sent its KES precommit half and must
+      finish the session after a restart (append a precommit record
+      carrying a full snapshot plus the serialized pending outcome);
+    - [jh_state] — a session committed or other durable state changed
+      (append a full state record, periodically compacted into a
+      checkpoint).
+
+    Durable records also carry the receiver-side dedup set, so a
+    restarted party never re-processes a retransmitted message it had
+    already handled before the crash.
+
+    {!recover} replays checkpoint + journal tail (torn tails are
+    truncated by the store layer), reconstructs the party in place,
+    resumes or aborts the in-flight update, reseeds the party's DRBG
+    (nonce reuse across a restore would leak signing keys), and
+    reconciles with the ledger in case the channel was settled while the
+    party was down. *)
+
+(** A journaled party: live state plus its journal and dedup log. *)
+type host
+
+(** Summary of one {!recover} run. *)
+type report = {
+  r_replayed : int;  (** journal records replayed after the checkpoint *)
+  r_aborted : bool;  (** an in-flight update was abandoned (intent tail) *)
+  r_resumed : bool;  (** an in-flight update was resumed (precommit tail) *)
+  r_torn : bool;  (** a torn journal tail was detected and truncated *)
+}
+
+(** [attach ~backend ~name ~reseed p] opens (or creates) journal [name]
+    on [backend] and installs the journal hooks on [p]. A fresh journal
+    gets an initial checkpoint of [p]; an existing one is left intact
+    so a restarted process can attach and then {!recover}. [reseed] is
+    an entropy source used to reseed [p]'s DRBG on every {!recover}.
+    [ckpt_every] (default 4) is the number of committed state records
+    between checkpoint compactions. *)
+val attach :
+  ?ckpt_every:int ->
+  backend:Monet_store.Backend.t ->
+  name:string ->
+  reseed:Monet_hash.Drbg.t ->
+  Channel.party ->
+  host
+
+(** [set_on_crash h f] registers [f] to run when a journal write hits
+    the backend's injected failpoint (the process "dies" mid-append).
+    The chaos harness uses this to flip the party's fault plan into a
+    restartable crash at exactly that instant. *)
+val set_on_crash : host -> (unit -> unit) -> unit
+
+(** The storage backend the host journals to — exposed so harnesses can
+    arm failpoints ({!Monet_store.Backend.set_failpoint}) or inspect
+    durable bytes. *)
+val backend : host -> Monet_store.Backend.t
+
+(** The host's receiver-side dedup table, for wiring into
+    {!Driver.restart_hooks}. Mutating it outside the driver is unsafe. *)
+val seen_table : host -> (string, unit) Hashtbl.t
+
+(** [note_seen h key] records a processed-message key in the durable
+    seen log; the next journal record persists it. *)
+val note_seen : host -> string -> unit
+
+(** [restart_hooks h ~on_restart] packages the host's dedup table and
+    [on_restart] action as {!Driver.restart_hooks} for
+    [Driver.run_faulty]'s [?store_a]/[?store_b] arguments. *)
+val restart_hooks : host -> on_restart:(unit -> unit) -> Driver.restart_hooks
+
+(** [recover h ~env] restarts the party from disk: re-opens the journal
+    (truncating any torn tail), replays records, restores the newest
+    durable snapshot in place, resumes a precommitted session or aborts
+    an intent-only one, reseeds the DRBG, restores the dedup set, and
+    marks the party closed if the funding output was spent on [env]'s
+    ledger while it was down. Returns a {!report}, or an error if the
+    journal holds no usable state or fails validation. *)
+val recover : host -> env:Channel.env -> (report, Errors.t) result
+
+(** [fsck h] scans the host's journal without modifying it and reports
+    segment, record, torn-tail, and bad-checkpoint counts. *)
+val fsck : host -> Monet_store.Journal.fsck_report

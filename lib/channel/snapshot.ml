@@ -2,23 +2,36 @@
     state to bytes and restore it after a restart.
 
     Everything a party needs to keep transacting — and, critically, to
-    keep *punishing* (the pre-signature history and chain root) —
-    survives the roundtrip. Precomputed batches are deliberately not
-    persisted: they are an optimization the parties simply re-exchange
-    after a restart. The DRBG is reseeded on restore (nonce reuse
-    across a restore would be catastrophic, so fresh randomness is the
-    only safe choice). *)
+    keep *punishing* (the pre-signature history and chain root) — plus
+    any pending AMHL lock survives the roundtrip, so a party killed
+    mid-payment can still run the cancel/dispute cascade when it comes
+    back. Precomputed batches are deliberately not persisted: they are
+    an optimization the parties simply re-exchange after a restart. An
+    in-flight refresh session ([phase]) is not snapshot state either —
+    {!Recovery} reconstructs or aborts it from the journal. The DRBG is
+    reseeded on restore (nonce reuse across a restore would be
+    catastrophic, so fresh randomness is the only safe choice).
+
+    The encoding is versioned: a fixed magic ["MONETSNAP"] followed by
+    a format version byte (currently {!version}). {!restore} returns a
+    typed [Errors.Codec] on truncated, bit-flipped or wrong-version
+    input; decoder exceptions never escape it. *)
 
 open Monet_ec
 module Tp = Monet_sig.Two_party
 module Wire = Monet_util.Wire
 
-let magic = "MONETSNAP1"
+let magic = "MONETSNAP"
+let version = 2
 
 let write_scalar w (s : Sc.t) = Wire.write_fixed w (Sc.to_bytes_le s)
 let read_scalar r = Sc.of_bytes_le (Wire.read_fixed r 32)
 let write_point w (p : Point.t) = Wire.write_fixed w (Point.encode p)
-let read_point r = Point.decode_exn (Wire.read_fixed r 32)
+
+let read_point r =
+  match Point.decode (Wire.read_fixed r 32) with
+  | Some p -> p
+  | None -> invalid_arg "Snapshot: bad point encoding"
 
 let write_keypair w (kp : Monet_sig.Sig_core.keypair) =
   write_scalar w kp.Monet_sig.Sig_core.sk;
@@ -76,10 +89,43 @@ let read_ring r : Point.t array =
   if n > 4096 then invalid_arg "Snapshot: ring too large";
   Array.init n (fun _ -> read_point r)
 
+let write_opt w f = function
+  | None -> Wire.write_u8 w 0
+  | Some x ->
+      Wire.write_u8 w 1;
+      f w x
+
+let read_opt r f = if Wire.read_u8 r = 1 then Some (f r) else None
+
+let write_lock w (lk : Party.lock_state) =
+  Monet_sig.Stmt.encode w lk.Party.lk_stmt;
+  Wire.write_u64 w lk.Party.lk_amount;
+  Wire.write_u8 w (if lk.Party.lk_payer_is_alice then 1 else 0);
+  Monet_sig.Lsag.encode_pre w lk.Party.lk_presig;
+  Wire.write_bytes w lk.Party.lk_prefix;
+  Monet_xmr.Tx.encode w lk.Party.lk_tx;
+  write_ring w lk.Party.lk_ring;
+  Wire.write_u32 w lk.Party.lk_timer;
+  Monet_sig.Lsag.encode_pre w lk.Party.lk_prev_presig
+
+let read_lock r : Party.lock_state =
+  let lk_stmt = Monet_sig.Stmt.decode r in
+  let lk_amount = Wire.read_u64 r in
+  let lk_payer_is_alice = Wire.read_u8 r = 1 in
+  let lk_presig = Monet_sig.Lsag.decode_pre r in
+  let lk_prefix = Wire.read_bytes r in
+  let lk_tx = Monet_xmr.Tx.decode r in
+  let lk_ring = read_ring r in
+  let lk_timer = Wire.read_u32 r in
+  let lk_prev_presig = Monet_sig.Lsag.decode_pre r in
+  { Party.lk_stmt; lk_amount; lk_payer_is_alice; lk_presig; lk_prefix; lk_tx;
+    lk_ring; lk_timer; lk_prev_presig }
+
 (** Serialize one party's channel state. *)
 let save (p : Channel.party) : string =
   let w = Wire.create_writer () in
   Wire.write_fixed w magic;
+  Wire.write_u8 w version;
   write_role w p.Channel.role;
   write_joint w p.Channel.joint;
   (* CLRAS state *)
@@ -117,74 +163,88 @@ let save (p : Channel.party) : string =
       Monet_sig.Lsag.encode_pre w presig;
       Monet_xmr.Tx.encode w tx)
     p.Channel.presig_history;
+  (* pending lock + any learned lock witness (v2) *)
+  write_opt w write_lock p.Channel.lock;
+  write_opt w write_scalar p.Channel.extracted;
   Wire.contents w
 
 (** Restore a party from a snapshot. [g] reseeds the party's
     randomness; [cfg] and [env] come from the operator's configuration
-    (they are deployment facts, not channel state). Pending locks and
-    batches are not persisted: locks must be resolved before a planned
-    shutdown, and batches are re-exchanged. *)
+    (they are deployment facts, not channel state). Batches are not
+    persisted (re-exchanged after restart); an in-flight refresh
+    session is reconstructed or aborted by {!Recovery}, so the restored
+    phase is always [Idle]. *)
 let restore ~(cfg : Channel.config) ~(g : Monet_hash.Drbg.t) (data : string) :
-    (Channel.party, string) result =
+    (Channel.party, Errors.t) result =
   try
     let r = Wire.reader_of_string data in
-    if Wire.read_fixed r (String.length magic) <> magic then Error "bad magic"
-    else begin
-      let role = read_role r in
-      let joint = read_joint r in
-      let pp = read_scalar r in
-      let index = Wire.read_u32 r in
-      let mine = read_pair r in
-      let my_stmt = Monet_sig.Stmt.decode r in
-      let their_index = Wire.read_u32 r - 1 in
-      let their_stmt = Monet_sig.Stmt.decode r in
-      let clras =
-        { Monet_cas.Clras.joint; pp; reps = cfg.Channel.vcof_reps; index; mine;
-          my_stmt; their_index; their_stmt }
-      in
-      let my_root = read_pair r in
-      let p_addr = Wire.read_bytes r in
-      let p_kp = read_keypair r in
-      let kes_instance = Wire.read_u32 r in
-      let state = Wire.read_u32 r in
-      let my_balance = Wire.read_u64 r in
-      let their_balance = Wire.read_u64 r in
-      let capacity = Wire.read_u64 r in
-      let funding_outpoint = Wire.read_u32 r in
-      let closed = Wire.read_u8 r = 1 in
-      let commit_tx = Monet_xmr.Tx.decode r in
-      let commit_ring = read_ring r in
-      let presig = Monet_sig.Lsag.decode_pre r in
-      let my_out_kp = read_keypair r in
-      let out_keys = Wire.read_list r read_keypair in
-      let kes_commit = Monet_kes.Kes_contract.decode_commit r in
-      let presig_history =
-        Wire.read_list r (fun r ->
-            let st = Wire.read_u32 r in
-            let prefix = Wire.read_bytes r in
-            let presig = Monet_sig.Lsag.decode_pre r in
-            let tx = Monet_xmr.Tx.decode r in
-            (st, prefix, presig, tx))
-      in
-      Ok
-        {
-          Channel.cfg; role; g; joint; clras;
-          kes_party = { Monet_kes.Kes_client.p_addr; p_kp };
-          kes_instance; batch = None; state; my_balance; their_balance; capacity;
-          funding_outpoint; commit_tx; commit_ring; presig; my_out_kp; out_keys;
-          kes_commit; presig_history; my_root; lock = None; closed;
-          phase = Party.Idle; extracted = None;
-        }
-    end
+    if Wire.read_fixed r (String.length magic) <> magic then
+      Error (Errors.Codec "snapshot: bad magic")
+    else
+      let v = Wire.read_u8 r in
+      if v <> version then
+        Error
+          (Errors.Codec
+             (Printf.sprintf "snapshot: unsupported version %d (want %d)" v
+                version))
+      else begin
+        let role = read_role r in
+        let joint = read_joint r in
+        let pp = read_scalar r in
+        let index = Wire.read_u32 r in
+        let mine = read_pair r in
+        let my_stmt = Monet_sig.Stmt.decode r in
+        let their_index = Wire.read_u32 r - 1 in
+        let their_stmt = Monet_sig.Stmt.decode r in
+        let clras =
+          { Monet_cas.Clras.joint; pp; reps = cfg.Channel.vcof_reps; index; mine;
+            my_stmt; their_index; their_stmt }
+        in
+        let my_root = read_pair r in
+        let p_addr = Wire.read_bytes r in
+        let p_kp = read_keypair r in
+        let kes_instance = Wire.read_u32 r in
+        let state = Wire.read_u32 r in
+        let my_balance = Wire.read_u64 r in
+        let their_balance = Wire.read_u64 r in
+        let capacity = Wire.read_u64 r in
+        let funding_outpoint = Wire.read_u32 r in
+        let closed = Wire.read_u8 r = 1 in
+        let commit_tx = Monet_xmr.Tx.decode r in
+        let commit_ring = read_ring r in
+        let presig = Monet_sig.Lsag.decode_pre r in
+        let my_out_kp = read_keypair r in
+        let out_keys = Wire.read_list r read_keypair in
+        let kes_commit = Monet_kes.Kes_contract.decode_commit r in
+        let presig_history =
+          Wire.read_list r (fun r ->
+              let st = Wire.read_u32 r in
+              let prefix = Wire.read_bytes r in
+              let presig = Monet_sig.Lsag.decode_pre r in
+              let tx = Monet_xmr.Tx.decode r in
+              (st, prefix, presig, tx))
+        in
+        let lock = read_opt r read_lock in
+        let extracted = read_opt r read_scalar in
+        Ok
+          {
+            Channel.cfg; role; g; joint; clras;
+            kes_party = { Monet_kes.Kes_client.p_addr; p_kp };
+            kes_instance; batch = None; state; my_balance; their_balance; capacity;
+            funding_outpoint; commit_tx; commit_ring; presig; my_out_kp; out_keys;
+            kes_commit; presig_history; my_root; lock; closed;
+            phase = Party.Idle; extracted; journal = None;
+          }
+      end
   with
-  | Wire.Truncated -> Error "snapshot truncated"
-  | Invalid_argument e -> Error ("snapshot malformed: " ^ e)
+  | Wire.Truncated -> Error (Errors.Codec "snapshot truncated")
+  | Invalid_argument e -> Error (Errors.Codec ("snapshot malformed: " ^ e))
 
 (** Rebuild a driver-level channel handle from both parties' restored
     snapshots and the shared environment. *)
 let restore_channel ~(cfg : Channel.config) (env : Channel.env) ~(id : int)
     ~(snap_a : string) ~(snap_b : string) ~(g : Monet_hash.Drbg.t) :
-    (Channel.channel, string) result =
+    (Channel.channel, Errors.t) result =
   match
     ( restore ~cfg ~g:(Monet_hash.Drbg.split g "a") snap_a,
       restore ~cfg ~g:(Monet_hash.Drbg.split g "b") snap_b )
@@ -192,5 +252,5 @@ let restore_channel ~(cfg : Channel.config) (env : Channel.env) ~(id : int)
   | Ok a, Ok b ->
       Ok
         { Channel.a; b; env; id; transport = Driver.Sync; faults = None;
-          trace = [] }
+          trace = []; store_a = None; store_b = None }
   | Error e, _ | _, Error e -> Error e

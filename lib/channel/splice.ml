@@ -327,7 +327,8 @@ let splice_in (c : Driver.channel) ~(funder : Tp.role) ~(amount : int)
                                             kes_commit = pa.Party.kes_commit;
                                             presig_history = []; my_root;
                                             lock = None; closed = false;
-                                            phase = Party.Idle; extracted = None }
+                                            phase = Party.Idle; extracted = None;
+                                            journal = None }
                                         in
                                         let a' =
                                           mk Tp.Alice ga ja ca kp_a chain_root_a
@@ -341,7 +342,8 @@ let splice_in (c : Driver.channel) ~(funder : Tp.role) ~(amount : int)
                                           { Driver.a = a'; b = b'; env;
                                             id = new_id;
                                             transport = c.Driver.transport;
-                                            faults = None; trace = [] }
+                                            faults = None; trace = [];
+                                            store_a = None; store_b = None }
                                         in
                                         match
                                           Driver.refresh c' rep

@@ -79,3 +79,66 @@ let rec schedule (t : t) (clock : Monet_dsim.Clock.t) ~(interval_ms : float)
     Monet_dsim.Clock.schedule clock ~delay:interval_ms (fun () ->
         ignore (tick t);
         schedule t clock ~interval_ms ~until_ms)
+
+(* --- persistence ---------------------------------------------------
+   A tower outlives the process like a channel party does: its watch
+   list (channel id + victim role) and punishment count go into a blob
+   the operator journals or checkpoints alongside channel state.
+   Channel handles are not serializable, so [restore] re-binds ids to
+   live channels via [resolve]. *)
+
+let save_magic = "MONETTWR1"
+
+let save (t : t) : string =
+  let w = Monet_util.Wire.create_writer () in
+  Monet_util.Wire.write_fixed w save_magic;
+  Monet_util.Wire.write_u32 w t.punishments;
+  Monet_util.Wire.write_list w
+    (fun w e ->
+      Monet_util.Wire.write_u32 w e.w_channel.Channel.id;
+      Monet_util.Wire.write_u8 w
+        (match e.w_victim with Monet_sig.Two_party.Alice -> 0 | Bob -> 1))
+    (* entries is newest-first; persist oldest-first so restore (which
+       prepends through [watch]) preserves the original order. *)
+    (List.rev t.entries);
+  Monet_util.Wire.contents w
+
+let restore ~(resolve : int -> Channel.channel option) (data : string) :
+    (t, Errors.t) result =
+  try
+    let r = Monet_util.Wire.reader_of_string data in
+    let magic = Monet_util.Wire.read_fixed r (String.length save_magic) in
+    if magic <> save_magic then Error (Errors.Codec "watchtower: bad magic")
+    else begin
+      let punishments = Monet_util.Wire.read_u32 r in
+      let entries =
+        Monet_util.Wire.read_list r (fun r ->
+            let id = Monet_util.Wire.read_u32 r in
+            let victim =
+              match Monet_util.Wire.read_u8 r with
+              | 0 -> Monet_sig.Two_party.Alice
+              | 1 -> Monet_sig.Two_party.Bob
+              | n ->
+                  invalid_arg
+                    ("Watchtower: bad victim role " ^ string_of_int n)
+            in
+            (id, victim))
+      in
+      let t = create () in
+      t.punishments <- punishments;
+      (* [watch] dedups on channel id, so restoring into a tower that
+         is then asked to re-watch the same channels cannot
+         double-count. Unresolvable ids (channels gone for good while
+         the tower was down) are dropped. *)
+      List.iter
+        (fun (id, victim) ->
+          match resolve id with
+          | Some channel -> watch t channel ~victim
+          | None -> ())
+        entries;
+      Ok t
+    end
+  with
+  | Monet_util.Wire.Truncated ->
+      Error (Errors.Codec "watchtower: state truncated")
+  | Invalid_argument e -> Error (Errors.Codec ("watchtower: " ^ e))

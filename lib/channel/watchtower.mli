@@ -45,3 +45,17 @@ val tick : t -> tick_result
     [interval_ms] until [until_ms]. *)
 val schedule :
   t -> Monet_dsim.Clock.t -> interval_ms:float -> until_ms:float -> unit
+
+(** Serialize the tower's watch list (channel ids and victim roles) and
+    punishment count for journaling alongside channel state. Channel
+    handles themselves are not persisted — see {!restore}. *)
+val save : t -> string
+
+(** [restore ~resolve data] rebuilds a tower from {!save} output,
+    re-binding each persisted channel id to a live handle via [resolve].
+    Ids that no longer resolve are dropped. Registration goes through
+    {!watch}, so restoring and then re-watching the same channel cannot
+    double-count. Returns a typed error on truncated or corrupt
+    input. *)
+val restore :
+  resolve:(int -> Channel.channel option) -> string -> (t, Errors.t) result

@@ -10,8 +10,32 @@
       fail and the deadline/escalation machinery must take over);
     - per-party modes — [Honest], [Crash_after n] (the party stops
       receiving and sending after the channel's [n]-th delivery:
-      crash-stop), or [Silent] (byzantine-silent: the party keeps
-      receiving — and updating local state — but never replies).
+      crash-stop), [Silent] (byzantine-silent: the party keeps
+      receiving — and updating local state — but never replies), or
+      [Restart] (crash–restart: kill-9 semantics like [Crash_after],
+      but after [r_down_ms] of simulated downtime the driver calls
+      {!revive} and the party rejoins, recovered from durable storage).
+
+    How [Restart] composes with the existing modes:
+    - while down, a [Restart] party is indistinguishable from
+      [Crash_after]: deliveries to it are withheld (and {e not} marked
+      as seen — an unprocessed message must stay deliverable after the
+      restart), and its replies are muted;
+    - after {!revive} the mode becomes [Honest]. What the party then
+      does with retransmitted traffic is governed by its *recovered*
+      dedup state: messages it durably processed before the crash are
+      suppressed by the journal-restored seen-set, messages it never
+      processed are delivered fresh — so a restarted party never
+      re-applies a deduped message, and never loses one it had not yet
+      applied;
+    - [Silent] is orthogonal: a silent party is alive (it receives and
+      mutates state), so it neither crashes nor restarts; combining
+      the two on one party is meaningless and unsupported — the mode
+      field holds exactly one behavior;
+    - {!kill} remains permanent ([Crash_after 0] on both parties):
+      scenarios that want a hop to go dark forever keep exactly the
+      old semantics, while {!crash_now} is the restartable analogue
+      used by the store's partial-write failpoint.
 
     All randomness comes from a {!Monet_hash.Drbg}, so a fault
     schedule is a pure function of its seed and the soak harness can
@@ -30,6 +54,10 @@ type party_mode =
   | Crash_after of int
       (** crash-stop once the channel has seen this many deliveries *)
   | Silent  (** byzantine-silent: receives and mutates state, never replies *)
+  | Restart of { r_after : int; r_down_ms : float }
+      (** crash like [Crash_after r_after], then come back after
+          [r_down_ms] simulated ms of downtime (the driver schedules
+          {!revive} and the endpoint's recovery hook) *)
 
 (** Per-message fault probabilities; [delay_ms] is the extra-latency
     range a [Delay] samples from. *)
@@ -99,16 +127,41 @@ let kill (t : t) : unit =
 
 let mode (t : t) ~(a : bool) = if a then t.mode_a else t.mode_b
 
-(** Has the party stopped participating entirely? *)
+(** Has the party stopped participating (for now, or for good)? *)
 let crashed (t : t) ~(a : bool) : bool =
   match mode t ~a with
-  | Crash_after n -> t.deliveries >= n
+  | Crash_after n | Restart { r_after = n; _ } -> t.deliveries >= n
   | Honest | Silent -> false
 
 (** Does the party swallow its replies (byzantine-silent, or crashed)? *)
 let mute (t : t) ~(a : bool) : bool =
-  (match mode t ~a with Silent -> true | Honest | Crash_after _ -> false)
+  (match mode t ~a with
+  | Silent -> true
+  | Honest | Crash_after _ | Restart _ -> false)
   || crashed t ~a
+
+(** When the party is down in [Restart] mode: how long it stays down.
+    [None] for alive parties and for permanent ([Crash_after]) or
+    never-crashing modes. *)
+let restart_down_ms (t : t) ~(a : bool) : float option =
+  match mode t ~a with
+  | Restart { r_after; r_down_ms } when t.deliveries >= r_after ->
+      Some r_down_ms
+  | Restart _ | Honest | Crash_after _ | Silent -> None
+
+(** Bring a [Restart]-mode party back up (driver-internal; fires after
+    its downtime has elapsed). Other modes are untouched — in
+    particular a [Crash_after] crash stays permanent. *)
+let revive (t : t) ~(a : bool) : unit =
+  match mode t ~a with
+  | Restart _ -> if a then t.mode_a <- Honest else t.mode_b <- Honest
+  | Honest | Crash_after _ | Silent -> ()
+
+(** Crash one party now, with a scheduled comeback — the store's
+    partial-write failpoint uses this when a journal append tears. *)
+let crash_now (t : t) ~(a : bool) ~(down_ms : float) : unit =
+  let m = Restart { r_after = 0; r_down_ms = down_ms } in
+  if a then t.mode_a <- m else t.mode_b <- m
 
 (** Can the party originate (re)transmissions? *)
 let can_send (t : t) ~(a : bool) : bool = not (mute t ~a)

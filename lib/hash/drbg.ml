@@ -54,3 +54,11 @@ let float (t : t) : float =
 (** Derive an independent child generator, e.g. one per simulated node. *)
 let split (t : t) (label : string) : t =
   create ~seed:(block t ^ label)
+
+(** Re-key the generator in place from a fresh seed, discarding all
+    prior state. Crash recovery must call this on a restored party's
+    generator: replaying the pre-crash stream would re-emit signing
+    nonces, and nonce reuse forfeits the channel. *)
+let reseed (t : t) ~(seed : string) : unit =
+  t.key <- Sha512.digest ("monet/drbg/reseed\x00" ^ seed);
+  t.counter <- 0

@@ -1,0 +1,168 @@
+(* Named-blob storage with a simulated process boundary. See backend.mli. *)
+
+type sink =
+  | Mem of (string, Buffer.t) Hashtbl.t
+  | Dir of string
+
+type t = {
+  sink : sink;
+  mutable fp_budget : int option;
+  mutable crashed : bool;
+  mutable io_error : string option;
+}
+
+let mem () : t =
+  { sink = Mem (Hashtbl.create 16); fp_budget = None; crashed = false;
+    io_error = None }
+
+let dir (path : string) : (t, string) result =
+  match
+    if Sys.file_exists path then
+      if Sys.is_directory path then Ok ()
+      else Error (path ^ ": exists and is not a directory")
+    else (
+      Unix.mkdir path 0o755;
+      Ok ())
+  with
+  | Ok () ->
+      Ok { sink = Dir path; fp_budget = None; crashed = false; io_error = None }
+  | Error e -> Error e
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (path ^ ": " ^ Unix.error_message e)
+  | exception Sys_error e -> Error e
+
+let io_fail (t : t) (what : string) (e : string) =
+  t.io_error <- Some (what ^ ": " ^ e)
+
+let path_of (d : string) (name : string) =
+  (* Blob names are flat identifiers; a path separator would escape the
+     directory, so reject it loudly via the io_error channel. *)
+  if String.contains name '/' then None else Some (Filename.concat d name)
+
+let read (t : t) (name : string) : string option =
+  match t.sink with
+  | Mem h -> Option.map Buffer.contents (Hashtbl.find_opt h name)
+  | Dir d -> (
+      match path_of d name with
+      | None -> io_fail t name "blob name contains '/'"; None
+      | Some p -> (
+          if not (Sys.file_exists p) then None
+          else
+            try
+              let ic = open_in_bin p in
+              let n = in_channel_length ic in
+              let s = really_input_string ic n in
+              close_in ic;
+              Some s
+            with Sys_error e | Failure e -> io_fail t name e; None))
+
+(* Raw durable effects, after the crash/failpoint gate. *)
+let raw_append (t : t) (name : string) (data : string) : unit =
+  match t.sink with
+  | Mem h ->
+      let b =
+        match Hashtbl.find_opt h name with
+        | Some b -> b
+        | None ->
+            let b = Buffer.create 256 in
+            Hashtbl.replace h name b;
+            b
+      in
+      Buffer.add_string b data
+  | Dir d -> (
+      match path_of d name with
+      | None -> io_fail t name "blob name contains '/'"
+      | Some p -> (
+          try
+            let oc =
+              open_out_gen [ Open_binary; Open_append; Open_creat ] 0o644 p
+            in
+            output_string oc data;
+            close_out oc
+          with Sys_error e -> io_fail t name e))
+
+let raw_write (t : t) (name : string) (data : string) : unit =
+  match t.sink with
+  | Mem h ->
+      let b = Buffer.create (String.length data) in
+      Buffer.add_string b data;
+      Hashtbl.replace h name b
+  | Dir d -> (
+      match path_of d name with
+      | None -> io_fail t name "blob name contains '/'"
+      | Some p -> (
+          let tmp = p ^ ".tmp" in
+          try
+            let oc = open_out_bin tmp in
+            output_string oc data;
+            close_out oc;
+            Sys.rename tmp p
+          with Sys_error e -> io_fail t name e))
+
+(* Consume [n] bytes of failpoint budget; return how many of them may
+   still reach storage (None = all of them). *)
+let spend (t : t) (n : int) : int option =
+  match t.fp_budget with
+  | None -> None
+  | Some budget ->
+      if n <= budget then (
+        t.fp_budget <- Some (budget - n);
+        None)
+      else (
+        t.fp_budget <- Some 0;
+        Some budget)
+
+let append (t : t) (name : string) (data : string) : unit =
+  if t.crashed then ()
+  else
+    match spend t (String.length data) with
+    | None -> raw_append t name data
+    | Some keep ->
+        (* Simulated kill -9 mid-write: the prefix reaches the medium,
+           the process is gone before the rest does. *)
+        if keep > 0 then raw_append t name (String.sub data 0 keep);
+        t.crashed <- true
+
+let write (t : t) (name : string) (data : string) : unit =
+  if t.crashed then ()
+  else
+    match spend t (String.length data) with
+    | None -> raw_write t name data
+    | Some _ ->
+        (* Full-blob writes model write-temp-then-rename: a crash mid-way
+           loses the new content entirely but keeps the old blob. *)
+        t.crashed <- true
+
+let delete (t : t) (name : string) : unit =
+  if t.crashed then ()
+  else
+    match t.sink with
+    | Mem h -> Hashtbl.remove h name
+    | Dir d -> (
+        match path_of d name with
+        | None -> io_fail t name "blob name contains '/'"
+        | Some p -> (
+            try if Sys.file_exists p then Sys.remove p
+            with Sys_error e -> io_fail t name e))
+
+let list (t : t) : string list =
+  match t.sink with
+  | Mem h ->
+      List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) h [])
+  | Dir d -> (
+      try
+        Sys.readdir d |> Array.to_list
+        |> List.filter (fun f -> not (Filename.check_suffix f ".tmp"))
+        |> List.sort compare
+      with Sys_error e -> io_fail t "list" e; [])
+
+let set_failpoint (t : t) ~(after : int) : unit =
+  t.fp_budget <- Some (max 0 after)
+
+let clear_failpoint (t : t) : unit = t.fp_budget <- None
+let crashed (t : t) : bool = t.crashed
+let io_error (t : t) : string option = t.io_error
+
+let revive (t : t) : unit =
+  t.crashed <- false;
+  t.fp_budget <- None

@@ -1,0 +1,63 @@
+(** Named-blob durable storage with a simulated process boundary.
+
+    A backend is "the disk plus the process writing to it". Two
+    implementations share one interface: {!mem} keeps blobs in a
+    hashtable (used by tests and the chaos harness, where thousands of
+    kill/restart schedules must run in-process), {!dir} maps each blob
+    to a file in a directory (used by [monet_cli channel run/recover]).
+
+    Crash model. A backend carries an injectable {e partial-write
+    failpoint}: a byte budget consumed by {!append} and {!write}. The
+    write that exhausts the budget persists only its prefix (appends)
+    or nothing (full-blob writes, which model write-temp-then-rename)
+    and flips the backend into the [crashed] state — from then on every
+    durable operation is a silent no-op, exactly as if the process had
+    been killed mid-[write(2)]. {!revive} models the restarted process
+    re-opening the same storage: durable bytes are kept, the crash flag
+    and failpoint are cleared. Readers above this layer ({!Journal})
+    must therefore treat a torn tail as a first-class outcome. *)
+
+type t
+
+(** In-memory backend: blobs live in the heap, crash simulation only. *)
+val mem : unit -> t
+
+(** Filesystem backend rooted at the given directory (created if
+    missing). Full-blob writes go through a temp file and rename. *)
+val dir : string -> (t, string) result
+
+(** [read t name] is the current contents of blob [name], or [None]
+    if it does not exist (or a filesystem error occurred — see
+    {!io_error}). Reads are allowed even after a crash: the restarted
+    process reads what actually reached the medium. *)
+val read : t -> string -> string option
+
+(** Replace blob [name] atomically. No-op once [crashed]. *)
+val write : t -> string -> string -> unit
+
+(** Append to blob [name], creating it if missing. No-op once
+    [crashed]; may persist only a prefix when the failpoint fires. *)
+val append : t -> string -> string -> unit
+
+(** Remove blob [name] if present. No-op once [crashed]. *)
+val delete : t -> string -> unit
+
+(** All blob names, sorted. *)
+val list : t -> string list
+
+(** Arm the partial-write failpoint: after [after] more bytes of
+    appended/written payload, the writing process "dies" mid-write. *)
+val set_failpoint : t -> after:int -> unit
+
+(** Disarm the failpoint without touching the crash flag. *)
+val clear_failpoint : t -> unit
+
+(** Whether the simulated process died mid-write (failpoint fired). *)
+val crashed : t -> bool
+
+(** Last filesystem error, if any ([dir] backend only); sticky. *)
+val io_error : t -> string option
+
+(** Model a process restart over the same storage: clear the crash
+    flag and failpoint, keep every durable byte. *)
+val revive : t -> unit

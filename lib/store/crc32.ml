@@ -1,0 +1,27 @@
+(** CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+
+    Used by {!Journal} to checksum each write-ahead record so a torn
+    or bit-flipped tail is detected on replay instead of being decoded
+    as protocol state. Table-driven, one table shared process-wide. *)
+
+let table : int array Lazy.t =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           if !c land 1 = 1 then c := 0xEDB88320 lxor (!c lsr 1)
+           else c := !c lsr 1
+         done;
+         !c))
+
+(** [digest_sub s ~pos ~len] is the CRC-32 of the [len] bytes of [s]
+    starting at [pos]. The caller must ensure the range is in bounds. *)
+let digest_sub (s : string) ~(pos : int) ~(len : int) : int =
+  let t = Lazy.force table in
+  let c = ref 0xFFFFFFFF in
+  for i = pos to pos + len - 1 do
+    c := t.((!c lxor Char.code s.[i]) land 0xff) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+let digest (s : string) : int = digest_sub s ~pos:0 ~len:(String.length s)

@@ -1,0 +1,221 @@
+(* Write-ahead journal over Backend blobs. See journal.mli. *)
+
+module Bx = Monet_util.Bytes_ext
+
+let seg_magic = "MONETWAL1" (* 9 bytes *)
+let ckpt_magic = "MONETCKPT1" (* 10 bytes *)
+let header_len = String.length seg_magic + 4
+let seg_header (gen : int) = seg_magic ^ Bx.le32_of_int gen
+let seg_blob name gen = Printf.sprintf "%s.seg-%08d" name gen
+let ckpt_blob name gen = Printf.sprintf "%s.ckpt-%08d" name gen
+
+type t = {
+  j_backend : Backend.t;
+  j_name : string;
+  j_seg_limit : int;
+  mutable j_gen : int;
+  mutable j_seg_bytes : int;
+}
+
+type fsck_report = {
+  fk_checkpoint_gen : int option;
+  fk_segments : int;
+  fk_records : int;
+  fk_torn : bool;
+  fk_torn_bytes : int;
+  fk_bad_checkpoints : int;
+}
+
+type replay = {
+  rp_checkpoint : string option;
+  rp_records : string list;
+  rp_report : fsck_report;
+}
+
+(* --- blob-name bookkeeping --------------------------------------- *)
+
+let parse_gens ~(name : string) ~(kind : string) (blobs : string list) :
+    int list =
+  let prefix = name ^ "." ^ kind ^ "-" in
+  let plen = String.length prefix in
+  List.filter_map
+    (fun b ->
+      if String.length b > plen && String.sub b 0 plen = prefix then
+        int_of_string_opt (String.sub b plen (String.length b - plen))
+      else None)
+    blobs
+
+(* --- decoding ----------------------------------------------------- *)
+
+let decode_ckpt ~(gen : int) (blob : string) : string option =
+  let m = String.length ckpt_magic in
+  if
+    String.length blob < m + 12
+    || String.sub blob 0 m <> ckpt_magic
+    || Bx.int_of_le32 blob m <> gen
+  then None
+  else
+    let crc = Bx.int_of_le32 blob (m + 4) in
+    let len = Bx.int_of_le32 blob (m + 8) in
+    if String.length blob <> m + 12 + len then None
+    else if Crc32.digest_sub blob ~pos:(m + 12) ~len <> crc then None
+    else Some (String.sub blob (m + 12) len)
+
+type seg_scan = {
+  ss_records : string list; (* in order *)
+  ss_good_len : int; (* valid prefix, including the header *)
+  ss_torn : bool;
+  ss_torn_bytes : int;
+}
+
+let scan_segment ~(gen : int) (blob : string) : seg_scan =
+  let n = String.length blob in
+  let m = String.length seg_magic in
+  if n < header_len || String.sub blob 0 m <> seg_magic
+     || Bx.int_of_le32 blob m <> gen
+  then { ss_records = []; ss_good_len = 0; ss_torn = true; ss_torn_bytes = n }
+  else
+    let records = ref [] in
+    let pos = ref header_len in
+    let torn = ref false in
+    let continue = ref true in
+    while !continue do
+      if !pos = n then continue := false
+      else if !pos + 8 > n then (torn := true; continue := false)
+      else
+        let rlen = Bx.int_of_le32 blob !pos in
+        let crc = Bx.int_of_le32 blob (!pos + 4) in
+        if !pos + 8 + rlen > n then (torn := true; continue := false)
+        else if Crc32.digest_sub blob ~pos:(!pos + 8) ~len:rlen <> crc then (
+          torn := true;
+          continue := false)
+        else (
+          records := String.sub blob (!pos + 8) rlen :: !records;
+          pos := !pos + 8 + rlen)
+    done;
+    { ss_records = List.rev !records; ss_good_len = !pos; ss_torn = !torn;
+      ss_torn_bytes = n - !pos }
+
+(* --- shared open/fsck scan ---------------------------------------- *)
+
+(* Scan checkpoint + segments. When [truncate] is set, physically cut a
+   torn tail back to its last valid record (re-seeding the segment
+   header if even that was damaged) so later appends continue from a
+   clean prefix. Returns the replay plus the generation and byte length
+   of the segment appends should continue in. *)
+let scan ~(truncate : bool) (b : Backend.t) ~(name : string) :
+    replay * int * int =
+  let blobs = Backend.list b in
+  let ckpt_gens = List.sort (fun x y -> compare y x) (parse_gens ~name ~kind:"ckpt" blobs) in
+  let seg_gens = List.sort compare (parse_gens ~name ~kind:"seg" blobs) in
+  let bad_ckpts = ref 0 in
+  let rec pick = function
+    | [] -> None
+    | g :: rest -> (
+        match Backend.read b (ckpt_blob name g) with
+        | None -> incr bad_ckpts; pick rest
+        | Some blob -> (
+            match decode_ckpt ~gen:g blob with
+            | Some payload -> Some (g, payload)
+            | None -> incr bad_ckpts; pick rest))
+  in
+  let ckpt = pick ckpt_gens in
+  let base = match ckpt with Some (g, _) -> g | None -> 0 in
+  let live_segs = List.filter (fun g -> g >= base) seg_gens in
+  let records = ref [] in
+  let torn = ref false in
+  let torn_bytes = ref 0 in
+  let last_gen = ref base in
+  let last_len = ref header_len in
+  let fresh = live_segs = [] in
+  List.iter
+    (fun g ->
+      if not !torn then
+        match Backend.read b (seg_blob name g) with
+        | None -> ()
+        | Some blob ->
+            let sc = scan_segment ~gen:g blob in
+            records := List.rev_append sc.ss_records !records;
+            last_gen := g;
+            if sc.ss_torn then (
+              torn := true;
+              torn_bytes := sc.ss_torn_bytes;
+              let keep =
+                if sc.ss_good_len >= header_len then
+                  String.sub blob 0 sc.ss_good_len
+                else seg_header g
+              in
+              last_len := String.length keep;
+              if truncate then Backend.write b (seg_blob name g) keep)
+            else last_len := String.length blob)
+    live_segs;
+  if fresh && truncate then
+    Backend.write b (seg_blob name base) (seg_header base);
+  let report =
+    { fk_checkpoint_gen = Option.map fst ckpt;
+      fk_segments = List.length live_segs;
+      fk_records = List.length !records;
+      fk_torn = !torn;
+      fk_torn_bytes = !torn_bytes;
+      fk_bad_checkpoints = !bad_ckpts }
+  in
+  ( { rp_checkpoint = Option.map snd ckpt;
+      rp_records = List.rev !records;
+      rp_report = report },
+    !last_gen,
+    !last_len )
+
+(* --- public API ---------------------------------------------------- *)
+
+let default_seg_limit = 1 lsl 16
+
+let open_ ?(seg_limit = default_seg_limit) (b : Backend.t) ~(name : string) :
+    t * replay =
+  let replay, gen, seg_bytes = scan ~truncate:true b ~name in
+  ( { j_backend = b; j_name = name; j_seg_limit = seg_limit; j_gen = gen;
+      j_seg_bytes = seg_bytes },
+    replay )
+
+let fsck (b : Backend.t) ~(name : string) : fsck_report =
+  let replay, _, _ = scan ~truncate:false b ~name in
+  replay.rp_report
+
+let append (t : t) (payload : string) : unit =
+  if t.j_seg_bytes >= t.j_seg_limit then (
+    t.j_gen <- t.j_gen + 1;
+    Backend.write t.j_backend (seg_blob t.j_name t.j_gen) (seg_header t.j_gen);
+    t.j_seg_bytes <- header_len);
+  let frame =
+    Bx.le32_of_int (String.length payload)
+    ^ Bx.le32_of_int (Crc32.digest payload)
+    ^ payload
+  in
+  Backend.append t.j_backend (seg_blob t.j_name t.j_gen) frame;
+  t.j_seg_bytes <- t.j_seg_bytes + String.length frame
+
+let checkpoint (t : t) (payload : string) : unit =
+  let g = t.j_gen + 1 in
+  let blob =
+    ckpt_magic ^ Bx.le32_of_int g
+    ^ Bx.le32_of_int (Crc32.digest payload)
+    ^ Bx.le32_of_int (String.length payload)
+    ^ payload
+  in
+  Backend.write t.j_backend (ckpt_blob t.j_name g) blob;
+  Backend.write t.j_backend (seg_blob t.j_name g) (seg_header g);
+  t.j_gen <- g;
+  t.j_seg_bytes <- header_len;
+  (* Compact only once the new checkpoint is durably in place; if the
+     process died during the writes above, the old generation is still
+     complete on disk and replay falls back to it. *)
+  if not (Backend.crashed t.j_backend) then (
+    let blobs = Backend.list t.j_backend in
+    List.iter
+      (fun g' -> if g' < g then Backend.delete t.j_backend (ckpt_blob t.j_name g'))
+      (parse_gens ~name:t.j_name ~kind:"ckpt" blobs);
+    List.iter
+      (fun g' -> if g' < g then Backend.delete t.j_backend (seg_blob t.j_name g'))
+      (parse_gens ~name:t.j_name ~kind:"seg" blobs))
+
+let gen (t : t) : int = t.j_gen
+let seg_bytes (t : t) : int = t.j_seg_bytes

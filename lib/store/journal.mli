@@ -1,0 +1,66 @@
+(** Append-only write-ahead journal with segment rotation, checkpoint
+    compaction and torn-tail detection.
+
+    A journal named [n] lives in a {!Backend.t} as a set of blobs:
+
+    {v
+      n.ckpt-<gen>   "MONETCKPT1" | u32 gen | u32 crc | u32 len | payload
+      n.seg-<gen>    "MONETWAL1"  | u32 gen | record*
+      record         u32 len | u32 crc32(payload) | payload
+    v}
+
+    A checkpoint at generation [g] summarizes every record before it;
+    replay is "newest valid checkpoint + every record in segments with
+    generation ≥ [g], in order". Compaction (deleting older
+    generations) happens only after the new checkpoint blob is durably
+    written, so a crash at any point leaves a recoverable history.
+
+    Torn tails. A record whose frame is incomplete or whose CRC
+    mismatches marks the end of the valid prefix: {!open_} reports it
+    ([fk_torn]), physically truncates the segment back to the last
+    valid record, and replays only the prefix — a torn tail is never
+    silently accepted as state. A checkpoint blob that fails its CRC is
+    skipped ([fk_bad_checkpoints]) and replay falls back to the
+    previous generation. *)
+
+type t
+
+(** What {!open_} and {!fsck} found on the medium. *)
+type fsck_report = {
+  fk_checkpoint_gen : int option;  (** newest valid checkpoint *)
+  fk_segments : int;  (** live segments (generation ≥ checkpoint) *)
+  fk_records : int;  (** valid records replayed *)
+  fk_torn : bool;  (** a torn tail was detected (and truncated) *)
+  fk_torn_bytes : int;  (** bytes discarded at the torn tail *)
+  fk_bad_checkpoints : int;  (** checkpoint blobs skipped as corrupt *)
+}
+
+(** Replayable state: checkpoint payload (if any), then records. *)
+type replay = {
+  rp_checkpoint : string option;
+  rp_records : string list;
+  rp_report : fsck_report;
+}
+
+(** Open (or create) journal [name] in the backend and replay it.
+    Truncates a torn tail. [seg_limit] bounds segment size in bytes
+    before {!append} rotates to a new segment (default 64 KiB). *)
+val open_ : ?seg_limit:int -> Backend.t -> name:string -> t * replay
+
+(** Read-only integrity scan: like {!open_}'s replay pass but without
+    truncating anything. *)
+val fsck : Backend.t -> name:string -> fsck_report
+
+(** Append one record durably (subject to the backend's crash
+    model — after a simulated kill the append is a no-op). *)
+val append : t -> string -> unit
+
+(** Write a checkpoint summarizing all state, start a fresh segment,
+    and compact older generations. *)
+val checkpoint : t -> string -> unit
+
+(** Current segment generation (diagnostics). *)
+val gen : t -> int
+
+(** Bytes in the current segment, header included (diagnostics). *)
+val seg_bytes : t -> int

@@ -61,6 +61,10 @@ let read_bytes r =
 
 let read_list r f =
   let n = read_u32 r in
+  (* Every element consumes at least one byte, so a count beyond the
+     remaining input is corrupt — reject it up front rather than
+     allocating a multi-gigabyte list from a bit-flipped prefix. *)
+  if n > String.length r.buf - r.pos then raise Truncated;
   List.init n (fun _ -> f r)
 
 let at_end r = r.pos = String.length r.buf

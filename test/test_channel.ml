@@ -270,7 +270,7 @@ let test_snapshot_restore_continue () =
     Monet_channel.Snapshot.restore_channel ~cfg:test_cfg env ~id:1 ~snap_a ~snap_b
       ~g:(Monet_hash.Drbg.of_int 777)
   with
-  | Error e -> Alcotest.failf "restore: %s" e
+  | Error e -> Alcotest.failf "restore: %s" (err e)
   | Ok c' ->
       Alcotest.(check int) "state restored" 2 c'.a.state;
       Alcotest.(check int) "alice balance" 55 c'.a.my_balance;
@@ -295,7 +295,7 @@ let test_snapshot_punishment_survives_restart () =
         ~g:(Monet_hash.Drbg.of_int 778)
     with
     | Ok c' -> c'
-    | Error e -> Alcotest.failf "restore: %s" e
+    | Error e -> Alcotest.failf "restore: %s" (err e)
   in
   let alice_old = my_witness_at c'.a ~state:1 in
   (match submit_old_state c' ~cheater:Tp.Bob ~state:1 ~victim_old_wit:alice_old with
@@ -313,6 +313,44 @@ let test_snapshot_rejects_garbage () =
           ("MONETSNAP1" ^ String.make 10 '\000') with
   | Ok _ -> Alcotest.fail "truncated restored"
   | Error _ -> ()
+
+let test_snapshot_corruption_fuzz () =
+  (* Snapshot decoding is total: any truncation and any single-byte
+     corruption of a valid snapshot yields [Error _] — never an escaped
+     exception, never a silently restored party. (Some corruptions — in
+     decoy fields, say — may legitimately still decode; decode crashes
+     are what this hunts.) *)
+  let _, c, _, _, _ = setup "snapfuzz" in
+  (match update c ~amount_from_a:10 with Ok _ -> () | Error e -> Alcotest.fail (err e));
+  let snap = Monet_channel.Snapshot.save c.a in
+  let g = Monet_hash.Drbg.of_int 4242 in
+  let try_restore s =
+    match
+      Monet_channel.Snapshot.restore ~cfg:test_cfg
+        ~g:(Monet_hash.Drbg.of_int 9) s
+    with
+    | Ok _ | Error _ -> ()
+    | exception e ->
+        Alcotest.failf "corrupt snapshot escaped as exception: %s"
+          (Printexc.to_string e)
+  in
+  (* Every prefix length is a possible torn write. *)
+  let n = String.length snap in
+  for len = 0 to min n 600 do
+    try_restore (String.sub snap 0 len)
+  done;
+  for _ = 0 to 40 do
+    try_restore (String.sub snap 0 (Monet_hash.Drbg.int g n))
+  done;
+  (* Sampled single-byte bit flips across the whole snapshot. *)
+  for _ = 0 to 400 do
+    let pos = Monet_hash.Drbg.int g n in
+    let bit = Monet_hash.Drbg.int g 8 in
+    let b = Bytes.of_string snap in
+    Bytes.set b pos
+      (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl bit)));
+    try_restore (Bytes.to_string b)
+  done
 
 
 let test_splice_in () =
@@ -360,5 +398,6 @@ let tests =
     Alcotest.test_case "snapshot restore" `Quick test_snapshot_restore_continue;
     Alcotest.test_case "snapshot punishment" `Quick test_snapshot_punishment_survives_restart;
     Alcotest.test_case "snapshot garbage" `Quick test_snapshot_rejects_garbage;
+    Alcotest.test_case "snapshot corruption fuzz" `Quick test_snapshot_corruption_fuzz;
     Alcotest.test_case "splice in" `Quick test_splice_in;
   ]

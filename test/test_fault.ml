@@ -55,6 +55,59 @@ let test_plan_crash_after () =
   Alcotest.(check bool) "kill crashes both" true
     (Plan.crashed k ~a:true && Plan.crashed k ~a:false)
 
+let test_plan_restart_semantics () =
+  let p =
+    Plan.make ~mode_b:(Plan.Restart { r_after = 2; r_down_ms = 250.0 })
+      (Monet_hash.Drbg.of_int 9)
+  in
+  Alcotest.(check bool) "alive before" false (Plan.crashed p ~a:false);
+  Alcotest.(check (option (float 0.0))) "no downtime while alive" None
+    (Plan.restart_down_ms p ~a:false);
+  Plan.note_delivery p;
+  Plan.note_delivery p;
+  Alcotest.(check bool) "down after 2 deliveries" true (Plan.crashed p ~a:false);
+  Alcotest.(check bool) "mute while down" true (Plan.mute p ~a:false);
+  Alcotest.(check (option (float 0.0))) "scheduled downtime"
+    (Some 250.0)
+    (Plan.restart_down_ms p ~a:false);
+  Alcotest.(check bool) "peer unaffected" false (Plan.crashed p ~a:true);
+  Plan.revive p ~a:false;
+  Alcotest.(check bool) "honest after revive" false (Plan.crashed p ~a:false);
+  Alcotest.(check bool) "speaks after revive" false (Plan.mute p ~a:false);
+  (* revive never resurrects a permanent crash-stop... *)
+  let q = Plan.make ~mode_a:(Plan.Crash_after 0) (Monet_hash.Drbg.of_int 10) in
+  Plan.revive q ~a:true;
+  Alcotest.(check bool) "Crash_after stays permanent" true (Plan.crashed q ~a:true);
+  (* ...and crash_now is the immediate restartable kill (the store's
+     torn-append failpoint uses it). *)
+  let r = Plan.none () in
+  Plan.crash_now r ~a:true ~down_ms:50.0;
+  Alcotest.(check bool) "down immediately" true (Plan.crashed r ~a:true);
+  Alcotest.(check (option (float 0.0))) "with its downtime" (Some 50.0)
+    (Plan.restart_down_ms r ~a:true);
+  Plan.revive r ~a:true;
+  Alcotest.(check bool) "back up" false (Plan.crashed r ~a:true)
+
+let test_plan_restart_silent_orthogonal () =
+  (* Silent is aliveness with muted replies; Restart is death with a
+     comeback. One party each: reviving the restarter must not touch
+     the silent peer, and a silent party never counts as crashed. *)
+  let p =
+    Plan.make ~mode_a:Plan.Silent
+      ~mode_b:(Plan.Restart { r_after = 0; r_down_ms = 100.0 })
+      (Monet_hash.Drbg.of_int 11)
+  in
+  Alcotest.(check bool) "silent party is mute" true (Plan.mute p ~a:true);
+  Alcotest.(check bool) "silent party is alive" false (Plan.crashed p ~a:true);
+  Alcotest.(check (option (float 0.0))) "silent party never restarts" None
+    (Plan.restart_down_ms p ~a:true);
+  Alcotest.(check bool) "restarter down at once" true (Plan.crashed p ~a:false);
+  Plan.revive p ~a:false;
+  Alcotest.(check bool) "restarter honest" false (Plan.mute p ~a:false);
+  Plan.revive p ~a:true;
+  Alcotest.(check bool) "silence survives a stray revive" true
+    (Plan.mute p ~a:true)
+
 (* --- driver under faults: a two-party channel fixture --- *)
 
 let make_channel ~transport () =
@@ -168,6 +221,129 @@ let test_driver_timeout_rolls_back () =
       Alcotest.(check (pair int int)) "post-recovery balances" (48, 52)
         (c.a.my_balance, c.b.my_balance)
   | Error e -> Alcotest.failf "post-recovery update: %s" (error_to_string e)
+
+(* --- crash–restart: journaled endpoints through the driver --- *)
+
+module Recovery = Monet_channel.Recovery
+module Backend = Monet_store.Backend
+
+let test_driver_restart_recovers_from_journal () =
+  (* Sweep the kill point across the update session's delivery
+     sequence: for each r_after, party B dies kill -9-style after that
+     many link deliveries and restarts from its journal 150 simulated
+     ms later. Whatever the landing spot, the channel must end in a
+     coherent state — amount applied exactly once (a restarted party
+     must not replay deduped messages) or session fully rolled back —
+     and keep working afterwards. *)
+  let resumed_somewhere = ref false and recovered_total = ref 0 in
+  for r_after = 0 to 10 do
+    let _, transport = scheduled () in
+    let c = make_channel ~transport () in
+    let plan =
+      Plan.make
+        ~mode_b:(Plan.Restart { r_after; r_down_ms = 150.0 })
+        (Monet_hash.Drbg.of_int (100 + r_after))
+    in
+    set_faults c
+      (Some (make_faults ~deadline_ms:100.0 ~max_retries:5 ~backoff:2.0 plan));
+    let host =
+      Recovery.attach ~backend:(Backend.mem ()) ~name:"b"
+        ~reseed:(Monet_hash.Drbg.of_int (900 + r_after))
+        c.b
+    in
+    c.store_b <-
+      Some
+        (Recovery.restart_hooks host ~on_restart:(fun () ->
+             match Recovery.recover host ~env:c.env with
+             | Ok r ->
+                 incr recovered_total;
+                 if r.Monet_channel.Recovery.r_resumed then
+                   resumed_somewhere := true
+             | Error e ->
+                 Alcotest.failf "r_after=%d recover: %s" r_after
+                   (error_to_string e)));
+    let st0 = c.a.state in
+    (match update c ~amount_from_a:3 with
+    | Ok _ ->
+        Alcotest.(check int)
+          (Printf.sprintf "r_after=%d state advanced exactly once" r_after)
+          (st0 + 1) c.a.state;
+        Alcotest.(check int)
+          (Printf.sprintf "r_after=%d parties agree" r_after)
+          c.a.state c.b.state;
+        Alcotest.(check (pair int int))
+          (Printf.sprintf "r_after=%d amount applied exactly once" r_after)
+          (57, 43)
+          (c.a.my_balance, c.b.my_balance)
+    | Error e when Monet_channel.Errors.is_timeout e ->
+        Alcotest.(check (pair int int))
+          (Printf.sprintf "r_after=%d rolled back cleanly" r_after)
+          (st0, st0) (c.a.state, c.b.state);
+        Alcotest.(check (pair int int))
+          (Printf.sprintf "r_after=%d balances untouched" r_after)
+          (60, 40)
+          (c.a.my_balance, c.b.my_balance)
+    | Error e ->
+        Alcotest.failf "r_after=%d update: %s" r_after (error_to_string e));
+    (* Liveness from wherever we landed: heal the link, transact on. *)
+    set_faults c (Some (make_faults (Plan.none ())));
+    let before = c.a.state in
+    match update c ~amount_from_a:1 with
+    | Ok _ ->
+        Alcotest.(check int)
+          (Printf.sprintf "r_after=%d post-restart update" r_after)
+          (before + 1) c.a.state
+    | Error e ->
+        Alcotest.failf "r_after=%d post-restart update: %s" r_after
+          (error_to_string e)
+  done;
+  Alcotest.(check bool) "some kill point triggered a recovery" true
+    (!recovered_total > 0);
+  Alcotest.(check bool) "some kill point resumed a precommitted session" true
+    !resumed_somewhere
+
+let test_watchtower_save_restore () =
+  let c = make_channel ~transport:Driver.Sync () in
+  (match update c ~amount_from_a:5 with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "update: %s" (error_to_string e));
+  (match update c ~amount_from_a:5 with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "update: %s" (error_to_string e));
+  let tower = Watchtower.create () in
+  Watchtower.watch tower c ~victim:Tp.Alice;
+  let blob = Watchtower.save tower in
+  let resolve id = if id = c.id then Some c else None in
+  (* Restore-then-watch must not double-count the channel. *)
+  let tower' =
+    match Watchtower.restore ~resolve blob with
+    | Ok t -> t
+    | Error e -> Alcotest.failf "restore: %s" (error_to_string e)
+  in
+  Watchtower.watch tower' c ~victim:Tp.Alice;
+  Alcotest.(check int) "watched once after restore + re-watch" 1
+    (Watchtower.watched_count tower');
+  (* Punishment still fires on the restored tower. *)
+  let alice_old = my_witness_at c.a ~state:1 in
+  (match
+     submit_old_state c ~cheater:Tp.Bob ~state:1 ~victim_old_wit:alice_old
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "cheat submit: %s" (error_to_string e));
+  let r = Watchtower.tick tower' in
+  Alcotest.(check int) "restored tower punishes" 1
+    (List.length r.Watchtower.punished);
+  Alcotest.(check int) "restored tower counts it" 1
+    tower'.Watchtower.punishments;
+  (* Unresolvable ids are dropped; corrupt blobs are typed errors. *)
+  (match Watchtower.restore ~resolve:(fun _ -> None) blob with
+  | Ok empty ->
+      Alcotest.(check int) "ghost channels dropped" 0
+        (Watchtower.watched_count empty)
+  | Error e -> Alcotest.failf "restore with no channels: %s" (error_to_string e));
+  match Watchtower.restore ~resolve (String.sub blob 0 4) with
+  | Ok _ -> Alcotest.fail "truncated tower state restored"
+  | Error _ -> ()
 
 (* --- latency sampling (Box-Muller without the clamp bias) --- *)
 
@@ -354,6 +530,32 @@ let test_chaos_soak () =
   Alcotest.(check bool) "retransmission recovery exercised" true
     (s.Chaos.s_retransmits > 0)
 
+(* --- the crash soak: hundreds of seeded kill/restart schedules --- *)
+
+let test_crash_soak () =
+  let s = Chaos.crash_soak ~n_hops:3 ~base_seed:0 ~runs:200 () in
+  List.iter
+    (fun (seed, label, problem) ->
+      Printf.printf "crash-soak failure seed=%d [%s]: %s\n%!" seed label problem)
+    s.Chaos.cs_failures;
+  Alcotest.(check int) "all 200 schedules ran" 200 s.Chaos.cs_runs;
+  Alcotest.(check (list string)) "no invariant violations" []
+    (List.map
+       (fun (seed, label, p) -> Printf.sprintf "seed %d [%s]: %s" seed label p)
+       s.Chaos.cs_failures);
+  (* The schedule mix provably exercised the whole recovery machinery. *)
+  Alcotest.(check bool) "parties actually recovered from disk" true
+    (s.Chaos.cs_recoveries > 0);
+  Alcotest.(check bool) "journal records actually replayed" true
+    (s.Chaos.cs_replayed > 0);
+  Alcotest.(check bool) "some sessions resumed from a precommit" true
+    (s.Chaos.cs_resumed > 0);
+  Alcotest.(check bool) "some sessions aborted from an intent" true
+    (s.Chaos.cs_aborted > 0);
+  Alcotest.(check bool) "torn journal tails detected" true (s.Chaos.cs_torn > 0);
+  Alcotest.(check bool) "some payments survived a mid-flight kill" true
+    (s.Chaos.cs_delivered > 0)
+
 let tests =
   [
     Alcotest.test_case "plan: honest plan never faults" `Quick
@@ -362,6 +564,10 @@ let tests =
       test_plan_withhold_is_sticky;
     Alcotest.test_case "plan: crash-stop and kill semantics" `Quick
       test_plan_crash_after;
+    Alcotest.test_case "plan: restart semantics" `Quick
+      test_plan_restart_semantics;
+    Alcotest.test_case "plan: restart and silent are orthogonal" `Quick
+      test_plan_restart_silent_orthogonal;
     Alcotest.test_case "driver: faultless plan is transparent" `Quick
       test_driver_faultless_plan_is_transparent;
     Alcotest.test_case "driver: retransmission recovers from drops" `Quick
@@ -370,6 +576,10 @@ let tests =
       test_driver_duplicates_never_double_charge;
     Alcotest.test_case "driver: timeout rolls the session back" `Quick
       test_driver_timeout_rolls_back;
+    Alcotest.test_case "driver: restart recovers from the journal" `Quick
+      test_driver_restart_recovers_from_journal;
+    Alcotest.test_case "watchtower: save/restore + punish after restart" `Quick
+      test_watchtower_save_restore;
     Alcotest.test_case "latency: normal mean converges (no clamp bias)" `Quick
       test_normal_latency_mean_converges;
     Alcotest.test_case "latency: no point mass at zero" `Quick
@@ -386,4 +596,6 @@ let tests =
     Alcotest.test_case "chaos: cheating hop -> watchtower punishment" `Quick
       test_chaos_cheating_hop_is_punished;
     Alcotest.test_case "chaos: 200-schedule seeded soak" `Slow test_chaos_soak;
+    Alcotest.test_case "chaos: 200-schedule crash/restart soak" `Slow
+      test_crash_soak;
   ]

@@ -234,6 +234,82 @@ let amhl_random_length =
       done;
       all_verify && !cascade_ok)
 
+(* --- durability: checkpoint -> journal -> recover --- *)
+
+let recovery_roundtrip =
+  (* Drive a channel through a random mix of updates and splices with a
+     journaled party, then "kill" it and recover from the journal alone:
+     the recovered party must re-serialize to exactly the bytes the live
+     party snapshotted pre-kill. *)
+  QCheck.Test.make ~name:"journal recovery is byte-identical" ~count:6
+    QCheck.(pair QCheck.int (int_range 1 6))
+    (fun (n, k) ->
+      let module Ch = Monet_channel.Channel in
+      let module Recovery = Monet_channel.Recovery in
+      let g = drbg_of n in
+      let cfg =
+        { Ch.default_config with Ch.vcof_reps = Some 2; ring_size = 3;
+          n_escrowers = 3; escrow_threshold = 2 }
+      in
+      let env = Ch.make_env (Monet_hash.Drbg.split g "env") in
+      let wa = Monet_xmr.Wallet.create ~ring_size:cfg.Ch.ring_size g ~label:"wa" in
+      let wb = Monet_xmr.Wallet.create ~ring_size:cfg.Ch.ring_size g ~label:"wb" in
+      let fund w amount =
+        let kp = Monet_sig.Sig_core.gen g in
+        let idx =
+          Monet_xmr.Ledger.genesis_output env.Ch.ledger
+            { Monet_xmr.Tx.otk = kp.Monet_sig.Sig_core.vk; amount }
+        in
+        Monet_xmr.Wallet.adopt w ~global_index:idx ~keypair:kp ~amount
+      in
+      fund wa 60;
+      fund wb 40;
+      match
+        Ch.establish ~cfg env ~id:1 ~wallet_a:wa ~wallet_b:wb ~bal_a:60
+          ~bal_b:40
+      with
+      | Error e -> failwith (Ch.error_to_string e)
+      | Ok (c0, _) ->
+          (* A spare coin (adopted after establishment so channel
+             funding cannot swallow it) so a splice has something to
+             pull in. *)
+          Monet_xmr.Ledger.ensure_decoys g env.Ch.ledger ~amount:10 ~n:20;
+          fund wa 10;
+          let c = ref c0 in
+          let attach ch =
+            Recovery.attach
+              ~backend:(Monet_store.Backend.mem ())
+              ~name:"p"
+              ~reseed:(Monet_hash.Drbg.split g "reseed")
+              ch.Ch.a
+          in
+          let host = ref (attach !c) in
+          let splices = ref 1 in
+          for i = 1 to k do
+            if !splices > 0 && Monet_hash.Drbg.int g 4 = 0 then begin
+              decr splices;
+              match Ch.splice_in !c ~funder:Monet_sig.Two_party.Alice ~amount:10 ~wallet:wa with
+              | Error e -> failwith (Ch.error_to_string e)
+              | Ok (c', _) ->
+                  (* Splicing re-anchors the channel in a fresh record:
+                     the journaled endpoint moves with it. *)
+                  c := c';
+                  host := attach !c
+            end
+            else
+              let amount = 1 + Monet_hash.Drbg.int g 3 in
+              let amount = if i mod 2 = 0 then -amount else amount in
+              match Ch.update !c ~amount_from_a:amount with
+              | Ok _ -> ()
+              | Error e -> failwith (Ch.error_to_string e)
+          done;
+          let s0 = Monet_channel.Snapshot.save (!c).Ch.a in
+          (* kill -9 + restart: recovery sees only the journal bytes. *)
+          (match Recovery.recover !host ~env with
+          | Error e -> failwith (Ch.error_to_string e)
+          | Ok _ -> ());
+          Monet_channel.Snapshot.save (!c).Ch.a = s0)
+
 let tests =
   [
     qtest hex_roundtrip;
@@ -254,4 +330,5 @@ let tests =
     qtest pvss_any_threshold;
     qtest onion_random_route;
     qtest amhl_random_length;
+    qtest recovery_roundtrip;
   ]

@@ -1,0 +1,286 @@
+(* lib/store: CRC framing, the blob backend's crash model, and the
+   write-ahead journal's replay / rotation / compaction / torn-tail
+   guarantees. *)
+
+module Backend = Monet_store.Backend
+module Journal = Monet_store.Journal
+module Crc32 = Monet_store.Crc32
+
+(* --- crc32 --------------------------------------------------------- *)
+
+let test_crc32_vector () =
+  (* The IEEE 802.3 check value: CRC32("123456789") = 0xCBF43926. *)
+  Alcotest.(check int) "check value" 0xCBF43926 (Crc32.digest "123456789");
+  Alcotest.(check int) "empty" 0 (Crc32.digest "");
+  Alcotest.(check int)
+    "digest_sub = digest of slice"
+    (Crc32.digest "3456")
+    (Crc32.digest_sub "123456789" ~pos:2 ~len:4)
+
+(* --- backend ------------------------------------------------------- *)
+
+let test_backend_mem_roundtrip () =
+  let b = Backend.mem () in
+  Alcotest.(check (option string)) "missing" None (Backend.read b "x");
+  Backend.write b "x" "hello";
+  Alcotest.(check (option string)) "written" (Some "hello") (Backend.read b "x");
+  Backend.append b "x" " world";
+  Alcotest.(check (option string))
+    "appended" (Some "hello world") (Backend.read b "x");
+  Backend.write b "x" "fresh";
+  Alcotest.(check (option string)) "replaced" (Some "fresh") (Backend.read b "x");
+  Backend.append b "y" "created-by-append";
+  Alcotest.(check (list string)) "list sorted" [ "x"; "y" ] (Backend.list b);
+  Backend.delete b "x";
+  Alcotest.(check (list string)) "deleted" [ "y" ] (Backend.list b)
+
+let test_backend_dir_roundtrip () =
+  let tmp = Filename.temp_file "monet-store" ".d" in
+  Sys.remove tmp;
+  match Backend.dir tmp with
+  | Error e -> Alcotest.failf "dir backend: %s" e
+  | Ok b ->
+      Backend.write b "x" "hello";
+      Backend.append b "x" " world";
+      Alcotest.(check (option string))
+        "durable" (Some "hello world") (Backend.read b "x");
+      (* A second handle on the same directory sees the same bytes —
+         that is the restart story for Dir backends. *)
+      (match Backend.dir tmp with
+      | Error e -> Alcotest.failf "reopen: %s" e
+      | Ok b2 ->
+          Alcotest.(check (option string))
+            "reopened" (Some "hello world") (Backend.read b2 "x");
+          Alcotest.(check (list string)) "listed" [ "x" ] (Backend.list b2));
+      Backend.delete b "x";
+      Sys.rmdir tmp
+
+let test_backend_failpoint_partial_append () =
+  let b = Backend.mem () in
+  Backend.append b "x" "hello";
+  Backend.set_failpoint b ~after:3;
+  Backend.append b "x" "world";
+  Alcotest.(check bool) "crashed" true (Backend.crashed b);
+  (* kill -9 mid-write: exactly the budgeted prefix reached the medium. *)
+  Alcotest.(check (option string))
+    "torn prefix durable" (Some "hellowor") (Backend.read b "x");
+  (* Everything after the crash is void until revival... *)
+  Backend.append b "x" "!!!";
+  Backend.write b "y" "nope";
+  Alcotest.(check (option string))
+    "post-crash append void" (Some "hellowor") (Backend.read b "x");
+  Alcotest.(check (option string)) "post-crash write void" None (Backend.read b "y");
+  (* ...but reads still work (recovery reads the same medium). *)
+  Backend.revive b;
+  Backend.append b "x" "!";
+  Alcotest.(check (option string))
+    "revived" (Some "hellowor!") (Backend.read b "x")
+
+let test_backend_failpoint_write_atomic () =
+  (* Full-blob writes model write-temp-then-rename: a crash mid-write
+     keeps the old blob intact and loses the new content entirely. *)
+  let b = Backend.mem () in
+  Backend.write b "x" "old";
+  Backend.set_failpoint b ~after:2;
+  Backend.write b "x" "replacement";
+  Alcotest.(check bool) "crashed" true (Backend.crashed b);
+  Alcotest.(check (option string)) "old survives" (Some "old") (Backend.read b "x")
+
+(* --- journal ------------------------------------------------------- *)
+
+let test_journal_replay () =
+  let b = Backend.mem () in
+  let j, replay = Journal.open_ b ~name:"ch" in
+  Alcotest.(check (list string)) "fresh" [] replay.Journal.rp_records;
+  Alcotest.(check (option string)) "no ckpt" None replay.Journal.rp_checkpoint;
+  Journal.append j "one";
+  Journal.append j "two";
+  Journal.append j "three";
+  let _, replay = Journal.open_ b ~name:"ch" in
+  Alcotest.(check (list string))
+    "records in order" [ "one"; "two"; "three" ] replay.Journal.rp_records;
+  Alcotest.(check bool) "not torn" false replay.Journal.rp_report.Journal.fk_torn
+
+let test_journal_rotation () =
+  let b = Backend.mem () in
+  let j, _ = Journal.open_ ~seg_limit:64 b ~name:"ch" in
+  let expect = List.init 20 (fun i -> Printf.sprintf "record-%02d" i) in
+  List.iter (Journal.append j) expect;
+  Alcotest.(check bool) "rotated" true (Journal.gen j > 0);
+  let _, replay = Journal.open_ ~seg_limit:64 b ~name:"ch" in
+  Alcotest.(check (list string))
+    "all records across segments" expect replay.Journal.rp_records
+
+let test_journal_checkpoint_compaction () =
+  let b = Backend.mem () in
+  let j, _ = Journal.open_ b ~name:"ch" in
+  Journal.append j "pre-1";
+  Journal.append j "pre-2";
+  Journal.checkpoint j "SNAPSHOT";
+  Journal.append j "post-1";
+  let _, replay = Journal.open_ b ~name:"ch" in
+  Alcotest.(check (option string))
+    "checkpoint payload" (Some "SNAPSHOT") replay.Journal.rp_checkpoint;
+  Alcotest.(check (list string))
+    "only post-checkpoint records" [ "post-1" ] replay.Journal.rp_records;
+  (* Compaction removed every pre-checkpoint generation. *)
+  List.iter
+    (fun blob ->
+      Alcotest.(check bool)
+        (blob ^ " is current generation")
+        true
+        (Filename.check_suffix blob "-00000001"))
+    (Backend.list b)
+
+let test_journal_torn_tail_every_cut () =
+  (* Build a valid single-segment journal, then simulate a kill -9 at
+     every possible byte offset of the segment: replay must yield a
+     prefix of the original records, flag anything shorter as torn, and
+     never surface a partial or corrupt record. *)
+  let records = [ "alpha"; "beta-beta"; "gamma-gamma-gamma" ] in
+  let build () =
+    let b = Backend.mem () in
+    let j, _ = Journal.open_ b ~name:"ch" in
+    List.iter (Journal.append j) records;
+    b
+  in
+  let seg =
+    match Backend.read (build ()) "ch.seg-00000000" with
+    | Some s -> s
+    | None -> Alcotest.fail "segment blob missing"
+  in
+  let rec is_prefix xs ys =
+    match (xs, ys) with
+    | [], _ -> true
+    | x :: xs', y :: ys' -> x = y && is_prefix xs' ys'
+    | _ :: _, [] -> false
+  in
+  (* Frame boundaries (per the documented layout: 9-byte magic + u32
+     gen header, then u32 len | u32 crc | payload per record): a cut
+     exactly on one is a valid shorter journal, anywhere else is torn. *)
+  let header_len = String.length "MONETWAL1" + 4 in
+  let boundaries =
+    let at = ref header_len in
+    header_len
+    :: List.map
+         (fun r ->
+           at := !at + 8 + String.length r;
+           !at)
+         records
+  in
+  for cut = 0 to String.length seg - 1 do
+    let b = Backend.mem () in
+    Backend.write b "ch.seg-00000000" (String.sub seg 0 cut);
+    let report = Journal.fsck b ~name:"ch" in
+    Alcotest.(check bool)
+      (Printf.sprintf "cut %d torn-detection" cut)
+      (not (List.mem cut boundaries))
+      report.Journal.fk_torn;
+    let j, replay = Journal.open_ b ~name:"ch" in
+    Alcotest.(check bool)
+      (Printf.sprintf "cut %d replays a record prefix" cut)
+      true
+      (is_prefix replay.Journal.rp_records records);
+    Alcotest.(check bool)
+      (Printf.sprintf "cut %d lost the tail" cut)
+      true
+      (List.length replay.Journal.rp_records < List.length records);
+    (* The truncated journal accepts new appends and replays them. *)
+    Journal.append j "appended-after-truncate";
+    let _, replay2 = Journal.open_ b ~name:"ch" in
+    Alcotest.(check (list string))
+      (Printf.sprintf "cut %d continues cleanly" cut)
+      (replay.Journal.rp_records @ [ "appended-after-truncate" ])
+      replay2.Journal.rp_records
+  done
+
+let test_journal_bitflip_tail () =
+  (* A flipped byte inside a record's payload fails its CRC; replay
+     stops at the last record whose integrity holds. *)
+  let b = Backend.mem () in
+  let j, _ = Journal.open_ b ~name:"ch" in
+  Journal.append j "first";
+  Journal.append j "second";
+  let seg =
+    match Backend.read b "ch.seg-00000000" with
+    | Some s -> s
+    | None -> Alcotest.fail "segment blob missing"
+  in
+  (* Corrupt the last byte (inside "second"'s payload). *)
+  let n = String.length seg in
+  let bad = Bytes.of_string seg in
+  Bytes.set bad (n - 1) (Char.chr (Char.code (Bytes.get bad (n - 1)) lxor 0x40));
+  Backend.write b "ch.seg-00000000" (Bytes.to_string bad);
+  let _, replay = Journal.open_ b ~name:"ch" in
+  Alcotest.(check (list string))
+    "replay stops before corrupt record" [ "first" ] replay.Journal.rp_records;
+  Alcotest.(check bool) "torn" true replay.Journal.rp_report.Journal.fk_torn
+
+let test_journal_failpoint_torn_append () =
+  (* The in-band crash model: the failpoint tears an append mid-frame;
+     after revival the journal truncates the torn tail and continues. *)
+  let b = Backend.mem () in
+  let j, _ = Journal.open_ b ~name:"ch" in
+  Journal.append j "durable";
+  Backend.set_failpoint b ~after:5;
+  Journal.append j "torn-by-failpoint";
+  Alcotest.(check bool) "crashed mid-append" true (Backend.crashed b);
+  Backend.revive b;
+  let report = Journal.fsck b ~name:"ch" in
+  Alcotest.(check bool) "fsck sees torn tail" true report.Journal.fk_torn;
+  let j2, replay = Journal.open_ b ~name:"ch" in
+  Alcotest.(check (list string))
+    "torn record gone" [ "durable" ] replay.Journal.rp_records;
+  Journal.append j2 "after-restart";
+  let _, replay2 = Journal.open_ b ~name:"ch" in
+  Alcotest.(check (list string))
+    "journal continues" [ "durable"; "after-restart" ] replay2.Journal.rp_records
+
+let test_journal_bad_checkpoint_fallback () =
+  let b = Backend.mem () in
+  let j, _ = Journal.open_ b ~name:"ch" in
+  Journal.append j "r1";
+  Journal.checkpoint j "CKPT";
+  Journal.append j "r2";
+  (* Flip a byte inside the checkpoint payload: its CRC fails, replay
+     falls back (here: to nothing) but keeps the segment records. *)
+  let name = "ch.ckpt-00000001" in
+  let blob =
+    match Backend.read b name with
+    | Some s -> s
+    | None -> Alcotest.fail "checkpoint blob missing"
+  in
+  let bad = Bytes.of_string blob in
+  let last = Bytes.length bad - 1 in
+  Bytes.set bad last (Char.chr (Char.code (Bytes.get bad last) lxor 0x01));
+  Backend.write b name (Bytes.to_string bad);
+  let _, replay = Journal.open_ b ~name:"ch" in
+  Alcotest.(check int)
+    "bad checkpoint counted" 1
+    replay.Journal.rp_report.Journal.fk_bad_checkpoints;
+  Alcotest.(check (option string))
+    "no checkpoint adopted" None replay.Journal.rp_checkpoint;
+  Alcotest.(check (list string))
+    "segment records survive" [ "r2" ] replay.Journal.rp_records
+
+let tests =
+  [
+    Alcotest.test_case "crc32 vector" `Quick test_crc32_vector;
+    Alcotest.test_case "backend mem roundtrip" `Quick test_backend_mem_roundtrip;
+    Alcotest.test_case "backend dir roundtrip" `Quick test_backend_dir_roundtrip;
+    Alcotest.test_case "failpoint partial append" `Quick
+      test_backend_failpoint_partial_append;
+    Alcotest.test_case "failpoint atomic write" `Quick
+      test_backend_failpoint_write_atomic;
+    Alcotest.test_case "journal replay" `Quick test_journal_replay;
+    Alcotest.test_case "journal rotation" `Quick test_journal_rotation;
+    Alcotest.test_case "checkpoint compaction" `Quick
+      test_journal_checkpoint_compaction;
+    Alcotest.test_case "torn tail at every cut" `Quick
+      test_journal_torn_tail_every_cut;
+    Alcotest.test_case "bit-flipped record" `Quick test_journal_bitflip_tail;
+    Alcotest.test_case "failpoint torn append" `Quick
+      test_journal_failpoint_torn_append;
+    Alcotest.test_case "bad checkpoint fallback" `Quick
+      test_journal_bad_checkpoint_fallback;
+  ]

@@ -22,7 +22,11 @@
 (allow forbid-exn lib/util/wire.ml raise
   "Wire.Truncated is the codec's typed exception; callers catch it at of_bytes and map to Errors.Codec")
 (allow forbid-exn lib/channel/snapshot.ml invalid_arg
-  "snapshot decode guard, caught at the Msg.of_bytes codec boundary")
+  "snapshot decode guards (magic/version/ring shape); restore catches Invalid_argument and returns Errors.Codec")
+(allow forbid-exn lib/channel/recovery.ml invalid_arg
+  "journal-record decode guards (unknown tag, bad pending kind, checkpoint shape); recover catches Invalid_argument and returns Errors.Codec")
+(allow forbid-exn lib/channel/watchtower.ml invalid_arg
+  "persisted-state decode guard (bad victim role byte); restore catches Invalid_argument and returns Errors.Codec")
 (allow forbid-exn lib/sig/lsag.ml invalid_arg
   "sign preconditions (empty ring, bad index, key/slot mismatch) and decode ring-size guards; decode is caught at the codec boundary")
 (allow forbid-exn lib/sig/mlsag.ml invalid_arg

@@ -8,6 +8,7 @@
      monet-cli dispute [--responsive]
      monet-cli topology --nodes 6 --channels 8
      monet-cli vcof --steps 4 [--reps 16]
+     monet-cli lint [--only PASS] [--json] [PATH...]
 *)
 
 module Ch = Monet_channel.Channel
@@ -651,6 +652,112 @@ let channel_cmd =
     (Cmd.info "channel" ~doc:"Durable channels: write-ahead journal + crash recovery")
     [ run_cmd; recover_cmd ]
 
+(* ---- lint: run monet-lint in-process (same engine as @lint) ---- *)
+
+(* Exit status mirrors tools/lint/monet_lint.exe: 0 clean, 1 findings,
+   2 on usage or I/O errors. *)
+let lint_exit json only allow_file strict_allow per_file paths =
+  let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("monet-cli lint: " ^ m); 2) fmt in
+  let allow_file =
+    match allow_file with
+    | Some f -> Some f
+    | None ->
+        (* default to the committed allowlist when run from the repo root *)
+        if Sys.file_exists "tools/lint/allow.sexp" then Some "tools/lint/allow.sexp"
+        else None
+  in
+  let paths = if paths = [] then [ "lib" ] else paths in
+  match
+    match allow_file with
+    | None -> Ok []
+    | Some f -> (
+        match Lint_engine.parse_allowlist (Lint_engine.read_file f) with
+        | Ok entries -> Ok entries
+        | Error e -> Error (Printf.sprintf "%s: %s" f e)
+        | exception Sys_error e -> Error e)
+  with
+  | Error e -> fail "%s" e
+  | Ok allow -> (
+      let cfg =
+        {
+          Lint_engine.c_allow = allow;
+          c_strict_allow = strict_allow;
+          c_secret_scope = Lint_engine.default_secret_scope;
+          c_doc_scope = Lint_engine.default_doc_scope;
+        }
+      in
+      let analyze = if per_file then Lint_engine.run else Lint_engine.run_program in
+      match analyze ~cfg paths with
+      | exception Sys_error e -> fail "%s" e
+      | report -> (
+          let report =
+            match only with
+            | None -> report
+            | Some p ->
+                {
+                  report with
+                  Lint_engine.r_findings =
+                    List.filter (Lint_engine.finding_in_pass p)
+                      report.Lint_engine.r_findings;
+                }
+          in
+          let emit () =
+            if json then begin
+              let doc = Lint_engine.to_json report in
+              match Lint_engine.validate_json doc with
+              | Error e -> Some (fail "internal error: emitted invalid JSON: %s" e)
+              | Ok () ->
+                  print_string doc;
+                  print_newline ();
+                  None
+            end
+            else begin
+              Lint_engine.pp_report stdout report;
+              None
+            end
+          in
+          match emit () with
+          | Some code -> code
+          | None -> if report.Lint_engine.r_findings = [] then 0 else 1))
+
+let lint json only allow_file strict_allow per_file paths =
+  exit (lint_exit json only allow_file strict_allow per_file paths)
+
+let lint_cmd =
+  let json =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit findings as monet-lint/2 JSON on stdout.")
+  in
+  let only =
+    Arg.(value & opt (some string) None
+         & info [ "only" ] ~docv:"PASS"
+             ~doc:"Report only this pass (core|taint|domain-safety|doc|allowlist) \
+                   or a single rule id.")
+  in
+  let allow =
+    Arg.(value & opt (some string) None
+         & info [ "allow" ] ~docv:"FILE"
+             ~doc:"Allowlist to apply (default: tools/lint/allow.sexp when present).")
+  in
+  let strict =
+    Arg.(value & flag
+         & info [ "strict-allow" ]
+             ~doc:"Treat unused allowlist entries as findings (full-tree runs).")
+  in
+  let per_file =
+    Arg.(value & flag
+         & info [ "per-file" ]
+             ~doc:"Per-file analysis only: skip the cross-module call graph.")
+  in
+  let paths =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"PATH" ~doc:"Files or directories to lint (default: lib).")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Run the monet-lint static-analysis passes (incl. domain-safety + taint)")
+    Term.(const lint $ json $ only $ allow $ strict $ per_file $ paths)
+
 let () =
   let info = Cmd.info "monet-cli" ~doc:"MoNet payment channel network playground" in
-  exit (Cmd.eval' (Cmd.group info [ demo_cmd; pay_cmd; dispute_cmd; topology_cmd; vcof_cmd; trace_cmd; net_cmd; channel_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ demo_cmd; pay_cmd; dispute_cmd; topology_cmd; vcof_cmd; trace_cmd; net_cmd; channel_cmd; lint_cmd ]))

@@ -198,6 +198,11 @@ let force_precomp () =
   ignore (Lazy.force base_table);
   ignore (Lazy.force base_wnaf_table)
 
+(** Whether both precomputed tables have been materialized — the
+    invariant {!force_precomp} establishes. Exposed so tests can
+    assert the tables are forced before the first [Domain.spawn]. *)
+let precomp_forced () = Lazy.is_val base_table && Lazy.is_val base_wnaf_table
+
 (** [mul2 a p b q] = a·P + b·Q by Straus–Shamir interleaving: one
     shared doubling chain, two width-5 wNAF digit streams. *)
 let mul2 (a : Sc.t) (p : t) (b : Sc.t) (q : t) : t =

@@ -150,6 +150,12 @@ let merge (p : plan) (reports : Workload.report array) : merged =
     shard order on the calling domain — the results are identical
     either way (the determinism contract above). *)
 let run ?(parallel = true) (p : plan) : (merged, string) result =
+  (* The group's precomputed tables are process-wide lazies, and
+     forcing a lazy concurrently raises CamlinternalLazy.Undefined —
+     materialize them unconditionally at entry, before any worker can
+     race (the lint domain-safety pass checks every spawn site is
+     covered by a pre-spawn force like this one). *)
+  Monet_ec.Point.force_precomp ();
   (* Split every shard's root DRBG from the seed on the calling
      domain, in shard order, before anything runs: the derivation
      order — hence every shard's randomness — is independent of the
@@ -159,15 +165,10 @@ let run ?(parallel = true) (p : plan) : (merged, string) result =
     Array.init p.p_domains (fun i -> Drbg.split root (Printf.sprintf "shard-%d" i))
   in
   let results =
-    if parallel && p.p_domains > 1 then begin
-      (* The group's precomputed tables are process-wide lazies, and
-         forcing a lazy concurrently raises CamlinternalLazy.Undefined
-         — materialize them here before the workers can race. *)
-      Monet_ec.Point.force_precomp ();
+    if parallel && p.p_domains > 1 then
       Array.map Domain.join
         (Array.init p.p_domains (fun i ->
              Domain.spawn (fun () -> run_shard p rngs.(i) i)))
-    end
     else Array.init p.p_domains (fun i -> run_shard p rngs.(i) i)
   in
   let reports, errors =

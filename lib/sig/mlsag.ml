@@ -40,6 +40,11 @@ let step ~msg ~(ring : column array) ~hps ~ki c i s1 s2 =
 let hp_of_ring (ring : column array) : Point.t array =
   Array.map (fun col -> Point.hash_to_point "lsag-hp" (Point.encode col.p)) ring
 
+(* lint: public: ring msg *)
+(* The ring is the published anonymity set and msg the signed
+   transaction prefix; both arrive through call chains that touch
+   secret material (the spender's one-time keys), which taints them
+   interprocedurally without the declaration above. *)
 let sign (g : Monet_hash.Drbg.t) ~(ring : column array) ~(pi : int) ~(sk : Sc.t)
     ~(z : Sc.t) ~(msg : string) : signature =
   let n = Array.length ring in

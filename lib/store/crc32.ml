@@ -2,25 +2,28 @@
 
     Used by {!Journal} to checksum each write-ahead record so a torn
     or bit-flipped tail is detected on replay instead of being decoded
-    as protocol state. Table-driven, one table shared process-wide. *)
+    as protocol state. Table-driven; the table is computed eagerly at
+    module initialization (before any [Domain.spawn] can happen) and
+    never written afterwards, so domains share it without
+    synchronization. It was a [lazy] once: two domains racing the
+    first [Lazy.force] can raise [CamlinternalLazy.Undefined], the
+    exact hazard the lint domain-safety pass now flags. *)
 
-let table : int array Lazy.t =
-  lazy
-    (Array.init 256 (fun n ->
-         let c = ref n in
-         for _ = 0 to 7 do
-           if !c land 1 = 1 then c := 0xEDB88320 lxor (!c lsr 1)
-           else c := !c lsr 1
-         done;
-         !c))
+let table : int array =
+  Array.init 256 (fun n ->
+      let c = ref n in
+      for _ = 0 to 7 do
+        if !c land 1 = 1 then c := 0xEDB88320 lxor (!c lsr 1)
+        else c := !c lsr 1
+      done;
+      !c)
 
 (** [digest_sub s ~pos ~len] is the CRC-32 of the [len] bytes of [s]
     starting at [pos]. The caller must ensure the range is in bounds. *)
 let digest_sub (s : string) ~(pos : int) ~(len : int) : int =
-  let t = Lazy.force table in
   let c = ref 0xFFFFFFFF in
   for i = pos to pos + len - 1 do
-    c := t.((!c lxor Char.code s.[i]) land 0xff) lxor (!c lsr 8)
+    c := table.((!c lxor Char.code s.[i]) land 0xff) lxor (!c lsr 8)
   done;
   !c lxor 0xFFFFFFFF
 

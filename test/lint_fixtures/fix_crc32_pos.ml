@@ -1,0 +1,34 @@
+(* Pre-fix replica of lib/store/crc32.ml as PR 8 shipped it: the
+   CRC table was a toplevel lazy forced on the digest path. A spawned
+   worker journaling concurrently with another domain's first digest
+   races Lazy.force and raises CamlinternalLazy.Undefined. The real
+   module is eager now; this replica pins that the domain-safety pass
+   detects the original shape. *)
+
+let table : int array Lazy.t =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           if !c land 1 = 1 then c := 0xEDB88320 lxor (!c lsr 1)
+           else c := !c lsr 1
+         done;
+         !c))
+
+let digest_sub (s : string) ~(pos : int) ~(len : int) : int =
+  let t = Lazy.force table in
+  let c = ref 0xFFFFFFFF in
+  for i = pos to pos + len - 1 do
+    c := t.((!c lxor Char.code s.[i]) land 0xff) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+let digest (s : string) : int = digest_sub s ~pos:0 ~len:(String.length s)
+
+let journal_worker (records : string list) : int =
+  List.fold_left (fun acc r -> acc lxor digest r) 0 records
+
+let spawn_workers (batches : string list list) : int list =
+  batches
+  |> List.map (fun b -> Domain.spawn (fun () -> journal_worker b))
+  |> List.map Domain.join

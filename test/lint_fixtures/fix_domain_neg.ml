@@ -1,0 +1,32 @@
+(* Domain-safe patterns the pass must accept silently: Atomic state,
+   Domain.DLS-keyed tallies, Mutex.protect-guarded tables, lazies
+   forced on the spawning domain before every spawn (the
+   force_precomp pattern), and init-only toplevel arrays that are
+   never written anywhere in the program. *)
+
+let hits : int Atomic.t = Atomic.make 0
+
+let tally : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+
+let cache : (int, int) Hashtbl.t = Hashtbl.create 8
+
+let mu = Mutex.create ()
+
+let squares : int array Lazy.t = lazy (Array.init 4 (fun i -> i * i))
+
+(* Written nowhere in the program: init-only, safe to share. *)
+let limbs : int array = Array.make 4 0
+
+let force_tables () = ignore (Lazy.force squares)
+
+let worker () =
+  Atomic.incr hits;
+  incr (Domain.DLS.get tally);
+  Mutex.protect mu (fun () -> Hashtbl.replace cache 1 2);
+  ignore (Lazy.force squares);
+  limbs.(0)
+
+let main () =
+  force_tables ();
+  let d = Domain.spawn (fun () -> ignore (worker ())) in
+  Domain.join d

@@ -1,0 +1,16 @@
+(* Seeded domain-safety violations: a toplevel ref mutated from code
+   reachable off a Domain.spawn closure with no synchronization, and a
+   toplevel lazy forced in the worker with no pre-spawn force. The
+   golden test pins the exact (rule, line, symbol) triples. *)
+
+let counter : int ref = ref 0
+
+let table : int array Lazy.t = lazy (Array.init 4 (fun i -> i * i))
+
+let worker () =
+  incr counter;
+  ignore (Lazy.force table)
+
+let main () =
+  let d = Domain.spawn (fun () -> worker ()) in
+  Domain.join d

@@ -1,0 +1,11 @@
+(* Cross-module taint source: derives and returns raw secret key
+   material. Per-file, callers of this module see only an opaque
+   string function; the whole-program pass computes a
+   secret-returning summary for both functions (the second through
+   the first, across the call graph). *)
+
+let mint_key (seed : string) : string =
+  let sk = "material-" ^ seed in
+  sk
+
+let session_key (label : string) : string = mint_key label

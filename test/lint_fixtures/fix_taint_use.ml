@@ -1,0 +1,13 @@
+(* Cross-module taint sink: branches on and indexes by key material
+   returned from Fix_taint_lib. Nothing in this file is
+   convention-secret, so the per-file pass is silent; only the
+   whole-program pass — carrying Fix_taint_lib's secret-returning
+   summaries through the call graph — sees the leak. *)
+
+let lookup (keys : string array) (label : string) : string =
+  let k = Fix_taint_lib.session_key label in
+  if k = "hot" then keys.(0) else k
+
+let select (table : int array) (label : string) : int =
+  let k = Fix_taint_lib.mint_key label in
+  table.(String.length k land 3)

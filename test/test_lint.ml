@@ -208,6 +208,107 @@ let test_json_escaping () =
   | Ok () -> ()
   | Error e -> Alcotest.failf "escaping broke JSON: %s" e
 
+(* -- whole-program mode: domain safety + cross-module taint -------- *)
+
+let run_prog ?(allow = "") ?(strict = false) names =
+  let cfg =
+    { cfg with Lint_engine.c_allow = parse_allow allow; c_strict_allow = strict }
+  in
+  Lint_engine.run_program ~cfg (List.map fixture_path names)
+
+let sorted_triples (r : Lint_engine.report) =
+  List.sort compare (List.map triple r.Lint_engine.r_findings)
+
+let check_prog name expected names =
+  Alcotest.(check (list (triple string int string)))
+    name (List.sort compare expected)
+    (sorted_triples (run_prog names))
+
+let test_domain_pos () =
+  check_prog "fix_domain_pos.ml"
+    [ ("domain-unsafe", 11, "counter"); ("domain-lazy", 12, "table") ]
+    [ "fix_domain_pos.ml" ]
+
+let test_domain_neg () = check_prog "fix_domain_neg.ml" [] [ "fix_domain_neg.ml" ]
+
+let test_domain_crc32_replica () =
+  (* The exact shape lib/store/crc32.ml had before this PR made the
+     table eager: one domain-lazy finding on the digest path's force. *)
+  check_prog "fix_crc32_pos.ml"
+    [ ("domain-lazy", 19, "table") ]
+    [ "fix_crc32_pos.ml" ]
+
+let test_taint_cross_module () =
+  check_prog "cross-module leak"
+    [ ("secret-branch", 9, "k"); ("secret-eq", 9, "k"); ("secret-index", 13, "k") ]
+    [ "fix_taint_lib.ml"; "fix_taint_use.ml" ];
+  (* the source module itself is clean — returning a secret is fine,
+     leaking it through control flow at the use site is not *)
+  check_prog "source module silent" [] [ "fix_taint_lib.ml" ]
+
+(* The per-file engine cannot see the leak: the use site mentions no
+   convention-secret name. This is the interprocedural delta. *)
+let test_taint_needs_whole_program () =
+  Alcotest.(check (list (triple string int string)))
+    "per-file pass is blind to the cross-module leak" []
+    (List.map triple
+       (Lint_engine.lint_source ~cfg ~file:(fixture_path "fix_taint_use.ml")
+          (Lint_engine.read_file (fixture_path "fix_taint_use.ml"))))
+
+let test_domain_allowlist () =
+  let allow =
+    Printf.sprintf
+      {|(allow domain-unsafe %s counter "fixture: benign by test design")
+        (allow domain-lazy %s table "fixture: forced in a harness the analyzer cannot see")|}
+      (fixture_path "fix_domain_pos.ml")
+      (fixture_path "fix_domain_pos.ml")
+  in
+  let r = run_prog ~allow ~strict:true [ "fix_domain_pos.ml" ] in
+  Alcotest.(check int) "all suppressed" 0 (List.length r.Lint_engine.r_findings);
+  Alcotest.(check int) "suppressed count" 2 r.r_suppressed
+
+let test_graph_stats () =
+  let r = run_prog [ "fix_domain_pos.ml" ] in
+  match r.Lint_engine.r_graph with
+  | None -> Alcotest.fail "whole-program report carries no graph stats"
+  | Some g ->
+      Alcotest.(check bool) "defs counted" true (g.Lint_engine.gs_defs >= 3);
+      Alcotest.(check int) "one spawn root" 1 g.gs_roots;
+      Alcotest.(check bool) "worker reachable" true (g.gs_reachable >= 1);
+      Alcotest.(check bool) "edges exist" true (g.gs_edges > 0)
+
+let test_json_v2_graph_and_pass () =
+  let r = run_prog [ "fix_domain_pos.ml" ] in
+  let js = Lint_engine.to_json r in
+  (match Lint_engine.validate_json js with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "v2 JSON fails self-validation: %s" e);
+  let mem needle =
+    let rec go i =
+      i + String.length needle <= String.length js
+      && (String.sub js i (String.length needle) = needle || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "graph object present" true (mem "\"graph\"");
+  Alcotest.(check bool) "pass field present" true
+    (mem "\"pass\":\"domain-safety\"")
+
+let test_pass_filter () =
+  Alcotest.(check bool) "rule maps to pass" true
+    (Lint_engine.pass_of_rule "domain-unsafe" = "domain-safety"
+    && Lint_engine.pass_of_rule "secret-eq" = "taint"
+    && Lint_engine.pass_of_rule "forbid-exn" = "core");
+  let r = run_prog [ "fix_domain_pos.ml" ] in
+  let only p =
+    List.filter (Lint_engine.finding_in_pass p) r.Lint_engine.r_findings
+  in
+  Alcotest.(check int) "--only domain-safety keeps both" 2
+    (List.length (only "domain-safety"));
+  Alcotest.(check int) "--only taint keeps none" 0 (List.length (only "taint"));
+  Alcotest.(check int) "--only by exact rule id" 1
+    (List.length (only "domain-lazy"))
+
 let tests =
   [
     Alcotest.test_case "secret positives" `Quick test_secret_pos;
@@ -227,4 +328,15 @@ let tests =
     Alcotest.test_case "allowlist rejects garbage" `Quick test_allowlist_rejects_garbage;
     Alcotest.test_case "json self-validates" `Quick test_json_valid_and_versioned;
     Alcotest.test_case "json escaping" `Quick test_json_escaping;
+    Alcotest.test_case "domain-safety positives" `Quick test_domain_pos;
+    Alcotest.test_case "domain-safety negatives" `Quick test_domain_neg;
+    Alcotest.test_case "domain-safety crc32 replica" `Quick
+      test_domain_crc32_replica;
+    Alcotest.test_case "taint crosses modules" `Quick test_taint_cross_module;
+    Alcotest.test_case "taint needs whole program" `Quick
+      test_taint_needs_whole_program;
+    Alcotest.test_case "domain findings allowlist" `Quick test_domain_allowlist;
+    Alcotest.test_case "call-graph stats" `Quick test_graph_stats;
+    Alcotest.test_case "json v2 graph + pass" `Quick test_json_v2_graph_and_pass;
+    Alcotest.test_case "pass filter" `Quick test_pass_filter;
   ]

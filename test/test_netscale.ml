@@ -408,6 +408,18 @@ let test_shard_single_domain_matches_unsharded_shape () =
   Alcotest.(check int) "full budget" shard_cfg.Workload.n_payments
     m.Shard.agg_offered
 
+let test_shard_forces_precomp () =
+  (* Shard.run must materialize the group's process-wide lazy tables
+     at entry, before the first Domain.spawn can happen — two workers
+     racing the first Lazy.force would raise
+     CamlinternalLazy.Undefined. Run the sequential path, which spawns
+     no domain at all: the tables must still come out forced, proving
+     the forcing sits at function entry rather than inside the
+     parallel branch. *)
+  let _ = run_plan ~parallel:false ~domains:1 ~shape:"grid" ~nodes:16 shard_cfg in
+  Alcotest.(check bool) "comb/wNAF tables forced before any spawn" true
+    (Monet_ec.Point.precomp_forced ())
+
 let test_shard_rejects_degenerate () =
   (match Shard.plan ~seed:"x" ~domains:32 ~shape:"grid" ~nodes:16 shard_cfg with
   | Ok _ -> Alcotest.fail "accepted fewer than two nodes per shard"
@@ -443,6 +455,8 @@ let tests =
     Alcotest.test_case "shard parallel = sequential (byte-exact)" `Quick
       test_shard_parallel_deterministic;
     Alcotest.test_case "shard merge accounting" `Quick test_shard_merge_accounts;
+    Alcotest.test_case "shard forces precomp pre-spawn" `Quick
+      test_shard_forces_precomp;
     Alcotest.test_case "shard domains=1 baseline" `Quick
       test_shard_single_domain_matches_unsharded_shape;
     Alcotest.test_case "shard rejects degenerate" `Quick

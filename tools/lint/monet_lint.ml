@@ -7,17 +7,24 @@
     findings, 2 on usage or I/O errors. *)
 
 let usage =
-  "monet_lint [--json] [--allow FILE] [--strict-allow] [--secret-scope-all] PATH..."
+  "monet_lint [--json] [--only PASS] [--allow FILE] [--strict-allow] \
+   [--secret-scope-all] [--per-file] PATH..."
 
 let () =
   let json = ref false in
   let allow_file = ref "" in
   let strict_allow = ref false in
   let secret_all = ref false in
+  let only = ref "" in
+  let per_file = ref false in
   let paths = ref [] in
   let spec =
     [
-      ("--json", Arg.Set json, " emit findings as monet-lint/1 JSON on stdout");
+      ("--json", Arg.Set json, " emit findings as monet-lint/2 JSON on stdout");
+      ( "--only",
+        Arg.Set_string only,
+        "PASS report only this pass (core|taint|domain-safety|doc|allowlist) \
+         or a single rule id" );
       ("--allow", Arg.Set_string allow_file, "FILE allowlist (allow.sexp) to apply");
       ( "--strict-allow",
         Arg.Set strict_allow,
@@ -25,6 +32,9 @@ let () =
       ( "--secret-scope-all",
         Arg.Set secret_all,
         " apply the secret/CT rules to every file (fixture runs)" );
+      ( "--per-file",
+        Arg.Set per_file,
+        " per-file analysis only: skip the cross-module call graph" );
     ]
   in
   Arg.parse spec (fun p -> paths := p :: !paths) usage;
@@ -54,11 +64,25 @@ let () =
     }
   in
   let report =
-    match Lint_engine.run ~cfg (List.rev !paths) with
+    let analyze =
+      if !per_file then Lint_engine.run else Lint_engine.run_program
+    in
+    match analyze ~cfg (List.rev !paths) with
     | r -> r
     | exception Sys_error e ->
         Printf.eprintf "monet-lint: %s\n" e;
         exit 2
+  in
+  let report =
+    if !only = "" then report
+    else
+      {
+        report with
+        Lint_engine.r_findings =
+          List.filter
+            (Lint_engine.finding_in_pass !only)
+            report.Lint_engine.r_findings;
+      }
   in
   if !json then begin
     let doc = Lint_engine.to_json report in

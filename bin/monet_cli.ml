@@ -538,6 +538,127 @@ let channel_recover verbose seed reps dir =
                       1))
           | _ -> 1))
 
+(* --- mc: exhaustive small-scope model checking --- *)
+
+module Mc_model = Monet_mc.Model
+module Mc_explore = Monet_mc.Explore
+module Mc_replay = Monet_mc.Replay
+module Mc_report = Monet_mc.Report
+
+(* Exit status: 0 clean, 1 invariant violations found, 2 usage. With
+   --json the monet-mc/1 document is self-validated before printing,
+   like `lint --json` and `trace -o`. *)
+let mc_run json depth faults mutation retx max_states =
+  match Mc_model.alphabet_of_string faults with
+  | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      2
+  | Ok alpha -> (
+      match Mc_model.mutation_of_string mutation with
+      | None ->
+          Printf.eprintf "error: unknown mutation %S (expected one of %s)\n"
+            mutation
+            (String.concat ", "
+               (List.map Mc_model.mutation_label Mc_model.mutations));
+          2
+      | Some m -> (
+          let cfg =
+            { Mc_model.default_config with
+              Mc_model.c_alpha = alpha; c_mutation = m; c_retx = retx }
+          in
+          let r = Mc_explore.run ~max_states ~depth cfg in
+          let clean = r.Mc_explore.r_stats.Mc_explore.st_violating = 0 in
+          if json then begin
+            let doc = Mc_report.to_json cfg r in
+            match Mc_report.validate_json doc with
+            | Error e ->
+                Printf.eprintf "internal error: emitted invalid JSON: %s\n" e;
+                2
+            | Ok () ->
+                print_endline doc;
+                if clean then 0 else 1
+          end
+          else begin
+            print_string (Mc_report.summary cfg r);
+            if clean then 0 else 1
+          end))
+
+(* Find the seeded bug's minimal counterexample, then replay it
+   through the concrete Party/Recovery stack with the tracer live and
+   render the span tree. Exit 0 when the counterexample behaves as
+   documented (harness-level bugs reproduce concretely, model-only
+   bugs do not), 1 otherwise. *)
+let mc_trace bug depth =
+  match Mc_model.mutation_of_string bug with
+  | None ->
+      Printf.eprintf "error: unknown mutation %S (expected one of %s)\n" bug
+        (String.concat ", "
+           (List.map Mc_model.mutation_label Mc_model.mutations));
+      2
+  | Some m -> (
+      let cfg, d0 = Mc_model.mutation_probe m in
+      let depth = match depth with Some d -> d | None -> d0 in
+      let r = Mc_explore.run ~stop_on_violation:true ~depth cfg in
+      match r.Mc_explore.r_violations with
+      | [] ->
+          Printf.printf "no counterexample within depth %d (mutation %s)\n"
+            depth (Mc_model.mutation_label m);
+          if m = Mc_model.M_none then 0 else 1
+      | v :: _ ->
+          Printf.printf "[%s] %s\nminimal counterexample (depth %d):\n  %s\n\n"
+            v.Mc_explore.v_inv v.Mc_explore.v_msg v.Mc_explore.v_depth
+            (String.concat " ; "
+               (List.map Mc_model.action_label v.Mc_explore.v_trace));
+          Monet_obs.Trace.enable ~capacity:4096 ();
+          let o = Mc_replay.run cfg v.Mc_explore.v_trace in
+          List.iter
+            (fun sp -> print_string (Monet_obs.Trace.render sp))
+            (Monet_obs.Trace.roots ());
+          List.iter
+            (fun e -> Printf.printf "concrete step failed: %s\n" e)
+            o.Mc_replay.ro_errors;
+          let show tag = function
+            | [] -> Printf.printf "%s: no violations\n" tag
+            | vs ->
+                List.iter
+                  (fun (inv, msg) -> Printf.printf "%s: [%s] %s\n" tag inv msg)
+                  vs
+          in
+          show "abstract end state" o.Mc_replay.ro_abstract;
+          show "concrete end state" o.Mc_replay.ro_violations;
+          let harness_level =
+            match m with
+            | Mc_model.M_rollback_one_sided | Mc_model.M_double_settle -> true
+            | _ -> false
+          in
+          let concrete_has inv =
+            List.exists (fun (i, _) -> i = inv) o.Mc_replay.ro_violations
+          in
+          if harness_level then
+            if concrete_has v.Mc_explore.v_inv then begin
+              Printf.printf
+                "verdict: harness-level bug — reproduced on the concrete \
+                 stack\n";
+              0
+            end
+            else begin
+              Printf.printf
+                "verdict: FAILED to reproduce %s on the concrete stack\n"
+                v.Mc_explore.v_inv;
+              1
+            end
+          else if o.Mc_replay.ro_violations = [] then begin
+            Printf.printf
+              "verdict: model-only bug — the concrete stack does not have \
+               it\n";
+            0
+          end
+          else begin
+            Printf.printf
+              "verdict: UNEXPECTED concrete violation for a model-only bug\n";
+            1
+          end)
+
 (* --- cmdliner plumbing --- *)
 
 let demo_cmd =
@@ -758,6 +879,60 @@ let lint_cmd =
        ~doc:"Run the monet-lint static-analysis passes (incl. domain-safety + taint)")
     Term.(const lint $ json $ only $ allow $ strict $ per_file $ paths)
 
+let mc_cmd =
+  let mutation_doc =
+    Printf.sprintf "Seeded bug: one of %s."
+      (String.concat ", " (List.map Mc_model.mutation_label Mc_model.mutations))
+  in
+  let run_cmd =
+    let json =
+      Arg.(value & flag
+           & info [ "json" ] ~doc:"Emit the result as monet-mc/1 JSON on stdout.")
+    in
+    let depth =
+      Arg.(value & opt int 10
+           & info [ "depth" ] ~docv:"K" ~doc:"Explore all interleavings of up to $(docv) actions.")
+    in
+    let faults =
+      Arg.(value & opt string "drop,dup,crash"
+           & info [ "faults" ] ~docv:"LIST"
+               ~doc:"Comma-separated fault alphabet: drop, dup, crash, stop, cheat or none.")
+    in
+    let mutation =
+      Arg.(value & opt string "none" & info [ "mutation" ] ~docv:"BUG" ~doc:mutation_doc)
+    in
+    let retx =
+      Arg.(value & opt int 1
+           & info [ "retx" ] ~docv:"N" ~doc:"Per-session retransmission budget before the timeout.")
+    in
+    let max_states =
+      Arg.(value & opt int 2_000_000
+           & info [ "max-states" ] ~docv:"N" ~doc:"State budget; exceeding it truncates the search.")
+    in
+    Cmd.v
+      (Cmd.info "run"
+         ~doc:"Exhaustively explore the channel protocol under faults and check every invariant")
+      Term.(const mc_run $ json $ depth $ faults $ mutation $ retx $ max_states)
+  in
+  let trace_cmd =
+    let bug =
+      Arg.(value & opt string "rollback-one-sided"
+           & info [ "bug" ] ~docv:"BUG" ~doc:mutation_doc)
+    in
+    let depth =
+      Arg.(value & opt (some int) None
+           & info [ "depth" ] ~docv:"K"
+               ~doc:"Override the bug's default search depth.")
+    in
+    Cmd.v
+      (Cmd.info "trace"
+         ~doc:"Find a seeded bug's minimal counterexample and replay it on the concrete stack")
+      Term.(const mc_trace $ bug $ depth)
+  in
+  Cmd.group
+    (Cmd.info "mc" ~doc:"Exhaustive small-scope model checker (DESIGN.md §3.13)")
+    [ run_cmd; trace_cmd ]
+
 let () =
   let info = Cmd.info "monet-cli" ~doc:"MoNet payment channel network playground" in
-  exit (Cmd.eval' (Cmd.group info [ demo_cmd; pay_cmd; dispute_cmd; topology_cmd; vcof_cmd; trace_cmd; net_cmd; channel_cmd; lint_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ demo_cmd; pay_cmd; dispute_cmd; topology_cmd; vcof_cmd; trace_cmd; net_cmd; channel_cmd; lint_cmd; mc_cmd ]))

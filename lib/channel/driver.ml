@@ -398,10 +398,20 @@ let run_est ~(mode : mode) (env : Party.env) (rep : Report.t) (ea : Party.est)
 
 (** One complete state refresh (both parties enter the session via
     [starter], then messages flow to quiescence). Charges the
-    assembled adaptor pre-signature. *)
+    assembled adaptor pre-signature.
+
+    Quiescence (both parties idle) is not the same as success: when
+    both endpoints crash-restart before the precommit, both journals
+    abort the session and both parties wake up idle at the {e old}
+    state — the exhaustive model checker (lib/mc) found this path
+    being reported as a successful refresh. A session that quiesced
+    without advancing the committed state is therefore classified as
+    timed out, so callers never see [Ok] for an update that was never
+    applied. *)
 let refresh (c : channel) (rep : Report.t)
     ~(starter : Party.party -> (Msg.t list, Errors.t) result) :
     (unit, Errors.t) result =
+  let st0 = c.a.Party.state in
   with_rollback c (fun () ->
       match starter c.a with
       | Error e -> Error e
@@ -411,6 +421,10 @@ let refresh (c : channel) (rep : Report.t)
           | Ok init_b -> (
               match run c rep ~init_a ~init_b with
               | Error e -> Error e
+              | Ok () when c.faults <> None && c.a.Party.state = st0 ->
+                  Error
+                    (Errors.Timeout
+                       "session aborted on both endpoints without committing")
               | Ok () ->
                   rep.Report.signatures <-
                     rep.Report.signatures + 1 (* the adaptor signature itself *);

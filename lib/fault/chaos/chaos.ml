@@ -67,6 +67,69 @@ let chaos_cfg =
   { Ch.default_config with
     Ch.vcof_reps = Some 2; ring_size = 3; n_escrowers = 3; escrow_threshold = 2 }
 
+(* Shared end-of-run bookkeeping for [run] and [crash_run] (one copy,
+   so the two soak paths can never drift): collect the settlements the
+   payment recorded, give the (possibly restored) tower one last pass
+   absorbing anything it catches, and check every invariant against
+   the graph. *)
+let finalize_checks (t : Graph.t) ~(edge_ids : int array)
+    ~(channel_of : int -> Ch.channel) ~(tower : Watchtower.t)
+    ~(fates : Payment.hop_fate array) ~(wealth_before : (int * int) list)
+    ~(path : Router.hop list) ~(amount : int) ~(delivered : bool) :
+    string list =
+  let settled = ref [] in
+  Array.iteri
+    (fun i fate ->
+      match fate with
+      | Payment.Hop_disputed p | Payment.Hop_punished p ->
+          settled := (edge_ids.(i), p) :: !settled
+      | Payment.Hop_pending | Payment.Hop_unlocked | Payment.Hop_cancelled ->
+          ())
+    fates;
+  let final = Watchtower.tick tower in
+  List.iter
+    (fun ((ch : Ch.channel), p) ->
+      Array.iteri
+        (fun i _ ->
+          if (channel_of i).Ch.id = ch.Ch.id then
+            settled := (edge_ids.(i), p) :: !settled)
+        edge_ids)
+    final.Watchtower.punished;
+  let violations = ref (Invariant.check t ~settled:!settled) in
+  let add v = violations := !violations @ [ v ] in
+  (* When everything stayed off-chain, conservation must hold down to
+     the fee level. A hop punished by the *final* tower pass above
+     settled on-chain too, even though the fates array predates that
+     pass — the per-run copies of this logic used to decide
+     "off-chain" from the fates alone and would have demanded
+     fee-level conservation after such a late punishment. *)
+  let all_off_chain =
+    final.Watchtower.punished = []
+    && Array.for_all
+         (function
+           | Payment.Hop_pending | Payment.Hop_unlocked
+           | Payment.Hop_cancelled ->
+               true
+           | Payment.Hop_disputed _ | Payment.Hop_punished _ -> false)
+         fates
+  in
+  if all_off_chain then
+    List.iter add
+      (Invariant.check_payment_delta t ~wealth_before ~path ~amount ~delivered);
+  (* Tower bookkeeping reconciles with the fates. *)
+  let n_open = List.length (List.filter Graph.is_open (Graph.edge_list t)) in
+  let n_punished =
+    Array.fold_left
+      (fun acc -> function Payment.Hop_punished _ -> acc + 1 | _ -> acc)
+      0 fates
+    + List.length final.Watchtower.punished
+  in
+  List.iter add
+    (Monet_fault.Invariant.check_tower
+       ~watched:(Watchtower.watched_count tower) ~open_channels:n_open
+       ~counted:tower.Watchtower.punishments ~observed:n_punished);
+  !violations
+
 (** Run one seeded schedule. [Error] means the harness itself could not
     set the network up or the payment hit a non-timeout protocol error —
     both are harness bugs, not tolerated faults. *)
@@ -188,65 +251,12 @@ let run ?(cfg = chaos_cfg) ?(n_hops = 3) ?(amount = 25) ~(seed : int)
           with
           | Error e -> Error ("payment: " ^ Payment.error_to_string e)
           | Ok r ->
-              (* Collect the run's on-chain settlements, give the tower
-                 one last pass (absorbing anything it catches), then
-                 check the graph. *)
-              let settled = ref [] in
-              Array.iteri
-                (fun i fate ->
-                  match fate with
-                  | Payment.Hop_disputed p | Payment.Hop_punished p ->
-                      settled := (edge_ids.(i), p) :: !settled
-                  | Payment.Hop_pending | Payment.Hop_unlocked
-                  | Payment.Hop_cancelled -> ())
-                r.Payment.r_fates;
-              let final = Watchtower.tick tower in
-              List.iter
-                (fun ((ch : Ch.channel), p) ->
-                  Array.iteri
-                    (fun i _ ->
-                      if (channel_of i).Ch.id = ch.Ch.id then
-                        settled := (edge_ids.(i), p) :: !settled)
-                    edge_ids)
-                final.Watchtower.punished;
-              let violations = ref (Invariant.check t ~settled:!settled) in
-              let add v = violations := !violations @ [ v ] in
-              (* When everything stayed off-chain, conservation must
-                 hold down to the fee level: each party's wealth moved
-                 by exactly its role's share of the payment. *)
-              let all_off_chain =
-                Array.for_all
-                  (function
-                    | Payment.Hop_pending | Payment.Hop_unlocked
-                    | Payment.Hop_cancelled ->
-                        true
-                    | Payment.Hop_disputed _ | Payment.Hop_punished _ -> false)
-                  r.Payment.r_fates
+              let violations =
+                ref
+                  (finalize_checks t ~edge_ids ~channel_of ~tower
+                     ~fates:r.Payment.r_fates ~wealth_before ~path ~amount
+                     ~delivered:r.Payment.r_delivered)
               in
-              if all_off_chain then
-                List.iter add
-                  (Invariant.check_payment_delta t ~wealth_before ~path ~amount
-                     ~delivered:r.Payment.r_delivered);
-              (* Tower bookkeeping reconciles with the fates. *)
-              let n_open =
-                List.length (List.filter Graph.is_open (Graph.edge_list t))
-              in
-              if Watchtower.watched_count tower > n_open then
-                add "watchtower still watches a closed channel";
-              let n_punished =
-                Array.fold_left
-                  (fun acc -> function
-                    | Payment.Hop_punished _ -> acc + 1
-                    | _ -> acc)
-                  0 r.Payment.r_fates
-                + List.length final.Watchtower.punished
-              in
-              if tower.Watchtower.punishments <> n_punished then
-                add
-                  (Printf.sprintf
-                     "tower counted %d punishments, fates show %d (double \
-                      punishment?)"
-                     tower.Watchtower.punishments n_punished);
               let retransmits = ref 0 in
               Array.iteri
                 (fun i _ ->
@@ -462,15 +472,6 @@ let crash_run ?(cfg = chaos_cfg) ?(n_hops = 3) ?(amount = 25) ~(seed : int)
           with
           | Error e -> Error ("payment: " ^ Payment.error_to_string e)
           | Ok r ->
-              let settled = ref [] in
-              Array.iteri
-                (fun i fate ->
-                  match fate with
-                  | Payment.Hop_disputed p | Payment.Hop_punished p ->
-                      settled := (edge_ids.(i), p) :: !settled
-                  | Payment.Hop_pending | Payment.Hop_unlocked
-                  | Payment.Hop_cancelled -> ())
-                r.Payment.r_fates;
               let violations = ref [] in
               let add v = violations := !violations @ [ v ] in
               (* Tower restart: its final pass runs on a tower rebuilt
@@ -502,49 +503,11 @@ let crash_run ?(cfg = chaos_cfg) ?(n_hops = 3) ?(amount = 25) ~(seed : int)
                            (Watchtower.watched_count t2));
                     t2
               in
-              let final = Watchtower.tick tower in
-              List.iter
-                (fun ((c : Ch.channel), p) ->
-                  Array.iteri
-                    (fun i _ ->
-                      if (channel_of i).Ch.id = c.Ch.id then
-                        settled := (edge_ids.(i), p) :: !settled)
-                    edge_ids)
-                final.Watchtower.punished;
-              List.iter add (Invariant.check t ~settled:!settled);
+              List.iter add
+                (finalize_checks t ~edge_ids ~channel_of ~tower
+                   ~fates:r.Payment.r_fates ~wealth_before ~path ~amount
+                   ~delivered:r.Payment.r_delivered);
               List.iter add (List.rev !recover_errors);
-              let all_off_chain =
-                Array.for_all
-                  (function
-                    | Payment.Hop_pending | Payment.Hop_unlocked
-                    | Payment.Hop_cancelled ->
-                        true
-                    | Payment.Hop_disputed _ | Payment.Hop_punished _ -> false)
-                  r.Payment.r_fates
-              in
-              if all_off_chain then
-                List.iter add
-                  (Invariant.check_payment_delta t ~wealth_before ~path ~amount
-                     ~delivered:r.Payment.r_delivered);
-              let n_open =
-                List.length (List.filter Graph.is_open (Graph.edge_list t))
-              in
-              if Watchtower.watched_count tower > n_open then
-                add "watchtower still watches a closed channel";
-              let n_punished =
-                Array.fold_left
-                  (fun acc -> function
-                    | Payment.Hop_punished _ -> acc + 1
-                    | _ -> acc)
-                  0 r.Payment.r_fates
-                + List.length final.Watchtower.punished
-              in
-              if tower.Watchtower.punishments <> n_punished then
-                add
-                  (Printf.sprintf
-                     "tower counted %d punishments, fates show %d (double \
-                      punishment?)"
-                     tower.Watchtower.punishments n_punished);
               Ok
                 {
                   c_label = crash_label mode;

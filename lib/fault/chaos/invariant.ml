@@ -2,9 +2,11 @@
 
     After any fault schedule — however hostile — the network must end
     in a state where no money was created or destroyed and every
-    in-flight lock reached a terminal fate. [check] walks every edge
-    of the graph and returns the list of violations (empty = the run
-    conserved):
+    in-flight lock reached a terminal fate. The properties themselves
+    live in {!Monet_fault.Invariant}, shared with the exhaustive model
+    checker (lib/mc) so the randomized and the exhaustive tiers can
+    never check different things; this module only {e projects} the
+    concrete graph into the shared view records:
 
     - {b View consistency}: both parties of a channel agree on the
       state number, the balances (mirrored), the closed flag and
@@ -33,6 +35,21 @@ module Ch = Monet_channel.Channel
 module Graph = Monet_net.Graph
 module Router = Monet_net.Router
 module Tp = Monet_sig.Two_party
+module Shared = Monet_fault.Invariant
+
+(* Project one real channel into the shared view record. *)
+let view_of_channel ~(tag : string) ~(funding_spent : bool)
+    ~(settlements : Ch.payout list) (ch : Ch.channel) :
+    Shared.channel_view =
+  let pv (p : Ch.party) : Shared.party_view =
+    { Shared.pv_state = p.Ch.state; pv_my = p.Ch.my_balance;
+      pv_their = p.Ch.their_balance; pv_lock = p.Ch.lock <> None;
+      pv_closed = p.Ch.closed }
+  in
+  { Shared.cv_tag = tag; cv_capacity = ch.Ch.a.Ch.capacity;
+    cv_a = pv ch.Ch.a; cv_b = pv ch.Ch.b; cv_funding_spent = funding_spent;
+    cv_settlements =
+      List.map (fun (p : Ch.payout) -> (p.Ch.pay_a, p.Ch.pay_b)) settlements }
 
 (** Check the graph against the settlements the run recorded
     ([(edge id, payout)] from disputes and watchtower punishments).
@@ -62,44 +79,11 @@ let check (t : Graph.t) ~(settled : (int * Ch.payout) list) : string list =
           if settlements <> [] then
             err "%s: on-chain settlement recorded for a simulated channel" tag
       | Graph.Real ch ->
-          let a = ch.Ch.a and b = ch.Ch.b in
-          let cap = a.Ch.capacity in
-          (* Both parties must hold the same view of the channel. *)
-          if a.Ch.state <> b.Ch.state then
-            err "%s: state views diverge (%d vs %d)" tag a.Ch.state b.Ch.state;
-          if a.Ch.closed <> b.Ch.closed then err "%s: closed views diverge" tag;
-          if
-            a.Ch.my_balance <> b.Ch.their_balance
-            || a.Ch.their_balance <> b.Ch.my_balance
-          then err "%s: balance views diverge" tag;
-          if (a.Ch.lock = None) <> (b.Ch.lock = None) then
-            err "%s: lock views diverge" tag;
-          if a.Ch.closed then begin
-            (match settlements with
-            | [ p ] ->
-                if p.Ch.pay_a + p.Ch.pay_b <> cap then
-                  err "%s: on-chain payout %d+%d does not conserve capacity %d"
-                    tag p.Ch.pay_a p.Ch.pay_b cap
-            | [] -> err "%s: closed with no recorded settlement" tag
-            | ps ->
-                err "%s: settled %d times (double punishment?)" tag
-                  (List.length ps));
-            if not (funding_spent ch) then
-              err "%s: closed but the funding key image is unspent" tag
-          end
-          else begin
-            if a.Ch.my_balance < 0 || b.Ch.my_balance < 0 then
-              err "%s: negative balance" tag;
-            if a.Ch.my_balance + b.Ch.my_balance <> cap then
-              err "%s: off-chain balances %d+%d do not conserve capacity %d" tag
-                a.Ch.my_balance b.Ch.my_balance cap;
-            if a.Ch.lock <> None then
-              err "%s: lock left pending after recovery" tag;
-            if funding_spent ch then
-              err "%s: open but the funding key image is spent" tag;
-            if settlements <> [] then
-              err "%s: settlement recorded for an open channel" tag
-          end);
+          List.iter
+            (fun v -> errs := v :: !errs)
+            (Shared.check_channel
+               (view_of_channel ~tag ~funding_spent:(funding_spent ch)
+                  ~settlements ch)));
   List.rev !errs
 
 (** A node's off-chain wealth: the sum of its balances across its open
@@ -120,8 +104,6 @@ let wealth (t : Graph.t) (v : int) : int =
 let check_payment_delta (t : Graph.t) ~(wealth_before : (int * int) list)
     ~(path : Router.hop list) ~(amount : int) ~(delivered : bool) : string list
     =
-  let errs = ref [] in
-  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
   let expected = Hashtbl.create 8 in
   let add v d =
     let cur = try Hashtbl.find expected v with Not_found -> 0 in
@@ -142,12 +124,9 @@ let check_payment_delta (t : Graph.t) ~(wealth_before : (int * int) list)
       add hops.(i).Router.h_payer (amts.(i - 1) - amts.(i))
     done
   end;
-  List.iter
-    (fun (v, before) ->
-      let delta = try Hashtbl.find expected v with Not_found -> 0 in
-      let got = wealth t v in
-      if got <> before + delta then
-        err "node %d: wealth %d after the payment, expected %d (fees not conserved)"
-          v got (before + delta))
-    wealth_before;
-  List.rev !errs
+  Shared.check_wealth
+    (List.map
+       (fun (v, before) ->
+         let delta = try Hashtbl.find expected v with Not_found -> 0 in
+         (Printf.sprintf "node %d" v, before + delta, wealth t v))
+       wealth_before)

@@ -1,0 +1,148 @@
+(* Shared safety-property checker over abstract channel views.
+
+   Both verification tiers — the randomized chaos/crash soaks
+   (lib/fault/chaos) and the exhaustive bounded model checker
+   (lib/mc) — must check the *same* properties, or a bug could slip
+   through the gap between them. This module is that single source of
+   truth: it knows nothing about the concrete [Monet_channel.Channel]
+   records or the abstract model-checker states; callers project
+   whatever they hold into the small view records below and every
+   property is stated once, here, over those views.
+
+   The views carry exactly the fields the paper's §IV-B security
+   argument quantifies over: per-party state number, balance pair,
+   lock-pending flag and closed flag, plus the per-channel capacity,
+   funding-spent bit and the list of on-chain settlements the run
+   recorded. *)
+
+type party_view = {
+  pv_state : int;
+  pv_my : int;
+  pv_their : int;
+  pv_lock : bool;
+  pv_closed : bool;
+}
+
+type channel_view = {
+  cv_tag : string;
+  cv_capacity : int;
+  cv_a : party_view;
+  cv_b : party_view;
+  cv_funding_spent : bool;
+  cv_settlements : (int * int) list;
+}
+
+let mk_err errs = Printf.ksprintf (fun s -> errs := s :: !errs)
+
+(* INV-3 (view consistency): both parties of a channel agree on the
+   state number, the mirrored balances, the closed flag and whether a
+   lock is pending. Sound to check only at quiescence — mid-session
+   the views legitimately diverge until the refresh completes or the
+   driver rolls both parties back. *)
+let check_consistency (cv : channel_view) : string list =
+  let errs = ref [] in
+  let err fmt = mk_err errs fmt in
+  let a = cv.cv_a and b = cv.cv_b in
+  if a.pv_state <> b.pv_state then
+    err "%s: state views diverge (%d vs %d)" cv.cv_tag a.pv_state b.pv_state;
+  if a.pv_closed <> b.pv_closed then err "%s: closed views diverge" cv.cv_tag;
+  if a.pv_my <> b.pv_their || a.pv_their <> b.pv_my then
+    err "%s: balance views diverge" cv.cv_tag;
+  if a.pv_lock <> b.pv_lock then err "%s: lock views diverge" cv.cv_tag;
+  List.rev !errs
+
+(* INV-1/INV-2/INV-4/INV-5 (conservation and closure): open channels
+   hold non-negative balances summing to the capacity with the funding
+   output unspent and nothing settled; closed channels settled exactly
+   once, the payouts conserve the capacity, and the funding key image
+   is spent. A second settlement is a double punishment / double
+   close. These hold at *every* state: balances only move when a
+   refresh session commits, and a settlement is atomic. *)
+let check_funds (cv : channel_view) : string list =
+  let errs = ref [] in
+  let err fmt = mk_err errs fmt in
+  let a = cv.cv_a and b = cv.cv_b in
+  let cap = cv.cv_capacity in
+  if a.pv_closed || b.pv_closed then begin
+    (match cv.cv_settlements with
+    | [ (pa, pb) ] ->
+        if pa + pb <> cap then
+          err "%s: on-chain payout %d+%d does not conserve capacity %d"
+            cv.cv_tag pa pb cap
+    | [] -> err "%s: closed with no recorded settlement" cv.cv_tag
+    | ps ->
+        err "%s: settled %d times (double punishment?)" cv.cv_tag
+          (List.length ps));
+    if not cv.cv_funding_spent then
+      err "%s: closed but the funding key image is unspent" cv.cv_tag
+  end
+  else begin
+    if a.pv_my < 0 || b.pv_my < 0 then err "%s: negative balance" cv.cv_tag;
+    (* Conservation is per VIEW: each party's own (my, their) pair must
+       sum to the capacity at every state — mid-commit the two parties
+       legitimately sit at different states, so the cross-party sum
+       a.my + b.my only holds at quiescence, where it follows from
+       per-view conservation plus INV-3's balance agreement. *)
+    if a.pv_my + a.pv_their <> cap then
+      err "%s: off-chain balances %d+%d (A's view) do not conserve capacity %d"
+        cv.cv_tag a.pv_my a.pv_their cap;
+    if b.pv_my + b.pv_their <> cap then
+      err "%s: off-chain balances %d+%d (B's view) do not conserve capacity %d"
+        cv.cv_tag b.pv_my b.pv_their cap;
+    if cv.cv_funding_spent then
+      err "%s: open but the funding key image is spent" cv.cv_tag;
+    if cv.cv_settlements <> [] then
+      err "%s: settlement recorded for an open channel" cv.cv_tag
+  end;
+  List.rev !errs
+
+(* INV-6 (lock resolution): no lock is left pending once the channel
+   is quiescent and its payment reached a terminal fate — every lock
+   must have been unlocked, cancelled or escalated to a close. *)
+let check_locks_resolved (cv : channel_view) : string list =
+  if (not (cv.cv_a.pv_closed || cv.cv_b.pv_closed))
+     && (cv.cv_a.pv_lock || cv.cv_b.pv_lock)
+  then [ Printf.sprintf "%s: lock left pending after recovery" cv.cv_tag ]
+  else []
+
+let check_channel ?(quiescent = true) (cv : channel_view) : string list =
+  check_funds cv
+  @ (if quiescent then check_consistency cv @ check_locks_resolved cv else [])
+
+let check_channels ?(quiescent = true) (cvs : channel_view list) : string list
+    =
+  List.concat_map (check_channel ~quiescent) cvs
+
+(* INV-8 (fee-level conservation): for runs that stayed entirely
+   off-chain, each participant's wealth must land exactly on its
+   expected value — sender down by amount plus fees, receiver up by
+   the amount, intermediaries up by their forwarding fee, bystanders
+   unchanged. Callers compute the expectations; the property itself
+   (got = expected, for everyone) lives here. *)
+let check_wealth (entries : (string * int * int) list) : string list =
+  List.filter_map
+    (fun (tag, expected, got) ->
+      if got <> expected then
+        Some
+          (Printf.sprintf
+             "%s: wealth %d after the payment, expected %d (fees not \
+              conserved)"
+             tag got expected)
+      else None)
+    entries
+
+(* INV-7 (tower reconciliation): the watchtower's bookkeeping must
+   reconcile with the run's observable outcomes — it never watches
+   more channels than are open (punished/closed entries are pruned),
+   and its punishment counter equals the punishments the run actually
+   observed (a higher count would be a double punishment). *)
+let check_tower ~(watched : int) ~(open_channels : int) ~(counted : int)
+    ~(observed : int) : string list =
+  let errs = ref [] in
+  let err fmt = mk_err errs fmt in
+  if watched > open_channels then
+    err "watchtower still watches a closed channel";
+  if counted <> observed then
+    err "tower counted %d punishments, fates show %d (double punishment?)"
+      counted observed;
+  List.rev !errs

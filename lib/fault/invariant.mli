@@ -1,0 +1,86 @@
+(** Shared safety-property checker over abstract channel views.
+
+    The single source of truth for MoNet's conservation and resolution
+    invariants, used by {e both} the randomized chaos/crash soaks
+    ({!Monet_chaos}) and the exhaustive bounded model checker
+    ([Monet_mc]) so the two tiers can never drift apart. Callers
+    project their concrete state — live [Channel.party] records or
+    abstract model states — into the small view records below; every
+    property is stated once, here, over those views. The invariant
+    numbers (INV-1 …) refer to the catalog in DESIGN.md §3.13. *)
+
+(** One party's view of its channel: committed state number, balance
+    pair (own and counterparty, from this party's perspective),
+    whether a lock is pending, and whether this party believes the
+    channel is closed. *)
+type party_view = {
+  pv_state : int;  (** committed state number *)
+  pv_my : int;  (** own balance at the committed state *)
+  pv_their : int;  (** counterparty balance, from this party's view *)
+  pv_lock : bool;  (** a lock is pending in this party's view *)
+  pv_closed : bool;  (** this party believes the channel is closed *)
+}
+
+(** A channel as the invariants see it: both party views, the funding
+    capacity, whether the funding key image is spent on-chain, and the
+    settlements recorded for this channel (payout pairs from
+    cooperative closes, disputes and punishments). *)
+type channel_view = {
+  cv_tag : string;  (** label used in violation messages *)
+  cv_capacity : int;  (** funding capacity *)
+  cv_a : party_view;  (** Alice's view *)
+  cv_b : party_view;  (** Bob's view *)
+  cv_funding_spent : bool;  (** funding key image spent on-chain *)
+  cv_settlements : (int * int) list;  (** recorded [(pay_a, pay_b)] *)
+}
+
+(** INV-3, view consistency: both parties agree on the state number,
+    the mirrored balance pair, the closed flag and whether a lock is
+    pending. Only sound at quiescent states — mid-session the views
+    legitimately diverge until the refresh completes or the driver
+    rolls both parties back. *)
+val check_consistency : channel_view -> string list
+
+(** INV-1/2/4/5, conservation and closure: open ⇒ non-negative
+    balances summing to the capacity, funding unspent, nothing
+    settled; closed ⇒ exactly one settlement conserving the capacity
+    and the funding key image spent. Holds at {e every} state —
+    balances move only when a session commits, and settlement is
+    atomic — so exhaustive checkers run this unconditionally. *)
+val check_funds : channel_view -> string list
+
+(** INV-6, lock resolution: no lock pending on an open quiescent
+    channel — every lock must end unlocked, cancelled or escalated. *)
+val check_locks_resolved : channel_view -> string list
+
+(** Check every safety property that applies to one channel: INV-1/2
+    (balances non-negative and conserving capacity), INV-4 (closed ⇒
+    exactly one settlement whose payouts conserve capacity, funding
+    spent), INV-5 (no double settlement). With [quiescent] (default),
+    additionally INV-3 (both parties agree on state, balances, lock
+    and closed flag) and INV-6 (no lock left pending on an open
+    channel) — those two only hold between sessions, so exhaustive
+    checkers pass [~quiescent:false] for mid-session states. Returns
+    violations, oldest first; [[]] means every invariant held. *)
+val check_channel : ?quiescent:bool -> channel_view -> string list
+
+(** {!check_channel} over a list of channels, violations concatenated
+    in channel order. Per-channel capacity checks compose into global
+    conservation: Σ capacities = Σ open balances + Σ closed payouts. *)
+val check_channels : ?quiescent:bool -> channel_view list -> string list
+
+(** INV-8, fee-level conservation for fully off-chain runs: each
+    [(tag, expected, got)] wealth entry must have [got = expected].
+    Callers compute the expectations (sender down by amount plus fees,
+    receiver up by the amount, intermediaries up by their fee,
+    bystanders unchanged). Returns violations, [[]] = conserved. *)
+val check_wealth : (string * int * int) list -> string list
+
+(** INV-7, watchtower reconciliation: the tower watches at most
+    [open_channels] channels ([watched] ≤ it, since punished or closed
+    entries are pruned), and the tower's punishment [counted] equals
+    the [observed] punishments of the run — a mismatch means a missed
+    or double punishment. *)
+val check_tower :
+  watched:int -> open_channels:int -> counted:int -> observed:int ->
+  string list

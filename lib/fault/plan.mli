@@ -1,0 +1,104 @@
+(** Fault plans: a seeded description of how a channel's link and its
+    two endpoints misbehave, consulted by {!Monet_channel.Driver} on
+    every message send/delivery.
+
+    The plan's grammar is the paper's adversary model made executable:
+    per-message link faults (drop, delay, duplicate, sticky withhold)
+    and per-party modes (honest, crash-stop, byzantine-silent,
+    crash–restart). All randomness comes from a {!Monet_hash.Drbg}, so
+    a fault schedule is a pure function of its seed and the soak
+    harness can replay any failing schedule; decisions and outcomes
+    are counted so tests can assert a fault actually fired. *)
+
+(** The link's verdict on one message. *)
+type action =
+  | Deliver
+  | Drop  (** lose this message (transient; a retransmission may pass) *)
+  | Delay of float  (** deliver with this many extra simulated ms *)
+  | Duplicate  (** deliver twice (receiver-side dedup must cope) *)
+  | Withhold  (** this direction of the link dies, permanently *)
+
+(** How one endpoint behaves over the run. *)
+type party_mode =
+  | Honest
+  | Crash_after of int
+      (** crash-stop once the channel has seen this many deliveries *)
+  | Silent  (** byzantine-silent: receives and mutates state, never replies *)
+  | Restart of { r_after : int; r_down_ms : float }
+      (** crash like [Crash_after r_after], then come back after
+          [r_down_ms] simulated ms of downtime (the driver schedules
+          {!revive} and the endpoint's recovery hook) *)
+
+(** Per-message fault probabilities; [delay_ms] is the extra-latency
+    range a [Delay] samples from. *)
+type profile = {
+  p_drop : float;
+  p_delay : float;
+  delay_ms : float * float;
+  p_duplicate : float;
+  p_withhold : float;
+}
+
+(** A live fault plan: seeded link profile, the two party modes and
+    the fired-fault bookkeeping. *)
+type t
+
+(** The all-zero profile: every message delivers. *)
+val honest_profile : profile
+
+(** [make g] builds a plan drawing link decisions from [g], defaulting
+    to {!honest_profile} and [Honest] endpoints. *)
+val make :
+  ?profile:profile -> ?mode_a:party_mode -> ?mode_b:party_mode ->
+  Monet_hash.Drbg.t -> t
+
+(** A plan that never faults (the driver's fault path with this plan
+    must behave like the plain transport, modulo bookkeeping). *)
+val none : unit -> t
+
+(** Draw a flaky-link profile from the generator: each probability is
+    scaled by [severity] (0 = honest, 1 = harsh). *)
+val flaky_profile : ?severity:float -> Monet_hash.Drbg.t -> profile
+
+(** Kill both directions and both parties now, permanently (scenarios
+    that make a hop go dark at a precise protocol point). *)
+val kill : t -> unit
+
+(** Has the party (selected by [a]) stopped participating — for now
+    ([Restart] still down) or for good ([Crash_after])? *)
+val crashed : t -> a:bool -> bool
+
+(** Does the party swallow its replies (byzantine-silent, or crashed)? *)
+val mute : t -> a:bool -> bool
+
+(** When the party is down in [Restart] mode: how long it stays down.
+    [None] for alive parties and for permanent or never-crashing
+    modes. *)
+val restart_down_ms : t -> a:bool -> float option
+
+(** Bring a [Restart]-mode party back up (driver-internal; fires after
+    its downtime has elapsed). Other modes are untouched — in
+    particular a [Crash_after] crash stays permanent. *)
+val revive : t -> a:bool -> unit
+
+(** Crash one party now, with a scheduled comeback — the store's
+    partial-write failpoint uses this when a journal append tears. *)
+val crash_now : t -> a:bool -> down_ms:float -> unit
+
+(** Can the party originate (re)transmissions? *)
+val can_send : t -> a:bool -> bool
+
+(** Count one successful delivery (drives [Crash_after] triggers). *)
+val note_delivery : t -> unit
+
+(** Count one message swallowed by a dead link or party. *)
+val note_withheld : t -> unit
+
+(** The link decision for one message headed to party [to_a]. A dead
+    direction always withholds; otherwise the profile's probabilities
+    decide (at most one fault per message, drop > withhold > delay >
+    duplicate precedence). *)
+val decide : t -> to_a:bool -> action
+
+(** Total link/party faults that actually fired. *)
+val faults_fired : t -> int

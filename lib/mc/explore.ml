@@ -1,0 +1,127 @@
+(* Exhaustive bounded exploration of the abstract channel model.
+
+   Breadth-first over [Model.enabled]/[Model.apply] with the canonical
+   serialization ([Model.key]) as the dedup key, so each distinct
+   abstract state is expanded exactly once. BFS order makes the first
+   counterexample to any property a {e minimal-length} one — the
+   shortest fault schedule that breaks the invariant, which is what a
+   human wants to read and what [Replay] drives through the concrete
+   stack. *)
+
+type violation = {
+  v_inv : string;  (* catalog id, INV-1 … INV-8 *)
+  v_msg : string;
+  v_depth : int;
+  v_trace : Model.action list;  (* init → violating state, in order *)
+}
+
+type stats = {
+  st_states : int;  (* distinct states discovered (after dedup) *)
+  st_expansions : int;  (* states whose successors were generated *)
+  st_transitions : int;  (* edges traversed, duplicates included *)
+  st_depth_reached : int;  (* deepest layer a discovered state sits in *)
+  st_terminal : int;  (* discovered states with no enabled action *)
+  st_quiescent : int;  (* discovered states passing [Model.quiescent] *)
+  st_violating : int;  (* discovered states violating some property *)
+  st_complete : bool;  (* frontier exhausted within the bounds *)
+}
+
+type result = {
+  r_depth : int;  (* the depth bound explored to *)
+  r_stats : stats;
+  r_violations : violation list;  (* capped sample, shallowest first *)
+}
+
+(* Reconstruct the action trace of node [id] from the parent links. *)
+let trace_of (parents : (int, int * Model.action) Hashtbl.t) (id : int) :
+    Model.action list =
+  let rec go id acc =
+    match Hashtbl.find_opt parents id with
+    | None -> acc
+    | Some (pid, a) -> go pid (a :: acc)
+  in
+  go id []
+
+(* Explore [cfg]'s state space to [depth] actions. [max_states] bounds
+   memory (hitting it clears [st_complete]); [max_violations] caps the
+   counterexample sample (every violating state is still counted).
+   [stop_on_violation] ends the search as soon as one counterexample
+   exists — the trace is still minimal, since BFS finds it in the
+   shallowest layer that has one. *)
+let run ?(max_states = 2_000_000) ?(max_violations = 8)
+    ?(stop_on_violation = false) ~(depth : int) (cfg : Model.config) : result =
+  let visited : (string, int) Hashtbl.t = Hashtbl.create 4096 in
+  let parents : (int, int * Model.action) Hashtbl.t = Hashtbl.create 4096 in
+  let queue : (Model.state * int * int) Queue.t = Queue.create () in
+  let next_id = ref 0 in
+  let expansions = ref 0 in
+  let transitions = ref 0 in
+  let depth_reached = ref 0 in
+  let terminal = ref 0 in
+  let quiescent = ref 0 in
+  let violating = ref 0 in
+  let violations = ref [] in
+  let capped = ref false in
+  let stop = ref false in
+  (* Discover a state: dedup, check every property, enqueue. *)
+  let discover (st : Model.state) (d : int)
+      (parent : (int * Model.action) option) : unit =
+    let k = Model.key st in
+    match Hashtbl.find_opt visited k with
+    | Some _ -> ()
+    | None ->
+        if Hashtbl.length visited >= max_states then capped := true
+        else begin
+          let id = !next_id in
+          incr next_id;
+          Hashtbl.add visited k id;
+          (match parent with
+          | Some (pid, a) -> Hashtbl.add parents id (pid, a)
+          | None -> ());
+          if d > !depth_reached then depth_reached := d;
+          if Model.quiescent st then incr quiescent;
+          (match Model.check cfg st with
+          | [] -> ()
+          | vs ->
+              incr violating;
+              if !violations = [] || not stop_on_violation then
+                List.iter
+                  (fun (inv, msg) ->
+                    if List.length !violations < max_violations then
+                      violations :=
+                        { v_inv = inv; v_msg = msg; v_depth = d;
+                          v_trace = trace_of parents id }
+                        :: !violations)
+                  vs;
+              if stop_on_violation then stop := true);
+          Queue.add (st, d, id) queue
+        end
+  in
+  discover (Model.init cfg) 0 None;
+  while (not (Queue.is_empty queue)) && not !stop do
+    let st, d, id = Queue.pop queue in
+    if d < depth then begin
+      incr expansions;
+      let acts = Model.enabled cfg st in
+      if acts = [] then incr terminal;
+      List.iter
+        (fun a ->
+          if not !stop then begin
+            incr transitions;
+            discover (Model.apply cfg st a) (d + 1) (Some (id, a))
+          end)
+        acts
+    end
+    else begin
+      (* bound reached: count terminality but do not expand *)
+      if Model.enabled cfg st = [] then incr terminal
+    end
+  done;
+  { r_depth = depth;
+    r_stats =
+      { st_states = Hashtbl.length visited; st_expansions = !expansions;
+        st_transitions = !transitions; st_depth_reached = !depth_reached;
+        st_terminal = !terminal; st_quiescent = !quiescent;
+        st_violating = !violating;
+        st_complete = (not !capped) && not !stop };
+    r_violations = List.rev !violations }

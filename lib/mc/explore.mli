@@ -1,0 +1,50 @@
+(** Exhaustive bounded breadth-first exploration of the abstract
+    channel model, with canonical-key dedup and minimal-length
+    counterexample traces. *)
+
+(** One property violation: catalog id, checker message, BFS depth and
+    the action trace from the initial state to the violating one. BFS
+    order makes the trace minimal-length. *)
+type violation = {
+  v_inv : string;
+  v_msg : string;
+  v_depth : int;
+  v_trace : Model.action list;
+}
+
+(** Exploration counters: distinct states after dedup, expanded
+    states, traversed edges (duplicates included), deepest layer
+    reached, terminal / quiescent / violating state counts, and
+    whether the frontier was exhausted within the bounds. *)
+type stats = {
+  st_states : int;
+  st_expansions : int;
+  st_transitions : int;
+  st_depth_reached : int;
+  st_terminal : int;
+  st_quiescent : int;
+  st_violating : int;
+  st_complete : bool;
+}
+
+(** The outcome of one exploration: the depth bound, the counters and
+    a capped sample of violations, shallowest first. *)
+type result = {
+  r_depth : int;
+  r_stats : stats;
+  r_violations : violation list;
+}
+
+(** [run ~depth cfg] explores [cfg]'s state space to [depth] actions.
+    [max_states] bounds memory (hitting it clears [st_complete]);
+    [max_violations] caps the counterexample sample (every violating
+    state is still counted); [stop_on_violation] ends the search at
+    the first counterexample — still minimal, since BFS reaches the
+    shallowest violating layer first. *)
+val run :
+  ?max_states:int ->
+  ?max_violations:int ->
+  ?stop_on_violation:bool ->
+  depth:int ->
+  Model.config ->
+  result

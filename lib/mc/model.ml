@@ -1,0 +1,926 @@
+(* The abstracted two-party channel protocol, as a finite transition
+   system for exhaustive exploration.
+
+   One abstract state mirrors exactly the fields the safety properties
+   quantify over — committed state number, balance pair, pending lock,
+   closed flag, journal tail, per-direction wire queues and dedup
+   sets — and drops everything the concrete [Party] computes
+   deterministically from the protocol sequence (nonces, ring
+   signatures, CLRAS chain positions, KES halves, transaction bodies).
+   DESIGN.md §3.13 gives the abstraction map and argues why dropping
+   those fields is sound; the short version is that the concrete
+   crypto is a deterministic function of (seed, message sequence), so
+   two runs with the same abstract action trace build the same
+   transcript, and [Replay] demonstrates the correspondence by
+   driving the real [Party]/[Recovery] stack along an abstract trace.
+
+   The message grammar follows the paper's original (non-batched)
+   refresh session: Stmt → Nonce → Z → Kes each way, with the
+   [Kes_sig] reply preceded by the journal precommit (the point of no
+   return), plus the single [Lock_open] message of an unlock. Faults
+   are the chaos plan's alphabet (drop / duplicate / crash-stop /
+   crash-restart / timeout) and the escalations are the KES dispute
+   and the watchtower punishment. *)
+
+type side = A | B
+
+let other = function A -> B | B -> A
+let side_label = function A -> "A" | B -> "B"
+
+(* Message kinds of one refresh session plus the unlock opening.
+   Dedup in the concrete driver is keyed on the serialized message
+   bytes; abstractly, (kind, session id, direction) identifies a
+   concrete message uniquely because fresh per-session randomness
+   makes any two sessions' messages distinct. *)
+type mkind = M_stmt | M_nonce | M_z | M_kes | M_lock_open
+
+let mkind_code = function
+  | M_stmt -> 0 | M_nonce -> 1 | M_z -> 2 | M_kes -> 3 | M_lock_open -> 4
+
+let mkind_label = function
+  | M_stmt -> "stmt" | M_nonce -> "nonce" | M_z -> "z" | M_kes -> "kes"
+  | M_lock_open -> "lock-open"
+
+type msg = { mk : mkind; m_sid : int }
+
+(* Where a party is inside the current refresh session. [Ph_kes] with
+   the precommit bit set is the resumable point: the journal already
+   holds the session outcome, so a crash-restart re-enters here
+   (PR 8's [Recovery] semantics: a precommit tail resumes, an
+   intent-only tail aborts). *)
+type phase = Ph_idle | Ph_stmt | Ph_nonce | Ph_z | Ph_kes
+
+let phase_code = function
+  | Ph_idle -> 0 | Ph_stmt -> 1 | Ph_nonce -> 2 | Ph_z -> 3 | Ph_kes -> 4
+
+type down = Up | Down_stop | Down_restart
+
+let down_code = function Up -> 0 | Down_stop -> 1 | Down_restart -> 2
+
+type lockv = { lv_amount : int; lv_payer : side }
+
+type pstate = {
+  ps_state : int;  (* committed state number (bumps at completion) *)
+  ps_my : int;  (* committed own balance *)
+  ps_their : int;  (* committed counterparty balance, own view *)
+  ps_lock : lockv option;  (* committed pending lock *)
+  ps_closed : bool;
+  ps_phase : phase;  (* volatile session progress *)
+  ps_down : down;
+  ps_crashes : int;  (* crashes so far; bounded by the config *)
+  ps_precommit : bool;  (* journal tail is this session's precommit *)
+  ps_seen : (int * int) list;  (* delivered (kind, sid), sorted *)
+  ps_stash : msg list;  (* held-back early messages, volatile *)
+}
+
+(* Committed fields captured at session start — the abstract
+   [Party.checkpoint], restored by the symmetric rollback when the
+   session's deadline fires. *)
+type ck = { ck_state : int; ck_my : int; ck_their : int;
+            ck_lock : lockv option }
+
+(* The protocol operation a session performs. The lock payer is
+   always A in the scripted model (A pays B). *)
+type skind = S_update of int | S_lock of int | S_cancel | S_unlock
+
+let skind_code = function
+  | S_update _ -> 0 | S_lock _ -> 1 | S_cancel -> 2 | S_unlock -> 3
+
+let skind_label = function
+  | S_update n -> Printf.sprintf "update(%d)" n
+  | S_lock n -> Printf.sprintf "lock(%d)" n
+  | S_cancel -> "cancel"
+  | S_unlock -> "unlock"
+
+type session = {
+  s_sid : int;
+  s_kind : skind;
+  s_retx : int;  (* retransmission budget left *)
+  s_ck_a : ck;
+  s_ck_b : ck;
+}
+
+type op = Op_update of int | Op_pay of int
+
+let op_label = function
+  | Op_update n -> Printf.sprintf "update(%d)" n
+  | Op_pay n -> Printf.sprintf "pay(%d)" n
+
+type outcome =
+  | O_pending | O_delivered | O_failed | O_cancelled | O_disputed
+  | O_punished
+
+let outcome_code = function
+  | O_pending -> 0 | O_delivered -> 1 | O_failed -> 2 | O_cancelled -> 3
+  | O_disputed -> 4 | O_punished -> 5
+
+let outcome_label = function
+  | O_pending -> "pending" | O_delivered -> "delivered" | O_failed -> "failed"
+  | O_cancelled -> "cancelled" | O_disputed -> "disputed"
+  | O_punished -> "punished"
+
+(* How a settlement reached the chain — INV-7 reconciles the tower's
+   punishment counter against the [Set_punish] entries. *)
+type origin = Set_dispute | Set_punish | Set_close
+
+let origin_code = function Set_dispute -> 0 | Set_punish -> 1 | Set_close -> 2
+
+type state = {
+  g_a : pstate;
+  g_b : pstate;
+  g_ab : msg list;  (* wire A→B, head delivered next *)
+  g_ba : msg list;  (* wire B→A *)
+  g_log_ab : msg list;  (* session send log A→B, oldest first *)
+  g_log_ba : msg list;
+  g_cur : session option;
+  g_sid : int;  (* last session id issued *)
+  g_ops : op list;  (* remaining script *)
+  g_stage : int;  (* inside Op_pay: 0 = lock next, 1 = unlock next *)
+  g_exp_a : int;  (* expected A balance (the script's ledger of record) *)
+  g_exp_b : int;
+  g_outcome : outcome;
+  g_settled : (int * int * origin) list;  (* (pay_a, pay_b, how), newest first *)
+  g_funding_spent : bool;
+  g_mempool : side option;  (* a stale commitment posted by this cheater *)
+  g_cheats : int;
+  g_punished : int;  (* tower punishment counter *)
+}
+
+(* --- seeded bugs ---------------------------------------------------
+   Each mutation disables one load-bearing line of the transition
+   system, so the checker's teeth can be tested: the seeded bug must
+   produce a counterexample, and an unmutated run must not. The first
+   two are harness-level (driver rollback / settlement bookkeeping),
+   so [Replay] reproduces them on the concrete stack; the last two
+   live inside the party transition and exist to demonstrate that the
+   checker catches state-machine bugs the concrete code does not
+   have. *)
+type mutation =
+  | M_none
+  | M_rollback_one_sided
+      (* timeout rolls back only party A — the symmetric rollback in
+         [Driver.with_rollback] is what INV-3 rests on *)
+  | M_double_settle
+      (* the dispute path records its settlement twice — the
+         settle-once bookkeeping behind INV-5 *)
+  | M_lock_no_debit
+      (* lock completion credits the payee without debiting the
+         payer — conservation inside [complete_refresh] *)
+  | M_skip_cancel_release
+      (* cancel completion forgets to release B's lock — the
+         release line of the cancel path *)
+
+let mutation_label = function
+  | M_none -> "none"
+  | M_rollback_one_sided -> "rollback-one-sided"
+  | M_double_settle -> "double-settle"
+  | M_lock_no_debit -> "lock-no-debit"
+  | M_skip_cancel_release -> "skip-cancel-release"
+
+let mutations =
+  [ M_none; M_rollback_one_sided; M_double_settle; M_lock_no_debit;
+    M_skip_cancel_release ]
+
+let mutation_of_string (s : string) : mutation option =
+  List.find_opt (fun m -> mutation_label m = s) mutations
+
+(* --- configuration ------------------------------------------------- *)
+
+type alphabet = {
+  al_drop : bool;
+  al_dup : bool;
+  al_crash : bool;  (* crash-restart *)
+  al_stop : bool;  (* crash-stop *)
+  al_cheat : bool;  (* stale broadcast + watchtower punishment *)
+}
+
+let no_faults =
+  { al_drop = false; al_dup = false; al_crash = false; al_stop = false;
+    al_cheat = false }
+
+let alphabet_label (a : alphabet) : string =
+  String.concat ","
+    (List.filter_map
+       (fun (on, l) -> if on then Some l else None)
+       [ (a.al_drop, "drop"); (a.al_dup, "dup"); (a.al_crash, "crash");
+         (a.al_stop, "stop"); (a.al_cheat, "cheat") ])
+
+(* Parse a [--faults drop,dup,crash] style list. *)
+let alphabet_of_string (s : string) : (alphabet, string) result =
+  let parts =
+    List.filter (fun x -> x <> "") (String.split_on_char ',' s)
+  in
+  List.fold_left
+    (fun acc p ->
+      match acc with
+      | Error _ -> acc
+      | Ok a -> (
+          match p with
+          | "drop" -> Ok { a with al_drop = true }
+          | "dup" -> Ok { a with al_dup = true }
+          | "crash" -> Ok { a with al_crash = true }
+          | "stop" -> Ok { a with al_stop = true }
+          | "cheat" -> Ok { a with al_cheat = true }
+          | "none" -> Ok a
+          | _ -> Error (Printf.sprintf "unknown fault %S" p)))
+    (Ok no_faults) parts
+
+type config = {
+  c_bal_a : int;
+  c_bal_b : int;
+  c_ops : op list;
+  c_alpha : alphabet;
+  c_max_crashes : int;  (* per party *)
+  c_retx : int;  (* retransmission budget per session *)
+  c_mutation : mutation;
+}
+
+let default_config =
+  { c_bal_a = 6; c_bal_b = 4; c_ops = [ Op_pay 2 ];
+    c_alpha = { al_drop = true; al_dup = true; al_crash = true;
+                al_stop = false; al_cheat = false };
+    c_max_crashes = 1; c_retx = 1; c_mutation = M_none }
+
+let capacity cfg = cfg.c_bal_a + cfg.c_bal_b
+
+(* A configuration and depth bound sufficient to reach each seeded
+   bug's minimal counterexample. Rollback-one-sided needs a timeout,
+   cheapest with no retransmission budget; skip-cancel-release only
+   manifests after a full lock session plus a full cancel session
+   (17 protocol actions), so the fault alphabet is switched off to
+   keep that depth cheap to exhaust. *)
+let mutation_probe (m : mutation) : config * int =
+  match m with
+  | M_none -> (default_config, 10)
+  | M_rollback_one_sided ->
+      ({ default_config with c_mutation = m; c_retx = 0 }, 11)
+  | M_double_settle -> ({ default_config with c_mutation = m }, 2)
+  | M_lock_no_debit -> ({ default_config with c_mutation = m }, 9)
+  | M_skip_cancel_release ->
+      ( { default_config with c_mutation = m; c_alpha = no_faults; c_retx = 0 },
+        19 )
+
+let init (cfg : config) : state =
+  let party bal their =
+    { ps_state = 0; ps_my = bal; ps_their = their; ps_lock = None;
+      ps_closed = false; ps_phase = Ph_idle; ps_down = Up; ps_crashes = 0;
+      ps_precommit = false; ps_seen = []; ps_stash = [] }
+  in
+  { g_a = party cfg.c_bal_a cfg.c_bal_b; g_b = party cfg.c_bal_b cfg.c_bal_a;
+    g_ab = []; g_ba = []; g_log_ab = []; g_log_ba = []; g_cur = None;
+    g_sid = 0; g_ops = cfg.c_ops; g_stage = 0; g_exp_a = cfg.c_bal_a;
+    g_exp_b = cfg.c_bal_b; g_outcome = O_pending; g_settled = [];
+    g_funding_spent = false; g_mempool = None; g_cheats = 0; g_punished = 0 }
+
+(* --- actions ------------------------------------------------------- *)
+
+type action =
+  | A_begin  (* start the next scripted protocol step on both parties *)
+  | A_deliver of side  (* deliver the head of the queue into this side *)
+  | A_drop of side  (* the link loses that message instead *)
+  | A_dup of side  (* deliver it and schedule a second copy *)
+  | A_crash of side * bool  (* true = restartable (journal intact) *)
+  | A_restart of side  (* revive from the journal (Recovery semantics) *)
+  | A_retransmit  (* go-back-N: both live senders resend their session log *)
+  | A_timeout  (* the deadline fires: symmetric rollback on both parties *)
+  | A_cancel  (* cooperatively cancel the pending lock (new session) *)
+  | A_dispute of side  (* this party escalates to a non-responsive KES close *)
+  | A_cheat of side  (* this party broadcasts its previous commitment *)
+  | A_punish of side  (* this (victim) party's watchtower punishes the cheat *)
+  | A_close  (* cooperative close once the script is done *)
+
+let action_label = function
+  | A_begin -> "begin"
+  | A_deliver s -> "deliver->" ^ side_label s
+  | A_drop s -> "drop->" ^ side_label s
+  | A_dup s -> "dup->" ^ side_label s
+  | A_crash (s, true) -> "crash-restartable " ^ side_label s
+  | A_crash (s, false) -> "crash-stop " ^ side_label s
+  | A_restart s -> "restart " ^ side_label s
+  | A_retransmit -> "retransmit"
+  | A_timeout -> "timeout"
+  | A_cancel -> "cancel-lock"
+  | A_dispute s -> "dispute " ^ side_label s
+  | A_cheat s -> "cheat " ^ side_label s
+  | A_punish s -> "punish by " ^ side_label s
+  | A_close -> "coop-close"
+
+(* --- small accessors ----------------------------------------------- *)
+
+let party (st : state) = function A -> st.g_a | B -> st.g_b
+
+let set_party (st : state) (s : side) (p : pstate) =
+  match s with A -> { st with g_a = p } | B -> { st with g_b = p }
+
+let queue_into (st : state) = function A -> st.g_ba | B -> st.g_ab
+
+let set_queue_into (st : state) (s : side) (q : msg list) =
+  match s with A -> { st with g_ba = q } | B -> { st with g_ab = q }
+
+(* Enqueue a message sent BY [s], appending to its outgoing wire and
+   the session resend log. *)
+let send (st : state) (s : side) (m : msg) : state =
+  match s with
+  | A -> { st with g_ab = st.g_ab @ [ m ]; g_log_ab = st.g_log_ab @ [ m ] }
+  | B -> { st with g_ba = st.g_ba @ [ m ]; g_log_ba = st.g_log_ba @ [ m ] }
+
+let is_open (st : state) = not (st.g_a.ps_closed || st.g_b.ps_closed)
+let both_up (st : state) = st.g_a.ps_down = Up && st.g_b.ps_down = Up
+
+let both_idle (st : state) =
+  st.g_a.ps_phase = Ph_idle && st.g_b.ps_phase = Ph_idle
+
+(* Every queued message is undeliverable-or-absent: the deadline can
+   only be observed once the clock has drained all deliverable
+   traffic, matching the driver's retry loop. *)
+let queues_drained (st : state) =
+  (st.g_ab = [] || st.g_b.ps_down <> Up)
+  && (st.g_ba = [] || st.g_a.ps_down <> Up)
+
+let lock_payer_side (l : lockv) = l.lv_payer
+let lock_payee_side (l : lockv) = other l.lv_payer
+
+(* In the scripted model the payee learns the lock witness once the
+   lock stage completes — from then on it can redeem the lock on-chain
+   in a dispute (the paper's responsive-payee path). *)
+let payee_has_witness (st : state) =
+  st.g_stage >= 1
+  && (match st.g_ops with Op_pay _ :: _ -> true | _ -> false)
+
+(* --- invariant views (shared checker) ------------------------------ *)
+
+module Inv = Monet_fault.Invariant
+
+let view (cfg : config) (st : state) : Inv.channel_view =
+  let pv (p : pstate) =
+    { Inv.pv_state = p.ps_state; pv_my = p.ps_my; pv_their = p.ps_their;
+      pv_lock = p.ps_lock <> None; pv_closed = p.ps_closed }
+  in
+  { Inv.cv_tag = "channel"; cv_capacity = capacity cfg; cv_a = pv st.g_a;
+    cv_b = pv st.g_b; cv_funding_spent = st.g_funding_spent;
+    cv_settlements =
+      List.rev_map (fun (pa, pb, _) -> (pa, pb)) st.g_settled }
+
+(* Quiescent: no session in flight, the wires and stashes are empty
+   and both parties are up — the states where the cross-party
+   properties (view consistency, lock resolution, expected wealth)
+   are required to hold. *)
+let quiescent (st : state) =
+  st.g_cur = None && st.g_ab = [] && st.g_ba = []
+  && st.g_a.ps_stash = [] && st.g_b.ps_stash = []
+  && both_up st
+
+(* Map a shared-checker message to its DESIGN.md §3.13 catalog id. *)
+let inv_id (msg : string) : string =
+  let has sub =
+    let n = String.length sub and m = String.length msg in
+    let rec go i = i + n <= m && (String.sub msg i n = sub || go (i + 1)) in
+    go 0
+  in
+  if has "views diverge" then "INV-3"
+  else if has "negative" then "INV-2"
+  else if has "off-chain balances" then "INV-1"
+  else if has "settled" || has "settlement recorded" then "INV-5"
+  else if has "no recorded settlement" || has "key image"
+          || has "on-chain payout" then "INV-4"
+  else if has "lock left pending" then "INV-6"
+  else if has "wealth" then "INV-8"
+  else if has "watchtower" || has "punishments" then "INV-7"
+  else "INV-?"
+
+(* Check every applicable safety property at [st], returning
+   [(catalog id, message)] violations. The every-state properties
+   (INV-1/2/4/5) run unconditionally; the cross-party ones (INV-3,
+   INV-6, INV-7, INV-8) only at quiescent states, where the protocol
+   guarantees them. *)
+let check (cfg : config) (st : state) : (string * string) list =
+  let v = view cfg st in
+  let label = List.map (fun m -> (inv_id m, m)) in
+  let every = label (Inv.check_funds v) in
+  let quiet =
+    if not (quiescent st) then []
+    else
+      label (Inv.check_consistency v)
+      (* lock resolution applies once the payment reached a terminal
+         fate — between the lock and unlock sessions a pending lock is
+         the protocol working as intended *)
+      @ (if st.g_ops = [] then label (Inv.check_locks_resolved v) else [])
+      @ (if is_open st then
+           label
+             (Inv.check_wealth
+                [ ("party A", st.g_exp_a, st.g_a.ps_my);
+                  ("party B", st.g_exp_b, st.g_b.ps_my) ])
+         else [])
+      @ label
+          (Inv.check_tower
+             ~watched:(if is_open st then 1 else 0)
+             ~open_channels:(if is_open st then 1 else 0)
+             ~counted:st.g_punished
+             ~observed:
+               (List.length
+                  (List.filter
+                     (fun (_, _, o) -> o = Set_punish)
+                     st.g_settled)))
+  in
+  every @ quiet
+
+(* --- transition helpers -------------------------------------------- *)
+
+let checkpoint_of (p : pstate) : ck =
+  { ck_state = p.ps_state; ck_my = p.ps_my; ck_their = p.ps_their;
+    ck_lock = p.ps_lock }
+
+(* Apply a completed refresh session's target to one party — the
+   abstract [complete_refresh]. Committed fields move only here (and
+   in the unlock path), which is why INV-1 can be checked at every
+   state. *)
+let complete_party (cfg : config) (st : state) (s : side) (sess : session) :
+    state =
+  let p = party st s in
+  let p =
+    match sess.s_kind with
+    | S_update amt ->
+        let d = if s = A then -amt else amt in
+        { p with ps_my = p.ps_my + d; ps_their = p.ps_their - d }
+    | S_lock amt ->
+        let l = { lv_amount = amt; lv_payer = A } in
+        let debit = cfg.c_mutation <> M_lock_no_debit in
+        let my, their =
+          match s with
+          | A -> ((if debit then p.ps_my - amt else p.ps_my), p.ps_their + amt)
+          | B -> (p.ps_my + amt, if debit then p.ps_their - amt else p.ps_their)
+        in
+        { p with ps_my = my; ps_their = their; ps_lock = Some l }
+    | S_cancel ->
+        let keep_lock = cfg.c_mutation = M_skip_cancel_release && s = B in
+        let my, their =
+          match p.ps_lock with
+          | None -> (p.ps_my, p.ps_their)
+          | Some l ->
+              let d =
+                if s = lock_payer_side l then l.lv_amount else -l.lv_amount
+              in
+              (p.ps_my + d, p.ps_their - d)
+        in
+        { p with ps_my = my; ps_their = their;
+          ps_lock = (if keep_lock then p.ps_lock else None) }
+    | S_unlock -> p (* handled at Lock_open delivery *)
+  in
+  set_party st s
+    { p with ps_state = p.ps_state + 1; ps_phase = Ph_idle;
+      ps_precommit = false }
+
+(* Update the script's ledger of record when a session commits. This
+   runs in [finish_session], NOT in [complete_party], so party-level
+   mutations cannot silently adjust the expectation they are checked
+   against. *)
+let apply_expected (st : state) (sess : session) : state =
+  match sess.s_kind with
+  | S_update amt | S_lock amt ->
+      { st with g_exp_a = st.g_exp_a - amt; g_exp_b = st.g_exp_b + amt }
+  | S_cancel -> (
+      (* revert the lock transfer, per the checkpointed lock *)
+      match sess.s_ck_a.ck_lock with
+      | Some l ->
+          let d = if lock_payer_side l = A then l.lv_amount else -l.lv_amount in
+          { st with g_exp_a = st.g_exp_a + d; g_exp_b = st.g_exp_b - d }
+      | None -> st)
+  | S_unlock -> st
+
+(* The session has reached its goal when both parties committed (for
+   refresh kinds) or the payer's lock is cleared (unlock — the payee
+   cleared its own copy when the session began). *)
+let session_done (st : state) (sess : session) : bool =
+  match sess.s_kind with
+  | S_unlock -> (
+      match sess.s_ck_a.ck_lock with
+      | Some l -> (party st (lock_payer_side l)).ps_lock = None
+      | None -> true)
+  | S_update _ | S_lock _ | S_cancel -> both_idle st
+
+(* Close out a finished session: clear the wire logs and stashes,
+   advance the script and record the payment outcome.
+
+   A session can reach the driver's quiescence predicate (both idle)
+   WITHOUT committing: if both parties crash-restart before the
+   precommit, both journals abort the session and both parties wake
+   up Idle at the old state. The model checker found this — the
+   original [Driver.refresh] reported such a vacuous session as
+   successful — so both the model and the driver now classify a
+   finish by whether the committed state advanced, and treat the
+   vacuous case exactly like a timeout (the caller observes failure
+   and the balances stay put). *)
+let finish_session (st : state) (sess : session) : state =
+  let committed =
+    match sess.s_kind with
+    | S_unlock -> true (* done ⇔ the payer's lock was released *)
+    | S_update _ | S_lock _ | S_cancel ->
+        st.g_a.ps_state > sess.s_ck_a.ck_state
+        && st.g_b.ps_state > sess.s_ck_b.ck_state
+  in
+  let st = if committed then apply_expected st sess else st in
+  let st =
+    { st with g_cur = None; g_log_ab = []; g_log_ba = [];
+      g_a = { st.g_a with ps_stash = [] };
+      g_b = { st.g_b with ps_stash = [] } }
+  in
+  match (committed, sess.s_kind) with
+  | true, S_lock _ -> { st with g_stage = 1 }
+  | true, S_unlock ->
+      { st with g_ops = List.tl st.g_ops; g_stage = 0;
+        g_outcome = O_delivered }
+  | true, S_cancel ->
+      { st with g_ops = List.tl st.g_ops; g_stage = 0;
+        g_outcome = O_cancelled }
+  | true, S_update _ -> { st with g_ops = List.tl st.g_ops }
+  | false, S_lock _ ->
+      { st with g_ops = List.tl st.g_ops; g_stage = 0; g_outcome = O_failed }
+  | false, S_update _ -> { st with g_ops = List.tl st.g_ops }
+  | false, (S_unlock | S_cancel) -> st
+
+let maybe_finish (st : state) : state =
+  match st.g_cur with
+  | Some sess when session_done st sess -> finish_session st sess
+  | _ -> st
+
+(* Process a fresh in-session message at [s]; [None] means the
+   receiver is not in the right phase (the driver's hold-back
+   stash). *)
+let process (cfg : config) (st : state) (s : side) (sess : session)
+    (m : msg) : state option =
+  let p = party st s in
+  match (p.ps_phase, m.mk) with
+  | Ph_stmt, M_stmt ->
+      let st = set_party st s { p with ps_phase = Ph_nonce } in
+      Some (send st s { mk = M_nonce; m_sid = sess.s_sid })
+  | Ph_nonce, M_nonce ->
+      let st = set_party st s { p with ps_phase = Ph_z } in
+      Some (send st s { mk = M_z; m_sid = sess.s_sid })
+  | Ph_z, M_z ->
+      (* The point of no return: the session outcome goes to the
+         journal before the Kes_sig reply is released. *)
+      let st =
+        set_party st s { p with ps_phase = Ph_kes; ps_precommit = true }
+      in
+      Some (send st s { mk = M_kes; m_sid = sess.s_sid })
+  | Ph_kes, M_kes -> Some (complete_party cfg st s sess)
+  | Ph_idle, M_lock_open -> (
+      match (sess.s_kind, p.ps_lock) with
+      | S_unlock, Some _ ->
+          (* The payer extracts the witness and releases its lock. *)
+          Some (set_party st s { p with ps_lock = None })
+      | _ -> None)
+  | _ -> None
+
+(* Drain [s]'s stash: retry each held-back message after progress,
+   repeating until a full pass makes no progress — the driver's
+   retry-pending loop. *)
+let rec drain_stash (cfg : config) (st : state) (s : side) : state =
+  match st.g_cur with
+  | None -> st
+  | Some sess ->
+      let stash = (party st s).ps_stash in
+      let st =
+        let p = party st s in
+        set_party st s { p with ps_stash = [] }
+      in
+      let st, left, progressed =
+        List.fold_left
+          (fun (st, left, progressed) m ->
+            if m.m_sid <> sess.s_sid then (st, left, progressed)
+            else
+              match process cfg st s sess m with
+              | Some st' -> (st', left, true)
+              | None -> (st, m :: left, progressed))
+          (st, [], false) stash
+      in
+      let p = party st s in
+      let st = set_party st s { p with ps_stash = List.rev left } in
+      if progressed then drain_stash cfg st s else st
+
+(* Deliver the head of the queue into [s]: mark it seen on first
+   delivery, consume duplicates and messages from dead sessions
+   silently, stash early messages. *)
+let deliver (cfg : config) (st : state) (s : side) : state =
+  match queue_into st s with
+  | [] -> st
+  | m :: rest -> (
+      let st = set_queue_into st s rest in
+      match st.g_cur with
+      | Some sess when m.m_sid = sess.s_sid ->
+          let p = party st s in
+          let key = (mkind_code m.mk, m.m_sid) in
+          if List.mem key p.ps_seen then st
+          else
+            let seen = List.sort compare (key :: p.ps_seen) in
+            let st = set_party st s { p with ps_seen = seen } in
+            let st =
+              match process cfg st s sess m with
+              | Some st' -> drain_stash cfg st' s
+              | None ->
+                  let p = party st s in
+                  set_party st s { p with ps_stash = p.ps_stash @ [ m ] }
+            in
+            maybe_finish st
+      | _ -> st (* stale session: the receiver discards it *))
+
+(* Would delivering the queue head into [s] actually process it?
+   Gates [A_dup], so duplication always duplicates a live delivery. *)
+let head_is_live (st : state) (s : side) : bool =
+  match (queue_into st s, st.g_cur) with
+  | m :: _, Some sess ->
+      m.m_sid = sess.s_sid
+      && not (List.mem (mkind_code m.mk, m.m_sid) (party st s).ps_seen)
+  | _ -> false
+
+(* Restore one party to the checkpoint its session took at start:
+   phase and precommit cleared, committed fields rewound (a party that
+   already committed this session is un-committed — exactly
+   [Party.rollback]), and the journal gets a fresh state record. *)
+let rollback_party (st : state) (s : side) (c : ck) : state =
+  let p = party st s in
+  set_party st s
+    { p with ps_state = c.ck_state; ps_my = c.ck_my; ps_their = c.ck_their;
+      ps_lock = c.ck_lock; ps_phase = Ph_idle; ps_precommit = false;
+      ps_stash = [] }
+
+(* Mark the channel settled on-chain with payout [(pay_a, pay_b)]. *)
+let settle (st : state) ~(origin : origin) ~(pay_a : int) ~(pay_b : int) :
+    state =
+  { st with
+    g_settled = (pay_a, pay_b, origin) :: st.g_settled;
+    g_funding_spent = true;
+    g_a = { st.g_a with ps_closed = true };
+    g_b = { st.g_b with ps_closed = true };
+    g_mempool = None }
+
+(* The payout this party's latest commitment yields, reverting the
+   lock amount to its payer unless [with_witness] lets the payee
+   redeem it (dispute-with-witness settles at the locked state). *)
+let payout_view (st : state) (s : side) ~(with_witness : bool) : int * int =
+  let p = party st s in
+  let my, their =
+    match p.ps_lock with
+    | None -> (p.ps_my, p.ps_their)
+    | Some l ->
+        if with_witness && s = lock_payee_side l then (p.ps_my, p.ps_their)
+        else
+          let d = if s = lock_payer_side l then l.lv_amount else -l.lv_amount in
+          (p.ps_my + d, p.ps_their - d)
+  in
+  match s with A -> (my, their) | B -> (their, my)
+
+(* --- enabled actions and the transition function ------------------- *)
+
+(* The next scripted session kind, if the script allows starting one. *)
+let next_kind (st : state) : skind option =
+  match st.g_ops with
+  | [] -> None
+  | Op_update amt :: _ -> Some (S_update amt)
+  | Op_pay amt :: _ -> if st.g_stage = 0 then Some (S_lock amt) else Some S_unlock
+
+let can_begin (st : state) : bool =
+  is_open st && st.g_cur = None && both_up st && both_idle st
+  && (match next_kind st with
+     | None -> false
+     | Some S_unlock -> (
+         (* the façade finds the payee through A's lock record, and
+            [begin_unlock] requires the payee's own lock *)
+         match st.g_a.ps_lock with
+         | None -> false
+         | Some l -> (party st (lock_payee_side l)).ps_lock <> None)
+     | Some _ -> true)
+
+let can_cancel (st : state) : bool =
+  is_open st && st.g_cur = None && both_up st && both_idle st
+  && st.g_stage = 1 && st.g_a.ps_lock <> None
+
+let enabled (cfg : config) (st : state) : action list =
+  let al = cfg.c_alpha in
+  let acts = ref [] in
+  let add c a = if c then acts := a :: !acts in
+  add (can_begin st) A_begin;
+  List.iter
+    (fun s ->
+      let q = queue_into st s in
+      add (q <> [] && (party st s).ps_down = Up) (A_deliver s);
+      add (al.al_drop && q <> []) (A_drop s);
+      add (al.al_dup && (party st s).ps_down = Up && head_is_live st s)
+        (A_dup s))
+    [ A; B ];
+  (match st.g_cur with
+  | Some sess ->
+      add (sess.s_retx > 0 && queues_drained st) A_retransmit;
+      add (sess.s_retx = 0 && queues_drained st) A_timeout
+  | None -> ());
+  add (can_cancel st) A_cancel;
+  List.iter
+    (fun s ->
+      let p = party st s in
+      let can_crash =
+        is_open st && p.ps_down = Up && p.ps_crashes < cfg.c_max_crashes
+      in
+      add (al.al_crash && can_crash) (A_crash (s, true));
+      add (al.al_stop && can_crash) (A_crash (s, false));
+      add (p.ps_down = Down_restart) (A_restart s);
+      add (is_open st && st.g_cur = None && p.ps_down = Up) (A_dispute s);
+      add
+        (al.al_cheat && is_open st && st.g_cur = None && p.ps_down = Up
+        && p.ps_state >= 1 && st.g_cheats = 0 && st.g_mempool = None)
+        (A_cheat s);
+      add
+        (is_open st
+        && (match st.g_mempool with
+           | Some cheater -> s = other cheater
+           | None -> false)
+        && p.ps_down = Up)
+        (A_punish s))
+    [ A; B ];
+  add
+    (is_open st && st.g_cur = None && both_up st && both_idle st
+    && st.g_ops = [] && st.g_a.ps_lock = None && st.g_b.ps_lock = None)
+    A_close;
+  List.rev !acts
+
+(* Apply [a] to [st]; the caller guarantees [a] is enabled. *)
+let apply (cfg : config) (st : state) (a : action) : state =
+  match a with
+  | A_begin -> (
+      match next_kind st with
+      | None -> st (* not enabled: no-op *)
+      | Some kind -> (
+      let sid = st.g_sid + 1 in
+      let sess =
+        { s_sid = sid; s_kind = kind; s_retx = cfg.c_retx;
+          s_ck_a = checkpoint_of st.g_a; s_ck_b = checkpoint_of st.g_b }
+      in
+      let st = { st with g_sid = sid; g_cur = Some sess } in
+      match kind with
+      | S_update _ | S_lock _ | S_cancel ->
+          (* both parties journal the intent and announce their next
+             statement *)
+          let st =
+            set_party st A { st.g_a with ps_phase = Ph_stmt }
+          in
+          let st = set_party st B { (party st B) with ps_phase = Ph_stmt } in
+          let st = send st A { mk = M_stmt; m_sid = sid } in
+          send st B { mk = M_stmt; m_sid = sid }
+      | S_unlock ->
+          (* the payee releases its own lock (journaled) and sends the
+             completed pre-signature; the payer stays Idle *)
+          let payee =
+            match st.g_a.ps_lock with
+            | Some l -> lock_payee_side l
+            | None -> B
+          in
+          let p = party st payee in
+          let st = set_party st payee { p with ps_lock = None } in
+          send st payee { mk = M_lock_open; m_sid = sid }))
+  | A_deliver s -> deliver cfg st s
+  | A_drop s -> (
+      match queue_into st s with
+      | [] -> st
+      | _ :: rest -> set_queue_into st s rest)
+  | A_dup s -> (
+      match queue_into st s with
+      | [] -> st
+      | m :: rest ->
+          let st = set_queue_into st s ((m :: rest) @ [ m ]) in
+          deliver cfg st s)
+  | A_crash (s, restartable) ->
+      let p = party st s in
+      set_party st s
+        { p with
+          ps_down = (if restartable then Down_restart else Down_stop);
+          ps_crashes = p.ps_crashes + 1;
+          ps_stash = [];
+          (* volatile state is lost; what the journal restores is
+             already determined: a precommit tail resumes at Await_kes,
+             anything else aborts to the last committed state *)
+          ps_phase = (if p.ps_precommit then Ph_kes else Ph_idle) }
+  | A_restart s ->
+      let p = party st s in
+      set_party st s { p with ps_down = Up }
+  | A_retransmit -> (
+      match st.g_cur with
+      | None -> st
+      | Some sess ->
+          let st =
+            { st with g_cur = Some { sess with s_retx = sess.s_retx - 1 } }
+          in
+          let st =
+            if st.g_a.ps_down = Up then
+              { st with g_ab = st.g_ab @ st.g_log_ab }
+            else st
+          in
+          if st.g_b.ps_down = Up then { st with g_ba = st.g_ba @ st.g_log_ba }
+          else st)
+  | A_timeout -> (
+      match st.g_cur with
+      | None -> st
+      | Some sess ->
+          let st = rollback_party st A sess.s_ck_a in
+          let st =
+            if cfg.c_mutation = M_rollback_one_sided then st
+            else rollback_party st B sess.s_ck_b
+          in
+          let st = { st with g_cur = None; g_log_ab = []; g_log_ba = [] } in
+          (match sess.s_kind with
+          | S_lock _ ->
+              { st with g_ops = List.tl st.g_ops; g_stage = 0;
+                g_outcome = O_failed }
+          | S_update _ -> { st with g_ops = List.tl st.g_ops }
+          | S_unlock | S_cancel -> st))
+  | A_cancel ->
+      (* a cancel is a fresh refresh session *)
+      let sid = st.g_sid + 1 in
+      let sess =
+        { s_sid = sid; s_kind = S_cancel; s_retx = cfg.c_retx;
+          s_ck_a = checkpoint_of st.g_a; s_ck_b = checkpoint_of st.g_b }
+      in
+      let st = { st with g_sid = sid; g_cur = Some sess } in
+      let st = set_party st A { st.g_a with ps_phase = Ph_stmt } in
+      let st = set_party st B { (party st B) with ps_phase = Ph_stmt } in
+      let st = send st A { mk = M_stmt; m_sid = sid } in
+      send st B { mk = M_stmt; m_sid = sid }
+  | A_dispute s ->
+      let with_witness = payee_has_witness st in
+      let pay_a, pay_b = payout_view st s ~with_witness in
+      let st = settle st ~origin:Set_dispute ~pay_a ~pay_b in
+      let st =
+        if cfg.c_mutation = M_double_settle then
+          { st with g_settled = (pay_a, pay_b, Set_dispute) :: st.g_settled }
+        else st
+      in
+      let interrupted =
+        match st.g_ops with Op_pay _ :: _ -> true | _ -> false
+      in
+      { st with g_ops = []; g_stage = 0;
+        g_outcome = (if interrupted then O_disputed else st.g_outcome) }
+  | A_cheat s -> { st with g_mempool = Some s; g_cheats = st.g_cheats + 1 }
+  | A_punish s ->
+      (* the victim's tower settles at the latest state (pre-lock if a
+         lock is pending), with priority over the stale commitment *)
+      let pay_a, pay_b = payout_view st s ~with_witness:false in
+      let st = settle st ~origin:Set_punish ~pay_a ~pay_b in
+      let interrupted =
+        match st.g_ops with Op_pay _ :: _ -> true | _ -> false
+      in
+      { st with g_punished = st.g_punished + 1; g_ops = []; g_stage = 0;
+        g_outcome = (if interrupted then O_punished else st.g_outcome) }
+  | A_close ->
+      let pay_a, pay_b = payout_view st A ~with_witness:false in
+      settle st ~origin:Set_close ~pay_a ~pay_b
+
+(* --- canonical state key ------------------------------------------- *)
+
+(* Serialize every distinguishing field into a canonical string, used
+   directly as the dedup key. Exact keying (no lossy hashing) keeps
+   the exploration sound: two states collide iff they are equal. *)
+let key (st : state) : string =
+  let b = Buffer.create 128 in
+  let i n = Buffer.add_string b (string_of_int n); Buffer.add_char b ',' in
+  let bo v = i (if v then 1 else 0) in
+  let lock = function
+    | None -> i (-1)
+    | Some l -> i l.lv_amount; i (match l.lv_payer with A -> 0 | B -> 1)
+  in
+  let msgs ms =
+    i (List.length ms);
+    List.iter (fun m -> i (mkind_code m.mk); i m.m_sid) ms
+  in
+  let pp (p : pstate) =
+    i p.ps_state; i p.ps_my; i p.ps_their; lock p.ps_lock; bo p.ps_closed;
+    i (phase_code p.ps_phase); i (down_code p.ps_down); i p.ps_crashes;
+    bo p.ps_precommit;
+    i (List.length p.ps_seen);
+    List.iter (fun (k, s) -> i k; i s) p.ps_seen;
+    msgs p.ps_stash
+  in
+  pp st.g_a; pp st.g_b;
+  msgs st.g_ab; msgs st.g_ba; msgs st.g_log_ab; msgs st.g_log_ba;
+  (match st.g_cur with
+  | None -> i (-1)
+  | Some s ->
+      i s.s_sid; i (skind_code s.s_kind); i s.s_retx;
+      List.iter
+        (fun c -> i c.ck_state; i c.ck_my; i c.ck_their; lock c.ck_lock)
+        [ s.s_ck_a; s.s_ck_b ]);
+  i st.g_sid;
+  i (List.length st.g_ops);
+  List.iter
+    (function
+      | Op_update n -> i 0; i n
+      | Op_pay n -> i 1; i n)
+    st.g_ops;
+  i st.g_stage; i st.g_exp_a; i st.g_exp_b;
+  i (outcome_code st.g_outcome);
+  i (List.length st.g_settled);
+  List.iter (fun (pa, pb, o) -> i pa; i pb; i (origin_code o)) st.g_settled;
+  bo st.g_funding_spent;
+  (match st.g_mempool with
+  | None -> i (-1)
+  | Some A -> i 0
+  | Some B -> i 1);
+  i st.g_cheats; i st.g_punished;
+  Buffer.contents b

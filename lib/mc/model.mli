@@ -1,0 +1,259 @@
+(** The abstracted two-party channel protocol as a finite transition
+    system, for exhaustive bounded exploration.
+
+    An abstract state carries exactly the fields the safety properties
+    quantify over — committed state number, balance pair, pending
+    lock, closed flag, journal precommit bit, per-direction wire
+    queues and dedup sets — and drops everything the concrete
+    [Party] derives deterministically from the message sequence.
+    DESIGN.md §3.13 gives the abstraction map and the soundness
+    argument; [Replay] demonstrates the correspondence by driving the
+    real stack along an abstract action trace. *)
+
+(** The two channel endpoints. A is always the payer of the scripted
+    payment. *)
+type side = A | B
+
+(** The opposite endpoint. *)
+val other : side -> side
+
+(** ["A"] or ["B"], for traces and messages. *)
+val side_label : side -> string
+
+(** Message kinds of one (non-batched) refresh session — Stmt → Nonce
+    → Z → Kes each way — plus the single lock-opening message of an
+    unlock. *)
+type mkind = M_stmt | M_nonce | M_z | M_kes | M_lock_open
+
+(** Stable small-integer code for [mkind], used in dedup keys and the
+    canonical serialization. *)
+val mkind_code : mkind -> int
+
+(** Human label for a message kind. *)
+val mkind_label : mkind -> string
+
+(** A message on the wire: kind plus the session id it belongs to.
+    Fresh per-session randomness makes concrete messages of distinct
+    sessions distinct, so (kind, sid, direction) identifies one. *)
+type msg = { mk : mkind; m_sid : int }
+
+(** Where a party is inside the current refresh session. [Ph_kes] with
+    the precommit bit set is the resumable point: the journal already
+    holds the session outcome, so a crash-restart re-enters there. *)
+type phase = Ph_idle | Ph_stmt | Ph_nonce | Ph_z | Ph_kes
+
+(** Liveness of a party process: up, crash-stopped forever, or crashed
+    with an intact journal awaiting [A_restart]. *)
+type down = Up | Down_stop | Down_restart
+
+(** A pending payment lock: amount and which side pays. *)
+type lockv = { lv_amount : int; lv_payer : side }
+
+(** One party's abstract state: committed channel fields plus the
+    volatile session progress, crash budget, journal precommit bit,
+    delivered-message dedup set and hold-back stash. *)
+type pstate = {
+  ps_state : int;
+  ps_my : int;
+  ps_their : int;
+  ps_lock : lockv option;
+  ps_closed : bool;
+  ps_phase : phase;
+  ps_down : down;
+  ps_crashes : int;
+  ps_precommit : bool;
+  ps_seen : (int * int) list;
+  ps_stash : msg list;
+}
+
+(** Committed fields captured at session start — the abstract
+    [Party.checkpoint], restored by the symmetric timeout rollback. *)
+type ck = { ck_state : int; ck_my : int; ck_their : int;
+            ck_lock : lockv option }
+
+(** What a refresh session does: balance update, lock of a payment,
+    cooperative cancel of a pending lock, or the unlock release. *)
+type skind = S_update of int | S_lock of int | S_cancel | S_unlock
+
+(** Human label for a session kind, e.g. ["lock(2)"]. *)
+val skind_label : skind -> string
+
+(** The in-flight session: id, kind, remaining retransmission budget
+    and both parties' start-of-session checkpoints. *)
+type session = {
+  s_sid : int;
+  s_kind : skind;
+  s_retx : int;
+  s_ck_a : ck;
+  s_ck_b : ck;
+}
+
+(** One scripted protocol step: a plain balance update or a locked
+    payment (lock stage then unlock stage), always A paying B. *)
+type op = Op_update of int | Op_pay of int
+
+(** Human label for a scripted operation. *)
+val op_label : op -> string
+
+(** Terminal fate of the scripted payment, mirroring the chaos plan's
+    outcome alphabet. *)
+type outcome =
+  | O_pending | O_delivered | O_failed | O_cancelled | O_disputed
+  | O_punished
+
+(** Human label for a payment outcome. *)
+val outcome_label : outcome -> string
+
+(** How a settlement reached the chain; INV-7 reconciles the tower's
+    punishment counter against the [Set_punish] entries. *)
+type origin = Set_dispute | Set_punish | Set_close
+
+(** The global abstract state: both parties, the two wire queues and
+    go-back-N resend logs, the in-flight session, the remaining
+    script, the expected-balance ledger of record, the recorded
+    settlements and the cheat/punish bookkeeping. *)
+type state = {
+  g_a : pstate;
+  g_b : pstate;
+  g_ab : msg list;
+  g_ba : msg list;
+  g_log_ab : msg list;
+  g_log_ba : msg list;
+  g_cur : session option;
+  g_sid : int;
+  g_ops : op list;
+  g_stage : int;
+  g_exp_a : int;
+  g_exp_b : int;
+  g_outcome : outcome;
+  g_settled : (int * int * origin) list;
+  g_funding_spent : bool;
+  g_mempool : side option;
+  g_cheats : int;
+  g_punished : int;
+}
+
+(** Seeded bugs: each mutation disables one load-bearing line of the
+    transition system, so the checker's teeth can be tested. The first
+    two are harness-level (driver rollback, settlement bookkeeping)
+    and reproduce concretely under [Replay]; the last two live inside
+    the abstract party transition and demonstrate the checker catches
+    state-machine bugs the concrete code does not have. *)
+type mutation =
+  | M_none
+  | M_rollback_one_sided
+  | M_double_settle
+  | M_lock_no_debit
+  | M_skip_cancel_release
+
+(** CLI name of a mutation, e.g. ["rollback-one-sided"]. *)
+val mutation_label : mutation -> string
+
+(** Every mutation, [M_none] first. *)
+val mutations : mutation list
+
+(** Inverse of [mutation_label]. *)
+val mutation_of_string : string -> mutation option
+
+(** Which fault actions the exploration may take — the chaos plan's
+    fault alphabet plus the adversarial stale-broadcast. *)
+type alphabet = {
+  al_drop : bool;
+  al_dup : bool;
+  al_crash : bool;
+  al_stop : bool;
+  al_cheat : bool;
+}
+
+(** The empty alphabet: protocol actions only, no faults. *)
+val no_faults : alphabet
+
+(** Comma-joined names of the enabled faults, e.g. ["drop,crash"]. *)
+val alphabet_label : alphabet -> string
+
+(** Parse a [--faults drop,dup,crash] style list; ["none"] is the
+    empty alphabet. *)
+val alphabet_of_string : string -> (alphabet, string) result
+
+(** An exploration instance: initial balances, the payment script, the
+    fault alphabet, the per-party crash bound, the per-session
+    retransmission budget and the seeded mutation. *)
+type config = {
+  c_bal_a : int;
+  c_bal_b : int;
+  c_ops : op list;
+  c_alpha : alphabet;
+  c_max_crashes : int;
+  c_retx : int;
+  c_mutation : mutation;
+}
+
+(** 6/4 balances, one locked payment of 2, drop+dup+crash faults, one
+    crash per party, one retransmission, no mutation — the acceptance
+    configuration. *)
+val default_config : config
+
+(** Channel capacity, [c_bal_a + c_bal_b]. *)
+val capacity : config -> int
+
+(** A configuration and depth bound sufficient to reach the seeded
+    bug's minimal counterexample — the single source of truth the CLI
+    ([mc trace --bug]), the tests and the smoke gate probe with. *)
+val mutation_probe : mutation -> config * int
+
+(** The initial abstract state for [config]. *)
+val init : config -> state
+
+(** The atomic interleaving steps the exploration branches over:
+    protocol progress (begin/deliver/close), the fault alphabet
+    (drop/dup/crash/restart/retransmit/timeout) and the escalations
+    (cancel/dispute/cheat/punish). *)
+type action =
+  | A_begin
+  | A_deliver of side
+  | A_drop of side
+  | A_dup of side
+  | A_crash of side * bool
+  | A_restart of side
+  | A_retransmit
+  | A_timeout
+  | A_cancel
+  | A_dispute of side
+  | A_cheat of side
+  | A_punish of side
+  | A_close
+
+(** Human label for an action, e.g. ["deliver->B"]. *)
+val action_label : action -> string
+
+(** Whether the payee already holds the lock witness — from the lock
+    stage's completion on, it can redeem the lock in a dispute. *)
+val payee_has_witness : state -> bool
+
+(** The next scripted session kind, if the script has one left. *)
+val next_kind : state -> skind option
+
+(** No session in flight, wires and stashes empty, both parties up —
+    the states where the cross-party properties must hold. *)
+val quiescent : state -> bool
+
+(** Map a shared-checker message to its DESIGN.md §3.13 catalog id
+    (["INV-1"] … ["INV-8"]). *)
+val inv_id : string -> string
+
+(** Check every applicable safety property at a state, returning
+    [(catalog id, message)] violations: the every-state properties
+    unconditionally, the cross-party ones only at quiescence. *)
+val check : config -> state -> (string * string) list
+
+(** The actions enabled at a state, in a deterministic order. *)
+val enabled : config -> state -> action list
+
+(** Apply an enabled action. The transition function is deterministic:
+    all branching lives in the choice of action. *)
+val apply : config -> state -> action -> state
+
+(** Canonical serialization of every distinguishing field, used
+    directly as the dedup key: two states collide iff equal, keeping
+    the exploration sound. *)
+val key : state -> string

@@ -1,0 +1,416 @@
+(* Replay an abstract counterexample trace through the concrete stack.
+
+   The model checker's counterexamples are action sequences over the
+   abstract model; this module drives the {e real}
+   [Party]/[Recovery]/[Close]/[Revoke] machinery along the same
+   sequence — real ring signatures, real journals, real ledger — and
+   re-checks the shared invariants on the concrete end state. That
+   closes the abstraction gap from both sides: a violation seeded at
+   the harness level (rollback, settlement bookkeeping) reproduces
+   concretely, and a violation seeded {e inside} the abstract party
+   transition does not — demonstrating the concrete code lacks that
+   bug.
+
+   The replay owns the transport: instead of [Driver.run]'s clock it
+   keeps explicit per-direction queues, the go-back-N resend logs, the
+   journal-backed dedup sets and the hold-back stashes — the exact
+   structures [Driver.run_faulty] uses — and performs one queue
+   operation per abstract fault action. Every step runs inside an obs
+   span, so a replayed counterexample renders as a span tree. *)
+
+module Ch = Monet_channel.Channel
+module Party = Monet_channel.Party
+module Msg = Monet_channel.Msg
+module Errors = Monet_channel.Errors
+module Recovery = Monet_channel.Recovery
+module Watchtower = Monet_channel.Watchtower
+module Backend = Monet_store.Backend
+module Inv = Monet_fault.Invariant
+module Tp = Monet_sig.Two_party
+module Sc = Monet_ec.Sc
+module Trace = Monet_obs.Trace
+
+let role_of = function Model.A -> Tp.Alice | Model.B -> Tp.Bob
+
+type t = {
+  rcfg : Model.config;
+  c : Ch.channel;
+  rep : Ch.report;
+  g : Monet_hash.Drbg.t;  (* lock-witness randomness *)
+  tower : Watchtower.t;
+  host_a : Recovery.host;
+  host_b : Recovery.host;
+  mutable abs : Model.state;  (* abstract twin, stepped in lockstep *)
+  mutable q_to_a : (int * Msg.t) list;  (* (session id, message) *)
+  mutable q_to_b : (int * Msg.t) list;
+  mutable log_to_a : (int * Msg.t) list;  (* resend logs, oldest first *)
+  mutable log_to_b : (int * Msg.t) list;
+  mutable stash_a : Msg.t list;  (* held-back early messages *)
+  mutable stash_b : Msg.t list;
+  mutable ck : (Party.checkpoint * Party.checkpoint) option;
+  mutable sid : int;  (* session id new sends are tagged with *)
+  mutable lock_y : Sc.t option;  (* the live lock's witness *)
+  mutable settled : Ch.payout list;
+  mutable errors : string list;  (* concrete steps that failed *)
+}
+
+type outcome = {
+  ro_final : Model.state;  (* abstract end state of the trace *)
+  ro_violations : (string * string) list;  (* concrete end-state check *)
+  ro_abstract : (string * string) list;  (* abstract end-state check *)
+  ro_errors : string list;  (* oldest first *)
+}
+
+let err (h : t) fmt =
+  Printf.ksprintf (fun s -> h.errors <- s :: h.errors) fmt
+
+let concrete (h : t) = function Model.A -> h.c.Ch.a | Model.B -> h.c.Ch.b
+let host_of (h : t) = function Model.A -> h.host_a | Model.B -> h.host_b
+
+let queue_into (h : t) = function Model.A -> h.q_to_a | Model.B -> h.q_to_b
+
+let set_queue_into (h : t) (s : Model.side) q =
+  match s with Model.A -> h.q_to_a <- q | Model.B -> h.q_to_b <- q
+
+let stash_of (h : t) = function Model.A -> h.stash_a | Model.B -> h.stash_b
+
+let set_stash (h : t) (s : Model.side) v =
+  match s with Model.A -> h.stash_a <- v | Model.B -> h.stash_b <- v
+
+let cur_sid (h : t) : int option =
+  match h.abs.Model.g_cur with
+  | Some s -> Some s.Model.s_sid
+  | None -> None
+
+(* Enqueue replies sent by [sender] for its current session: wire
+   queue plus the go-back-N resend log. *)
+let enqueue (h : t) (sender : Model.side) (msgs : Msg.t list) : unit =
+  let tagged = List.map (fun m -> (h.sid, m)) msgs in
+  match sender with
+  | Model.A ->
+      h.q_to_b <- h.q_to_b @ tagged;
+      h.log_to_b <- h.log_to_b @ tagged
+  | Model.B ->
+      h.q_to_a <- h.q_to_a @ tagged;
+      h.log_to_a <- h.log_to_a @ tagged
+
+(* One handling attempt: real [Party.handle] inside a span. *)
+let attempt (h : t) (side : Model.side) (m : Msg.t) : [ `Ok | `Stash ] =
+  let p = concrete h side in
+  match
+    Trace.span ("party." ^ Msg.label m)
+      ~attrs:[ ("to", Model.side_label side) ]
+      (fun () -> Party.handle p ~env:h.c.Ch.env ~rep:h.rep m)
+  with
+  | Ok replies ->
+      enqueue h side replies;
+      `Ok
+  | Error (Errors.Bad_state _) -> `Stash (* early under reordering *)
+  | Error e ->
+      err h "%s rejected %s: %s" (Model.side_label side) (Msg.label m)
+        (Errors.to_string e);
+      `Ok (* consumed: the concrete party refused it outright *)
+
+(* Retry the receiver's stash after progress, to fixpoint — the
+   driver's retry-pending loop. *)
+let rec drain_stash (h : t) (side : Model.side) : unit =
+  let stash = stash_of h side in
+  set_stash h side [];
+  let progressed = ref false in
+  List.iter
+    (fun m ->
+      match attempt h side m with
+      | `Ok -> progressed := true
+      | `Stash -> set_stash h side (stash_of h side @ [ m ]))
+    stash;
+  if !progressed then drain_stash h side
+
+(* Deliver the queue head into [side]: journal-backed dedup, silent
+   drop of dead-session messages, stash on phase mismatch. *)
+let deliver (h : t) (side : Model.side) : unit =
+  match queue_into h side with
+  | [] -> ()
+  | (sid, m) :: rest -> (
+      set_queue_into h side rest;
+      match cur_sid h with
+      | Some cur when sid = cur -> (
+          let seen = Recovery.seen_table (host_of h side) in
+          let key = Msg.to_bytes m in
+          if Hashtbl.mem seen key then ()
+          else begin
+            Hashtbl.replace seen key ();
+            Recovery.note_seen (host_of h side) key;
+            match attempt h side m with
+            | `Ok -> drain_stash h side
+            | `Stash -> set_stash h side (stash_of h side @ [ m ])
+          end)
+      | _ -> () (* stale session: discarded *))
+
+(* Start the abstract state's next scripted session on the concrete
+   parties, mirroring [Channel.update]/[lock]/[unlock]/[cancel_lock]:
+   checkpoint both parties (the [Driver.with_rollback] capture), call
+   the [Party.begin_*] starters, enqueue their openings. *)
+let begin_session (h : t) (kind : Model.skind) : unit =
+  h.ck <- Some (Party.checkpoint h.c.Ch.a, Party.checkpoint h.c.Ch.b);
+  h.sid <- h.abs.Model.g_sid + 1;
+  let starter (p : Ch.party) : (Msg.t list, Errors.t) result =
+    match kind with
+    | Model.S_update amt -> Party.begin_update p ~amount_from_a:amt
+    | Model.S_lock amt ->
+        let y =
+          match h.lock_y with
+          | Some y -> y (* restarted lock session after a timeout *)
+          | None ->
+              let y = Sc.random_nonzero h.g in
+              h.lock_y <- Some y;
+              y
+        in
+        let lock_stmt = Monet_sig.Stmt.make ~y ~hp:h.c.Ch.a.Ch.joint.Tp.hp in
+        Party.begin_lock p ~payer:Tp.Alice ~amount:amt ~lock_stmt ~timer:5000
+    | Model.S_cancel -> Party.begin_cancel p
+    | Model.S_unlock ->
+        (* unreachable: the unlock arm below never calls [starter] *)
+        Error (Errors.Bad_state "unlock has no symmetric starter")
+  in
+  match kind with
+  | Model.S_unlock -> (
+      match (h.c.Ch.a.Ch.lock, h.lock_y) with
+      | Some lk, Some y -> (
+          let payee = if lk.Ch.lk_payer_is_alice then Model.B else Model.A in
+          match Party.begin_unlock (concrete h payee) ~y with
+          | Ok msgs -> enqueue h payee msgs
+          | Error e -> err h "begin unlock: %s" (Errors.to_string e))
+      | _ -> err h "begin unlock: no pending lock")
+  | _ -> (
+      match (starter h.c.Ch.a, starter h.c.Ch.b) with
+      | Ok ia, Ok ib ->
+          enqueue h Model.A ia;
+          enqueue h Model.B ib
+      | Error e, _ | _, Error e ->
+          err h "begin %s: %s" (Model.skind_label kind) (Errors.to_string e))
+
+(* The deadline fired: abandon the session and roll both parties back
+   to the checkpoints, re-journaling the restored state — verbatim
+   [Driver.with_rollback]'s timeout arm. The seeded
+   [M_rollback_one_sided] bug skips party B. *)
+let timeout (h : t) : unit =
+  (match h.ck with
+  | None -> err h "timeout outside a session"
+  | Some (cka, ckb) ->
+      Party.rollback h.c.Ch.a cka;
+      Party.journal_event h.c.Ch.a (fun jh -> jh.Ch.jh_state ());
+      h.stash_a <- [];
+      if h.rcfg.Model.c_mutation <> Model.M_rollback_one_sided then begin
+        Party.rollback h.c.Ch.b ckb;
+        Party.journal_event h.c.Ch.b (fun jh -> jh.Ch.jh_state ());
+        h.stash_b <- []
+      end);
+  h.ck <- None;
+  h.log_to_a <- [];
+  h.log_to_b <- [];
+  (* An abandoned lock session forgets its witness; a surviving lock
+     (timeout of the unlock/cancel session) keeps it for the retry. *)
+  if h.c.Ch.a.Ch.lock = None && h.c.Ch.b.Ch.lock = None then h.lock_y <- None
+
+(* Execute one abstract action concretely. [h.abs] is the state the
+   action fires {e from}; the caller advances it afterwards. *)
+let step (h : t) (a : Model.action) : unit =
+  match a with
+  | Model.A_begin -> (
+      match Model.next_kind h.abs with
+      | Some k -> begin_session h k
+      | None -> err h "begin with an exhausted script")
+  | Model.A_cancel -> begin_session h Model.S_cancel
+  | Model.A_deliver s -> deliver h s
+  | Model.A_drop s -> (
+      match queue_into h s with
+      | [] -> ()
+      | _ :: rest -> set_queue_into h s rest)
+  | Model.A_dup s -> (
+      match queue_into h s with
+      | [] -> ()
+      | m :: rest ->
+          set_queue_into h s ((m :: rest) @ [ m ]);
+          deliver h s)
+  | Model.A_crash (s, _) ->
+      (* the process dies: volatile stash lost; the heap stays but
+         nothing reaches it until restart *)
+      set_stash h s []
+  | Model.A_restart s -> (
+      match Recovery.recover (host_of h s) ~env:h.c.Ch.env with
+      | Ok _ -> ()
+      | Error e -> err h "recover %s: %s" (Model.side_label s)
+                     (Errors.to_string e))
+  | Model.A_retransmit ->
+      if h.abs.Model.g_b.Model.ps_down = Model.Up then
+        h.q_to_a <- h.q_to_a @ h.log_to_a;
+      if h.abs.Model.g_a.Model.ps_down = Model.Up then
+        h.q_to_b <- h.q_to_b @ h.log_to_b
+  | Model.A_timeout -> timeout h
+  | Model.A_dispute s -> (
+      let pp = match s with Model.A -> h.abs.Model.g_a | Model.B -> h.abs.Model.g_b in
+      let lock_witness =
+        match pp.Model.ps_lock with
+        | Some l
+          when s = Model.other l.Model.lv_payer && Model.payee_has_witness h.abs
+          -> h.lock_y
+        | _ -> None
+      in
+      match
+        Ch.dispute_close ?lock_witness h.c ~proposer:(role_of s)
+          ~responsive:false
+      with
+      | Ok (payout, _) ->
+          h.settled <- payout :: h.settled;
+          if h.rcfg.Model.c_mutation = Model.M_double_settle then
+            h.settled <- payout :: h.settled
+      | Error e -> err h "dispute: %s" (Errors.to_string e))
+  | Model.A_cheat s -> (
+      let cheater = concrete h s in
+      let victim = Model.other s in
+      let old_state = cheater.Ch.state - 1 in
+      let w = Ch.my_witness_at (concrete h victim) ~state:old_state in
+      match
+        Ch.submit_old_state h.c ~cheater:(role_of s) ~state:old_state
+          ~victim_old_wit:w
+      with
+      | Ok _tx -> Watchtower.watch h.tower h.c ~victim:(role_of victim)
+      | Error e -> err h "cheat: %s" (Errors.to_string e))
+  | Model.A_punish _ -> (
+      let res = Watchtower.tick h.tower in
+      match res.Watchtower.punished with
+      | [ (_, payout) ] ->
+          h.settled <- payout :: h.settled;
+          if h.rcfg.Model.c_mutation = Model.M_double_settle then
+            h.settled <- payout :: h.settled
+      | [] -> err h "punish: the tower found nothing to punish"
+      | _ -> err h "punish: multiple punishments on one channel")
+  | Model.A_close -> (
+      match Ch.cooperative_close h.c with
+      | Ok (payout, _) -> h.settled <- payout :: h.settled
+      | Error e -> err h "close: %s" (Errors.to_string e))
+
+(* Check the shared invariants on the {e concrete} end state, with the
+   same quiescence gating [Model.check] applies to the abstract one. *)
+let check_concrete (h : t) : (string * string) list =
+  let pv (p : Ch.party) : Inv.party_view =
+    { Inv.pv_state = p.Ch.state; pv_my = p.Ch.my_balance;
+      pv_their = p.Ch.their_balance; pv_lock = p.Ch.lock <> None;
+      pv_closed = p.Ch.closed }
+  in
+  let env = h.c.Ch.env in
+  let cv =
+    { Inv.cv_tag = "channel"; cv_capacity = h.c.Ch.a.Ch.capacity;
+      cv_a = pv h.c.Ch.a; cv_b = pv h.c.Ch.b;
+      cv_funding_spent =
+        Hashtbl.mem env.Ch.ledger.Monet_xmr.Ledger.key_images
+          (Monet_ec.Point.encode h.c.Ch.a.Ch.joint.Tp.key_image);
+      cv_settlements =
+        List.rev_map (fun (p : Ch.payout) -> (p.Ch.pay_a, p.Ch.pay_b))
+          h.settled }
+  in
+  let label = List.map (fun m -> (Model.inv_id m, m)) in
+  let is_open = not (cv.Inv.cv_a.Inv.pv_closed || cv.Inv.cv_b.Inv.pv_closed) in
+  label (Inv.check_funds cv)
+  @
+  if not (Model.quiescent h.abs) then []
+  else
+    label (Inv.check_consistency cv)
+    @ label (Inv.check_locks_resolved cv)
+    @ (if is_open then
+         label
+           (Inv.check_wealth
+              [ ("party A", h.abs.Model.g_exp_a, h.c.Ch.a.Ch.my_balance);
+                ("party B", h.abs.Model.g_exp_b, h.c.Ch.b.Ch.my_balance) ])
+       else [])
+    @ label
+        (Inv.check_tower
+           ~watched:(Watchtower.watched_count h.tower)
+           ~open_channels:(if is_open then 1 else 0)
+           ~counted:h.tower.Watchtower.punishments
+           ~observed:
+             (List.length
+                (List.filter
+                   (fun (_, _, o) -> o = Model.Set_punish)
+                   h.abs.Model.g_settled)))
+
+(* Build the concrete channel for [cfg]: fresh env and funded wallets,
+   real establishment over the sync transport, journaled endpoints on
+   in-memory backends, one watchtower. *)
+let setup (cfg : Model.config) ~(seed : int) : (t, string) result =
+  let drbg = Monet_hash.Drbg.of_int seed in
+  let ch_cfg =
+    { Ch.default_config with vcof_reps = Some 8; ring_size = 5;
+      n_escrowers = 4; escrow_threshold = 2 }
+  in
+  let env = Ch.make_env (Monet_hash.Drbg.split drbg "env") in
+  let g = Monet_hash.Drbg.split drbg "wallets" in
+  Monet_xmr.Ledger.ensure_decoys g env.Ch.ledger ~amount:cfg.Model.c_bal_a
+    ~n:20;
+  Monet_xmr.Ledger.ensure_decoys g env.Ch.ledger ~amount:cfg.Model.c_bal_b
+    ~n:20;
+  let mk_wallet label amount =
+    let w = Monet_xmr.Wallet.create ~ring_size:ch_cfg.Ch.ring_size g ~label in
+    let kp = Monet_sig.Sig_core.gen g in
+    let idx =
+      Monet_xmr.Ledger.genesis_output env.Ch.ledger
+        { Monet_xmr.Tx.otk = kp.Monet_sig.Sig_core.vk; amount }
+    in
+    Monet_xmr.Wallet.adopt w ~global_index:idx ~keypair:kp ~amount;
+    w
+  in
+  let wallet_a = mk_wallet "mc/walletA" cfg.Model.c_bal_a in
+  let wallet_b = mk_wallet "mc/walletB" cfg.Model.c_bal_b in
+  match
+    Ch.establish ~cfg:ch_cfg env ~id:1 ~wallet_a ~wallet_b
+      ~bal_a:cfg.Model.c_bal_a ~bal_b:cfg.Model.c_bal_b
+  with
+  | Error e -> Error ("mc replay establish: " ^ Errors.to_string e)
+  | Ok (c, _) ->
+      let host side p =
+        Recovery.attach ~backend:(Backend.mem ()) ~name:side
+          ~reseed:(Monet_hash.Drbg.split drbg ("reseed/" ^ side))
+          p
+      in
+      Ok
+        { rcfg = cfg; c; rep = Ch.fresh_report ();
+          g = Monet_hash.Drbg.split drbg "locks"; tower = Watchtower.create ();
+          host_a = host "a" c.Ch.a; host_b = host "b" c.Ch.b;
+          abs = Model.init cfg; q_to_a = []; q_to_b = []; log_to_a = [];
+          log_to_b = []; stash_a = []; stash_b = []; ck = None; sid = 0;
+          lock_y = None; settled = []; errors = [] }
+
+(* Run [trace] through the concrete stack. Each action executes inside
+   an [mc.<action>] span; enable tracing beforehand to get the span
+   tree. *)
+let run ?(seed = 7) (cfg : Model.config) (trace : Model.action list) :
+    outcome =
+  match setup cfg ~seed with
+  | Error e ->
+      (* a failed establishment is reported, never swallowed: callers
+         checking [ro_errors = []] see it *)
+      { ro_final = Model.init cfg; ro_violations = []; ro_abstract = [];
+        ro_errors = [ e ] }
+  | Ok h ->
+  List.iter
+    (fun a ->
+      Trace.span ("mc." ^ Model.action_label a) (fun () ->
+          step h a;
+          let prev = h.abs in
+          h.abs <- Model.apply cfg prev a;
+          (* the session completed: clear the transport bookkeeping,
+             as [finish_session] does abstractly *)
+          match (prev.Model.g_cur, h.abs.Model.g_cur, a) with
+          | Some _, None, Model.A_timeout -> ()
+          | Some _, None, _ ->
+              h.ck <- None;
+              h.log_to_a <- [];
+              h.log_to_b <- [];
+              h.stash_a <- [];
+              h.stash_b <- [];
+              if h.c.Ch.a.Ch.lock = None && h.c.Ch.b.Ch.lock = None then
+                h.lock_y <- None
+          | _ -> ()))
+    trace;
+  { ro_final = h.abs; ro_violations = check_concrete h;
+    ro_abstract = Model.check cfg h.abs; ro_errors = List.rev h.errors }

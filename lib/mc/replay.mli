@@ -1,0 +1,29 @@
+(** Replay an abstract counterexample trace through the concrete
+    [Party]/[Recovery]/[Close]/[Revoke] stack — real ring signatures,
+    real journals, real ledger — and re-check the shared invariants on
+    the concrete end state.
+
+    This closes the abstraction gap from both sides: a violation
+    seeded at the harness level (rollback, settlement bookkeeping)
+    reproduces concretely, and a violation seeded inside the abstract
+    party transition does not — demonstrating the concrete code lacks
+    that bug. Every step runs inside an [mc.<action>] obs span, so a
+    replayed counterexample renders as a span tree. *)
+
+(** The result of replaying a trace: the abstract end state (the
+    oracle the concrete run is compared against), the shared-invariant
+    violations found on the concrete and abstract end states, and any
+    concrete steps that failed outright. *)
+type outcome = {
+  ro_final : Model.state;
+  ro_violations : (string * string) list;
+  ro_abstract : (string * string) list;
+  ro_errors : string list;
+}
+
+(** [run cfg trace] builds a fresh concrete channel for [cfg] (funded
+    wallets, real establishment, journaled endpoints on in-memory
+    backends, one watchtower) and executes [trace] action by action,
+    keeping an abstract twin in lockstep. [seed] derives all
+    randomness, so a replay is deterministic. *)
+val run : ?seed:int -> Model.config -> Model.action list -> outcome

@@ -1,0 +1,12 @@
+(** CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven
+    with an eagerly built table so OCaml domains share it without
+    synchronization. {!Journal} checksums each write-ahead record with
+    it so a torn or bit-flipped tail is detected on replay instead of
+    being decoded as protocol state. *)
+
+(** [digest_sub s ~pos ~len] is the CRC-32 of the [len] bytes of [s]
+    starting at [pos]. The caller must ensure the range is in bounds. *)
+val digest_sub : string -> pos:int -> len:int -> int
+
+(** The CRC-32 of the whole string. *)
+val digest : string -> int

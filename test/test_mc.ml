@@ -1,0 +1,208 @@
+(* Tests for the exhaustive small-scope model checker (lib/mc):
+   clean exploration of the acceptance configuration, determinism,
+   seeded-bug detection with minimal counterexamples, concrete replay
+   of abstract traces, and the monet-mc/1 report round-trip. *)
+
+module Model = Monet_mc.Model
+module Explore = Monet_mc.Explore
+module Replay = Monet_mc.Replay
+module Report = Monet_mc.Report
+
+let find_bug ?depth (m : Model.mutation) : Model.config * Explore.violation =
+  let cfg, d0 = Model.mutation_probe m in
+  let depth = match depth with Some d -> d | None -> d0 in
+  match
+    (Explore.run ~stop_on_violation:true ~depth cfg).Explore.r_violations
+  with
+  | v :: _ -> (cfg, v)
+  | [] ->
+      Alcotest.failf "mutation %s: no counterexample within depth %d"
+        (Model.mutation_label m) depth
+
+(* The acceptance bar: the default 1-payment 2-party configuration
+   under drop+dup+crash explores completely to depth 10, visits at
+   least 10k distinct states and violates nothing. *)
+let test_clean_exploration () =
+  let r = Explore.run ~depth:10 Model.default_config in
+  let s = r.Explore.r_stats in
+  Alcotest.(check bool) "complete" true s.Explore.st_complete;
+  Alcotest.(check bool) "at least 10k states" true
+    (s.Explore.st_states >= 10_000);
+  Alcotest.(check int) "no violations" 0 s.Explore.st_violating;
+  Alcotest.(check bool) "reaches quiescence" true
+    (s.Explore.st_quiescent > 0);
+  Alcotest.(check bool) "reaches terminal states" true
+    (s.Explore.st_terminal > 0)
+
+(* Two runs of the same exploration must agree on every counter — the
+   model, the canonical key and the BFS order are all deterministic. *)
+let test_determinism () =
+  let r1 = Explore.run ~depth:9 Model.default_config in
+  let r2 = Explore.run ~depth:9 Model.default_config in
+  let s1 = r1.Explore.r_stats and s2 = r2.Explore.r_stats in
+  Alcotest.(check int) "states" s1.Explore.st_states s2.Explore.st_states;
+  Alcotest.(check int) "transitions" s1.Explore.st_transitions
+    s2.Explore.st_transitions;
+  Alcotest.(check int) "expansions" s1.Explore.st_expansions
+    s2.Explore.st_expansions;
+  Alcotest.(check int) "quiescent" s1.Explore.st_quiescent
+    s2.Explore.st_quiescent
+
+(* Widening the fault alphabet only adds interleavings: every state
+   reachable under no faults is reachable under drop+dup+crash. *)
+let test_alphabet_monotone () =
+  let quiet =
+    { Model.default_config with Model.c_alpha = Model.no_faults }
+  in
+  let small = Explore.run ~depth:10 quiet in
+  let large = Explore.run ~depth:10 Model.default_config in
+  Alcotest.(check bool) "no-fault exploration is smaller" true
+    (small.Explore.r_stats.Explore.st_states
+    <= large.Explore.r_stats.Explore.st_states);
+  Alcotest.(check int) "no-fault exploration is clean" 0
+    small.Explore.r_stats.Explore.st_violating
+
+(* Each seeded bug produces a counterexample within its documented
+   probe bounds, blaming the documented invariant, and BFS keeps the
+   trace within the depth bound (minimality up to BFS layering). *)
+let test_seeded_bugs_caught () =
+  List.iter
+    (fun (m, expect_inv) ->
+      let _, v = find_bug m in
+      Alcotest.(check string)
+        (Model.mutation_label m ^ " blames the right invariant")
+        expect_inv v.Explore.v_inv;
+      Alcotest.(check int)
+        (Model.mutation_label m ^ " trace length = depth")
+        v.Explore.v_depth
+        (List.length v.Explore.v_trace))
+    [ (Model.M_rollback_one_sided, "INV-3");
+      (Model.M_double_settle, "INV-5");
+      (Model.M_lock_no_debit, "INV-1");
+      (Model.M_skip_cancel_release, "INV-3") ]
+
+(* BFS minimality, checked directly for the cheapest bug: no strictly
+   shorter schedule triggers double-settle. *)
+let test_counterexample_minimal () =
+  let cfg, v = find_bug Model.M_double_settle in
+  let shallower = Explore.run ~depth:(v.Explore.v_depth - 1) cfg in
+  Alcotest.(check int) "no violation one layer up" 0
+    shallower.Explore.r_stats.Explore.st_violating
+
+(* Harness-level seeded bugs reproduce on the concrete
+   Party/Recovery stack: replaying the abstract counterexample drives
+   the real parties into a state the shared checker rejects for the
+   same catalog id. *)
+let test_replay_reproduces_harness_bugs () =
+  List.iter
+    (fun m ->
+      let cfg, v = find_bug m in
+      let o = Replay.run cfg v.Explore.v_trace in
+      Alcotest.(check (list string))
+        (Model.mutation_label m ^ ": concrete steps all succeed")
+        [] o.Replay.ro_errors;
+      Alcotest.(check bool)
+        (Model.mutation_label m ^ ": concrete end state violates "
+        ^ v.Explore.v_inv)
+        true
+        (List.exists
+           (fun (i, _) -> i = v.Explore.v_inv)
+           o.Replay.ro_violations))
+    [ Model.M_rollback_one_sided; Model.M_double_settle ]
+
+(* Model-only seeded bugs do NOT reproduce concretely: the abstract
+   end state violates the invariant, the concrete one is clean —
+   the concrete code does not have the seeded bug. *)
+let test_replay_clears_model_only_bugs () =
+  List.iter
+    (fun m ->
+      let cfg, v = find_bug m in
+      let o = Replay.run cfg v.Explore.v_trace in
+      Alcotest.(check bool)
+        (Model.mutation_label m ^ ": abstract end state violates")
+        true
+        (o.Replay.ro_abstract <> []);
+      Alcotest.(check (list (pair string string)))
+        (Model.mutation_label m ^ ": concrete end state is clean")
+        [] o.Replay.ro_violations)
+    [ Model.M_lock_no_debit; Model.M_skip_cancel_release ]
+
+(* Replaying a fault-free completed payment leaves both the abstract
+   and the concrete end states clean — the replay harness itself
+   introduces no violation. *)
+let test_replay_clean_run () =
+  let cfg =
+    { Model.default_config with
+      Model.c_alpha = Model.no_faults; c_retx = 0 }
+  in
+  (* drive to a quiescent delivered state: lock (9 actions) then
+     unlock (begin + lock-open delivery) *)
+  let rec go st acc n =
+    if n = 0 then (st, List.rev acc)
+    else
+      match Model.enabled cfg st with
+      | a :: _ -> go (Model.apply cfg st a) (a :: acc) (n - 1)
+      | [] -> (st, List.rev acc)
+  in
+  let st, trace = go (Model.init cfg) [] 11 in
+  Alcotest.(check bool) "script consumed" true (st.Model.g_ops = []);
+  Alcotest.(check bool) "abstract end state clean" true
+    (Model.check cfg st = []);
+  let o = Replay.run cfg trace in
+  Alcotest.(check (list string)) "no concrete step errors" []
+    o.Replay.ro_errors;
+  Alcotest.(check (list (pair string string))) "concrete end state clean" []
+    o.Replay.ro_violations
+
+(* Replay determinism (qcheck): for any seeded bug, replaying its
+   counterexample twice yields identical concrete verdicts — the
+   whole pipeline is seed-deterministic. *)
+let test_replay_deterministic =
+  QCheck.Test.make ~name:"replay is deterministic" ~count:4
+    (QCheck.oneofl
+       [ Model.M_rollback_one_sided; Model.M_double_settle;
+         Model.M_lock_no_debit ])
+    (fun m ->
+      let cfg, v = find_bug m in
+      let o1 = Replay.run cfg v.Explore.v_trace in
+      let o2 = Replay.run cfg v.Explore.v_trace in
+      o1.Replay.ro_violations = o2.Replay.ro_violations
+      && o1.Replay.ro_errors = o2.Replay.ro_errors
+      && Model.key o1.Replay.ro_final = Model.key o2.Replay.ro_final)
+
+(* The monet-mc/1 writer's output passes its own validator, and the
+   validator actually rejects malformed documents. *)
+let test_report_roundtrip () =
+  let cfg, _ = Model.mutation_probe Model.M_double_settle in
+  let r = Explore.run ~depth:3 cfg in
+  let doc = Report.to_json cfg r in
+  (match Report.validate_json doc with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "own document rejected: %s" e);
+  Alcotest.(check bool) "garbage rejected" true
+    (Report.validate_json "{\"schema\":\"monet-mc/9\"}" |> Result.is_error);
+  Alcotest.(check bool) "truncated rejected" true
+    (Report.validate_json (String.sub doc 0 (String.length doc - 2))
+    |> Result.is_error);
+  Alcotest.(check bool) "non-json rejected" true
+    (Report.validate_json "not json" |> Result.is_error)
+
+let tests =
+  [
+    Alcotest.test_case "clean exhaustive exploration" `Slow
+      test_clean_exploration;
+    Alcotest.test_case "exploration is deterministic" `Quick test_determinism;
+    Alcotest.test_case "fault alphabet is monotone" `Slow
+      test_alphabet_monotone;
+    Alcotest.test_case "seeded bugs are caught" `Quick test_seeded_bugs_caught;
+    Alcotest.test_case "counterexamples are minimal" `Quick
+      test_counterexample_minimal;
+    Alcotest.test_case "harness bugs reproduce concretely" `Slow
+      test_replay_reproduces_harness_bugs;
+    Alcotest.test_case "model-only bugs stay abstract" `Slow
+      test_replay_clears_model_only_bugs;
+    Alcotest.test_case "clean run replays clean" `Slow test_replay_clean_run;
+    QCheck_alcotest.to_alcotest test_replay_deterministic;
+    Alcotest.test_case "monet-mc/1 report round-trip" `Quick
+      test_report_roundtrip;
+  ]

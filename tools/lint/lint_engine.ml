@@ -215,7 +215,9 @@ let default_secret_scope (file : string) : bool =
   path_under [ "lib/ec"; "lib/sig"; "lib/sigma"; "lib/cas"; "lib/vcof" ] file
 
 let default_doc_scope (file : string) : bool =
-  path_under [ "lib/obs"; "lib/channel"; "lib/net" ] file
+  path_under
+    [ "lib/obs"; "lib/channel"; "lib/net"; "lib/fault"; "lib/store"; "lib/mc" ]
+    file
 
 let default_config =
   { c_allow = []; c_secret_scope = default_secret_scope;
